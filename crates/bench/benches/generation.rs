@@ -1,0 +1,71 @@
+//! Fault-scenario generation throughput for the three plugins.
+
+use conferr::Campaign;
+use conferr_keyboard::Keyboard;
+use conferr_model::ErrorGenerator;
+use conferr_plugins::{DnsSemanticPlugin, StructuralPlugin, TokenClass, TypoPlugin};
+use conferr_sut::{ApacheSim, BindSim, DjbdnsSim, MySqlSim};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_typo_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate_typos");
+    let baseline = {
+        let mut sut = ApacheSim::new();
+        Campaign::new(&mut sut).expect("campaign").baseline().clone()
+    };
+    for (label, class) in [
+        ("names", TokenClass::DirectiveNames),
+        ("values", TokenClass::DirectiveValues),
+    ] {
+        let plugin = TypoPlugin::new(Keyboard::qwerty_us(), class);
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(plugin.generate(&baseline).expect("generate").len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_structural_generation(c: &mut Criterion) {
+    let baseline = {
+        let mut sut = MySqlSim::new();
+        Campaign::new(&mut sut).expect("campaign").baseline().clone()
+    };
+    let plugin = StructuralPlugin::new();
+    c.bench_function("generate_structural", |b| {
+        b.iter(|| black_box(plugin.generate(&baseline).expect("generate").len()))
+    });
+}
+
+fn bench_dns_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate_dns_semantic");
+    {
+        let baseline = {
+            let mut sut = BindSim::new();
+            Campaign::new(&mut sut).expect("campaign").baseline().clone()
+        };
+        let plugin = DnsSemanticPlugin::bind();
+        group.bench_function("bind", |b| {
+            b.iter(|| black_box(plugin.generate(&baseline).expect("generate").len()))
+        });
+    }
+    {
+        let baseline = {
+            let mut sut = DjbdnsSim::new();
+            Campaign::new(&mut sut).expect("campaign").baseline().clone()
+        };
+        let plugin = DnsSemanticPlugin::tinydns();
+        group.bench_function("tinydns", |b| {
+            b.iter(|| black_box(plugin.generate(&baseline).expect("generate").len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_typo_generation,
+    bench_structural_generation,
+    bench_dns_generation
+);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Per-injection end-to-end latency, the analogue of the paper's §5.2
+//! timing claim ("each error injection experiment took on the order of
+//! seconds: 2.2 s for MySQL, 6 s for Postgres and 1.1 s for Apache").
+//! Our systems are simulated in-process, so the absolute numbers are
+//! microseconds; the bench demonstrates the same end-to-end cycle:
+//! mutate → serialize → start → functional tests → classify.
+
+use conferr::Campaign;
+use conferr_bench::{table1_faultload, DEFAULT_SEED};
+use conferr_keyboard::Keyboard;
+use conferr_sut::{default_configs, ApacheSim, MySqlSim, PostgresSim, SystemUnderTest};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_single_injection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_injection");
+    let keyboard = Keyboard::qwerty_us();
+
+    let cases: Vec<(&str, Box<dyn SystemUnderTest>)> = vec![
+        ("mysql", Box::new(MySqlSim::new())),
+        ("postgres", Box::new(PostgresSim::new())),
+        ("apache", Box::new(ApacheSim::new())),
+    ];
+    for (name, mut sut) in cases {
+        let mut campaign = Campaign::new(sut.as_mut()).expect("campaign");
+        let faults = table1_faultload(campaign.baseline(), &keyboard, DEFAULT_SEED);
+        // One representative value-typo injection, run end to end.
+        let one = vec![faults
+            .iter()
+            .find(|f| f.id().starts_with("t1-value"))
+            .expect("value typo exists")
+            .clone()];
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let profile = campaign.run_faults(black_box(one.clone())).expect("run");
+                black_box(profile.summary());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_startup_only(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sut_startup");
+    group.bench_function("mysql", |b| {
+        let mut sut = MySqlSim::new();
+        let configs = default_configs(&sut);
+        b.iter(|| black_box(sut.start(&configs)))
+    });
+    group.bench_function("postgres", |b| {
+        let mut sut = PostgresSim::new();
+        let configs = default_configs(&sut);
+        b.iter(|| black_box(sut.start(&configs)))
+    });
+    group.bench_function("apache", |b| {
+        let mut sut = ApacheSim::new();
+        let configs = default_configs(&sut);
+        b.iter(|| black_box(sut.start(&configs)))
+    });
+    group.finish();
+}
+
+fn bench_full_campaign(c: &mut Criterion) {
+    // The paper's headline: "testing each SUT took less than one
+    // hour". The whole Table 1 column runs in milliseconds here.
+    let mut group = c.benchmark_group("full_table1_column");
+    group.sample_size(10);
+    let keyboard = Keyboard::qwerty_us();
+    group.bench_function("postgres", |b| {
+        b.iter(|| {
+            let mut sut = PostgresSim::new();
+            let mut campaign = Campaign::new(&mut sut).expect("campaign");
+            let faults = table1_faultload(campaign.baseline(), &keyboard, DEFAULT_SEED);
+            let profile = campaign.run_faults(faults).expect("run");
+            black_box(profile.summary())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_single_injection,
+    bench_startup_only,
+    bench_full_campaign
+);
+criterion_main!(benches);

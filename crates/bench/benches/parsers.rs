@@ -1,0 +1,52 @@
+//! Parse and serialize throughput for all six configuration formats,
+//! measured on each simulator's default configuration.
+
+use conferr_formats::format_by_name;
+use conferr_sut::{ApacheSim, BindSim, DjbdnsSim, MySqlSim, PostgresSim, SystemUnderTest};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn corpus() -> Vec<(String, String, String)> {
+    let mut out = Vec::new();
+    let suts: Vec<Box<dyn SystemUnderTest>> = vec![
+        Box::new(MySqlSim::new()),
+        Box::new(PostgresSim::new()),
+        Box::new(ApacheSim::new()),
+        Box::new(BindSim::new()),
+        Box::new(DjbdnsSim::new()),
+    ];
+    for sut in suts {
+        for spec in sut.config_files() {
+            out.push((spec.name, spec.format, spec.default_contents));
+        }
+    }
+    out
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parse");
+    for (name, format_name, text) in corpus() {
+        let format = format_by_name(&format_name).expect("known format");
+        group.throughput(Throughput::Bytes(text.len() as u64));
+        group.bench_function(format!("{format_name}/{name}"), |b| {
+            b.iter(|| black_box(format.parse(&text).expect("parse")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_serialize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serialize");
+    for (name, format_name, text) in corpus() {
+        let format = format_by_name(&format_name).expect("known format");
+        let tree = format.parse(&text).expect("parse");
+        group.throughput(Throughput::Bytes(text.len() as u64));
+        group.bench_function(format!("{format_name}/{name}"), |b| {
+            b.iter(|| black_box(format.serialize(&tree).expect("serialize")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse, bench_serialize);
+criterion_main!(benches);

@@ -1,0 +1,395 @@
+//! The end-to-end injection campaign driver (paper §3.1, Figure 1).
+//!
+//! A [`Campaign`] wires together the pieces: it parses the SUT's
+//! configuration files into a [`ConfigSet`], asks each error-generator
+//! plugin for its fault load, and for every fault performs the
+//! inject → serialize → start → test → classify cycle, producing a
+//! [`ResilienceProfile`]. "None of these require human intervention."
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use conferr_formats::{format_by_name, ConfigFormat};
+use conferr_model::{ConfigSet, ErrorGenerator, GenerateError, GeneratedFault};
+use conferr_sut::{StartOutcome, SystemUnderTest};
+use conferr_tree::diff;
+
+use crate::{InjectionOutcome, InjectionResult, ResilienceProfile};
+
+/// Maximum number of diff lines recorded per injection.
+const MAX_DIFF_LINES: usize = 6;
+
+/// Errors that abort a whole campaign (as opposed to per-injection
+/// outcomes, which are recorded in the profile).
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CampaignError {
+    /// A configuration file declared by the SUT uses an unknown
+    /// format.
+    UnknownFormat {
+        /// The offending file.
+        file: String,
+        /// The format identifier.
+        format: String,
+    },
+    /// The SUT's *default* configuration failed to parse — the
+    /// campaign has no sound baseline.
+    BaselineParse {
+        /// The offending file.
+        file: String,
+        /// Parser diagnostic.
+        message: String,
+    },
+    /// A generator failed outright.
+    Generate(GenerateError),
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::UnknownFormat { file, format } => {
+                write!(f, "file {file:?} declares unknown format {format:?}")
+            }
+            CampaignError::BaselineParse { file, message } => {
+                write!(f, "baseline configuration {file:?} failed to parse: {message}")
+            }
+            CampaignError::Generate(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CampaignError::Generate(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GenerateError> for CampaignError {
+    fn from(e: GenerateError) -> Self {
+        CampaignError::Generate(e)
+    }
+}
+
+/// An injection campaign against one system-under-test.
+pub struct Campaign<'s> {
+    sut: &'s mut dyn SystemUnderTest,
+    generators: Vec<Box<dyn ErrorGenerator>>,
+    formats: BTreeMap<String, Box<dyn ConfigFormat>>,
+    baseline: ConfigSet,
+}
+
+impl fmt::Debug for Campaign<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Campaign")
+            .field("sut", &self.sut.name())
+            .field("generators", &self.generators.len())
+            .field("files", &self.baseline.len())
+            .finish()
+    }
+}
+
+impl<'s> Campaign<'s> {
+    /// Creates a campaign from the SUT's default configuration files.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a configuration file declares an unknown format or the
+    /// default contents do not parse.
+    pub fn new(sut: &'s mut dyn SystemUnderTest) -> Result<Self, CampaignError> {
+        let mut formats = BTreeMap::new();
+        let mut baseline = ConfigSet::new();
+        for spec in sut.config_files() {
+            let format = format_by_name(&spec.format).ok_or_else(|| {
+                CampaignError::UnknownFormat {
+                    file: spec.name.clone(),
+                    format: spec.format.clone(),
+                }
+            })?;
+            let tree = format.parse(&spec.default_contents).map_err(|e| {
+                CampaignError::BaselineParse {
+                    file: spec.name.clone(),
+                    message: e.to_string(),
+                }
+            })?;
+            baseline.insert(spec.name.clone(), tree);
+            formats.insert(spec.name, format);
+        }
+        Ok(Campaign {
+            sut,
+            generators: Vec::new(),
+            formats,
+            baseline,
+        })
+    }
+
+    /// Creates a campaign from explicit configuration text instead of
+    /// the SUT defaults (used e.g. by the §5.5 comparison benchmark,
+    /// which runs against a full-coverage configuration).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Campaign::new`].
+    pub fn with_configs(
+        sut: &'s mut dyn SystemUnderTest,
+        configs: &BTreeMap<String, String>,
+    ) -> Result<Self, CampaignError> {
+        let mut campaign = Campaign::new(sut)?;
+        for (file, text) in configs {
+            let Some(format) = campaign.formats.get(file) else {
+                return Err(CampaignError::UnknownFormat {
+                    file: file.clone(),
+                    format: "<undeclared file>".to_string(),
+                });
+            };
+            let tree = format.parse(text).map_err(|e| CampaignError::BaselineParse {
+                file: file.clone(),
+                message: e.to_string(),
+            })?;
+            campaign.baseline.insert(file.clone(), tree);
+        }
+        Ok(campaign)
+    }
+
+    /// Adds an error-generator plugin.
+    pub fn add_generator(&mut self, generator: Box<dyn ErrorGenerator>) -> &mut Self {
+        self.generators.push(generator);
+        self
+    }
+
+    /// The parsed baseline configuration set.
+    pub fn baseline(&self) -> &ConfigSet {
+        &self.baseline
+    }
+
+    /// Serializes a configuration set to per-file text.
+    fn serialize_set(&self, set: &ConfigSet) -> Result<BTreeMap<String, String>, String> {
+        let mut out = BTreeMap::new();
+        for (file, tree) in set.iter() {
+            let Some(format) = self.formats.get(file) else {
+                return Err(format!("no serializer registered for {file:?}"));
+            };
+            match format.serialize(tree) {
+                Ok(text) => {
+                    out.insert(file.to_string(), text);
+                }
+                Err(e) => return Err(e.to_string()),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Injects one already-mutated configuration set and classifies
+    /// the SUT's response.
+    fn inject_mutated(&mut self, mutated: &ConfigSet) -> InjectionResult {
+        // Serialization can legitimately fail: the mutated tree may
+        // not be expressible in the file format (paper §3.2/§5.4).
+        let texts = match self.serialize_set(mutated) {
+            Ok(t) => t,
+            Err(reason) => return InjectionResult::Inexpressible { reason },
+        };
+        let start = self.sut.start(&texts);
+        let result = match start {
+            StartOutcome::FailedToStart { diagnostic } => {
+                InjectionResult::DetectedAtStartup { diagnostic }
+            }
+            StartOutcome::Started | StartOutcome::StartedWithWarnings { .. } => {
+                let warnings = match &start {
+                    StartOutcome::StartedWithWarnings { warnings } => warnings.clone(),
+                    _ => Vec::new(),
+                };
+                let mut failed: Option<(String, String)> = None;
+                for test in self.sut.test_names() {
+                    match self.sut.run_test(&test) {
+                        conferr_sut::TestOutcome::Passed => {}
+                        conferr_sut::TestOutcome::Failed { diagnostic } => {
+                            failed = Some((test, diagnostic));
+                            break;
+                        }
+                    }
+                }
+                match failed {
+                    Some((test, diagnostic)) => {
+                        InjectionResult::DetectedByFunctionalTest { test, diagnostic }
+                    }
+                    None => InjectionResult::Undetected { warnings },
+                }
+            }
+        };
+        self.sut.stop();
+        result
+    }
+
+    /// Computes a short structural diff describing the injected edit.
+    fn diff_summary(&self, mutated: &ConfigSet) -> Vec<String> {
+        let mut lines = Vec::new();
+        for (file, tree) in mutated.iter() {
+            if let Some(original) = self.baseline.get(file) {
+                if original == tree {
+                    continue;
+                }
+                for op in diff(original, tree) {
+                    if lines.len() >= MAX_DIFF_LINES {
+                        lines.push("...".to_string());
+                        return lines;
+                    }
+                    lines.push(format!("{file}: {op}"));
+                }
+            }
+        }
+        lines
+    }
+
+    /// Runs every generator's full fault load and returns the
+    /// resilience profile — ConfErr's sole output (§3.1).
+    ///
+    /// # Errors
+    ///
+    /// Fails only when a generator fails outright; per-fault problems
+    /// are recorded in the profile.
+    pub fn run(&mut self) -> Result<ResilienceProfile, CampaignError> {
+        let mut faults = Vec::new();
+        for generator in &self.generators {
+            faults.extend(generator.generate(&self.baseline)?);
+        }
+        self.run_faults(faults)
+    }
+
+    /// Runs an explicit fault load (used by benches that pre-sample).
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible, but kept fallible for symmetry with
+    /// [`Campaign::run`].
+    pub fn run_faults(
+        &mut self,
+        faults: Vec<GeneratedFault>,
+    ) -> Result<ResilienceProfile, CampaignError> {
+        let mut outcomes = Vec::with_capacity(faults.len());
+        for fault in faults {
+            let outcome = match fault {
+                GeneratedFault::Scenario(scenario) => {
+                    let (diff, result) = match scenario.apply(&self.baseline) {
+                        Ok(mutated) => {
+                            (self.diff_summary(&mutated), self.inject_mutated(&mutated))
+                        }
+                        Err(e) => (
+                            Vec::new(),
+                            InjectionResult::Skipped {
+                                reason: e.to_string(),
+                            },
+                        ),
+                    };
+                    InjectionOutcome {
+                        id: scenario.id,
+                        description: scenario.description,
+                        class: scenario.class,
+                        diff,
+                        result,
+                    }
+                }
+                GeneratedFault::Inexpressible {
+                    id,
+                    description,
+                    class,
+                    reason,
+                } => InjectionOutcome {
+                    id,
+                    description,
+                    class,
+                    diff: Vec::new(),
+                    result: InjectionResult::Inexpressible { reason },
+                },
+            };
+            outcomes.push(outcome);
+        }
+        Ok(ResilienceProfile::new(self.sut.name(), outcomes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conferr_keyboard::Keyboard;
+    use conferr_model::{StructuralKind, TypoKind};
+    use conferr_plugins::{StructuralPlugin, TokenClass, TypoPlugin};
+    use conferr_sut::{MySqlSim, PostgresSim};
+
+    #[test]
+    fn campaign_against_postgres_produces_outcomes() {
+        let mut sut = PostgresSim::new();
+        let mut campaign = Campaign::new(&mut sut).unwrap();
+        campaign.add_generator(Box::new(
+            TypoPlugin::new(Keyboard::qwerty_us(), TokenClass::DirectiveNames)
+                .with_kinds([TypoKind::Omission]),
+        ));
+        let profile = campaign.run().unwrap();
+        assert!(!profile.is_empty());
+        // Name typos against Postgres are essentially always caught at
+        // startup (unknown parameter) — a couple of omissions can
+        // collide with other valid names but none exist here.
+        let summary = profile.summary();
+        assert_eq!(summary.total, profile.len());
+        assert!(
+            summary.detected_at_startup > summary.undetected,
+            "{summary:?}"
+        );
+    }
+
+    #[test]
+    fn campaign_records_diffs_and_ids() {
+        let mut sut = MySqlSim::new();
+        let mut campaign = Campaign::new(&mut sut).unwrap();
+        campaign.add_generator(Box::new(
+            StructuralPlugin::new().with_kinds([StructuralKind::DirectiveOmission]),
+        ));
+        let profile = campaign.run().unwrap();
+        assert_eq!(profile.len(), 14, "my.cnf ships 14 directives");
+        for outcome in profile.outcomes() {
+            assert!(!outcome.diff.is_empty(), "{}", outcome.id);
+            assert!(outcome.id.starts_with("delete:"));
+        }
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let run = || {
+            let mut sut = MySqlSim::new();
+            let mut campaign = Campaign::new(&mut sut).unwrap();
+            campaign.add_generator(Box::new(
+                TypoPlugin::new(Keyboard::qwerty_us(), TokenClass::DirectiveValues)
+                    .with_kinds([TypoKind::Transposition]),
+            ));
+            campaign.run().unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.outcomes(), b.outcomes());
+    }
+
+    #[test]
+    fn with_configs_overrides_baseline() {
+        let mut sut = PostgresSim::new();
+        let mut configs = BTreeMap::new();
+        configs.insert(
+            "postgresql.conf".to_string(),
+            "port = 5432\nmax_connections = 10\nshared_buffers = 100\n".to_string(),
+        );
+        let campaign = Campaign::with_configs(&mut sut, &configs).unwrap();
+        let tree = campaign.baseline().get("postgresql.conf").unwrap();
+        assert_eq!(tree.root().children_of_kind("directive").count(), 3);
+    }
+
+    #[test]
+    fn with_configs_rejects_undeclared_files() {
+        let mut sut = PostgresSim::new();
+        let mut configs = BTreeMap::new();
+        configs.insert("other.conf".to_string(), String::new());
+        assert!(matches!(
+            Campaign::with_configs(&mut sut, &configs),
+            Err(CampaignError::UnknownFormat { .. })
+        ));
+    }
+}

@@ -1,0 +1,190 @@
+//! Machine-readable exports of resilience profiles.
+//!
+//! The profile is ConfErr's sole output (§3.1); beyond the human
+//! reports, campaigns feed dashboards and regression gates, so the
+//! profile exports to CSV (one row per injection) and to a small,
+//! dependency-free JSON encoding.
+
+use std::fmt::Write as _;
+
+use crate::{InjectionResult, ResilienceProfile};
+
+/// Escapes one CSV field (RFC 4180 quoting).
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Escapes a string for JSON.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn result_detail(result: &InjectionResult) -> (&'static str, String) {
+    match result {
+        InjectionResult::DetectedAtStartup { diagnostic } => ("detected-at-startup", diagnostic.clone()),
+        InjectionResult::DetectedByFunctionalTest { test, diagnostic } => {
+            ("detected-by-tests", format!("{test}: {diagnostic}"))
+        }
+        InjectionResult::Undetected { warnings } => ("ignored", warnings.join("; ")),
+        InjectionResult::Inexpressible { reason } => ("inexpressible", reason.clone()),
+        InjectionResult::Skipped { reason } => ("skipped", reason.clone()),
+    }
+}
+
+/// Renders the profile as CSV: header plus one row per injection.
+///
+/// ```
+/// use conferr::{profile_to_csv, ResilienceProfile};
+///
+/// let csv = profile_to_csv(&ResilienceProfile::new("sut", vec![]));
+/// assert!(csv.starts_with("system,id,class,cognitive_level,result,detail,description"));
+/// ```
+pub fn profile_to_csv(profile: &ResilienceProfile) -> String {
+    let mut out = String::from("system,id,class,cognitive_level,result,detail,description\n");
+    for o in profile.outcomes() {
+        let (label, detail) = result_detail(&o.result);
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{}",
+            csv_field(profile.system()),
+            csv_field(&o.id),
+            csv_field(&o.class.to_string()),
+            csv_field(&o.class.cognitive_level().to_string()),
+            label,
+            csv_field(&detail),
+            csv_field(&o.description),
+        );
+    }
+    out
+}
+
+/// Renders the profile as JSON (an object with `system`, `summary` and
+/// an `outcomes` array), without external dependencies.
+pub fn profile_to_json(profile: &ResilienceProfile) -> String {
+    let s = profile.summary();
+    let mut out = String::from("{");
+    let _ = write!(out, "\"system\":{},", json_string(profile.system()));
+    let _ = write!(
+        out,
+        "\"summary\":{{\"total\":{},\"detected_at_startup\":{},\"detected_by_tests\":{},\
+         \"ignored\":{},\"inexpressible\":{},\"skipped\":{}}},",
+        s.total, s.detected_at_startup, s.detected_by_tests, s.undetected, s.inexpressible,
+        s.skipped
+    );
+    out.push_str("\"outcomes\":[");
+    for (i, o) in profile.outcomes().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let (label, detail) = result_detail(&o.result);
+        let _ = write!(
+            out,
+            "{{\"id\":{},\"class\":{},\"result\":{},\"detail\":{},\"description\":{},\"diff\":[",
+            json_string(&o.id),
+            json_string(&o.class.to_string()),
+            json_string(label),
+            json_string(&detail),
+            json_string(&o.description),
+        );
+        for (j, line) in o.diff.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_string(line));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::InjectionOutcome;
+    use conferr_model::{ErrorClass, TypoKind};
+
+    fn sample() -> ResilienceProfile {
+        ResilienceProfile::new(
+            "my,sut",
+            vec![
+                InjectionOutcome {
+                    id: "a#1".into(),
+                    description: "omit \"x\", then retry".into(),
+                    class: ErrorClass::Typo(TypoKind::Omission),
+                    diff: vec!["- /0 directive".into()],
+                    result: InjectionResult::DetectedAtStartup {
+                        diagnostic: "bad\nline".into(),
+                    },
+                },
+                InjectionOutcome {
+                    id: "b#2".into(),
+                    description: "dup".into(),
+                    class: ErrorClass::Typo(TypoKind::Insertion),
+                    diff: vec![],
+                    result: InjectionResult::Undetected { warnings: vec![] },
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn csv_has_header_and_rows_with_quoting() {
+        let csv = profile_to_csv(&sample());
+        // 2 logical records + header; the embedded newline in the
+        // first diagnostic is quoted, producing one extra raw line.
+        assert_eq!(csv.lines().count(), 4);
+        assert!(csv.starts_with("system,id,class"));
+        assert!(csv.contains("\"my,sut\""), "{csv}");
+        assert!(csv.contains("detected-at-startup"));
+        assert!(csv.contains("\"bad\nline\""), "{csv}");
+        assert!(csv.contains("ignored"));
+    }
+
+    #[test]
+    fn json_is_well_formed_enough_to_round_trip_braces() {
+        let json = profile_to_json(&sample());
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert_eq!(json.matches("\"id\":").count(), 2);
+        assert!(json.contains("\"system\":\"my,sut\""));
+        assert!(json.contains("\\n"), "newline must be escaped");
+        // Balanced braces and brackets (a cheap structural check).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn escaping_corner_cases() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a\"b"), "\"a\"\"b\"");
+        assert_eq!(json_string("tab\there"), "\"tab\\there\"");
+        assert_eq!(json_string("ctrl\u{1}"), "\"ctrl\\u0001\"");
+    }
+
+    #[test]
+    fn empty_profile_exports() {
+        let p = ResilienceProfile::new("s", vec![]);
+        assert_eq!(profile_to_csv(&p).lines().count(), 1);
+        assert!(profile_to_json(&p).contains("\"outcomes\":[]"));
+    }
+}

@@ -1,0 +1,60 @@
+//! ConfErr — a tool for assessing resilience to human configuration
+//! errors (reproduction of Keller, Upadhyaya & Candea, DSN 2008).
+//!
+//! ConfErr takes a system's configuration files, mutates them with
+//! psychologically grounded human-error models, feeds the mutated
+//! configurations to the system-under-test (SUT), and classifies what
+//! happens:
+//!
+//! * the SUT **failed to start** — it detected the error;
+//! * the SUT started but **functional tests failed** — it missed the
+//!   error and an administrator's smoke test caught the damage;
+//! * everything **passed** — the error was silently absorbed;
+//! * the fault was **inexpressible** in the SUT's configuration
+//!   language (paper §5.4) and nothing could be injected.
+//!
+//! The result is a [`ResilienceProfile`] that can be aggregated per
+//! error class (Table 1), compared across systems (§5.5, Figure 3)
+//! and rendered as text reports.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use conferr::Campaign;
+//! use conferr_keyboard::Keyboard;
+//! use conferr_plugins::{TokenClass, TypoPlugin};
+//! use conferr_sut::PostgresSim;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut sut = PostgresSim::new();
+//! let mut campaign = Campaign::new(&mut sut)?;
+//! campaign.add_generator(Box::new(TypoPlugin::new(
+//!     Keyboard::qwerty_us(),
+//!     TokenClass::DirectiveValues,
+//! )));
+//! let profile = campaign.run()?;
+//! assert!(profile.len() > 0);
+//! println!("{}", profile.summary());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod campaign;
+mod compare;
+mod export;
+mod outcome;
+mod profile;
+pub mod report;
+
+pub use campaign::{Campaign, CampaignError};
+pub use compare::{
+    compare_value_typo_resilience, parallel_value_typo_resilience, task_resilience,
+    value_typo_resilience, ComparisonReport, DetectionBand, DirectiveResilience,
+    SystemResilience,
+};
+pub use export::{profile_to_csv, profile_to_json};
+pub use outcome::{InjectionOutcome, InjectionResult};
+pub use profile::{ProfileSummary, ResilienceProfile};

@@ -1,0 +1,148 @@
+//! Per-injection outcomes.
+
+use std::fmt;
+
+use conferr_model::ErrorClass;
+use serde::{Deserialize, Serialize};
+
+/// How the system-under-test responded to one injected fault — the
+/// three observable outcomes of §3.1 plus the inexpressible case of
+/// §5.4.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InjectionResult {
+    /// The SUT refused to start: it *detected* the configuration
+    /// error.
+    DetectedAtStartup {
+        /// The SUT's diagnostic.
+        diagnostic: String,
+    },
+    /// The SUT started, but a functional test failed: the error
+    /// slipped past the parser and broke observable behaviour.
+    DetectedByFunctionalTest {
+        /// Which test failed.
+        test: String,
+        /// The test's diagnostic.
+        diagnostic: String,
+    },
+    /// The SUT started and every functional test passed: the error
+    /// was silently absorbed ("Ignored" in Table 1).
+    Undetected {
+        /// Warnings the SUT logged at startup, if any — visible to an
+        /// attentive operator but not counted as detection.
+        warnings: Vec<String>,
+    },
+    /// The fault exists in the error model but cannot be written in
+    /// the SUT's configuration language (Table 3's "N/A").
+    Inexpressible {
+        /// Why serialization was impossible.
+        reason: String,
+    },
+    /// The scenario could not be applied (stale path after a previous
+    /// edit, unknown file, ...). Counted separately so campaign math
+    /// stays honest.
+    Skipped {
+        /// Why the injection was skipped.
+        reason: String,
+    },
+}
+
+impl InjectionResult {
+    /// `true` iff the SUT detected the error (at startup or via a
+    /// functional test).
+    pub fn detected(&self) -> bool {
+        matches!(
+            self,
+            InjectionResult::DetectedAtStartup { .. }
+                | InjectionResult::DetectedByFunctionalTest { .. }
+        )
+    }
+
+    /// Short classification label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            InjectionResult::DetectedAtStartup { .. } => "detected-at-startup",
+            InjectionResult::DetectedByFunctionalTest { .. } => "detected-by-tests",
+            InjectionResult::Undetected { .. } => "ignored",
+            InjectionResult::Inexpressible { .. } => "inexpressible",
+            InjectionResult::Skipped { .. } => "skipped",
+        }
+    }
+}
+
+impl fmt::Display for InjectionResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InjectionResult::DetectedAtStartup { diagnostic } => {
+                write!(f, "detected at startup: {diagnostic}")
+            }
+            InjectionResult::DetectedByFunctionalTest { test, diagnostic } => {
+                write!(f, "detected by functional test {test}: {diagnostic}")
+            }
+            InjectionResult::Undetected { warnings } if warnings.is_empty() => {
+                f.write_str("ignored")
+            }
+            InjectionResult::Undetected { warnings } => {
+                write!(f, "ignored ({} startup warning(s))", warnings.len())
+            }
+            InjectionResult::Inexpressible { reason } => write!(f, "inexpressible: {reason}"),
+            InjectionResult::Skipped { reason } => write!(f, "skipped: {reason}"),
+        }
+    }
+}
+
+/// One line of a resilience profile: the injected fault and what the
+/// SUT did with it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InjectionOutcome {
+    /// Scenario identifier.
+    pub id: String,
+    /// Human-readable description of the injected mistake.
+    pub description: String,
+    /// Taxonomy class of the mistake.
+    pub class: ErrorClass,
+    /// A short structural diff of the configuration edit (empty for
+    /// inexpressible faults).
+    pub diff: Vec<String>,
+    /// What happened.
+    pub result: InjectionResult,
+}
+
+impl fmt::Display for InjectionOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {} -> {}", self.id, self.description, self.result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conferr_model::TypoKind;
+
+    #[test]
+    fn detection_predicate() {
+        assert!(InjectionResult::DetectedAtStartup { diagnostic: "x".into() }.detected());
+        assert!(InjectionResult::DetectedByFunctionalTest {
+            test: "t".into(),
+            diagnostic: "x".into()
+        }
+        .detected());
+        assert!(!InjectionResult::Undetected { warnings: vec![] }.detected());
+        assert!(!InjectionResult::Inexpressible { reason: "r".into() }.detected());
+        assert!(!InjectionResult::Skipped { reason: "r".into() }.detected());
+    }
+
+    #[test]
+    fn labels_and_display() {
+        let r = InjectionResult::Undetected { warnings: vec!["w".into()] };
+        assert_eq!(r.label(), "ignored");
+        assert!(r.to_string().contains("warning"));
+        let o = InjectionOutcome {
+            id: "t1".into(),
+            description: "omit port".into(),
+            class: ErrorClass::Typo(TypoKind::Omission),
+            diff: vec![],
+            result: InjectionResult::Undetected { warnings: vec![] },
+        };
+        assert!(o.to_string().contains("omit port"));
+    }
+}

@@ -1,0 +1,267 @@
+//! Resilience profiles — ConfErr's sole output (§3.1).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use conferr_model::ErrorClass;
+use serde::{Deserialize, Serialize};
+
+use crate::{InjectionOutcome, InjectionResult};
+
+/// Aggregated counts over a set of injections — one row of Table 1.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProfileSummary {
+    /// Total faults considered.
+    pub total: usize,
+    /// Detected by the system at startup.
+    pub detected_at_startup: usize,
+    /// Detected by functional tests.
+    pub detected_by_tests: usize,
+    /// Silently absorbed ("Ignored").
+    pub undetected: usize,
+    /// Not expressible in the configuration language.
+    pub inexpressible: usize,
+    /// Skipped (scenario failed to apply).
+    pub skipped: usize,
+}
+
+impl ProfileSummary {
+    fn absorb(&mut self, result: &InjectionResult) {
+        self.total += 1;
+        match result {
+            InjectionResult::DetectedAtStartup { .. } => self.detected_at_startup += 1,
+            InjectionResult::DetectedByFunctionalTest { .. } => self.detected_by_tests += 1,
+            InjectionResult::Undetected { .. } => self.undetected += 1,
+            InjectionResult::Inexpressible { .. } => self.inexpressible += 1,
+            InjectionResult::Skipped { .. } => self.skipped += 1,
+        }
+    }
+
+    /// Number of *injected* faults (total minus inexpressible and
+    /// skipped) — the denominator the paper's percentages use.
+    pub fn injected(&self) -> usize {
+        self.total - self.inexpressible - self.skipped
+    }
+
+    /// Fraction of injected faults the system detected (startup or
+    /// functional tests). Returns 0.0 when nothing was injected.
+    pub fn detection_rate(&self) -> f64 {
+        let injected = self.injected();
+        if injected == 0 {
+            0.0
+        } else {
+            (self.detected_at_startup + self.detected_by_tests) as f64 / injected as f64
+        }
+    }
+
+    /// Percentage helper (0–100, one decimal).
+    pub fn pct(&self, count: usize) -> f64 {
+        let injected = self.injected();
+        if injected == 0 {
+            0.0
+        } else {
+            count as f64 * 100.0 / injected as f64
+        }
+    }
+}
+
+impl fmt::Display for ProfileSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} injected: {} ({:.0}%) detected at startup, {} ({:.0}%) by functional tests, \
+             {} ({:.0}%) ignored",
+            self.injected(),
+            self.detected_at_startup,
+            self.pct(self.detected_at_startup),
+            self.detected_by_tests,
+            self.pct(self.detected_by_tests),
+            self.undetected,
+            self.pct(self.undetected),
+        )?;
+        if self.inexpressible > 0 {
+            write!(f, ", {} inexpressible", self.inexpressible)?;
+        }
+        if self.skipped > 0 {
+            write!(f, ", {} skipped", self.skipped)?;
+        }
+        Ok(())
+    }
+}
+
+/// The complete record of one campaign: every injected error and the
+/// corresponding system behaviour, "capturing succinctly how sensitive
+/// the target software is to different classes of configuration
+/// errors".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResilienceProfile {
+    system: String,
+    outcomes: Vec<InjectionOutcome>,
+}
+
+impl ResilienceProfile {
+    /// Creates a profile from a system name and its outcomes.
+    pub fn new(system: impl Into<String>, outcomes: Vec<InjectionOutcome>) -> Self {
+        ResilienceProfile {
+            system: system.into(),
+            outcomes,
+        }
+    }
+
+    /// The system-under-test's name.
+    pub fn system(&self) -> &str {
+        &self.system
+    }
+
+    /// All outcomes, in injection order.
+    pub fn outcomes(&self) -> &[InjectionOutcome] {
+        &self.outcomes
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// `true` iff no faults were run.
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+
+    /// Overall summary (one Table 1 column).
+    pub fn summary(&self) -> ProfileSummary {
+        let mut s = ProfileSummary::default();
+        for o in &self.outcomes {
+            s.absorb(&o.result);
+        }
+        s
+    }
+
+    /// Summaries per error class.
+    pub fn by_class(&self) -> BTreeMap<ErrorClass, ProfileSummary> {
+        let mut map: BTreeMap<ErrorClass, ProfileSummary> = BTreeMap::new();
+        for o in &self.outcomes {
+            map.entry(o.class.clone()).or_default().absorb(&o.result);
+        }
+        map
+    }
+
+    /// Outcomes whose errors the system did **not** detect — the
+    /// interesting rows when hunting for flaws.
+    pub fn undetected(&self) -> impl Iterator<Item = &InjectionOutcome> {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o.result, InjectionResult::Undetected { .. }))
+    }
+
+    /// Merges another profile (same system) into this one.
+    pub fn merge(&mut self, other: ResilienceProfile) {
+        self.outcomes.extend(other.outcomes);
+    }
+}
+
+impl fmt::Display for ResilienceProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "resilience profile for {}:", self.system)?;
+        writeln!(f, "  {}", self.summary())?;
+        for (class, summary) in self.by_class() {
+            writeln!(f, "  {class}: {summary}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conferr_model::TypoKind;
+
+    fn outcome(id: &str, result: InjectionResult) -> InjectionOutcome {
+        InjectionOutcome {
+            id: id.into(),
+            description: "d".into(),
+            class: ErrorClass::Typo(TypoKind::Omission),
+            diff: vec![],
+            result,
+        }
+    }
+
+    fn sample() -> ResilienceProfile {
+        ResilienceProfile::new(
+            "sut",
+            vec![
+                outcome("1", InjectionResult::DetectedAtStartup { diagnostic: "a".into() }),
+                outcome(
+                    "2",
+                    InjectionResult::DetectedByFunctionalTest {
+                        test: "t".into(),
+                        diagnostic: "b".into(),
+                    },
+                ),
+                outcome("3", InjectionResult::Undetected { warnings: vec![] }),
+                outcome("4", InjectionResult::Undetected { warnings: vec![] }),
+                outcome("5", InjectionResult::Inexpressible { reason: "r".into() }),
+                outcome("6", InjectionResult::Skipped { reason: "s".into() }),
+            ],
+        )
+    }
+
+    #[test]
+    fn summary_counts_every_bucket() {
+        let s = sample().summary();
+        assert_eq!(s.total, 6);
+        assert_eq!(s.detected_at_startup, 1);
+        assert_eq!(s.detected_by_tests, 1);
+        assert_eq!(s.undetected, 2);
+        assert_eq!(s.inexpressible, 1);
+        assert_eq!(s.skipped, 1);
+        assert_eq!(s.injected(), 4);
+        assert!((s.detection_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn buckets_sum_to_total() {
+        let s = sample().summary();
+        assert_eq!(
+            s.total,
+            s.detected_at_startup + s.detected_by_tests + s.undetected + s.inexpressible
+                + s.skipped
+        );
+    }
+
+    #[test]
+    fn by_class_groups() {
+        let map = sample().by_class();
+        assert_eq!(map.len(), 1);
+        assert_eq!(map.values().next().unwrap().total, 6);
+    }
+
+    #[test]
+    fn undetected_iterator_and_merge() {
+        let mut p = sample();
+        assert_eq!(p.undetected().count(), 2);
+        let extra = ResilienceProfile::new(
+            "sut",
+            vec![outcome("7", InjectionResult::Undetected { warnings: vec![] })],
+        );
+        p.merge(extra);
+        assert_eq!(p.len(), 7);
+        assert_eq!(p.undetected().count(), 3);
+    }
+
+    #[test]
+    fn display_mentions_percentages() {
+        let text = sample().to_string();
+        assert!(text.contains("detected at startup"));
+        assert!(text.contains("typo/omission"));
+        assert!(!sample().is_empty());
+        assert_eq!(sample().system(), "sut");
+    }
+
+    #[test]
+    fn empty_profile_rates_are_zero() {
+        let p = ResilienceProfile::new("x", vec![]);
+        assert_eq!(p.summary().detection_rate(), 0.0);
+        assert_eq!(p.summary().pct(0), 0.0);
+    }
+}

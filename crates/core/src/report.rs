@@ -1,0 +1,187 @@
+//! Text rendering for profiles and comparisons: aligned ASCII tables
+//! (as printed by the bench binaries that regenerate the paper's
+//! tables) and horizontal bar charts (Figure 3).
+
+use std::fmt::Write as _;
+
+/// A simple aligned text table.
+///
+/// ```
+/// use conferr::report::TextTable;
+///
+/// let mut t = TextTable::new(vec!["system", "detected"]);
+/// t.add_row(vec!["mysql".into(), "83%".into()]);
+/// let rendered = t.render();
+/// assert!(rendered.contains("mysql"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<&str>) -> Self {
+        TextTable {
+            headers: headers.into_iter().map(str::to_string).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; missing cells render empty, extra cells are
+    /// kept and get their own width.
+    pub fn add_row(&mut self, row: Vec<String>) -> &mut Self {
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` iff the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with single-space-padded columns and a separator line.
+    pub fn render(&self) -> String {
+        let columns = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.headers.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; columns];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |out: &mut String, cells: &[String]| {
+            for (i, width) in widths.iter().enumerate() {
+                let empty = String::new();
+                let cell = cells.get(i).unwrap_or(&empty);
+                let _ = write!(out, "{cell:<width$}");
+                if i + 1 < widths.len() {
+                    out.push_str("  ");
+                }
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        render_row(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Renders a horizontal percentage bar of the given width, e.g.
+/// `[#####---------------] 25.0%`.
+pub fn percent_bar(pct: f64, width: usize) -> String {
+    let clamped = pct.clamp(0.0, 100.0);
+    let filled = ((clamped / 100.0) * width as f64).round() as usize;
+    let mut out = String::with_capacity(width + 10);
+    out.push('[');
+    for i in 0..width {
+        out.push(if i < filled { '#' } else { '-' });
+    }
+    out.push(']');
+    let _ = write!(out, " {clamped:>5.1}%");
+    out
+}
+
+/// Renders a stacked distribution line using one character class per
+/// segment, e.g. Figure 3's per-system band distribution:
+/// `EEEEEEEEGGGGFFFPPP` for Excellent/Good/Fair/Poor shares.
+pub fn stacked_bar(segments: &[(char, f64)], width: usize) -> String {
+    let total: f64 = segments.iter().map(|(_, v)| v.max(0.0)).sum();
+    if total <= 0.0 {
+        return "-".repeat(width);
+    }
+    let mut out = String::with_capacity(width);
+    let mut used = 0usize;
+    for (i, (c, v)) in segments.iter().enumerate() {
+        let is_last = i + 1 == segments.len();
+        let mut cells = ((v.max(0.0) / total) * width as f64).round() as usize;
+        if is_last {
+            cells = width.saturating_sub(used);
+        } else {
+            cells = cells.min(width - used);
+        }
+        for _ in 0..cells {
+            out.push(*c);
+        }
+        used += cells;
+    }
+    while out.chars().count() < width {
+        out.push(segments.last().map(|(c, _)| *c).unwrap_or('-'));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = TextTable::new(vec!["name", "value"]);
+        t.add_row(vec!["a".into(), "1".into()]);
+        t.add_row(vec!["long-name".into(), "22".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("---"));
+        // Both value cells start at the same column.
+        let col_a = lines[2].find('1').unwrap();
+        let col_b = lines[3].find("22").unwrap();
+        assert_eq!(col_a, col_b);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn table_handles_ragged_rows() {
+        let mut t = TextTable::new(vec!["a"]);
+        t.add_row(vec!["x".into(), "extra".into()]);
+        t.add_row(vec![]);
+        let r = t.render();
+        assert!(r.contains("extra"));
+    }
+
+    #[test]
+    fn percent_bar_scales() {
+        assert_eq!(percent_bar(0.0, 4), "[----]   0.0%");
+        assert_eq!(percent_bar(100.0, 4), "[####] 100.0%");
+        assert_eq!(percent_bar(50.0, 4), "[##--]  50.0%");
+        // Values outside 0..100 are clamped, never panic.
+        assert!(percent_bar(150.0, 4).contains("100.0"));
+        assert!(percent_bar(-5.0, 4).contains("0.0"));
+    }
+
+    #[test]
+    fn stacked_bar_fills_width_exactly() {
+        let bar = stacked_bar(&[('E', 45.0), ('G', 25.0), ('F', 20.0), ('P', 10.0)], 20);
+        assert_eq!(bar.chars().count(), 20);
+        assert!(bar.starts_with('E'));
+        assert!(bar.ends_with('P'));
+        let empty = stacked_bar(&[('E', 0.0)], 10);
+        assert_eq!(empty, "----------");
+    }
+}

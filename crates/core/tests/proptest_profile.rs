@@ -1,0 +1,115 @@
+//! Property tests for resilience-profile aggregation: whatever mix of
+//! outcomes a campaign produces, the accounting must stay consistent.
+
+use conferr::{InjectionOutcome, InjectionResult, ProfileSummary, ResilienceProfile};
+use conferr_model::{ErrorClass, StructuralKind, TypoKind};
+use proptest::prelude::*;
+
+fn arb_result() -> impl Strategy<Value = InjectionResult> {
+    prop_oneof![
+        Just(InjectionResult::DetectedAtStartup {
+            diagnostic: "diag".into()
+        }),
+        Just(InjectionResult::DetectedByFunctionalTest {
+            test: "t".into(),
+            diagnostic: "diag".into()
+        }),
+        prop::collection::vec("[a-z ]{1,10}", 0..3).prop_map(|warnings| {
+            InjectionResult::Undetected { warnings }
+        }),
+        Just(InjectionResult::Inexpressible { reason: "r".into() }),
+        Just(InjectionResult::Skipped { reason: "s".into() }),
+    ]
+}
+
+fn arb_class() -> impl Strategy<Value = ErrorClass> {
+    prop_oneof![
+        Just(ErrorClass::Typo(TypoKind::Omission)),
+        Just(ErrorClass::Typo(TypoKind::Substitution)),
+        Just(ErrorClass::Structural(StructuralKind::Duplication)),
+        Just(ErrorClass::Semantic {
+            domain: "dns".into(),
+            rule: "missing-ptr".into()
+        }),
+    ]
+}
+
+fn arb_outcome() -> impl Strategy<Value = InjectionOutcome> {
+    ("[a-z0-9:]{1,12}", arb_class(), arb_result()).prop_map(|(id, class, result)| {
+        InjectionOutcome {
+            id,
+            description: "generated".into(),
+            class,
+            diff: Vec::new(),
+            result,
+        }
+    })
+}
+
+proptest! {
+    #[test]
+    fn buckets_partition_total(outcomes in prop::collection::vec(arb_outcome(), 0..80)) {
+        let profile = ResilienceProfile::new("sut", outcomes);
+        let s = profile.summary();
+        prop_assert_eq!(
+            s.total,
+            s.detected_at_startup + s.detected_by_tests + s.undetected + s.inexpressible
+                + s.skipped
+        );
+        prop_assert_eq!(s.total, profile.len());
+        prop_assert!(s.injected() <= s.total);
+    }
+
+    #[test]
+    fn per_class_summaries_sum_to_overall(outcomes in prop::collection::vec(arb_outcome(), 0..80)) {
+        let profile = ResilienceProfile::new("sut", outcomes);
+        let overall = profile.summary();
+        let per_class: Vec<ProfileSummary> = profile.by_class().into_values().collect();
+        let sum = |f: fn(&ProfileSummary) -> usize| -> usize {
+            per_class.iter().map(f).sum()
+        };
+        prop_assert_eq!(sum(|s| s.total), overall.total);
+        prop_assert_eq!(sum(|s| s.detected_at_startup), overall.detected_at_startup);
+        prop_assert_eq!(sum(|s| s.detected_by_tests), overall.detected_by_tests);
+        prop_assert_eq!(sum(|s| s.undetected), overall.undetected);
+        prop_assert_eq!(sum(|s| s.inexpressible), overall.inexpressible);
+        prop_assert_eq!(sum(|s| s.skipped), overall.skipped);
+    }
+
+    #[test]
+    fn detection_rate_is_a_probability(outcomes in prop::collection::vec(arb_outcome(), 0..80)) {
+        let profile = ResilienceProfile::new("sut", outcomes);
+        let rate = profile.summary().detection_rate();
+        prop_assert!((0.0..=1.0).contains(&rate), "{rate}");
+    }
+
+    #[test]
+    fn merge_is_additive(
+        a in prop::collection::vec(arb_outcome(), 0..40),
+        b in prop::collection::vec(arb_outcome(), 0..40),
+    ) {
+        let mut merged = ResilienceProfile::new("sut", a.clone());
+        merged.merge(ResilienceProfile::new("sut", b.clone()));
+        prop_assert_eq!(merged.len(), a.len() + b.len());
+        let sa = ResilienceProfile::new("s", a).summary();
+        let sb = ResilienceProfile::new("s", b).summary();
+        let sm = merged.summary();
+        prop_assert_eq!(sm.undetected, sa.undetected + sb.undetected);
+        prop_assert_eq!(sm.detected_at_startup, sa.detected_at_startup + sb.detected_at_startup);
+    }
+
+    #[test]
+    fn undetected_iterator_matches_summary(outcomes in prop::collection::vec(arb_outcome(), 0..80)) {
+        let profile = ResilienceProfile::new("sut", outcomes);
+        prop_assert_eq!(profile.undetected().count(), profile.summary().undetected);
+    }
+
+    #[test]
+    fn display_never_panics(outcomes in prop::collection::vec(arb_outcome(), 0..20)) {
+        let profile = ResilienceProfile::new("sut", outcomes);
+        let _ = profile.to_string();
+        for o in profile.outcomes() {
+            let _ = o.to_string();
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Error types shared by all format implementations.
+
+use std::fmt;
+
+/// A configuration document could not be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Format name, e.g. `"apache"`.
+    pub format: String,
+    /// 1-based line number where parsing failed, when known.
+    pub line: Option<usize>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Creates a parse error tied to a specific line.
+    pub fn at_line(format: &str, line: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            format: format.to_string(),
+            line: Some(line),
+            message: message.into(),
+        }
+    }
+
+    /// Creates a parse error without line information.
+    pub fn new(format: &str, message: impl Into<String>) -> Self {
+        ParseError {
+            format: format.to_string(),
+            line: None,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.line {
+            Some(line) => write!(f, "{} parse error at line {line}: {}", self.format, self.message),
+            None => write!(f, "{} parse error: {}", self.format, self.message),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A tree could not be expressed in the target format.
+///
+/// This is the mechanism behind the paper's §5.4 finding: some fault
+/// scenarios "result in abstract representations that cannot be
+/// expressed in the system configuration file language"; ConfErr
+/// detects and reports these instead of silently mangling the file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SerializeError {
+    /// Format name.
+    pub format: String,
+    /// Human-readable description of the inexpressible construct.
+    pub message: String,
+}
+
+impl SerializeError {
+    /// Creates a serialization error.
+    pub fn new(format: &str, message: impl Into<String>) -> Self {
+        SerializeError {
+            format: format.to_string(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SerializeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cannot express tree: {}", self.format, self.message)
+    }
+}
+
+impl std::error::Error for SerializeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = ParseError::at_line("ini", 7, "missing ']'");
+        assert_eq!(e.to_string(), "ini parse error at line 7: missing ']'");
+        let e = ParseError::new("xml", "unexpected eof");
+        assert_eq!(e.to_string(), "xml parse error: unexpected eof");
+        let e = SerializeError::new("tinydns", "orphan PTR record");
+        assert!(e.to_string().contains("orphan PTR record"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn check<T: Send + Sync + std::error::Error>() {}
+        check::<ParseError>();
+        check::<SerializeError>();
+    }
+}

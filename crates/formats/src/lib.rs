@@ -1,0 +1,122 @@
+//! Round-trip-faithful configuration parsers and serializers.
+//!
+//! ConfErr performs all mutations on abstract tree representations of
+//! configuration files (paper §3.2). This crate supplies the
+//! system-specific parsing/serialization plugins that bridge between
+//! on-disk text and [`conferr_tree::ConfTree`]:
+//!
+//! | Format | Type | Used by |
+//! |--------|------|---------|
+//! | [`KvFormat`] | line-oriented `name = value` | Postgres-style configs |
+//! | [`IniFormat`] | `[section]` + directives | MySQL-style configs |
+//! | [`ApacheFormat`] | directives + nested `<Section>` blocks | Apache httpd |
+//! | [`XmlFormat`] | generic XML subset | XML-configured systems |
+//! | [`ZoneFormat`] | DNS master (zone) files | BIND |
+//! | [`TinyDnsFormat`] | tinydns-data lines | djbdns |
+//!
+//! Every parser preserves comments, blank lines and whitespace as tree
+//! nodes/attributes, so `serialize(parse(text)) == text` for
+//! well-formed inputs (the one documented exception: parenthesised
+//! multi-line records in zone files are normalised to one line). This
+//! fidelity matters for error injection: a mutated configuration file
+//! differs from the original *only* by the injected error, exactly as
+//! if a human had made the mistake while editing.
+//!
+//! # Examples
+//!
+//! ```
+//! use conferr_formats::{ConfigFormat, IniFormat};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let text = "[mysqld]\nport=3306\nkey_buffer_size=16M\n";
+//! let fmt = IniFormat::new();
+//! let tree = fmt.parse(text)?;
+//! assert_eq!(fmt.serialize(&tree)?, text);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod apache;
+mod error;
+mod ini;
+mod kv;
+mod tinydns;
+mod xml;
+mod zone;
+
+pub use apache::ApacheFormat;
+pub use error::{ParseError, SerializeError};
+pub use ini::IniFormat;
+pub use kv::KvFormat;
+pub use tinydns::{fields as tinydns_fields, TinyDnsFormat, KNOWN_PREFIXES};
+pub use xml::{parse_attrs as xml_parse_attrs, XmlFormat};
+pub use zone::{ZoneFormat, KNOWN_RTYPES};
+
+use conferr_tree::ConfTree;
+
+/// A system-specific configuration parser/serializer pair.
+///
+/// Implementations must be *round-trip faithful*: parsing a well-formed
+/// document and serializing the unmodified tree reproduces the input
+/// byte-for-byte (documented *normalisations* excepted). This is what
+/// lets ConfErr inject errors that look like genuine human edits.
+pub trait ConfigFormat: std::fmt::Debug + Send + Sync {
+    /// Short identifier, e.g. `"ini"`.
+    fn name(&self) -> &str;
+
+    /// Parses a configuration document into its tree representation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError`] with the line number and a description
+    /// when the input is not well-formed in this format.
+    fn parse(&self, input: &str) -> Result<ConfTree, ParseError>;
+
+    /// Serializes a tree back to configuration text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SerializeError`] when the tree contains nodes this
+    /// format cannot express — the paper's "differences in the
+    /// expressiveness of the two representations" (§3.2), which
+    /// ConfErr reports as an inexpressible fault rather than a bug.
+    fn serialize(&self, tree: &ConfTree) -> Result<String, SerializeError>;
+}
+
+/// All built-in formats, for registry-style lookup.
+pub fn builtin_formats() -> Vec<Box<dyn ConfigFormat>> {
+    vec![
+        Box::new(KvFormat::new()),
+        Box::new(IniFormat::new()),
+        Box::new(ApacheFormat::new()),
+        Box::new(XmlFormat::new()),
+        Box::new(ZoneFormat::new()),
+        Box::new(TinyDnsFormat::new()),
+    ]
+}
+
+/// Looks up a built-in format by [`ConfigFormat::name`].
+pub fn format_by_name(name: &str) -> Option<Box<dyn ConfigFormat>> {
+    builtin_formats().into_iter().find(|f| f.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_contains_all_formats() {
+        let names: Vec<String> =
+            builtin_formats().iter().map(|f| f.name().to_string()).collect();
+        assert_eq!(names, ["kv", "ini", "apache", "xml", "zone", "tinydns"]);
+    }
+
+    #[test]
+    fn format_by_name_finds_and_misses() {
+        assert!(format_by_name("zone").is_some());
+        assert!(format_by_name("toml").is_none());
+    }
+}

@@ -1,0 +1,374 @@
+//! Generic XML configuration files (a pragmatic subset).
+//!
+//! ConfErr supports "generic XML configuration files" as input (paper
+//! §3.2). [`XmlFormat`] parses a well-formed subset of XML sufficient
+//! for configuration documents: elements with attributes, text,
+//! comments, CDATA and an optional XML declaration. DTDs, processing
+//! instructions other than the declaration, and entity definitions are
+//! not supported.
+//!
+//! Tree schema:
+//!
+//! ```text
+//! document(format=xml)
+//! ├── decl = "<?xml version=\"1.0\"?>"        # verbatim, optional
+//! ├── text = "\n"                              # inter-element whitespace
+//! └── element(tag=server, raw_attrs=" port=\"80\"")
+//!     ├── text = "\n  "
+//!     ├── element(tag=host, self_closing=yes, raw_attrs=...)
+//!     ├── comment = "<!-- note -->"
+//!     └── cdata = "<![CDATA[raw]]>"
+//! ```
+//!
+//! `raw_attrs` stores the attribute region verbatim (between the tag
+//! name and `>`), preserving order and spacing exactly; the helper
+//! [`parse_attrs`] decodes it into pairs when a plugin needs values.
+
+use conferr_tree::{ConfTree, Node};
+
+use crate::{ConfigFormat, ParseError, SerializeError};
+
+/// Parser/serializer for a pragmatic XML subset.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct XmlFormat {
+    _priv: (),
+}
+
+impl XmlFormat {
+    /// Creates the format.
+    pub fn new() -> Self {
+        XmlFormat { _priv: () }
+    }
+}
+
+const FORMAT: &str = "xml";
+
+impl ConfigFormat for XmlFormat {
+    fn name(&self) -> &str {
+        FORMAT
+    }
+
+    fn parse(&self, input: &str) -> Result<ConfTree, ParseError> {
+        let mut p = XmlParser {
+            chars: input.char_indices().collect(),
+            input,
+            pos: 0,
+        };
+        let mut doc = Node::new("document").with_attr("format", FORMAT);
+        let mut saw_root = false;
+        while !p.at_end() {
+            if p.looking_at("<?") {
+                let decl = p.consume_until("?>")?;
+                doc.push_child(Node::new("decl").with_text(decl));
+            } else if p.looking_at("<!--") {
+                let c = p.consume_until("-->")?;
+                doc.push_child(Node::new("comment").with_text(c));
+            } else if p.looking_at("<") {
+                if saw_root {
+                    return Err(p.err("multiple root elements"));
+                }
+                doc.push_child(p.parse_element()?);
+                saw_root = true;
+            } else {
+                let text = p.consume_text();
+                if !text.trim().is_empty() {
+                    return Err(p.err("text content outside the root element"));
+                }
+                doc.push_child(Node::new("text").with_text(text));
+            }
+        }
+        if !saw_root {
+            return Err(ParseError::new(FORMAT, "document has no root element"));
+        }
+        Ok(ConfTree::new(doc))
+    }
+
+    fn serialize(&self, tree: &ConfTree) -> Result<String, SerializeError> {
+        let mut out = String::new();
+        for child in tree.root().children() {
+            serialize_node(child, &mut out)?;
+        }
+        Ok(out)
+    }
+}
+
+fn serialize_node(node: &Node, out: &mut String) -> Result<(), SerializeError> {
+    match node.kind() {
+        "decl" | "comment" | "text" | "cdata" => out.push_str(node.text().unwrap_or("")),
+        "element" => {
+            let tag = node.attr("tag").unwrap_or("");
+            out.push('<');
+            out.push_str(tag);
+            out.push_str(node.attr("raw_attrs").unwrap_or(""));
+            if node.attr("self_closing") == Some("yes") {
+                out.push_str("/>");
+            } else {
+                out.push('>');
+                for child in node.children() {
+                    serialize_node(child, out)?;
+                }
+                out.push_str("</");
+                out.push_str(tag);
+                out.push('>');
+            }
+        }
+        other => {
+            return Err(SerializeError::new(
+                FORMAT,
+                format!("node kind {other:?} cannot appear in an XML document"),
+            ))
+        }
+    }
+    Ok(())
+}
+
+/// Decodes a `raw_attrs` region (as stored by [`XmlFormat`]) into
+/// `(name, value)` pairs. Values may be single- or double-quoted.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on malformed attribute syntax.
+pub fn parse_attrs(raw: &str) -> Result<Vec<(String, String)>, ParseError> {
+    let mut out = Vec::new();
+    let mut rest = raw.trim_start();
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| ParseError::new(FORMAT, format!("attribute without '=': {rest:?}")))?;
+        let name = rest[..eq].trim().to_string();
+        let after = rest[eq + 1..].trim_start();
+        let quote = after.chars().next().filter(|c| *c == '"' || *c == '\'');
+        let Some(q) = quote else {
+            return Err(ParseError::new(FORMAT, format!("unquoted attribute value: {after:?}")));
+        };
+        let body = &after[1..];
+        let end = body
+            .find(q)
+            .ok_or_else(|| ParseError::new(FORMAT, "unterminated attribute value"))?;
+        out.push((name, body[..end].to_string()));
+        rest = body[end + 1..].trim_start();
+    }
+    Ok(out)
+}
+
+struct XmlParser<'a> {
+    input: &'a str,
+    chars: Vec<(usize, char)>,
+    pos: usize,
+}
+
+impl<'a> XmlParser<'a> {
+    fn at_end(&self) -> bool {
+        self.pos >= self.chars.len()
+    }
+
+    fn byte_pos(&self) -> usize {
+        self.chars.get(self.pos).map_or(self.input.len(), |&(b, _)| b)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        let line = self.input[..self.byte_pos()].lines().count().max(1);
+        ParseError::at_line(FORMAT, line, msg)
+    }
+
+    fn looking_at(&self, pat: &str) -> bool {
+        self.input[self.byte_pos()..].starts_with(pat)
+    }
+
+    fn advance_bytes(&mut self, n: usize) {
+        let target = self.byte_pos() + n;
+        while self.pos < self.chars.len() && self.chars[self.pos].0 < target {
+            self.pos += 1;
+        }
+    }
+
+    /// Consumes up to and including `end_pat`, returning the whole
+    /// region (delimiters included).
+    fn consume_until(&mut self, end_pat: &str) -> Result<String, ParseError> {
+        let start = self.byte_pos();
+        match self.input[start..].find(end_pat) {
+            Some(rel) => {
+                let total = rel + end_pat.len();
+                self.advance_bytes(total);
+                Ok(self.input[start..start + total].to_string())
+            }
+            None => Err(self.err(format!("missing closing {end_pat:?}"))),
+        }
+    }
+
+    fn consume_text(&mut self) -> String {
+        let start = self.byte_pos();
+        while !self.at_end() && !self.looking_at("<") {
+            self.pos += 1;
+        }
+        self.input[start..self.byte_pos()].to_string()
+    }
+
+    fn parse_element(&mut self) -> Result<Node, ParseError> {
+        // At '<'.
+        self.advance_bytes(1);
+        let name_start = self.byte_pos();
+        while !self.at_end() {
+            let (_, c) = self.chars[self.pos];
+            if c.is_whitespace() || c == '>' || c == '/' {
+                break;
+            }
+            self.pos += 1;
+        }
+        let tag = self.input[name_start..self.byte_pos()].to_string();
+        if tag.is_empty() {
+            return Err(self.err("empty element name"));
+        }
+        // Raw attribute region until '>' or '/>', respecting quotes.
+        let attrs_start = self.byte_pos();
+        let mut quote: Option<char> = None;
+        let mut self_closing = false;
+        loop {
+            if self.at_end() {
+                return Err(self.err(format!("unterminated start tag <{tag}")));
+            }
+            let (_, c) = self.chars[self.pos];
+            match (c, quote) {
+                ('"' | '\'', None) => quote = Some(c),
+                (c2, Some(q)) if c2 == q => quote = None,
+                ('>', None) => break,
+                ('/', None) if self.input[self.byte_pos()..].starts_with("/>") => {
+                    self_closing = true;
+                    break;
+                }
+                _ => {}
+            }
+            self.pos += 1;
+        }
+        let raw_attrs = self.input[attrs_start..self.byte_pos()].to_string();
+        // Validate attributes eagerly so malformed documents fail at parse time.
+        parse_attrs(&raw_attrs)?;
+        let mut node = Node::new("element")
+            .with_attr("tag", &tag)
+            .with_attr("raw_attrs", raw_attrs);
+        if self_closing {
+            node.set_attr("self_closing", "yes");
+            self.advance_bytes(2);
+            return Ok(node);
+        }
+        self.advance_bytes(1); // consume '>'
+        loop {
+            if self.at_end() {
+                return Err(self.err(format!("missing closing tag </{tag}>")));
+            }
+            if self.looking_at("</") {
+                self.advance_bytes(2);
+                let close_start = self.byte_pos();
+                while !self.at_end() && self.chars[self.pos].1 != '>' {
+                    self.pos += 1;
+                }
+                if self.at_end() {
+                    return Err(self.err("closing tag missing '>'"));
+                }
+                let close_tag = self.input[close_start..self.byte_pos()].trim().to_string();
+                self.advance_bytes(1);
+                if close_tag != tag {
+                    return Err(self.err(format!(
+                        "closing tag </{close_tag}> does not match <{tag}>"
+                    )));
+                }
+                return Ok(node);
+            } else if self.looking_at("<!--") {
+                let c = self.consume_until("-->")?;
+                node.push_child(Node::new("comment").with_text(c));
+            } else if self.looking_at("<![CDATA[") {
+                let c = self.consume_until("]]>")?;
+                node.push_child(Node::new("cdata").with_text(c));
+            } else if self.looking_at("<") {
+                node.push_child(self.parse_element()?);
+            } else {
+                let text = self.consume_text();
+                node.push_child(Node::new("text").with_text(text));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "<?xml version=\"1.0\"?>\n<server port=\"8080\">\n  <host name=\"a\"/>\n  <!-- note -->\n  <limits max=\"10\">100</limits>\n</server>\n";
+
+    fn roundtrip(text: &str) {
+        let fmt = XmlFormat::new();
+        let tree = fmt.parse(text).unwrap();
+        assert_eq!(fmt.serialize(&tree).unwrap(), text, "round-trip failed");
+    }
+
+    #[test]
+    fn round_trips_sample() {
+        roundtrip(SAMPLE);
+    }
+
+    #[test]
+    fn parses_structure() {
+        let fmt = XmlFormat::new();
+        let tree = fmt.parse(SAMPLE).unwrap();
+        let root_el = tree.root().first_child_of_kind("element").unwrap();
+        assert_eq!(root_el.attr("tag"), Some("server"));
+        let children: Vec<&str> = root_el.children().iter().map(|c| c.kind()).collect();
+        assert!(children.contains(&"comment"));
+        let host = root_el.first_child_of_kind("element").unwrap();
+        assert_eq!(host.attr("self_closing"), Some("yes"));
+    }
+
+    #[test]
+    fn attrs_helper_decodes_pairs() {
+        let pairs = parse_attrs(" port=\"8080\" host='x'").unwrap();
+        assert_eq!(
+            pairs,
+            vec![
+                ("port".to_string(), "8080".to_string()),
+                ("host".to_string(), "x".to_string())
+            ]
+        );
+        assert!(parse_attrs(" oops").is_err());
+        assert!(parse_attrs(" a=b").is_err());
+        assert!(parse_attrs(" a=\"unterminated").is_err());
+        assert!(parse_attrs("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn mismatched_tags_are_an_error() {
+        let err = XmlFormat::new().parse("<a><b></a></b>").unwrap_err();
+        assert!(err.to_string().contains("does not match"));
+    }
+
+    #[test]
+    fn missing_root_is_an_error() {
+        assert!(XmlFormat::new().parse("   \n").is_err());
+        assert!(XmlFormat::new().parse("").is_err());
+    }
+
+    #[test]
+    fn text_outside_root_is_an_error() {
+        assert!(XmlFormat::new().parse("hello<a/>").is_err());
+    }
+
+    #[test]
+    fn multiple_roots_are_an_error() {
+        assert!(XmlFormat::new().parse("<a/><b/>").is_err());
+    }
+
+    #[test]
+    fn cdata_round_trips() {
+        roundtrip("<a><![CDATA[ raw <>& ]]></a>");
+    }
+
+    #[test]
+    fn quoted_gt_in_attribute_does_not_end_tag() {
+        roundtrip("<a cmd=\"x > y\"><b/></a>");
+    }
+
+    #[test]
+    fn unterminated_tag_is_an_error() {
+        assert!(XmlFormat::new().parse("<a foo=\"1\"").is_err());
+        assert!(XmlFormat::new().parse("<a>text").is_err());
+    }
+}

@@ -1,0 +1,147 @@
+//! Property tests: every format round-trips arbitrary well-formed
+//! documents byte-for-byte.
+
+use conferr_formats::{
+    ApacheFormat, ConfigFormat, IniFormat, KvFormat, TinyDnsFormat, XmlFormat, ZoneFormat,
+};
+use proptest::prelude::*;
+
+fn name() -> impl Strategy<Value = String> {
+    "[a-zA-Z][a-zA-Z0-9_]{0,10}".prop_map(|s| s)
+}
+
+fn value() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9_./]{0,12}"
+}
+
+fn kv_line() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (name(), value()).prop_map(|(n, v)| format!("{n} = {v}")),
+        (name(), value()).prop_map(|(n, v)| format!("{n}={v}")),
+        (name(), value(), "[a-z ]{0,10}").prop_map(|(n, v, c)| format!("{n} = {v}  # {c}")),
+        "[a-z #]{0,20}".prop_map(|c| format!("# {c}")),
+        Just(String::new()),
+        Just("   ".to_string()),
+    ]
+}
+
+fn ini_line() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (name(), value()).prop_map(|(n, v)| format!("{n}={v}")),
+        name().prop_map(|n| n),
+        "[a-z ]{0,16}".prop_map(|c| format!("; {c}")),
+        "[a-z ]{0,16}".prop_map(|c| format!("# {c}")),
+        Just(String::new()),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn kv_round_trips(lines in prop::collection::vec(kv_line(), 0..20)) {
+        let text = lines.join("\n") + "\n";
+        let fmt = KvFormat::new();
+        let tree = fmt.parse(&text).unwrap();
+        prop_assert_eq!(fmt.serialize(&tree).unwrap(), text);
+    }
+
+    #[test]
+    fn ini_round_trips(
+        prologue in prop::collection::vec(ini_line(), 0..4),
+        sections in prop::collection::vec(
+            (name(), prop::collection::vec(ini_line(), 0..8)),
+            0..4
+        ),
+    ) {
+        let mut text = String::new();
+        for l in &prologue {
+            text.push_str(l);
+            text.push('\n');
+        }
+        for (sec, lines) in &sections {
+            text.push_str(&format!("[{sec}]\n"));
+            for l in lines {
+                text.push_str(l);
+                text.push('\n');
+            }
+        }
+        let fmt = IniFormat::new();
+        let tree = fmt.parse(&text).unwrap();
+        prop_assert_eq!(fmt.serialize(&tree).unwrap(), text);
+    }
+
+    #[test]
+    fn apache_round_trips(
+        top in prop::collection::vec((name(), value()), 0..6),
+        section in (name(), value(), prop::collection::vec((name(), value()), 0..5)),
+    ) {
+        let mut text = String::new();
+        for (n, v) in &top {
+            text.push_str(&format!("{n} {v}\n"));
+        }
+        let (sname, sarg, dirs) = &section;
+        text.push_str(&format!("<{sname} {sarg}>\n"));
+        for (n, v) in dirs {
+            text.push_str(&format!("    {n} {v}\n"));
+        }
+        text.push_str(&format!("</{sname}>\n"));
+        let fmt = ApacheFormat::new();
+        let tree = fmt.parse(&text).unwrap();
+        prop_assert_eq!(fmt.serialize(&tree).unwrap(), text);
+    }
+
+    #[test]
+    fn xml_round_trips(
+        tag in "[a-z]{1,8}",
+        attr in "[a-z]{1,6}",
+        av in "[a-z0-9]{0,8}",
+        children in prop::collection::vec(("[a-z]{1,8}", "[a-z0-9 ]{0,10}"), 0..5),
+    ) {
+        let mut text = format!("<{tag} {attr}=\"{av}\">\n");
+        for (ct, body) in &children {
+            text.push_str(&format!("  <{ct}>{body}</{ct}>\n"));
+        }
+        text.push_str(&format!("</{tag}>\n"));
+        let fmt = XmlFormat::new();
+        let tree = fmt.parse(&text).unwrap();
+        prop_assert_eq!(fmt.serialize(&tree).unwrap(), text);
+    }
+
+    #[test]
+    fn zone_round_trips(
+        hosts in prop::collection::vec(("[a-z]{1,10}", (1u8..=254u8)), 1..8),
+        ttl in 60u32..100_000,
+    ) {
+        let mut text = format!("$TTL {ttl}\n$ORIGIN example.com.\n");
+        text.push_str("@\tIN SOA ns1.example.com. admin.example.com. 1 7200 3600 1209600 86400\n");
+        for (h, ip) in &hosts {
+            text.push_str(&format!("{h}\tIN A 192.0.2.{ip}\n"));
+        }
+        let fmt = ZoneFormat::new();
+        let tree = fmt.parse(&text).unwrap();
+        prop_assert_eq!(fmt.serialize(&tree).unwrap(), text);
+    }
+
+    #[test]
+    fn tinydns_round_trips(
+        hosts in prop::collection::vec(("[a-z]{1,10}", (1u8..=254u8)), 0..8),
+    ) {
+        let mut text = String::from("# data\n.example.com:192.0.2.1:ns1.example.com\n");
+        for (h, ip) in &hosts {
+            text.push_str(&format!("={h}.example.com:192.0.2.{ip}:86400\n"));
+        }
+        let fmt = TinyDnsFormat::new();
+        let tree = fmt.parse(&text).unwrap();
+        prop_assert_eq!(fmt.serialize(&tree).unwrap(), text);
+    }
+
+    #[test]
+    fn parsers_never_panic_on_arbitrary_input(input in "[ -~\n\t]{0,200}") {
+        // Any byte soup must produce Ok or Err, never a panic.
+        let _ = KvFormat::new().parse(&input);
+        let _ = IniFormat::new().parse(&input);
+        let _ = ApacheFormat::new().parse(&input);
+        let _ = XmlFormat::new().parse(&input);
+        let _ = ZoneFormat::new().parse(&input);
+        let _ = TinyDnsFormat::new().parse(&input);
+    }
+}

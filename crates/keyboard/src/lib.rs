@@ -1,0 +1,619 @@
+//! Geometric keyboard model for realistic typo generation.
+//!
+//! ConfErr's spelling-mistake plugin (paper §4.1) mimics real typos by
+//! consulting "an encoding of a true keyboard": for insertions and
+//! substitutions it locates the key (and modifiers) that produces the
+//! intended character, then enumerates the characters produced by
+//! *nearby* keys pressed **with the same modifiers** — the model of an
+//! operator's finger landing one key off.
+//!
+//! This crate provides that encoding:
+//!
+//! * [`Keyboard`] — a physical layout: keys at staggered row/column
+//!   coordinates, each with an unmodified and a shifted character;
+//! * [`Keystroke`] — a key plus [`Modifiers`], the physical action that
+//!   produces a character;
+//! * [`Keyboard::nearby_chars`] — the paper's substitution/insertion
+//!   candidate set.
+//!
+//! Four layouts ship with the crate: [`Keyboard::qwerty_us`],
+//! [`Keyboard::qwerty_uk`], [`Keyboard::azerty_fr`] and
+//! [`Keyboard::dvorak_us`]; custom layouts can be built with
+//! [`Keyboard::from_rows`].
+//!
+//! # Examples
+//!
+//! ```
+//! use conferr_keyboard::Keyboard;
+//!
+//! let kb = Keyboard::qwerty_us();
+//! // 'g' sits between 'f' and 'h' on the home row.
+//! let near = kb.nearby_chars('g');
+//! assert!(near.contains(&'f') && near.contains(&'h'));
+//! // Shifted characters stay on the shifted layer: neighbours of 'G'
+//! // are the shifted neighbours of the same key.
+//! assert!(kb.nearby_chars('G').contains(&'F'));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Modifier state of a keystroke. Only Shift matters for the character
+/// sets configuration files use; the struct form leaves room for
+/// AltGr-style extensions without breaking the API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Modifiers {
+    /// Whether Shift is held.
+    pub shift: bool,
+}
+
+impl Modifiers {
+    /// No modifiers held.
+    pub const NONE: Modifiers = Modifiers { shift: false };
+    /// Shift held.
+    pub const SHIFT: Modifiers = Modifiers { shift: true };
+}
+
+impl fmt::Display for Modifiers {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.shift {
+            f.write_str("shift")
+        } else {
+            f.write_str("none")
+        }
+    }
+}
+
+/// One physical key: its position on the board and the characters it
+/// produces on each modifier layer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Key {
+    /// Row index, 0 = number row, increasing downwards.
+    pub row: u8,
+    /// Horizontal centre of the key in key-widths, stagger included.
+    pub col: f32,
+    /// Character produced with no modifiers.
+    pub unmodified: char,
+    /// Character produced with Shift, if any.
+    pub shifted: Option<char>,
+}
+
+/// A physical action: pressing one key with a modifier state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Keystroke {
+    /// Index into [`Keyboard::keys`].
+    pub key: usize,
+    /// Modifier state.
+    pub modifiers: Modifiers,
+}
+
+/// A keyboard layout with geometric key positions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Keyboard {
+    name: String,
+    keys: Vec<Key>,
+}
+
+/// Maximum key-centre distance (in key widths) at which two keys count
+/// as neighbours. 1.0 captures horizontal neighbours; the stagger
+/// offsets put diagonal neighbours at roughly 1.03–1.25.
+const NEIGHBOR_RADIUS: f32 = 1.3;
+
+/// Standard horizontal stagger offsets per row of an ANSI board.
+const ROW_STAGGER: [f32; 5] = [0.0, 1.5, 1.75, 2.25, 4.0];
+
+impl Keyboard {
+    /// Builds a layout from rows of `(unmodified, shifted)` pairs.
+    /// Row `i` receives the standard ANSI stagger offset; keys within
+    /// a row are spaced one key-width apart.
+    pub fn from_rows(name: impl Into<String>, rows: &[&[(char, Option<char>)]]) -> Self {
+        let mut keys = Vec::new();
+        for (r, row) in rows.iter().enumerate() {
+            let offset = ROW_STAGGER.get(r).copied().unwrap_or(0.0);
+            for (c, &(unmodified, shifted)) in row.iter().enumerate() {
+                keys.push(Key {
+                    row: r as u8,
+                    col: offset + c as f32,
+                    unmodified,
+                    shifted,
+                });
+            }
+        }
+        Keyboard {
+            name: name.into(),
+            keys,
+        }
+    }
+
+    /// The layout name, e.g. `"qwerty-us"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All keys of the layout.
+    pub fn keys(&self) -> &[Key] {
+        &self.keys
+    }
+
+    /// The standard US QWERTY (ANSI) layout.
+    pub fn qwerty_us() -> Self {
+        Keyboard::from_rows(
+            "qwerty-us",
+            &[
+                &[
+                    ('`', Some('~')),
+                    ('1', Some('!')),
+                    ('2', Some('@')),
+                    ('3', Some('#')),
+                    ('4', Some('$')),
+                    ('5', Some('%')),
+                    ('6', Some('^')),
+                    ('7', Some('&')),
+                    ('8', Some('*')),
+                    ('9', Some('(')),
+                    ('0', Some(')')),
+                    ('-', Some('_')),
+                    ('=', Some('+')),
+                ],
+                &[
+                    ('q', Some('Q')),
+                    ('w', Some('W')),
+                    ('e', Some('E')),
+                    ('r', Some('R')),
+                    ('t', Some('T')),
+                    ('y', Some('Y')),
+                    ('u', Some('U')),
+                    ('i', Some('I')),
+                    ('o', Some('O')),
+                    ('p', Some('P')),
+                    ('[', Some('{')),
+                    (']', Some('}')),
+                    ('\\', Some('|')),
+                ],
+                &[
+                    ('a', Some('A')),
+                    ('s', Some('S')),
+                    ('d', Some('D')),
+                    ('f', Some('F')),
+                    ('g', Some('G')),
+                    ('h', Some('H')),
+                    ('j', Some('J')),
+                    ('k', Some('K')),
+                    ('l', Some('L')),
+                    (';', Some(':')),
+                    ('\'', Some('"')),
+                ],
+                &[
+                    ('z', Some('Z')),
+                    ('x', Some('X')),
+                    ('c', Some('C')),
+                    ('v', Some('V')),
+                    ('b', Some('B')),
+                    ('n', Some('N')),
+                    ('m', Some('M')),
+                    (',', Some('<')),
+                    ('.', Some('>')),
+                    ('/', Some('?')),
+                ],
+                &[(' ', None)],
+            ],
+        )
+    }
+
+    /// The UK (ISO) QWERTY layout — differs from US on the number row
+    /// symbols and punctuation keys.
+    pub fn qwerty_uk() -> Self {
+        Keyboard::from_rows(
+            "qwerty-uk",
+            &[
+                &[
+                    ('`', Some('¬')),
+                    ('1', Some('!')),
+                    ('2', Some('"')),
+                    ('3', Some('£')),
+                    ('4', Some('$')),
+                    ('5', Some('%')),
+                    ('6', Some('^')),
+                    ('7', Some('&')),
+                    ('8', Some('*')),
+                    ('9', Some('(')),
+                    ('0', Some(')')),
+                    ('-', Some('_')),
+                    ('=', Some('+')),
+                ],
+                &[
+                    ('q', Some('Q')),
+                    ('w', Some('W')),
+                    ('e', Some('E')),
+                    ('r', Some('R')),
+                    ('t', Some('T')),
+                    ('y', Some('Y')),
+                    ('u', Some('U')),
+                    ('i', Some('I')),
+                    ('o', Some('O')),
+                    ('p', Some('P')),
+                    ('[', Some('{')),
+                    (']', Some('}')),
+                ],
+                &[
+                    ('a', Some('A')),
+                    ('s', Some('S')),
+                    ('d', Some('D')),
+                    ('f', Some('F')),
+                    ('g', Some('G')),
+                    ('h', Some('H')),
+                    ('j', Some('J')),
+                    ('k', Some('K')),
+                    ('l', Some('L')),
+                    (';', Some(':')),
+                    ('\'', Some('@')),
+                    ('#', Some('~')),
+                ],
+                &[
+                    ('\\', Some('|')),
+                    ('z', Some('Z')),
+                    ('x', Some('X')),
+                    ('c', Some('C')),
+                    ('v', Some('V')),
+                    ('b', Some('B')),
+                    ('n', Some('N')),
+                    ('m', Some('M')),
+                    (',', Some('<')),
+                    ('.', Some('>')),
+                    ('/', Some('?')),
+                ],
+                &[(' ', None)],
+            ],
+        )
+    }
+
+    /// The French AZERTY layout. Digits live on the *shifted* layer,
+    /// which makes numeric configuration values especially vulnerable
+    /// to case-alteration slips — a nice stress case for the typo
+    /// plugin.
+    pub fn azerty_fr() -> Self {
+        Keyboard::from_rows(
+            "azerty-fr",
+            &[
+                &[
+                    ('²', None),
+                    ('&', Some('1')),
+                    ('é', Some('2')),
+                    ('"', Some('3')),
+                    ('\'', Some('4')),
+                    ('(', Some('5')),
+                    ('-', Some('6')),
+                    ('è', Some('7')),
+                    ('_', Some('8')),
+                    ('ç', Some('9')),
+                    ('à', Some('0')),
+                    (')', Some('°')),
+                    ('=', Some('+')),
+                ],
+                &[
+                    ('a', Some('A')),
+                    ('z', Some('Z')),
+                    ('e', Some('E')),
+                    ('r', Some('R')),
+                    ('t', Some('T')),
+                    ('y', Some('Y')),
+                    ('u', Some('U')),
+                    ('i', Some('I')),
+                    ('o', Some('O')),
+                    ('p', Some('P')),
+                    ('^', Some('¨')),
+                    ('$', Some('£')),
+                ],
+                &[
+                    ('q', Some('Q')),
+                    ('s', Some('S')),
+                    ('d', Some('D')),
+                    ('f', Some('F')),
+                    ('g', Some('G')),
+                    ('h', Some('H')),
+                    ('j', Some('J')),
+                    ('k', Some('K')),
+                    ('l', Some('L')),
+                    ('m', Some('M')),
+                    ('ù', Some('%')),
+                    ('*', Some('µ')),
+                ],
+                &[
+                    ('<', Some('>')),
+                    ('w', Some('W')),
+                    ('x', Some('X')),
+                    ('c', Some('C')),
+                    ('v', Some('V')),
+                    ('b', Some('B')),
+                    ('n', Some('N')),
+                    (',', Some('?')),
+                    (';', Some('.')),
+                    (':', Some('/')),
+                    ('!', Some('§')),
+                ],
+                &[(' ', None)],
+            ],
+        )
+    }
+
+    /// The US Dvorak layout.
+    pub fn dvorak_us() -> Self {
+        Keyboard::from_rows(
+            "dvorak-us",
+            &[
+                &[
+                    ('`', Some('~')),
+                    ('1', Some('!')),
+                    ('2', Some('@')),
+                    ('3', Some('#')),
+                    ('4', Some('$')),
+                    ('5', Some('%')),
+                    ('6', Some('^')),
+                    ('7', Some('&')),
+                    ('8', Some('*')),
+                    ('9', Some('(')),
+                    ('0', Some(')')),
+                    ('[', Some('{')),
+                    (']', Some('}')),
+                ],
+                &[
+                    ('\'', Some('"')),
+                    (',', Some('<')),
+                    ('.', Some('>')),
+                    ('p', Some('P')),
+                    ('y', Some('Y')),
+                    ('f', Some('F')),
+                    ('g', Some('G')),
+                    ('c', Some('C')),
+                    ('r', Some('R')),
+                    ('l', Some('L')),
+                    ('/', Some('?')),
+                    ('=', Some('+')),
+                    ('\\', Some('|')),
+                ],
+                &[
+                    ('a', Some('A')),
+                    ('o', Some('O')),
+                    ('e', Some('E')),
+                    ('u', Some('U')),
+                    ('i', Some('I')),
+                    ('d', Some('D')),
+                    ('h', Some('H')),
+                    ('t', Some('T')),
+                    ('n', Some('N')),
+                    ('s', Some('S')),
+                    ('-', Some('_')),
+                ],
+                &[
+                    (';', Some(':')),
+                    ('q', Some('Q')),
+                    ('j', Some('J')),
+                    ('k', Some('K')),
+                    ('x', Some('X')),
+                    ('b', Some('B')),
+                    ('m', Some('M')),
+                    ('w', Some('W')),
+                    ('v', Some('V')),
+                    ('z', Some('Z')),
+                ],
+                &[(' ', None)],
+            ],
+        )
+    }
+
+    /// The keystroke (key + modifiers) that produces `c`, or `None` if
+    /// the layout cannot type it.
+    pub fn keystroke_for(&self, c: char) -> Option<Keystroke> {
+        for (i, key) in self.keys.iter().enumerate() {
+            if key.unmodified == c {
+                return Some(Keystroke {
+                    key: i,
+                    modifiers: Modifiers::NONE,
+                });
+            }
+        }
+        for (i, key) in self.keys.iter().enumerate() {
+            if key.shifted == Some(c) {
+                return Some(Keystroke {
+                    key: i,
+                    modifiers: Modifiers::SHIFT,
+                });
+            }
+        }
+        None
+    }
+
+    /// The character a keystroke produces, or `None` when the key has
+    /// no character on the requested layer or the index is invalid.
+    pub fn char_for(&self, stroke: Keystroke) -> Option<char> {
+        let key = self.keys.get(stroke.key)?;
+        if stroke.modifiers.shift {
+            key.shifted
+        } else {
+            Some(key.unmodified)
+        }
+    }
+
+    /// `true` iff the layout can produce `c`.
+    pub fn supports(&self, c: char) -> bool {
+        self.keystroke_for(c).is_some()
+    }
+
+    /// Indices of keys whose centres lie within the neighbour radius
+    /// of `key` (excluding `key` itself).
+    pub fn neighbors(&self, key: usize) -> Vec<usize> {
+        let Some(center) = self.keys.get(key) else {
+            return Vec::new();
+        };
+        self.keys
+            .iter()
+            .enumerate()
+            .filter(|&(i, k)| i != key && key_distance(center, k) <= NEIGHBOR_RADIUS)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The paper's substitution/insertion candidate set for `c`: the
+    /// characters produced by pressing the keys adjacent to `c`'s key
+    /// **with the same modifier state**. Returns an empty vector when
+    /// the layout cannot type `c`.
+    ///
+    /// Results are deduplicated and returned in layout order, so the
+    /// set is deterministic for a given layout.
+    pub fn nearby_chars(&self, c: char) -> Vec<char> {
+        let Some(stroke) = self.keystroke_for(c) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for n in self.neighbors(stroke.key) {
+            if let Some(nc) = self.char_for(Keystroke {
+                key: n,
+                modifiers: stroke.modifiers,
+            }) {
+                if nc != c && !out.contains(&nc) {
+                    out.push(nc);
+                }
+            }
+        }
+        out
+    }
+
+    /// Flips the case of `c` if the layout maps lowercase and
+    /// uppercase forms to the same key's two layers (the Shift
+    /// miscoordination model behind case-alteration typos). Returns
+    /// `None` for characters without a distinct cased counterpart.
+    pub fn case_flip(&self, c: char) -> Option<char> {
+        let stroke = self.keystroke_for(c)?;
+        let flipped = Keystroke {
+            key: stroke.key,
+            modifiers: Modifiers {
+                shift: !stroke.modifiers.shift,
+            },
+        };
+        let out = self.char_for(flipped)?;
+        (out != c).then_some(out)
+    }
+}
+
+fn key_distance(a: &Key, b: &Key) -> f32 {
+    let dx = a.col - b.col;
+    let dy = (a.row as f32) - (b.row as f32);
+    (dx * dx + dy * dy).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qwerty_home_row_neighbors() {
+        let kb = Keyboard::qwerty_us();
+        let near = kb.nearby_chars('g');
+        for expected in ['f', 'h', 't', 'y', 'v', 'b'] {
+            assert!(near.contains(&expected), "expected {expected} in {near:?}");
+        }
+        assert!(!near.contains(&'g'));
+        assert!(!near.contains(&'q'));
+    }
+
+    #[test]
+    fn shifted_neighbors_stay_on_shift_layer() {
+        let kb = Keyboard::qwerty_us();
+        let near = kb.nearby_chars('G');
+        assert!(near.contains(&'F') && near.contains(&'H'));
+        assert!(!near.contains(&'f'));
+    }
+
+    #[test]
+    fn digits_neighbor_digits_and_symbols() {
+        let kb = Keyboard::qwerty_us();
+        let near = kb.nearby_chars('5');
+        assert!(near.contains(&'4') && near.contains(&'6'));
+        assert!(near.contains(&'r') || near.contains(&'t'));
+    }
+
+    #[test]
+    fn keystroke_round_trip_for_every_char() {
+        for kb in [
+            Keyboard::qwerty_us(),
+            Keyboard::qwerty_uk(),
+            Keyboard::azerty_fr(),
+            Keyboard::dvorak_us(),
+        ] {
+            for key in kb.keys() {
+                for c in std::iter::once(key.unmodified).chain(key.shifted) {
+                    let stroke = kb
+                        .keystroke_for(c)
+                        .unwrap_or_else(|| panic!("{} cannot type {c:?}", kb.name()));
+                    assert_eq!(kb.char_for(stroke), Some(c), "layout {}", kb.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn case_flip_letters_and_non_letters() {
+        let kb = Keyboard::qwerty_us();
+        assert_eq!(kb.case_flip('a'), Some('A'));
+        assert_eq!(kb.case_flip('A'), Some('a'));
+        assert_eq!(kb.case_flip('1'), Some('!'));
+        assert_eq!(kb.case_flip(' '), None);
+    }
+
+    #[test]
+    fn azerty_digits_are_shifted() {
+        let kb = Keyboard::azerty_fr();
+        let s = kb.keystroke_for('1').unwrap();
+        assert!(s.modifiers.shift);
+        assert_eq!(
+            kb.char_for(Keystroke {
+                key: s.key,
+                modifiers: Modifiers::NONE
+            }),
+            Some('&')
+        );
+    }
+
+    #[test]
+    fn dvorak_differs_from_qwerty() {
+        let q = Keyboard::qwerty_us();
+        let d = Keyboard::dvorak_us();
+        assert_ne!(q.nearby_chars('e'), d.nearby_chars('e'));
+    }
+
+    #[test]
+    fn unsupported_chars_yield_empty_sets() {
+        let kb = Keyboard::qwerty_us();
+        assert!(kb.nearby_chars('é').is_empty());
+        assert!(!kb.supports('é'));
+        assert!(kb.case_flip('é').is_none());
+    }
+
+    #[test]
+    fn ascii_printable_coverage_qwerty() {
+        let kb = Keyboard::qwerty_us();
+        for b in 0x20u8..0x7f {
+            let c = b as char;
+            assert!(kb.supports(c), "qwerty-us cannot type {c:?}");
+        }
+    }
+
+    #[test]
+    fn neighbor_counts_are_bounded() {
+        for kb in [Keyboard::qwerty_us(), Keyboard::dvorak_us()] {
+            for i in 0..kb.keys().len() {
+                let n = kb.neighbors(i).len();
+                assert!(n <= 8, "key {i} of {} has {n} neighbours", kb.name());
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_of_invalid_index_is_empty() {
+        assert!(Keyboard::qwerty_us().neighbors(10_000).is_empty());
+    }
+}

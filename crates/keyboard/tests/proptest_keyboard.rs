@@ -1,0 +1,82 @@
+//! Property tests for the keyboard model: adjacency symmetry,
+//! determinism, and layer consistency of the nearby-character sets.
+
+use conferr_keyboard::{Keyboard, Keystroke, Modifiers};
+use proptest::prelude::*;
+
+fn layouts() -> Vec<Keyboard> {
+    vec![
+        Keyboard::qwerty_us(),
+        Keyboard::qwerty_uk(),
+        Keyboard::azerty_fr(),
+        Keyboard::dvorak_us(),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn adjacency_is_symmetric(layout_idx in 0usize..4, key in 0usize..60) {
+        let kb = &layouts()[layout_idx];
+        if key < kb.keys().len() {
+            for n in kb.neighbors(key) {
+                prop_assert!(
+                    kb.neighbors(n).contains(&key),
+                    "{}: key {key} neighbours {n} but not vice versa",
+                    kb.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nearby_chars_is_deterministic(c in proptest::char::range('\u{20}', '\u{7e}')) {
+        let kb = Keyboard::qwerty_us();
+        prop_assert_eq!(kb.nearby_chars(c), kb.nearby_chars(c));
+    }
+
+    #[test]
+    fn nearby_chars_never_contains_input(layout_idx in 0usize..4, c in proptest::char::range('\u{20}', '\u{7e}')) {
+        let kb = &layouts()[layout_idx];
+        prop_assert!(!kb.nearby_chars(c).contains(&c));
+    }
+
+    #[test]
+    fn nearby_chars_share_modifier_layer(c in proptest::char::range('a', 'z')) {
+        // Lowercase letters are unshifted on every shipped layout, so
+        // all of their neighbours must be unshifted characters too.
+        for kb in layouts() {
+            let Some(stroke) = kb.keystroke_for(c) else { continue };
+            prop_assert!(!stroke.modifiers.shift);
+            for n in kb.nearby_chars(c) {
+                let ns = kb.keystroke_for(n).unwrap();
+                prop_assert!(
+                    !ns.modifiers.shift,
+                    "{}: neighbour {n:?} of {c:?} requires shift",
+                    kb.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn case_flip_is_involutive(c in proptest::char::range('a', 'z')) {
+        let kb = Keyboard::qwerty_us();
+        if let Some(flipped) = kb.case_flip(c) {
+            prop_assert_eq!(kb.case_flip(flipped), Some(c));
+        }
+    }
+
+    #[test]
+    fn char_for_handles_all_strokes(key in 0usize..80, shift in any::<bool>()) {
+        let kb = Keyboard::qwerty_us();
+        let stroke = Keystroke { key, modifiers: Modifiers { shift } };
+        // Must never panic; in-range unshifted strokes always produce a char.
+        let out = kb.char_for(stroke);
+        if key < kb.keys().len() && !shift {
+            prop_assert!(out.is_some());
+        }
+        if key >= kb.keys().len() {
+            prop_assert!(out.is_none());
+        }
+    }
+}

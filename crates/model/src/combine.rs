@@ -1,0 +1,239 @@
+//! Template combinators — the paper's "complex templates" (§3.3).
+//!
+//! These take *sets of fault scenarios defined with other templates*
+//! and compose or subset them: [`Union`] merges models, [`Sample`]
+//! picks a seeded random subset, [`Limit`] truncates, and [`Filter`]
+//! keeps scenarios matching a predicate. Together they let a plugin
+//! "compose multiple error models or limit the number of faults that a
+//! given model can return".
+
+use std::fmt;
+use std::sync::Arc;
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::{ConfigSet, FaultScenario, Template};
+
+/// The union of several templates' scenario sets, in template order.
+/// Duplicate scenario ids are kept (templates are responsible for
+/// unique ids within themselves).
+#[derive(Debug)]
+pub struct Union {
+    inner: Vec<Box<dyn Template>>,
+}
+
+impl Union {
+    /// Creates a union of the given templates.
+    pub fn new(inner: Vec<Box<dyn Template>>) -> Self {
+        Union { inner }
+    }
+}
+
+impl Template for Union {
+    fn generate(&self, set: &ConfigSet) -> Vec<FaultScenario> {
+        self.inner.iter().flat_map(|t| t.generate(set)).collect()
+    }
+}
+
+/// A seeded random subset of size at most `k` of the inner template's
+/// scenarios.
+///
+/// This is how ConfErr "generates errors by choosing random subsets"
+/// (§4.1) while staying fully reproducible: the same seed always
+/// selects the same subset. Order within the subset follows the inner
+/// template's order.
+#[derive(Debug)]
+pub struct Sample {
+    inner: Box<dyn Template>,
+    k: usize,
+    seed: u64,
+}
+
+impl Sample {
+    /// Samples at most `k` scenarios from `inner` using `seed`.
+    pub fn new(inner: Box<dyn Template>, k: usize, seed: u64) -> Self {
+        Sample { inner, k, seed }
+    }
+}
+
+impl Template for Sample {
+    fn generate(&self, set: &ConfigSet) -> Vec<FaultScenario> {
+        let all = self.inner.generate(set);
+        if all.len() <= self.k {
+            return all;
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        let mut indices: Vec<usize> = (0..all.len()).collect();
+        indices.shuffle(&mut rng);
+        let mut chosen: Vec<usize> = indices.into_iter().take(self.k).collect();
+        chosen.sort_unstable();
+        let mut all = all;
+        let mut out = Vec::with_capacity(self.k);
+        // Drain in reverse so indices stay valid.
+        for idx in chosen.into_iter().rev() {
+            out.push(all.swap_remove(idx));
+        }
+        out.reverse();
+        out
+    }
+}
+
+/// The first `n` scenarios of the inner template.
+#[derive(Debug)]
+pub struct Limit {
+    inner: Box<dyn Template>,
+    n: usize,
+}
+
+impl Limit {
+    /// Keeps the first `n` scenarios.
+    pub fn new(inner: Box<dyn Template>, n: usize) -> Self {
+        Limit { inner, n }
+    }
+}
+
+impl Template for Limit {
+    fn generate(&self, set: &ConfigSet) -> Vec<FaultScenario> {
+        let mut all = self.inner.generate(set);
+        all.truncate(self.n);
+        all
+    }
+}
+
+/// Keeps only scenarios satisfying a predicate.
+pub struct Filter {
+    inner: Box<dyn Template>,
+    pred: Arc<dyn Fn(&FaultScenario) -> bool + Send + Sync>,
+}
+
+impl fmt::Debug for Filter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Filter").field("inner", &self.inner).finish_non_exhaustive()
+    }
+}
+
+impl Filter {
+    /// Keeps scenarios for which `pred` returns `true`.
+    pub fn new(
+        inner: Box<dyn Template>,
+        pred: impl Fn(&FaultScenario) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        Filter {
+            inner,
+            pred: Arc::new(pred),
+        }
+    }
+}
+
+impl Template for Filter {
+    fn generate(&self, set: &ConfigSet) -> Vec<FaultScenario> {
+        self.inner
+            .generate(set)
+            .into_iter()
+            .filter(|s| (self.pred)(s))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DeleteTemplate, DuplicateTemplate, ErrorClass, StructuralKind};
+    use conferr_tree::{ConfTree, Node};
+
+    fn set() -> ConfigSet {
+        let mut s = ConfigSet::new();
+        let mut root = Node::new("config");
+        for i in 0..10 {
+            root.push_child(
+                Node::new("directive")
+                    .with_attr("name", format!("d{i}"))
+                    .with_text(i.to_string()),
+            );
+        }
+        s.insert("a.conf", ConfTree::new(root));
+        s
+    }
+
+    fn class() -> ErrorClass {
+        ErrorClass::Structural(StructuralKind::DirectiveOmission)
+    }
+
+    fn delete_all() -> Box<dyn Template> {
+        Box::new(DeleteTemplate::new("//directive".parse().unwrap(), class()))
+    }
+
+    #[test]
+    fn union_concatenates_in_order() {
+        let u = Union::new(vec![
+            delete_all(),
+            Box::new(DuplicateTemplate::new("//directive".parse().unwrap(), class())),
+        ]);
+        let scenarios = u.generate(&set());
+        assert_eq!(scenarios.len(), 20);
+        assert!(scenarios[0].id.starts_with("delete:"));
+        assert!(scenarios[10].id.starts_with("duplicate:"));
+    }
+
+    #[test]
+    fn sample_is_seeded_and_bounded() {
+        let s1 = Sample::new(delete_all(), 4, 42).generate(&set());
+        let s2 = Sample::new(delete_all(), 4, 42).generate(&set());
+        let s3 = Sample::new(delete_all(), 4, 43).generate(&set());
+        assert_eq!(s1.len(), 4);
+        assert_eq!(s1, s2, "same seed must give the same subset");
+        assert_ne!(s1, s3, "different seeds should give different subsets");
+    }
+
+    #[test]
+    fn sample_larger_than_population_returns_all() {
+        let s = Sample::new(delete_all(), 100, 1).generate(&set());
+        assert_eq!(s.len(), 10);
+    }
+
+    #[test]
+    fn sample_preserves_inner_order() {
+        let s = Sample::new(delete_all(), 5, 7).generate(&set());
+        let mut ids: Vec<&String> = s.iter().map(|sc| &sc.id).collect();
+        let sorted = {
+            let mut v = ids.clone();
+            v.sort_by_key(|id| {
+                // delete:a.conf:/N — compare by N.
+                id.rsplit('/').next().unwrap().parse::<usize>().unwrap()
+            });
+            v
+        };
+        ids.sort_by_key(|id| id.rsplit('/').next().unwrap().parse::<usize>().unwrap());
+        assert_eq!(ids, sorted);
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let s = Limit::new(delete_all(), 3).generate(&set());
+        assert_eq!(s.len(), 3);
+        let s = Limit::new(delete_all(), 0).generate(&set());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn filter_applies_predicate() {
+        let f = Filter::new(delete_all(), |sc| sc.description.contains("d1"));
+        let s = f.generate(&set());
+        assert_eq!(s.len(), 1);
+        assert!(s[0].description.contains("d1"));
+    }
+
+    #[test]
+    fn combinators_nest() {
+        let nested = Limit::new(
+            Box::new(Sample::new(
+                Box::new(Union::new(vec![delete_all(), delete_all()])),
+                10,
+                9,
+            )),
+            5,
+        );
+        assert_eq!(nested.generate(&set()).len(), 5);
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type for scenario application and template evaluation.
+
+use std::fmt;
+
+use conferr_tree::TreeError;
+
+/// Errors produced while applying a [`crate::FaultScenario`] to a
+/// [`crate::ConfigSet`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// An edit referenced a file that is not in the configuration set.
+    UnknownFile {
+        /// The missing file name.
+        file: String,
+    },
+    /// A tree operation failed (stale path, invalid edit, ...).
+    Tree {
+        /// The file whose tree was being edited.
+        file: String,
+        /// The underlying tree error.
+        source: TreeError,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnknownFile { file } => {
+                write!(f, "configuration set has no file named {file:?}")
+            }
+            ModelError::Tree { file, source } => {
+                write!(f, "edit failed in {file:?}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelError::Tree { source, .. } => Some(source),
+            ModelError::UnknownFile { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ModelError::UnknownFile { file: "x.conf".into() };
+        assert!(e.to_string().contains("x.conf"));
+        let e = ModelError::Tree {
+            file: "y.conf".into(),
+            source: TreeError::InvalidEdit { reason: "nope".into() },
+        };
+        assert!(e.to_string().contains("y.conf"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

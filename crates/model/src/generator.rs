@@ -1,0 +1,198 @@
+//! The error-generator plugin interface.
+//!
+//! An [`ErrorGenerator`] is ConfErr's unit of extensibility (paper
+//! §4): it decides *where* in the configuration and *what type* of
+//! faults to inject, emitting fault scenarios built from templates.
+//! Generators may also report faults that exist in the error model but
+//! **cannot be expressed** in the system's configuration language
+//! ([`GeneratedFault::Inexpressible`]) — the paper's §5.4 djbdns
+//! finding, where the combined A+PTR directive makes missing-PTR
+//! faults impossible to write down.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{ConfigSet, ErrorClass, FaultScenario, Template};
+
+/// One output of an error generator: either a concrete scenario to
+/// inject, or a fault the model calls for but the target format cannot
+/// express.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum GeneratedFault {
+    /// A concrete, applicable fault scenario.
+    Scenario(FaultScenario),
+    /// A fault that cannot be serialized into the system's
+    /// configuration language. Recorded in the resilience profile as
+    /// an `Inexpressible` outcome (Table 3's "N/A").
+    Inexpressible {
+        /// Stable identifier.
+        id: String,
+        /// Human-readable description of the intended fault.
+        description: String,
+        /// Taxonomy class of the intended fault.
+        class: ErrorClass,
+        /// Why the fault cannot be expressed.
+        reason: String,
+    },
+}
+
+impl GeneratedFault {
+    /// The fault's identifier.
+    pub fn id(&self) -> &str {
+        match self {
+            GeneratedFault::Scenario(s) => &s.id,
+            GeneratedFault::Inexpressible { id, .. } => id,
+        }
+    }
+
+    /// The fault's taxonomy class.
+    pub fn class(&self) -> &ErrorClass {
+        match self {
+            GeneratedFault::Scenario(s) => &s.class,
+            GeneratedFault::Inexpressible { class, .. } => class,
+        }
+    }
+
+    /// The concrete scenario, if this fault is expressible.
+    pub fn scenario(&self) -> Option<&FaultScenario> {
+        match self {
+            GeneratedFault::Scenario(s) => Some(s),
+            GeneratedFault::Inexpressible { .. } => None,
+        }
+    }
+}
+
+/// An error-generation failure (e.g. the generator requires a file the
+/// set does not contain, or a view transformation failed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenerateError {
+    /// Generator name.
+    pub generator: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl GenerateError {
+    /// Creates a generation error.
+    pub fn new(generator: &str, message: impl Into<String>) -> Self {
+        GenerateError {
+            generator: generator.to_string(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for GenerateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "generator {:?} failed: {}", self.generator, self.message)
+    }
+}
+
+impl std::error::Error for GenerateError {}
+
+/// An error-generator plugin: produces the fault load for one campaign.
+pub trait ErrorGenerator: fmt::Debug {
+    /// Short plugin name, e.g. `"typo"`.
+    fn name(&self) -> &str;
+
+    /// Generates the full fault load for the given configuration set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenerateError`] when generation itself fails (as
+    /// opposed to individual faults being inexpressible, which are
+    /// reported inline).
+    fn generate(&self, set: &ConfigSet) -> Result<Vec<GeneratedFault>, GenerateError>;
+}
+
+/// Adapts any [`Template`] into an [`ErrorGenerator`] that never
+/// produces inexpressible faults.
+#[derive(Debug)]
+pub struct TemplateGenerator {
+    name: String,
+    template: Box<dyn Template>,
+}
+
+impl TemplateGenerator {
+    /// Wraps a template under a plugin name.
+    pub fn new(name: impl Into<String>, template: Box<dyn Template>) -> Self {
+        TemplateGenerator {
+            name: name.into(),
+            template,
+        }
+    }
+}
+
+impl ErrorGenerator for TemplateGenerator {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn generate(&self, set: &ConfigSet) -> Result<Vec<GeneratedFault>, GenerateError> {
+        Ok(self
+            .template
+            .generate(set)
+            .into_iter()
+            .map(GeneratedFault::Scenario)
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DeleteTemplate, StructuralKind};
+    use conferr_tree::{ConfTree, Node};
+
+    fn set() -> ConfigSet {
+        let mut s = ConfigSet::new();
+        s.insert(
+            "a.conf",
+            ConfTree::new(
+                Node::new("config")
+                    .with_child(Node::new("directive").with_attr("name", "x").with_text("1")),
+            ),
+        );
+        s
+    }
+
+    #[test]
+    fn template_generator_wraps_scenarios() {
+        let gen = TemplateGenerator::new(
+            "omission",
+            Box::new(DeleteTemplate::new(
+                "//directive".parse().unwrap(),
+                ErrorClass::Structural(StructuralKind::DirectiveOmission),
+            )),
+        );
+        assert_eq!(gen.name(), "omission");
+        let faults = gen.generate(&set()).unwrap();
+        assert_eq!(faults.len(), 1);
+        assert!(faults[0].scenario().is_some());
+        assert!(faults[0].id().starts_with("delete:"));
+    }
+
+    #[test]
+    fn inexpressible_accessors() {
+        let f = GeneratedFault::Inexpressible {
+            id: "dns:missing-ptr:1".into(),
+            description: "remove PTR for 192.0.2.10".into(),
+            class: ErrorClass::Semantic {
+                domain: "dns".into(),
+                rule: "missing-ptr".into(),
+            },
+            reason: "combined A+PTR directive".into(),
+        };
+        assert_eq!(f.id(), "dns:missing-ptr:1");
+        assert!(f.scenario().is_none());
+        assert!(matches!(f.class(), ErrorClass::Semantic { .. }));
+    }
+
+    #[test]
+    fn generate_error_displays() {
+        let e = GenerateError::new("dns", "no zone files in set");
+        assert!(e.to_string().contains("dns"));
+        assert!(e.to_string().contains("no zone files"));
+    }
+}

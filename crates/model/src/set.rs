@@ -1,0 +1,115 @@
+//! Named sets of configuration trees — the unit of error injection.
+
+use std::collections::BTreeMap;
+
+use conferr_tree::ConfTree;
+use serde::{Deserialize, Serialize};
+
+/// A named collection of parsed configuration files.
+///
+/// ConfErr applies every fault scenario to the *entire set* of a
+/// system's configuration files, which is what allows cross-file
+/// errors (paper §3.1) — e.g. deleting a forward DNS mapping while the
+/// reverse zone still references it.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfigSet {
+    files: BTreeMap<String, ConfTree>,
+}
+
+impl ConfigSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        ConfigSet::default()
+    }
+
+    /// Inserts (or replaces) a file, returning the previous tree if
+    /// one was present.
+    pub fn insert(&mut self, name: impl Into<String>, tree: ConfTree) -> Option<ConfTree> {
+        self.files.insert(name.into(), tree)
+    }
+
+    /// Shared access to a file's tree.
+    pub fn get(&self, name: &str) -> Option<&ConfTree> {
+        self.files.get(name)
+    }
+
+    /// Exclusive access to a file's tree.
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut ConfTree> {
+        self.files.get_mut(name)
+    }
+
+    /// Removes a file from the set.
+    pub fn remove(&mut self, name: &str) -> Option<ConfTree> {
+        self.files.remove(name)
+    }
+
+    /// Iterates over `(name, tree)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &ConfTree)> {
+        self.files.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// File names in sorted order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.files.keys().map(String::as_str)
+    }
+
+    /// Number of files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// `true` iff the set contains no files.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+}
+
+impl FromIterator<(String, ConfTree)> for ConfigSet {
+    fn from_iter<T: IntoIterator<Item = (String, ConfTree)>>(iter: T) -> Self {
+        ConfigSet {
+            files: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<(String, ConfTree)> for ConfigSet {
+    fn extend<T: IntoIterator<Item = (String, ConfTree)>>(&mut self, iter: T) {
+        self.files.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conferr_tree::Node;
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut set = ConfigSet::new();
+        assert!(set.is_empty());
+        set.insert("a.conf", ConfTree::new(Node::new("config")));
+        assert_eq!(set.len(), 1);
+        assert!(set.get("a.conf").is_some());
+        assert!(set.get("b.conf").is_none());
+        assert!(set.remove("a.conf").is_some());
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn iteration_is_name_ordered() {
+        let mut set = ConfigSet::new();
+        set.insert("z.conf", ConfTree::new(Node::new("config")));
+        set.insert("a.conf", ConfTree::new(Node::new("config")));
+        let names: Vec<&str> = set.names().collect();
+        assert_eq!(names, ["a.conf", "z.conf"]);
+    }
+
+    #[test]
+    fn collectable_and_extendable() {
+        let mut set: ConfigSet = vec![("a".to_string(), ConfTree::new(Node::new("config")))]
+            .into_iter()
+            .collect();
+        set.extend(vec![("b".to_string(), ConfTree::new(Node::new("config")))]);
+        assert_eq!(set.len(), 2);
+    }
+}

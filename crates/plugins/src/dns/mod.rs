@@ -1,0 +1,29 @@
+//! The semantic DNS error plugin (paper §4.3, §5.4).
+//!
+//! Semantic errors are generated on a *system-independent but
+//! domain-specific* representation: the set of DNS records a server
+//! publishes ([`DnsRecordSet`]). Two views map between that
+//! representation and concrete configuration trees:
+//!
+//! * [`BindView`] — zone files, one record node per record;
+//! * [`TinyDnsView`] — tinydns-data lines, where one line may define
+//!   *several* records at once (the `=` directive emits both an A and
+//!   its matching PTR).
+//!
+//! The asymmetry is the heart of the paper's Table 3: a fault that
+//! deletes only the PTR half of an `=` line has no tinydns spelling,
+//! so [`TinyDnsView::from_records`] reports it as
+//! [`ViewError::Inexpressible`] and the campaign records an `N/A`
+//! outcome instead of injecting anything.
+//!
+//! [`DnsSemanticPlugin`] enumerates RFC-1912 misconfigurations
+//! ([`DnsFaultKind`]) over the record set and maps each mutated set
+//! back through the view.
+
+mod records;
+mod rfc1912;
+mod view;
+
+pub use records::{absolutize, reverse_name, DnsRecord, DnsRecordSet, LocatedRecord, RrType};
+pub use rfc1912::{DnsFaultKind, DnsSemanticPlugin};
+pub use view::{BindView, DnsView, TinyDnsView, ViewError};

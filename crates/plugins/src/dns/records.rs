@@ -1,0 +1,308 @@
+//! The abstract DNS record-set representation.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// DNS record types used by the semantic error model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum RrType {
+    A,
+    Aaaa,
+    Ns,
+    Cname,
+    Mx,
+    Ptr,
+    Txt,
+    Soa,
+    Rp,
+    Hinfo,
+    Srv,
+}
+
+impl fmt::Display for RrType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RrType::A => "A",
+            RrType::Aaaa => "AAAA",
+            RrType::Ns => "NS",
+            RrType::Cname => "CNAME",
+            RrType::Mx => "MX",
+            RrType::Ptr => "PTR",
+            RrType::Txt => "TXT",
+            RrType::Soa => "SOA",
+            RrType::Rp => "RP",
+            RrType::Hinfo => "HINFO",
+            RrType::Srv => "SRV",
+        })
+    }
+}
+
+impl FromStr for RrType {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "A" => Ok(RrType::A),
+            "AAAA" => Ok(RrType::Aaaa),
+            "NS" => Ok(RrType::Ns),
+            "CNAME" => Ok(RrType::Cname),
+            "MX" => Ok(RrType::Mx),
+            "PTR" => Ok(RrType::Ptr),
+            "TXT" => Ok(RrType::Txt),
+            "SOA" => Ok(RrType::Soa),
+            "RP" => Ok(RrType::Rp),
+            "HINFO" => Ok(RrType::Hinfo),
+            "SRV" => Ok(RrType::Srv),
+            other => Err(format!("unsupported record type {other:?}")),
+        }
+    }
+}
+
+/// One DNS record in the abstract representation. Names (owner and
+/// any names inside `rdata`) are absolute, lower-case, and carry the
+/// trailing dot.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DnsRecord {
+    /// Absolute owner name (`www.example.com.`).
+    pub owner: String,
+    /// TTL in seconds, when explicit.
+    pub ttl: Option<u32>,
+    /// Record type.
+    pub rtype: RrType,
+    /// Type-specific data tokens (e.g. `["10", "mail.example.com."]`
+    /// for MX).
+    pub rdata: Vec<String>,
+}
+
+impl DnsRecord {
+    /// Creates a record from owner, type and rdata tokens.
+    pub fn new(
+        owner: impl Into<String>,
+        rtype: RrType,
+        rdata: impl IntoIterator<Item = String>,
+    ) -> Self {
+        DnsRecord {
+            owner: owner.into().to_ascii_lowercase(),
+            ttl: None,
+            rtype,
+            rdata: rdata.into_iter().collect(),
+        }
+    }
+
+    /// Builder-style TTL setter.
+    #[must_use]
+    pub fn with_ttl(mut self, ttl: u32) -> Self {
+        self.ttl = Some(ttl);
+        self
+    }
+
+    /// For single-name rdata types (NS, CNAME, PTR), the target name.
+    pub fn target(&self) -> Option<&str> {
+        match self.rtype {
+            RrType::Ns | RrType::Cname | RrType::Ptr => self.rdata.first().map(String::as_str),
+            _ => None,
+        }
+    }
+
+    /// For MX records, the exchanger name (second token).
+    pub fn mx_exchanger(&self) -> Option<&str> {
+        if self.rtype == RrType::Mx {
+            self.rdata.get(1).map(String::as_str)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for DnsRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.owner, self.rtype, self.rdata.join(" "))
+    }
+}
+
+/// A record plus its provenance: which configuration file (and which
+/// line group, for formats with multi-record directives) defined it.
+/// Provenance is what lets a view decide whether a mutated record set
+/// can still be written back in the original format.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LocatedRecord {
+    /// Source file name within the configuration set.
+    pub file: String,
+    /// Index of the source node in that file's tree (a record node
+    /// for zone files, a data line for tinydns); `None` for records
+    /// added by a fault.
+    pub line: Option<usize>,
+    /// The record itself.
+    pub record: DnsRecord,
+}
+
+/// The complete set of records a server publishes — the abstract view
+/// that semantic fault templates operate on.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DnsRecordSet {
+    records: Vec<LocatedRecord>,
+}
+
+impl DnsRecordSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        DnsRecordSet::default()
+    }
+
+    /// Adds a record.
+    pub fn push(&mut self, record: LocatedRecord) {
+        self.records.push(record);
+    }
+
+    /// All records, in definition order.
+    pub fn records(&self) -> &[LocatedRecord] {
+        &self.records
+    }
+
+    /// Exclusive access to the records.
+    pub fn records_mut(&mut self) -> &mut Vec<LocatedRecord> {
+        &mut self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` iff there are no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records of one type.
+    pub fn of_type(&self, rtype: RrType) -> impl Iterator<Item = &LocatedRecord> {
+        self.records.iter().filter(move |r| r.record.rtype == rtype)
+    }
+
+    /// The first CNAME record (an *alias*), if any — several RFC-1912
+    /// faults redirect a name at an alias.
+    pub fn first_alias(&self) -> Option<&LocatedRecord> {
+        self.of_type(RrType::Cname).next()
+    }
+
+    /// Looks up the A record for an absolute owner name.
+    pub fn a_for(&self, owner: &str) -> Option<&LocatedRecord> {
+        self.of_type(RrType::A).find(|r| r.record.owner == owner)
+    }
+}
+
+impl FromIterator<LocatedRecord> for DnsRecordSet {
+    fn from_iter<T: IntoIterator<Item = LocatedRecord>>(iter: T) -> Self {
+        DnsRecordSet {
+            records: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Makes `name` absolute with respect to `origin` (both lower-cased;
+/// `origin` must be absolute). `"@"` denotes the origin itself.
+pub fn absolutize(name: &str, origin: &str) -> String {
+    let name = name.to_ascii_lowercase();
+    let origin = origin.to_ascii_lowercase();
+    if name == "@" || name.is_empty() {
+        origin
+    } else if name.ends_with('.') {
+        name
+    } else {
+        format!("{name}.{origin}")
+    }
+}
+
+/// The reverse (in-addr.arpa) name for a dotted-quad IPv4 address:
+/// `"192.0.2.10"` → `"10.2.0.192.in-addr.arpa."`.
+pub fn reverse_name(ip: &str) -> String {
+    let mut octets: Vec<&str> = ip.split('.').collect();
+    octets.reverse();
+    format!("{}.in-addr.arpa.", octets.join("."))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rrtype_round_trips_through_strings() {
+        for t in [
+            RrType::A,
+            RrType::Aaaa,
+            RrType::Ns,
+            RrType::Cname,
+            RrType::Mx,
+            RrType::Ptr,
+            RrType::Txt,
+            RrType::Soa,
+            RrType::Rp,
+            RrType::Hinfo,
+            RrType::Srv,
+        ] {
+            assert_eq!(t.to_string().parse::<RrType>().unwrap(), t);
+        }
+        assert!("BOGUS".parse::<RrType>().is_err());
+        assert_eq!("cname".parse::<RrType>().unwrap(), RrType::Cname);
+    }
+
+    #[test]
+    fn absolutize_handles_all_forms() {
+        assert_eq!(absolutize("www", "example.com."), "www.example.com.");
+        assert_eq!(absolutize("@", "example.com."), "example.com.");
+        assert_eq!(absolutize("", "example.com."), "example.com.");
+        assert_eq!(absolutize("Other.Net.", "example.com."), "other.net.");
+    }
+
+    #[test]
+    fn reverse_name_flips_octets() {
+        assert_eq!(reverse_name("192.0.2.10"), "10.2.0.192.in-addr.arpa.");
+    }
+
+    #[test]
+    fn record_accessors() {
+        let mx = DnsRecord::new(
+            "example.com.",
+            RrType::Mx,
+            vec!["10".to_string(), "mail.example.com.".to_string()],
+        );
+        assert_eq!(mx.mx_exchanger(), Some("mail.example.com."));
+        assert_eq!(mx.target(), None);
+        let cname = DnsRecord::new(
+            "ftp.example.com.",
+            RrType::Cname,
+            vec!["www.example.com.".to_string()],
+        )
+        .with_ttl(300);
+        assert_eq!(cname.target(), Some("www.example.com."));
+        assert_eq!(cname.ttl, Some(300));
+        assert_eq!(cname.to_string(), "ftp.example.com. CNAME www.example.com.");
+    }
+
+    #[test]
+    fn record_set_queries() {
+        let mut set = DnsRecordSet::new();
+        set.push(LocatedRecord {
+            file: "fwd".into(),
+            line: Some(0),
+            record: DnsRecord::new("www.example.com.", RrType::A, vec!["192.0.2.1".to_string()]),
+        });
+        set.push(LocatedRecord {
+            file: "fwd".into(),
+            line: Some(1),
+            record: DnsRecord::new(
+                "ftp.example.com.",
+                RrType::Cname,
+                vec!["www.example.com.".to_string()],
+            ),
+        });
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.of_type(RrType::A).count(), 1);
+        assert_eq!(set.first_alias().unwrap().record.owner, "ftp.example.com.");
+        assert!(set.a_for("www.example.com.").is_some());
+        assert!(set.a_for("nope.example.com.").is_none());
+    }
+}

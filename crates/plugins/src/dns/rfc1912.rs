@@ -1,0 +1,494 @@
+//! RFC-1912 semantic fault templates and the DNS semantic plugin.
+//!
+//! RFC 1912 ("Common DNS Operational and Configuration Errors") is the
+//! best-practices document the paper draws its semantic error model
+//! from (§4.3). Each [`DnsFaultKind`] is one class of record-level
+//! misconfiguration; the plugin enumerates every instance over the
+//! abstract record set and maps the mutated set back through the
+//! system's [`DnsView`], reporting faults the format cannot express.
+
+use std::fmt;
+
+use conferr_model::{
+    ConfigSet, ErrorClass, ErrorGenerator, FaultScenario, GenerateError, GeneratedFault, TreeEdit,
+};
+
+use super::records::{DnsRecord, DnsRecordSet, LocatedRecord, RrType};
+use super::view::{BindView, DnsView, TinyDnsView, ViewError};
+
+/// The RFC-1912 fault classes implemented by the plugin. The first
+/// four are the rows of the paper's Table 3; the rest extend the model
+/// with further errors from the same RFC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DnsFaultKind {
+    /// (1) A name–IP pair loses its reverse mapping.
+    MissingPtr,
+    /// (2) A PTR record is redirected at an alias (CNAME owner).
+    PtrToCname,
+    /// (3) The same name carries both NS and CNAME records.
+    NsAndCnameDup,
+    /// (4) An MX exchanger points at an alias instead of a canonical
+    /// name.
+    MxToCname,
+    /// A CNAME owner also carries other data (classic RFC-1912 §2.4).
+    CnameAndOtherData,
+    /// An NS target points at an alias.
+    NsToCname,
+    /// An MX exchanger is a raw IP address instead of a hostname.
+    MxToIp,
+}
+
+impl DnsFaultKind {
+    /// The four Table 3 rows, in paper order.
+    pub const TABLE3: [DnsFaultKind; 4] = [
+        DnsFaultKind::MissingPtr,
+        DnsFaultKind::PtrToCname,
+        DnsFaultKind::NsAndCnameDup,
+        DnsFaultKind::MxToCname,
+    ];
+
+    /// Every implemented fault kind.
+    pub const ALL: [DnsFaultKind; 7] = [
+        DnsFaultKind::MissingPtr,
+        DnsFaultKind::PtrToCname,
+        DnsFaultKind::NsAndCnameDup,
+        DnsFaultKind::MxToCname,
+        DnsFaultKind::CnameAndOtherData,
+        DnsFaultKind::NsToCname,
+        DnsFaultKind::MxToIp,
+    ];
+
+    /// Short rule identifier used in scenario ids and profiles.
+    pub fn rule(self) -> &'static str {
+        match self {
+            DnsFaultKind::MissingPtr => "missing-ptr",
+            DnsFaultKind::PtrToCname => "ptr-to-cname",
+            DnsFaultKind::NsAndCnameDup => "ns-and-cname",
+            DnsFaultKind::MxToCname => "mx-to-cname",
+            DnsFaultKind::CnameAndOtherData => "cname-and-other-data",
+            DnsFaultKind::NsToCname => "ns-to-cname",
+            DnsFaultKind::MxToIp => "mx-to-ip",
+        }
+    }
+
+    /// The row description used in Table 3.
+    pub fn description(self) -> &'static str {
+        match self {
+            DnsFaultKind::MissingPtr => "Missing PTR",
+            DnsFaultKind::PtrToCname => "PTR pointing to CNAME",
+            DnsFaultKind::NsAndCnameDup => "dupl name for NS and CNAME",
+            DnsFaultKind::MxToCname => "MX pointing to CNAME",
+            DnsFaultKind::CnameAndOtherData => "CNAME with other data",
+            DnsFaultKind::NsToCname => "NS pointing to CNAME",
+            DnsFaultKind::MxToIp => "MX pointing to IP address",
+        }
+    }
+}
+
+impl fmt::Display for DnsFaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.rule())
+    }
+}
+
+/// Enumerates every concrete mutation of `kind` over `records`,
+/// returning `(label, mutated_set)` pairs.
+fn mutations_for(kind: DnsFaultKind, records: &DnsRecordSet) -> Vec<(String, DnsRecordSet)> {
+    let mut out = Vec::new();
+    match kind {
+        DnsFaultKind::MissingPtr => {
+            for (i, ptr) in records.records().iter().enumerate() {
+                if ptr.record.rtype != RrType::Ptr {
+                    continue;
+                }
+                // Only a PTR that mirrors an existing A record models
+                // the "forgot one of the two mappings" error.
+                let target = ptr.record.target().unwrap_or("");
+                if records.a_for(target).is_none() {
+                    continue;
+                }
+                let mut mutated = records.clone();
+                mutated.records_mut().remove(i);
+                out.push((format!("remove reverse mapping for {target}"), mutated));
+            }
+        }
+        DnsFaultKind::PtrToCname => {
+            let Some(alias) = records.first_alias().map(|a| a.record.owner.clone()) else {
+                return out;
+            };
+            for (i, ptr) in records.records().iter().enumerate() {
+                if ptr.record.rtype != RrType::Ptr
+                    || ptr.record.target() == Some(alias.as_str())
+                {
+                    continue;
+                }
+                let mut mutated = records.clone();
+                mutated.records_mut()[i].record.rdata = vec![alias.clone()];
+                out.push((
+                    format!("point PTR {} at alias {alias}", ptr.record.owner),
+                    mutated,
+                ));
+            }
+        }
+        DnsFaultKind::NsAndCnameDup => {
+            let target = records
+                .of_type(RrType::A)
+                .next()
+                .map(|a| a.record.owner.clone());
+            let Some(target) = target else { return out };
+            let mut seen = std::collections::BTreeSet::new();
+            for ns in records.of_type(RrType::Ns) {
+                let owner = ns.record.owner.clone();
+                if !seen.insert(owner.clone()) {
+                    continue;
+                }
+                if records
+                    .of_type(RrType::Cname)
+                    .any(|c| c.record.owner == owner)
+                {
+                    continue;
+                }
+                let mut mutated = records.clone();
+                mutated.push(LocatedRecord {
+                    file: ns.file.clone(),
+                    line: None,
+                    record: DnsRecord::new(owner.clone(), RrType::Cname, vec![target.clone()]),
+                });
+                out.push((format!("add CNAME at {owner}, which also has NS records"), mutated));
+            }
+        }
+        DnsFaultKind::MxToCname => {
+            let Some(alias) = records.first_alias().map(|a| a.record.owner.clone()) else {
+                return out;
+            };
+            for (i, mx) in records.records().iter().enumerate() {
+                if mx.record.rtype != RrType::Mx
+                    || mx.record.mx_exchanger() == Some(alias.as_str())
+                {
+                    continue;
+                }
+                let mut mutated = records.clone();
+                mutated.records_mut()[i].record.rdata[1] = alias.clone();
+                out.push((
+                    format!("point MX {} at alias {alias}", mx.record.owner),
+                    mutated,
+                ));
+            }
+        }
+        DnsFaultKind::CnameAndOtherData => {
+            for alias in records.of_type(RrType::Cname) {
+                let owner = alias.record.owner.clone();
+                let mut mutated = records.clone();
+                mutated.push(LocatedRecord {
+                    file: alias.file.clone(),
+                    line: None,
+                    record: DnsRecord::new(
+                        owner.clone(),
+                        RrType::Txt,
+                        vec!["\"other data\"".to_string()],
+                    ),
+                });
+                out.push((format!("add other data at alias {owner}"), mutated));
+            }
+        }
+        DnsFaultKind::NsToCname => {
+            let Some(alias) = records.first_alias().map(|a| a.record.owner.clone()) else {
+                return out;
+            };
+            for (i, ns) in records.records().iter().enumerate() {
+                if ns.record.rtype != RrType::Ns || ns.record.target() == Some(alias.as_str()) {
+                    continue;
+                }
+                let mut mutated = records.clone();
+                mutated.records_mut()[i].record.rdata = vec![alias.clone()];
+                out.push((
+                    format!("point NS {} at alias {alias}", ns.record.owner),
+                    mutated,
+                ));
+            }
+        }
+        DnsFaultKind::MxToIp => {
+            let ip = records
+                .of_type(RrType::A)
+                .next()
+                .and_then(|a| a.record.rdata.first().cloned());
+            let Some(ip) = ip else { return out };
+            for (i, mx) in records.records().iter().enumerate() {
+                if mx.record.rtype != RrType::Mx {
+                    continue;
+                }
+                let mut mutated = records.clone();
+                mutated.records_mut()[i].record.rdata[1] = ip.clone();
+                out.push((
+                    format!("point MX {} at raw address {ip}", mx.record.owner),
+                    mutated,
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// The semantic DNS error generator.
+///
+/// Instantiate with the view matching the system under test:
+/// [`DnsSemanticPlugin::bind`] for zone files,
+/// [`DnsSemanticPlugin::tinydns`] for tinydns-data.
+#[derive(Debug)]
+pub struct DnsSemanticPlugin {
+    view: Box<dyn DnsView>,
+    kinds: Vec<DnsFaultKind>,
+}
+
+impl DnsSemanticPlugin {
+    /// Creates a plugin with a custom view.
+    pub fn new(view: Box<dyn DnsView>) -> Self {
+        DnsSemanticPlugin {
+            view,
+            kinds: DnsFaultKind::TABLE3.to_vec(),
+        }
+    }
+
+    /// Plugin for BIND-style zone files.
+    pub fn bind() -> Self {
+        DnsSemanticPlugin::new(Box::new(BindView::new()))
+    }
+
+    /// Plugin for djbdns tinydns-data files.
+    pub fn tinydns() -> Self {
+        DnsSemanticPlugin::new(Box::new(TinyDnsView::new()))
+    }
+
+    /// Restricts generation to the given fault kinds.
+    #[must_use]
+    pub fn with_kinds(mut self, kinds: impl IntoIterator<Item = DnsFaultKind>) -> Self {
+        self.kinds = kinds.into_iter().collect();
+        self
+    }
+}
+
+impl ErrorGenerator for DnsSemanticPlugin {
+    fn name(&self) -> &str {
+        "dns-semantic"
+    }
+
+    fn generate(&self, set: &ConfigSet) -> Result<Vec<GeneratedFault>, GenerateError> {
+        let records = self
+            .view
+            .to_records(set)
+            .map_err(|e| GenerateError::new("dns-semantic", e.to_string()))?;
+        if records.is_empty() {
+            return Err(GenerateError::new(
+                "dns-semantic",
+                "configuration set publishes no DNS records",
+            ));
+        }
+        let mut out = Vec::new();
+        for &kind in &self.kinds {
+            let class = ErrorClass::Semantic {
+                domain: "dns".to_string(),
+                rule: kind.rule().to_string(),
+            };
+            for (idx, (label, mutated)) in mutations_for(kind, &records).into_iter().enumerate() {
+                let id = format!("dns:{}:{idx}", kind.rule());
+                match self.view.from_records(&mutated, set) {
+                    Ok(new_set) => {
+                        let edits: Vec<TreeEdit> = new_set
+                            .iter()
+                            .filter(|(name, tree)| set.get(name) != Some(tree))
+                            .map(|(name, tree)| TreeEdit::ReplaceTree {
+                                file: name.to_string(),
+                                tree: tree.clone(),
+                            })
+                            .collect();
+                        out.push(GeneratedFault::Scenario(FaultScenario {
+                            id,
+                            description: label,
+                            class: class.clone(),
+                            edits,
+                        }));
+                    }
+                    Err(ViewError::Inexpressible { reason }) => {
+                        out.push(GeneratedFault::Inexpressible {
+                            id,
+                            description: label,
+                            class: class.clone(),
+                            reason,
+                        });
+                    }
+                    Err(ViewError::Invalid { message }) => {
+                        return Err(GenerateError::new("dns-semantic", message));
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conferr_formats::{ConfigFormat, TinyDnsFormat, ZoneFormat};
+
+    const FWD_ZONE: &str = "\
+$TTL 86400
+$ORIGIN example.com.
+@\tIN SOA ns1.example.com. admin.example.com. 1 7200 3600 1209600 86400
+@\tIN NS ns1.example.com.
+@\tIN MX 10 mail.example.com.
+ns1\tIN A 192.0.2.1
+www\tIN A 192.0.2.10
+mail\tIN A 192.0.2.20
+ftp\tIN CNAME www.example.com.
+";
+
+    const REV_ZONE: &str = "\
+$TTL 86400
+$ORIGIN 2.0.192.in-addr.arpa.
+@\tIN SOA ns1.example.com. admin.example.com. 1 7200 3600 1209600 86400
+@\tIN NS ns1.example.com.
+1\tIN PTR ns1.example.com.
+10\tIN PTR www.example.com.
+20\tIN PTR mail.example.com.
+";
+
+    const TINY_DATA: &str = "\
+.example.com:192.0.2.1:ns1.example.com:259200
+=www.example.com:192.0.2.10:86400
+=mail.example.com:192.0.2.20:86400
+@example.com::mail.example.com:10:86400
+Cftp.example.com:www.example.com:86400
+";
+
+    fn bind_set() -> ConfigSet {
+        let fmt = ZoneFormat::new();
+        let mut set = ConfigSet::new();
+        set.insert("forward.zone", fmt.parse(FWD_ZONE).unwrap());
+        set.insert("reverse.zone", fmt.parse(REV_ZONE).unwrap());
+        set
+    }
+
+    fn tiny_set() -> ConfigSet {
+        let fmt = TinyDnsFormat::new();
+        let mut set = ConfigSet::new();
+        set.insert("data", fmt.parse(TINY_DATA).unwrap());
+        set
+    }
+
+    fn faults_of_rule<'a>(
+        faults: &'a [GeneratedFault],
+        rule: &str,
+    ) -> Vec<&'a GeneratedFault> {
+        faults
+            .iter()
+            .filter(|f| match f.class() {
+                ErrorClass::Semantic { rule: r, .. } => r == rule,
+                _ => false,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bind_generates_expressible_faults_for_all_table3_rows() {
+        let faults = DnsSemanticPlugin::bind().generate(&bind_set()).unwrap();
+        for kind in DnsFaultKind::TABLE3 {
+            let of_rule = faults_of_rule(&faults, kind.rule());
+            assert!(!of_rule.is_empty(), "no faults for {kind}");
+            for f in of_rule {
+                assert!(
+                    f.scenario().is_some(),
+                    "{kind} should be expressible in zone files: {f:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bind_scenarios_apply_and_reserialize() {
+        let set = bind_set();
+        let faults = DnsSemanticPlugin::bind().generate(&set).unwrap();
+        let fmt = ZoneFormat::new();
+        for f in &faults {
+            let mutated = f.scenario().unwrap().apply(&set).unwrap();
+            for (_, tree) in mutated.iter() {
+                fmt.serialize(tree).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn tinydns_reports_combined_directive_faults_as_inexpressible() {
+        let faults = DnsSemanticPlugin::tinydns().generate(&tiny_set()).unwrap();
+        // Errors (1) and (2) target PTRs that come from '=' lines: N/A.
+        for rule in ["missing-ptr", "ptr-to-cname"] {
+            let of_rule = faults_of_rule(&faults, rule);
+            assert!(!of_rule.is_empty(), "no faults generated for {rule}");
+            for f in of_rule {
+                assert!(
+                    matches!(f, GeneratedFault::Inexpressible { .. }),
+                    "{rule} must be inexpressible for tinydns: {f:?}"
+                );
+            }
+        }
+        // Errors (3) and (4) are expressible.
+        for rule in ["ns-and-cname", "mx-to-cname"] {
+            let of_rule = faults_of_rule(&faults, rule);
+            assert!(!of_rule.is_empty(), "no faults generated for {rule}");
+            for f in of_rule {
+                assert!(f.scenario().is_some(), "{rule} must be expressible: {f:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn extended_kinds_generate_for_bind() {
+        let faults = DnsSemanticPlugin::bind()
+            .with_kinds(DnsFaultKind::ALL)
+            .generate(&bind_set())
+            .unwrap();
+        for kind in [
+            DnsFaultKind::CnameAndOtherData,
+            DnsFaultKind::NsToCname,
+            DnsFaultKind::MxToIp,
+        ] {
+            assert!(
+                !faults_of_rule(&faults, kind.rule()).is_empty(),
+                "no faults for {kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_ptr_scenario_actually_removes_the_ptr() {
+        let set = bind_set();
+        let faults = DnsSemanticPlugin::bind()
+            .with_kinds([DnsFaultKind::MissingPtr])
+            .generate(&set)
+            .unwrap();
+        let sc = faults[0].scenario().unwrap();
+        let mutated = sc.apply(&set).unwrap();
+        let before = BindView::new().to_records(&set).unwrap();
+        let after = BindView::new().to_records(&mutated).unwrap();
+        assert_eq!(after.len(), before.len() - 1);
+        assert_eq!(
+            after.of_type(RrType::Ptr).count(),
+            before.of_type(RrType::Ptr).count() - 1
+        );
+    }
+
+    #[test]
+    fn empty_set_is_a_generate_error() {
+        let err = DnsSemanticPlugin::bind()
+            .generate(&ConfigSet::new())
+            .unwrap_err();
+        assert!(err.to_string().contains("no DNS records"));
+    }
+
+    #[test]
+    fn table3_metadata() {
+        assert_eq!(DnsFaultKind::TABLE3.len(), 4);
+        assert_eq!(DnsFaultKind::TABLE3[0].description(), "Missing PTR");
+        assert_eq!(DnsFaultKind::MxToCname.to_string(), "mx-to-cname");
+    }
+}

@@ -1,0 +1,908 @@
+//! Bidirectional views between configuration trees and the abstract
+//! DNS record set.
+//!
+//! `to_records` is total for well-formed configurations; the interest
+//! is in `from_records`, which may legitimately fail: "differences in
+//! the expressiveness of the two representations can prevent this
+//! operation from completing successfully" (paper §3.2). Such
+//! failures surface as [`ViewError::Inexpressible`] and become `N/A`
+//! cells in Table 3.
+
+use std::fmt;
+
+use conferr_model::ConfigSet;
+use conferr_tree::{ConfTree, Node};
+
+use super::records::{absolutize, reverse_name, DnsRecord, DnsRecordSet, LocatedRecord, RrType};
+
+/// Errors from view transformations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViewError {
+    /// The mutated record set has no representation in the target
+    /// format (the paper's §5.4 case).
+    Inexpressible {
+        /// Why the records cannot be written back.
+        reason: String,
+    },
+    /// The configuration itself is malformed for this view.
+    Invalid {
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for ViewError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViewError::Inexpressible { reason } => {
+                write!(f, "fault is inexpressible in this format: {reason}")
+            }
+            ViewError::Invalid { message } => write!(f, "invalid configuration: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ViewError {}
+
+/// A bidirectional mapping between a system's configuration trees and
+/// the abstract DNS record set.
+pub trait DnsView: fmt::Debug {
+    /// View name, e.g. `"bind"`.
+    fn name(&self) -> &str;
+
+    /// Extracts the published records from a configuration set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ViewError::Invalid`] for malformed configurations.
+    fn to_records(&self, set: &ConfigSet) -> Result<DnsRecordSet, ViewError>;
+
+    /// Reconstructs a configuration set that publishes exactly
+    /// `records`, using `original` for file layout and non-record
+    /// content.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ViewError::Inexpressible`] when the record set cannot
+    /// be written in this format, [`ViewError::Invalid`] otherwise.
+    #[allow(clippy::wrong_self_convention)] // paper terminology: the view maps *from* records
+    fn from_records(
+        &self,
+        records: &DnsRecordSet,
+        original: &ConfigSet,
+    ) -> Result<ConfigSet, ViewError>;
+}
+
+fn dot(name: &str) -> String {
+    let lower = name.to_ascii_lowercase();
+    if lower.ends_with('.') {
+        lower
+    } else {
+        format!("{lower}.")
+    }
+}
+
+fn undot(name: &str) -> &str {
+    name.strip_suffix('.').unwrap_or(name)
+}
+
+/// Splits rdata into whitespace-separated tokens, keeping quoted
+/// strings (TXT data) intact.
+fn split_rdata(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_quote = false;
+    for c in s.chars() {
+        match c {
+            '"' => {
+                in_quote = !in_quote;
+                cur.push(c);
+            }
+            c if c.is_whitespace() && !in_quote => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            c => cur.push(c),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// BIND view
+// ---------------------------------------------------------------------------
+
+/// View over BIND-style zone files (one record node per record).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BindView {
+    _priv: (),
+}
+
+impl BindView {
+    /// Creates the view.
+    pub fn new() -> Self {
+        BindView { _priv: () }
+    }
+}
+
+/// Which rdata token positions carry domain names, per type.
+fn name_token_positions(rtype: RrType) -> &'static [usize] {
+    match rtype {
+        RrType::Ns | RrType::Cname | RrType::Ptr => &[0],
+        RrType::Mx => &[1],
+        RrType::Soa | RrType::Rp => &[0, 1],
+        _ => &[],
+    }
+}
+
+impl DnsView for BindView {
+    fn name(&self) -> &str {
+        "bind"
+    }
+
+    fn to_records(&self, set: &ConfigSet) -> Result<DnsRecordSet, ViewError> {
+        let mut out = DnsRecordSet::new();
+        for (file, tree) in set.iter() {
+            if tree.root().kind() != "zone" {
+                continue;
+            }
+            let mut origin: Option<String> = None;
+            let mut default_ttl: Option<u32> = None;
+            let mut last_owner: Option<String> = None;
+            for (i, node) in tree.root().children().iter().enumerate() {
+                match node.kind() {
+                    "directive" => match node.attr("name") {
+                        Some("$ORIGIN") => {
+                            origin = Some(dot(node.text().unwrap_or("")));
+                        }
+                        Some("$TTL") => {
+                            default_ttl = node.text().and_then(|t| t.trim().parse().ok());
+                        }
+                        _ => {}
+                    },
+                    "record" => {
+                        let origin_ref = origin.as_deref().ok_or_else(|| ViewError::Invalid {
+                            message: format!("{file}: record before $ORIGIN directive"),
+                        })?;
+                        let owner_raw = node.attr("owner").unwrap_or("");
+                        let owner = if owner_raw.is_empty() {
+                            last_owner.clone().ok_or_else(|| ViewError::Invalid {
+                                message: format!("{file}: first record has no owner"),
+                            })?
+                        } else {
+                            absolutize(owner_raw, origin_ref)
+                        };
+                        last_owner = Some(owner.clone());
+                        let rtype: RrType = node
+                            .attr("rtype")
+                            .unwrap_or("")
+                            .parse()
+                            .map_err(|e| ViewError::Invalid {
+                                message: format!("{file}: {e}"),
+                            })?;
+                        let mut rdata = split_rdata(node.text().unwrap_or(""));
+                        for &pos in name_token_positions(rtype) {
+                            if let Some(tok) = rdata.get_mut(pos) {
+                                *tok = absolutize(tok, origin_ref);
+                            }
+                        }
+                        let ttl = node
+                            .attr("ttl")
+                            .and_then(|t| t.trim().parse().ok())
+                            .or(default_ttl);
+                        let mut record = DnsRecord::new(owner, rtype, rdata);
+                        record.ttl = ttl;
+                        out.push(LocatedRecord {
+                            file: file.to_string(),
+                            line: Some(i),
+                            record,
+                        });
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn from_records(
+        &self,
+        records: &DnsRecordSet,
+        original: &ConfigSet,
+    ) -> Result<ConfigSet, ViewError> {
+        let mut out = ConfigSet::new();
+        for (file, tree) in original.iter() {
+            if tree.root().kind() != "zone" {
+                out.insert(file.to_string(), tree.clone());
+                continue;
+            }
+            let mut root = Node::new("zone").with_attr("format", "zone");
+            for node in tree.root().children() {
+                if node.kind() == "directive" {
+                    root.push_child(node.clone());
+                }
+            }
+            for located in records.records().iter().filter(|r| r.file == file) {
+                let r = &located.record;
+                let mut node = Node::new("record")
+                    .with_attr("owner", &r.owner)
+                    .with_attr("g1", "\t")
+                    .with_attr("class", "IN")
+                    .with_attr("g3", " ")
+                    .with_attr("rtype", r.rtype.to_string())
+                    .with_text(r.rdata.join(" "));
+                if let Some(ttl) = r.ttl {
+                    node.set_attr("ttl", ttl.to_string());
+                    node.set_attr("g2", " ");
+                }
+                root.push_child(node);
+            }
+            out.insert(file.to_string(), ConfTree::new(root));
+        }
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// tinydns view
+// ---------------------------------------------------------------------------
+
+/// View over tinydns-data files, where one line may expand to several
+/// records. Reconstruction is *conservative*: the records produced by
+/// a combined directive must survive a fault as a consistent group, or
+/// the fault is inexpressible — exactly the behaviour that protects
+/// djbdns from errors (1) and (2) in Table 3.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TinyDnsView {
+    _priv: (),
+}
+
+impl TinyDnsView {
+    /// Creates the view.
+    pub fn new() -> Self {
+        TinyDnsView { _priv: () }
+    }
+}
+
+fn field(fields: &[&str], i: usize) -> String {
+    fields.get(i).copied().unwrap_or("").to_string()
+}
+
+fn parse_ttl(s: &str) -> Option<u32> {
+    if s.is_empty() {
+        None
+    } else {
+        s.trim().parse().ok()
+    }
+}
+
+fn ttl_str(ttl: Option<u32>) -> String {
+    ttl.map(|t| t.to_string()).unwrap_or_default()
+}
+
+fn join_fields(fields: Vec<String>) -> String {
+    let mut fields = fields;
+    while fields.last().is_some_and(String::is_empty) {
+        fields.pop();
+    }
+    fields.join(":")
+}
+
+/// Expands one tinydns data line into its records.
+fn expand_line(ty: &str, payload: &str, file: &str, line: usize) -> Vec<LocatedRecord> {
+    let fields: Vec<&str> = payload.split(':').collect();
+    let f = |i: usize| field(&fields, i);
+    let mk = |record: DnsRecord| LocatedRecord {
+        file: file.to_string(),
+        line: Some(line),
+        record,
+    };
+    let mut out = Vec::new();
+    match ty {
+        "=" => {
+            let (fqdn, ip, ttl) = (f(0), f(1), parse_ttl(&f(2)));
+            let mut a = DnsRecord::new(dot(&fqdn), RrType::A, vec![ip.clone()]);
+            a.ttl = ttl;
+            out.push(mk(a));
+            let mut p = DnsRecord::new(reverse_name(&ip), RrType::Ptr, vec![dot(&fqdn)]);
+            p.ttl = ttl;
+            out.push(mk(p));
+        }
+        "+" => {
+            let mut a = DnsRecord::new(dot(&f(0)), RrType::A, vec![f(1)]);
+            a.ttl = parse_ttl(&f(2));
+            out.push(mk(a));
+        }
+        "^" => {
+            let mut p = DnsRecord::new(dot(&f(0)), RrType::Ptr, vec![dot(&f(1))]);
+            p.ttl = parse_ttl(&f(2));
+            out.push(mk(p));
+        }
+        "C" => {
+            let mut c = DnsRecord::new(dot(&f(0)), RrType::Cname, vec![dot(&f(1))]);
+            c.ttl = parse_ttl(&f(2));
+            out.push(mk(c));
+        }
+        "@" => {
+            let (fqdn, ip, x, dist, ttl) = (f(0), f(1), f(2), f(3), parse_ttl(&f(4)));
+            let dist = if dist.is_empty() { "0".to_string() } else { dist };
+            let mut mx = DnsRecord::new(dot(&fqdn), RrType::Mx, vec![dist, dot(&x)]);
+            mx.ttl = ttl;
+            out.push(mk(mx));
+            if !ip.is_empty() {
+                let mut a = DnsRecord::new(dot(&x), RrType::A, vec![ip]);
+                a.ttl = ttl;
+                out.push(mk(a));
+            }
+        }
+        "." | "&" => {
+            let (fqdn, ip, x, ttl) = (f(0), f(1), f(2), parse_ttl(&f(3)));
+            let mut ns = DnsRecord::new(dot(&fqdn), RrType::Ns, vec![dot(&x)]);
+            ns.ttl = ttl;
+            out.push(mk(ns));
+            if ty == "." {
+                let mut soa = DnsRecord::new(
+                    dot(&fqdn),
+                    RrType::Soa,
+                    vec![
+                        dot(&x),
+                        format!("hostmaster.{}", dot(&fqdn)),
+                        "1".to_string(),
+                        "16384".to_string(),
+                        "2048".to_string(),
+                        "1048576".to_string(),
+                        "2560".to_string(),
+                    ],
+                );
+                soa.ttl = ttl;
+                out.push(mk(soa));
+            }
+            if !ip.is_empty() {
+                let mut a = DnsRecord::new(dot(&x), RrType::A, vec![ip]);
+                a.ttl = ttl;
+                out.push(mk(a));
+            }
+        }
+        "'" => {
+            let mut t = DnsRecord::new(dot(&f(0)), RrType::Txt, vec![f(1)]);
+            t.ttl = parse_ttl(&f(2));
+            out.push(mk(t));
+        }
+        "Z" => {
+            let mut soa = DnsRecord::new(
+                dot(&f(0)),
+                RrType::Soa,
+                vec![dot(&f(1)), dot(&f(2)), f(3), f(4), f(5), f(6), f(7)],
+            );
+            soa.ttl = parse_ttl(&f(8));
+            out.push(mk(soa));
+        }
+        _ => {}
+    }
+    out
+}
+
+/// Re-renders one original data line from the records that still claim
+/// it. Returns `Ok(None)` when the group was wholly deleted.
+fn regroup_line(
+    ty: &str,
+    claimed: &[&LocatedRecord],
+) -> Result<Option<Node>, ViewError> {
+    if claimed.is_empty() {
+        return Ok(None);
+    }
+    let find = |t: RrType| claimed.iter().find(|r| r.record.rtype == t);
+    let line = |ty: &str, payload: String| {
+        Some(Node::new("line").with_attr("type", ty).with_text(payload))
+    };
+    match ty {
+        "=" => {
+            let (Some(a), Some(p)) = (find(RrType::A), find(RrType::Ptr)) else {
+                return Err(ViewError::Inexpressible {
+                    reason: "the '=' directive defines an A record and its matching PTR \
+                             together; this format cannot drop or alter one of them alone"
+                        .to_string(),
+                });
+            };
+            let ip = a.record.rdata.first().cloned().unwrap_or_default();
+            let consistent = claimed.len() == 2
+                && p.record.owner == reverse_name(&ip)
+                && p.record.target() == Some(a.record.owner.as_str());
+            if !consistent {
+                return Err(ViewError::Inexpressible {
+                    reason: "the '=' directive requires the PTR to mirror the A record \
+                             exactly; an inconsistent pair cannot be written"
+                        .to_string(),
+                });
+            }
+            Ok(line(
+                "=",
+                join_fields(vec![
+                    undot(&a.record.owner).to_string(),
+                    ip,
+                    ttl_str(a.record.ttl),
+                ]),
+            ))
+        }
+        "+" | "^" | "C" | "'" => {
+            let (expected, render): (RrType, fn(&DnsRecord) -> Vec<String>) = match ty {
+                "+" => (RrType::A, |r| {
+                    vec![
+                        undot(&r.owner).to_string(),
+                        r.rdata.first().cloned().unwrap_or_default(),
+                        ttl_str(r.ttl),
+                    ]
+                }),
+                "^" => (RrType::Ptr, |r| {
+                    vec![
+                        undot(&r.owner).to_string(),
+                        undot(r.target().unwrap_or("")).to_string(),
+                        ttl_str(r.ttl),
+                    ]
+                }),
+                "C" => (RrType::Cname, |r| {
+                    vec![
+                        undot(&r.owner).to_string(),
+                        undot(r.target().unwrap_or("")).to_string(),
+                        ttl_str(r.ttl),
+                    ]
+                }),
+                _ => (RrType::Txt, |r| {
+                    vec![
+                        undot(&r.owner).to_string(),
+                        r.rdata.first().cloned().unwrap_or_default(),
+                        ttl_str(r.ttl),
+                    ]
+                }),
+            };
+            if claimed.len() != 1 || claimed[0].record.rtype != expected {
+                return Err(ViewError::Inexpressible {
+                    reason: format!(
+                        "a {ty:?} line defines exactly one {expected} record; the mutated \
+                         group does not match"
+                    ),
+                });
+            }
+            Ok(line(ty, join_fields(render(&claimed[0].record))))
+        }
+        "@" => {
+            let Some(mx) = find(RrType::Mx) else {
+                return Err(ViewError::Inexpressible {
+                    reason: "an '@' line must still define its MX record".to_string(),
+                });
+            };
+            let exch = mx.record.mx_exchanger().unwrap_or("").to_string();
+            let dist = mx.record.rdata.first().cloned().unwrap_or_default();
+            let a = find(RrType::A);
+            if let Some(a) = a {
+                if a.record.owner != exch || claimed.len() != 2 {
+                    return Err(ViewError::Inexpressible {
+                        reason: "an '@' line with an address field ties the A record to the \
+                                 MX exchanger; the mutated group is inconsistent"
+                            .to_string(),
+                    });
+                }
+            } else if claimed.len() != 1 {
+                return Err(ViewError::Inexpressible {
+                    reason: "unexpected extra records claim this '@' line".to_string(),
+                });
+            }
+            let ip = a
+                .and_then(|a| a.record.rdata.first().cloned())
+                .unwrap_or_default();
+            Ok(line(
+                "@",
+                join_fields(vec![
+                    undot(&mx.record.owner).to_string(),
+                    ip,
+                    undot(&exch).to_string(),
+                    dist,
+                    ttl_str(mx.record.ttl),
+                ]),
+            ))
+        }
+        "." | "&" => {
+            let Some(ns) = find(RrType::Ns) else {
+                return Err(ViewError::Inexpressible {
+                    reason: format!(
+                        "a {ty:?} line defines a delegation; dropping only part of it \
+                         cannot be written"
+                    ),
+                });
+            };
+            let target = ns.record.target().unwrap_or("").to_string();
+            let expected_len = claimed.len();
+            let soa_ok = if ty == "." {
+                match find(RrType::Soa) {
+                    Some(soa) => soa.record.rdata.first().map(String::as_str) == Some(&target),
+                    None => false,
+                }
+            } else {
+                true
+            };
+            let a = find(RrType::A);
+            let a_ok = a.is_none_or(|a| a.record.owner == target);
+            let count_ok = expected_len
+                == 1 + usize::from(ty == ".") + usize::from(a.is_some());
+            if !(soa_ok && a_ok && count_ok) {
+                return Err(ViewError::Inexpressible {
+                    reason: format!(
+                        "a {ty:?} line's NS/SOA/A records must stay consistent; the \
+                         mutated group cannot be written"
+                    ),
+                });
+            }
+            let ip = a
+                .and_then(|a| a.record.rdata.first().cloned())
+                .unwrap_or_default();
+            Ok(line(
+                ty,
+                join_fields(vec![
+                    undot(&ns.record.owner).to_string(),
+                    ip,
+                    undot(&target).to_string(),
+                    ttl_str(ns.record.ttl),
+                ]),
+            ))
+        }
+        "Z" => {
+            if claimed.len() != 1 || claimed[0].record.rtype != RrType::Soa {
+                return Err(ViewError::Inexpressible {
+                    reason: "a 'Z' line defines exactly one SOA record".to_string(),
+                });
+            }
+            let r = &claimed[0].record;
+            let mut fields = vec![undot(&r.owner).to_string()];
+            fields.extend(r.rdata.iter().map(|t| undot(t).to_string()));
+            fields.push(ttl_str(r.ttl));
+            Ok(line("Z", join_fields(fields)))
+        }
+        other => Err(ViewError::Invalid {
+            message: format!("unsupported tinydns line type {other:?}"),
+        }),
+    }
+}
+
+/// Renders a record added by a fault (no provenance) as a new line.
+fn record_to_new_line(r: &DnsRecord) -> Result<Node, ViewError> {
+    let (ty, payload) = match r.rtype {
+        RrType::A => (
+            "+",
+            join_fields(vec![
+                undot(&r.owner).to_string(),
+                r.rdata.first().cloned().unwrap_or_default(),
+                ttl_str(r.ttl),
+            ]),
+        ),
+        RrType::Ptr => (
+            "^",
+            join_fields(vec![
+                undot(&r.owner).to_string(),
+                undot(r.target().unwrap_or("")).to_string(),
+                ttl_str(r.ttl),
+            ]),
+        ),
+        RrType::Cname => (
+            "C",
+            join_fields(vec![
+                undot(&r.owner).to_string(),
+                undot(r.target().unwrap_or("")).to_string(),
+                ttl_str(r.ttl),
+            ]),
+        ),
+        RrType::Mx => (
+            "@",
+            join_fields(vec![
+                undot(&r.owner).to_string(),
+                String::new(),
+                undot(r.mx_exchanger().unwrap_or("")).to_string(),
+                r.rdata.first().cloned().unwrap_or_default(),
+                ttl_str(r.ttl),
+            ]),
+        ),
+        RrType::Ns => (
+            "&",
+            join_fields(vec![
+                undot(&r.owner).to_string(),
+                String::new(),
+                undot(r.target().unwrap_or("")).to_string(),
+                ttl_str(r.ttl),
+            ]),
+        ),
+        RrType::Txt => (
+            "'",
+            join_fields(vec![
+                undot(&r.owner).to_string(),
+                r.rdata.first().cloned().unwrap_or_default(),
+                ttl_str(r.ttl),
+            ]),
+        ),
+        other => {
+            return Err(ViewError::Inexpressible {
+                reason: format!("tinydns-data has no single-record line for {other} records"),
+            })
+        }
+    };
+    Ok(Node::new("line").with_attr("type", ty).with_text(payload))
+}
+
+impl DnsView for TinyDnsView {
+    fn name(&self) -> &str {
+        "tinydns"
+    }
+
+    fn to_records(&self, set: &ConfigSet) -> Result<DnsRecordSet, ViewError> {
+        let mut out = DnsRecordSet::new();
+        for (file, tree) in set.iter() {
+            if tree.root().kind() != "data" {
+                continue;
+            }
+            for (i, node) in tree.root().children().iter().enumerate() {
+                if node.kind() == "line" {
+                    let ty = node.attr("type").unwrap_or("");
+                    for rec in expand_line(ty, node.text().unwrap_or(""), file, i) {
+                        out.push(rec);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn from_records(
+        &self,
+        records: &DnsRecordSet,
+        original: &ConfigSet,
+    ) -> Result<ConfigSet, ViewError> {
+        let mut out = ConfigSet::new();
+        for (file, tree) in original.iter() {
+            if tree.root().kind() != "data" {
+                out.insert(file.to_string(), tree.clone());
+                continue;
+            }
+            let mut root = Node::new("data").with_attr("format", "tinydns");
+            for (i, node) in tree.root().children().iter().enumerate() {
+                match node.kind() {
+                    "comment" | "blank" => root.push_child(node.clone()),
+                    "line" => {
+                        let claimed: Vec<&LocatedRecord> = records
+                            .records()
+                            .iter()
+                            .filter(|r| r.file == file && r.line == Some(i))
+                            .collect();
+                        let ty = node.attr("type").unwrap_or("");
+                        if let Some(new_line) = regroup_line(ty, &claimed)? {
+                            root.push_child(new_line);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            for located in records
+                .records()
+                .iter()
+                .filter(|r| r.file == file && r.line.is_none())
+            {
+                root.push_child(record_to_new_line(&located.record)?);
+            }
+            out.insert(file.to_string(), ConfTree::new(root));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conferr_formats::{ConfigFormat, TinyDnsFormat, ZoneFormat};
+
+    const FWD_ZONE: &str = "\
+$TTL 86400
+$ORIGIN example.com.
+@\tIN SOA ns1.example.com. admin.example.com. 1 7200 3600 1209600 86400
+@\tIN NS ns1.example.com.
+@\tIN MX 10 mail.example.com.
+ns1\tIN A 192.0.2.1
+www\tIN A 192.0.2.10
+mail\tIN A 192.0.2.20
+ftp\tIN CNAME www.example.com.
+";
+
+    const REV_ZONE: &str = "\
+$TTL 86400
+$ORIGIN 2.0.192.in-addr.arpa.
+@\tIN SOA ns1.example.com. admin.example.com. 1 7200 3600 1209600 86400
+@\tIN NS ns1.example.com.
+1\tIN PTR ns1.example.com.
+10\tIN PTR www.example.com.
+20\tIN PTR mail.example.com.
+";
+
+    fn bind_set() -> ConfigSet {
+        let fmt = ZoneFormat::new();
+        let mut set = ConfigSet::new();
+        set.insert("forward.zone", fmt.parse(FWD_ZONE).unwrap());
+        set.insert("reverse.zone", fmt.parse(REV_ZONE).unwrap());
+        set
+    }
+
+    const TINY_DATA: &str = "\
+.example.com:192.0.2.1:ns1.example.com:259200
+=www.example.com:192.0.2.10:86400
+=mail.example.com:192.0.2.20:86400
+@example.com::mail.example.com:10:86400
+Cftp.example.com:www.example.com:86400
+'example.com:v=spf1 -all:300
+";
+
+    fn tiny_set() -> ConfigSet {
+        let fmt = TinyDnsFormat::new();
+        let mut set = ConfigSet::new();
+        set.insert("data", fmt.parse(TINY_DATA).unwrap());
+        set
+    }
+
+    #[test]
+    fn bind_to_records_extracts_and_absolutizes() {
+        let records = BindView::new().to_records(&bind_set()).unwrap();
+        assert_eq!(records.len(), 12);
+        let www = records.a_for("www.example.com.").unwrap();
+        assert_eq!(www.record.rdata, ["192.0.2.10"]);
+        assert_eq!(www.record.ttl, Some(86400));
+        let mx = records.of_type(RrType::Mx).next().unwrap();
+        assert_eq!(mx.record.mx_exchanger(), Some("mail.example.com."));
+        let ptrs: Vec<&str> = records
+            .of_type(RrType::Ptr)
+            .map(|r| r.record.owner.as_str())
+            .collect();
+        assert!(ptrs.contains(&"10.2.0.192.in-addr.arpa."));
+    }
+
+    #[test]
+    fn bind_round_trip_preserves_record_set() {
+        let view = BindView::new();
+        let records = view.to_records(&bind_set()).unwrap();
+        let rebuilt = view.from_records(&records, &bind_set()).unwrap();
+        // Re-serialize and re-parse through the zone format to prove
+        // the rebuilt trees are valid zone files.
+        let fmt = ZoneFormat::new();
+        for (name, tree) in rebuilt.iter() {
+            let text = fmt.serialize(tree).unwrap();
+            fmt.parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+        let records2 = view.to_records(&rebuilt).unwrap();
+        assert_eq!(records.len(), records2.len());
+        for (a, b) in records.records().iter().zip(records2.records()) {
+            assert_eq!(a.record, b.record);
+        }
+    }
+
+    #[test]
+    fn tiny_to_records_expands_combined_lines() {
+        let records = TinyDnsView::new().to_records(&tiny_set()).unwrap();
+        // '.' → NS+SOA+A; two '=' → 2×(A+PTR); '@' → MX; 'C'; "'".
+        assert_eq!(records.len(), 10);
+        let ptr = records
+            .of_type(RrType::Ptr)
+            .find(|r| r.record.owner == "10.2.0.192.in-addr.arpa.")
+            .unwrap();
+        assert_eq!(ptr.record.target(), Some("www.example.com."));
+        // Both records of an '=' line share provenance.
+        let a = records.a_for("www.example.com.").unwrap();
+        assert_eq!(a.line, ptr.line);
+    }
+
+    #[test]
+    fn tiny_round_trip_is_identity_without_mutation() {
+        let view = TinyDnsView::new();
+        let records = view.to_records(&tiny_set()).unwrap();
+        let rebuilt = view.from_records(&records, &tiny_set()).unwrap();
+        let fmt = TinyDnsFormat::new();
+        assert_eq!(fmt.serialize(rebuilt.get("data").unwrap()).unwrap(), TINY_DATA);
+    }
+
+    #[test]
+    fn tiny_dropping_ptr_of_combined_line_is_inexpressible() {
+        let view = TinyDnsView::new();
+        let mut records = view.to_records(&tiny_set()).unwrap();
+        records.records_mut().retain(|r| {
+            !(r.record.rtype == RrType::Ptr && r.record.owner == "10.2.0.192.in-addr.arpa.")
+        });
+        let err = view.from_records(&records, &tiny_set()).unwrap_err();
+        assert!(matches!(err, ViewError::Inexpressible { .. }), "{err}");
+    }
+
+    #[test]
+    fn tiny_redirecting_ptr_of_combined_line_is_inexpressible() {
+        let view = TinyDnsView::new();
+        let mut records = view.to_records(&tiny_set()).unwrap();
+        for r in records.records_mut() {
+            if r.record.rtype == RrType::Ptr && r.record.owner == "10.2.0.192.in-addr.arpa." {
+                r.record.rdata = vec!["ftp.example.com.".to_string()];
+            }
+        }
+        let err = view.from_records(&records, &tiny_set()).unwrap_err();
+        assert!(matches!(err, ViewError::Inexpressible { .. }));
+    }
+
+    #[test]
+    fn tiny_whole_line_deletion_is_expressible() {
+        let view = TinyDnsView::new();
+        let mut records = view.to_records(&tiny_set()).unwrap();
+        records
+            .records_mut()
+            .retain(|r| r.record.owner != "www.example.com." || r.record.rtype == RrType::Cname
+                // keep the PTR? no: remove both A and its PTR
+            );
+        records
+            .records_mut()
+            .retain(|r| !(r.record.rtype == RrType::Ptr && r.record.target() == Some("www.example.com.")));
+        let rebuilt = view.from_records(&records, &tiny_set()).unwrap();
+        let text = TinyDnsFormat::new()
+            .serialize(rebuilt.get("data").unwrap())
+            .unwrap();
+        assert!(!text.contains("=www.example.com"));
+        assert!(text.contains("Cftp.example.com"));
+    }
+
+    #[test]
+    fn tiny_new_records_append_as_single_record_lines() {
+        let view = TinyDnsView::new();
+        let mut records = view.to_records(&tiny_set()).unwrap();
+        records.push(LocatedRecord {
+            file: "data".into(),
+            line: None,
+            record: DnsRecord::new(
+                "alias2.example.com.",
+                RrType::Cname,
+                vec!["www.example.com.".to_string()],
+            ),
+        });
+        let rebuilt = view.from_records(&records, &tiny_set()).unwrap();
+        let text = TinyDnsFormat::new()
+            .serialize(rebuilt.get("data").unwrap())
+            .unwrap();
+        assert!(text.contains("Calias2.example.com:www.example.com"), "{text}");
+    }
+
+    #[test]
+    fn tiny_mx_exchanger_change_is_expressible_when_ip_field_empty() {
+        let view = TinyDnsView::new();
+        let mut records = view.to_records(&tiny_set()).unwrap();
+        for r in records.records_mut() {
+            if r.record.rtype == RrType::Mx {
+                r.record.rdata[1] = "ftp.example.com.".to_string();
+            }
+        }
+        let rebuilt = view.from_records(&records, &tiny_set()).unwrap();
+        let text = TinyDnsFormat::new()
+            .serialize(rebuilt.get("data").unwrap())
+            .unwrap();
+        assert!(text.contains("@example.com::ftp.example.com:10"), "{text}");
+    }
+
+    #[test]
+    fn split_rdata_keeps_quoted_strings() {
+        assert_eq!(
+            split_rdata("10 mail.example.com."),
+            vec!["10".to_string(), "mail.example.com.".to_string()]
+        );
+        assert_eq!(
+            split_rdata("\"v=spf1 -all\" extra"),
+            vec!["\"v=spf1 -all\"".to_string(), "extra".to_string()]
+        );
+    }
+
+    #[test]
+    fn bind_missing_origin_is_invalid() {
+        let fmt = ZoneFormat::new();
+        let mut set = ConfigSet::new();
+        set.insert("z", fmt.parse("www IN A 192.0.2.1\n").unwrap());
+        let err = BindView::new().to_records(&set).unwrap_err();
+        assert!(matches!(err, ViewError::Invalid { .. }));
+    }
+}

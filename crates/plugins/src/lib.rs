@@ -1,0 +1,37 @@
+//! ConfErr error-generator plugins (paper §4).
+//!
+//! Three plugins translate the paper's human-error models into
+//! concrete fault loads:
+//!
+//! * [`TypoPlugin`] (§4.1) — spelling mistakes: omissions, insertions,
+//!   substitutions, case alterations and transpositions, generated
+//!   against a geometric [`conferr_keyboard::Keyboard`] so that
+//!   substituted/inserted characters come from physically adjacent
+//!   keys pressed with the same modifiers.
+//! * [`StructuralPlugin`] (§4.2) — structural errors: omission,
+//!   duplication and misplacement of directives and sections, plus
+//!   rule-based "foreign directive" borrowing; and the Table 2
+//!   accepted-variation probes ([`VariationPlugin`]).
+//! * [`DnsSemanticPlugin`] (§4.3, §5.4) — domain-specific semantic
+//!   errors from RFC-1912, generated on an abstract DNS record-set
+//!   representation and mapped back through per-system views
+//!   ([`BindView`], [`TinyDnsView`]); faults the target format cannot
+//!   express surface as inexpressible outcomes rather than scenarios.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod dns;
+mod structural;
+mod typo;
+mod variations;
+mod xml_attr;
+
+pub use dns::{
+    BindView, DnsFaultKind, DnsRecord, DnsRecordSet, DnsSemanticPlugin, DnsView, LocatedRecord,
+    RrType, TinyDnsView, ViewError,
+};
+pub use structural::StructuralPlugin;
+pub use typo::{typos_of_kind, TokenClass, TypoPlugin, ALL_TYPO_KINDS};
+pub use variations::{VariationClass, VariationPlugin};
+pub use xml_attr::XmlAttrTypoPlugin;

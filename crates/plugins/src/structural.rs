@@ -1,0 +1,244 @@
+//! The structural-errors plugin (paper §4.2).
+//!
+//! Configuration files are viewed as trees of directives and sections;
+//! the plugin composes the base templates into the paper's structural
+//! error model: omissions (skill-based lapses), duplications
+//! (copy-paste slips), misplacements (directives moved into the wrong
+//! section) and foreign-directive borrowing (rule-based reuse of
+//! another program's configuration idiom).
+
+use conferr_model::{
+    ConfigSet, DeleteTemplate, DuplicateTemplate, ErrorClass, ErrorGenerator, GenerateError,
+    GeneratedFault, InsertTemplate, MoveTemplate, StructuralKind, Template, Union,
+};
+use conferr_tree::Node;
+
+/// The structural-errors generator.
+///
+/// By default it produces all structural error kinds; use
+/// [`StructuralPlugin::with_kinds`] to narrow, and
+/// [`StructuralPlugin::with_donor`] to provide the "foreign" directive
+/// borrowed from a different program's configuration.
+///
+/// # Examples
+///
+/// ```
+/// use conferr_model::{ConfigSet, ErrorGenerator, StructuralKind};
+/// use conferr_plugins::StructuralPlugin;
+/// use conferr_tree::{ConfTree, Node};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut set = ConfigSet::new();
+/// set.insert(
+///     "app.conf",
+///     ConfTree::new(Node::new("config").with_child(
+///         Node::new("section").with_attr("name", "main").with_child(
+///             Node::new("directive").with_attr("name", "port").with_text("80"),
+///         ),
+///     )),
+/// );
+/// let plugin = StructuralPlugin::new().with_kinds([StructuralKind::DirectiveOmission]);
+/// let faults = plugin.generate(&set)?;
+/// assert_eq!(faults.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct StructuralPlugin {
+    kinds: Vec<StructuralKind>,
+    donor: Option<(String, Node)>,
+}
+
+/// The structural kinds produced by default (all fault kinds; the
+/// [`StructuralKind::Variation`] probes live in
+/// [`crate::VariationPlugin`]).
+pub const DEFAULT_STRUCTURAL_KINDS: [StructuralKind; 5] = [
+    StructuralKind::DirectiveOmission,
+    StructuralKind::SectionOmission,
+    StructuralKind::Duplication,
+    StructuralKind::Misplacement,
+    StructuralKind::ForeignDirective,
+];
+
+impl StructuralPlugin {
+    /// Creates a plugin producing all structural error kinds.
+    pub fn new() -> Self {
+        StructuralPlugin {
+            kinds: DEFAULT_STRUCTURAL_KINDS.to_vec(),
+            donor: None,
+        }
+    }
+
+    /// Restricts generation to the given kinds.
+    #[must_use]
+    pub fn with_kinds(mut self, kinds: impl IntoIterator<Item = StructuralKind>) -> Self {
+        self.kinds = kinds.into_iter().collect();
+        self
+    }
+
+    /// Sets the foreign directive borrowed from another program's
+    /// configuration (used by [`StructuralKind::ForeignDirective`]).
+    /// `label` describes the donor, e.g. `"apache:Listen"`.
+    #[must_use]
+    pub fn with_donor(mut self, label: impl Into<String>, node: Node) -> Self {
+        self.donor = Some((label.into(), node));
+        self
+    }
+
+    fn templates(&self) -> Vec<Box<dyn Template>> {
+        let mut out: Vec<Box<dyn Template>> = Vec::new();
+        for kind in &self.kinds {
+            match kind {
+                StructuralKind::DirectiveOmission => out.push(Box::new(DeleteTemplate::new(
+                    "//directive".parse().expect("static query"),
+                    ErrorClass::Structural(StructuralKind::DirectiveOmission),
+                ))),
+                StructuralKind::SectionOmission => out.push(Box::new(DeleteTemplate::new(
+                    "//section".parse().expect("static query"),
+                    ErrorClass::Structural(StructuralKind::SectionOmission),
+                ))),
+                StructuralKind::Duplication => {
+                    out.push(Box::new(DuplicateTemplate::new(
+                        "//directive".parse().expect("static query"),
+                        ErrorClass::Structural(StructuralKind::Duplication),
+                    )));
+                    out.push(Box::new(DuplicateTemplate::new(
+                        "//section".parse().expect("static query"),
+                        ErrorClass::Structural(StructuralKind::Duplication),
+                    )));
+                }
+                StructuralKind::Misplacement => out.push(Box::new(MoveTemplate::new(
+                    "//directive".parse().expect("static query"),
+                    "//section".parse().expect("static query"),
+                    ErrorClass::Structural(StructuralKind::Misplacement),
+                ))),
+                StructuralKind::ForeignDirective => {
+                    if let Some((label, node)) = &self.donor {
+                        out.push(Box::new(InsertTemplate::new(
+                            "//section".parse().expect("static query"),
+                            node.clone(),
+                            label.clone(),
+                            ErrorClass::Structural(StructuralKind::ForeignDirective),
+                        )));
+                        // Section-less formats (e.g. Postgres) take the
+                        // foreign directive at the top level.
+                        out.push(Box::new(InsertTemplate::new(
+                            "//config".parse().expect("static query"),
+                            node.clone(),
+                            label.clone(),
+                            ErrorClass::Structural(StructuralKind::ForeignDirective),
+                        )));
+                    }
+                }
+                StructuralKind::Variation => {
+                    // Variations are produced by VariationPlugin.
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Default for StructuralPlugin {
+    fn default() -> Self {
+        StructuralPlugin::new()
+    }
+}
+
+impl ErrorGenerator for StructuralPlugin {
+    fn name(&self) -> &str {
+        "structural"
+    }
+
+    fn generate(&self, set: &ConfigSet) -> Result<Vec<GeneratedFault>, GenerateError> {
+        Ok(Union::new(self.templates())
+            .generate(set)
+            .into_iter()
+            .map(GeneratedFault::Scenario)
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conferr_tree::ConfTree;
+
+    fn set() -> ConfigSet {
+        let mut s = ConfigSet::new();
+        s.insert(
+            "my.cnf",
+            ConfTree::new(
+                Node::new("config")
+                    .with_child(
+                        Node::new("section")
+                            .with_attr("name", "mysqld")
+                            .with_child(Node::new("directive").with_attr("name", "port").with_text("3306"))
+                            .with_child(
+                                Node::new("directive")
+                                    .with_attr("name", "datadir")
+                                    .with_text("/var/lib/mysql"),
+                            ),
+                    )
+                    .with_child(
+                        Node::new("section").with_attr("name", "client").with_child(
+                            Node::new("directive").with_attr("name", "socket").with_text("/tmp/s"),
+                        ),
+                    ),
+            ),
+        );
+        s
+    }
+
+    #[test]
+    fn default_plugin_produces_all_kinds() {
+        let plugin = StructuralPlugin::new()
+            .with_donor("apache:Listen", Node::new("directive").with_attr("name", "Listen").with_text("80"));
+        let faults = plugin.generate(&set()).unwrap();
+        let ids: Vec<&str> = faults.iter().map(|f| f.id()).collect();
+        assert!(ids.iter().any(|i| i.starts_with("delete:")));
+        assert!(ids.iter().any(|i| i.starts_with("duplicate:")));
+        assert!(ids.iter().any(|i| i.starts_with("move:")));
+        assert!(ids.iter().any(|i| i.starts_with("insert:")));
+        // Every scenario applies cleanly.
+        for f in &faults {
+            f.scenario().unwrap().apply(&set()).unwrap();
+        }
+    }
+
+    #[test]
+    fn directive_omission_counts_match() {
+        let plugin = StructuralPlugin::new().with_kinds([StructuralKind::DirectiveOmission]);
+        assert_eq!(plugin.generate(&set()).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn misplacement_moves_across_sections() {
+        let plugin = StructuralPlugin::new().with_kinds([StructuralKind::Misplacement]);
+        let faults = plugin.generate(&set()).unwrap();
+        // Each of the 3 directives can move to exactly 1 other section.
+        assert_eq!(faults.len(), 3);
+    }
+
+    #[test]
+    fn foreign_directive_requires_donor() {
+        let plugin = StructuralPlugin::new().with_kinds([StructuralKind::ForeignDirective]);
+        assert!(plugin.generate(&set()).unwrap().is_empty());
+        let plugin = plugin.with_donor(
+            "pg:max_connections",
+            Node::new("directive").with_attr("name", "max_connections").with_text("100"),
+        );
+        let faults = plugin.generate(&set()).unwrap();
+        // Two sections + the root config node.
+        assert_eq!(faults.len(), 3);
+    }
+
+    #[test]
+    fn section_omission_targets_sections_only() {
+        let plugin = StructuralPlugin::new().with_kinds([StructuralKind::SectionOmission]);
+        let faults = plugin.generate(&set()).unwrap();
+        assert_eq!(faults.len(), 2);
+        let out = faults[0].scenario().unwrap().apply(&set()).unwrap();
+        assert_eq!(out.get("my.cnf").unwrap().root().children().len(), 1);
+    }
+}

@@ -1,0 +1,426 @@
+//! The spelling-mistakes plugin (paper §4.1).
+//!
+//! Configuration files are viewed as lists of typed tokens (directive
+//! names, directive values, section names); the plugin restricts
+//! injection to one token class and generates every single-edit typo
+//! of the requested kinds for every token, using the keyboard model
+//! for insertions and substitutions.
+
+use conferr_keyboard::Keyboard;
+use conferr_model::{
+    ConfigSet, ErrorClass, ErrorGenerator, GenerateError, GeneratedFault, ModifyTemplate,
+    Template, TypoKind,
+};
+
+/// The token class a [`TypoPlugin`] instance targets — the paper's
+/// "restrict the injection to a specific part of the configuration
+/// (e.g. mis-spell directive names only)".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TokenClass {
+    /// Directive names (the `name` attribute of `directive` nodes).
+    DirectiveNames,
+    /// Directive values (the text of `directive` nodes).
+    DirectiveValues,
+    /// Section names (the `name` attribute of `section` nodes).
+    SectionNames,
+}
+
+impl TokenClass {
+    fn label(self) -> &'static str {
+        match self {
+            TokenClass::DirectiveNames => "directive-name",
+            TokenClass::DirectiveValues => "directive-value",
+            TokenClass::SectionNames => "section-name",
+        }
+    }
+}
+
+/// All five one-letter typo submodels of §2.1.
+pub const ALL_TYPO_KINDS: [TypoKind; 5] = [
+    TypoKind::Omission,
+    TypoKind::Insertion,
+    TypoKind::Substitution,
+    TypoKind::CaseAlteration,
+    TypoKind::Transposition,
+];
+
+/// Generates every single-edit typo of `kind` for `word`, returning
+/// `(mutated, label)` pairs. Results never include the original word
+/// and contain no duplicates.
+///
+/// * `Omission` — drop one character.
+/// * `Insertion` — insert a keyboard neighbour of the character at the
+///   insertion point (the slip of brushing an adjacent key).
+/// * `Substitution` — replace one character with a keyboard neighbour
+///   reachable with the *same modifiers*.
+/// * `CaseAlteration` — swap the case of an adjacent letter pair whose
+///   Shift states differ (Shift released/pressed one keystroke late).
+/// * `Transposition` — swap two adjacent characters.
+pub fn typos_of_kind(keyboard: &Keyboard, kind: TypoKind, word: &str) -> Vec<(String, String)> {
+    let chars: Vec<char> = word.chars().collect();
+    let mut out: Vec<(String, String)> = Vec::new();
+    let mut push = |mutated: String, label: String| {
+        if mutated != word && !out.iter().any(|(m, _)| *m == mutated) {
+            out.push((mutated, label));
+        }
+    };
+    match kind {
+        TypoKind::Omission => {
+            for i in 0..chars.len() {
+                let mutated: String = chars
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, c)| *c)
+                    .collect();
+                push(mutated, format!("omit {:?} at position {i} of {word:?}", chars[i]));
+            }
+        }
+        TypoKind::Insertion => {
+            for i in 0..=chars.len() {
+                // The key the finger is travelling to at position i:
+                // the next character, or the previous one at the end.
+                let anchor = if i < chars.len() {
+                    chars[i]
+                } else if let Some(&last) = chars.last() {
+                    last
+                } else {
+                    continue;
+                };
+                for n in keyboard.nearby_chars(anchor) {
+                    let mut mutated: String = chars[..i].iter().collect();
+                    mutated.push(n);
+                    mutated.extend(&chars[i..]);
+                    push(
+                        mutated,
+                        format!("insert spurious {n:?} at position {i} of {word:?}"),
+                    );
+                }
+            }
+        }
+        TypoKind::Substitution => {
+            for i in 0..chars.len() {
+                for n in keyboard.nearby_chars(chars[i]) {
+                    let mut mutated: Vec<char> = chars.clone();
+                    mutated[i] = n;
+                    push(
+                        mutated.into_iter().collect(),
+                        format!("substitute {:?} with {n:?} in {word:?}", chars[i]),
+                    );
+                }
+            }
+        }
+        TypoKind::CaseAlteration => {
+            for i in 0..chars.len().saturating_sub(1) {
+                let (a, b) = (chars[i], chars[i + 1]);
+                let (Some(sa), Some(sb)) = (keyboard.keystroke_for(a), keyboard.keystroke_for(b))
+                else {
+                    continue;
+                };
+                // Shift miscoordination only manifests where the Shift
+                // state changes between adjacent keystrokes.
+                if sa.modifiers.shift == sb.modifiers.shift {
+                    continue;
+                }
+                let (Some(fa), Some(fb)) = (keyboard.case_flip(a), keyboard.case_flip(b)) else {
+                    continue;
+                };
+                let mut mutated: Vec<char> = chars.clone();
+                mutated[i] = fa;
+                mutated[i + 1] = fb;
+                push(
+                    mutated.into_iter().collect(),
+                    format!("swap case of {a:?}{b:?} at position {i} of {word:?}"),
+                );
+            }
+        }
+        TypoKind::Transposition => {
+            for i in 0..chars.len().saturating_sub(1) {
+                if chars[i] == chars[i + 1] {
+                    continue;
+                }
+                let mut mutated: Vec<char> = chars.clone();
+                mutated.swap(i, i + 1);
+                push(
+                    mutated.into_iter().collect(),
+                    format!(
+                        "transpose {:?}{:?} at position {i} of {word:?}",
+                        chars[i],
+                        chars[i + 1]
+                    ),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// The spelling-mistakes error generator.
+///
+/// # Examples
+///
+/// ```
+/// use conferr_keyboard::Keyboard;
+/// use conferr_model::{ConfigSet, ErrorGenerator};
+/// use conferr_plugins::{TokenClass, TypoPlugin};
+/// use conferr_tree::{ConfTree, Node};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut set = ConfigSet::new();
+/// set.insert(
+///     "pg.conf",
+///     ConfTree::new(Node::new("config").with_child(
+///         Node::new("directive").with_attr("name", "port").with_text("5432"),
+///     )),
+/// );
+/// let plugin = TypoPlugin::new(Keyboard::qwerty_us(), TokenClass::DirectiveValues);
+/// let faults = plugin.generate(&set)?;
+/// assert!(!faults.is_empty());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TypoPlugin {
+    keyboard: Keyboard,
+    token_class: TokenClass,
+    kinds: Vec<TypoKind>,
+    file: Option<String>,
+}
+
+impl TypoPlugin {
+    /// Creates a plugin generating all five typo kinds against the
+    /// given token class.
+    pub fn new(keyboard: Keyboard, token_class: TokenClass) -> Self {
+        TypoPlugin {
+            keyboard,
+            token_class,
+            kinds: ALL_TYPO_KINDS.to_vec(),
+            file: None,
+        }
+    }
+
+    /// Restricts generation to the given typo kinds.
+    #[must_use]
+    pub fn with_kinds(mut self, kinds: impl IntoIterator<Item = TypoKind>) -> Self {
+        self.kinds = kinds.into_iter().collect();
+        self
+    }
+
+    /// Restricts generation to one file of the set.
+    #[must_use]
+    pub fn in_file(mut self, name: impl Into<String>) -> Self {
+        self.file = Some(name.into());
+        self
+    }
+
+    /// The token class this plugin targets.
+    pub fn token_class(&self) -> TokenClass {
+        self.token_class
+    }
+
+    fn template_for(&self, kind: TypoKind) -> ModifyTemplate {
+        let kb = self.keyboard.clone();
+        let class = ErrorClass::Typo(kind);
+        let op = format!("typo-{kind}-{}", self.token_class.label());
+        let mutator = move |current: &str| typos_of_kind(&kb, kind, current);
+        let template = match self.token_class {
+            TokenClass::DirectiveNames => ModifyTemplate::new_attr(
+                "//directive".parse().expect("static query"),
+                "name",
+                class,
+                op,
+                mutator,
+            ),
+            TokenClass::DirectiveValues => ModifyTemplate::new(
+                "//directive".parse().expect("static query"),
+                class,
+                op,
+                mutator,
+            ),
+            TokenClass::SectionNames => ModifyTemplate::new_attr(
+                "//section".parse().expect("static query"),
+                "name",
+                class,
+                op,
+                mutator,
+            ),
+        };
+        match &self.file {
+            Some(f) => template.in_file(f.clone()),
+            None => template,
+        }
+    }
+}
+
+impl ErrorGenerator for TypoPlugin {
+    fn name(&self) -> &str {
+        "typo"
+    }
+
+    fn generate(&self, set: &ConfigSet) -> Result<Vec<GeneratedFault>, GenerateError> {
+        let mut out = Vec::new();
+        for &kind in &self.kinds {
+            out.extend(
+                self.template_for(kind)
+                    .generate(set)
+                    .into_iter()
+                    .map(GeneratedFault::Scenario),
+            );
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conferr_tree::{ConfTree, Node, TreePath};
+
+    fn kb() -> Keyboard {
+        Keyboard::qwerty_us()
+    }
+
+    #[test]
+    fn omissions_drop_one_char_each() {
+        let t = typos_of_kind(&kb(), TypoKind::Omission, "port");
+        let words: Vec<&str> = t.iter().map(|(w, _)| w.as_str()).collect();
+        assert_eq!(words, ["ort", "prt", "pot", "por"]);
+    }
+
+    #[test]
+    fn omissions_dedup_repeated_letters() {
+        let t = typos_of_kind(&kb(), TypoKind::Omission, "aab");
+        let words: Vec<&str> = t.iter().map(|(w, _)| w.as_str()).collect();
+        assert_eq!(words, ["ab", "aa"]);
+    }
+
+    #[test]
+    fn substitutions_use_keyboard_neighbors() {
+        let t = typos_of_kind(&kb(), TypoKind::Substitution, "g");
+        let words: Vec<&str> = t.iter().map(|(w, _)| w.as_str()).collect();
+        for expected in ["f", "h", "t", "b"] {
+            assert!(words.contains(&expected), "{expected} missing from {words:?}");
+        }
+        assert!(!words.contains(&"q"), "q is not adjacent to g");
+    }
+
+    #[test]
+    fn insertions_anchor_on_adjacent_keys() {
+        let t = typos_of_kind(&kb(), TypoKind::Insertion, "go");
+        // Every insertion must differ from "go" by exactly one extra char.
+        for (w, _) in &t {
+            assert_eq!(w.chars().count(), 3, "{w:?}");
+        }
+        // Inserting before 'g' uses g's neighbours.
+        assert!(t.iter().any(|(w, _)| w.starts_with('f') && w.ends_with("go")));
+        // Inserting at the end uses o's neighbours.
+        assert!(t.iter().any(|(w, _)| w.starts_with("go")));
+    }
+
+    #[test]
+    fn case_alterations_need_mixed_shift_states() {
+        assert!(typos_of_kind(&kb(), TypoKind::CaseAlteration, "port").is_empty());
+        let t = typos_of_kind(&kb(), TypoKind::CaseAlteration, "Listen");
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].0, "lIsten");
+    }
+
+    #[test]
+    fn transpositions_swap_adjacent_distinct_chars() {
+        let t = typos_of_kind(&kb(), TypoKind::Transposition, "port");
+        let words: Vec<&str> = t.iter().map(|(w, _)| w.as_str()).collect();
+        assert_eq!(words, ["oprt", "prot", "potr"]);
+        assert!(typos_of_kind(&kb(), TypoKind::Transposition, "aa").is_empty());
+    }
+
+    #[test]
+    fn empty_and_single_char_words_are_safe() {
+        for kind in ALL_TYPO_KINDS {
+            let t = typos_of_kind(&kb(), kind, "");
+            assert!(t.is_empty(), "{kind}: {t:?}");
+        }
+        assert_eq!(typos_of_kind(&kb(), TypoKind::Omission, "x").len(), 1);
+        assert!(typos_of_kind(&kb(), TypoKind::Transposition, "x").is_empty());
+    }
+
+    fn sample_set() -> ConfigSet {
+        let mut set = ConfigSet::new();
+        set.insert(
+            "my.cnf",
+            ConfTree::new(
+                Node::new("config").with_child(
+                    Node::new("section").with_attr("name", "mysqld").with_child(
+                        Node::new("directive").with_attr("name", "port").with_text("3306"),
+                    ),
+                ),
+            ),
+        );
+        set
+    }
+
+    #[test]
+    fn plugin_targets_directive_values() {
+        let plugin = TypoPlugin::new(kb(), TokenClass::DirectiveValues)
+            .with_kinds([TypoKind::Omission]);
+        let faults = plugin.generate(&sample_set()).unwrap();
+        // "3306" has 3 distinct omissions (dropping either '3' of "33"
+        // is the same string).
+        assert_eq!(faults.len(), 3);
+        let sc = faults[0].scenario().unwrap();
+        let out = sc.apply(&sample_set()).unwrap();
+        let d = out
+            .get("my.cnf")
+            .unwrap()
+            .node_at(&TreePath::from(vec![0, 0]))
+            .unwrap();
+        assert_eq!(d.text(), Some("306"));
+        assert_eq!(d.attr("name"), Some("port"), "name must be untouched");
+    }
+
+    #[test]
+    fn plugin_targets_directive_names() {
+        let plugin =
+            TypoPlugin::new(kb(), TokenClass::DirectiveNames).with_kinds([TypoKind::Omission]);
+        let faults = plugin.generate(&sample_set()).unwrap();
+        assert_eq!(faults.len(), 4); // p-o-r-t
+        let sc = faults[0].scenario().unwrap();
+        let out = sc.apply(&sample_set()).unwrap();
+        let d = out
+            .get("my.cnf")
+            .unwrap()
+            .node_at(&TreePath::from(vec![0, 0]))
+            .unwrap();
+        assert_eq!(d.attr("name"), Some("ort"));
+        assert_eq!(d.text(), Some("3306"), "value must be untouched");
+    }
+
+    #[test]
+    fn plugin_targets_section_names() {
+        let plugin =
+            TypoPlugin::new(kb(), TokenClass::SectionNames).with_kinds([TypoKind::Transposition]);
+        let faults = plugin.generate(&sample_set()).unwrap();
+        assert!(!faults.is_empty());
+        let out = faults[0].scenario().unwrap().apply(&sample_set()).unwrap();
+        let sec = out.get("my.cnf").unwrap().node_at(&TreePath::from(vec![0])).unwrap();
+        assert_ne!(sec.attr("name"), Some("mysqld"));
+    }
+
+    #[test]
+    fn every_generated_typo_is_a_single_edit() {
+        let plugin = TypoPlugin::new(kb(), TokenClass::DirectiveValues);
+        for fault in plugin.generate(&sample_set()).unwrap() {
+            let sc = fault.scenario().unwrap();
+            assert_eq!(sc.edits.len(), 1, "{}", sc.id);
+            sc.apply(&sample_set()).unwrap();
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let plugin = TypoPlugin::new(kb(), TokenClass::DirectiveValues);
+        assert_eq!(
+            plugin.generate(&sample_set()).unwrap(),
+            plugin.generate(&sample_set()).unwrap()
+        );
+    }
+}

@@ -1,0 +1,412 @@
+//! Accepted-variation probes for Table 2 (paper §5.3).
+//!
+//! These generators produce configuration files that *should* be
+//! semantically equivalent to the original — reordering, whitespace,
+//! case and truncation rewrites. A resilient system accepts all of
+//! them; a rigid one rejects some, revealing which administrator
+//! mental-model variations it tolerates.
+
+use conferr_model::{
+    ConfigSet, ErrorClass, ErrorGenerator, FaultScenario, GenerateError, GeneratedFault,
+    StructuralKind, TreeEdit,
+};
+use conferr_tree::Node;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// The five variation classes of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VariationClass {
+    /// Reorder sections within the file.
+    SectionOrder,
+    /// Reorder directives within each section.
+    DirectiveOrder,
+    /// Change whitespace around name/value separators.
+    SeparatorWhitespace,
+    /// Randomise the letter case of directive names.
+    MixedCaseNames,
+    /// Truncate directive names (keeping an unambiguous prefix).
+    TruncatedNames,
+}
+
+impl VariationClass {
+    /// All five classes, in Table 2 order.
+    pub const ALL: [VariationClass; 5] = [
+        VariationClass::SectionOrder,
+        VariationClass::DirectiveOrder,
+        VariationClass::SeparatorWhitespace,
+        VariationClass::MixedCaseNames,
+        VariationClass::TruncatedNames,
+    ];
+
+    /// The row label used in Table 2.
+    pub fn label(self) -> &'static str {
+        match self {
+            VariationClass::SectionOrder => "Order of sections",
+            VariationClass::DirectiveOrder => "Order of directives",
+            VariationClass::SeparatorWhitespace => "Spaces near separators",
+            VariationClass::MixedCaseNames => "Mixed-case directive names",
+            VariationClass::TruncatedNames => "Truncatable directive names",
+        }
+    }
+
+    fn slug(self) -> &'static str {
+        match self {
+            VariationClass::SectionOrder => "section-order",
+            VariationClass::DirectiveOrder => "directive-order",
+            VariationClass::SeparatorWhitespace => "separator-whitespace",
+            VariationClass::MixedCaseNames => "mixed-case-names",
+            VariationClass::TruncatedNames => "truncated-names",
+        }
+    }
+}
+
+/// Generates `count` seeded variant configurations of one class —
+/// the paper tested "each system with 10 different configuration
+/// files" per class.
+#[derive(Debug, Clone)]
+pub struct VariationPlugin {
+    class: VariationClass,
+    count: usize,
+    seed: u64,
+}
+
+impl VariationPlugin {
+    /// Creates a plugin for one variation class.
+    pub fn new(class: VariationClass, count: usize, seed: u64) -> Self {
+        VariationPlugin { class, count, seed }
+    }
+
+    /// The variation class.
+    pub fn class(&self) -> VariationClass {
+        self.class
+    }
+}
+
+impl ErrorGenerator for VariationPlugin {
+    fn name(&self) -> &str {
+        "variation"
+    }
+
+    fn generate(&self, set: &ConfigSet) -> Result<Vec<GeneratedFault>, GenerateError> {
+        let mut out = Vec::new();
+        for k in 0..self.count {
+            let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(k as u64));
+            let mut edits = Vec::new();
+            let mut changed = false;
+            for (name, tree) in set.iter() {
+                let mut new_tree = tree.clone();
+                let file_changed = match self.class {
+                    VariationClass::SectionOrder => permute_children(
+                        new_tree.root_mut(),
+                        "section",
+                        &mut rng,
+                    ),
+                    VariationClass::DirectiveOrder => {
+                        let mut any = permute_children(new_tree.root_mut(), "directive", &mut rng);
+                        for sec in sections_mut(new_tree.root_mut()) {
+                            any |= permute_children(sec, "directive", &mut rng);
+                        }
+                        any
+                    }
+                    VariationClass::SeparatorWhitespace => rewrite_separators(
+                        new_tree.root_mut(),
+                        &mut rng,
+                    ),
+                    VariationClass::MixedCaseNames => mix_case_names(new_tree.root_mut(), &mut rng),
+                    VariationClass::TruncatedNames => truncate_names(new_tree.root_mut()),
+                };
+                if file_changed {
+                    changed = true;
+                    edits.push(TreeEdit::ReplaceTree {
+                        file: name.to_string(),
+                        tree: new_tree,
+                    });
+                }
+            }
+            if !changed {
+                continue;
+            }
+            out.push(GeneratedFault::Scenario(FaultScenario {
+                id: format!("variation:{}:{k}", self.class.slug()),
+                description: format!("{} variant #{k}", self.class.label()),
+                class: ErrorClass::Structural(StructuralKind::Variation),
+                edits,
+            }));
+        }
+        Ok(out)
+    }
+}
+
+fn sections_mut(root: &mut Node) -> impl Iterator<Item = &mut Node> {
+    root.children_mut()
+        .iter_mut()
+        .filter(|c| c.kind() == "section")
+}
+
+/// Randomly permutes the children of `parent` whose kind is `kind`,
+/// leaving all other children (comments, blanks, other kinds) in
+/// place. Returns `true` if the order actually changed.
+fn permute_children(parent: &mut Node, kind: &str, rng: &mut StdRng) -> bool {
+    let indices: Vec<usize> = parent
+        .children()
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.kind() == kind)
+        .map(|(i, _)| i)
+        .collect();
+    if indices.len() < 2 {
+        return false;
+    }
+    let mut order = indices.clone();
+    // Draw permutations until one differs from the identity; bounded
+    // retries keep this deterministic and total.
+    for _ in 0..8 {
+        order.shuffle(rng);
+        if order != indices {
+            break;
+        }
+    }
+    if order == indices {
+        // Fall back to a rotation, which is never the identity here.
+        order.rotate_left(1);
+    }
+    let originals: Vec<Node> = indices
+        .iter()
+        .map(|&i| parent.children()[i].clone())
+        .collect();
+    for (slot, src) in indices.iter().zip(order.iter()) {
+        let pos = indices.iter().position(|i| i == src).expect("same set");
+        parent.children_mut()[*slot] = originals[pos].clone();
+    }
+    true
+}
+
+/// Rewrites each directive's separator with a random equivalent
+/// variant: `=`-based separators for formats that use `=`, whitespace
+/// runs for formats (Apache) that separate with spaces.
+fn rewrite_separators(node: &mut Node, rng: &mut StdRng) -> bool {
+    const EQ_VARIANTS: [&str; 5] = ["=", " = ", "  =  ", " =", "= "];
+    const WS_VARIANTS: [&str; 3] = [" ", "  ", "\t"];
+    let mut changed = false;
+    if node.kind() == "directive" {
+        if let Some(sep) = node.attr("sep") {
+            let variants: &[&str] = if sep.contains('=') {
+                &EQ_VARIANTS
+            } else if !sep.is_empty() {
+                &WS_VARIANTS
+            } else {
+                &[]
+            };
+            if !variants.is_empty() {
+                let new = variants[rng.gen_range(0..variants.len())];
+                if new != sep {
+                    node.set_attr("sep", new);
+                    changed = true;
+                }
+            }
+        }
+    }
+    for child in node.children_mut() {
+        changed |= rewrite_separators(child, rng);
+    }
+    changed
+}
+
+/// Randomises the case of directive names (each letter flips with
+/// probability 1/2; redrawn so at least one letter changes).
+fn mix_case_names(node: &mut Node, rng: &mut StdRng) -> bool {
+    let mut changed = false;
+    if node.kind() == "directive" {
+        if let Some(name) = node.attr("name") {
+            let flipped: String = name
+                .chars()
+                .map(|c| {
+                    if c.is_ascii_alphabetic() && rng.gen_bool(0.5) {
+                        if c.is_ascii_lowercase() {
+                            c.to_ascii_uppercase()
+                        } else {
+                            c.to_ascii_lowercase()
+                        }
+                    } else {
+                        c
+                    }
+                })
+                .collect();
+            if flipped != name {
+                node.set_attr("name", flipped);
+                changed = true;
+            }
+        }
+    }
+    for child in node.children_mut() {
+        changed |= mix_case_names(child, rng);
+    }
+    changed
+}
+
+/// Truncates directive names by one trailing character (two for long
+/// names), keeping the result an unambiguous prefix among its sibling
+/// directives. Names of six characters or fewer are left alone.
+fn truncate_names(node: &mut Node) -> bool {
+    let mut changed = false;
+    let names: Vec<String> = node
+        .children()
+        .iter()
+        .filter(|c| c.kind() == "directive")
+        .filter_map(|c| c.attr("name").map(str::to_string))
+        .collect();
+    for child in node.children_mut() {
+        if child.kind() == "directive" {
+            if let Some(name) = child.attr("name").map(str::to_string) {
+                let cut = if name.len() > 10 { 2 } else { 1 };
+                if name.len() > 6 {
+                    let prefix = &name[..name.len() - cut];
+                    let ambiguous = names
+                        .iter()
+                        .any(|other| *other != name && other.starts_with(prefix));
+                    if !ambiguous {
+                        child.set_attr("name", prefix);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        changed |= truncate_names(child);
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conferr_tree::ConfTree;
+
+    fn ini_set() -> ConfigSet {
+        let mut s = ConfigSet::new();
+        s.insert(
+            "my.cnf",
+            ConfTree::new(
+                Node::new("config")
+                    .with_child(
+                        Node::new("section")
+                            .with_attr("name", "mysqld")
+                            .with_child(dir("port", "3306", "="))
+                            .with_child(dir("key_buffer_size", "16M", "="))
+                            .with_child(dir("max_connections", "100", "=")),
+                    )
+                    .with_child(
+                        Node::new("section")
+                            .with_attr("name", "client")
+                            .with_child(dir("socket", "/tmp/mysql.sock", "=")),
+                    ),
+            ),
+        );
+        s
+    }
+
+    fn dir(name: &str, value: &str, sep: &str) -> Node {
+        Node::new("directive")
+            .with_attr("name", name)
+            .with_attr("sep", sep)
+            .with_text(value)
+    }
+
+    fn scenarios(class: VariationClass) -> Vec<FaultScenario> {
+        VariationPlugin::new(class, 10, 7)
+            .generate(&ini_set())
+            .unwrap()
+            .into_iter()
+            .map(|f| f.scenario().unwrap().clone())
+            .collect()
+    }
+
+    #[test]
+    fn section_order_produces_changed_variants() {
+        let scs = scenarios(VariationClass::SectionOrder);
+        assert_eq!(scs.len(), 10);
+        for sc in &scs {
+            let out = sc.apply(&ini_set()).unwrap();
+            let names: Vec<&str> = out
+                .get("my.cnf")
+                .unwrap()
+                .root()
+                .children_of_kind("section")
+                .filter_map(|s| s.attr("name"))
+                .collect();
+            assert_eq!(names, ["client", "mysqld"], "two sections can only swap");
+        }
+    }
+
+    #[test]
+    fn directive_order_keeps_directive_multiset() {
+        for sc in scenarios(VariationClass::DirectiveOrder) {
+            let out = sc.apply(&ini_set()).unwrap();
+            let sec = &out.get("my.cnf").unwrap().root().children()[0];
+            let mut names: Vec<&str> =
+                sec.children_of_kind("directive").filter_map(|d| d.attr("name")).collect();
+            names.sort_unstable();
+            assert_eq!(names, ["key_buffer_size", "max_connections", "port"]);
+        }
+    }
+
+    #[test]
+    fn separator_whitespace_only_touches_sep() {
+        for sc in scenarios(VariationClass::SeparatorWhitespace) {
+            let out = sc.apply(&ini_set()).unwrap();
+            let sec = &out.get("my.cnf").unwrap().root().children()[0];
+            for d in sec.children_of_kind("directive") {
+                assert!(d.attr("sep").unwrap().contains('='));
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_case_changes_at_least_one_name() {
+        let scs = scenarios(VariationClass::MixedCaseNames);
+        assert!(!scs.is_empty());
+        for sc in &scs {
+            let out = sc.apply(&ini_set()).unwrap();
+            let sec = &out.get("my.cnf").unwrap().root().children()[0];
+            let changed = sec.children_of_kind("directive").any(|d| {
+                let n = d.attr("name").unwrap();
+                n != n.to_ascii_lowercase()
+            });
+            assert!(changed, "{}", sc.id);
+        }
+    }
+
+    #[test]
+    fn truncation_preserves_prefix_property() {
+        let scs = scenarios(VariationClass::TruncatedNames);
+        assert!(!scs.is_empty());
+        let out = scs[0].apply(&ini_set()).unwrap();
+        let sec = &out.get("my.cnf").unwrap().root().children()[0];
+        let names: Vec<&str> =
+            sec.children_of_kind("directive").filter_map(|d| d.attr("name")).collect();
+        // port is too short to truncate, the others lose two chars.
+        assert_eq!(names, ["port", "key_buffer_si", "max_connectio"]);
+    }
+
+    #[test]
+    fn variants_are_seeded_and_distinct_by_seed() {
+        let a = VariationPlugin::new(VariationClass::MixedCaseNames, 5, 1)
+            .generate(&ini_set())
+            .unwrap();
+        let b = VariationPlugin::new(VariationClass::MixedCaseNames, 5, 1)
+            .generate(&ini_set())
+            .unwrap();
+        assert_eq!(a, b);
+        let c = VariationPlugin::new(VariationClass::MixedCaseNames, 5, 2)
+            .generate(&ini_set())
+            .unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn labels_match_table2_rows() {
+        assert_eq!(VariationClass::SectionOrder.label(), "Order of sections");
+        assert_eq!(VariationClass::ALL.len(), 5);
+    }
+}

@@ -1,0 +1,180 @@
+//! Typo injection for generic XML configurations.
+//!
+//! XML configuration trees store element attributes verbatim in a
+//! `raw_attrs` region (see [`conferr_formats::XmlFormat`]); the
+//! regular typo plugin targets `directive` nodes and never sees them.
+//! [`XmlAttrTypoPlugin`] closes the gap: it decodes each element's
+//! attributes, generates keyboard-model typos in the attribute
+//! *values*, and re-encodes the attribute region — so ConfErr's §3.2
+//! claim of supporting "generic XML configuration files" holds for
+//! fault injection too, not just parsing.
+
+use conferr_formats::xml_parse_attrs;
+use conferr_keyboard::Keyboard;
+use conferr_model::{
+    ConfigSet, ErrorClass, ErrorGenerator, FaultScenario, GenerateError, GeneratedFault,
+    TreeEdit, TypoKind,
+};
+use conferr_tree::NodeQuery;
+
+use crate::typo::{typos_of_kind, ALL_TYPO_KINDS};
+
+/// Spelling-mistake generator for XML attribute values.
+#[derive(Debug, Clone)]
+pub struct XmlAttrTypoPlugin {
+    keyboard: Keyboard,
+    kinds: Vec<TypoKind>,
+}
+
+impl XmlAttrTypoPlugin {
+    /// Creates a plugin generating all five typo kinds.
+    pub fn new(keyboard: Keyboard) -> Self {
+        XmlAttrTypoPlugin {
+            keyboard,
+            kinds: ALL_TYPO_KINDS.to_vec(),
+        }
+    }
+
+    /// Restricts generation to the given typo kinds.
+    #[must_use]
+    pub fn with_kinds(mut self, kinds: impl IntoIterator<Item = TypoKind>) -> Self {
+        self.kinds = kinds.into_iter().collect();
+        self
+    }
+}
+
+/// Re-encodes attribute pairs into a `raw_attrs` region (leading
+/// space, double quotes).
+fn encode_attrs(pairs: &[(String, String)]) -> String {
+    let mut out = String::new();
+    for (k, v) in pairs {
+        out.push(' ');
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(v);
+        out.push('"');
+    }
+    out
+}
+
+impl ErrorGenerator for XmlAttrTypoPlugin {
+    fn name(&self) -> &str {
+        "xml-attr-typo"
+    }
+
+    fn generate(&self, set: &ConfigSet) -> Result<Vec<GeneratedFault>, GenerateError> {
+        let query: NodeQuery = "//element".parse().expect("static query");
+        let mut out = Vec::new();
+        for (file, tree) in set.iter() {
+            for (path, node) in query.select_nodes(tree) {
+                let raw = node.attr("raw_attrs").unwrap_or("");
+                let pairs = xml_parse_attrs(raw).map_err(|e| {
+                    GenerateError::new("xml-attr-typo", format!("{file}: {e}"))
+                })?;
+                for (attr_idx, (attr_name, attr_value)) in pairs.iter().enumerate() {
+                    // Typos containing a double quote would break the
+                    // attribute encoding rather than model a slip.
+                    for &kind in &self.kinds {
+                        for (variant_idx, (mutated, label)) in
+                            typos_of_kind(&self.keyboard, kind, attr_value)
+                                .into_iter()
+                                .filter(|(m, _)| !m.contains('"'))
+                                .enumerate()
+                        {
+                            let mut new_pairs = pairs.clone();
+                            new_pairs[attr_idx].1 = mutated;
+                            out.push(GeneratedFault::Scenario(FaultScenario {
+                                id: format!(
+                                    "xml-typo-{kind}:{file}:{path}:{attr_name}#{variant_idx}"
+                                ),
+                                description: format!(
+                                    "in <{} {attr_name}=...>: {label}",
+                                    node.attr("tag").unwrap_or("?")
+                                ),
+                                class: ErrorClass::Typo(kind),
+                                edits: vec![TreeEdit::SetAttr {
+                                    file: file.to_string(),
+                                    path: path.clone(),
+                                    key: "raw_attrs".to_string(),
+                                    value: encode_attrs(&new_pairs),
+                                }],
+                            }));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conferr_formats::{ConfigFormat, XmlFormat};
+
+    const SAMPLE: &str =
+        "<server port=\"8080\">\n  <connector port=\"8443\" protocol=\"HTTP/1.1\"/>\n</server>\n";
+
+    fn set() -> ConfigSet {
+        let mut s = ConfigSet::new();
+        s.insert("server.xml", XmlFormat::new().parse(SAMPLE).unwrap());
+        s
+    }
+
+    #[test]
+    fn generates_typos_for_every_attribute() {
+        let plugin = XmlAttrTypoPlugin::new(Keyboard::qwerty_us())
+            .with_kinds([TypoKind::Omission]);
+        let faults = plugin.generate(&set()).unwrap();
+        // server.port (4 omissions) + connector.port (4) +
+        // connector.protocol (several distinct).
+        assert!(faults.len() >= 10, "{}", faults.len());
+        for f in &faults {
+            assert!(f.id().starts_with("xml-typo-omission"));
+        }
+    }
+
+    #[test]
+    fn scenarios_apply_and_reserialize_as_valid_xml() {
+        let plugin = XmlAttrTypoPlugin::new(Keyboard::qwerty_us());
+        let fmt = XmlFormat::new();
+        for fault in plugin.generate(&set()).unwrap() {
+            let mutated = fault.scenario().unwrap().apply(&set()).unwrap();
+            let text = fmt
+                .serialize(mutated.get("server.xml").unwrap())
+                .unwrap_or_else(|e| panic!("{}: {e}", fault.id()));
+            fmt.parse(&text)
+                .unwrap_or_else(|e| panic!("{}: {e}\n{text}", fault.id()));
+        }
+    }
+
+    #[test]
+    fn mutation_changes_exactly_one_attribute() {
+        let plugin =
+            XmlAttrTypoPlugin::new(Keyboard::qwerty_us()).with_kinds([TypoKind::Transposition]);
+        let faults = plugin.generate(&set()).unwrap();
+        let sc = faults[0].scenario().unwrap();
+        let mutated = sc.apply(&set()).unwrap();
+        let before = set();
+        let diff = conferr_tree::diff(
+            before.get("server.xml").unwrap(),
+            mutated.get("server.xml").unwrap(),
+        );
+        assert_eq!(diff.len(), 1, "{diff:?}");
+    }
+
+    #[test]
+    fn quote_producing_typos_are_filtered() {
+        // '2' neighbours include the quote character on some layouts;
+        // whatever the layout, no generated variant may contain '"'.
+        let plugin = XmlAttrTypoPlugin::new(Keyboard::qwerty_us());
+        for f in plugin.generate(&set()).unwrap() {
+            if let GeneratedFault::Scenario(sc) = f {
+                if let TreeEdit::SetAttr { value, .. } = &sc.edits[0] {
+                    assert_eq!(value.matches('"').count() % 2, 0, "{value}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Simulated systems-under-test for ConfErr campaigns.
+//!
+//! The paper evaluates ConfErr against five production servers:
+//! MySQL 5.1, Postgres 8.2, Apache httpd 2.2, ISC BIND 9.4 and djbdns
+//! 1.05. This crate provides in-process simulations of each —
+//! [`MySqlSim`], [`PostgresSim`], [`ApacheSim`], [`BindSim`],
+//! [`DjbdnsSim`] — that reproduce the systems' *configuration-handling
+//! behaviour*: which mistakes each parser rejects at startup, which
+//! slip through to functional failures, and which are silently
+//! ignored, including the specific flaws the paper documents in §5.2
+//! (see each simulator's module docs for its flaw inventory).
+//!
+//! Three substrates give the simulators real behaviour to test:
+//!
+//! * [`minidb`] — a small relational engine with a SQL subset, used by
+//!   the database functional tests;
+//! * [`minihttp`] — virtual-host HTTP request handling over an
+//!   in-memory filesystem, used by the web-server functional test;
+//! * [`minidns`] — a DNS record store and resolver with CNAME chasing,
+//!   used by both name servers.
+//!
+//! Every simulator implements [`SystemUnderTest`]: the campaign driver
+//! feeds it serialized (possibly fault-injected) configuration text,
+//! starts it, runs its functional tests and classifies the outcome.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod apache;
+mod appserver;
+mod bind;
+mod directive;
+mod djbdns;
+pub mod minidb;
+pub mod minidns;
+pub mod minihttp;
+mod mysql;
+mod postgres;
+
+pub use apache::ApacheSim;
+pub use appserver::AppServerSim;
+pub use bind::BindSim;
+pub use directive::{
+    parse_bool_mysql, parse_bool_pg, parse_int_prefix, parse_int_strict, parse_size_mysql,
+    parse_size_strict, resolve_prefix, DirectiveSpec, MySqlParse, PrefixError, ValueType,
+};
+pub use djbdns::DjbdnsSim;
+pub use mysql::MySqlSim;
+pub use postgres::PostgresSim;
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// One configuration file a system expects: its name, its
+/// [`conferr_formats`] format identifier and the default contents
+/// shipped with the system.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfigFileSpec {
+    /// File name within the configuration set, e.g. `"my.cnf"`.
+    pub name: String,
+    /// Format identifier understood by
+    /// [`conferr_formats::format_by_name`].
+    pub format: String,
+    /// The default contents that ship with the system.
+    pub default_contents: String,
+}
+
+/// Result of starting the system with a set of configuration files.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StartOutcome {
+    /// The system came up cleanly.
+    Started,
+    /// The system came up but logged warnings an attentive operator
+    /// could notice.
+    StartedWithWarnings {
+        /// The warning messages.
+        warnings: Vec<String>,
+    },
+    /// The system refused to start (it *detected* the configuration
+    /// error).
+    FailedToStart {
+        /// The diagnostic the system printed.
+        diagnostic: String,
+    },
+}
+
+impl StartOutcome {
+    /// `true` iff the system is running (with or without warnings).
+    pub fn is_running(&self) -> bool {
+        !matches!(self, StartOutcome::FailedToStart { .. })
+    }
+}
+
+impl fmt::Display for StartOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StartOutcome::Started => f.write_str("started"),
+            StartOutcome::StartedWithWarnings { warnings } => {
+                write!(f, "started with {} warning(s)", warnings.len())
+            }
+            StartOutcome::FailedToStart { diagnostic } => {
+                write!(f, "failed to start: {diagnostic}")
+            }
+        }
+    }
+}
+
+/// Result of one functional test.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TestOutcome {
+    /// The test passed.
+    Passed,
+    /// The test failed with a diagnostic.
+    Failed {
+        /// What went wrong, as the test script would report it.
+        diagnostic: String,
+    },
+}
+
+impl TestOutcome {
+    /// `true` iff the test passed.
+    pub fn passed(&self) -> bool {
+        matches!(self, TestOutcome::Passed)
+    }
+
+    /// Convenience constructor for failures.
+    pub fn failed(diagnostic: impl Into<String>) -> Self {
+        TestOutcome::Failed {
+            diagnostic: diagnostic.into(),
+        }
+    }
+}
+
+/// A system that ConfErr can test: start it from configuration text,
+/// run domain-specific functional tests, stop it.
+///
+/// Implementations are deterministic state machines: `start` parses
+/// and validates the configuration exactly as the real system's
+/// startup path would, `run_test` exercises the running instance the
+/// way an administrator's smoke script would (paper §5.1: create a
+/// table and query it; fetch a page; resolve forward and reverse
+/// names).
+pub trait SystemUnderTest: fmt::Debug {
+    /// System name, e.g. `"mysql-sim"`.
+    fn name(&self) -> &str;
+
+    /// The configuration files the system reads, with defaults.
+    fn config_files(&self) -> Vec<ConfigFileSpec>;
+
+    /// Starts the system from raw configuration text (keyed by file
+    /// name, as produced by serializing a mutated configuration set).
+    fn start(&mut self, configs: &BTreeMap<String, String>) -> StartOutcome;
+
+    /// Names of the functional tests, in execution order.
+    fn test_names(&self) -> Vec<String>;
+
+    /// Runs one functional test against the started system.
+    fn run_test(&mut self, test: &str) -> TestOutcome;
+
+    /// Stops the system and discards runtime state.
+    fn stop(&mut self);
+}
+
+/// Builds the default configuration text map for a system — the
+/// starting point of every campaign.
+pub fn default_configs(sut: &dyn SystemUnderTest) -> BTreeMap<String, String> {
+    sut.config_files()
+        .into_iter()
+        .map(|spec| (spec.name, spec.default_contents))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_accessors() {
+        assert!(StartOutcome::Started.is_running());
+        assert!(StartOutcome::StartedWithWarnings { warnings: vec!["w".into()] }.is_running());
+        assert!(!StartOutcome::FailedToStart { diagnostic: "bad".into() }.is_running());
+        assert!(TestOutcome::Passed.passed());
+        assert!(!TestOutcome::failed("nope").passed());
+    }
+
+    #[test]
+    fn outcome_display() {
+        assert_eq!(StartOutcome::Started.to_string(), "started");
+        assert!(StartOutcome::FailedToStart { diagnostic: "x".into() }
+            .to_string()
+            .contains("x"));
+    }
+}

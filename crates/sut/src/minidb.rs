@@ -1,0 +1,693 @@
+//! A miniature relational engine — the substrate behind the database
+//! simulators' functional tests.
+//!
+//! The paper's diagnosis script for MySQL and Postgres "creates a
+//! database, then creates a table, populates it, and queries it"
+//! (§5.1). This module provides a small but genuine engine for that
+//! workload: a SQL subset parser and executor over in-memory tables,
+//! with connection admission control driven by the server
+//! configuration.
+//!
+//! Supported statements:
+//!
+//! ```sql
+//! CREATE DATABASE name;
+//! DROP DATABASE name;
+//! CREATE TABLE name (col TYPE, ...);      -- TYPE: INT | TEXT
+//! DROP TABLE name;
+//! INSERT INTO name VALUES (v, ...);
+//! SELECT col, ... | * FROM name [WHERE col = v];
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Column type of the SQL subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ColType {
+    /// 64-bit integer.
+    Int,
+    /// UTF-8 string.
+    Text,
+}
+
+/// A cell value.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Value {
+    /// Integer value.
+    Int(i64),
+    /// String value.
+    Text(String),
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Text(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+/// Errors from the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DbError {
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl DbError {
+    fn new(message: impl Into<String>) -> Self {
+        DbError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DbError {}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Table {
+    columns: Vec<(String, ColType)>,
+    rows: Vec<Vec<Value>>,
+}
+
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+struct Database {
+    tables: BTreeMap<String, Table>,
+}
+
+/// Engine limits derived from the server configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineLimits {
+    /// Maximum concurrently open connections (0 admits nobody).
+    pub max_connections: u32,
+    /// Maximum bytes of a single statement.
+    pub max_statement_bytes: u64,
+}
+
+impl Default for EngineLimits {
+    fn default() -> Self {
+        EngineLimits {
+            max_connections: 100,
+            max_statement_bytes: 1 << 20,
+        }
+    }
+}
+
+/// The in-memory relational engine.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Engine {
+    databases: BTreeMap<String, Database>,
+    limits: EngineLimits,
+    open_connections: u32,
+}
+
+/// A client connection handle.
+#[derive(Debug)]
+pub struct Connection<'e> {
+    engine: &'e mut Engine,
+    current_db: Option<String>,
+}
+
+impl Engine {
+    /// Creates an engine with the given limits.
+    pub fn new(limits: EngineLimits) -> Self {
+        Engine {
+            databases: BTreeMap::new(),
+            limits,
+            open_connections: 0,
+        }
+    }
+
+    /// Opens a connection, enforcing the connection limit.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `max_connections` is exhausted.
+    pub fn connect(&mut self) -> Result<Connection<'_>, DbError> {
+        if self.open_connections >= self.limits.max_connections {
+            return Err(DbError::new(format!(
+                "too many connections (max_connections = {})",
+                self.limits.max_connections
+            )));
+        }
+        self.open_connections += 1;
+        Ok(Connection {
+            engine: self,
+            current_db: None,
+        })
+    }
+
+    /// Number of databases.
+    pub fn database_count(&self) -> usize {
+        self.databases.len()
+    }
+}
+
+/// Result of executing one statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum QueryResult {
+    /// DDL/DML success with the number of affected rows.
+    Ok {
+        /// Rows affected (0 for DDL).
+        affected: usize,
+    },
+    /// SELECT result set.
+    Rows {
+        /// Column names, in selection order.
+        columns: Vec<String>,
+        /// Result rows.
+        rows: Vec<Vec<Value>>,
+    },
+}
+
+impl<'e> Connection<'e> {
+    /// Selects the current database.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the database does not exist.
+    pub fn use_database(&mut self, name: &str) -> Result<(), DbError> {
+        if !self.engine.databases.contains_key(name) {
+            return Err(DbError::new(format!("unknown database {name:?}")));
+        }
+        self.current_db = Some(name.to_string());
+        Ok(())
+    }
+
+    /// Parses and executes one SQL statement.
+    ///
+    /// # Errors
+    ///
+    /// Fails on syntax errors, unknown objects, arity/type mismatches
+    /// and statements exceeding the configured size limit.
+    pub fn execute(&mut self, sql: &str) -> Result<QueryResult, DbError> {
+        if sql.len() as u64 > self.engine.limits.max_statement_bytes {
+            return Err(DbError::new(format!(
+                "statement of {} bytes exceeds the configured maximum of {}",
+                sql.len(),
+                self.engine.limits.max_statement_bytes
+            )));
+        }
+        let stmt = parse(sql)?;
+        self.run(stmt)
+    }
+
+    fn db_mut(&mut self) -> Result<&mut Database, DbError> {
+        let name = self
+            .current_db
+            .as_ref()
+            .ok_or_else(|| DbError::new("no database selected"))?;
+        self.engine
+            .databases
+            .get_mut(name)
+            .ok_or_else(|| DbError::new(format!("database {name:?} disappeared")))
+    }
+
+    fn run(&mut self, stmt: Statement) -> Result<QueryResult, DbError> {
+        match stmt {
+            Statement::CreateDatabase { name } => {
+                if self.engine.databases.contains_key(&name) {
+                    return Err(DbError::new(format!("database {name:?} already exists")));
+                }
+                self.engine.databases.insert(name, Database::default());
+                Ok(QueryResult::Ok { affected: 0 })
+            }
+            Statement::DropDatabase { name } => {
+                if self.engine.databases.remove(&name).is_none() {
+                    return Err(DbError::new(format!("unknown database {name:?}")));
+                }
+                if self.current_db.as_deref() == Some(name.as_str()) {
+                    self.current_db = None;
+                }
+                Ok(QueryResult::Ok { affected: 0 })
+            }
+            Statement::CreateTable { name, columns } => {
+                let db = self.db_mut()?;
+                if db.tables.contains_key(&name) {
+                    return Err(DbError::new(format!("table {name:?} already exists")));
+                }
+                db.tables.insert(
+                    name,
+                    Table {
+                        columns,
+                        rows: Vec::new(),
+                    },
+                );
+                Ok(QueryResult::Ok { affected: 0 })
+            }
+            Statement::DropTable { name } => {
+                let db = self.db_mut()?;
+                if db.tables.remove(&name).is_none() {
+                    return Err(DbError::new(format!("unknown table {name:?}")));
+                }
+                Ok(QueryResult::Ok { affected: 0 })
+            }
+            Statement::Insert { table, values } => {
+                let db = self.db_mut()?;
+                let t = db
+                    .tables
+                    .get_mut(&table)
+                    .ok_or_else(|| DbError::new(format!("unknown table {table:?}")))?;
+                if values.len() != t.columns.len() {
+                    return Err(DbError::new(format!(
+                        "insert arity mismatch: table {table:?} has {} columns, got {}",
+                        t.columns.len(),
+                        values.len()
+                    )));
+                }
+                for (v, (col, ty)) in values.iter().zip(&t.columns) {
+                    let ok = matches!(
+                        (v, ty),
+                        (Value::Int(_), ColType::Int) | (Value::Text(_), ColType::Text)
+                    );
+                    if !ok {
+                        return Err(DbError::new(format!(
+                            "type mismatch for column {col:?}: expected {ty:?}, got {v}"
+                        )));
+                    }
+                }
+                t.rows.push(values);
+                Ok(QueryResult::Ok { affected: 1 })
+            }
+            Statement::Select {
+                table,
+                columns,
+                filter,
+            } => {
+                let db = self.db_mut()?;
+                let t = db
+                    .tables
+                    .get(&table)
+                    .ok_or_else(|| DbError::new(format!("unknown table {table:?}")))?;
+                let col_index = |name: &str| -> Result<usize, DbError> {
+                    t.columns
+                        .iter()
+                        .position(|(c, _)| c == name)
+                        .ok_or_else(|| DbError::new(format!("unknown column {name:?}")))
+                };
+                let selected: Vec<(String, usize)> = match &columns {
+                    Projection::All => t
+                        .columns
+                        .iter()
+                        .enumerate()
+                        .map(|(i, (c, _))| (c.clone(), i))
+                        .collect(),
+                    Projection::Columns(cols) => cols
+                        .iter()
+                        .map(|c| col_index(c).map(|i| (c.clone(), i)))
+                        .collect::<Result<_, _>>()?,
+                };
+                let filter = match &filter {
+                    Some((col, value)) => Some((col_index(col)?, value.clone())),
+                    None => None,
+                };
+                let mut rows = Vec::new();
+                for row in &t.rows {
+                    if let Some((idx, expected)) = &filter {
+                        if &row[*idx] != expected {
+                            continue;
+                        }
+                    }
+                    rows.push(selected.iter().map(|(_, i)| row[*i].clone()).collect());
+                }
+                Ok(QueryResult::Rows {
+                    columns: selected.into_iter().map(|(c, _)| c).collect(),
+                    rows,
+                })
+            }
+        }
+    }
+}
+
+impl Drop for Connection<'_> {
+    fn drop(&mut self) {
+        self.engine.open_connections = self.engine.open_connections.saturating_sub(1);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SQL subset parser
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Projection {
+    All,
+    Columns(Vec<String>),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Statement {
+    CreateDatabase { name: String },
+    DropDatabase { name: String },
+    CreateTable { name: String, columns: Vec<(String, ColType)> },
+    DropTable { name: String },
+    Insert { table: String, values: Vec<Value> },
+    Select { table: String, columns: Projection, filter: Option<(String, Value)> },
+}
+
+fn tokenize(sql: &str) -> Result<Vec<String>, DbError> {
+    let mut out = Vec::new();
+    let mut chars = sql.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '(' | ')' | ',' | ';' | '*' | '=' => {
+                out.push(c.to_string());
+                chars.next();
+            }
+            '\'' => {
+                chars.next();
+                let mut s = String::from("'");
+                loop {
+                    match chars.next() {
+                        Some('\'') => break,
+                        Some(c) => s.push(c),
+                        None => return Err(DbError::new("unterminated string literal")),
+                    }
+                }
+                out.push(s);
+            }
+            c if c.is_ascii_alphanumeric() || c == '_' || c == '-' => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(s);
+            }
+            other => return Err(DbError::new(format!("unexpected character {other:?}"))),
+        }
+    }
+    Ok(out)
+}
+
+struct Cursor {
+    tokens: Vec<String>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn peek(&self) -> Option<&str> {
+        self.tokens.get(self.pos).map(String::as_str)
+    }
+
+    fn next(&mut self) -> Result<&str, DbError> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .ok_or_else(|| DbError::new("unexpected end of statement"))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), DbError> {
+        let t = self.next()?;
+        if t.eq_ignore_ascii_case(kw) {
+            Ok(())
+        } else {
+            Err(DbError::new(format!("expected {kw}, found {t:?}")))
+        }
+    }
+
+    fn expect(&mut self, sym: &str) -> Result<(), DbError> {
+        let t = self.next()?;
+        if t == sym {
+            Ok(())
+        } else {
+            Err(DbError::new(format!("expected {sym:?}, found {t:?}")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, DbError> {
+        let t = self.next()?;
+        if t.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_') {
+            Ok(t.to_string())
+        } else {
+            Err(DbError::new(format!("expected an identifier, found {t:?}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, DbError> {
+        let t = self.next()?;
+        if let Some(s) = t.strip_prefix('\'') {
+            Ok(Value::Text(s.to_string()))
+        } else if let Ok(i) = t.parse::<i64>() {
+            Ok(Value::Int(i))
+        } else {
+            Err(DbError::new(format!("expected a value, found {t:?}")))
+        }
+    }
+}
+
+fn parse(sql: &str) -> Result<Statement, DbError> {
+    let mut tokens = tokenize(sql)?;
+    if tokens.last().map(String::as_str) == Some(";") {
+        tokens.pop();
+    }
+    let mut c = Cursor { tokens, pos: 0 };
+    let head = c.next()?.to_ascii_uppercase();
+    let stmt = match head.as_str() {
+        "CREATE" => {
+            let what = c.next()?.to_ascii_uppercase();
+            match what.as_str() {
+                "DATABASE" => Statement::CreateDatabase { name: c.ident()? },
+                "TABLE" => {
+                    let name = c.ident()?;
+                    c.expect("(")?;
+                    let mut columns = Vec::new();
+                    loop {
+                        let col = c.ident()?;
+                        let ty = match c.next()?.to_ascii_uppercase().as_str() {
+                            "INT" | "INTEGER" => ColType::Int,
+                            "TEXT" | "VARCHAR" => ColType::Text,
+                            other => {
+                                return Err(DbError::new(format!("unknown type {other:?}")))
+                            }
+                        };
+                        columns.push((col, ty));
+                        match c.next()? {
+                            "," => continue,
+                            ")" => break,
+                            other => {
+                                return Err(DbError::new(format!(
+                                    "expected ',' or ')', found {other:?}"
+                                )))
+                            }
+                        }
+                    }
+                    Statement::CreateTable { name, columns }
+                }
+                other => return Err(DbError::new(format!("cannot CREATE {other:?}"))),
+            }
+        }
+        "DROP" => {
+            let what = c.next()?.to_ascii_uppercase();
+            match what.as_str() {
+                "DATABASE" => Statement::DropDatabase { name: c.ident()? },
+                "TABLE" => Statement::DropTable { name: c.ident()? },
+                other => return Err(DbError::new(format!("cannot DROP {other:?}"))),
+            }
+        }
+        "INSERT" => {
+            c.expect_kw("INTO")?;
+            let table = c.ident()?;
+            c.expect_kw("VALUES")?;
+            c.expect("(")?;
+            let mut values = Vec::new();
+            loop {
+                values.push(c.value()?);
+                match c.next()? {
+                    "," => continue,
+                    ")" => break,
+                    other => {
+                        return Err(DbError::new(format!("expected ',' or ')', found {other:?}")))
+                    }
+                }
+            }
+            Statement::Insert { table, values }
+        }
+        "SELECT" => {
+            let columns = if c.peek() == Some("*") {
+                c.next()?;
+                Projection::All
+            } else {
+                let mut cols = vec![c.ident()?];
+                while c.peek() == Some(",") {
+                    c.next()?;
+                    cols.push(c.ident()?);
+                }
+                Projection::Columns(cols)
+            };
+            c.expect_kw("FROM")?;
+            let table = c.ident()?;
+            let filter = if c.peek().is_some_and(|t| t.eq_ignore_ascii_case("WHERE")) {
+                c.next()?;
+                let col = c.ident()?;
+                c.expect("=")?;
+                Some((col, c.value()?))
+            } else {
+                None
+            };
+            Statement::Select {
+                table,
+                columns,
+                filter,
+            }
+        }
+        other => return Err(DbError::new(format!("unknown statement {other:?}"))),
+    };
+    if c.peek().is_some() {
+        return Err(DbError::new(format!(
+            "trailing tokens after statement: {:?}",
+            &c.tokens[c.pos..]
+        )));
+    }
+    Ok(stmt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> Engine {
+        Engine::new(EngineLimits::default())
+    }
+
+    #[test]
+    fn full_admin_smoke_workload() {
+        let mut e = engine();
+        let mut conn = e.connect().unwrap();
+        conn.execute("CREATE DATABASE shop;").unwrap();
+        conn.use_database("shop").unwrap();
+        conn.execute("CREATE TABLE items (id INT, name TEXT);").unwrap();
+        conn.execute("INSERT INTO items VALUES (1, 'apple');").unwrap();
+        conn.execute("INSERT INTO items VALUES (2, 'pear');").unwrap();
+        let result = conn.execute("SELECT name FROM items WHERE id = 2;").unwrap();
+        match result {
+            QueryResult::Rows { columns, rows } => {
+                assert_eq!(columns, ["name"]);
+                assert_eq!(rows, vec![vec![Value::Text("pear".into())]]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        conn.execute("DROP TABLE items;").unwrap();
+        conn.execute("DROP DATABASE shop;").unwrap();
+    }
+
+    #[test]
+    fn select_star_and_unfiltered() {
+        let mut e = engine();
+        let mut conn = e.connect().unwrap();
+        conn.execute("CREATE DATABASE d").unwrap();
+        conn.use_database("d").unwrap();
+        conn.execute("CREATE TABLE t (a INT, b TEXT)").unwrap();
+        conn.execute("INSERT INTO t VALUES (1, 'x')").unwrap();
+        let r = conn.execute("SELECT * FROM t").unwrap();
+        match r {
+            QueryResult::Rows { columns, rows } => {
+                assert_eq!(columns, ["a", "b"]);
+                assert_eq!(rows.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn connection_limit_is_enforced() {
+        let mut e = Engine::new(EngineLimits {
+            max_connections: 0,
+            ..EngineLimits::default()
+        });
+        assert!(e.connect().is_err());
+        let mut e = Engine::new(EngineLimits {
+            max_connections: 1,
+            ..EngineLimits::default()
+        });
+        let c1 = e.connect().unwrap();
+        drop(c1);
+        // Connection slots are released on drop.
+        e.connect().unwrap();
+    }
+
+    #[test]
+    fn statement_size_limit_is_enforced() {
+        let mut e = Engine::new(EngineLimits {
+            max_statement_bytes: 10,
+            ..EngineLimits::default()
+        });
+        let mut conn = e.connect().unwrap();
+        let err = conn.execute("CREATE DATABASE long_name_db;").unwrap_err();
+        assert!(err.message.contains("exceeds"));
+    }
+
+    #[test]
+    fn errors_on_unknown_objects() {
+        let mut e = engine();
+        let mut conn = e.connect().unwrap();
+        assert!(conn.use_database("nope").is_err());
+        conn.execute("CREATE DATABASE d").unwrap();
+        conn.use_database("d").unwrap();
+        assert!(conn.execute("SELECT * FROM missing").is_err());
+        assert!(conn.execute("INSERT INTO missing VALUES (1)").is_err());
+        assert!(conn.execute("DROP TABLE missing").is_err());
+        assert!(conn.execute("DROP DATABASE other").is_err());
+    }
+
+    #[test]
+    fn type_and_arity_checking() {
+        let mut e = engine();
+        let mut conn = e.connect().unwrap();
+        conn.execute("CREATE DATABASE d").unwrap();
+        conn.use_database("d").unwrap();
+        conn.execute("CREATE TABLE t (a INT, b TEXT)").unwrap();
+        assert!(conn.execute("INSERT INTO t VALUES (1)").is_err());
+        assert!(conn.execute("INSERT INTO t VALUES ('x', 'y')").is_err());
+        assert!(conn.execute("SELECT c FROM t").is_err());
+    }
+
+    #[test]
+    fn syntax_errors_are_reported() {
+        let mut e = engine();
+        let mut conn = e.connect().unwrap();
+        for bad in [
+            "FROB x",
+            "CREATE VIEW v",
+            "SELECT FROM t",
+            "INSERT INTO t (1)",
+            "CREATE TABLE t (a BLOB)",
+            "SELECT * FROM t WHERE",
+            "INSERT INTO t VALUES (1) garbage",
+            "CREATE TABLE t (a INT",
+            "INSERT INTO t VALUES ('unterminated)",
+        ] {
+            assert!(conn.execute(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn duplicate_creation_fails() {
+        let mut e = engine();
+        let mut conn = e.connect().unwrap();
+        conn.execute("CREATE DATABASE d").unwrap();
+        assert!(conn.execute("CREATE DATABASE d").is_err());
+        conn.use_database("d").unwrap();
+        conn.execute("CREATE TABLE t (a INT)").unwrap();
+        assert!(conn.execute("CREATE TABLE t (a INT)").is_err());
+    }
+}

@@ -1,0 +1,306 @@
+//! A miniature DNS record store and resolver — the substrate behind
+//! both name-server simulators.
+//!
+//! Provides zone storage, query answering with CNAME chasing, and
+//! reverse (in-addr.arpa) lookups. The BIND and djbdns simulators load
+//! their (possibly fault-injected) configurations into a [`ZoneStore`]
+//! and the functional tests query it the way `dig`-based smoke scripts
+//! would.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// DNS record types the resolver understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum QType {
+    A,
+    Ns,
+    Cname,
+    Mx,
+    Ptr,
+    Txt,
+    Soa,
+    Rp,
+    Hinfo,
+    Aaaa,
+}
+
+impl fmt::Display for QType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            QType::A => "A",
+            QType::Ns => "NS",
+            QType::Cname => "CNAME",
+            QType::Mx => "MX",
+            QType::Ptr => "PTR",
+            QType::Txt => "TXT",
+            QType::Soa => "SOA",
+            QType::Rp => "RP",
+            QType::Hinfo => "HINFO",
+            QType::Aaaa => "AAAA",
+        })
+    }
+}
+
+impl std::str::FromStr for QType {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "A" => Ok(QType::A),
+            "NS" => Ok(QType::Ns),
+            "CNAME" => Ok(QType::Cname),
+            "MX" => Ok(QType::Mx),
+            "PTR" => Ok(QType::Ptr),
+            "TXT" => Ok(QType::Txt),
+            "SOA" => Ok(QType::Soa),
+            "RP" => Ok(QType::Rp),
+            "HINFO" => Ok(QType::Hinfo),
+            "AAAA" => Ok(QType::Aaaa),
+            other => Err(format!("unknown query type {other:?}")),
+        }
+    }
+}
+
+/// One stored resource record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoredRecord {
+    /// Absolute lower-case owner name with trailing dot.
+    pub owner: String,
+    /// Record type.
+    pub rtype: QType,
+    /// Rdata tokens.
+    pub rdata: Vec<String>,
+}
+
+/// The answer to a query.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Answer {
+    /// Records found (possibly after CNAME chasing); includes the
+    /// chased CNAME chain records first.
+    Records(Vec<StoredRecord>),
+    /// The name exists but has no records of the requested type.
+    NoData,
+    /// The name does not exist.
+    NxDomain,
+}
+
+impl Answer {
+    /// `true` iff records were found.
+    pub fn found(&self) -> bool {
+        matches!(self, Answer::Records(_))
+    }
+}
+
+/// An in-memory zone store with a query engine.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ZoneStore {
+    records: Vec<StoredRecord>,
+    zones: BTreeMap<String, ()>,
+}
+
+/// Maximum CNAME chain length before the resolver reports a loop.
+const MAX_CNAME_CHAIN: usize = 8;
+
+impl ZoneStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        ZoneStore::default()
+    }
+
+    /// Registers a zone apex (used by zone-liveness checks).
+    pub fn add_zone(&mut self, apex: impl Into<String>) {
+        self.zones.insert(normalize(&apex.into()), ());
+    }
+
+    /// Zone apexes, sorted.
+    pub fn zones(&self) -> impl Iterator<Item = &str> {
+        self.zones.keys().map(String::as_str)
+    }
+
+    /// Adds a record (owner is normalised to absolute lower-case).
+    pub fn add_record(&mut self, owner: &str, rtype: QType, rdata: Vec<String>) {
+        self.records.push(StoredRecord {
+            owner: normalize(owner),
+            rtype,
+            rdata,
+        });
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[StoredRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` iff the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Answers a query, chasing CNAMEs (up to a bounded chain length).
+    pub fn query(&self, name: &str, qtype: QType) -> Answer {
+        let mut chain = Vec::new();
+        let mut current = normalize(name);
+        for _ in 0..MAX_CNAME_CHAIN {
+            let at_name: Vec<&StoredRecord> = self
+                .records
+                .iter()
+                .filter(|r| r.owner == current)
+                .collect();
+            if at_name.is_empty() {
+                return if chain.is_empty() {
+                    Answer::NxDomain
+                } else {
+                    // Dangling CNAME: the alias target does not exist.
+                    Answer::NxDomain
+                };
+            }
+            let direct: Vec<StoredRecord> = at_name
+                .iter()
+                .filter(|r| r.rtype == qtype)
+                .map(|r| (*r).clone())
+                .collect();
+            if !direct.is_empty() {
+                let mut out = chain;
+                out.extend(direct);
+                return Answer::Records(out);
+            }
+            // CNAME chase (not when asking for the CNAME itself).
+            if qtype != QType::Cname {
+                if let Some(cname) = at_name.iter().find(|r| r.rtype == QType::Cname) {
+                    chain.push((*cname).clone());
+                    current = normalize(cname.rdata.first().map(String::as_str).unwrap_or(""));
+                    continue;
+                }
+            }
+            return Answer::NoData;
+        }
+        Answer::NoData
+    }
+
+    /// Reverse lookup: PTR query for a dotted-quad IPv4 address.
+    pub fn reverse_lookup(&self, ip: &str) -> Answer {
+        let mut octets: Vec<&str> = ip.split('.').collect();
+        octets.reverse();
+        self.query(&format!("{}.in-addr.arpa.", octets.join(".")), QType::Ptr)
+    }
+
+    /// `true` iff the zone apex answers an SOA query — the paper's
+    /// zone-liveness functional check ("the server is answering to
+    /// requests both for the forward and the reverse zone").
+    pub fn zone_alive(&self, apex: &str) -> bool {
+        self.query(apex, QType::Soa).found()
+    }
+}
+
+fn normalize(name: &str) -> String {
+    let lower = name.to_ascii_lowercase();
+    if lower.ends_with('.') {
+        lower
+    } else {
+        format!("{lower}.")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> ZoneStore {
+        let mut s = ZoneStore::new();
+        s.add_zone("example.com.");
+        s.add_record(
+            "example.com.",
+            QType::Soa,
+            vec!["ns1.example.com.".into(), "admin.example.com.".into(), "1".into()],
+        );
+        s.add_record("example.com.", QType::Ns, vec!["ns1.example.com.".into()]);
+        s.add_record("ns1.example.com.", QType::A, vec!["192.0.2.1".into()]);
+        s.add_record("www.example.com.", QType::A, vec!["192.0.2.10".into()]);
+        s.add_record("ftp.example.com.", QType::Cname, vec!["www.example.com.".into()]);
+        s.add_record("10.2.0.192.in-addr.arpa.", QType::Ptr, vec!["www.example.com.".into()]);
+        s
+    }
+
+    #[test]
+    fn direct_query_finds_records() {
+        let a = store().query("www.example.com.", QType::A);
+        match a {
+            Answer::Records(rs) => assert_eq!(rs[0].rdata, ["192.0.2.10"]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn names_are_normalized() {
+        assert!(store().query("WWW.EXAMPLE.COM", QType::A).found());
+    }
+
+    #[test]
+    fn cname_chasing_resolves_aliases() {
+        let a = store().query("ftp.example.com.", QType::A);
+        match a {
+            Answer::Records(rs) => {
+                assert_eq!(rs.len(), 2);
+                assert_eq!(rs[0].rtype, QType::Cname);
+                assert_eq!(rs[1].rdata, ["192.0.2.10"]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn cname_query_does_not_chase() {
+        let a = store().query("ftp.example.com.", QType::Cname);
+        match a {
+            Answer::Records(rs) => assert_eq!(rs.len(), 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn nxdomain_vs_nodata() {
+        assert_eq!(store().query("nope.example.com.", QType::A), Answer::NxDomain);
+        assert_eq!(store().query("www.example.com.", QType::Mx), Answer::NoData);
+    }
+
+    #[test]
+    fn dangling_cname_is_nxdomain() {
+        let mut s = store();
+        s.add_record("bad.example.com.", QType::Cname, vec!["gone.example.com.".into()]);
+        assert_eq!(s.query("bad.example.com.", QType::A), Answer::NxDomain);
+    }
+
+    #[test]
+    fn cname_loops_terminate() {
+        let mut s = ZoneStore::new();
+        s.add_record("a.example.com.", QType::Cname, vec!["b.example.com.".into()]);
+        s.add_record("b.example.com.", QType::Cname, vec!["a.example.com.".into()]);
+        // Must not hang; loop yields NoData after the chain bound.
+        assert!(!s.query("a.example.com.", QType::A).found());
+    }
+
+    #[test]
+    fn reverse_lookup_works() {
+        let a = store().reverse_lookup("192.0.2.10");
+        match a {
+            Answer::Records(rs) => assert_eq!(rs[0].rdata, ["www.example.com."]),
+            other => panic!("{other:?}"),
+        }
+        assert!(!store().reverse_lookup("192.0.2.99").found());
+    }
+
+    #[test]
+    fn zone_liveness_via_soa() {
+        assert!(store().zone_alive("example.com."));
+        assert!(!store().zone_alive("other.org."));
+    }
+}

@@ -1,0 +1,240 @@
+//! A miniature virtual-host HTTP service — the substrate behind the
+//! web-server simulator's functional test.
+//!
+//! The paper's Apache diagnosis script "performs an HTTP GET operation
+//! to download a page from the web server" (§5.1). This module models
+//! exactly the machinery that GET exercises: listening ports, virtual
+//! hosts, document roots over an in-memory filesystem, aliases, and
+//! MIME type resolution.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// An in-memory filesystem: absolute path → file contents.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VirtualFs {
+    files: BTreeMap<String, String>,
+}
+
+impl VirtualFs {
+    /// Creates an empty filesystem.
+    pub fn new() -> Self {
+        VirtualFs::default()
+    }
+
+    /// Adds a file.
+    pub fn add_file(&mut self, path: impl Into<String>, contents: impl Into<String>) {
+        self.files.insert(path.into(), contents.into());
+    }
+
+    /// Reads a file.
+    pub fn read(&self, path: &str) -> Option<&str> {
+        self.files.get(path).map(String::as_str)
+    }
+
+    /// `true` iff a directory prefix exists (some file lives under it).
+    pub fn dir_exists(&self, dir: &str) -> bool {
+        let prefix = if dir.ends_with('/') {
+            dir.to_string()
+        } else {
+            format!("{dir}/")
+        };
+        self.files.keys().any(|p| p.starts_with(&prefix))
+    }
+}
+
+/// One virtual host.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VirtualHost {
+    /// The host name requests match against (`ServerName`).
+    pub server_name: Option<String>,
+    /// Document root.
+    pub doc_root: String,
+    /// URL-prefix → filesystem-prefix aliases (`Alias`).
+    pub aliases: Vec<(String, String)>,
+    /// The `address:port` pattern from the `<VirtualHost>` header,
+    /// e.g. `*:80`.
+    pub addr_pattern: String,
+}
+
+/// The HTTP service model.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HttpService {
+    /// Ports the server listens on.
+    pub listen_ports: Vec<u16>,
+    /// Default (main-server) document root.
+    pub main_doc_root: String,
+    /// Main-server aliases.
+    pub main_aliases: Vec<(String, String)>,
+    /// Directory index file name (`DirectoryIndex`), default
+    /// `index.html`.
+    pub directory_index: String,
+    /// Virtual hosts, in configuration order.
+    pub vhosts: Vec<VirtualHost>,
+    /// Extension (without dot) → MIME type (`AddType`).
+    pub mime_types: BTreeMap<String, String>,
+    /// `DefaultType` fallback.
+    pub default_type: String,
+    /// The filesystem pages are served from.
+    pub fs: VirtualFs,
+}
+
+/// An HTTP response.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Response {
+    /// Status code (200, 404, ...).
+    pub status: u16,
+    /// Content-Type header value.
+    pub content_type: String,
+    /// Response body.
+    pub body: String,
+}
+
+impl HttpService {
+    /// Handles `GET {path}` arriving on `port` with the given Host
+    /// header. Returns `None` when nothing listens on the port
+    /// (connection refused); otherwise a [`Response`].
+    pub fn get(&self, port: u16, host: &str, path: &str) -> Option<Response> {
+        if !self.listen_ports.contains(&port) {
+            return None;
+        }
+        // Virtual-host selection: first ServerName match, else the
+        // main server.
+        let (doc_root, aliases) = self
+            .vhosts
+            .iter()
+            .find(|v| v.server_name.as_deref().is_some_and(|n| n.eq_ignore_ascii_case(host)))
+            .map(|v| (v.doc_root.as_str(), v.aliases.as_slice()))
+            .unwrap_or((self.main_doc_root.as_str(), self.main_aliases.as_slice()));
+
+        let fs_path = self.resolve(doc_root, aliases, path);
+        match self.fs.read(&fs_path) {
+            Some(body) => Some(Response {
+                status: 200,
+                content_type: self.mime_for(&fs_path),
+                body: body.to_string(),
+            }),
+            None => Some(Response {
+                status: 404,
+                content_type: "text/html".to_string(),
+                body: format!("<h1>404 Not Found</h1><p>{path}</p>"),
+            }),
+        }
+    }
+
+    fn resolve(&self, doc_root: &str, aliases: &[(String, String)], path: &str) -> String {
+        for (url_prefix, fs_prefix) in aliases {
+            if let Some(rest) = path.strip_prefix(url_prefix.as_str()) {
+                return format!("{fs_prefix}{rest}");
+            }
+        }
+        let index = if self.directory_index.is_empty() {
+            "index.html"
+        } else {
+            &self.directory_index
+        };
+        if path.ends_with('/') {
+            format!("{doc_root}{path}{index}")
+        } else {
+            format!("{doc_root}{path}")
+        }
+    }
+
+    fn mime_for(&self, fs_path: &str) -> String {
+        let ext = fs_path.rsplit('.').next().unwrap_or("");
+        self.mime_types
+            .get(ext)
+            .cloned()
+            .unwrap_or_else(|| {
+                if self.default_type.is_empty() {
+                    "text/plain".to_string()
+                } else {
+                    self.default_type.clone()
+                }
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn service() -> HttpService {
+        let mut fs = VirtualFs::new();
+        fs.add_file("/var/www/html/index.html", "<h1>hello</h1>");
+        fs.add_file("/var/www/html/logo.png", "PNG");
+        fs.add_file("/var/www/docs/manual.txt", "RTFM");
+        fs.add_file("/srv/alt/index.html", "<h1>alt</h1>");
+        let mut mime = BTreeMap::new();
+        mime.insert("html".to_string(), "text/html".to_string());
+        mime.insert("png".to_string(), "image/png".to_string());
+        HttpService {
+            listen_ports: vec![80],
+            main_doc_root: "/var/www/html".to_string(),
+            main_aliases: vec![("/docs/".to_string(), "/var/www/docs/".to_string())],
+            directory_index: "index.html".to_string(),
+            vhosts: vec![VirtualHost {
+                server_name: Some("alt.example.com".to_string()),
+                doc_root: "/srv/alt".to_string(),
+                aliases: Vec::new(),
+                addr_pattern: "*:80".to_string(),
+            }],
+            mime_types: mime,
+            default_type: "text/plain".to_string(),
+            fs,
+        }
+    }
+
+    #[test]
+    fn serves_index_on_directory_request() {
+        let r = service().get(80, "www.example.com", "/").unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(r.content_type, "text/html");
+        assert!(r.body.contains("hello"));
+    }
+
+    #[test]
+    fn wrong_port_is_connection_refused() {
+        assert!(service().get(8080, "www.example.com", "/").is_none());
+    }
+
+    #[test]
+    fn missing_file_is_404() {
+        let r = service().get(80, "www.example.com", "/nope.html").unwrap();
+        assert_eq!(r.status, 404);
+    }
+
+    #[test]
+    fn vhost_routing_by_host_header() {
+        let r = service().get(80, "alt.example.com", "/").unwrap();
+        assert!(r.body.contains("alt"));
+        let r = service().get(80, "ALT.EXAMPLE.COM", "/").unwrap();
+        assert!(r.body.contains("alt"), "host matching is case-insensitive");
+    }
+
+    #[test]
+    fn aliases_rewrite_paths() {
+        let r = service().get(80, "x", "/docs/manual.txt").unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body, "RTFM");
+    }
+
+    #[test]
+    fn mime_resolution_with_default_fallback() {
+        let svc = service();
+        assert_eq!(svc.get(80, "x", "/logo.png").unwrap().content_type, "image/png");
+        assert_eq!(
+            svc.get(80, "x", "/docs/manual.txt").unwrap().content_type,
+            "text/plain"
+        );
+    }
+
+    #[test]
+    fn vfs_dir_exists() {
+        let svc = service();
+        assert!(svc.fs.dir_exists("/var/www/html"));
+        assert!(svc.fs.dir_exists("/var/www/html/"));
+        assert!(!svc.fs.dir_exists("/var/www/htm"));
+    }
+}

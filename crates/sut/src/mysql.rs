@@ -1,0 +1,852 @@
+//! The MySQL 5.1 simulator.
+//!
+//! Reproduces the configuration-handling behaviour the paper measured
+//! (§5.2), including every documented flaw:
+//!
+//! * **Out-of-bounds values are silently ignored** and replaced by the
+//!   default (`key_buffer_size=1` is accepted although the minimum is
+//!   8 KiB).
+//! * **Multiplier-suffix parsing stops at the first symbol**: `1M0`
+//!   is accepted as 1 MiB; values *starting* with a suffix (`M10`)
+//!   are silently replaced by the default.
+//! * **Directives without a value are accepted** and the default is
+//!   used.
+//! * **The shared configuration file is only partially parsed at
+//!   startup**: only the `[mysqld]` section is validated; errors in
+//!   tool sections (`[mysqldump]`, `[client]`, ...) stay latent until
+//!   the corresponding tool runs (exposed here via the optional
+//!   `mysqldump-tool` test).
+//! * Directive names are **case-sensitive** (Table 2: mixed-case
+//!   names rejected) but may be **truncated to unambiguous prefixes**
+//!   (Table 2: truncation accepted); `-` and `_` are interchangeable.
+//!
+//! Typos in directive *names* inside `[mysqld]` are therefore caught
+//! at startup ("unknown variable"), while most typos in numeric
+//! *values* are silently absorbed — the asymmetry behind MySQL's
+//! Table 1 row and its poor Figure 3 profile.
+
+use std::collections::BTreeMap;
+
+use conferr_formats::{ConfigFormat, IniFormat};
+use conferr_tree::Node;
+
+use crate::directive::{
+    parse_bool_mysql, parse_int_strict, parse_size_mysql, resolve_prefix, DirectiveSpec,
+    MySqlParse, PrefixError, ValueType,
+};
+use crate::minidb::{Engine, EngineLimits};
+use crate::{ConfigFileSpec, StartOutcome, SystemUnderTest, TestOutcome};
+
+/// Registry of `[mysqld]` server variables (a representative subset of
+/// MySQL 5.1's ~280 system variables; bounds follow the 5.1 manual).
+const SERVER_REGISTRY: &[DirectiveSpec] = &[
+    DirectiveSpec::new("port", ValueType::Int { min: 0, max: 65535 }, "3306"),
+    DirectiveSpec::new("socket", ValueType::Text, "/var/run/mysqld/mysqld.sock"),
+    DirectiveSpec::new("datadir", ValueType::Text, "/var/lib/mysql"),
+    DirectiveSpec::new("basedir", ValueType::Text, "/usr"),
+    DirectiveSpec::new("tmpdir", ValueType::Text, "/tmp"),
+    DirectiveSpec::new("bind_address", ValueType::Text, "0.0.0.0"),
+    DirectiveSpec::new(
+        "key_buffer_size",
+        ValueType::Size { min: 8192, max: 4_294_967_295 },
+        "8388608",
+    ),
+    DirectiveSpec::new(
+        "max_allowed_packet",
+        ValueType::Size { min: 1024, max: 1_073_741_824 },
+        "1048576",
+    ),
+    DirectiveSpec::new(
+        "table_open_cache",
+        ValueType::Int { min: 1, max: 524288 },
+        "64",
+    ),
+    DirectiveSpec::new(
+        "sort_buffer_size",
+        ValueType::Size { min: 32768, max: 4_294_967_295 },
+        "2097144",
+    ),
+    DirectiveSpec::new(
+        "net_buffer_length",
+        ValueType::Size { min: 1024, max: 1_048_576 },
+        "16384",
+    ),
+    DirectiveSpec::new(
+        "read_buffer_size",
+        ValueType::Size { min: 8192, max: 2_147_479_552 },
+        "131072",
+    ),
+    DirectiveSpec::new(
+        "read_rnd_buffer_size",
+        ValueType::Size { min: 8192, max: 4_294_967_295 },
+        "262144",
+    ),
+    DirectiveSpec::new(
+        "myisam_sort_buffer_size",
+        ValueType::Size { min: 4096, max: 4_294_967_295 },
+        "8388608",
+    ),
+    DirectiveSpec::new(
+        "thread_cache_size",
+        ValueType::Int { min: 0, max: 16384 },
+        "0",
+    ),
+    DirectiveSpec::new(
+        "thread_stack",
+        ValueType::Size { min: 131072, max: 4_294_967_295 },
+        "196608",
+    ),
+    DirectiveSpec::new(
+        "max_connections",
+        ValueType::Int { min: 1, max: 100000 },
+        "151",
+    ),
+    DirectiveSpec::new(
+        "max_connect_errors",
+        ValueType::Int { min: 1, max: 4_294_967_295 },
+        "10",
+    ),
+    DirectiveSpec::new(
+        "wait_timeout",
+        ValueType::Int { min: 1, max: 31536000 },
+        "28800",
+    ),
+    DirectiveSpec::new(
+        "interactive_timeout",
+        ValueType::Int { min: 1, max: 31536000 },
+        "28800",
+    ),
+    DirectiveSpec::new(
+        "query_cache_size",
+        ValueType::Size { min: 0, max: 4_294_967_295 },
+        "0",
+    ),
+    DirectiveSpec::new(
+        "tmp_table_size",
+        ValueType::Size { min: 1024, max: 4_294_967_295 },
+        "16777216",
+    ),
+    DirectiveSpec::new(
+        "join_buffer_size",
+        ValueType::Size { min: 8192, max: 4_294_967_295 },
+        "131072",
+    ),
+    DirectiveSpec::new(
+        "bulk_insert_buffer_size",
+        ValueType::Size { min: 0, max: 4_294_967_295 },
+        "8388608",
+    ),
+    DirectiveSpec::new("server_id", ValueType::Int { min: 0, max: 4_294_967_295 }, "0"),
+    DirectiveSpec::new("back_log", ValueType::Int { min: 1, max: 65535 }, "50"),
+    DirectiveSpec::new(
+        "open_files_limit",
+        ValueType::Int { min: 0, max: 65535 },
+        "0",
+    ),
+    DirectiveSpec::new("skip_external_locking", ValueType::Bool, "1"),
+    DirectiveSpec::new("skip_networking", ValueType::Bool, "0"),
+    DirectiveSpec::new("log_error", ValueType::Text, "/var/log/mysql/error.log"),
+    DirectiveSpec::new("slow_query_log", ValueType::Bool, "0"),
+    DirectiveSpec::new("long_query_time", ValueType::Int { min: 1, max: 31536000 }, "10"),
+    DirectiveSpec::new(
+        "default_storage_engine",
+        ValueType::Enum(&["MyISAM", "InnoDB", "MEMORY", "CSV"]),
+        "MyISAM",
+    ),
+    DirectiveSpec::new(
+        "character_set_server",
+        ValueType::Enum(&["latin1", "utf8", "ascii", "ucs2"]),
+        "latin1",
+    ),
+    DirectiveSpec::new("collation_server", ValueType::Text, "latin1_swedish_ci"),
+    DirectiveSpec::new("sql_mode", ValueType::Text, ""),
+    DirectiveSpec::new(
+        "ft_min_word_len",
+        ValueType::Int { min: 1, max: 84 },
+        "4",
+    ),
+    DirectiveSpec::new(
+        "innodb_buffer_pool_size",
+        ValueType::Size { min: 1_048_576, max: 4_294_967_295 },
+        "8388608",
+    ),
+    DirectiveSpec::new(
+        "innodb_log_file_size",
+        ValueType::Size { min: 1_048_576, max: 4_294_967_295 },
+        "5242880",
+    ),
+    DirectiveSpec::new(
+        "innodb_additional_mem_pool_size",
+        ValueType::Size { min: 524_288, max: 4_294_967_295 },
+        "1048576",
+    ),
+    DirectiveSpec::new(
+        "innodb_log_buffer_size",
+        ValueType::Size { min: 262_144, max: 4_294_967_295 },
+        "1048576",
+    ),
+    DirectiveSpec::new(
+        "query_cache_limit",
+        ValueType::Size { min: 0, max: 4_294_967_295 },
+        "1048576",
+    ),
+    DirectiveSpec::new(
+        "max_heap_table_size",
+        ValueType::Size { min: 16384, max: 4_294_967_295 },
+        "16777216",
+    ),
+    DirectiveSpec::new("innodb_data_home_dir", ValueType::Text, "/var/lib/mysql"),
+    DirectiveSpec::new("innodb_log_group_home_dir", ValueType::Text, "/var/lib/mysql"),
+    DirectiveSpec::new("pid_file", ValueType::Text, "/var/run/mysqld/mysqld.pid"),
+    DirectiveSpec::new("general_log_file", ValueType::Text, "/var/log/mysql/mysql.log"),
+    DirectiveSpec::new(
+        "slow_query_log_file",
+        ValueType::Text,
+        "/var/log/mysql/mysql-slow.log",
+    ),
+    DirectiveSpec::new("character_sets_dir", ValueType::Text, "/usr/share/charsets"),
+    DirectiveSpec::new("init_connect", ValueType::Text, "SET NAMES latin1"),
+    DirectiveSpec::new("ft_stopword_file", ValueType::Text, "/usr/share/stopwords"),
+    DirectiveSpec::new("log_bin", ValueType::Text, "/var/log/mysql/mysql-bin"),
+    DirectiveSpec::new("relay_log", ValueType::Text, "/var/log/mysql/relay-bin"),
+    DirectiveSpec::new("log_bin_index", ValueType::Text, "/var/log/mysql/mysql-bin.index"),
+    DirectiveSpec::new("relay_log_index", ValueType::Text, "/var/log/mysql/relay-bin.index"),
+    DirectiveSpec::new("plugin_dir", ValueType::Text, "/usr/lib/mysql/plugin"),
+    DirectiveSpec::new("ssl_ca", ValueType::Text, "/etc/mysql/cacert.pem"),
+    DirectiveSpec::new("ssl_cert", ValueType::Text, "/etc/mysql/server-cert.pem"),
+    DirectiveSpec::new("ssl_key", ValueType::Text, "/etc/mysql/server-key.pem"),
+    DirectiveSpec::new("init_file", ValueType::Text, "/etc/mysql/init.sql"),
+    DirectiveSpec::new("language", ValueType::Text, "/usr/share/mysql/english"),
+    DirectiveSpec::new("report_user", ValueType::Text, "repl"),
+    DirectiveSpec::new("master_host", ValueType::Text, "replica-source.example.com"),
+    DirectiveSpec::new("master_user", ValueType::Text, "repl"),
+    DirectiveSpec::new("report_host", ValueType::Text, "db1.example.com"),
+    DirectiveSpec::new("secure_auth_path", ValueType::Text, "/var/lib/mysql/auth"),
+    DirectiveSpec::new("slave_load_tmpdir", ValueType::Text, "/tmp"),
+];
+
+/// Registry for the `mysqldump` tool section (parsed only when the
+/// tool runs — the latent-error design flaw).
+const DUMP_REGISTRY: &[DirectiveSpec] = &[
+    DirectiveSpec::new("quick", ValueType::Bool, "0"),
+    DirectiveSpec::new(
+        "max_allowed_packet",
+        ValueType::Size { min: 1024, max: 1_073_741_824 },
+        "25165824",
+    ),
+    DirectiveSpec::new("single_transaction", ValueType::Bool, "0"),
+    DirectiveSpec::new("compress", ValueType::Bool, "0"),
+];
+
+/// The port an administrator's plain `mysql -h 127.0.0.1` invocation
+/// uses — the functional test connects here.
+const DEFAULT_PORT: &str = "3306";
+
+/// Directories that exist on the simulated host; path-valued
+/// directives are validated against these, as the real server does
+/// when opening its data directory, socket and log files.
+const EXISTING_DIRS: &[&str] = &[
+    "/var/lib/mysql",
+    "/var/run/mysqld",
+    "/var/log/mysql",
+    "/usr",
+    "/tmp",
+];
+
+fn path_is_valid(path: &str) -> bool {
+    let t = path.trim();
+    if EXISTING_DIRS.contains(&t) {
+        return true;
+    }
+    // A file path is fine when its parent directory exists.
+    match t.rfind('/') {
+        Some(0) => false,
+        Some(idx) => EXISTING_DIRS.contains(&&t[..idx]),
+        None => false,
+    }
+}
+
+const DEFAULT_MY_CNF: &str = "\
+# Example MySQL config file (my.cnf).
+# The following options will be passed to all MySQL clients.
+[client]
+port=3306
+socket=/var/run/mysqld/mysqld.sock
+
+# The MySQL server
+[mysqld]
+port=3306
+socket=/var/run/mysqld/mysqld.sock
+datadir=/var/lib/mysql
+key_buffer_size=16M
+max_allowed_packet=1M
+table_open_cache=64
+sort_buffer_size=512K
+net_buffer_length=8K
+read_buffer_size=256K
+skip-external-locking
+
+[mysqldump]
+quick
+max_allowed_packet=16M
+";
+
+#[derive(Debug)]
+struct Running {
+    vars: BTreeMap<String, String>,
+    engine: Engine,
+    port: String,
+    raw_config: String,
+}
+
+/// The MySQL 5.1 simulator. See the module docs for the flaw
+/// inventory it reproduces.
+#[derive(Debug, Default)]
+pub struct MySqlSim {
+    running: Option<Running>,
+}
+
+impl MySqlSim {
+    /// Creates a stopped simulator.
+    pub fn new() -> Self {
+        MySqlSim { running: None }
+    }
+
+    /// A full-coverage `my.cnf` for the §5.5 comparison benchmark:
+    /// every registry variable with a default value, booleans and
+    /// defaultless variables excluded (as the paper did). Size values
+    /// are written in the suffix notation administrators actually use
+    /// (`16M`, `512K`), which is exactly where MySQL's parser flaws
+    /// live.
+    pub fn full_coverage_config() -> String {
+        let mut out = String::from("[mysqld]\n");
+        for spec in SERVER_REGISTRY {
+            if matches!(spec.vtype, ValueType::Bool) || spec.default.is_empty() {
+                continue;
+            }
+            let value = match spec.vtype {
+                ValueType::Size { .. } => {
+                    let v: u64 = spec.default.parse().expect("size defaults are numeric");
+                    if v > 0 && v.is_multiple_of(1 << 20) {
+                        format!("{}M", v >> 20)
+                    } else if v > 0 && v.is_multiple_of(1024) {
+                        format!("{}K", v >> 10)
+                    } else {
+                        spec.default.to_string()
+                    }
+                }
+                _ => spec.default.to_string(),
+            };
+            out.push_str(&format!("{}={value}\n", spec.name));
+        }
+        out
+    }
+
+    /// Names of boolean server variables (excluded from the §5.5
+    /// benchmark because both databases detect boolean typos).
+    pub fn boolean_directive_names() -> Vec<&'static str> {
+        SERVER_REGISTRY
+            .iter()
+            .filter(|s| matches!(s.vtype, ValueType::Bool))
+            .map(|s| s.name)
+            .collect()
+    }
+
+    /// The value of a server variable in the running instance (useful
+    /// for asserting the silent-default flaws in tests).
+    pub fn server_var(&self, name: &str) -> Option<&str> {
+        self.running
+            .as_ref()
+            .and_then(|r| r.vars.get(name).map(String::as_str))
+    }
+
+    /// Normalises an option name: `-` and `_` are interchangeable.
+    fn normalize_name(name: &str) -> String {
+        name.replace('-', "_")
+    }
+
+    /// Parses and validates one `[mysqld]` directive, applying the
+    /// lenient value discipline. Returns the resolved `(name, value)`
+    /// or a fatal diagnostic.
+    fn absorb_server_directive(
+        vars: &mut BTreeMap<String, String>,
+        node: &Node,
+    ) -> Result<(), String> {
+        let raw_name = node.attr("name").unwrap_or("");
+        let name = Self::normalize_name(raw_name);
+        let spec_name =
+            match resolve_prefix(SERVER_REGISTRY.iter().map(|s| s.name), &name) {
+                Ok(n) => n,
+                Err(PrefixError::Unknown) => {
+                    return Err(format!("unknown variable '{raw_name}'"));
+                }
+                Err(PrefixError::Ambiguous { candidates }) => {
+                    return Err(format!(
+                        "ambiguous option '{raw_name}' (could be {})",
+                        candidates.join(", ")
+                    ));
+                }
+            };
+        let spec = SERVER_REGISTRY
+            .iter()
+            .find(|s| s.name == spec_name)
+            .expect("resolved name is in the registry");
+        let bare = node.attr("bare") == Some("yes");
+        let raw_value = node.text().unwrap_or("");
+
+        let value = if bare {
+            match spec.vtype {
+                // A bare option enables boolean flags ...
+                ValueType::Bool => "1".to_string(),
+                // ... and is silently replaced by the default for
+                // value-carrying directives (flaw).
+                _ => spec.default.to_string(),
+            }
+        } else if raw_value.is_empty() && !matches!(spec.vtype, ValueType::Bool) {
+            // FLAW (paper §5.2): directives without a value are
+            // accepted and replaced with defaults.
+            spec.default.to_string()
+        } else {
+            match spec.vtype {
+                ValueType::Int { min, max } => match parse_int_strict(raw_value) {
+                    Some(v) if v >= min && v <= max => v.to_string(),
+                    // FLAW (paper §5.2): out-of-bounds values are
+                    // silently ignored and the default used instead.
+                    Some(_) => spec.default.to_string(),
+                    None => {
+                        return Err(format!(
+                            "option '{spec_name}' requires an integer argument, got \
+                             '{raw_value}'"
+                        ))
+                    }
+                },
+                ValueType::Size { min, max } => match parse_size_mysql(raw_value) {
+                    // FLAW: suffix parsing stops at the first
+                    // multiplier symbol, so "1M0" lands here as 1 MiB.
+                    MySqlParse::Value(v) if v >= min && v <= max => v.to_string(),
+                    // FLAW: out-of-bounds → silent default.
+                    MySqlParse::Value(_) => spec.default.to_string(),
+                    // FLAW: suffix-leading values → silent default.
+                    MySqlParse::SilentDefault => spec.default.to_string(),
+                    MySqlParse::Invalid => {
+                        return Err(format!(
+                            "option '{spec_name}' got an invalid size argument '{raw_value}'"
+                        ))
+                    }
+                },
+                ValueType::Bool => match parse_bool_mysql(raw_value) {
+                    Some(v) => u8::from(v).to_string(),
+                    // Boolean typos ARE detected (paper §5.5 excludes
+                    // booleans because both systems catch them).
+                    None => {
+                        return Err(format!(
+                            "variable '{spec_name}' can't be set to the value of '{raw_value}'"
+                        ))
+                    }
+                },
+                ValueType::Enum(options) => {
+                    match options.iter().find(|o| o.eq_ignore_ascii_case(raw_value)) {
+                        Some(o) => o.to_string(),
+                        None => {
+                            return Err(format!(
+                                "variable '{spec_name}' can't be set to the value of \
+                                 '{raw_value}'"
+                            ))
+                        }
+                    }
+                }
+                ValueType::Float { .. } | ValueType::Text => raw_value.to_string(),
+            }
+        };
+        vars.insert(spec_name.to_string(), value);
+        Ok(())
+    }
+}
+
+impl SystemUnderTest for MySqlSim {
+    fn name(&self) -> &str {
+        "mysql-sim"
+    }
+
+    fn config_files(&self) -> Vec<ConfigFileSpec> {
+        vec![ConfigFileSpec {
+            name: "my.cnf".to_string(),
+            format: "ini".to_string(),
+            default_contents: DEFAULT_MY_CNF.to_string(),
+        }]
+    }
+
+    fn start(&mut self, configs: &BTreeMap<String, String>) -> StartOutcome {
+        self.running = None;
+        let Some(text) = configs.get("my.cnf") else {
+            return StartOutcome::FailedToStart {
+                diagnostic: "could not open required defaults file: my.cnf".to_string(),
+            };
+        };
+        let tree = match IniFormat::new().parse(text) {
+            Ok(t) => t,
+            Err(e) => {
+                return StartOutcome::FailedToStart {
+                    diagnostic: format!("error while reading my.cnf: {e}"),
+                }
+            }
+        };
+        // Seed every variable with its default, then absorb [mysqld].
+        let mut vars: BTreeMap<String, String> = SERVER_REGISTRY
+            .iter()
+            .map(|s| (s.name.to_string(), s.default.to_string()))
+            .collect();
+        // DESIGN FLAW (paper §5.2): only the server's own group is
+        // parsed at startup; every other group — [client],
+        // [mysqldump], even misspelled group names — is skipped, so
+        // errors there stay latent.
+        for section in tree.root().children_of_kind("section") {
+            if section.attr("name") != Some("mysqld") {
+                continue;
+            }
+            for node in section.children_of_kind("directive") {
+                if let Err(diagnostic) = Self::absorb_server_directive(&mut vars, node) {
+                    return StartOutcome::FailedToStart { diagnostic };
+                }
+            }
+        }
+        // Path-valued directives must point at an existing location,
+        // or the daemon aborts ("Can't read dir", "Can't create ...").
+        for path_var in ["datadir", "basedir", "tmpdir", "socket", "log_error"] {
+            if let Some(path) = vars.get(path_var) {
+                if !path_is_valid(path) {
+                    return StartOutcome::FailedToStart {
+                        diagnostic: format!(
+                            "[ERROR] {path_var}: Can't read dir of '{path}' (Errcode: 2)"
+                        ),
+                    };
+                }
+            }
+        }
+        let limits = EngineLimits {
+            max_connections: vars
+                .get("max_connections")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(151),
+            max_statement_bytes: vars
+                .get("max_allowed_packet")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(1 << 20),
+        };
+        let port = vars.get("port").cloned().unwrap_or_else(|| DEFAULT_PORT.to_string());
+        self.running = Some(Running {
+            vars,
+            engine: Engine::new(limits),
+            port,
+            raw_config: text.clone(),
+        });
+        StartOutcome::Started
+    }
+
+    fn test_names(&self) -> Vec<String> {
+        vec!["connect-and-query".to_string()]
+    }
+
+    fn run_test(&mut self, test: &str) -> TestOutcome {
+        let Some(running) = self.running.as_mut() else {
+            return TestOutcome::failed("server is not running");
+        };
+        match test {
+            // The administrator's smoke script: `mysql -h 127.0.0.1`
+            // on the default port, then create/populate/query a table
+            // (paper §5.1).
+            "connect-and-query" => {
+                if running.port != DEFAULT_PORT {
+                    return TestOutcome::failed(format!(
+                        "can't connect to MySQL server on '127.0.0.1:{DEFAULT_PORT}' \
+                         (server is listening on port {})",
+                        running.port
+                    ));
+                }
+                let mut conn = match running.engine.connect() {
+                    Ok(c) => c,
+                    Err(e) => return TestOutcome::failed(format!("connect failed: {e}")),
+                };
+                let steps = [
+                    "CREATE DATABASE conferr_probe;",
+                    "CREATE TABLE t (id INT, name TEXT);",
+                    "INSERT INTO t VALUES (1, 'alpha');",
+                    "INSERT INTO t VALUES (2, 'beta');",
+                    "SELECT name FROM t WHERE id = 2;",
+                    "DROP DATABASE conferr_probe;",
+                ];
+                for (i, sql) in steps.iter().enumerate() {
+                    if i == 1 {
+                        if let Err(e) = conn.use_database("conferr_probe") {
+                            return TestOutcome::failed(format!("USE failed: {e}"));
+                        }
+                    }
+                    if let Err(e) = conn.execute(sql) {
+                        return TestOutcome::failed(format!("step {i} ({sql}) failed: {e}"));
+                    }
+                }
+                TestOutcome::Passed
+            }
+            // Optional: running the backup tool parses its section of
+            // the shared file *now*, surfacing latent errors (§5.2's
+            // "dangerous because some of these auxiliary tools run
+            // unattended").
+            "mysqldump-tool" => {
+                let tree = match IniFormat::new().parse(&running.raw_config) {
+                    Ok(t) => t,
+                    Err(e) => return TestOutcome::failed(format!("cannot re-read my.cnf: {e}")),
+                };
+                for section in tree.root().children_of_kind("section") {
+                    if section.attr("name") != Some("mysqldump") {
+                        continue;
+                    }
+                    for node in section.children_of_kind("directive") {
+                        let name = Self::normalize_name(node.attr("name").unwrap_or(""));
+                        if resolve_prefix(DUMP_REGISTRY.iter().map(|s| s.name), &name).is_err() {
+                            return TestOutcome::failed(format!(
+                                "mysqldump: unknown option '--{name}'"
+                            ));
+                        }
+                    }
+                }
+                TestOutcome::Passed
+            }
+            other => TestOutcome::failed(format!("unknown test {other:?}")),
+        }
+    }
+
+    fn stop(&mut self) {
+        self.running = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::default_configs;
+
+    fn start_with(patch: impl Fn(&mut String)) -> (MySqlSim, StartOutcome) {
+        let mut sut = MySqlSim::new();
+        let mut configs = default_configs(&sut);
+        let text = configs.get_mut("my.cnf").unwrap();
+        patch(text);
+        let outcome = sut.start(&configs.clone());
+        (sut, outcome)
+    }
+
+    #[test]
+    fn default_config_starts_and_passes_tests() {
+        let (mut sut, outcome) = start_with(|_| {});
+        assert_eq!(outcome, StartOutcome::Started);
+        assert!(sut.run_test("connect-and-query").passed());
+        assert!(sut.run_test("mysqldump-tool").passed());
+        sut.stop();
+        assert!(!sut.run_test("connect-and-query").passed());
+    }
+
+    #[test]
+    fn unknown_variable_in_mysqld_fails_startup() {
+        let (_, outcome) = start_with(|t| {
+            *t = t.replace("table_open_cache=64", "table_open_cahce=64");
+        });
+        match outcome {
+            StartOutcome::FailedToStart { diagnostic } => {
+                assert!(diagnostic.contains("unknown variable"), "{diagnostic}");
+            }
+            other => panic!("expected failure, got {other}"),
+        }
+    }
+
+    #[test]
+    fn flaw_out_of_bounds_silently_uses_default() {
+        // key_buffer_size=1 is below the minimum of 8192 but accepted.
+        let (sut, outcome) = start_with(|t| {
+            *t = t.replace("key_buffer_size=16M", "key_buffer_size=1");
+        });
+        assert_eq!(outcome, StartOutcome::Started);
+        assert_eq!(sut.server_var("key_buffer_size"), Some("8388608"));
+    }
+
+    #[test]
+    fn flaw_multiplier_suffix_parsing_stops_early() {
+        // "1M0" is accepted as 1 MiB although the operator likely
+        // meant 10M.
+        let (sut, outcome) = start_with(|t| {
+            *t = t.replace("max_allowed_packet=1M", "max_allowed_packet=1M0");
+        });
+        assert_eq!(outcome, StartOutcome::Started);
+        assert_eq!(sut.server_var("max_allowed_packet"), Some("1048576"));
+    }
+
+    #[test]
+    fn flaw_suffix_leading_value_silently_ignored() {
+        let (sut, outcome) = start_with(|t| {
+            *t = t.replace("max_allowed_packet=1M", "max_allowed_packet=M1");
+        });
+        assert_eq!(outcome, StartOutcome::Started);
+        // Default restored.
+        assert_eq!(sut.server_var("max_allowed_packet"), Some("1048576"));
+    }
+
+    #[test]
+    fn flaw_valueless_directive_accepted() {
+        let (sut, outcome) = start_with(|t| {
+            *t = t.replace("table_open_cache=64", "table_open_cache");
+        });
+        assert_eq!(outcome, StartOutcome::Started);
+        assert_eq!(sut.server_var("table_open_cache"), Some("64"));
+    }
+
+    #[test]
+    fn flaw_tool_section_errors_are_latent() {
+        // A typo in [mysqldump] does not stop the server ...
+        let (mut sut, outcome) = start_with(|t| {
+            *t = t.replace("quick", "qiuck");
+        });
+        assert_eq!(outcome, StartOutcome::Started);
+        assert!(sut.run_test("connect-and-query").passed());
+        // ... but surfaces when the backup tool finally runs.
+        let result = sut.run_test("mysqldump-tool");
+        match result {
+            TestOutcome::Failed { diagnostic } => {
+                assert!(diagnostic.contains("unknown option"), "{diagnostic}");
+            }
+            TestOutcome::Passed => panic!("latent error must surface in the tool"),
+        }
+    }
+
+    #[test]
+    fn mixed_case_names_are_rejected() {
+        let (_, outcome) = start_with(|t| {
+            *t = t.replace("port=3306\nsocket=/var/run/mysqld/mysqld.sock\ndatadir", "Port=3306\nsocket=/var/run/mysqld/mysqld.sock\ndatadir");
+        });
+        assert!(matches!(outcome, StartOutcome::FailedToStart { .. }));
+    }
+
+    #[test]
+    fn truncated_names_resolve_to_unique_prefixes() {
+        let (sut, outcome) = start_with(|t| {
+            *t = t.replace("key_buffer_size=16M", "key_buffer=16M");
+        });
+        assert_eq!(outcome, StartOutcome::Started);
+        assert_eq!(sut.server_var("key_buffer_size"), Some("16777216"));
+    }
+
+    #[test]
+    fn dash_and_underscore_are_interchangeable() {
+        let (sut, outcome) = start_with(|t| {
+            *t = t.replace("max_allowed_packet=1M", "max-allowed-packet=2M");
+        });
+        assert_eq!(outcome, StartOutcome::Started);
+        assert_eq!(sut.server_var("max_allowed_packet"), Some("2097152"));
+    }
+
+    #[test]
+    fn boolean_typos_are_detected() {
+        let (_, outcome) = start_with(|t| {
+            *t = t.replace("skip-external-locking", "skip-external-locking=VES");
+        });
+        assert!(matches!(outcome, StartOutcome::FailedToStart { .. }));
+    }
+
+    #[test]
+    fn enum_typos_are_detected() {
+        let (_, outcome) = start_with(|t| {
+            *t = t.replace(
+                "read_buffer_size=256K",
+                "default_storage_engine=InnoDV\nread_buffer_size=256K",
+            );
+        });
+        assert!(matches!(outcome, StartOutcome::FailedToStart { .. }));
+    }
+
+    #[test]
+    fn datadir_typo_is_caught_at_startup() {
+        // A one-character omission in a path: the directory does not
+        // exist, so the daemon aborts like the real server would.
+        let (_, outcome) = start_with(|t| {
+            *t = t.replace("datadir=/var/lib/mysql", "datadir=/var/lib/mysq");
+        });
+        match outcome {
+            StartOutcome::FailedToStart { diagnostic } => {
+                assert!(diagnostic.contains("Can't read dir"), "{diagnostic}");
+            }
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn socket_file_rename_in_existing_dir_is_absorbed() {
+        // The parent directory still exists; the TCP-based smoke test
+        // does not notice a moved socket file.
+        let (mut sut, outcome) = start_with(|t| {
+            *t = t.replace(
+                "port=3306\nsocket=/var/run/mysqld/mysqld.sock\ndatadir",
+                "port=3306\nsocket=/var/run/mysqld/mysql.sock\ndatadir",
+            );
+        });
+        assert_eq!(outcome, StartOutcome::Started);
+        assert!(sut.run_test("connect-and-query").passed());
+    }
+
+    #[test]
+    fn port_value_typo_is_caught_by_functional_test() {
+        // A digit omission keeps the value a valid port, so startup
+        // succeeds; only the admin's `mysql -h 127.0.0.1` notices —
+        // the paper's single functional-test detection for MySQL.
+        let (mut sut, outcome) = start_with(|t| {
+            *t = t.replace(
+                "port=3306\nsocket=/var/run/mysqld/mysqld.sock\ndatadir",
+                "port=336\nsocket=/var/run/mysqld/mysqld.sock\ndatadir",
+            );
+        });
+        assert_eq!(outcome, StartOutcome::Started);
+        let result = sut.run_test("connect-and-query");
+        assert!(!result.passed(), "client must fail to reach port 3306");
+    }
+
+    #[test]
+    fn non_numeric_port_is_caught_at_startup() {
+        let (_, outcome) = start_with(|t| {
+            *t = t.replace("port=3306\nsocket=/var/run/mysqld/mysqld.sock\ndatadir", "port=33o6\nsocket=/var/run/mysqld/mysqld.sock\ndatadir");
+        });
+        assert!(matches!(outcome, StartOutcome::FailedToStart { .. }));
+    }
+
+    #[test]
+    fn out_of_bounds_port_silently_uses_default() {
+        let (mut sut, outcome) = start_with(|t| {
+            *t = t.replace("port=3306\nsocket=/var/run/mysqld/mysqld.sock\ndatadir", "port=99999999\nsocket=/var/run/mysqld/mysqld.sock\ndatadir");
+        });
+        assert_eq!(outcome, StartOutcome::Started);
+        assert_eq!(sut.server_var("port"), Some("3306"));
+        assert!(sut.run_test("connect-and-query").passed());
+    }
+
+    #[test]
+    fn unknown_size_suffix_is_caught_at_startup() {
+        let (_, outcome) = start_with(|t| {
+            *t = t.replace("key_buffer_size=16M", "key_buffer_size=16Q");
+        });
+        assert!(matches!(outcome, StartOutcome::FailedToStart { .. }));
+    }
+
+    #[test]
+    fn syntax_error_fails_startup() {
+        let (_, outcome) = start_with(|t| {
+            *t = t.replace("[mysqld]", "[mysqld");
+        });
+        assert!(matches!(outcome, StartOutcome::FailedToStart { .. }));
+    }
+
+    #[test]
+    fn misspelled_section_name_is_silently_ignored() {
+        // The whole [mysqld] section disappears; the server starts on
+        // pure defaults with no complaint (latent).
+        let (sut, outcome) = start_with(|t| {
+            *t = t.replace("[mysqld]", "[mysqdl]");
+        });
+        assert_eq!(outcome, StartOutcome::Started);
+        assert_eq!(sut.server_var("key_buffer_size"), Some("8388608"));
+    }
+}

@@ -1,0 +1,597 @@
+//! The Postgres 8.2 simulator.
+//!
+//! Postgres is the disciplined counterpoint to MySQL in the paper's
+//! comparison (§5.2, §5.5, Figure 3):
+//!
+//! * unknown directives abort startup (`FATAL: unrecognized
+//!   configuration parameter`);
+//! * numeric values are parsed strictly (no trailing junk) and
+//!   **range-checked**, with a FATAL diagnostic naming the bounds;
+//! * units must be exact (`kB`/`MB`/`GB`);
+//! * booleans and enums reject unknown spellings;
+//! * **cross-directive constraints** are enforced — the paper's
+//!   example: `max_fsm_pages` must be at least
+//!   `16 × max_fsm_relations`, so a dropped digit in `max_fsm_pages`
+//!   shuts the server down with an explanatory message;
+//! * directive names are case-insensitive (Table 2: mixed case
+//!   accepted) but may **not** be truncated (Table 2: rejected).
+
+use std::collections::BTreeMap;
+
+use conferr_formats::{ConfigFormat, KvFormat};
+
+use crate::directive::{
+    parse_bool_pg, parse_int_strict, parse_size_strict, DirectiveSpec, ValueType,
+};
+use crate::minidb::{Engine, EngineLimits};
+use crate::{ConfigFileSpec, StartOutcome, SystemUnderTest, TestOutcome};
+
+/// Registry of configuration parameters (a representative subset of
+/// Postgres 8.2's ~200 GUC variables; bounds follow the 8.2 docs).
+const REGISTRY: &[DirectiveSpec] = &[
+    DirectiveSpec::new("port", ValueType::Int { min: 1, max: 65535 }, "5432"),
+    DirectiveSpec::new("listen_addresses", ValueType::Text, "'localhost'"),
+    DirectiveSpec::new(
+        "max_connections",
+        ValueType::Int { min: 1, max: 10000 },
+        "100",
+    ),
+    DirectiveSpec::new(
+        "superuser_reserved_connections",
+        ValueType::Int { min: 0, max: 100 },
+        "3",
+    ),
+    DirectiveSpec::new(
+        "shared_buffers",
+        ValueType::Int { min: 16, max: 1073741823 },
+        "1000",
+    ),
+    DirectiveSpec::new(
+        "temp_buffers",
+        ValueType::Int { min: 100, max: 1073741823 },
+        "1000",
+    ),
+    DirectiveSpec::new(
+        "work_mem",
+        ValueType::Size { min: 64 * 1024, max: 2_147_483_647 },
+        "1MB",
+    ),
+    DirectiveSpec::new(
+        "maintenance_work_mem",
+        ValueType::Size { min: 1024 * 1024, max: 2_147_483_647 },
+        "16MB",
+    ),
+    DirectiveSpec::new(
+        "max_fsm_pages",
+        ValueType::Int { min: 1000, max: 2_147_483_647 },
+        "153600",
+    ),
+    DirectiveSpec::new(
+        "max_fsm_relations",
+        ValueType::Int { min: 100, max: 2_147_483_647 },
+        "1000",
+    ),
+    DirectiveSpec::new(
+        "wal_buffers",
+        ValueType::Int { min: 4, max: 65536 },
+        "8",
+    ),
+    DirectiveSpec::new(
+        "checkpoint_segments",
+        ValueType::Int { min: 1, max: 65536 },
+        "3",
+    ),
+    DirectiveSpec::new(
+        "checkpoint_timeout",
+        ValueType::Int { min: 30, max: 3600 },
+        "300",
+    ),
+    DirectiveSpec::new(
+        "effective_cache_size",
+        ValueType::Int { min: 1, max: 2_147_483_647 },
+        "16384",
+    ),
+    DirectiveSpec::new(
+        "random_page_cost",
+        ValueType::Float { min: 0.0, max: 1.0e10 },
+        "4.0",
+    ),
+    DirectiveSpec::new(
+        "cpu_tuple_cost",
+        ValueType::Float { min: 0.0, max: 1.0e10 },
+        "0.01",
+    ),
+    DirectiveSpec::new(
+        "vacuum_cost_delay",
+        ValueType::Int { min: 0, max: 1000 },
+        "0",
+    ),
+    DirectiveSpec::new(
+        "deadlock_timeout",
+        ValueType::Int { min: 1, max: 2_147_483_647 },
+        "1000",
+    ),
+    DirectiveSpec::new("fsync", ValueType::Bool, "on"),
+    DirectiveSpec::new("ssl", ValueType::Bool, "off"),
+    DirectiveSpec::new("autovacuum", ValueType::Bool, "off"),
+    DirectiveSpec::new("stats_start_collector", ValueType::Bool, "on"),
+    DirectiveSpec::new(
+        "log_destination",
+        ValueType::Enum(&["stderr", "syslog", "eventlog", "csvlog"]),
+        "'stderr'",
+    ),
+    DirectiveSpec::new(
+        "log_min_messages",
+        ValueType::Enum(&[
+            "debug5", "debug4", "debug3", "debug2", "debug1", "info", "notice", "warning",
+            "error", "log", "fatal", "panic",
+        ]),
+        "notice",
+    ),
+    DirectiveSpec::new(
+        "client_min_messages",
+        ValueType::Enum(&[
+            "debug5", "debug4", "debug3", "debug2", "debug1", "log", "notice", "warning",
+            "error",
+        ]),
+        "notice",
+    ),
+    DirectiveSpec::new("datestyle", ValueType::Text, "'iso, mdy'"),
+    DirectiveSpec::new("timezone", ValueType::Text, "unknown"),
+    DirectiveSpec::new("lc_messages", ValueType::Text, "'C'"),
+    DirectiveSpec::new("search_path", ValueType::Text, "'\"$user\",public'"),
+    DirectiveSpec::new("default_with_oids", ValueType::Bool, "off"),
+];
+
+/// Postgres 8.2's default `postgresql.conf` ships with exactly these
+/// eight active directives (paper §5.1).
+const DEFAULT_CONF: &str = "\
+# PostgreSQL configuration file (postgresql.conf)
+# Memory / connections
+max_connections = 100
+shared_buffers = 1000
+
+# Free space map
+max_fsm_pages = 153600
+max_fsm_relations = 1000
+
+# Logging and locale
+log_destination = 'stderr'
+datestyle = 'iso, mdy'
+lc_messages = 'C'
+port = 5432
+";
+
+#[derive(Debug)]
+struct Running {
+    vars: BTreeMap<String, String>,
+    engine: Engine,
+}
+
+/// The Postgres 8.2 simulator. See the module docs for the validation
+/// discipline it reproduces.
+#[derive(Debug, Default)]
+pub struct PostgresSim {
+    running: Option<Running>,
+}
+
+impl PostgresSim {
+    /// Creates a stopped simulator.
+    pub fn new() -> Self {
+        PostgresSim { running: None }
+    }
+
+    /// A full-coverage `postgresql.conf` for the §5.5 comparison
+    /// benchmark: every registry parameter with a default value,
+    /// booleans excluded (as the paper did).
+    pub fn full_coverage_config() -> String {
+        let mut out = String::from("# full-coverage configuration\n");
+        for spec in REGISTRY {
+            if matches!(spec.vtype, ValueType::Bool) || spec.default.is_empty() {
+                continue;
+            }
+            out.push_str(&format!("{} = {}\n", spec.name, spec.default));
+        }
+        out
+    }
+
+    /// Names of boolean parameters (excluded from the §5.5 benchmark
+    /// because both databases detect boolean typos).
+    pub fn boolean_directive_names() -> Vec<&'static str> {
+        REGISTRY
+            .iter()
+            .filter(|s| matches!(s.vtype, ValueType::Bool))
+            .map(|s| s.name)
+            .collect()
+    }
+
+    /// The value of a parameter in the running instance.
+    pub fn parameter(&self, name: &str) -> Option<&str> {
+        self.running
+            .as_ref()
+            .and_then(|r| r.vars.get(name).map(String::as_str))
+    }
+
+    fn validate_value(spec: &DirectiveSpec, raw: &str) -> Result<String, String> {
+        let unquoted = raw.trim().trim_matches('\'');
+        match spec.vtype {
+            ValueType::Int { min, max } => match parse_int_strict(unquoted) {
+                Some(v) if v >= min && v <= max => Ok(v.to_string()),
+                Some(v) => Err(format!(
+                    "{} = {v} is outside the valid range ({min} .. {max})",
+                    spec.name
+                )),
+                None => Err(format!(
+                    "parameter \"{}\" requires an integer value, got \"{raw}\"",
+                    spec.name
+                )),
+            },
+            ValueType::Size { min, max } => match parse_size_strict(unquoted) {
+                Some(v) if v >= min && v <= max => Ok(v.to_string()),
+                Some(v) => Err(format!(
+                    "{} = {v}B is outside the valid range ({min}B .. {max}B)",
+                    spec.name
+                )),
+                None => Err(format!(
+                    "parameter \"{}\" requires a size value (kB/MB/GB), got \"{raw}\"",
+                    spec.name
+                )),
+            },
+            ValueType::Float { min, max } => match unquoted.parse::<f64>() {
+                Ok(v) if v >= min && v <= max => Ok(v.to_string()),
+                Ok(v) => Err(format!(
+                    "{} = {v} is outside the valid range ({min} .. {max})",
+                    spec.name
+                )),
+                Err(_) => Err(format!(
+                    "parameter \"{}\" requires a numeric value, got \"{raw}\"",
+                    spec.name
+                )),
+            },
+            ValueType::Bool => match parse_bool_pg(unquoted) {
+                Some(v) => Ok(if v { "on" } else { "off" }.to_string()),
+                None => Err(format!(
+                    "parameter \"{}\" requires a Boolean value, got \"{raw}\"",
+                    spec.name
+                )),
+            },
+            ValueType::Enum(options) => {
+                match options.iter().find(|o| o.eq_ignore_ascii_case(unquoted)) {
+                    Some(o) => Ok(o.to_string()),
+                    None => Err(format!(
+                        "invalid value for parameter \"{}\": \"{raw}\"",
+                        spec.name
+                    )),
+                }
+            }
+            ValueType::Text => Ok(unquoted.to_string()),
+        }
+    }
+
+    /// The paper's flagship Postgres feature: constraints *across*
+    /// directives, checked after all values parse individually.
+    fn check_cross_constraints(vars: &BTreeMap<String, String>) -> Result<(), String> {
+        let get_i64 = |name: &str| -> i64 {
+            vars.get(name).and_then(|v| v.parse().ok()).unwrap_or(0)
+        };
+        let max_fsm_pages = get_i64("max_fsm_pages");
+        let max_fsm_relations = get_i64("max_fsm_relations");
+        if max_fsm_pages < 16 * max_fsm_relations {
+            return Err(format!(
+                "max_fsm_pages must be at least 16 * max_fsm_relations \
+                 ({max_fsm_pages} < 16 * {max_fsm_relations})"
+            ));
+        }
+        let max_connections = get_i64("max_connections");
+        let superuser_reserved = get_i64("superuser_reserved_connections");
+        if superuser_reserved >= max_connections {
+            return Err(format!(
+                "superuser_reserved_connections ({superuser_reserved}) must be less than \
+                 max_connections ({max_connections})"
+            ));
+        }
+        let shared_buffers = get_i64("shared_buffers");
+        if shared_buffers < 2 * max_connections {
+            return Err(format!(
+                "shared_buffers ({shared_buffers}) must be at least twice \
+                 max_connections ({max_connections})"
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl SystemUnderTest for PostgresSim {
+    fn name(&self) -> &str {
+        "postgres-sim"
+    }
+
+    fn config_files(&self) -> Vec<ConfigFileSpec> {
+        vec![ConfigFileSpec {
+            name: "postgresql.conf".to_string(),
+            format: "kv".to_string(),
+            default_contents: DEFAULT_CONF.to_string(),
+        }]
+    }
+
+    fn start(&mut self, configs: &BTreeMap<String, String>) -> StartOutcome {
+        self.running = None;
+        let Some(text) = configs.get("postgresql.conf") else {
+            return StartOutcome::FailedToStart {
+                diagnostic: "could not open postgresql.conf".to_string(),
+            };
+        };
+        let tree = match KvFormat::new().parse(text) {
+            Ok(t) => t,
+            Err(e) => {
+                return StartOutcome::FailedToStart {
+                    diagnostic: format!("syntax error in postgresql.conf: {e}"),
+                }
+            }
+        };
+        let mut vars: BTreeMap<String, String> = REGISTRY
+            .iter()
+            .map(|s|
+
+                (s.name.to_string(), {
+                    // Defaults pass through the same validator so the
+                    // stored form is canonical.
+                    Self::validate_value(s, s.default).expect("registry defaults are valid")
+                }))
+            .collect();
+        for node in tree.root().children_of_kind("directive") {
+            let raw_name = node.attr("name").unwrap_or("");
+            // Case-insensitive, *exact* (no truncation) lookup.
+            let lower = raw_name.to_ascii_lowercase();
+            let Some(spec) = REGISTRY.iter().find(|s| s.name == lower) else {
+                return StartOutcome::FailedToStart {
+                    diagnostic: format!(
+                        "FATAL: unrecognized configuration parameter \"{raw_name}\""
+                    ),
+                };
+            };
+            let raw_value = node.text().unwrap_or("");
+            if raw_value.is_empty() {
+                return StartOutcome::FailedToStart {
+                    diagnostic: format!(
+                        "FATAL: parameter \"{raw_name}\" requires a value"
+                    ),
+                };
+            }
+            // Unbalanced quoting is a syntax error, exactly as the
+            // real guc-file lexer reports it.
+            if raw_value.matches('\'').count() % 2 == 1 {
+                return StartOutcome::FailedToStart {
+                    diagnostic: format!(
+                        "FATAL: syntax error in configuration near \"{raw_value}\" \
+                         (unterminated quoted string)"
+                    ),
+                };
+            }
+            match Self::validate_value(spec, raw_value) {
+                Ok(v) => {
+                    vars.insert(spec.name.to_string(), v);
+                }
+                Err(msg) => {
+                    return StartOutcome::FailedToStart {
+                        diagnostic: format!("FATAL: {msg}"),
+                    }
+                }
+            }
+        }
+        if let Err(msg) = Self::check_cross_constraints(&vars) {
+            return StartOutcome::FailedToStart {
+                diagnostic: format!("FATAL: {msg}"),
+            };
+        }
+        let limits = EngineLimits {
+            max_connections: vars
+                .get("max_connections")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(100),
+            max_statement_bytes: 1 << 20,
+        };
+        self.running = Some(Running {
+            vars,
+            engine: Engine::new(limits),
+        });
+        StartOutcome::Started
+    }
+
+    fn test_names(&self) -> Vec<String> {
+        vec!["connect-and-query".to_string()]
+    }
+
+    fn run_test(&mut self, test: &str) -> TestOutcome {
+        let Some(running) = self.running.as_mut() else {
+            return TestOutcome::failed("server is not running");
+        };
+        match test {
+            // psql over the default unix socket: create, populate,
+            // query, drop (paper §5.1).
+            "connect-and-query" => {
+                let mut conn = match running.engine.connect() {
+                    Ok(c) => c,
+                    Err(e) => return TestOutcome::failed(format!("connect failed: {e}")),
+                };
+                if let Err(e) = conn.execute("CREATE DATABASE conferr_probe;") {
+                    return TestOutcome::failed(format!("CREATE DATABASE failed: {e}"));
+                }
+                if let Err(e) = conn.use_database("conferr_probe") {
+                    return TestOutcome::failed(format!("\\connect failed: {e}"));
+                }
+                for sql in [
+                    "CREATE TABLE t (id INT, name TEXT);",
+                    "INSERT INTO t VALUES (1, 'alpha');",
+                    "SELECT name FROM t WHERE id = 1;",
+                    "DROP TABLE t;",
+                    "DROP DATABASE conferr_probe;",
+                ] {
+                    if let Err(e) = conn.execute(sql) {
+                        return TestOutcome::failed(format!("{sql} failed: {e}"));
+                    }
+                }
+                TestOutcome::Passed
+            }
+            other => TestOutcome::failed(format!("unknown test {other:?}")),
+        }
+    }
+
+    fn stop(&mut self) {
+        self.running = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::default_configs;
+
+    fn start_with(patch: impl Fn(&mut String)) -> (PostgresSim, StartOutcome) {
+        let mut sut = PostgresSim::new();
+        let mut configs = default_configs(&sut);
+        patch(configs.get_mut("postgresql.conf").unwrap());
+        let outcome = sut.start(&configs);
+        (sut, outcome)
+    }
+
+    #[test]
+    fn default_config_starts_and_passes() {
+        let (mut sut, outcome) = start_with(|_| {});
+        assert_eq!(outcome, StartOutcome::Started);
+        assert!(sut.run_test("connect-and-query").passed());
+    }
+
+    #[test]
+    fn unknown_parameter_is_fatal() {
+        let (_, outcome) = start_with(|t| {
+            *t = t.replace("max_connections", "max_connektions");
+        });
+        match outcome {
+            StartOutcome::FailedToStart { diagnostic } => {
+                assert!(diagnostic.contains("unrecognized configuration parameter"));
+            }
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn truncated_names_are_rejected() {
+        let (_, outcome) = start_with(|t| {
+            *t = t.replace("max_connections", "max_connection");
+        });
+        assert!(matches!(outcome, StartOutcome::FailedToStart { .. }));
+    }
+
+    #[test]
+    fn mixed_case_names_are_accepted() {
+        let (sut, outcome) = start_with(|t| {
+            *t = t.replace("max_connections = 100", "MAX_Connections = 90");
+        });
+        assert_eq!(outcome, StartOutcome::Started);
+        assert_eq!(sut.parameter("max_connections"), Some("90"));
+    }
+
+    #[test]
+    fn integer_trailing_junk_is_fatal() {
+        let (_, outcome) = start_with(|t| {
+            *t = t.replace("port = 5432", "port = 54e32");
+        });
+        assert!(matches!(outcome, StartOutcome::FailedToStart { .. }));
+    }
+
+    #[test]
+    fn out_of_range_value_is_fatal_with_bounds_in_message() {
+        let (_, outcome) = start_with(|t| {
+            *t = t.replace("max_connections = 100", "max_connections = 0");
+        });
+        match outcome {
+            StartOutcome::FailedToStart { diagnostic } => {
+                assert!(diagnostic.contains("valid range"), "{diagnostic}");
+            }
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn paper_example_fsm_cross_constraint() {
+        // Dropping the '3' from 153600 → 15600 < 16 × 1000.
+        let (_, outcome) = start_with(|t| {
+            *t = t.replace("max_fsm_pages = 153600", "max_fsm_pages = 15600");
+        });
+        match outcome {
+            StartOutcome::FailedToStart { diagnostic } => {
+                assert!(
+                    diagnostic.contains("16 * max_fsm_relations"),
+                    "{diagnostic}"
+                );
+            }
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn shared_buffers_constraint_against_connections() {
+        let (_, outcome) = start_with(|t| {
+            *t = t.replace("shared_buffers = 1000", "shared_buffers = 100");
+        });
+        assert!(matches!(outcome, StartOutcome::FailedToStart { .. }));
+    }
+
+    #[test]
+    fn boolean_typo_is_fatal() {
+        let (_, outcome) = start_with(|t| {
+            t.push_str("autovacuum = onn\n");
+        });
+        assert!(matches!(outcome, StartOutcome::FailedToStart { .. }));
+    }
+
+    #[test]
+    fn enum_typo_is_fatal() {
+        let (_, outcome) = start_with(|t| {
+            *t = t.replace("log_destination = 'stderr'", "log_destination = 'stdrer'");
+        });
+        assert!(matches!(outcome, StartOutcome::FailedToStart { .. }));
+    }
+
+    #[test]
+    fn missing_value_is_fatal() {
+        let (_, outcome) = start_with(|t| {
+            *t = t.replace("port = 5432", "port");
+        });
+        assert!(matches!(outcome, StartOutcome::FailedToStart { .. }));
+    }
+
+    #[test]
+    fn quoted_text_values_are_accepted_freeform() {
+        let (sut, outcome) = start_with(|t| {
+            *t = t.replace("datestyle = 'iso, mdy'", "datestyle = 'is, mdy'");
+        });
+        // Text parameters accept typos — Postgres is strict about
+        // *typed* values, not free-form locale strings.
+        assert_eq!(outcome, StartOutcome::Started);
+        assert_eq!(sut.parameter("datestyle"), Some("is, mdy"));
+    }
+
+    #[test]
+    fn size_units_must_be_exact() {
+        let (_, outcome) = start_with(|t| {
+            t.push_str("work_mem = 1M0\n");
+        });
+        assert!(matches!(outcome, StartOutcome::FailedToStart { .. }));
+        let (sut, outcome) = start_with(|t| {
+            t.push_str("work_mem = 4MB\n");
+        });
+        assert_eq!(outcome, StartOutcome::Started);
+        assert_eq!(sut.parameter("work_mem"), Some((4u64 << 20).to_string()).as_deref());
+    }
+
+    #[test]
+    fn deleted_directive_falls_back_to_default() {
+        let (sut, outcome) = start_with(|t| {
+            *t = t.replace("port = 5432\n", "");
+        });
+        assert_eq!(outcome, StartOutcome::Started);
+        assert_eq!(sut.parameter("port"), Some("5432"));
+    }
+}

@@ -1,0 +1,246 @@
+//! Structural diffing between two configuration trees.
+//!
+//! Resilience reports describe each injected error as the edit it
+//! performed on the original configuration. [`diff`] recovers that
+//! description by comparing the pristine and mutated trees.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{ConfTree, Node, TreePath};
+
+/// One observed difference between two trees.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DiffOp {
+    /// A node present in the old tree is missing from the new one.
+    Deleted {
+        /// Path in the *old* tree.
+        path: TreePath,
+        /// Description of the deleted node.
+        node: String,
+    },
+    /// A node present in the new tree has no counterpart in the old
+    /// one.
+    Inserted {
+        /// Path in the *new* tree.
+        path: TreePath,
+        /// Description of the inserted node.
+        node: String,
+    },
+    /// Kind, attributes or text changed in place.
+    Changed {
+        /// Path (valid in both trees).
+        path: TreePath,
+        /// Description of the node before.
+        before: String,
+        /// Description of the node after.
+        after: String,
+    },
+}
+
+impl fmt::Display for DiffOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiffOp::Deleted { path, node } => write!(f, "- {path} {node}"),
+            DiffOp::Inserted { path, node } => write!(f, "+ {path} {node}"),
+            DiffOp::Changed { path, before, after } => {
+                write!(f, "~ {path} {before} -> {after}")
+            }
+        }
+    }
+}
+
+/// Computes the differences between `old` and `new`.
+///
+/// Children are aligned with a longest-common-subsequence match on
+/// node *signatures* (kind plus `name` attribute), so a single
+/// insertion or deletion in a long child list is reported as exactly
+/// one op rather than a cascade of changes. Unaligned nodes are
+/// reported as deleted/inserted; aligned nodes with differing
+/// kind/attrs/text are reported as changed and their children compared
+/// recursively.
+pub fn diff(old: &ConfTree, new: &ConfTree) -> Vec<DiffOp> {
+    let mut ops = Vec::new();
+    diff_nodes(old.root(), new.root(), &TreePath::root(), &TreePath::root(), &mut ops);
+    ops
+}
+
+fn signature(n: &Node) -> (String, Option<String>) {
+    (n.kind().to_string(), n.attr("name").map(str::to_string))
+}
+
+fn shallow_equal(a: &Node, b: &Node) -> bool {
+    a.kind() == b.kind()
+        && a.text() == b.text()
+        && a.attrs().collect::<Vec<_>>() == b.attrs().collect::<Vec<_>>()
+}
+
+fn diff_nodes(
+    old: &Node,
+    new: &Node,
+    old_path: &TreePath,
+    new_path: &TreePath,
+    ops: &mut Vec<DiffOp>,
+) {
+    if !shallow_equal(old, new) {
+        ops.push(DiffOp::Changed {
+            path: new_path.clone(),
+            before: old.describe(),
+            after: new.describe(),
+        });
+    }
+    let a = old.children();
+    let b = new.children();
+    let pairs = lcs_pairs(a, b);
+    let mut ai = 0;
+    let mut bi = 0;
+    for &(pa, pb) in &pairs {
+        while ai < pa {
+            ops.push(DiffOp::Deleted {
+                path: old_path.child(ai),
+                node: a[ai].describe(),
+            });
+            ai += 1;
+        }
+        while bi < pb {
+            ops.push(DiffOp::Inserted {
+                path: new_path.child(bi),
+                node: b[bi].describe(),
+            });
+            bi += 1;
+        }
+        diff_nodes(&a[pa], &b[pb], &old_path.child(pa), &new_path.child(pb), ops);
+        ai = pa + 1;
+        bi = pb + 1;
+    }
+    while ai < a.len() {
+        ops.push(DiffOp::Deleted {
+            path: old_path.child(ai),
+            node: a[ai].describe(),
+        });
+        ai += 1;
+    }
+    while bi < b.len() {
+        ops.push(DiffOp::Inserted {
+            path: new_path.child(bi),
+            node: b[bi].describe(),
+        });
+        bi += 1;
+    }
+}
+
+/// Longest common subsequence over child signatures; returns matched
+/// index pairs in increasing order.
+fn lcs_pairs(a: &[Node], b: &[Node]) -> Vec<(usize, usize)> {
+    let sig_a: Vec<_> = a.iter().map(signature).collect();
+    let sig_b: Vec<_> = b.iter().map(signature).collect();
+    let n = a.len();
+    let m = b.len();
+    // dp[i][j] = LCS length of a[i..], b[j..]
+    let mut dp = vec![vec![0usize; m + 1]; n + 1];
+    for i in (0..n).rev() {
+        for j in (0..m).rev() {
+            dp[i][j] = if sig_a[i] == sig_b[j] {
+                dp[i + 1][j + 1] + 1
+            } else {
+                dp[i + 1][j].max(dp[i][j + 1])
+            };
+        }
+    }
+    let mut pairs = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < n && j < m {
+        if sig_a[i] == sig_b[j] {
+            pairs.push((i, j));
+            i += 1;
+            j += 1;
+        } else if dp[i + 1][j] >= dp[i][j + 1] {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> ConfTree {
+        ConfTree::new(
+            Node::new("config")
+                .with_child(Node::new("directive").with_attr("name", "a").with_text("1"))
+                .with_child(Node::new("directive").with_attr("name", "b").with_text("2"))
+                .with_child(Node::new("directive").with_attr("name", "c").with_text("3")),
+        )
+    }
+
+    #[test]
+    fn identical_trees_have_no_diff() {
+        assert!(diff(&base(), &base()).is_empty());
+    }
+
+    #[test]
+    fn single_deletion_is_one_op() {
+        let mut new = base();
+        new.delete(&TreePath::from(vec![1])).unwrap();
+        let ops = diff(&base(), &new);
+        assert_eq!(ops.len(), 1);
+        match &ops[0] {
+            DiffOp::Deleted { path, node } => {
+                assert_eq!(*path, TreePath::from(vec![1]));
+                assert!(node.contains("name=b"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_insertion_is_one_op() {
+        let mut new = base();
+        new.insert(
+            &TreePath::root(),
+            1,
+            Node::new("directive").with_attr("name", "x").with_text("9"),
+        )
+        .unwrap();
+        let ops = diff(&base(), &new);
+        assert_eq!(ops.len(), 1);
+        assert!(matches!(&ops[0], DiffOp::Inserted { path, .. } if *path == TreePath::from(vec![1])));
+    }
+
+    #[test]
+    fn text_change_is_reported_as_changed() {
+        let mut new = base();
+        new.set_text_at(&TreePath::from(vec![2]), Some("30".into())).unwrap();
+        let ops = diff(&base(), &new);
+        assert_eq!(ops.len(), 1);
+        match &ops[0] {
+            DiffOp::Changed { before, after, .. } => {
+                assert!(before.contains("\"3\""));
+                assert!(after.contains("\"30\""));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplication_shows_as_insertion() {
+        let mut new = base();
+        new.duplicate(&TreePath::from(vec![0])).unwrap();
+        let ops = diff(&base(), &new);
+        assert_eq!(ops.len(), 1);
+        assert!(matches!(&ops[0], DiffOp::Inserted { .. }));
+    }
+
+    #[test]
+    fn display_renders_ops() {
+        let mut new = base();
+        new.delete(&TreePath::from(vec![0])).unwrap();
+        let ops = diff(&base(), &new);
+        let s = ops[0].to_string();
+        assert!(s.starts_with("- /0"), "{s}");
+    }
+}

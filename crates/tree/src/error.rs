@@ -1,0 +1,92 @@
+//! Error type for tree operations.
+
+use std::fmt;
+
+use crate::TreePath;
+
+/// Errors produced by tree navigation, editing and query parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TreeError {
+    /// A [`TreePath`] did not resolve to a node; `depth` is the step at
+    /// which resolution failed.
+    PathNotFound {
+        /// The path that failed to resolve.
+        path: TreePath,
+        /// Zero-based step index at which the child lookup failed.
+        depth: usize,
+    },
+    /// A textual path could not be parsed.
+    InvalidPath {
+        /// The offending input.
+        input: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A query string could not be parsed.
+    InvalidQuery {
+        /// The offending input.
+        input: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// An edit was structurally impossible (e.g. moving a node into its
+    /// own subtree, or deleting the root).
+    InvalidEdit {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// An insertion index was out of bounds for the target parent.
+    IndexOutOfBounds {
+        /// Parent node path.
+        parent: TreePath,
+        /// Requested index.
+        index: usize,
+        /// Number of children the parent actually has.
+        len: usize,
+    },
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::PathNotFound { path, depth } => {
+                write!(f, "path {path} does not resolve (failed at step {depth})")
+            }
+            TreeError::InvalidPath { input, reason } => {
+                write!(f, "invalid tree path {input:?}: {reason}")
+            }
+            TreeError::InvalidQuery { input, reason } => {
+                write!(f, "invalid node query {input:?}: {reason}")
+            }
+            TreeError::InvalidEdit { reason } => write!(f, "invalid edit: {reason}"),
+            TreeError::IndexOutOfBounds { parent, index, len } => write!(
+                f,
+                "index {index} out of bounds for parent {parent} with {len} children"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = TreeError::InvalidEdit {
+            reason: "cannot delete root".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.starts_with("invalid edit"));
+        assert!(msg.contains("cannot delete root"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TreeError>();
+    }
+}

@@ -1,0 +1,256 @@
+//! The [`Node`] type: one information item of a configuration tree.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::TreePath;
+
+/// One node of a configuration tree.
+///
+/// A node mirrors an XML-infoset *information item*: it has a `kind`
+/// (the element name, e.g. `"directive"`, `"section"`, `"comment"`),
+/// an ordered map of string attributes, optional text content, and an
+/// ordered list of children.
+///
+/// Construction follows a lightweight builder style:
+///
+/// ```
+/// use conferr_tree::Node;
+///
+/// let n = Node::new("directive")
+///     .with_attr("name", "Listen")
+///     .with_text("80");
+/// assert_eq!(n.kind(), "directive");
+/// assert_eq!(n.attr("name"), Some("Listen"));
+/// assert_eq!(n.text(), Some("80"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Node {
+    kind: String,
+    #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
+    attrs: BTreeMap<String, String>,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    text: Option<String>,
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    children: Vec<Node>,
+}
+
+impl Node {
+    /// Creates a node of the given kind with no attributes, text or
+    /// children.
+    pub fn new(kind: impl Into<String>) -> Self {
+        Node {
+            kind: kind.into(),
+            attrs: BTreeMap::new(),
+            text: None,
+            children: Vec::new(),
+        }
+    }
+
+    /// The node kind (element name).
+    pub fn kind(&self) -> &str {
+        &self.kind
+    }
+
+    /// Replaces the node kind.
+    pub fn set_kind(&mut self, kind: impl Into<String>) {
+        self.kind = kind.into();
+    }
+
+    /// Builder-style: sets an attribute and returns `self`.
+    #[must_use]
+    pub fn with_attr(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.attrs.insert(key.into(), value.into());
+        self
+    }
+
+    /// Builder-style: sets the text content and returns `self`.
+    #[must_use]
+    pub fn with_text(mut self, text: impl Into<String>) -> Self {
+        self.text = Some(text.into());
+        self
+    }
+
+    /// Builder-style: appends a child and returns `self`.
+    #[must_use]
+    pub fn with_child(mut self, child: Node) -> Self {
+        self.children.push(child);
+        self
+    }
+
+    /// Builder-style: appends every child from the iterator.
+    #[must_use]
+    pub fn with_children(mut self, children: impl IntoIterator<Item = Node>) -> Self {
+        self.children.extend(children);
+        self
+    }
+
+    /// Looks up an attribute value.
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        self.attrs.get(key).map(String::as_str)
+    }
+
+    /// Sets an attribute, returning the previous value if any.
+    pub fn set_attr(
+        &mut self,
+        key: impl Into<String>,
+        value: impl Into<String>,
+    ) -> Option<String> {
+        self.attrs.insert(key.into(), value.into())
+    }
+
+    /// Removes an attribute, returning its value if it was present.
+    pub fn remove_attr(&mut self, key: &str) -> Option<String> {
+        self.attrs.remove(key)
+    }
+
+    /// All attributes in key order.
+    pub fn attrs(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.attrs.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Number of attributes.
+    pub fn attr_count(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// The text content, if any.
+    pub fn text(&self) -> Option<&str> {
+        self.text.as_deref()
+    }
+
+    /// Sets (or clears, with `None`) the text content, returning the
+    /// previous value.
+    pub fn set_text(&mut self, text: Option<String>) -> Option<String> {
+        std::mem::replace(&mut self.text, text)
+    }
+
+    /// Shared access to the children.
+    pub fn children(&self) -> &[Node] {
+        &self.children
+    }
+
+    /// Exclusive access to the children.
+    pub fn children_mut(&mut self) -> &mut Vec<Node> {
+        &mut self.children
+    }
+
+    /// Appends a child.
+    pub fn push_child(&mut self, child: Node) {
+        self.children.push(child);
+    }
+
+    /// First child of the given kind, if any.
+    pub fn first_child_of_kind(&self, kind: &str) -> Option<&Node> {
+        self.children.iter().find(|c| c.kind == kind)
+    }
+
+    /// All direct children of the given kind.
+    pub fn children_of_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a Node> + 'a {
+        self.children.iter().filter(move |c| c.kind == kind)
+    }
+
+    /// Depth-first count of all nodes in this subtree, including
+    /// `self`.
+    pub fn subtree_len(&self) -> usize {
+        1 + self.children.iter().map(Node::subtree_len).sum::<usize>()
+    }
+
+    /// A compact single-line description used in diagnostics, e.g.
+    /// `directive(name=Listen)="80"`.
+    pub fn describe(&self) -> String {
+        let mut s = self.kind.clone();
+        if !self.attrs.is_empty() {
+            let attrs: Vec<String> =
+                self.attrs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            s.push('(');
+            s.push_str(&attrs.join(","));
+            s.push(')');
+        }
+        if let Some(t) = &self.text {
+            let shown: String = t.chars().take(40).collect();
+            s.push_str(&format!("={shown:?}"));
+        }
+        s
+    }
+}
+
+impl fmt::Display for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+/// Depth-first iterator over `(path, node)` pairs of a subtree.
+///
+/// Produced by [`crate::ConfTree::iter`]. The root is yielded first
+/// with the empty path.
+#[derive(Debug)]
+pub struct NodeIter<'a> {
+    stack: Vec<(TreePath, &'a Node)>,
+}
+
+impl<'a> NodeIter<'a> {
+    pub(crate) fn new(root: &'a Node) -> Self {
+        NodeIter {
+            stack: vec![(TreePath::root(), root)],
+        }
+    }
+}
+
+impl<'a> Iterator for NodeIter<'a> {
+    type Item = (TreePath, &'a Node);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let (path, node) = self.stack.pop()?;
+        for (i, child) in node.children().iter().enumerate().rev() {
+            self.stack.push((path.child(i), child));
+        }
+        Some((path, node))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_accessors_round_trip() {
+        let mut n = Node::new("directive").with_attr("name", "port").with_text("80");
+        assert_eq!(n.attr("name"), Some("port"));
+        assert_eq!(n.set_attr("name", "Port"), Some("port".to_string()));
+        assert_eq!(n.remove_attr("name"), Some("Port".to_string()));
+        assert_eq!(n.attr("name"), None);
+        assert_eq!(n.set_text(None), Some("80".to_string()));
+        assert_eq!(n.text(), None);
+    }
+
+    #[test]
+    fn children_of_kind_filters() {
+        let n = Node::new("section")
+            .with_child(Node::new("directive"))
+            .with_child(Node::new("comment"))
+            .with_child(Node::new("directive"));
+        assert_eq!(n.children_of_kind("directive").count(), 2);
+        assert_eq!(n.first_child_of_kind("comment").unwrap().kind(), "comment");
+        assert!(n.first_child_of_kind("blank").is_none());
+    }
+
+    #[test]
+    fn subtree_len_counts_recursively() {
+        let n = Node::new("a")
+            .with_child(Node::new("b").with_child(Node::new("c")))
+            .with_child(Node::new("d"));
+        assert_eq!(n.subtree_len(), 4);
+    }
+
+    #[test]
+    fn describe_is_compact_and_nonempty() {
+        let n = Node::new("directive").with_attr("name", "x").with_text("y");
+        assert_eq!(n.describe(), "directive(name=x)=\"y\"");
+        assert_eq!(Node::new("blank").describe(), "blank");
+        assert_eq!(format!("{n}"), n.describe());
+    }
+}

@@ -1,0 +1,184 @@
+//! Stable node addressing via child-index paths.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::TreeError;
+
+/// A path from the root of a [`crate::ConfTree`] to one node, expressed
+/// as a sequence of child indices.
+///
+/// The empty path addresses the root itself. Paths render as
+/// `/0/3/1` and parse back from that notation:
+///
+/// ```
+/// use conferr_tree::TreePath;
+///
+/// let p: TreePath = "/0/3/1".parse().unwrap();
+/// assert_eq!(p.to_string(), "/0/3/1");
+/// assert_eq!(TreePath::root().to_string(), "/");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct TreePath(Vec<usize>);
+
+impl TreePath {
+    /// The empty path, addressing the root node.
+    pub fn root() -> Self {
+        TreePath(Vec::new())
+    }
+
+    /// The child indices, from root to target.
+    pub fn indices(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// `true` iff this is the root path.
+    pub fn is_root(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Number of steps (the root path has depth 0).
+    pub fn depth(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Returns the path of this node's `i`-th child.
+    #[must_use]
+    pub fn child(&self, i: usize) -> TreePath {
+        let mut v = self.0.clone();
+        v.push(i);
+        TreePath(v)
+    }
+
+    /// Returns the parent path, or `None` for the root.
+    pub fn parent(&self) -> Option<TreePath> {
+        if self.0.is_empty() {
+            None
+        } else {
+            Some(TreePath(self.0[..self.0.len() - 1].to_vec()))
+        }
+    }
+
+    /// The index of this node within its parent, or `None` for the
+    /// root.
+    pub fn last_index(&self) -> Option<usize> {
+        self.0.last().copied()
+    }
+
+    /// `true` iff `self` is a strict ancestor of `other`.
+    pub fn is_ancestor_of(&self, other: &TreePath) -> bool {
+        self.0.len() < other.0.len() && other.0[..self.0.len()] == self.0[..]
+    }
+
+    /// Returns a sibling path with the last index replaced by `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on the root path.
+    #[must_use]
+    pub fn with_last_index(&self, i: usize) -> TreePath {
+        assert!(!self.0.is_empty(), "root path has no sibling index");
+        let mut v = self.0.clone();
+        *v.last_mut().expect("non-empty") = i;
+        TreePath(v)
+    }
+}
+
+impl From<Vec<usize>> for TreePath {
+    fn from(v: Vec<usize>) -> Self {
+        TreePath(v)
+    }
+}
+
+impl From<&[usize]> for TreePath {
+    fn from(v: &[usize]) -> Self {
+        TreePath(v.to_vec())
+    }
+}
+
+impl fmt::Display for TreePath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return f.write_str("/");
+        }
+        for i in &self.0 {
+            write!(f, "/{i}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for TreePath {
+    type Err = TreeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if s == "/" || s.is_empty() {
+            return Ok(TreePath::root());
+        }
+        let body = s.strip_prefix('/').ok_or_else(|| TreeError::InvalidPath {
+            input: s.to_string(),
+            reason: "path must start with '/'".to_string(),
+        })?;
+        let mut v = Vec::new();
+        for part in body.split('/') {
+            let idx: usize = part.parse().map_err(|_| TreeError::InvalidPath {
+                input: s.to_string(),
+                reason: format!("invalid index segment {part:?}"),
+            })?;
+            v.push(idx);
+        }
+        Ok(TreePath(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_parse_round_trip() {
+        for p in [
+            TreePath::root(),
+            TreePath::from(vec![0]),
+            TreePath::from(vec![3, 1, 4]),
+        ] {
+            let s = p.to_string();
+            let back: TreePath = s.parse().unwrap();
+            assert_eq!(back, p, "round-trip failed for {s}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("/a/b".parse::<TreePath>().is_err());
+        assert!("0/1".parse::<TreePath>().is_err());
+        assert!("/1//2".parse::<TreePath>().is_err());
+    }
+
+    #[test]
+    fn ancestry_is_strict() {
+        let a = TreePath::from(vec![0, 1]);
+        let b = TreePath::from(vec![0, 1, 2]);
+        assert!(a.is_ancestor_of(&b));
+        assert!(!b.is_ancestor_of(&a));
+        assert!(!a.is_ancestor_of(&a));
+        assert!(TreePath::root().is_ancestor_of(&a));
+    }
+
+    #[test]
+    fn parent_child_inverse() {
+        let p = TreePath::from(vec![2, 5]);
+        assert_eq!(p.parent().unwrap().child(5), p);
+        assert_eq!(p.last_index(), Some(5));
+        assert!(TreePath::root().parent().is_none());
+    }
+
+    #[test]
+    fn with_last_index_replaces_only_tail() {
+        let p = TreePath::from(vec![2, 5]);
+        assert_eq!(p.with_last_index(7), TreePath::from(vec![2, 7]));
+    }
+}

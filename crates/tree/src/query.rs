@@ -1,0 +1,488 @@
+//! A small XPath-like query language for selecting tree nodes.
+//!
+//! ConfErr's error templates take "a description of the nodes that
+//! should undergo the template-specific mutation" (paper §3.3); in the
+//! original tool that description is an XPath query. [`NodeQuery`] is
+//! the equivalent here. Supported syntax:
+//!
+//! ```text
+//! /section/directive              children by kind, from the root
+//! //directive                     any descendant of the root
+//! /section[@name='mysqld']        attribute-equality predicate
+//! //directive[@name]              attribute-presence predicate
+//! /section[2]                     positional predicate (1-based)
+//! //directive[text()='80']        text-equality predicate
+//! //directive[contains(@name,'log')]  attribute-substring predicate
+//! /*/directive                    wildcard kind test
+//! ```
+//!
+//! Steps are separated by `/`; a step introduced by `//` searches the
+//! whole subtree (descendant-or-self) instead of only direct children.
+//! Predicates can be chained: `//directive[@name='port'][1]`.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{ConfTree, Node, TreeError, TreePath};
+
+/// One parsed query: a sequence of [`Step`]s evaluated from the root.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeQuery {
+    steps: Vec<Step>,
+}
+
+/// One step of a [`NodeQuery`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Step {
+    /// `true` for `//step` (descendant-or-self search), `false` for
+    /// `/step` (direct children only).
+    pub descendant: bool,
+    /// Node-kind test: `Some(kind)` or `None` for the `*` wildcard.
+    pub kind: Option<String>,
+    /// Predicates applied in order; positional predicates are applied
+    /// to the candidate list *as filtered so far*.
+    pub predicates: Vec<Predicate>,
+}
+
+/// A filter inside `[...]`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Predicate {
+    /// `[@key='value']`
+    AttrEquals(String, String),
+    /// `[@key]`
+    HasAttr(String),
+    /// `[n]` — 1-based position among the candidates matched so far.
+    Index(usize),
+    /// `[text()='value']`
+    TextEquals(String),
+    /// `[contains(@key,'value')]`
+    AttrContains(String, String),
+}
+
+impl NodeQuery {
+    /// Builds a query programmatically from steps.
+    pub fn from_steps(steps: Vec<Step>) -> Self {
+        NodeQuery { steps }
+    }
+
+    /// Convenience: `//kind` — all descendants of the given kind.
+    pub fn descendants(kind: impl Into<String>) -> Self {
+        NodeQuery {
+            steps: vec![Step {
+                descendant: true,
+                kind: Some(kind.into()),
+                predicates: Vec::new(),
+            }],
+        }
+    }
+
+    /// The parsed steps.
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// Evaluates the query, returning the paths of all matching nodes
+    /// in document (depth-first) order, without duplicates.
+    pub fn select(&self, tree: &ConfTree) -> Vec<TreePath> {
+        let mut context: Vec<TreePath> = vec![TreePath::root()];
+        for step in &self.steps {
+            let mut next: Vec<TreePath> = Vec::new();
+            for ctx in &context {
+                let node = match tree.node_at(ctx) {
+                    Ok(n) => n,
+                    Err(_) => continue,
+                };
+                let mut candidates: Vec<(TreePath, &Node)> = Vec::new();
+                if step.descendant {
+                    collect_descendants(ctx, node, &mut candidates);
+                } else {
+                    for (i, child) in node.children().iter().enumerate() {
+                        candidates.push((ctx.child(i), child));
+                    }
+                }
+                candidates.retain(|(_, n)| match &step.kind {
+                    Some(k) => n.kind() == k,
+                    None => true,
+                });
+                for pred in &step.predicates {
+                    candidates = apply_predicate(pred, candidates);
+                }
+                next.extend(candidates.into_iter().map(|(p, _)| p));
+            }
+            next.sort();
+            next.dedup();
+            context = next;
+        }
+        context
+    }
+
+    /// Evaluates the query and resolves each hit to a node reference.
+    pub fn select_nodes<'t>(&self, tree: &'t ConfTree) -> Vec<(TreePath, &'t Node)> {
+        self.select(tree)
+            .into_iter()
+            .filter_map(|p| tree.node_at(&p).ok().map(|n| (p, n)))
+            .collect()
+    }
+}
+
+fn collect_descendants<'t>(
+    path: &TreePath,
+    node: &'t Node,
+    out: &mut Vec<(TreePath, &'t Node)>,
+) {
+    out.push((path.clone(), node));
+    for (i, child) in node.children().iter().enumerate() {
+        collect_descendants(&path.child(i), child, out);
+    }
+}
+
+fn apply_predicate<'t>(
+    pred: &Predicate,
+    candidates: Vec<(TreePath, &'t Node)>,
+) -> Vec<(TreePath, &'t Node)> {
+    match pred {
+        Predicate::AttrEquals(k, v) => candidates
+            .into_iter()
+            .filter(|(_, n)| n.attr(k) == Some(v.as_str()))
+            .collect(),
+        Predicate::HasAttr(k) => candidates
+            .into_iter()
+            .filter(|(_, n)| n.attr(k).is_some())
+            .collect(),
+        Predicate::TextEquals(v) => candidates
+            .into_iter()
+            .filter(|(_, n)| n.text() == Some(v.as_str()))
+            .collect(),
+        Predicate::AttrContains(k, v) => candidates
+            .into_iter()
+            .filter(|(_, n)| n.attr(k).is_some_and(|a| a.contains(v.as_str())))
+            .collect(),
+        Predicate::Index(i) => {
+            let i = *i;
+            if i == 0 {
+                return Vec::new();
+            }
+            candidates.into_iter().skip(i - 1).take(1).collect()
+        }
+    }
+}
+
+impl fmt::Display for NodeQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for step in &self.steps {
+            f.write_str(if step.descendant { "//" } else { "/" })?;
+            match &step.kind {
+                Some(k) => f.write_str(k)?,
+                None => f.write_str("*")?,
+            }
+            for p in &step.predicates {
+                match p {
+                    Predicate::AttrEquals(k, v) => write!(f, "[@{k}='{v}']")?,
+                    Predicate::HasAttr(k) => write!(f, "[@{k}]")?,
+                    Predicate::Index(i) => write!(f, "[{i}]")?,
+                    Predicate::TextEquals(v) => write!(f, "[text()='{v}']")?,
+                    Predicate::AttrContains(k, v) => write!(f, "[contains(@{k},'{v}')]")?,
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for NodeQuery {
+    type Err = TreeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Parser::new(s).parse()
+    }
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser {
+            input,
+            chars: input.trim().chars().collect(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, reason: impl Into<String>) -> TreeError {
+        TreeError::InvalidQuery {
+            input: self.input.to_string(),
+            reason: reason.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), TreeError> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected {c:?} at position {}, found {:?}",
+                self.pos,
+                self.peek()
+            )))
+        }
+    }
+
+    fn parse(mut self) -> Result<NodeQuery, TreeError> {
+        if self.chars.is_empty() {
+            return Err(self.err("empty query"));
+        }
+        let mut steps = Vec::new();
+        while self.peek().is_some() {
+            self.expect('/')?;
+            let descendant = self.eat('/');
+            let kind = self.parse_kind_test()?;
+            let mut predicates = Vec::new();
+            while self.eat('[') {
+                predicates.push(self.parse_predicate()?);
+                self.expect(']')?;
+            }
+            steps.push(Step {
+                descendant,
+                kind,
+                predicates,
+            });
+        }
+        if steps.is_empty() {
+            return Err(self.err("query has no steps"));
+        }
+        Ok(NodeQuery { steps })
+    }
+
+    fn parse_kind_test(&mut self) -> Result<Option<String>, TreeError> {
+        if self.eat('*') {
+            return Ok(None);
+        }
+        let name = self.parse_name()?;
+        Ok(Some(name))
+    }
+
+    fn parse_name(&mut self) -> Result<String, TreeError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' || c == '-' || c == '.' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err(format!(
+                "expected a name at position {start}, found {:?}",
+                self.peek()
+            )));
+        }
+        Ok(self.chars[start..self.pos].iter().collect())
+    }
+
+    fn parse_quoted(&mut self) -> Result<String, TreeError> {
+        let quote = match self.bump() {
+            Some(c @ ('\'' | '"')) => c,
+            other => return Err(self.err(format!("expected a quoted string, found {other:?}"))),
+        };
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == quote {
+                let s: String = self.chars[start..self.pos].iter().collect();
+                self.pos += 1;
+                return Ok(s);
+            }
+            self.pos += 1;
+        }
+        Err(self.err("unterminated quoted string"))
+    }
+
+    fn parse_predicate(&mut self) -> Result<Predicate, TreeError> {
+        match self.peek() {
+            Some('@') => {
+                self.pos += 1;
+                let key = self.parse_name()?;
+                if self.eat('=') {
+                    let value = self.parse_quoted()?;
+                    Ok(Predicate::AttrEquals(key, value))
+                } else {
+                    Ok(Predicate::HasAttr(key))
+                }
+            }
+            Some(c) if c.is_ascii_digit() => {
+                let start = self.pos;
+                while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+                let digits: String = self.chars[start..self.pos].iter().collect();
+                let n: usize = digits
+                    .parse()
+                    .map_err(|_| self.err(format!("invalid index {digits:?}")))?;
+                if n == 0 {
+                    return Err(self.err("positional predicates are 1-based; [0] is invalid"));
+                }
+                Ok(Predicate::Index(n))
+            }
+            Some('t') => {
+                for expected in "text()".chars() {
+                    self.expect(expected)?;
+                }
+                self.expect('=')?;
+                let value = self.parse_quoted()?;
+                Ok(Predicate::TextEquals(value))
+            }
+            Some('c') => {
+                for expected in "contains(@".chars() {
+                    self.expect(expected)?;
+                }
+                let key = self.parse_name()?;
+                self.expect(',')?;
+                let value = self.parse_quoted()?;
+                self.expect(')')?;
+                Ok(Predicate::AttrContains(key, value))
+            }
+            other => Err(self.err(format!("unsupported predicate starting with {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Node;
+
+    fn tree() -> ConfTree {
+        ConfTree::new(
+            Node::new("config")
+                .with_child(
+                    Node::new("section")
+                        .with_attr("name", "mysqld")
+                        .with_child(
+                            Node::new("directive").with_attr("name", "port").with_text("3306"),
+                        )
+                        .with_child(
+                            Node::new("directive")
+                                .with_attr("name", "log_error")
+                                .with_text("/var/log/err"),
+                        ),
+                )
+                .with_child(
+                    Node::new("section").with_attr("name", "client").with_child(
+                        Node::new("directive").with_attr("name", "port").with_text("3306"),
+                    ),
+                ),
+        )
+    }
+
+    #[test]
+    fn child_steps_select_direct_children_only() {
+        let q: NodeQuery = "/section/directive".parse().unwrap();
+        assert_eq!(q.select(&tree()).len(), 3);
+    }
+
+    #[test]
+    fn descendant_step_searches_whole_tree() {
+        let q: NodeQuery = "//directive".parse().unwrap();
+        assert_eq!(q.select(&tree()).len(), 3);
+        let q: NodeQuery = "//section".parse().unwrap();
+        assert_eq!(q.select(&tree()).len(), 2);
+    }
+
+    #[test]
+    fn attr_equals_predicate() {
+        let q: NodeQuery = "/section[@name='mysqld']/directive".parse().unwrap();
+        assert_eq!(q.select(&tree()).len(), 2);
+    }
+
+    #[test]
+    fn positional_predicate_is_one_based() {
+        let t = tree();
+        let q: NodeQuery = "//directive[2]".parse().unwrap();
+        let hits = q.select_nodes(&t);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].1.attr("name"), Some("log_error"));
+        assert!("//directive[0]".parse::<NodeQuery>().is_err());
+    }
+
+    #[test]
+    fn text_and_contains_predicates() {
+        let t = tree();
+        let q: NodeQuery = "//directive[text()='3306']".parse().unwrap();
+        assert_eq!(q.select(&t).len(), 2);
+        let q: NodeQuery = "//directive[contains(@name,'log')]".parse().unwrap();
+        let hits = q.select_nodes(&t);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].1.attr("name"), Some("log_error"));
+    }
+
+    #[test]
+    fn wildcard_kind_test() {
+        let q: NodeQuery = "/*".parse().unwrap();
+        assert_eq!(q.select(&tree()).len(), 2);
+    }
+
+    #[test]
+    fn chained_predicates_filter_in_order() {
+        let q: NodeQuery = "//directive[@name='port'][1]".parse().unwrap();
+        let t = tree();
+        let hits = q.select(&t);
+        assert_eq!(hits.len(), 1);
+        // Document order: the mysqld port comes first.
+        assert_eq!(hits[0], TreePath::from(vec![0, 0]));
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for s in [
+            "/section/directive",
+            "//directive[@name='port'][1]",
+            "/*[@name]",
+            "//directive[text()='80']",
+            "//directive[contains(@name,'log')]",
+        ] {
+            let q: NodeQuery = s.parse().unwrap();
+            assert_eq!(q.to_string(), s);
+            let back: NodeQuery = q.to_string().parse().unwrap();
+            assert_eq!(back, q);
+        }
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        for s in ["", "section", "/section[", "/section[@]", "//directive[foo]"] {
+            assert!(s.parse::<NodeQuery>().is_err(), "{s:?} should fail");
+        }
+    }
+
+    #[test]
+    fn select_on_missing_kind_returns_empty() {
+        let q: NodeQuery = "//nothing".parse().unwrap();
+        assert!(q.select(&tree()).is_empty());
+    }
+}

@@ -1,0 +1,74 @@
+//! Which semantically neutral configuration variations does each
+//! system accept? (paper §5.3, Table 2)
+//!
+//! ```text
+//! cargo run --example structural_matrix
+//! ```
+//!
+//! For each variation class — reordering, whitespace, case changes,
+//! truncated names — ten seeded variant configurations are generated;
+//! a system "supports" the class when it accepts all ten. The matrix
+//! shows which administrator mental-model variations each system
+//! tolerates.
+
+use conferr::{Campaign, InjectionResult};
+use conferr_model::ErrorGenerator;
+use conferr_plugins::{VariationClass, VariationPlugin};
+use conferr_sut::{ApacheSim, MySqlSim, PostgresSim, SystemUnderTest};
+
+fn verdict(
+    sut: &mut dyn SystemUnderTest,
+    class: VariationClass,
+) -> Result<String, Box<dyn std::error::Error>> {
+    let mut campaign = Campaign::new(sut)?;
+    let plugin = VariationPlugin::new(class, 10, 1912);
+    let faults = plugin.generate(campaign.baseline())?;
+    if faults.is_empty() {
+        return Ok("n/a".to_string());
+    }
+    let profile = campaign.run_faults(faults)?;
+    let rejected = profile
+        .outcomes()
+        .iter()
+        .filter(|o| !matches!(o.result, InjectionResult::Undetected { .. }))
+        .count();
+    Ok(if rejected == 0 {
+        "Yes".to_string()
+    } else {
+        format!("No ({rejected}/10 rejected)")
+    })
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{:<28} {:<8} {:<8} {:<8}",
+        "variation class", "MySQL", "Postgres", "Apache"
+    );
+    println!("{}", "-".repeat(56));
+    for class in VariationClass::ALL {
+        let mut mysql = MySqlSim::new();
+        let mut postgres = PostgresSim::new();
+        let mut apache = ApacheSim::new();
+        // The paper reports Apache's section order as n/a: container
+        // order has defined semantics there (first VirtualHost wins).
+        let apache_cell = if class == VariationClass::SectionOrder {
+            "n/a".to_string()
+        } else {
+            verdict(&mut apache, class)?
+        };
+        println!(
+            "{:<28} {:<8} {:<8} {:<8}",
+            class.label(),
+            verdict(&mut mysql, class)?,
+            verdict(&mut postgres, class)?,
+            apache_cell,
+        );
+    }
+    println!();
+    println!(
+        "an ideal system would accept every neutral variation; none of the three does\n\
+         (paper §5.3: \"we do believe that all three systems should offer the flexibility\n\
+         of all mutations\")"
+    );
+    Ok(())
+}

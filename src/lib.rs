@@ -1,0 +1,14 @@
+//! `conferr-suite` is the umbrella package of the ConfErr reproduction
+//! workspace. It exists to host the runnable [examples] and the
+//! cross-crate integration tests; the actual functionality lives in the
+//! `conferr*` crates re-exported below.
+//!
+//! [examples]: https://github.com/conferr/conferr-rs/tree/main/examples
+
+pub use conferr;
+pub use conferr_formats as formats;
+pub use conferr_keyboard as keyboard;
+pub use conferr_model as model;
+pub use conferr_plugins as plugins;
+pub use conferr_sut as sut;
+pub use conferr_tree as tree;

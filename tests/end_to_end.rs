@@ -1,0 +1,174 @@
+//! End-to-end campaigns across every simulated system with every
+//! applicable plugin: the whole pipeline must hold together, stay
+//! deterministic, and keep its accounting honest.
+
+use conferr::{Campaign, InjectionResult, ResilienceProfile};
+use conferr_keyboard::Keyboard;
+use conferr_model::StructuralKind;
+use conferr_plugins::{
+    DnsSemanticPlugin, StructuralPlugin, TokenClass, TypoPlugin, VariationClass, VariationPlugin,
+};
+use conferr_sut::{
+    ApacheSim, BindSim, DjbdnsSim, MySqlSim, PostgresSim, SystemUnderTest,
+};
+
+fn assert_profile_sane(profile: &ResilienceProfile) {
+    let s = profile.summary();
+    assert_eq!(
+        s.total,
+        s.detected_at_startup + s.detected_by_tests + s.undetected + s.inexpressible + s.skipped,
+        "buckets must partition the total: {s:?}"
+    );
+    assert_eq!(s.total, profile.len());
+    assert_eq!(s.skipped, 0, "no scenario may fail to apply: {s:?}");
+    // Per-class summaries must add back up to the overall numbers.
+    let by_class = profile.by_class();
+    let class_total: usize = by_class.values().map(|c| c.total).sum();
+    assert_eq!(class_total, s.total);
+    // Every outcome has an id and description.
+    for o in profile.outcomes() {
+        assert!(!o.id.is_empty());
+        assert!(!o.description.is_empty());
+    }
+}
+
+fn typo_campaign(sut: &mut dyn SystemUnderTest) -> ResilienceProfile {
+    let mut campaign = Campaign::new(sut).expect("campaign");
+    campaign.add_generator(Box::new(TypoPlugin::new(
+        Keyboard::qwerty_us(),
+        TokenClass::DirectiveNames,
+    )));
+    campaign.add_generator(Box::new(TypoPlugin::new(
+        Keyboard::qwerty_us(),
+        TokenClass::DirectiveValues,
+    )));
+    campaign.run().expect("run")
+}
+
+#[test]
+fn mysql_full_typo_campaign() {
+    let mut sut = MySqlSim::new();
+    let profile = typo_campaign(&mut sut);
+    assert!(profile.len() > 500, "my.cnf yields a rich fault load");
+    assert_profile_sane(&profile);
+    // Both detection and absorption must occur — a profile that is
+    // all-detected or all-ignored means the simulator is broken.
+    let s = profile.summary();
+    assert!(s.detected_at_startup > 0);
+    assert!(s.undetected > 0);
+}
+
+#[test]
+fn postgres_full_typo_campaign() {
+    let mut sut = PostgresSim::new();
+    let profile = typo_campaign(&mut sut);
+    assert!(profile.len() > 200);
+    assert_profile_sane(&profile);
+    assert!(profile.summary().detection_rate() > 0.5);
+}
+
+#[test]
+fn apache_full_typo_campaign() {
+    let mut sut = ApacheSim::new();
+    let profile = typo_campaign(&mut sut);
+    assert!(profile.len() > 1000, "98 directives yield a huge fault load");
+    assert_profile_sane(&profile);
+    // Apache's lax value validation leaves most value typos unseen.
+    let s = profile.summary();
+    assert!(s.undetected > s.total / 4, "{s:?}");
+}
+
+#[test]
+fn structural_campaigns_run_on_all_section_systems() {
+    for (name, sut) in [
+        ("mysql", Box::new(MySqlSim::new()) as Box<dyn SystemUnderTest>),
+        ("postgres", Box::new(PostgresSim::new())),
+        ("apache", Box::new(ApacheSim::new())),
+    ] {
+        let mut sut = sut;
+        let mut campaign = Campaign::new(sut.as_mut()).expect("campaign");
+        campaign.add_generator(Box::new(StructuralPlugin::new().with_kinds([
+            StructuralKind::DirectiveOmission,
+            StructuralKind::Duplication,
+            StructuralKind::Misplacement,
+        ])));
+        let profile = campaign.run().expect(name);
+        assert!(!profile.is_empty(), "{name}");
+        assert_profile_sane(&profile);
+    }
+}
+
+#[test]
+fn variation_campaigns_run_on_all_section_systems() {
+    for class in VariationClass::ALL {
+        let mut sut = MySqlSim::new();
+        let mut campaign = Campaign::new(&mut sut).expect("campaign");
+        campaign.add_generator(Box::new(VariationPlugin::new(class, 10, 7)));
+        let profile = campaign.run().expect("run");
+        assert_profile_sane(&profile);
+    }
+}
+
+#[test]
+fn dns_campaigns_cover_both_servers() {
+    {
+        let mut sut = BindSim::new();
+        let mut campaign = Campaign::new(&mut sut).expect("campaign");
+        campaign.add_generator(Box::new(DnsSemanticPlugin::bind()));
+        let profile = campaign.run().expect("run");
+        assert_profile_sane(&profile);
+        assert!(profile.summary().inexpressible == 0, "zone files express everything");
+        assert!(profile.summary().detected_at_startup > 0);
+        assert!(profile.summary().undetected > 0);
+    }
+    {
+        let mut sut = DjbdnsSim::new();
+        let mut campaign = Campaign::new(&mut sut).expect("campaign");
+        campaign.add_generator(Box::new(DnsSemanticPlugin::tinydns()));
+        let profile = campaign.run().expect("run");
+        assert_profile_sane(&profile);
+        assert!(
+            profile.summary().inexpressible > 0,
+            "the combined A+PTR directive must make some faults unwritable"
+        );
+    }
+}
+
+#[test]
+fn campaigns_are_deterministic_across_runs() {
+    let run = || {
+        let mut sut = PostgresSim::new();
+        typo_campaign(&mut sut)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.outcomes(), b.outcomes());
+}
+
+#[test]
+fn undetected_outcomes_iterate_consistently() {
+    let mut sut = MySqlSim::new();
+    let profile = typo_campaign(&mut sut);
+    let n = profile
+        .outcomes()
+        .iter()
+        .filter(|o| matches!(o.result, InjectionResult::Undetected { .. }))
+        .count();
+    assert_eq!(profile.undetected().count(), n);
+    assert_eq!(profile.summary().undetected, n);
+}
+
+#[test]
+fn suts_recover_after_failed_start() {
+    // A campaign interleaves failing and succeeding configurations;
+    // the SUT must come back cleanly after a detected error.
+    let mut sut = PostgresSim::new();
+    let good = conferr_sut::default_configs(&sut);
+    let mut bad = good.clone();
+    bad.get_mut("postgresql.conf")
+        .expect("conf")
+        .push_str("bogus_param = 1\n");
+    assert!(!sut.start(&bad).is_running());
+    assert!(sut.start(&good).is_running());
+    assert!(sut.run_test("connect-and-query").passed());
+}

@@ -1,0 +1,252 @@
+//! Every qualitative finding of the paper's §5.2–§5.4 case studies,
+//! reproduced as an end-to-end injection through the public API: the
+//! fault is injected via a campaign (not by poking the simulator), and
+//! the classified outcome must match what the paper reported.
+
+use conferr::{Campaign, InjectionResult};
+use conferr_model::{ConfigSet, ErrorClass, FaultScenario, GeneratedFault, TreeEdit, TypoKind};
+use conferr_sut::{ApacheSim, MySqlSim, PostgresSim, SystemUnderTest};
+use conferr_tree::{NodeQuery, TreePath};
+
+/// Builds a one-scenario fault load that rewrites the value of the
+/// named directive.
+fn set_value_fault(set: &ConfigSet, directive: &str, new_value: &str) -> Vec<GeneratedFault> {
+    let query: NodeQuery = format!("//directive[@name='{directive}']")
+        .parse()
+        .expect("valid query");
+    for (file, tree) in set.iter() {
+        if let Some(path) = query.select(tree).first() {
+            return vec![GeneratedFault::Scenario(FaultScenario {
+                id: format!("finding:{directive}"),
+                description: format!("set {directive} = {new_value}"),
+                class: ErrorClass::Typo(TypoKind::Substitution),
+                edits: vec![TreeEdit::SetText {
+                    file: file.to_string(),
+                    path: path.clone(),
+                    text: Some(new_value.to_string()),
+                }],
+            })];
+        }
+    }
+    panic!("directive {directive} not found in default configuration");
+}
+
+fn inject_value(sut: &mut dyn SystemUnderTest, directive: &str, value: &str) -> InjectionResult {
+    let mut campaign = Campaign::new(sut).expect("campaign");
+    let faults = set_value_fault(campaign.baseline(), directive, value);
+    let profile = campaign.run_faults(faults).expect("run");
+    profile.outcomes()[0].result.clone()
+}
+
+// ---------------------------------------------------------------------------
+// MySQL findings (§5.2)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn mysql_accepts_out_of_bounds_value_silently() {
+    // "key_buffer_size=1 is accepted and ignored, although the value
+    // has to be at least 8 [KiB]".
+    let mut sut = MySqlSim::new();
+    let result = inject_value(&mut sut, "key_buffer_size", "1");
+    assert!(
+        matches!(result, InjectionResult::Undetected { .. }),
+        "out-of-bounds size must be silently absorbed: {result}"
+    );
+}
+
+#[test]
+fn mysql_accepts_one_m_zero() {
+    // "a value like '1M0' is accepted as valid, whereas it is clearly
+    // an unintended value (the operator likely meant '10M')".
+    let mut sut = MySqlSim::new();
+    let result = inject_value(&mut sut, "max_allowed_packet", "1M0");
+    assert!(
+        matches!(result, InjectionResult::Undetected { .. }),
+        "1M0 must be accepted: {result}"
+    );
+}
+
+#[test]
+fn mysql_silently_ignores_suffix_leading_values() {
+    // "Numeric values that start with one of the mentioned suffixes
+    // (and are thus invalid) are also silently ignored."
+    let mut sut = MySqlSim::new();
+    let result = inject_value(&mut sut, "sort_buffer_size", "K512");
+    assert!(
+        matches!(result, InjectionResult::Undetected { .. }),
+        "suffix-leading value must be silently absorbed: {result}"
+    );
+}
+
+#[test]
+fn mysql_accepts_valueless_directives() {
+    // "Directives specified without a value are also accepted and
+    // replaced with defaults by MySQL."
+    let mut sut = MySqlSim::new();
+    let result = inject_value(&mut sut, "table_open_cache", "");
+    assert!(
+        matches!(result, InjectionResult::Undetected { .. }),
+        "valueless directive must be absorbed: {result}"
+    );
+}
+
+#[test]
+fn mysql_tool_section_errors_stay_latent_until_the_tool_runs() {
+    // "if an administrator inadvertently inserts an error in one of
+    // the other sections, it will become apparent at the earliest on
+    // the next run of the corresponding tool."
+    let mut sut = MySqlSim::new();
+    let mut campaign = Campaign::new(&mut sut).expect("campaign");
+    // Typo the name of a [mysqldump] directive.
+    let query: NodeQuery = "//section[@name='mysqldump']/directive[@name='quick']"
+        .parse()
+        .expect("query");
+    let tree = campaign.baseline().get("my.cnf").expect("my.cnf");
+    let path = query.select(tree).into_iter().next().expect("quick directive");
+    let faults = vec![GeneratedFault::Scenario(FaultScenario {
+        id: "latent".into(),
+        description: "typo in [mysqldump] quick".into(),
+        class: ErrorClass::Typo(TypoKind::Transposition),
+        edits: vec![TreeEdit::SetAttr {
+            file: "my.cnf".into(),
+            path,
+            key: "name".into(),
+            value: "qiuck".into(),
+        }],
+    })];
+    let profile = campaign.run_faults(faults).expect("run");
+    // The daemon starts and the admin smoke test passes.
+    assert!(
+        matches!(profile.outcomes()[0].result, InjectionResult::Undetected { .. }),
+        "{:?}",
+        profile.outcomes()[0].result
+    );
+    drop(campaign);
+    // But the backup tool, run later, trips over it.
+    let configs = conferr_sut::default_configs(&sut);
+    let mut broken = configs.clone();
+    *broken.get_mut("my.cnf").expect("my.cnf") =
+        broken["my.cnf"].replace("quick", "qiuck");
+    assert!(sut.start(&broken).is_running());
+    let tool = sut.run_test("mysqldump-tool");
+    assert!(!tool.passed(), "the tool must surface the latent error");
+}
+
+// ---------------------------------------------------------------------------
+// Apache findings (§5.2)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn apache_accepts_freeform_mime_types() {
+    // "directives related to MIME types (AddType and DefaultType)
+    // should take values in the format type/subtype ... Apache,
+    // however, accepts freeform strings instead."
+    let mut sut = ApacheSim::new();
+    let result = inject_value(&mut sut, "DefaultType", "textplain");
+    assert!(
+        matches!(result, InjectionResult::Undetected { .. }),
+        "freeform MIME type must be accepted: {result}"
+    );
+}
+
+#[test]
+fn apache_accepts_freeform_server_admin() {
+    // "according to the manual, [ServerAdmin] should take a URL or an
+    // email address; ... freeform strings are readily accepted here."
+    let mut sut = ApacheSim::new();
+    let result = inject_value(&mut sut, "ServerAdmin", "not an email at all");
+    assert!(matches!(result, InjectionResult::Undetected { .. }), "{result}");
+}
+
+#[test]
+fn apache_accepts_freeform_server_name() {
+    // "ServerName should only accept DNS host names, but instead
+    // accepts anything."
+    let mut sut = ApacheSim::new();
+    let result = inject_value(&mut sut, "ServerName", "definitely not a hostname!");
+    assert!(matches!(result, InjectionResult::Undetected { .. }), "{result}");
+}
+
+#[test]
+fn apache_listen_port_typo_caught_only_by_functional_test() {
+    // "typos in listening ports ... is why 5% of Apache errors were
+    // caught by functional tests."
+    let mut sut = ApacheSim::new();
+    let result = inject_value(&mut sut, "Listen", "81");
+    assert!(
+        matches!(result, InjectionResult::DetectedByFunctionalTest { .. }),
+        "valid-but-wrong port must slip past startup: {result}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Postgres findings (§5.2)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn postgres_enforces_fsm_cross_directive_constraint() {
+    // "a typo injected in the max_fsm_pages directive (replacing
+    // 153600 with 15600) caused Postgres to immediately shutdown with
+    // an error message explaining that max_fsm_pages must be at least
+    // 16 × max_fsm_relations."
+    let mut sut = PostgresSim::new();
+    let result = inject_value(&mut sut, "max_fsm_pages", "15600");
+    match result {
+        InjectionResult::DetectedAtStartup { diagnostic } => {
+            assert!(
+                diagnostic.contains("16 * max_fsm_relations"),
+                "the diagnostic must explain the constraint: {diagnostic}"
+            );
+        }
+        other => panic!("constraint violation must stop startup: {other}"),
+    }
+}
+
+#[test]
+fn postgres_rejects_unknown_parameters_fatally() {
+    let mut sut = PostgresSim::new();
+    let mut campaign = Campaign::new(&mut sut).expect("campaign");
+    let tree = campaign.baseline().get("postgresql.conf").expect("conf");
+    let query: NodeQuery = "//directive[@name='port']".parse().expect("query");
+    let path: TreePath = query.select(tree).into_iter().next().expect("port");
+    let faults = vec![GeneratedFault::Scenario(FaultScenario {
+        id: "unknown".into(),
+        description: "typo in parameter name".into(),
+        class: ErrorClass::Typo(TypoKind::Insertion),
+        edits: vec![TreeEdit::SetAttr {
+            file: "postgresql.conf".into(),
+            path,
+            key: "name".into(),
+            value: "porrt".into(),
+        }],
+    })];
+    let profile = campaign.run_faults(faults).expect("run");
+    assert!(
+        matches!(
+            profile.outcomes()[0].result,
+            InjectionResult::DetectedAtStartup { .. }
+        ),
+        "{:?}",
+        profile.outcomes()[0].result
+    );
+}
+
+#[test]
+fn databases_detect_boolean_typos() {
+    // §5.5: "neither Postgres nor MySQL accept typos in directives
+    // with boolean values" — the reason booleans are excluded from the
+    // comparison benchmark.
+    let mut pg = PostgresSim::new();
+    let mut configs = conferr_sut::default_configs(&pg);
+    configs
+        .get_mut("postgresql.conf")
+        .expect("conf")
+        .push_str("autovacuum = onn\n");
+    assert!(!pg.start(&configs).is_running());
+
+    let mut my = MySqlSim::new();
+    let mut configs = conferr_sut::default_configs(&my);
+    *configs.get_mut("my.cnf").expect("cnf") =
+        configs["my.cnf"].replace("skip-external-locking", "skip-external-locking=VES");
+    assert!(!my.start(&configs).is_running());
+}

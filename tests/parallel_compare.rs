@@ -1,0 +1,78 @@
+//! The parallel comparison runner must produce results bit-identical
+//! to the sequential §5.5 procedure: per-directive seeding depends
+//! only on the directive index, never on scheduling.
+
+use std::collections::BTreeMap;
+
+use conferr::{parallel_value_typo_resilience, value_typo_resilience};
+use conferr_keyboard::Keyboard;
+use conferr_model::TypoKind;
+use conferr_plugins::typos_of_kind;
+use conferr_sut::{PostgresSim, SystemUnderTest};
+
+fn mutator(keyboard: &Keyboard) -> impl Fn(&str) -> Vec<(String, String)> + Sync + '_ {
+    move |value: &str| {
+        let mut out = Vec::new();
+        for kind in [
+            TypoKind::Omission,
+            TypoKind::Insertion,
+            TypoKind::Substitution,
+            TypoKind::Transposition,
+        ] {
+            out.extend(typos_of_kind(keyboard, kind, value));
+        }
+        out
+    }
+}
+
+#[test]
+fn parallel_equals_sequential() {
+    let keyboard = Keyboard::qwerty_us();
+    let m = mutator(&keyboard);
+    let mut configs = BTreeMap::new();
+    configs.insert(
+        "postgresql.conf".to_string(),
+        PostgresSim::full_coverage_config(),
+    );
+    let skip = PostgresSim::boolean_directive_names();
+
+    let sequential = {
+        let mut sut = PostgresSim::new();
+        value_typo_resilience(&mut sut, &configs, &m, 8, 42, &skip).expect("sequential")
+    };
+    for threads in [1, 3, 8] {
+        let parallel = parallel_value_typo_resilience(
+            || Box::new(PostgresSim::new()) as Box<dyn SystemUnderTest>,
+            &configs,
+            &m,
+            8,
+            42,
+            &skip,
+            threads,
+        )
+        .expect("parallel");
+        assert_eq!(parallel, sequential, "threads = {threads}");
+    }
+}
+
+#[test]
+fn parallel_handles_more_threads_than_targets() {
+    let keyboard = Keyboard::qwerty_us();
+    let m = mutator(&keyboard);
+    let mut configs = BTreeMap::new();
+    configs.insert(
+        "postgresql.conf".to_string(),
+        "port = 5432\nmax_connections = 20\nshared_buffers = 100\n".to_string(),
+    );
+    let result = parallel_value_typo_resilience(
+        || Box::new(PostgresSim::new()) as Box<dyn SystemUnderTest>,
+        &configs,
+        &m,
+        5,
+        7,
+        &[],
+        64,
+    )
+    .expect("parallel");
+    assert_eq!(result.directives.len(), 3);
+}

@@ -1,0 +1,104 @@
+//! Cross-crate property tests: arbitrary injections must never break
+//! the pipeline's invariants.
+
+use conferr::{Campaign, InjectionResult};
+use conferr_model::{ErrorClass, FaultScenario, GeneratedFault, TreeEdit, TypoKind};
+use conferr_sut::{MySqlSim, PostgresSim};
+use conferr_tree::NodeQuery;
+use proptest::prelude::*;
+
+/// Arbitrary printable-ASCII value strings, including empty and
+/// whitespace-bearing ones.
+fn arb_value() -> impl Strategy<Value = String> {
+    "[ -~]{0,24}"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever value string lands in a Postgres directive, the
+    /// campaign must classify it without panicking, and the outcome
+    /// is never "skipped" (the scenario always applies).
+    #[test]
+    fn postgres_classifies_arbitrary_values(value in arb_value(), idx in 0usize..8) {
+        let mut sut = PostgresSim::new();
+        let mut campaign = Campaign::new(&mut sut).unwrap();
+        let query: NodeQuery = "//directive".parse().unwrap();
+        let tree = campaign.baseline().get("postgresql.conf").unwrap();
+        let paths = query.select(tree);
+        let path = paths[idx % paths.len()].clone();
+        let faults = vec![GeneratedFault::Scenario(FaultScenario {
+            id: "prop".into(),
+            description: "arbitrary value".into(),
+            class: ErrorClass::Typo(TypoKind::Substitution),
+            edits: vec![TreeEdit::SetText {
+                file: "postgresql.conf".into(),
+                path,
+                text: Some(value),
+            }],
+        })];
+        let profile = campaign.run_faults(faults).unwrap();
+        prop_assert_eq!(profile.len(), 1);
+        let skipped = matches!(
+            profile.outcomes()[0].result,
+            InjectionResult::Skipped { .. }
+        );
+        prop_assert!(!skipped);
+    }
+
+    /// Same for MySQL, whose leniency must never turn into a crash,
+    /// and whose silently-absorbed values must leave the server in a
+    /// startable state.
+    #[test]
+    fn mysql_classifies_arbitrary_values(value in arb_value(), idx in 0usize..8) {
+        let mut sut = MySqlSim::new();
+        let mut campaign = Campaign::new(&mut sut).unwrap();
+        let query: NodeQuery = "//section[@name='mysqld']/directive".parse().unwrap();
+        let tree = campaign.baseline().get("my.cnf").unwrap();
+        let paths = query.select(tree);
+        let path = paths[idx % paths.len()].clone();
+        let faults = vec![GeneratedFault::Scenario(FaultScenario {
+            id: "prop".into(),
+            description: "arbitrary value".into(),
+            class: ErrorClass::Typo(TypoKind::Substitution),
+            edits: vec![TreeEdit::SetText {
+                file: "my.cnf".into(),
+                path,
+                text: Some(value),
+            }],
+        })];
+        let profile = campaign.run_faults(faults).unwrap();
+        prop_assert_eq!(profile.len(), 1);
+    }
+
+    /// Arbitrary *name* corruption is always either detected at
+    /// startup or absorbed — never a functional-test surprise for
+    /// Postgres (names are checked before the server comes up).
+    #[test]
+    fn postgres_name_corruption_never_reaches_functional_tests(
+        name in "[a-zA-Z_]{1,20}",
+    ) {
+        let mut sut = PostgresSim::new();
+        let mut campaign = Campaign::new(&mut sut).unwrap();
+        let query: NodeQuery = "//directive[@name='port']".parse().unwrap();
+        let tree = campaign.baseline().get("postgresql.conf").unwrap();
+        let path = query.select(tree).into_iter().next().unwrap();
+        let faults = vec![GeneratedFault::Scenario(FaultScenario {
+            id: "prop-name".into(),
+            description: "arbitrary name".into(),
+            class: ErrorClass::Typo(TypoKind::Substitution),
+            edits: vec![TreeEdit::SetAttr {
+                file: "postgresql.conf".into(),
+                path,
+                key: "name".into(),
+                value: name,
+            }],
+        })];
+        let profile = campaign.run_faults(faults).unwrap();
+        let functional = matches!(
+            profile.outcomes()[0].result,
+            InjectionResult::DetectedByFunctionalTest { .. }
+        );
+        prop_assert!(!functional);
+    }
+}

@@ -1,0 +1,56 @@
+//! End-to-end campaign against the XML-configured application server —
+//! the paper's "generic XML configuration files" support (§3.2),
+//! exercised all the way through injection.
+
+use conferr::{Campaign, InjectionResult};
+use conferr_keyboard::Keyboard;
+use conferr_plugins::XmlAttrTypoPlugin;
+use conferr_sut::AppServerSim;
+
+#[test]
+fn xml_typo_campaign_produces_all_three_outcome_kinds() {
+    let mut sut = AppServerSim::new();
+    let mut campaign = Campaign::new(&mut sut).expect("campaign");
+    campaign.add_generator(Box::new(XmlAttrTypoPlugin::new(Keyboard::qwerty_us())));
+    let profile = campaign.run().expect("run");
+    assert!(profile.len() > 100, "rich fault load, got {}", profile.len());
+
+    let s = profile.summary();
+    assert_eq!(s.skipped, 0);
+    assert!(s.detected_at_startup > 0, "{s:?}");
+    assert!(s.detected_by_tests > 0, "port/context typos must reach the deploy check: {s:?}");
+    assert!(s.undetected > 0, "free-form attributes must absorb typos: {s:?}");
+}
+
+#[test]
+fn port_typos_split_between_startup_and_functional_detection() {
+    let mut sut = AppServerSim::new();
+    let mut campaign = Campaign::new(&mut sut).expect("campaign");
+    campaign.add_generator(Box::new(XmlAttrTypoPlugin::new(Keyboard::qwerty_us())));
+    let profile = campaign.run().expect("run");
+    // Typos in the probe connector's port: non-numeric → startup,
+    // numeric-but-wrong → deploy check.
+    let port_outcomes: Vec<_> = profile
+        .outcomes()
+        .iter()
+        .filter(|o| o.id.contains(":port#") && o.description.contains("<connector"))
+        .collect();
+    assert!(!port_outcomes.is_empty());
+    assert!(port_outcomes
+        .iter()
+        .any(|o| matches!(o.result, InjectionResult::DetectedAtStartup { .. })));
+    assert!(port_outcomes
+        .iter()
+        .any(|o| matches!(o.result, InjectionResult::DetectedByFunctionalTest { .. })));
+}
+
+#[test]
+fn campaign_is_deterministic() {
+    let run = || {
+        let mut sut = AppServerSim::new();
+        let mut campaign = Campaign::new(&mut sut).expect("campaign");
+        campaign.add_generator(Box::new(XmlAttrTypoPlugin::new(Keyboard::qwerty_us())));
+        campaign.run().expect("run")
+    };
+    assert_eq!(run().outcomes(), run().outcomes());
+}
