@@ -101,9 +101,7 @@ fn report_substitution_realism() {
     let kb_faults = value_faults(
         &campaign,
         &|v, rng| {
-            let mut variants = all_typos(&keyboard, v)
-                .into_iter()
-                .collect::<Vec<_>>();
+            let mut variants = all_typos(&keyboard, v).into_iter().collect::<Vec<_>>();
             variants.shuffle(rng);
             variants
         },
@@ -120,7 +118,10 @@ fn report_substitution_realism() {
     let uniform_rate = detection_rate(&mut campaign, uniform_faults);
     println!("== ablation: substitution realism (MySQL, value typos) ==");
     println!("keyboard-aware detection rate:  {:>5.1}%", kb_rate * 100.0);
-    println!("uniform-random detection rate:  {:>5.1}%", uniform_rate * 100.0);
+    println!(
+        "uniform-random detection rate:  {:>5.1}%",
+        uniform_rate * 100.0
+    );
     println!(
         "uniform-random substitutions overstate resilience by {:+.1} points",
         (uniform_rate - kb_rate) * 100.0
@@ -129,7 +130,11 @@ fn report_substitution_realism() {
 
 /// Distinct undetected-flaw sites (directive paths whose mutation was
 /// silently absorbed) discovered within the first `budget` injections.
-fn distinct_flaws(campaign: &mut Campaign<'_>, faults: Vec<GeneratedFault>, budget: usize) -> usize {
+fn distinct_flaws(
+    campaign: &mut Campaign<'_>,
+    faults: Vec<GeneratedFault>,
+    budget: usize,
+) -> usize {
     let faults: Vec<GeneratedFault> = faults.into_iter().take(budget).collect();
     let profile = campaign.run_faults(faults).expect("run");
     let mut sites = BTreeSet::new();
@@ -137,7 +142,10 @@ fn distinct_flaws(campaign: &mut Campaign<'_>, faults: Vec<GeneratedFault>, budg
         if matches!(o.result, InjectionResult::Undetected { .. }) {
             // The flaw site: the injected location (id minus the
             // variant suffix).
-            let site = o.id.rsplit_once('#').map(|(s, _)| s.to_string()).unwrap_or_else(|| o.id.clone());
+            let site =
+                o.id.rsplit_once('#')
+                    .map(|(s, _)| s.to_string())
+                    .unwrap_or_else(|| o.id.clone());
             sites.insert(site);
         }
     }

@@ -12,7 +12,10 @@ fn bench_typo_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("generate_typos");
     let baseline = {
         let mut sut = ApacheSim::new();
-        Campaign::new(&mut sut).expect("campaign").baseline().clone()
+        Campaign::new(&mut sut)
+            .expect("campaign")
+            .baseline()
+            .clone()
     };
     for (label, class) in [
         ("names", TokenClass::DirectiveNames),
@@ -29,7 +32,10 @@ fn bench_typo_generation(c: &mut Criterion) {
 fn bench_structural_generation(c: &mut Criterion) {
     let baseline = {
         let mut sut = MySqlSim::new();
-        Campaign::new(&mut sut).expect("campaign").baseline().clone()
+        Campaign::new(&mut sut)
+            .expect("campaign")
+            .baseline()
+            .clone()
     };
     let plugin = StructuralPlugin::new();
     c.bench_function("generate_structural", |b| {
@@ -42,7 +48,10 @@ fn bench_dns_generation(c: &mut Criterion) {
     {
         let baseline = {
             let mut sut = BindSim::new();
-            Campaign::new(&mut sut).expect("campaign").baseline().clone()
+            Campaign::new(&mut sut)
+                .expect("campaign")
+                .baseline()
+                .clone()
         };
         let plugin = DnsSemanticPlugin::bind();
         group.bench_function("bind", |b| {
@@ -52,7 +61,10 @@ fn bench_dns_generation(c: &mut Criterion) {
     {
         let baseline = {
             let mut sut = DjbdnsSim::new();
-            Campaign::new(&mut sut).expect("campaign").baseline().clone()
+            Campaign::new(&mut sut)
+                .expect("campaign")
+                .baseline()
+                .clone()
         };
         let plugin = DnsSemanticPlugin::tinydns();
         group.bench_function("tinydns", |b| {

@@ -20,7 +20,9 @@ fn main() {
     println!("(seed {seed}; 20 value-typo experiments per directive; booleans excluded)");
     println!();
     println!("{report}");
-    println!("band distribution (E=Excellent 75-100%, G=Good 50-75%, F=Fair 25-50%, P=Poor 0-25%):");
+    println!(
+        "band distribution (E=Excellent 75-100%, G=Good 50-75%, F=Fair 25-50%, P=Poor 0-25%):"
+    );
     for system in &report.systems {
         let p = system.band_percentages();
         let bar = stacked_bar(&[('E', p[3]), ('G', p[2]), ('F', p[1]), ('P', p[0])], 50);

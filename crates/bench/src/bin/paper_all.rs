@@ -36,7 +36,11 @@ fn main() {
                 // to cargo.
                 let status = Command::new("cargo")
                     .args(["run", "-q", "-p", "conferr-bench", "--bin", bin])
-                    .args(if seed.is_empty() { vec![] } else { vec![seed.clone()] })
+                    .args(if seed.is_empty() {
+                        vec![]
+                    } else {
+                        vec![seed.clone()]
+                    })
                     .status()
                     .expect("failed to spawn cargo");
                 if !status.success() {

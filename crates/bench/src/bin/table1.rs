@@ -18,12 +18,7 @@ fn main() {
     println!("Table 1. Resilience to typos (seed {seed})");
     println!("(deletion of every directive + sampled typos in directive names and values)");
     println!();
-    let mut t = TextTable::new(vec![
-        "",
-        &columns[0].0,
-        &columns[1].0,
-        &columns[2].0,
-    ]);
+    let mut t = TextTable::new(vec!["", &columns[0].0, &columns[1].0, &columns[2].0]);
     let row = |label: &str, f: &dyn Fn(&conferr::ProfileSummary) -> String| {
         let mut cells = vec![label.to_string()];
         for (_, s) in &columns {
@@ -35,10 +30,18 @@ fn main() {
         format!("{} (100%)", s.injected())
     }));
     t.add_row(row("Detected by system at startup", &|s| {
-        format!("{} ({:.0}%)", s.detected_at_startup, s.pct(s.detected_at_startup))
+        format!(
+            "{} ({:.0}%)",
+            s.detected_at_startup,
+            s.pct(s.detected_at_startup)
+        )
     }));
     t.add_row(row("Detected by functional tests", &|s| {
-        format!("{} ({:.0}%)", s.detected_by_tests, s.pct(s.detected_by_tests))
+        format!(
+            "{} ({:.0}%)",
+            s.detected_by_tests,
+            s.pct(s.detected_by_tests)
+        )
     }));
     t.add_row(row("Ignored", &|s| {
         format!("{} ({:.0}%)", s.undetected, s.pct(s.undetected))

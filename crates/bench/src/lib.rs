@@ -27,13 +27,13 @@ use conferr::{
 };
 use conferr_keyboard::Keyboard;
 use conferr_model::{
-    ConfigSet, ErrorClass, ErrorGenerator, FaultScenario, GeneratedFault, StructuralKind,
-    TreeEdit, TypoKind,
+    ConfigSet, ErrorClass, ErrorGenerator, FaultScenario, GeneratedFault, StructuralKind, TreeEdit,
+    TypoKind,
 };
-use conferr_plugins::{typos_of_kind, DnsFaultKind, DnsSemanticPlugin, VariationClass, VariationPlugin};
-use conferr_sut::{
-    ApacheSim, BindSim, DjbdnsSim, MySqlSim, PostgresSim, SystemUnderTest,
+use conferr_plugins::{
+    typos_of_kind, DnsFaultKind, DnsSemanticPlugin, VariationClass, VariationPlugin,
 };
+use conferr_sut::{ApacheSim, BindSim, DjbdnsSim, MySqlSim, PostgresSim, SystemUnderTest};
 use conferr_tree::{Node, NodeQuery, TreePath};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -73,11 +73,7 @@ pub fn all_typos(keyboard: &Keyboard, token: &str) -> Vec<(String, String)> {
 /// Builds the paper's §5.2 fault load: deletion of every directive,
 /// plus sampled typos in directive names and values (10 directives per
 /// file for each, 6 seeded variants per selected directive).
-pub fn table1_faultload(
-    set: &ConfigSet,
-    keyboard: &Keyboard,
-    seed: u64,
-) -> Vec<GeneratedFault> {
+pub fn table1_faultload(set: &ConfigSet, keyboard: &Keyboard, seed: u64) -> Vec<GeneratedFault> {
     let mut out = Vec::new();
     let query: NodeQuery = "//directive".parse().expect("static query");
     // (a) Deletion of entire directives.
@@ -103,7 +99,9 @@ pub fn table1_faultload(
         name_targets.shuffle(&mut rng);
         name_targets.truncate(DIRECTIVES_PER_FILE);
         for (path, node) in name_targets {
-            let Some(name) = node.attr("name") else { continue };
+            let Some(name) = node.attr("name") else {
+                continue;
+            };
             let mut variants = all_typos(keyboard, name);
             variants.shuffle(&mut rng);
             variants.truncate(TYPOS_PER_DIRECTIVE);
@@ -173,11 +171,20 @@ pub fn table1_column(
 pub fn table1(seed: u64) -> Result<Vec<(String, ProfileSummary)>, CampaignError> {
     let mut out = Vec::new();
     let mut mysql = MySqlSim::new();
-    out.push(("MySQL".to_string(), table1_column(&mut mysql, seed)?.summary()));
+    out.push((
+        "MySQL".to_string(),
+        table1_column(&mut mysql, seed)?.summary(),
+    ));
     let mut postgres = PostgresSim::new();
-    out.push(("Postgres".to_string(), table1_column(&mut postgres, seed)?.summary()));
+    out.push((
+        "Postgres".to_string(),
+        table1_column(&mut postgres, seed)?.summary(),
+    ));
     let mut apache = ApacheSim::new();
-    out.push(("Apache".to_string(), table1_column(&mut apache, seed)?.summary()));
+    out.push((
+        "Apache".to_string(),
+        table1_column(&mut apache, seed)?.summary(),
+    ));
     Ok(out)
 }
 
@@ -397,7 +404,10 @@ pub fn figure3(seed: u64) -> Result<ComparisonReport, CampaignError> {
     {
         let mut sut = PostgresSim::new();
         let mut configs = BTreeMap::new();
-        configs.insert("postgresql.conf".to_string(), PostgresSim::full_coverage_config());
+        configs.insert(
+            "postgresql.conf".to_string(),
+            PostgresSim::full_coverage_config(),
+        );
         systems.push(value_typo_resilience(
             &mut sut,
             &configs,
@@ -445,10 +455,12 @@ mod tests {
         }
         // Databases detect most typos at startup; Apache detects far
         // fewer and ignores the most (Table 1's shape).
-        assert!(postgres.pct(postgres.detected_at_startup) > 65.0, "{postgres:?}");
         assert!(
-            mysql.pct(mysql.detected_at_startup)
-                > apache.pct(apache.detected_at_startup) + 10.0,
+            postgres.pct(postgres.detected_at_startup) > 65.0,
+            "{postgres:?}"
+        );
+        assert!(
+            mysql.pct(mysql.detected_at_startup) > apache.pct(apache.detected_at_startup) + 10.0,
             "mysql must detect clearly more at startup: {mysql:?} vs {apache:?}"
         );
         assert!(
@@ -559,7 +571,13 @@ mod tests {
             "Poor must be MySQL's modal band: {m:?}"
         );
         assert!(mysql_poor > 35.0, "{m:?}");
-        assert!(p[3] > m[3] + 15.0, "postgres Excellent share: {p:?} vs {m:?}");
-        assert!(p[0] < m[0], "postgres Poor share must be smaller: {p:?} vs {m:?}");
+        assert!(
+            p[3] > m[3] + 15.0,
+            "postgres Excellent share: {p:?} vs {m:?}"
+        );
+        assert!(
+            p[0] < m[0],
+            "postgres Poor share must be smaller: {p:?} vs {m:?}"
+        );
     }
 }

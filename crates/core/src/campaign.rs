@@ -51,7 +51,10 @@ impl fmt::Display for CampaignError {
                 write!(f, "file {file:?} declares unknown format {format:?}")
             }
             CampaignError::BaselineParse { file, message } => {
-                write!(f, "baseline configuration {file:?} failed to parse: {message}")
+                write!(
+                    f,
+                    "baseline configuration {file:?} failed to parse: {message}"
+                )
             }
             CampaignError::Generate(e) => write!(f, "{e}"),
         }
@@ -102,18 +105,18 @@ impl<'s> Campaign<'s> {
         let mut formats = BTreeMap::new();
         let mut baseline = ConfigSet::new();
         for spec in sut.config_files() {
-            let format = format_by_name(&spec.format).ok_or_else(|| {
-                CampaignError::UnknownFormat {
+            let format =
+                format_by_name(&spec.format).ok_or_else(|| CampaignError::UnknownFormat {
                     file: spec.name.clone(),
                     format: spec.format.clone(),
-                }
-            })?;
-            let tree = format.parse(&spec.default_contents).map_err(|e| {
-                CampaignError::BaselineParse {
-                    file: spec.name.clone(),
-                    message: e.to_string(),
-                }
-            })?;
+                })?;
+            let tree =
+                format
+                    .parse(&spec.default_contents)
+                    .map_err(|e| CampaignError::BaselineParse {
+                        file: spec.name.clone(),
+                        message: e.to_string(),
+                    })?;
             baseline.insert(spec.name.clone(), tree);
             formats.insert(spec.name, format);
         }
@@ -144,10 +147,12 @@ impl<'s> Campaign<'s> {
                     format: "<undeclared file>".to_string(),
                 });
             };
-            let tree = format.parse(text).map_err(|e| CampaignError::BaselineParse {
-                file: file.clone(),
-                message: e.to_string(),
-            })?;
+            let tree = format
+                .parse(text)
+                .map_err(|e| CampaignError::BaselineParse {
+                    file: file.clone(),
+                    message: e.to_string(),
+                })?;
             campaign.baseline.insert(file.clone(), tree);
         }
         Ok(campaign)
@@ -272,9 +277,7 @@ impl<'s> Campaign<'s> {
             let outcome = match fault {
                 GeneratedFault::Scenario(scenario) => {
                     let (diff, result) = match scenario.apply(&self.baseline) {
-                        Ok(mutated) => {
-                            (self.diff_summary(&mutated), self.inject_mutated(&mutated))
-                        }
+                        Ok(mutated) => (self.diff_summary(&mutated), self.inject_mutated(&mutated)),
                         Err(e) => (
                             Vec::new(),
                             InjectionResult::Skipped {

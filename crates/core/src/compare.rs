@@ -139,7 +139,10 @@ impl SystemResilience {
         if self.directives.is_empty() {
             return 0.0;
         }
-        self.directives.iter().map(DirectiveResilience::detection_pct).sum::<f64>()
+        self.directives
+            .iter()
+            .map(DirectiveResilience::detection_pct)
+            .sum::<f64>()
             / self.directives.len() as f64
     }
 }
@@ -224,7 +227,9 @@ fn enumerate_targets(campaign: &Campaign<'_>, skip_directives: &[&str]) -> Vec<T
     let mut targets = Vec::new();
     for (file, tree) in campaign.baseline().clone().iter() {
         for (path, node) in query.select_nodes(tree) {
-            let Some(name) = node.attr("name") else { continue };
+            let Some(name) = node.attr("name") else {
+                continue;
+            };
             let Some(value) = node.text() else { continue };
             if value.is_empty() {
                 continue;
@@ -312,9 +317,9 @@ where
         Mutex::new(Vec::with_capacity(indexed.len()));
     let first_error: Mutex<Option<CampaignError>> = Mutex::new(None);
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for chunk in indexed.chunks(chunk_size.max(1)) {
-            scope.spawn(|_| {
+            scope.spawn(|| {
                 let mut sut = make_sut();
                 let mut campaign = match Campaign::with_configs(sut.as_mut(), configs) {
                     Ok(c) => c,
@@ -341,8 +346,7 @@ where
                 }
             });
         }
-    })
-    .expect("worker threads do not panic");
+    });
 
     if let Some(e) = first_error.into_inner() {
         return Err(e);
@@ -453,10 +457,26 @@ mod tests {
         let s = SystemResilience {
             system: "s".into(),
             directives: vec![
-                DirectiveResilience { directive: "a".into(), experiments: 10, detected: 0 },
-                DirectiveResilience { directive: "b".into(), experiments: 10, detected: 3 },
-                DirectiveResilience { directive: "c".into(), experiments: 10, detected: 9 },
-                DirectiveResilience { directive: "d".into(), experiments: 10, detected: 10 },
+                DirectiveResilience {
+                    directive: "a".into(),
+                    experiments: 10,
+                    detected: 0,
+                },
+                DirectiveResilience {
+                    directive: "b".into(),
+                    experiments: 10,
+                    detected: 3,
+                },
+                DirectiveResilience {
+                    directive: "c".into(),
+                    experiments: 10,
+                    detected: 9,
+                },
+                DirectiveResilience {
+                    directive: "d".into(),
+                    experiments: 10,
+                    detected: 10,
+                },
             ],
         };
         let hist = s.band_histogram();
@@ -473,8 +493,16 @@ mod tests {
         let full = SystemResilience {
             system: "pg".into(),
             directives: vec![
-                DirectiveResilience { directive: "work_mem".into(), experiments: 10, detected: 9 },
-                DirectiveResilience { directive: "port".into(), experiments: 10, detected: 2 },
+                DirectiveResilience {
+                    directive: "work_mem".into(),
+                    experiments: 10,
+                    detected: 9,
+                },
+                DirectiveResilience {
+                    directive: "port".into(),
+                    experiments: 10,
+                    detected: 2,
+                },
                 DirectiveResilience {
                     directive: "shared_buffers".into(),
                     experiments: 10,
@@ -494,8 +522,14 @@ mod tests {
     fn report_renders_all_systems() {
         let report = ComparisonReport {
             systems: vec![
-                SystemResilience { system: "alpha".into(), directives: vec![] },
-                SystemResilience { system: "beta".into(), directives: vec![] },
+                SystemResilience {
+                    system: "alpha".into(),
+                    directives: vec![],
+                },
+                SystemResilience {
+                    system: "beta".into(),
+                    directives: vec![],
+                },
             ],
         };
         let text = report.to_string();

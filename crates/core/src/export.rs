@@ -41,7 +41,9 @@ fn json_string(s: &str) -> String {
 
 fn result_detail(result: &InjectionResult) -> (&'static str, String) {
     match result {
-        InjectionResult::DetectedAtStartup { diagnostic } => ("detected-at-startup", diagnostic.clone()),
+        InjectionResult::DetectedAtStartup { diagnostic } => {
+            ("detected-at-startup", diagnostic.clone())
+        }
         InjectionResult::DetectedByFunctionalTest { test, diagnostic } => {
             ("detected-by-tests", format!("{test}: {diagnostic}"))
         }
@@ -88,7 +90,11 @@ pub fn profile_to_json(profile: &ResilienceProfile) -> String {
         out,
         "\"summary\":{{\"total\":{},\"detected_at_startup\":{},\"detected_by_tests\":{},\
          \"ignored\":{},\"inexpressible\":{},\"skipped\":{}}},",
-        s.total, s.detected_at_startup, s.detected_by_tests, s.undetected, s.inexpressible,
+        s.total,
+        s.detected_at_startup,
+        s.detected_by_tests,
+        s.undetected,
+        s.inexpressible,
         s.skipped
     );
     out.push_str("\"outcomes\":[");

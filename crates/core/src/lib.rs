@@ -52,8 +52,7 @@ pub mod report;
 pub use campaign::{Campaign, CampaignError};
 pub use compare::{
     compare_value_typo_resilience, parallel_value_typo_resilience, task_resilience,
-    value_typo_resilience, ComparisonReport, DetectionBand, DirectiveResilience,
-    SystemResilience,
+    value_typo_resilience, ComparisonReport, DetectionBand, DirectiveResilience, SystemResilience,
 };
 pub use export::{profile_to_csv, profile_to_json};
 pub use outcome::{InjectionOutcome, InjectionResult};

@@ -120,7 +120,10 @@ mod tests {
 
     #[test]
     fn detection_predicate() {
-        assert!(InjectionResult::DetectedAtStartup { diagnostic: "x".into() }.detected());
+        assert!(InjectionResult::DetectedAtStartup {
+            diagnostic: "x".into()
+        }
+        .detected());
         assert!(InjectionResult::DetectedByFunctionalTest {
             test: "t".into(),
             diagnostic: "x".into()
@@ -133,7 +136,9 @@ mod tests {
 
     #[test]
     fn labels_and_display() {
-        let r = InjectionResult::Undetected { warnings: vec!["w".into()] };
+        let r = InjectionResult::Undetected {
+            warnings: vec!["w".into()],
+        };
         assert_eq!(r.label(), "ignored");
         assert!(r.to_string().contains("warning"));
         let o = InjectionOutcome {

@@ -190,7 +190,12 @@ mod tests {
         ResilienceProfile::new(
             "sut",
             vec![
-                outcome("1", InjectionResult::DetectedAtStartup { diagnostic: "a".into() }),
+                outcome(
+                    "1",
+                    InjectionResult::DetectedAtStartup {
+                        diagnostic: "a".into(),
+                    },
+                ),
                 outcome(
                     "2",
                     InjectionResult::DetectedByFunctionalTest {
@@ -224,7 +229,10 @@ mod tests {
         let s = sample().summary();
         assert_eq!(
             s.total,
-            s.detected_at_startup + s.detected_by_tests + s.undetected + s.inexpressible
+            s.detected_at_startup
+                + s.detected_by_tests
+                + s.undetected
+                + s.inexpressible
                 + s.skipped
         );
     }
@@ -242,7 +250,10 @@ mod tests {
         assert_eq!(p.undetected().count(), 2);
         let extra = ResilienceProfile::new(
             "sut",
-            vec![outcome("7", InjectionResult::Undetected { warnings: vec![] })],
+            vec![outcome(
+                "7",
+                InjectionResult::Undetected { warnings: vec![] },
+            )],
         );
         p.merge(extra);
         assert_eq!(p.len(), 7);

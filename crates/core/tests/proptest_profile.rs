@@ -14,9 +14,8 @@ fn arb_result() -> impl Strategy<Value = InjectionResult> {
             test: "t".into(),
             diagnostic: "diag".into()
         }),
-        prop::collection::vec("[a-z ]{1,10}", 0..3).prop_map(|warnings| {
-            InjectionResult::Undetected { warnings }
-        }),
+        prop::collection::vec("[a-z ]{1,10}", 0..3)
+            .prop_map(|warnings| { InjectionResult::Undetected { warnings } }),
         Just(InjectionResult::Inexpressible { reason: "r".into() }),
         Just(InjectionResult::Skipped { reason: "s".into() }),
     ]

@@ -94,9 +94,7 @@ impl ConfigFormat for ApacheFormat {
                 })?;
                 let header = &rest[..close];
                 let trailing = &rest[close + 1..];
-                let name_end = header
-                    .find(char::is_whitespace)
-                    .unwrap_or(header.len());
+                let name_end = header.find(char::is_whitespace).unwrap_or(header.len());
                 let name = &header[..name_end];
                 if name.is_empty() {
                     return Err(ParseError::at_line(FORMAT, lineno, "empty section name"));
@@ -119,7 +117,11 @@ impl ConfigFormat for ApacheFormat {
             }
         }
         if stack.len() != 1 {
-            let open = stack.last().and_then(|s| s.attr("name")).unwrap_or("?").to_string();
+            let open = stack
+                .last()
+                .and_then(|s| s.attr("name"))
+                .unwrap_or("?")
+                .to_string();
             return Err(ParseError::new(
                 FORMAT,
                 format!("unclosed section <{open}> at end of file"),
@@ -314,7 +316,11 @@ ServerAdmin admin@example.com
                 Node::new("section")
                     .with_attr("name", "Directory")
                     .with_attr("args", "/tmp")
-                    .with_child(Node::new("directive").with_attr("name", "Options").with_text("None")),
+                    .with_child(
+                        Node::new("directive")
+                            .with_attr("name", "Options")
+                            .with_text("None"),
+                    ),
             ),
         );
         let text = fmt.serialize(&tree).unwrap();

@@ -36,7 +36,11 @@ impl ParseError {
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.line {
-            Some(line) => write!(f, "{} parse error at line {line}: {}", self.format, self.message),
+            Some(line) => write!(
+                f,
+                "{} parse error at line {line}: {}",
+                self.format, self.message
+            ),
             None => write!(f, "{} parse error: {}", self.format, self.message),
         }
     }

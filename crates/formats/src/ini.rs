@@ -264,11 +264,13 @@ max_allowed_packet=16M
     #[test]
     fn nested_sections_are_inexpressible() {
         let fmt = IniFormat::new();
-        let tree = ConfTree::new(Node::new("config").with_child(
-            Node::new("section").with_attr("name", "outer").with_child(
-                Node::new("section").with_attr("name", "inner"),
+        let tree = ConfTree::new(
+            Node::new("config").with_child(
+                Node::new("section")
+                    .with_attr("name", "outer")
+                    .with_child(Node::new("section").with_attr("name", "inner")),
             ),
-        ));
+        );
         let err = fmt.serialize(&tree).unwrap_err();
         assert!(err.to_string().contains("nested"));
     }

@@ -99,7 +99,11 @@ fn parse_line(line: &str, lineno: usize) -> Result<Node, ParseError> {
         .unwrap_or(rest.len());
     let name = &rest[..name_end];
     if name.is_empty() {
-        return Err(ParseError::at_line(FORMAT, lineno, "missing directive name"));
+        return Err(ParseError::at_line(
+            FORMAT,
+            lineno,
+            "missing directive name",
+        ));
     }
     let after_name = &rest[name_end..];
 

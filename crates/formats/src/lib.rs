@@ -109,8 +109,10 @@ mod tests {
 
     #[test]
     fn registry_contains_all_formats() {
-        let names: Vec<String> =
-            builtin_formats().iter().map(|f| f.name().to_string()).collect();
+        let names: Vec<String> = builtin_formats()
+            .iter()
+            .map(|f| f.name().to_string())
+            .collect();
         assert_eq!(names, ["kv", "ini", "apache", "xml", "zone", "tinydns"]);
     }
 

@@ -139,7 +139,10 @@ pub fn parse_attrs(raw: &str) -> Result<Vec<(String, String)>, ParseError> {
         let after = rest[eq + 1..].trim_start();
         let quote = after.chars().next().filter(|c| *c == '"' || *c == '\'');
         let Some(q) = quote else {
-            return Err(ParseError::new(FORMAT, format!("unquoted attribute value: {after:?}")));
+            return Err(ParseError::new(
+                FORMAT,
+                format!("unquoted attribute value: {after:?}"),
+            ));
         };
         let body = &after[1..];
         let end = body
@@ -163,7 +166,9 @@ impl<'a> XmlParser<'a> {
     }
 
     fn byte_pos(&self) -> usize {
-        self.chars.get(self.pos).map_or(self.input.len(), |&(b, _)| b)
+        self.chars
+            .get(self.pos)
+            .map_or(self.input.len(), |&(b, _)| b)
     }
 
     fn err(&self, msg: impl Into<String>) -> ParseError {
@@ -268,9 +273,9 @@ impl<'a> XmlParser<'a> {
                 let close_tag = self.input[close_start..self.byte_pos()].trim().to_string();
                 self.advance_bytes(1);
                 if close_tag != tag {
-                    return Err(self.err(format!(
-                        "closing tag </{close_tag}> does not match <{tag}>"
-                    )));
+                    return Err(
+                        self.err(format!("closing tag </{close_tag}> does not match <{tag}>"))
+                    );
                 }
                 return Ok(node);
             } else if self.looking_at("<!--") {

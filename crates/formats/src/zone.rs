@@ -72,7 +72,9 @@ fn is_ttl(token: &str) -> bool {
 }
 
 fn is_class(token: &str) -> bool {
-    ["IN", "CH", "HS"].iter().any(|c| token.eq_ignore_ascii_case(c))
+    ["IN", "CH", "HS"]
+        .iter()
+        .any(|c| token.eq_ignore_ascii_case(c))
 }
 
 impl ConfigFormat for ZoneFormat {
@@ -331,7 +333,11 @@ fn parse_record(lines: &[&str], start: usize) -> Result<(Node, usize), ParseErro
         trailing.clear();
         rdata = normalize_rdata(&rdata);
     } else if bal < 0 {
-        return Err(ParseError::at_line(FORMAT, lineno, "unbalanced ')' in record"));
+        return Err(ParseError::at_line(
+            FORMAT,
+            lineno,
+            "unbalanced ')' in record",
+        ));
     }
 
     let rdata_trimmed = rdata.trim_end().to_string();
@@ -413,7 +419,10 @@ ftp\tIN CNAME www.example.com.
         let tree = fmt.parse(text).unwrap();
         let rec = tree.root().first_child_of_kind("record").unwrap();
         assert_eq!(rec.attr("normalized"), Some("yes"));
-        assert_eq!(rec.text(), Some("ns1 admin 2024010101 7200 3600 1209600 86400"));
+        assert_eq!(
+            rec.text(),
+            Some("ns1 admin 2024010101 7200 3600 1209600 86400")
+        );
         // Semantic round-trip: reparsing the serialization yields the
         // same record set.
         let re = fmt.parse(&fmt.serialize(&tree).unwrap()).unwrap();
@@ -438,7 +447,9 @@ ftp\tIN CNAME www.example.com.
 
     #[test]
     fn unknown_type_is_an_error() {
-        let err = ZoneFormat::new().parse("www IN BOGUS 1.2.3.4\n").unwrap_err();
+        let err = ZoneFormat::new()
+            .parse("www IN BOGUS 1.2.3.4\n")
+            .unwrap_err();
         assert!(err.to_string().contains("BOGUS"));
     }
 

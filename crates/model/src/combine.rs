@@ -109,7 +109,9 @@ pub struct Filter {
 
 impl fmt::Debug for Filter {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Filter").field("inner", &self.inner).finish_non_exhaustive()
+        f.debug_struct("Filter")
+            .field("inner", &self.inner)
+            .finish_non_exhaustive()
     }
 }
 
@@ -168,7 +170,10 @@ mod tests {
     fn union_concatenates_in_order() {
         let u = Union::new(vec![
             delete_all(),
-            Box::new(DuplicateTemplate::new("//directive".parse().unwrap(), class())),
+            Box::new(DuplicateTemplate::new(
+                "//directive".parse().unwrap(),
+                class(),
+            )),
         ]);
         let scenarios = u.generate(&set());
         assert_eq!(scenarios.len(), 20);

@@ -51,11 +51,15 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = ModelError::UnknownFile { file: "x.conf".into() };
+        let e = ModelError::UnknownFile {
+            file: "x.conf".into(),
+        };
         assert!(e.to_string().contains("x.conf"));
         let e = ModelError::Tree {
             file: "y.conf".into(),
-            source: TreeError::InvalidEdit { reason: "nope".into() },
+            source: TreeError::InvalidEdit {
+                reason: "nope".into(),
+            },
         };
         assert!(e.to_string().contains("y.conf"));
         assert!(std::error::Error::source(&e).is_some());

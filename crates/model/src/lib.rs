@@ -64,11 +64,9 @@ mod template;
 pub use combine::{Filter, Limit, Sample, Union};
 pub use error::ModelError;
 pub use generator::{ErrorGenerator, GenerateError, GeneratedFault, TemplateGenerator};
-pub use scenario::{
-    CognitiveLevel, ErrorClass, FaultScenario, StructuralKind, TreeEdit, TypoKind,
-};
+pub use scenario::{CognitiveLevel, ErrorClass, FaultScenario, StructuralKind, TreeEdit, TypoKind};
 pub use set::ConfigSet;
 pub use template::{
-    DeleteTemplate, DuplicateTemplate, FileSelector, InsertTemplate, ModifyMutator,
-    ModifyTarget, ModifyTemplate, MoveTemplate, SwapTemplate, Template,
+    DeleteTemplate, DuplicateTemplate, FileSelector, InsertTemplate, ModifyMutator, ModifyTarget,
+    ModifyTemplate, MoveTemplate, SwapTemplate, Template,
 };

@@ -260,9 +260,9 @@ impl TreeEdit {
             TreeEdit::SetText { path, text, .. } => {
                 tree.set_text_at(path, text.clone()).map(|_| ())
             }
-            TreeEdit::SetAttr { path, key, value, .. } => {
-                tree.set_attr_at(path, key, value).map(|_| ())
-            }
+            TreeEdit::SetAttr {
+                path, key, value, ..
+            } => tree.set_attr_at(path, key, value).map(|_| ()),
             TreeEdit::Insert {
                 parent,
                 index,
@@ -308,9 +308,9 @@ impl FaultScenario {
         let mut out = set.clone();
         for edit in &self.edits {
             let file = edit.file().to_string();
-            let tree = out.get_mut(&file).ok_or_else(|| ModelError::UnknownFile {
-                file: file.clone(),
-            })?;
+            let tree = out
+                .get_mut(&file)
+                .ok_or_else(|| ModelError::UnknownFile { file: file.clone() })?;
             edit.apply_to(tree)
                 .map_err(|source| ModelError::Tree { file, source })?;
         }
@@ -452,7 +452,11 @@ mod tests {
         assert_eq!(sc.to_string(), "[t1] test (typo/omission)");
         assert_eq!(CognitiveLevel::RuleBased.to_string(), "rule-based");
         assert_eq!(
-            ErrorClass::Semantic { domain: "dns".into(), rule: "x".into() }.to_string(),
+            ErrorClass::Semantic {
+                domain: "dns".into(),
+                rule: "x".into()
+            }
+            .to_string(),
             "semantic/dns/x"
         );
     }

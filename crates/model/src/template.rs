@@ -16,8 +16,7 @@ use conferr_tree::{Node, NodeQuery, TreePath};
 use crate::{ConfigSet, ErrorClass, FaultScenario, TreeEdit};
 
 /// Which files of the set a template applies to.
-#[derive(Debug, Clone, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub enum FileSelector {
     /// Every file in the set.
     #[default]
@@ -34,7 +33,6 @@ impl FileSelector {
         }
     }
 }
-
 
 /// A generator of fault scenarios.
 ///
@@ -192,10 +190,7 @@ impl Template for MoveTemplate {
             let candidates = self.candidates.select(tree);
             let destinations = self.destinations.select(tree);
             for cand in &candidates {
-                let cand_desc = tree
-                    .node_at(cand)
-                    .map(|n| n.describe())
-                    .unwrap_or_default();
+                let cand_desc = tree.node_at(cand).map(|n| n.describe()).unwrap_or_default();
                 for dest in &destinations {
                     if Some(dest) == cand.parent().as_ref()
                         || cand.is_ancestor_of(dest)
@@ -203,15 +198,10 @@ impl Template for MoveTemplate {
                     {
                         continue;
                     }
-                    let dest_desc = tree
-                        .node_at(dest)
-                        .map(|n| n.describe())
-                        .unwrap_or_default();
+                    let dest_desc = tree.node_at(dest).map(|n| n.describe()).unwrap_or_default();
                     out.push(FaultScenario {
                         id: format!("move:{name}:{cand}->{dest}"),
-                        description: format!(
-                            "misplace {cand_desc} into {dest_desc} in {name}"
-                        ),
+                        description: format!("misplace {cand_desc} into {dest_desc} in {name}"),
                         class: self.class.clone(),
                         edits: vec![TreeEdit::Move {
                             file: name.to_string(),
@@ -460,20 +450,14 @@ impl Template for SwapTemplate {
                     .children()
                     .iter()
                     .enumerate()
-                    .filter(|(_, c)| {
-                        self.child_kind
-                            .as_deref()
-                            .is_none_or(|k| c.kind() == k)
-                    })
+                    .filter(|(_, c)| self.child_kind.as_deref().is_none_or(|k| c.kind() == k))
                     .map(|(i, _)| i)
                     .collect();
                 for pair in eligible.windows(2) {
                     let (i, j) = (pair[0], pair[1]);
                     out.push(FaultScenario {
                         id: format!("swap:{name}:{parent}:{i}-{j}"),
-                        description: format!(
-                            "swap children {i} and {j} of {parent} in {name}"
-                        ),
+                        description: format!("swap children {i} and {j} of {parent} in {name}"),
                         class: self.class.clone(),
                         edits: vec![TreeEdit::SwapChildren {
                             file: name.to_string(),
@@ -504,8 +488,12 @@ mod tests {
                     .with_child(
                         Node::new("section")
                             .with_attr("name", "s1")
-                            .with_child(Node::new("directive").with_attr("name", "x").with_text("1"))
-                            .with_child(Node::new("directive").with_attr("name", "y").with_text("2")),
+                            .with_child(
+                                Node::new("directive").with_attr("name", "x").with_text("1"),
+                            )
+                            .with_child(
+                                Node::new("directive").with_attr("name", "y").with_text("2"),
+                            ),
                     )
                     .with_child(Node::new("section").with_attr("name", "s2")),
             ),
@@ -539,8 +527,7 @@ mod tests {
 
     #[test]
     fn delete_template_file_restriction() {
-        let t = DeleteTemplate::new("//directive".parse().unwrap(), structural())
-            .in_file("b.conf");
+        let t = DeleteTemplate::new("//directive".parse().unwrap(), structural()).in_file("b.conf");
         assert_eq!(t.generate(&set()).len(), 1);
     }
 
@@ -550,7 +537,11 @@ mod tests {
         let scenarios = t.generate(&set());
         assert_eq!(scenarios.len(), 3);
         let out = scenarios[0].apply(&set()).unwrap();
-        let sec = out.get("a.conf").unwrap().node_at(&TreePath::from(vec![0])).unwrap();
+        let sec = out
+            .get("a.conf")
+            .unwrap()
+            .node_at(&TreePath::from(vec![0]))
+            .unwrap();
         assert_eq!(sec.children().len(), 3);
     }
 
@@ -567,7 +558,11 @@ mod tests {
         assert_eq!(scenarios.len(), 2);
         for s in &scenarios {
             let out = s.apply(&set()).unwrap();
-            let s2 = out.get("a.conf").unwrap().node_at(&TreePath::from(vec![1])).unwrap();
+            let s2 = out
+                .get("a.conf")
+                .unwrap()
+                .node_at(&TreePath::from(vec![1]))
+                .unwrap();
             assert_eq!(s2.children().len(), 1);
         }
     }
@@ -588,7 +583,11 @@ mod tests {
         let scenarios = t.generate(&set());
         assert_eq!(scenarios.len(), 6);
         let out = scenarios[0].apply(&set()).unwrap();
-        let d = out.get("a.conf").unwrap().node_at(&TreePath::from(vec![0, 0])).unwrap();
+        let d = out
+            .get("a.conf")
+            .unwrap()
+            .node_at(&TreePath::from(vec![0, 0]))
+            .unwrap();
         assert_eq!(d.text(), Some("10"));
     }
 
@@ -603,7 +602,10 @@ mod tests {
                 if name.len() < 2 {
                     return Vec::new();
                 }
-                vec![(name[..name.len() - 1].to_string(), format!("truncate {name}"))]
+                vec![(
+                    name[..name.len() - 1].to_string(),
+                    format!("truncate {name}"),
+                )]
             },
         )
         .in_file("a.conf");
@@ -616,12 +618,21 @@ mod tests {
             "name",
             ErrorClass::Typo(TypoKind::Omission),
             "name-typo",
-            |name| vec![(name[..name.len() - 1].to_string(), format!("truncate {name}"))],
+            |name| {
+                vec![(
+                    name[..name.len() - 1].to_string(),
+                    format!("truncate {name}"),
+                )]
+            },
         );
         let scenarios = t2.generate(&set());
         assert_eq!(scenarios.len(), 2);
         let out = scenarios[0].apply(&set()).unwrap();
-        let sec = out.get("a.conf").unwrap().node_at(&TreePath::from(vec![0])).unwrap();
+        let sec = out
+            .get("a.conf")
+            .unwrap()
+            .node_at(&TreePath::from(vec![0]))
+            .unwrap();
         assert_eq!(sec.attr("name"), Some("s"));
     }
 
@@ -641,14 +652,20 @@ mod tests {
     fn insert_template_adds_foreign_node() {
         let t = InsertTemplate::new(
             "//section".parse().unwrap(),
-            Node::new("directive").with_attr("name", "foreign").with_text("1"),
+            Node::new("directive")
+                .with_attr("name", "foreign")
+                .with_text("1"),
             "foreign",
             ErrorClass::Structural(StructuralKind::ForeignDirective),
         );
         let scenarios = t.generate(&set());
         assert_eq!(scenarios.len(), 2);
         let out = scenarios[0].apply(&set()).unwrap();
-        let s1 = out.get("a.conf").unwrap().node_at(&TreePath::from(vec![0])).unwrap();
+        let s1 = out
+            .get("a.conf")
+            .unwrap()
+            .node_at(&TreePath::from(vec![0]))
+            .unwrap();
         assert_eq!(s1.children()[0].attr("name"), Some("foreign"));
     }
 
@@ -662,7 +679,11 @@ mod tests {
         let scenarios = t.generate(&set());
         assert_eq!(scenarios.len(), 1);
         let out = scenarios[0].apply(&set()).unwrap();
-        let s1 = out.get("a.conf").unwrap().node_at(&TreePath::from(vec![0])).unwrap();
+        let s1 = out
+            .get("a.conf")
+            .unwrap()
+            .node_at(&TreePath::from(vec![0]))
+            .unwrap();
         assert_eq!(s1.children()[0].attr("name"), Some("y"));
     }
 

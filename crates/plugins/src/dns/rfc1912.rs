@@ -117,9 +117,7 @@ fn mutations_for(kind: DnsFaultKind, records: &DnsRecordSet) -> Vec<(String, Dns
                 return out;
             };
             for (i, ptr) in records.records().iter().enumerate() {
-                if ptr.record.rtype != RrType::Ptr
-                    || ptr.record.target() == Some(alias.as_str())
-                {
+                if ptr.record.rtype != RrType::Ptr || ptr.record.target() == Some(alias.as_str()) {
                     continue;
                 }
                 let mut mutated = records.clone();
@@ -154,7 +152,10 @@ fn mutations_for(kind: DnsFaultKind, records: &DnsRecordSet) -> Vec<(String, Dns
                     line: None,
                     record: DnsRecord::new(owner.clone(), RrType::Cname, vec![target.clone()]),
                 });
-                out.push((format!("add CNAME at {owner}, which also has NS records"), mutated));
+                out.push((
+                    format!("add CNAME at {owner}, which also has NS records"),
+                    mutated,
+                ));
             }
         }
         DnsFaultKind::MxToCname => {
@@ -162,8 +163,7 @@ fn mutations_for(kind: DnsFaultKind, records: &DnsRecordSet) -> Vec<(String, Dns
                 return out;
             };
             for (i, mx) in records.records().iter().enumerate() {
-                if mx.record.rtype != RrType::Mx
-                    || mx.record.mx_exchanger() == Some(alias.as_str())
+                if mx.record.rtype != RrType::Mx || mx.record.mx_exchanger() == Some(alias.as_str())
                 {
                     continue;
                 }
@@ -376,10 +376,7 @@ Cftp.example.com:www.example.com:86400
         set
     }
 
-    fn faults_of_rule<'a>(
-        faults: &'a [GeneratedFault],
-        rule: &str,
-    ) -> Vec<&'a GeneratedFault> {
+    fn faults_of_rule<'a>(faults: &'a [GeneratedFault], rule: &str) -> Vec<&'a GeneratedFault> {
         faults
             .iter()
             .filter(|f| match f.class() {

@@ -177,12 +177,11 @@ impl DnsView for BindView {
                             absolutize(owner_raw, origin_ref)
                         };
                         last_owner = Some(owner.clone());
-                        let rtype: RrType = node
-                            .attr("rtype")
-                            .unwrap_or("")
-                            .parse()
-                            .map_err(|e| ViewError::Invalid {
-                                message: format!("{file}: {e}"),
+                        let rtype: RrType =
+                            node.attr("rtype").unwrap_or("").parse().map_err(|e| {
+                                ViewError::Invalid {
+                                    message: format!("{file}: {e}"),
+                                }
                             })?;
                         let mut rdata = split_rdata(node.text().unwrap_or(""));
                         for &pos in name_token_positions(rtype) {
@@ -329,7 +328,11 @@ fn expand_line(ty: &str, payload: &str, file: &str, line: usize) -> Vec<LocatedR
         }
         "@" => {
             let (fqdn, ip, x, dist, ttl) = (f(0), f(1), f(2), f(3), parse_ttl(&f(4)));
-            let dist = if dist.is_empty() { "0".to_string() } else { dist };
+            let dist = if dist.is_empty() {
+                "0".to_string()
+            } else {
+                dist
+            };
             let mut mx = DnsRecord::new(dot(&fqdn), RrType::Mx, vec![dist, dot(&x)]);
             mx.ttl = ttl;
             out.push(mk(mx));
@@ -388,10 +391,7 @@ fn expand_line(ty: &str, payload: &str, file: &str, line: usize) -> Vec<LocatedR
 
 /// Re-renders one original data line from the records that still claim
 /// it. Returns `Ok(None)` when the group was wholly deleted.
-fn regroup_line(
-    ty: &str,
-    claimed: &[&LocatedRecord],
-) -> Result<Option<Node>, ViewError> {
+fn regroup_line(ty: &str, claimed: &[&LocatedRecord]) -> Result<Option<Node>, ViewError> {
     if claimed.is_empty() {
         return Ok(None);
     }
@@ -526,8 +526,7 @@ fn regroup_line(
             };
             let a = find(RrType::A);
             let a_ok = a.is_none_or(|a| a.record.owner == target);
-            let count_ok = expected_len
-                == 1 + usize::from(ty == ".") + usize::from(a.is_some());
+            let count_ok = expected_len == 1 + usize::from(ty == ".") + usize::from(a.is_some());
             if !(soa_ok && a_ok && count_ok) {
                 return Err(ViewError::Inexpressible {
                     reason: format!(
@@ -802,7 +801,10 @@ Cftp.example.com:www.example.com:86400
         let records = view.to_records(&tiny_set()).unwrap();
         let rebuilt = view.from_records(&records, &tiny_set()).unwrap();
         let fmt = TinyDnsFormat::new();
-        assert_eq!(fmt.serialize(rebuilt.get("data").unwrap()).unwrap(), TINY_DATA);
+        assert_eq!(
+            fmt.serialize(rebuilt.get("data").unwrap()).unwrap(),
+            TINY_DATA
+        );
     }
 
     #[test]
@@ -833,14 +835,12 @@ Cftp.example.com:www.example.com:86400
     fn tiny_whole_line_deletion_is_expressible() {
         let view = TinyDnsView::new();
         let mut records = view.to_records(&tiny_set()).unwrap();
-        records
-            .records_mut()
-            .retain(|r| r.record.owner != "www.example.com." || r.record.rtype == RrType::Cname
-                // keep the PTR? no: remove both A and its PTR
-            );
-        records
-            .records_mut()
-            .retain(|r| !(r.record.rtype == RrType::Ptr && r.record.target() == Some("www.example.com.")));
+        records.records_mut().retain(
+            |r| r.record.owner != "www.example.com." || r.record.rtype == RrType::Cname, // keep the PTR? no: remove both A and its PTR
+        );
+        records.records_mut().retain(|r| {
+            !(r.record.rtype == RrType::Ptr && r.record.target() == Some("www.example.com."))
+        });
         let rebuilt = view.from_records(&records, &tiny_set()).unwrap();
         let text = TinyDnsFormat::new()
             .serialize(rebuilt.get("data").unwrap())
@@ -866,7 +866,10 @@ Cftp.example.com:www.example.com:86400
         let text = TinyDnsFormat::new()
             .serialize(rebuilt.get("data").unwrap())
             .unwrap();
-        assert!(text.contains("Calias2.example.com:www.example.com"), "{text}");
+        assert!(
+            text.contains("Calias2.example.com:www.example.com"),
+            "{text}"
+        );
     }
 
     #[test]

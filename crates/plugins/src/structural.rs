@@ -173,7 +173,11 @@ mod tests {
                     .with_child(
                         Node::new("section")
                             .with_attr("name", "mysqld")
-                            .with_child(Node::new("directive").with_attr("name", "port").with_text("3306"))
+                            .with_child(
+                                Node::new("directive")
+                                    .with_attr("name", "port")
+                                    .with_text("3306"),
+                            )
                             .with_child(
                                 Node::new("directive")
                                     .with_attr("name", "datadir")
@@ -182,7 +186,9 @@ mod tests {
                     )
                     .with_child(
                         Node::new("section").with_attr("name", "client").with_child(
-                            Node::new("directive").with_attr("name", "socket").with_text("/tmp/s"),
+                            Node::new("directive")
+                                .with_attr("name", "socket")
+                                .with_text("/tmp/s"),
                         ),
                     ),
             ),
@@ -192,8 +198,12 @@ mod tests {
 
     #[test]
     fn default_plugin_produces_all_kinds() {
-        let plugin = StructuralPlugin::new()
-            .with_donor("apache:Listen", Node::new("directive").with_attr("name", "Listen").with_text("80"));
+        let plugin = StructuralPlugin::new().with_donor(
+            "apache:Listen",
+            Node::new("directive")
+                .with_attr("name", "Listen")
+                .with_text("80"),
+        );
         let faults = plugin.generate(&set()).unwrap();
         let ids: Vec<&str> = faults.iter().map(|f| f.id()).collect();
         assert!(ids.iter().any(|i| i.starts_with("delete:")));
@@ -226,7 +236,9 @@ mod tests {
         assert!(plugin.generate(&set()).unwrap().is_empty());
         let plugin = plugin.with_donor(
             "pg:max_connections",
-            Node::new("directive").with_attr("name", "max_connections").with_text("100"),
+            Node::new("directive")
+                .with_attr("name", "max_connections")
+                .with_text("100"),
         );
         let faults = plugin.generate(&set()).unwrap();
         // Two sections + the root config node.

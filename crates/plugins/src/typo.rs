@@ -8,8 +8,8 @@
 
 use conferr_keyboard::Keyboard;
 use conferr_model::{
-    ConfigSet, ErrorClass, ErrorGenerator, GenerateError, GeneratedFault, ModifyTemplate,
-    Template, TypoKind,
+    ConfigSet, ErrorClass, ErrorGenerator, GenerateError, GeneratedFault, ModifyTemplate, Template,
+    TypoKind,
 };
 
 /// The token class a [`TypoPlugin`] instance targets — the paper's
@@ -73,7 +73,10 @@ pub fn typos_of_kind(keyboard: &Keyboard, kind: TypoKind, word: &str) -> Vec<(St
                     .filter(|&(j, _)| j != i)
                     .map(|(_, c)| *c)
                     .collect();
-                push(mutated, format!("omit {:?} at position {i} of {word:?}", chars[i]));
+                push(
+                    mutated,
+                    format!("omit {:?} at position {i} of {word:?}", chars[i]),
+                );
             }
         }
         TypoKind::Insertion => {
@@ -299,7 +302,10 @@ mod tests {
         let t = typos_of_kind(&kb(), TypoKind::Substitution, "g");
         let words: Vec<&str> = t.iter().map(|(w, _)| w.as_str()).collect();
         for expected in ["f", "h", "t", "b"] {
-            assert!(words.contains(&expected), "{expected} missing from {words:?}");
+            assert!(
+                words.contains(&expected),
+                "{expected} missing from {words:?}"
+            );
         }
         assert!(!words.contains(&"q"), "q is not adjacent to g");
     }
@@ -312,7 +318,9 @@ mod tests {
             assert_eq!(w.chars().count(), 3, "{w:?}");
         }
         // Inserting before 'g' uses g's neighbours.
-        assert!(t.iter().any(|(w, _)| w.starts_with('f') && w.ends_with("go")));
+        assert!(t
+            .iter()
+            .any(|(w, _)| w.starts_with('f') && w.ends_with("go")));
         // Inserting at the end uses o's neighbours.
         assert!(t.iter().any(|(w, _)| w.starts_with("go")));
     }
@@ -350,7 +358,9 @@ mod tests {
             ConfTree::new(
                 Node::new("config").with_child(
                     Node::new("section").with_attr("name", "mysqld").with_child(
-                        Node::new("directive").with_attr("name", "port").with_text("3306"),
+                        Node::new("directive")
+                            .with_attr("name", "port")
+                            .with_text("3306"),
                     ),
                 ),
             ),
@@ -360,8 +370,8 @@ mod tests {
 
     #[test]
     fn plugin_targets_directive_values() {
-        let plugin = TypoPlugin::new(kb(), TokenClass::DirectiveValues)
-            .with_kinds([TypoKind::Omission]);
+        let plugin =
+            TypoPlugin::new(kb(), TokenClass::DirectiveValues).with_kinds([TypoKind::Omission]);
         let faults = plugin.generate(&sample_set()).unwrap();
         // "3306" has 3 distinct omissions (dropping either '3' of "33"
         // is the same string).
@@ -401,7 +411,11 @@ mod tests {
         let faults = plugin.generate(&sample_set()).unwrap();
         assert!(!faults.is_empty());
         let out = faults[0].scenario().unwrap().apply(&sample_set()).unwrap();
-        let sec = out.get("my.cnf").unwrap().node_at(&TreePath::from(vec![0])).unwrap();
+        let sec = out
+            .get("my.cnf")
+            .unwrap()
+            .node_at(&TreePath::from(vec![0]))
+            .unwrap();
         assert_ne!(sec.attr("name"), Some("mysqld"));
     }
 

@@ -98,11 +98,9 @@ impl ErrorGenerator for VariationPlugin {
             for (name, tree) in set.iter() {
                 let mut new_tree = tree.clone();
                 let file_changed = match self.class {
-                    VariationClass::SectionOrder => permute_children(
-                        new_tree.root_mut(),
-                        "section",
-                        &mut rng,
-                    ),
+                    VariationClass::SectionOrder => {
+                        permute_children(new_tree.root_mut(), "section", &mut rng)
+                    }
                     VariationClass::DirectiveOrder => {
                         let mut any = permute_children(new_tree.root_mut(), "directive", &mut rng);
                         for sec in sections_mut(new_tree.root_mut()) {
@@ -110,10 +108,9 @@ impl ErrorGenerator for VariationPlugin {
                         }
                         any
                     }
-                    VariationClass::SeparatorWhitespace => rewrite_separators(
-                        new_tree.root_mut(),
-                        &mut rng,
-                    ),
+                    VariationClass::SeparatorWhitespace => {
+                        rewrite_separators(new_tree.root_mut(), &mut rng)
+                    }
                     VariationClass::MixedCaseNames => mix_case_names(new_tree.root_mut(), &mut rng),
                     VariationClass::TruncatedNames => truncate_names(new_tree.root_mut()),
                 };
@@ -344,8 +341,10 @@ mod tests {
         for sc in scenarios(VariationClass::DirectiveOrder) {
             let out = sc.apply(&ini_set()).unwrap();
             let sec = &out.get("my.cnf").unwrap().root().children()[0];
-            let mut names: Vec<&str> =
-                sec.children_of_kind("directive").filter_map(|d| d.attr("name")).collect();
+            let mut names: Vec<&str> = sec
+                .children_of_kind("directive")
+                .filter_map(|d| d.attr("name"))
+                .collect();
             names.sort_unstable();
             assert_eq!(names, ["key_buffer_size", "max_connections", "port"]);
         }
@@ -383,8 +382,10 @@ mod tests {
         assert!(!scs.is_empty());
         let out = scs[0].apply(&ini_set()).unwrap();
         let sec = &out.get("my.cnf").unwrap().root().children()[0];
-        let names: Vec<&str> =
-            sec.children_of_kind("directive").filter_map(|d| d.attr("name")).collect();
+        let names: Vec<&str> = sec
+            .children_of_kind("directive")
+            .filter_map(|d| d.attr("name"))
+            .collect();
         // port is too short to truncate, the others lose two chars.
         assert_eq!(names, ["port", "key_buffer_si", "max_connectio"]);
     }

@@ -12,8 +12,8 @@
 use conferr_formats::xml_parse_attrs;
 use conferr_keyboard::Keyboard;
 use conferr_model::{
-    ConfigSet, ErrorClass, ErrorGenerator, FaultScenario, GenerateError, GeneratedFault,
-    TreeEdit, TypoKind,
+    ConfigSet, ErrorClass, ErrorGenerator, FaultScenario, GenerateError, GeneratedFault, TreeEdit,
+    TypoKind,
 };
 use conferr_tree::NodeQuery;
 
@@ -68,9 +68,8 @@ impl ErrorGenerator for XmlAttrTypoPlugin {
         for (file, tree) in set.iter() {
             for (path, node) in query.select_nodes(tree) {
                 let raw = node.attr("raw_attrs").unwrap_or("");
-                let pairs = xml_parse_attrs(raw).map_err(|e| {
-                    GenerateError::new("xml-attr-typo", format!("{file}: {e}"))
-                })?;
+                let pairs = xml_parse_attrs(raw)
+                    .map_err(|e| GenerateError::new("xml-attr-typo", format!("{file}: {e}")))?;
                 for (attr_idx, (attr_name, attr_value)) in pairs.iter().enumerate() {
                     // Typos containing a double quote would break the
                     // attribute encoding rather than model a slip.
@@ -124,8 +123,7 @@ mod tests {
 
     #[test]
     fn generates_typos_for_every_attribute() {
-        let plugin = XmlAttrTypoPlugin::new(Keyboard::qwerty_us())
-            .with_kinds([TypoKind::Omission]);
+        let plugin = XmlAttrTypoPlugin::new(Keyboard::qwerty_us()).with_kinds([TypoKind::Omission]);
         let faults = plugin.generate(&set()).unwrap();
         // server.port (4 omissions) + connector.port (4) +
         // connector.protocol (several distinct).

@@ -83,7 +83,10 @@ const REGISTRY: &[(&str, ArgRule)] = &[
     // type/subtype but accept free-form strings.
     ("DefaultType", ArgRule::Lax),
     ("AddType", ArgRule::Lax),
-    ("HostnameLookups", ArgRule::Keyword(&["On", "Off", "Double"])),
+    (
+        "HostnameLookups",
+        ArgRule::Keyword(&["On", "Off", "Double"]),
+    ),
     ("ErrorLog", ArgRule::Lax),
     (
         "LogLevel",
@@ -96,7 +99,15 @@ const REGISTRY: &[(&str, ArgRule)] = &[
     ("ServerSignature", ArgRule::Keyword(&["On", "Off", "EMail"])),
     (
         "ServerTokens",
-        ArgRule::Keyword(&["Full", "OS", "Minimal", "Minor", "Major", "Prod", "ProductOnly"]),
+        ArgRule::Keyword(&[
+            "Full",
+            "OS",
+            "Minimal",
+            "Minor",
+            "Major",
+            "Prod",
+            "ProductOnly",
+        ]),
     ),
     ("Alias", ArgRule::Lax),
     ("ScriptAlias", ArgRule::Lax),
@@ -279,7 +290,10 @@ const PROBE_PATH: &str = "/";
 
 fn builtin_fs() -> VirtualFs {
     let mut fs = VirtualFs::new();
-    fs.add_file("/var/www/html/index.html", "<html><body>It works!</body></html>");
+    fs.add_file(
+        "/var/www/html/index.html",
+        "<html><body>It works!</body></html>",
+    );
     fs.add_file("/var/www/html/logo.png", "\u{89}PNG...");
     fs.add_file("/var/www/docs/index.html", "<html><body>Docs</body></html>");
     fs.add_file("/var/www/docs/manual/intro.html", "<html>Manual</html>");
@@ -332,7 +346,9 @@ impl ApacheSim {
             ArgRule::Lax => Ok(()),
             ArgRule::Int => match parse_int_strict(args) {
                 Some(v) if v >= 0 => Ok(()),
-                _ => Err(format!("{name} requires a non-negative integer, got \"{args}\"")),
+                _ => Err(format!(
+                    "{name} requires a non-negative integer, got \"{args}\""
+                )),
             },
             ArgRule::Keyword(options) => {
                 if options.iter().any(|o| o.eq_ignore_ascii_case(first)) {
@@ -354,7 +370,9 @@ impl ApacheSim {
                 if first.eq_ignore_ascii_case("from") {
                     Ok(())
                 } else {
-                    Err(format!("{name} takes 'from' followed by hosts, got \"{args}\""))
+                    Err(format!(
+                        "{name} takes 'from' followed by hosts, got \"{args}\""
+                    ))
                 }
             }
             ArgRule::Order => {
@@ -431,9 +449,9 @@ impl ApacheSim {
                     .rsplit(':')
                     .next()
                     .unwrap_or("");
-                let port: u16 = port_part.parse().map_err(|_| {
-                    format!("Listen port \"{port_part}\" is not a valid port")
-                })?;
+                let port: u16 = port_part
+                    .parse()
+                    .map_err(|_| format!("Listen port \"{port_part}\" is not a valid port"))?;
                 if listen_ports.contains(&port) {
                     return Err(format!(
                         "(98)Address already in use: make_sock: could not bind to \
@@ -562,10 +580,9 @@ impl SystemUnderTest for ApacheSim {
                      Connection refused"
                 )),
                 Some(resp) if resp.status == 200 => TestOutcome::Passed,
-                Some(resp) => TestOutcome::failed(format!(
-                    "GET {PROBE_PATH} returned HTTP {}",
-                    resp.status
-                )),
+                Some(resp) => {
+                    TestOutcome::failed(format!("GET {PROBE_PATH} returned HTTP {}", resp.status))
+                }
             },
             other => TestOutcome::failed(format!("unknown test {other:?}")),
         }
@@ -636,7 +653,10 @@ mod tests {
     fn flaw_addtype_accepts_freeform_strings() {
         // "texthtml" is not type/subtype but sails through (§5.2).
         let (_, outcome) = start_with(|t| {
-            *t = t.replace("AddType text/html .html .htm", "AddType texthtml .html .htm");
+            *t = t.replace(
+                "AddType text/html .html .htm",
+                "AddType texthtml .html .htm",
+            );
         });
         assert_eq!(outcome, StartOutcome::Started);
     }
@@ -648,7 +668,10 @@ mod tests {
         });
         assert_eq!(outcome, StartOutcome::Started);
         let (_, outcome) = start_with(|t| {
-            *t = t.replace("ServerName www.example.com\n", "ServerName not a hostname!!\n");
+            *t = t.replace(
+                "ServerName www.example.com\n",
+                "ServerName not a hostname!!\n",
+            );
         });
         assert_eq!(outcome, StartOutcome::Started);
     }
@@ -698,7 +721,10 @@ mod tests {
         });
         match outcome {
             StartOutcome::FailedToStart { diagnostic } => {
-                assert!(diagnostic.contains("Address already in use"), "{diagnostic}");
+                assert!(
+                    diagnostic.contains("Address already in use"),
+                    "{diagnostic}"
+                );
             }
             other => panic!("{other}"),
         }
@@ -720,7 +746,10 @@ mod tests {
     #[test]
     fn docroot_typo_warns_and_fails_get() {
         let (sut, outcome) = start_with(|t| {
-            *t = t.replace("DocumentRoot /var/www/html\nDirectoryIndex", "DocumentRoot /var/www/htm\nDirectoryIndex");
+            *t = t.replace(
+                "DocumentRoot /var/www/html\nDirectoryIndex",
+                "DocumentRoot /var/www/htm\nDirectoryIndex",
+            );
         });
         match &outcome {
             StartOutcome::StartedWithWarnings { warnings } => {
@@ -735,7 +764,10 @@ mod tests {
         let (mut sut, _) = start_with(|t| {
             let cut = t.find("<VirtualHost").unwrap();
             t.truncate(cut);
-            *t = t.replace("DocumentRoot /var/www/html\nDirectoryIndex", "DocumentRoot /var/www/htm\nDirectoryIndex");
+            *t = t.replace(
+                "DocumentRoot /var/www/html\nDirectoryIndex",
+                "DocumentRoot /var/www/htm\nDirectoryIndex",
+            );
         });
         let result = sut.run_test("http-get");
         match result {
@@ -749,7 +781,10 @@ mod tests {
     #[test]
     fn vhost_without_servername_warns() {
         let (_, outcome) = start_with(|t| {
-            *t = t.replace("    ServerName www.example.com\n    DocumentRoot /var/www/html\n", "    DocumentRoot /var/www/html\n");
+            *t = t.replace(
+                "    ServerName www.example.com\n    DocumentRoot /var/www/html\n",
+                "    DocumentRoot /var/www/html\n",
+            );
         });
         match outcome {
             StartOutcome::StartedWithWarnings { warnings } => {
@@ -762,7 +797,8 @@ mod tests {
     #[test]
     fn unknown_section_is_invalid_command() {
         let (_, outcome) = start_with(|t| {
-            *t = t.replace("<IfModule mod_userdir.c>", "<IfModuel mod_userdir.c>")
+            *t = t
+                .replace("<IfModule mod_userdir.c>", "<IfModuel mod_userdir.c>")
                 .replace("</IfModule>", "</IfModuel>");
         });
         assert!(matches!(outcome, StartOutcome::FailedToStart { .. }));
@@ -785,7 +821,9 @@ mod tests {
         let (sut, outcome) = start_with(|_| {});
         assert!(outcome.is_running());
         let svc = sut.service().unwrap();
-        let resp = svc.get(80, "docs.example.com", "/manual/intro.html").unwrap();
+        let resp = svc
+            .get(80, "docs.example.com", "/manual/intro.html")
+            .unwrap();
         assert_eq!(resp.status, 200);
         assert!(resp.body.contains("Manual"));
     }

@@ -73,8 +73,12 @@ impl AppServerSim {
     }
 
     fn attrs_of(node: &Node) -> Result<Vec<(String, String)>, String> {
-        xml_parse_attrs(node.attr("raw_attrs").unwrap_or(""))
-            .map_err(|e| format!("attribute syntax error in <{}>: {e}", node.attr("tag").unwrap_or("?")))
+        xml_parse_attrs(node.attr("raw_attrs").unwrap_or("")).map_err(|e| {
+            format!(
+                "attribute syntax error in <{}>: {e}",
+                node.attr("tag").unwrap_or("?")
+            )
+        })
     }
 
     fn attr<'a>(attrs: &'a [(String, String)], key: &str) -> Option<&'a str> {
@@ -324,7 +328,10 @@ mod tests {
         });
         match outcome {
             StartOutcome::FailedToStart { diagnostic } => {
-                assert!(diagnostic.contains("duplicate connector port"), "{diagnostic}");
+                assert!(
+                    diagnostic.contains("duplicate connector port"),
+                    "{diagnostic}"
+                );
             }
             other => panic!("{other}"),
         }
@@ -337,7 +344,10 @@ mod tests {
         });
         match outcome {
             StartOutcome::FailedToStart { diagnostic } => {
-                assert!(diagnostic.contains("does not match any declared"), "{diagnostic}");
+                assert!(
+                    diagnostic.contains("does not match any declared"),
+                    "{diagnostic}"
+                );
             }
             other => panic!("{other}"),
         }

@@ -88,10 +88,9 @@ impl BindSim {
         let mut records = Vec::new();
         for node in tree.root().children() {
             match node.kind() {
-                "directive"
-                    if node.attr("name") == Some("$ORIGIN") => {
-                        origin = Some(normalize_abs(node.text().unwrap_or("")));
-                    }
+                "directive" if node.attr("name") == Some("$ORIGIN") => {
+                    origin = Some(normalize_abs(node.text().unwrap_or("")));
+                }
                 "record" => {
                     let origin_ref = origin
                         .as_deref()
@@ -145,12 +144,17 @@ impl BindSim {
             .filter(|r| r.rtype == QType::Soa && r.owner == *apex)
             .count();
         if soa_count == 0 {
-            return Err(format!("zone {apex}: loading from '{file}' failed: no SOA record"));
+            return Err(format!(
+                "zone {apex}: loading from '{file}' failed: no SOA record"
+            ));
         }
         if soa_count > 1 {
             return Err(format!("zone {apex}: has {soa_count} SOA records"));
         }
-        if !records.iter().any(|r| r.rtype == QType::Ns && r.owner == *apex) {
+        if !records
+            .iter()
+            .any(|r| r.rtype == QType::Ns && r.owner == *apex)
+        {
             return Err(format!("zone {apex}: has no NS records"));
         }
         let cname_owner = |name: &str| {
@@ -304,7 +308,10 @@ impl SystemUnderTest for BindSim {
     }
 
     fn test_names(&self) -> Vec<String> {
-        vec!["forward-zone-alive".to_string(), "reverse-zone-alive".to_string()]
+        vec![
+            "forward-zone-alive".to_string(),
+            "reverse-zone-alive".to_string(),
+        ]
     }
 
     fn run_test(&mut self, test: &str) -> TestOutcome {
@@ -376,10 +383,7 @@ mod tests {
         // Table 3 row 2.
         let (mut sut, outcome) = start_with(|c| {
             let z = c.get_mut("reverse.zone").unwrap();
-            *z = z.replace(
-                "10\tIN PTR www.example.com.",
-                "10\tIN PTR ftp.example.com.",
-            );
+            *z = z.replace("10\tIN PTR www.example.com.", "10\tIN PTR ftp.example.com.");
         });
         assert_eq!(outcome, StartOutcome::Started);
         assert!(sut.run_test("reverse-zone-alive").passed());
@@ -422,10 +426,7 @@ mod tests {
     fn ns_to_cname_is_detected() {
         let (_, outcome) = start_with(|c| {
             let z = c.get_mut("forward.zone").unwrap();
-            *z = z.replace(
-                "@\tIN NS ns1.example.com.",
-                "@\tIN NS ftp.example.com.",
-            );
+            *z = z.replace("@\tIN NS ns1.example.com.", "@\tIN NS ftp.example.com.");
         });
         assert!(matches!(outcome, StartOutcome::FailedToStart { .. }));
     }

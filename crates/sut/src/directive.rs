@@ -298,7 +298,10 @@ mod tests {
             resolve_prefix(names.into_iter(), "max_connect"),
             Ok("max_connections")
         );
-        assert_eq!(resolve_prefix(names.into_iter(), "nope"), Err(PrefixError::Unknown));
+        assert_eq!(
+            resolve_prefix(names.into_iter(), "nope"),
+            Err(PrefixError::Unknown)
+        );
         assert!(matches!(
             resolve_prefix(names.into_iter(), "max_"),
             Err(PrefixError::Ambiguous { .. })
@@ -314,6 +317,8 @@ mod tests {
     #[test]
     fn value_type_display() {
         assert_eq!(ValueType::Bool.to_string(), "boolean");
-        assert!(ValueType::Int { min: 0, max: 9 }.to_string().contains("[0, 9]"));
+        assert!(ValueType::Int { min: 0, max: 9 }
+            .to_string()
+            .contains("[0, 9]"));
     }
 }

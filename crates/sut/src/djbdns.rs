@@ -61,7 +61,9 @@ impl DjbdnsSim {
         if valid {
             Ok(())
         } else {
-            Err(format!("tinydns-data: fatal: unable to parse data line {line_no}: bad IP address '{ip}'"))
+            Err(format!(
+                "tinydns-data: fatal: unable to parse data line {line_no}: bad IP address '{ip}'"
+            ))
         }
     }
 
@@ -94,11 +96,7 @@ impl DjbdnsSim {
             "=" => {
                 Self::check_ip(f(1), line_no)?;
                 store.add_record(&Self::dot(f(0)), QType::A, vec![f(1).to_string()]);
-                store.add_record(
-                    &Self::reverse(f(1)),
-                    QType::Ptr,
-                    vec![Self::dot(f(0))],
-                );
+                store.add_record(&Self::reverse(f(1)), QType::Ptr, vec![Self::dot(f(0))]);
             }
             "+" => {
                 Self::check_ip(f(1), line_no)?;
@@ -214,7 +212,10 @@ impl SystemUnderTest for DjbdnsSim {
     }
 
     fn test_names(&self) -> Vec<String> {
-        vec!["forward-zone-alive".to_string(), "reverse-zone-alive".to_string()]
+        vec![
+            "forward-zone-alive".to_string(),
+            "reverse-zone-alive".to_string(),
+        ]
     }
 
     fn run_test(&mut self, test: &str) -> TestOutcome {
@@ -300,7 +301,10 @@ mod tests {
     #[test]
     fn bad_ip_address_is_fatal() {
         let (_, outcome) = start_with(|t| {
-            *t = t.replace("=www.example.com:192.0.2.10:86400", "=www.example.com:192.O.2.10:86400");
+            *t = t.replace(
+                "=www.example.com:192.0.2.10:86400",
+                "=www.example.com:192.O.2.10:86400",
+            );
         });
         match outcome {
             StartOutcome::FailedToStart { diagnostic } => {
@@ -321,7 +325,10 @@ mod tests {
     #[test]
     fn deleting_the_reverse_delegation_fails_the_functional_test() {
         let (mut sut, outcome) = start_with(|t| {
-            *t = t.replace(".2.0.192.in-addr.arpa:192.0.2.1:ns1.example.com:259200\n", "");
+            *t = t.replace(
+                ".2.0.192.in-addr.arpa:192.0.2.1:ns1.example.com:259200\n",
+                "",
+            );
         });
         assert_eq!(outcome, StartOutcome::Started);
         assert!(sut.run_test("forward-zone-alive").passed());

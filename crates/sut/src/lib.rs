@@ -179,8 +179,14 @@ mod tests {
     #[test]
     fn outcome_accessors() {
         assert!(StartOutcome::Started.is_running());
-        assert!(StartOutcome::StartedWithWarnings { warnings: vec!["w".into()] }.is_running());
-        assert!(!StartOutcome::FailedToStart { diagnostic: "bad".into() }.is_running());
+        assert!(StartOutcome::StartedWithWarnings {
+            warnings: vec!["w".into()]
+        }
+        .is_running());
+        assert!(!StartOutcome::FailedToStart {
+            diagnostic: "bad".into()
+        }
+        .is_running());
         assert!(TestOutcome::Passed.passed());
         assert!(!TestOutcome::failed("nope").passed());
     }
@@ -188,8 +194,10 @@ mod tests {
     #[test]
     fn outcome_display() {
         assert_eq!(StartOutcome::Started.to_string(), "started");
-        assert!(StartOutcome::FailedToStart { diagnostic: "x".into() }
-            .to_string()
-            .contains("x"));
+        assert!(StartOutcome::FailedToStart {
+            diagnostic: "x".into()
+        }
+        .to_string()
+        .contains("x"));
     }
 }

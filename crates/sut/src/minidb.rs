@@ -347,12 +347,28 @@ enum Projection {
 
 #[derive(Debug, Clone, PartialEq)]
 enum Statement {
-    CreateDatabase { name: String },
-    DropDatabase { name: String },
-    CreateTable { name: String, columns: Vec<(String, ColType)> },
-    DropTable { name: String },
-    Insert { table: String, values: Vec<Value> },
-    Select { table: String, columns: Projection, filter: Option<(String, Value)> },
+    CreateDatabase {
+        name: String,
+    },
+    DropDatabase {
+        name: String,
+    },
+    CreateTable {
+        name: String,
+        columns: Vec<(String, ColType)>,
+    },
+    DropTable {
+        name: String,
+    },
+    Insert {
+        table: String,
+        values: Vec<Value>,
+    },
+    Select {
+        table: String,
+        columns: Projection,
+        filter: Option<(String, Value)>,
+    },
 }
 
 fn tokenize(sql: &str) -> Result<Vec<String>, DbError> {
@@ -436,7 +452,10 @@ impl Cursor {
 
     fn ident(&mut self) -> Result<String, DbError> {
         let t = self.next()?;
-        if t.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_') {
+        if t.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        {
             Ok(t.to_string())
         } else {
             Err(DbError::new(format!("expected an identifier, found {t:?}")))
@@ -476,9 +495,7 @@ fn parse(sql: &str) -> Result<Statement, DbError> {
                         let ty = match c.next()?.to_ascii_uppercase().as_str() {
                             "INT" | "INTEGER" => ColType::Int,
                             "TEXT" | "VARCHAR" => ColType::Text,
-                            other => {
-                                return Err(DbError::new(format!("unknown type {other:?}")))
-                            }
+                            other => return Err(DbError::new(format!("unknown type {other:?}"))),
                         };
                         columns.push((col, ty));
                         match c.next()? {
@@ -516,7 +533,9 @@ fn parse(sql: &str) -> Result<Statement, DbError> {
                     "," => continue,
                     ")" => break,
                     other => {
-                        return Err(DbError::new(format!("expected ',' or ')', found {other:?}")))
+                        return Err(DbError::new(format!(
+                            "expected ',' or ')', found {other:?}"
+                        )))
                     }
                 }
             }
@@ -575,10 +594,15 @@ mod tests {
         let mut conn = e.connect().unwrap();
         conn.execute("CREATE DATABASE shop;").unwrap();
         conn.use_database("shop").unwrap();
-        conn.execute("CREATE TABLE items (id INT, name TEXT);").unwrap();
-        conn.execute("INSERT INTO items VALUES (1, 'apple');").unwrap();
-        conn.execute("INSERT INTO items VALUES (2, 'pear');").unwrap();
-        let result = conn.execute("SELECT name FROM items WHERE id = 2;").unwrap();
+        conn.execute("CREATE TABLE items (id INT, name TEXT);")
+            .unwrap();
+        conn.execute("INSERT INTO items VALUES (1, 'apple');")
+            .unwrap();
+        conn.execute("INSERT INTO items VALUES (2, 'pear');")
+            .unwrap();
+        let result = conn
+            .execute("SELECT name FROM items WHERE id = 2;")
+            .unwrap();
         match result {
             QueryResult::Rows { columns, rows } => {
                 assert_eq!(columns, ["name"]);

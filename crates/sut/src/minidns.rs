@@ -150,11 +150,8 @@ impl ZoneStore {
         let mut chain = Vec::new();
         let mut current = normalize(name);
         for _ in 0..MAX_CNAME_CHAIN {
-            let at_name: Vec<&StoredRecord> = self
-                .records
-                .iter()
-                .filter(|r| r.owner == current)
-                .collect();
+            let at_name: Vec<&StoredRecord> =
+                self.records.iter().filter(|r| r.owner == current).collect();
             if at_name.is_empty() {
                 return if chain.is_empty() {
                     Answer::NxDomain
@@ -220,13 +217,25 @@ mod tests {
         s.add_record(
             "example.com.",
             QType::Soa,
-            vec!["ns1.example.com.".into(), "admin.example.com.".into(), "1".into()],
+            vec![
+                "ns1.example.com.".into(),
+                "admin.example.com.".into(),
+                "1".into(),
+            ],
         );
         s.add_record("example.com.", QType::Ns, vec!["ns1.example.com.".into()]);
         s.add_record("ns1.example.com.", QType::A, vec!["192.0.2.1".into()]);
         s.add_record("www.example.com.", QType::A, vec!["192.0.2.10".into()]);
-        s.add_record("ftp.example.com.", QType::Cname, vec!["www.example.com.".into()]);
-        s.add_record("10.2.0.192.in-addr.arpa.", QType::Ptr, vec!["www.example.com.".into()]);
+        s.add_record(
+            "ftp.example.com.",
+            QType::Cname,
+            vec!["www.example.com.".into()],
+        );
+        s.add_record(
+            "10.2.0.192.in-addr.arpa.",
+            QType::Ptr,
+            vec!["www.example.com.".into()],
+        );
         s
     }
 
@@ -268,22 +277,37 @@ mod tests {
 
     #[test]
     fn nxdomain_vs_nodata() {
-        assert_eq!(store().query("nope.example.com.", QType::A), Answer::NxDomain);
+        assert_eq!(
+            store().query("nope.example.com.", QType::A),
+            Answer::NxDomain
+        );
         assert_eq!(store().query("www.example.com.", QType::Mx), Answer::NoData);
     }
 
     #[test]
     fn dangling_cname_is_nxdomain() {
         let mut s = store();
-        s.add_record("bad.example.com.", QType::Cname, vec!["gone.example.com.".into()]);
+        s.add_record(
+            "bad.example.com.",
+            QType::Cname,
+            vec!["gone.example.com.".into()],
+        );
         assert_eq!(s.query("bad.example.com.", QType::A), Answer::NxDomain);
     }
 
     #[test]
     fn cname_loops_terminate() {
         let mut s = ZoneStore::new();
-        s.add_record("a.example.com.", QType::Cname, vec!["b.example.com.".into()]);
-        s.add_record("b.example.com.", QType::Cname, vec!["a.example.com.".into()]);
+        s.add_record(
+            "a.example.com.",
+            QType::Cname,
+            vec!["b.example.com.".into()],
+        );
+        s.add_record(
+            "b.example.com.",
+            QType::Cname,
+            vec!["a.example.com.".into()],
+        );
         // Must not hang; loop yields NoData after the chain bound.
         assert!(!s.query("a.example.com.", QType::A).found());
     }

@@ -104,7 +104,11 @@ impl HttpService {
         let (doc_root, aliases) = self
             .vhosts
             .iter()
-            .find(|v| v.server_name.as_deref().is_some_and(|n| n.eq_ignore_ascii_case(host)))
+            .find(|v| {
+                v.server_name
+                    .as_deref()
+                    .is_some_and(|n| n.eq_ignore_ascii_case(host))
+            })
             .map(|v| (v.doc_root.as_str(), v.aliases.as_slice()))
             .unwrap_or((self.main_doc_root.as_str(), self.main_aliases.as_slice()));
 
@@ -143,16 +147,13 @@ impl HttpService {
 
     fn mime_for(&self, fs_path: &str) -> String {
         let ext = fs_path.rsplit('.').next().unwrap_or("");
-        self.mime_types
-            .get(ext)
-            .cloned()
-            .unwrap_or_else(|| {
-                if self.default_type.is_empty() {
-                    "text/plain".to_string()
-                } else {
-                    self.default_type.clone()
-                }
-            })
+        self.mime_types.get(ext).cloned().unwrap_or_else(|| {
+            if self.default_type.is_empty() {
+                "text/plain".to_string()
+            } else {
+                self.default_type.clone()
+            }
+        })
     }
 }
 
@@ -223,7 +224,10 @@ mod tests {
     #[test]
     fn mime_resolution_with_default_fallback() {
         let svc = service();
-        assert_eq!(svc.get(80, "x", "/logo.png").unwrap().content_type, "image/png");
+        assert_eq!(
+            svc.get(80, "x", "/logo.png").unwrap().content_type,
+            "image/png"
+        );
         assert_eq!(
             svc.get(80, "x", "/docs/manual.txt").unwrap().content_type,
             "text/plain"

@@ -48,42 +48,66 @@ const SERVER_REGISTRY: &[DirectiveSpec] = &[
     DirectiveSpec::new("bind_address", ValueType::Text, "0.0.0.0"),
     DirectiveSpec::new(
         "key_buffer_size",
-        ValueType::Size { min: 8192, max: 4_294_967_295 },
+        ValueType::Size {
+            min: 8192,
+            max: 4_294_967_295,
+        },
         "8388608",
     ),
     DirectiveSpec::new(
         "max_allowed_packet",
-        ValueType::Size { min: 1024, max: 1_073_741_824 },
+        ValueType::Size {
+            min: 1024,
+            max: 1_073_741_824,
+        },
         "1048576",
     ),
     DirectiveSpec::new(
         "table_open_cache",
-        ValueType::Int { min: 1, max: 524288 },
+        ValueType::Int {
+            min: 1,
+            max: 524288,
+        },
         "64",
     ),
     DirectiveSpec::new(
         "sort_buffer_size",
-        ValueType::Size { min: 32768, max: 4_294_967_295 },
+        ValueType::Size {
+            min: 32768,
+            max: 4_294_967_295,
+        },
         "2097144",
     ),
     DirectiveSpec::new(
         "net_buffer_length",
-        ValueType::Size { min: 1024, max: 1_048_576 },
+        ValueType::Size {
+            min: 1024,
+            max: 1_048_576,
+        },
         "16384",
     ),
     DirectiveSpec::new(
         "read_buffer_size",
-        ValueType::Size { min: 8192, max: 2_147_479_552 },
+        ValueType::Size {
+            min: 8192,
+            max: 2_147_479_552,
+        },
         "131072",
     ),
     DirectiveSpec::new(
         "read_rnd_buffer_size",
-        ValueType::Size { min: 8192, max: 4_294_967_295 },
+        ValueType::Size {
+            min: 8192,
+            max: 4_294_967_295,
+        },
         "262144",
     ),
     DirectiveSpec::new(
         "myisam_sort_buffer_size",
-        ValueType::Size { min: 4096, max: 4_294_967_295 },
+        ValueType::Size {
+            min: 4096,
+            max: 4_294_967_295,
+        },
         "8388608",
     ),
     DirectiveSpec::new(
@@ -93,50 +117,84 @@ const SERVER_REGISTRY: &[DirectiveSpec] = &[
     ),
     DirectiveSpec::new(
         "thread_stack",
-        ValueType::Size { min: 131072, max: 4_294_967_295 },
+        ValueType::Size {
+            min: 131072,
+            max: 4_294_967_295,
+        },
         "196608",
     ),
     DirectiveSpec::new(
         "max_connections",
-        ValueType::Int { min: 1, max: 100000 },
+        ValueType::Int {
+            min: 1,
+            max: 100000,
+        },
         "151",
     ),
     DirectiveSpec::new(
         "max_connect_errors",
-        ValueType::Int { min: 1, max: 4_294_967_295 },
+        ValueType::Int {
+            min: 1,
+            max: 4_294_967_295,
+        },
         "10",
     ),
     DirectiveSpec::new(
         "wait_timeout",
-        ValueType::Int { min: 1, max: 31536000 },
+        ValueType::Int {
+            min: 1,
+            max: 31536000,
+        },
         "28800",
     ),
     DirectiveSpec::new(
         "interactive_timeout",
-        ValueType::Int { min: 1, max: 31536000 },
+        ValueType::Int {
+            min: 1,
+            max: 31536000,
+        },
         "28800",
     ),
     DirectiveSpec::new(
         "query_cache_size",
-        ValueType::Size { min: 0, max: 4_294_967_295 },
+        ValueType::Size {
+            min: 0,
+            max: 4_294_967_295,
+        },
         "0",
     ),
     DirectiveSpec::new(
         "tmp_table_size",
-        ValueType::Size { min: 1024, max: 4_294_967_295 },
+        ValueType::Size {
+            min: 1024,
+            max: 4_294_967_295,
+        },
         "16777216",
     ),
     DirectiveSpec::new(
         "join_buffer_size",
-        ValueType::Size { min: 8192, max: 4_294_967_295 },
+        ValueType::Size {
+            min: 8192,
+            max: 4_294_967_295,
+        },
         "131072",
     ),
     DirectiveSpec::new(
         "bulk_insert_buffer_size",
-        ValueType::Size { min: 0, max: 4_294_967_295 },
+        ValueType::Size {
+            min: 0,
+            max: 4_294_967_295,
+        },
         "8388608",
     ),
-    DirectiveSpec::new("server_id", ValueType::Int { min: 0, max: 4_294_967_295 }, "0"),
+    DirectiveSpec::new(
+        "server_id",
+        ValueType::Int {
+            min: 0,
+            max: 4_294_967_295,
+        },
+        "0",
+    ),
     DirectiveSpec::new("back_log", ValueType::Int { min: 1, max: 65535 }, "50"),
     DirectiveSpec::new(
         "open_files_limit",
@@ -147,7 +205,14 @@ const SERVER_REGISTRY: &[DirectiveSpec] = &[
     DirectiveSpec::new("skip_networking", ValueType::Bool, "0"),
     DirectiveSpec::new("log_error", ValueType::Text, "/var/log/mysql/error.log"),
     DirectiveSpec::new("slow_query_log", ValueType::Bool, "0"),
-    DirectiveSpec::new("long_query_time", ValueType::Int { min: 1, max: 31536000 }, "10"),
+    DirectiveSpec::new(
+        "long_query_time",
+        ValueType::Int {
+            min: 1,
+            max: 31536000,
+        },
+        "10",
+    ),
     DirectiveSpec::new(
         "default_storage_engine",
         ValueType::Enum(&["MyISAM", "InnoDB", "MEMORY", "CSV"]),
@@ -160,45 +225,67 @@ const SERVER_REGISTRY: &[DirectiveSpec] = &[
     ),
     DirectiveSpec::new("collation_server", ValueType::Text, "latin1_swedish_ci"),
     DirectiveSpec::new("sql_mode", ValueType::Text, ""),
-    DirectiveSpec::new(
-        "ft_min_word_len",
-        ValueType::Int { min: 1, max: 84 },
-        "4",
-    ),
+    DirectiveSpec::new("ft_min_word_len", ValueType::Int { min: 1, max: 84 }, "4"),
     DirectiveSpec::new(
         "innodb_buffer_pool_size",
-        ValueType::Size { min: 1_048_576, max: 4_294_967_295 },
+        ValueType::Size {
+            min: 1_048_576,
+            max: 4_294_967_295,
+        },
         "8388608",
     ),
     DirectiveSpec::new(
         "innodb_log_file_size",
-        ValueType::Size { min: 1_048_576, max: 4_294_967_295 },
+        ValueType::Size {
+            min: 1_048_576,
+            max: 4_294_967_295,
+        },
         "5242880",
     ),
     DirectiveSpec::new(
         "innodb_additional_mem_pool_size",
-        ValueType::Size { min: 524_288, max: 4_294_967_295 },
+        ValueType::Size {
+            min: 524_288,
+            max: 4_294_967_295,
+        },
         "1048576",
     ),
     DirectiveSpec::new(
         "innodb_log_buffer_size",
-        ValueType::Size { min: 262_144, max: 4_294_967_295 },
+        ValueType::Size {
+            min: 262_144,
+            max: 4_294_967_295,
+        },
         "1048576",
     ),
     DirectiveSpec::new(
         "query_cache_limit",
-        ValueType::Size { min: 0, max: 4_294_967_295 },
+        ValueType::Size {
+            min: 0,
+            max: 4_294_967_295,
+        },
         "1048576",
     ),
     DirectiveSpec::new(
         "max_heap_table_size",
-        ValueType::Size { min: 16384, max: 4_294_967_295 },
+        ValueType::Size {
+            min: 16384,
+            max: 4_294_967_295,
+        },
         "16777216",
     ),
     DirectiveSpec::new("innodb_data_home_dir", ValueType::Text, "/var/lib/mysql"),
-    DirectiveSpec::new("innodb_log_group_home_dir", ValueType::Text, "/var/lib/mysql"),
+    DirectiveSpec::new(
+        "innodb_log_group_home_dir",
+        ValueType::Text,
+        "/var/lib/mysql",
+    ),
     DirectiveSpec::new("pid_file", ValueType::Text, "/var/run/mysqld/mysqld.pid"),
-    DirectiveSpec::new("general_log_file", ValueType::Text, "/var/log/mysql/mysql.log"),
+    DirectiveSpec::new(
+        "general_log_file",
+        ValueType::Text,
+        "/var/log/mysql/mysql.log",
+    ),
     DirectiveSpec::new(
         "slow_query_log_file",
         ValueType::Text,
@@ -209,8 +296,16 @@ const SERVER_REGISTRY: &[DirectiveSpec] = &[
     DirectiveSpec::new("ft_stopword_file", ValueType::Text, "/usr/share/stopwords"),
     DirectiveSpec::new("log_bin", ValueType::Text, "/var/log/mysql/mysql-bin"),
     DirectiveSpec::new("relay_log", ValueType::Text, "/var/log/mysql/relay-bin"),
-    DirectiveSpec::new("log_bin_index", ValueType::Text, "/var/log/mysql/mysql-bin.index"),
-    DirectiveSpec::new("relay_log_index", ValueType::Text, "/var/log/mysql/relay-bin.index"),
+    DirectiveSpec::new(
+        "log_bin_index",
+        ValueType::Text,
+        "/var/log/mysql/mysql-bin.index",
+    ),
+    DirectiveSpec::new(
+        "relay_log_index",
+        ValueType::Text,
+        "/var/log/mysql/relay-bin.index",
+    ),
     DirectiveSpec::new("plugin_dir", ValueType::Text, "/usr/lib/mysql/plugin"),
     DirectiveSpec::new("ssl_ca", ValueType::Text, "/etc/mysql/cacert.pem"),
     DirectiveSpec::new("ssl_cert", ValueType::Text, "/etc/mysql/server-cert.pem"),
@@ -231,7 +326,10 @@ const DUMP_REGISTRY: &[DirectiveSpec] = &[
     DirectiveSpec::new("quick", ValueType::Bool, "0"),
     DirectiveSpec::new(
         "max_allowed_packet",
-        ValueType::Size { min: 1024, max: 1_073_741_824 },
+        ValueType::Size {
+            min: 1024,
+            max: 1_073_741_824,
+        },
         "25165824",
     ),
     DirectiveSpec::new("single_transaction", ValueType::Bool, "0"),
@@ -374,19 +472,18 @@ impl MySqlSim {
     ) -> Result<(), String> {
         let raw_name = node.attr("name").unwrap_or("");
         let name = Self::normalize_name(raw_name);
-        let spec_name =
-            match resolve_prefix(SERVER_REGISTRY.iter().map(|s| s.name), &name) {
-                Ok(n) => n,
-                Err(PrefixError::Unknown) => {
-                    return Err(format!("unknown variable '{raw_name}'"));
-                }
-                Err(PrefixError::Ambiguous { candidates }) => {
-                    return Err(format!(
-                        "ambiguous option '{raw_name}' (could be {})",
-                        candidates.join(", ")
-                    ));
-                }
-            };
+        let spec_name = match resolve_prefix(SERVER_REGISTRY.iter().map(|s| s.name), &name) {
+            Ok(n) => n,
+            Err(PrefixError::Unknown) => {
+                return Err(format!("unknown variable '{raw_name}'"));
+            }
+            Err(PrefixError::Ambiguous { candidates }) => {
+                return Err(format!(
+                    "ambiguous option '{raw_name}' (could be {})",
+                    candidates.join(", ")
+                ));
+            }
+        };
         let spec = SERVER_REGISTRY
             .iter()
             .find(|s| s.name == spec_name)
@@ -533,7 +630,10 @@ impl SystemUnderTest for MySqlSim {
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(1 << 20),
         };
-        let port = vars.get("port").cloned().unwrap_or_else(|| DEFAULT_PORT.to_string());
+        let port = vars
+            .get("port")
+            .cloned()
+            .unwrap_or_else(|| DEFAULT_PORT.to_string());
         self.running = Some(Running {
             vars,
             engine: Engine::new(limits),
@@ -718,7 +818,10 @@ mod tests {
     #[test]
     fn mixed_case_names_are_rejected() {
         let (_, outcome) = start_with(|t| {
-            *t = t.replace("port=3306\nsocket=/var/run/mysqld/mysqld.sock\ndatadir", "Port=3306\nsocket=/var/run/mysqld/mysqld.sock\ndatadir");
+            *t = t.replace(
+                "port=3306\nsocket=/var/run/mysqld/mysqld.sock\ndatadir",
+                "Port=3306\nsocket=/var/run/mysqld/mysqld.sock\ndatadir",
+            );
         });
         assert!(matches!(outcome, StartOutcome::FailedToStart { .. }));
     }
@@ -808,7 +911,10 @@ mod tests {
     #[test]
     fn non_numeric_port_is_caught_at_startup() {
         let (_, outcome) = start_with(|t| {
-            *t = t.replace("port=3306\nsocket=/var/run/mysqld/mysqld.sock\ndatadir", "port=33o6\nsocket=/var/run/mysqld/mysqld.sock\ndatadir");
+            *t = t.replace(
+                "port=3306\nsocket=/var/run/mysqld/mysqld.sock\ndatadir",
+                "port=33o6\nsocket=/var/run/mysqld/mysqld.sock\ndatadir",
+            );
         });
         assert!(matches!(outcome, StartOutcome::FailedToStart { .. }));
     }
@@ -816,7 +922,10 @@ mod tests {
     #[test]
     fn out_of_bounds_port_silently_uses_default() {
         let (mut sut, outcome) = start_with(|t| {
-            *t = t.replace("port=3306\nsocket=/var/run/mysqld/mysqld.sock\ndatadir", "port=99999999\nsocket=/var/run/mysqld/mysqld.sock\ndatadir");
+            *t = t.replace(
+                "port=3306\nsocket=/var/run/mysqld/mysqld.sock\ndatadir",
+                "port=99999999\nsocket=/var/run/mysqld/mysqld.sock\ndatadir",
+            );
         });
         assert_eq!(outcome, StartOutcome::Started);
         assert_eq!(sut.server_var("port"), Some("3306"));

@@ -43,39 +43,53 @@ const REGISTRY: &[DirectiveSpec] = &[
     ),
     DirectiveSpec::new(
         "shared_buffers",
-        ValueType::Int { min: 16, max: 1073741823 },
+        ValueType::Int {
+            min: 16,
+            max: 1073741823,
+        },
         "1000",
     ),
     DirectiveSpec::new(
         "temp_buffers",
-        ValueType::Int { min: 100, max: 1073741823 },
+        ValueType::Int {
+            min: 100,
+            max: 1073741823,
+        },
         "1000",
     ),
     DirectiveSpec::new(
         "work_mem",
-        ValueType::Size { min: 64 * 1024, max: 2_147_483_647 },
+        ValueType::Size {
+            min: 64 * 1024,
+            max: 2_147_483_647,
+        },
         "1MB",
     ),
     DirectiveSpec::new(
         "maintenance_work_mem",
-        ValueType::Size { min: 1024 * 1024, max: 2_147_483_647 },
+        ValueType::Size {
+            min: 1024 * 1024,
+            max: 2_147_483_647,
+        },
         "16MB",
     ),
     DirectiveSpec::new(
         "max_fsm_pages",
-        ValueType::Int { min: 1000, max: 2_147_483_647 },
+        ValueType::Int {
+            min: 1000,
+            max: 2_147_483_647,
+        },
         "153600",
     ),
     DirectiveSpec::new(
         "max_fsm_relations",
-        ValueType::Int { min: 100, max: 2_147_483_647 },
+        ValueType::Int {
+            min: 100,
+            max: 2_147_483_647,
+        },
         "1000",
     ),
-    DirectiveSpec::new(
-        "wal_buffers",
-        ValueType::Int { min: 4, max: 65536 },
-        "8",
-    ),
+    DirectiveSpec::new("wal_buffers", ValueType::Int { min: 4, max: 65536 }, "8"),
     DirectiveSpec::new(
         "checkpoint_segments",
         ValueType::Int { min: 1, max: 65536 },
@@ -88,17 +102,26 @@ const REGISTRY: &[DirectiveSpec] = &[
     ),
     DirectiveSpec::new(
         "effective_cache_size",
-        ValueType::Int { min: 1, max: 2_147_483_647 },
+        ValueType::Int {
+            min: 1,
+            max: 2_147_483_647,
+        },
         "16384",
     ),
     DirectiveSpec::new(
         "random_page_cost",
-        ValueType::Float { min: 0.0, max: 1.0e10 },
+        ValueType::Float {
+            min: 0.0,
+            max: 1.0e10,
+        },
         "4.0",
     ),
     DirectiveSpec::new(
         "cpu_tuple_cost",
-        ValueType::Float { min: 0.0, max: 1.0e10 },
+        ValueType::Float {
+            min: 0.0,
+            max: 1.0e10,
+        },
         "0.01",
     ),
     DirectiveSpec::new(
@@ -108,7 +131,10 @@ const REGISTRY: &[DirectiveSpec] = &[
     ),
     DirectiveSpec::new(
         "deadlock_timeout",
-        ValueType::Int { min: 1, max: 2_147_483_647 },
+        ValueType::Int {
+            min: 1,
+            max: 2_147_483_647,
+        },
         "1000",
     ),
     DirectiveSpec::new("fsync", ValueType::Bool, "on"),
@@ -123,16 +149,15 @@ const REGISTRY: &[DirectiveSpec] = &[
     DirectiveSpec::new(
         "log_min_messages",
         ValueType::Enum(&[
-            "debug5", "debug4", "debug3", "debug2", "debug1", "info", "notice", "warning",
-            "error", "log", "fatal", "panic",
+            "debug5", "debug4", "debug3", "debug2", "debug1", "info", "notice", "warning", "error",
+            "log", "fatal", "panic",
         ]),
         "notice",
     ),
     DirectiveSpec::new(
         "client_min_messages",
         ValueType::Enum(&[
-            "debug5", "debug4", "debug3", "debug2", "debug1", "log", "notice", "warning",
-            "error",
+            "debug5", "debug4", "debug3", "debug2", "debug1", "log", "notice", "warning", "error",
         ]),
         "notice",
     ),
@@ -271,9 +296,8 @@ impl PostgresSim {
     /// The paper's flagship Postgres feature: constraints *across*
     /// directives, checked after all values parse individually.
     fn check_cross_constraints(vars: &BTreeMap<String, String>) -> Result<(), String> {
-        let get_i64 = |name: &str| -> i64 {
-            vars.get(name).and_then(|v| v.parse().ok()).unwrap_or(0)
-        };
+        let get_i64 =
+            |name: &str| -> i64 { vars.get(name).and_then(|v| v.parse().ok()).unwrap_or(0) };
         let max_fsm_pages = get_i64("max_fsm_pages");
         let max_fsm_relations = get_i64("max_fsm_relations");
         if max_fsm_pages < 16 * max_fsm_relations {
@@ -331,13 +355,13 @@ impl SystemUnderTest for PostgresSim {
         };
         let mut vars: BTreeMap<String, String> = REGISTRY
             .iter()
-            .map(|s|
-
+            .map(|s| {
                 (s.name.to_string(), {
                     // Defaults pass through the same validator so the
                     // stored form is canonical.
                     Self::validate_value(s, s.default).expect("registry defaults are valid")
-                }))
+                })
+            })
             .collect();
         for node in tree.root().children_of_kind("directive") {
             let raw_name = node.attr("name").unwrap_or("");
@@ -353,9 +377,7 @@ impl SystemUnderTest for PostgresSim {
             let raw_value = node.text().unwrap_or("");
             if raw_value.is_empty() {
                 return StartOutcome::FailedToStart {
-                    diagnostic: format!(
-                        "FATAL: parameter \"{raw_name}\" requires a value"
-                    ),
+                    diagnostic: format!("FATAL: parameter \"{raw_name}\" requires a value"),
                 };
             }
             // Unbalanced quoting is a syntax error, exactly as the
@@ -583,7 +605,10 @@ mod tests {
             t.push_str("work_mem = 4MB\n");
         });
         assert_eq!(outcome, StartOutcome::Started);
-        assert_eq!(sut.parameter("work_mem"), Some((4u64 << 20).to_string()).as_deref());
+        assert_eq!(
+            sut.parameter("work_mem"),
+            Some((4u64 << 20).to_string()).as_deref()
+        );
     }
 
     #[test]

@@ -44,7 +44,11 @@ impl fmt::Display for DiffOp {
         match self {
             DiffOp::Deleted { path, node } => write!(f, "- {path} {node}"),
             DiffOp::Inserted { path, node } => write!(f, "+ {path} {node}"),
-            DiffOp::Changed { path, before, after } => {
+            DiffOp::Changed {
+                path,
+                before,
+                after,
+            } => {
                 write!(f, "~ {path} {before} -> {after}")
             }
         }
@@ -62,7 +66,13 @@ impl fmt::Display for DiffOp {
 /// recursively.
 pub fn diff(old: &ConfTree, new: &ConfTree) -> Vec<DiffOp> {
     let mut ops = Vec::new();
-    diff_nodes(old.root(), new.root(), &TreePath::root(), &TreePath::root(), &mut ops);
+    diff_nodes(
+        old.root(),
+        new.root(),
+        &TreePath::root(),
+        &TreePath::root(),
+        &mut ops,
+    );
     ops
 }
 
@@ -110,7 +120,13 @@ fn diff_nodes(
             });
             bi += 1;
         }
-        diff_nodes(&a[pa], &b[pb], &old_path.child(pa), &new_path.child(pb), ops);
+        diff_nodes(
+            &a[pa],
+            &b[pb],
+            &old_path.child(pa),
+            &new_path.child(pb),
+            ops,
+        );
         ai = pa + 1;
         bi = pb + 1;
     }
@@ -208,13 +224,16 @@ mod tests {
         .unwrap();
         let ops = diff(&base(), &new);
         assert_eq!(ops.len(), 1);
-        assert!(matches!(&ops[0], DiffOp::Inserted { path, .. } if *path == TreePath::from(vec![1])));
+        assert!(
+            matches!(&ops[0], DiffOp::Inserted { path, .. } if *path == TreePath::from(vec![1]))
+        );
     }
 
     #[test]
     fn text_change_is_reported_as_changed() {
         let mut new = base();
-        new.set_text_at(&TreePath::from(vec![2]), Some("30".into())).unwrap();
+        new.set_text_at(&TreePath::from(vec![2]), Some("30".into()))
+            .unwrap();
         let ops = diff(&base(), &new);
         assert_eq!(ops.len(), 1);
         match &ops[0] {

@@ -253,7 +253,13 @@ mod tests {
         let mut t = tree();
         let removed = t.delete(&TreePath::from(vec![0, 1])).unwrap();
         assert_eq!(removed.attr("name"), Some("d2"));
-        assert_eq!(t.node_at(&TreePath::from(vec![0])).unwrap().children().len(), 1);
+        assert_eq!(
+            t.node_at(&TreePath::from(vec![0]))
+                .unwrap()
+                .children()
+                .len(),
+            1
+        );
     }
 
     #[test]
@@ -300,7 +306,13 @@ mod tests {
             t.node_at(&TreePath::from(vec![1, 0])).unwrap().attr("name"),
             Some("d1")
         );
-        assert_eq!(t.node_at(&TreePath::from(vec![0])).unwrap().children().len(), 1);
+        assert_eq!(
+            t.node_at(&TreePath::from(vec![0]))
+                .unwrap()
+                .children()
+                .len(),
+            1
+        );
     }
 
     #[test]

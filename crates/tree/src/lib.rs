@@ -98,10 +98,13 @@ impl ConfTree {
     pub fn node_at(&self, path: &TreePath) -> Result<&Node, TreeError> {
         let mut cur = &self.root;
         for (depth, &idx) in path.indices().iter().enumerate() {
-            cur = cur.children().get(idx).ok_or_else(|| TreeError::PathNotFound {
-                path: path.clone(),
-                depth,
-            })?;
+            cur = cur
+                .children()
+                .get(idx)
+                .ok_or_else(|| TreeError::PathNotFound {
+                    path: path.clone(),
+                    depth,
+                })?;
         }
         Ok(cur)
     }
@@ -116,10 +119,13 @@ impl ConfTree {
         let mut cur = &mut self.root;
         for (depth, &idx) in path.indices().iter().enumerate() {
             let len = cur.children().len();
-            cur = cur.children_mut().get_mut(idx).ok_or(TreeError::PathNotFound {
-                path: path.clone(),
-                depth,
-            })?;
+            cur = cur
+                .children_mut()
+                .get_mut(idx)
+                .ok_or(TreeError::PathNotFound {
+                    path: path.clone(),
+                    depth,
+                })?;
             let _ = len;
         }
         Ok(cur)

@@ -93,11 +93,7 @@ impl Node {
     }
 
     /// Sets an attribute, returning the previous value if any.
-    pub fn set_attr(
-        &mut self,
-        key: impl Into<String>,
-        value: impl Into<String>,
-    ) -> Option<String> {
+    pub fn set_attr(&mut self, key: impl Into<String>, value: impl Into<String>) -> Option<String> {
         self.attrs.insert(key.into(), value.into())
     }
 
@@ -163,8 +159,7 @@ impl Node {
     pub fn describe(&self) -> String {
         let mut s = self.kind.clone();
         if !self.attrs.is_empty() {
-            let attrs: Vec<String> =
-                self.attrs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            let attrs: Vec<String> = self.attrs.iter().map(|(k, v)| format!("{k}={v}")).collect();
             s.push('(');
             s.push_str(&attrs.join(","));
             s.push(')');
@@ -218,7 +213,9 @@ mod tests {
 
     #[test]
     fn builder_and_accessors_round_trip() {
-        let mut n = Node::new("directive").with_attr("name", "port").with_text("80");
+        let mut n = Node::new("directive")
+            .with_attr("name", "port")
+            .with_text("80");
         assert_eq!(n.attr("name"), Some("port"));
         assert_eq!(n.set_attr("name", "Port"), Some("port".to_string()));
         assert_eq!(n.remove_attr("name"), Some("Port".to_string()));

@@ -127,11 +127,7 @@ impl NodeQuery {
     }
 }
 
-fn collect_descendants<'t>(
-    path: &TreePath,
-    node: &'t Node,
-    out: &mut Vec<(TreePath, &'t Node)>,
-) {
+fn collect_descendants<'t>(path: &TreePath, node: &'t Node, out: &mut Vec<(TreePath, &'t Node)>) {
     out.push((path.clone(), node));
     for (i, child) in node.children().iter().enumerate() {
         collect_descendants(&path.child(i), child, out);
@@ -384,7 +380,9 @@ mod tests {
                     Node::new("section")
                         .with_attr("name", "mysqld")
                         .with_child(
-                            Node::new("directive").with_attr("name", "port").with_text("3306"),
+                            Node::new("directive")
+                                .with_attr("name", "port")
+                                .with_text("3306"),
                         )
                         .with_child(
                             Node::new("directive")
@@ -394,7 +392,9 @@ mod tests {
                 )
                 .with_child(
                     Node::new("section").with_attr("name", "client").with_child(
-                        Node::new("directive").with_attr("name", "port").with_text("3306"),
+                        Node::new("directive")
+                            .with_attr("name", "port")
+                            .with_text("3306"),
                     ),
                 ),
         )
@@ -475,7 +475,13 @@ mod tests {
 
     #[test]
     fn parse_errors_are_reported() {
-        for s in ["", "section", "/section[", "/section[@]", "//directive[foo]"] {
+        for s in [
+            "",
+            "section",
+            "/section[",
+            "/section[@]",
+            "//directive[foo]",
+        ] {
             assert!(s.parse::<NodeQuery>().is_err(), "{s:?} should fail");
         }
     }

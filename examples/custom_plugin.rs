@@ -89,7 +89,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{profile}");
     println!("sample outcomes:");
     for outcome in profile.outcomes().iter().take(10) {
-        println!("  {:<58} -> {}", outcome.description, outcome.result.label());
+        println!(
+            "  {:<58} -> {}",
+            outcome.description,
+            outcome.result.label()
+        );
     }
     println!();
     println!(

@@ -44,8 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .outcomes()
         .iter()
         .filter(|o| {
-            matches!(o.result, InjectionResult::Undetected { .. })
-                && o.id.contains("mysqldump")
+            matches!(o.result, InjectionResult::Undetected { .. }) && o.id.contains("mysqldump")
         })
         .count();
     println!();

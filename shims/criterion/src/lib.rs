@@ -1,0 +1,149 @@
+//! Offline shim for `criterion`.
+//!
+//! A minimal wall-clock harness behind criterion's API: groups,
+//! per-benchmark throughput, `Bencher::iter` with automatic iteration
+//! calibration, and the `criterion_group!`/`criterion_main!` macros.
+//! No statistics beyond a mean over a fixed measurement window, and no
+//! HTML reports — output is one line per benchmark on stdout.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const TARGET_MEASURE: Duration = Duration::from_millis(200);
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 50,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.into(), None, 50, f);
+        self
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_benchmark(&full, self.throughput, self.sample_size, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    id: &str,
+    throughput: Option<Throughput>,
+    _samples: usize,
+    mut f: F,
+) {
+    // Calibration pass: one iteration tells us how many fit the window.
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+    let iters = (TARGET_MEASURE.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut bencher = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let mean = bencher.elapsed.as_nanos() as f64 / iters as f64;
+
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(bytes) => format!(
+            " ({:.1} MiB/s)",
+            bytes as f64 / mean * 1e9 / (1 << 20) as f64
+        ),
+        Throughput::Elements(n) => format!(" ({:.0} elem/s)", n as f64 / mean * 1e9),
+    });
+    println!(
+        "bench {id:<48} {:>12.1} ns/iter{}",
+        mean,
+        rate.unwrap_or_default()
+    );
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

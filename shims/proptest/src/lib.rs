@@ -1,0 +1,615 @@
+//! Offline shim for `proptest`.
+//!
+//! A deterministic property-testing harness exposing the API surface
+//! the workspace's test suites consume: the [`Strategy`] trait with
+//! `prop_map`/`prop_recursive`/`boxed`, regex-literal string
+//! strategies, integer-range and tuple strategies, [`Just`],
+//! `prop_oneof!`, `prop::sample::select`, `prop::option::of`,
+//! `prop::collection::vec`, `char::range`, `any::<T>()`, and the
+//! [`proptest!`] / `prop_assert*` macros.
+//!
+//! Unlike upstream proptest there is no shrinking: a failing case
+//! panics with the generated inputs' debug output left to the
+//! assertion message. Every run is fully deterministic — case `i` of a
+//! property derives its RNG seed from `i` alone.
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic SplitMix64 stream used to drive generation.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn for_case(case: u32) -> Self {
+        // Golden-ratio spread so consecutive cases decorrelate.
+        TestRng {
+            state: 0xC0FF_EE00_D15E_A5E5 ^ (u64::from(case)).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+/// Runtime configuration for a `proptest!` block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of test values.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Approximation of proptest's recursive strategies: applies
+    /// `recurse` `depth` times over the boxed leaf, so generated values
+    /// nest at most `depth` levels (leaves appear wherever the
+    /// recursive case generates zero children).
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let mut strat: BoxedStrategy<Self::Value> = Box::new(self);
+        for _ in 0..depth {
+            strat = Box::new(recurse(strat));
+        }
+        strat
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always produces a clone of the given value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// String-literal strategies: the literal is a regex over the subset
+/// `[class]{m,n}`, escapes, and plain characters, generating matching
+/// strings.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        regex_gen::generate(self, rng)
+    }
+}
+
+mod regex_gen {
+    use super::TestRng;
+
+    enum Atom {
+        Literal(char),
+        Class(Vec<(char, char)>),
+    }
+
+    struct Piece {
+        atom: Atom,
+        min: u32,
+        max: u32,
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            '0' => '\0',
+            other => other,
+        }
+    }
+
+    fn parse(pattern: &str) -> Vec<Piece> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pieces = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '[' => {
+                    i += 1;
+                    let mut ranges = Vec::new();
+                    while i < chars.len() && chars[i] != ']' {
+                        let lo = if chars[i] == '\\' {
+                            i += 1;
+                            unescape(chars[i])
+                        } else {
+                            chars[i]
+                        };
+                        i += 1;
+                        if i + 1 < chars.len() && chars[i] == '-' && chars[i + 1] != ']' {
+                            i += 1;
+                            let hi = if chars[i] == '\\' {
+                                i += 1;
+                                unescape(chars[i])
+                            } else {
+                                chars[i]
+                            };
+                            i += 1;
+                            ranges.push((lo, hi));
+                        } else {
+                            ranges.push((lo, lo));
+                        }
+                    }
+                    assert!(
+                        i < chars.len(),
+                        "unterminated character class in pattern {pattern:?}"
+                    );
+                    i += 1; // consume ']'
+                    Atom::Class(ranges)
+                }
+                '\\' => {
+                    i += 1;
+                    let c = unescape(chars[i]);
+                    i += 1;
+                    Atom::Literal(c)
+                }
+                c => {
+                    i += 1;
+                    Atom::Literal(c)
+                }
+            };
+            let (min, max) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| p + i)
+                    .unwrap_or_else(|| panic!("unterminated quantifier in pattern {pattern:?}"));
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse().expect("quantifier min"),
+                        n.trim().parse().expect("quantifier max"),
+                    ),
+                    None => {
+                        let exact: u32 = body.trim().parse().expect("quantifier count");
+                        (exact, exact)
+                    }
+                }
+            } else if i < chars.len() && chars[i] == '*' {
+                i += 1;
+                (0, 8)
+            } else if i < chars.len() && chars[i] == '+' {
+                i += 1;
+                (1, 8)
+            } else if i < chars.len() && chars[i] == '?' {
+                i += 1;
+                (0, 1)
+            } else {
+                (1, 1)
+            };
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse(pattern) {
+            let count = piece.min + (rng.below(u64::from(piece.max - piece.min + 1)) as u32);
+            for _ in 0..count {
+                match &piece.atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Class(ranges) => {
+                        let total: u64 = ranges
+                            .iter()
+                            .map(|(lo, hi)| u64::from(*hi as u32 - *lo as u32 + 1))
+                            .sum();
+                        let mut pick = rng.below(total);
+                        for (lo, hi) in ranges {
+                            let span = u64::from(*hi as u32 - *lo as u32 + 1);
+                            if pick < span {
+                                out.push(
+                                    char::from_u32(*lo as u32 + pick as u32)
+                                        .expect("class range stays in valid chars"),
+                                );
+                                break;
+                            }
+                            pick -= span;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                // i128 holds every 64-bit value of either signedness, so
+                // the difference is exact even for negative starts.
+                let span = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let diff = (hi as i128 - lo as i128) as u64;
+                if diff == u64::MAX {
+                    // Full-width range: every bit pattern is valid.
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.below(diff + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// Uniform choice among boxed alternatives; built by `prop_oneof!`.
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.arms.len() as u64) as usize;
+        self.arms[idx].generate(rng)
+    }
+}
+
+/// Types with a canonical strategy, reachable through [`any`].
+pub trait Arbitrary: Sized {
+    fn arbitrary() -> BoxedStrategy<Self>;
+}
+
+pub fn any<A: Arbitrary>() -> BoxedStrategy<A> {
+    A::arbitrary()
+}
+
+struct FromFn<T>(fn(&mut TestRng) -> T, PhantomData<T>);
+
+impl<T> Strategy for FromFn<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary() -> BoxedStrategy<bool> {
+        Box::new(FromFn(|rng| rng.next_u64() & 1 == 1, PhantomData))
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary() -> BoxedStrategy<$t> {
+                Box::new(FromFn(|rng| rng.next_u64() as $t, PhantomData))
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    pub struct Select<T: Clone>(Vec<T>);
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0[rng.below(self.0.len() as u64) as usize].clone()
+        }
+    }
+
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "sample::select needs options");
+        Select(options)
+    }
+}
+
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            // Matches upstream's default 3:1 Some:None weighting.
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start).max(1) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(
+            size.start < size.end,
+            "collection::vec needs a non-empty size range"
+        );
+        VecStrategy { element, size }
+    }
+}
+
+pub mod char {
+    use super::{Strategy, TestRng};
+
+    pub struct CharRange(char, char);
+
+    impl Strategy for CharRange {
+        type Value = char;
+
+        fn generate(&self, rng: &mut TestRng) -> char {
+            let (lo, hi) = (self.0 as u32, self.1 as u32);
+            loop {
+                let pick = lo + rng.below(u64::from(hi - lo + 1)) as u32;
+                if let Some(c) = char::from_u32(pick) {
+                    return c;
+                }
+            }
+        }
+    }
+
+    /// Chars in `[start, end]`, both inclusive, like upstream.
+    pub fn range(start: char, end: char) -> CharRange {
+        assert!(start <= end, "char::range needs start <= end");
+        CharRange(start, end)
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($arg:tt)*) => { assert_ne!($($arg)*) };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_body! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { config = (<$crate::ProptestConfig as ::std::default::Default>::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (
+        config = ($cfg:expr);
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut __rng = $crate::TestRng::for_case(case);
+                    $(let $pat = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Strategy, TestRng};
+
+    #[test]
+    fn signed_ranges_with_negative_start_stay_in_bounds() {
+        let mut rng = TestRng::for_case(0);
+        for _ in 0..1000 {
+            let v = (-5i32..5).generate(&mut rng);
+            assert!((-5..5).contains(&v));
+            let w = (-128i8..=127).generate(&mut rng);
+            assert!((-128..=127).contains(&w));
+        }
+    }
+
+    #[test]
+    fn full_width_inclusive_range_does_not_panic() {
+        let mut rng = TestRng::for_case(1);
+        for _ in 0..100 {
+            let _ = (i64::MIN..=i64::MAX).generate(&mut rng);
+            let _ = (u64::MIN..=u64::MAX).generate(&mut rng);
+        }
+    }
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut rng = TestRng::for_case(2);
+        for _ in 0..200 {
+            let s = "[a-zA-Z][a-zA-Z0-9_]{0,10}".generate(&mut rng);
+            assert!((1..=11).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_alphabetic(), "{s:?}");
+            let t = "[ -~\\n\\t]{0,200}".generate(&mut rng);
+            assert!(t.chars().count() <= 200);
+            assert!(t
+                .chars()
+                .all(|c| (' '..='~').contains(&c) || c == '\n' || c == '\t'));
+        }
+    }
+}

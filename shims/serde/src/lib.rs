@@ -1,0 +1,21 @@
+//! Offline shim for `serde`.
+//!
+//! Exposes the two trait names the workspace imports plus the derive
+//! macros (re-exported from the shim `serde_derive`, occupying the
+//! macro namespace alongside the traits exactly as the real crate
+//! does). No serializer backend exists — none is consumed anywhere in
+//! the workspace.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub mod de {
+    pub trait DeserializeOwned {}
+    impl<T: for<'de> super::Deserialize<'de>> DeserializeOwned for T {}
+}

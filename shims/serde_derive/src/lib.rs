@@ -1,0 +1,19 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its public data
+//! types but never calls a serializer (exports are hand-rolled CSV and
+//! JSON in `conferr::export`), so the derives only need to *accept* the
+//! input — including inert `#[serde(...)]` field attributes — and emit
+//! nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -8,9 +8,7 @@ use conferr_model::StructuralKind;
 use conferr_plugins::{
     DnsSemanticPlugin, StructuralPlugin, TokenClass, TypoPlugin, VariationClass, VariationPlugin,
 };
-use conferr_sut::{
-    ApacheSim, BindSim, DjbdnsSim, MySqlSim, PostgresSim, SystemUnderTest,
-};
+use conferr_sut::{ApacheSim, BindSim, DjbdnsSim, MySqlSim, PostgresSim, SystemUnderTest};
 
 fn assert_profile_sane(profile: &ResilienceProfile) {
     let s = profile.summary();
@@ -71,7 +69,10 @@ fn postgres_full_typo_campaign() {
 fn apache_full_typo_campaign() {
     let mut sut = ApacheSim::new();
     let profile = typo_campaign(&mut sut);
-    assert!(profile.len() > 1000, "98 directives yield a huge fault load");
+    assert!(
+        profile.len() > 1000,
+        "98 directives yield a huge fault load"
+    );
     assert_profile_sane(&profile);
     // Apache's lax value validation leaves most value typos unseen.
     let s = profile.summary();
@@ -81,7 +82,10 @@ fn apache_full_typo_campaign() {
 #[test]
 fn structural_campaigns_run_on_all_section_systems() {
     for (name, sut) in [
-        ("mysql", Box::new(MySqlSim::new()) as Box<dyn SystemUnderTest>),
+        (
+            "mysql",
+            Box::new(MySqlSim::new()) as Box<dyn SystemUnderTest>,
+        ),
         ("postgres", Box::new(PostgresSim::new())),
         ("apache", Box::new(ApacheSim::new())),
     ] {
@@ -117,7 +121,10 @@ fn dns_campaigns_cover_both_servers() {
         campaign.add_generator(Box::new(DnsSemanticPlugin::bind()));
         let profile = campaign.run().expect("run");
         assert_profile_sane(&profile);
-        assert!(profile.summary().inexpressible == 0, "zone files express everything");
+        assert!(
+            profile.summary().inexpressible == 0,
+            "zone files express everything"
+        );
         assert!(profile.summary().detected_at_startup > 0);
         assert!(profile.summary().undetected > 0);
     }

@@ -102,7 +102,11 @@ fn mysql_tool_section_errors_stay_latent_until_the_tool_runs() {
         .parse()
         .expect("query");
     let tree = campaign.baseline().get("my.cnf").expect("my.cnf");
-    let path = query.select(tree).into_iter().next().expect("quick directive");
+    let path = query
+        .select(tree)
+        .into_iter()
+        .next()
+        .expect("quick directive");
     let faults = vec![GeneratedFault::Scenario(FaultScenario {
         id: "latent".into(),
         description: "typo in [mysqldump] quick".into(),
@@ -117,7 +121,10 @@ fn mysql_tool_section_errors_stay_latent_until_the_tool_runs() {
     let profile = campaign.run_faults(faults).expect("run");
     // The daemon starts and the admin smoke test passes.
     assert!(
-        matches!(profile.outcomes()[0].result, InjectionResult::Undetected { .. }),
+        matches!(
+            profile.outcomes()[0].result,
+            InjectionResult::Undetected { .. }
+        ),
         "{:?}",
         profile.outcomes()[0].result
     );
@@ -125,8 +132,7 @@ fn mysql_tool_section_errors_stay_latent_until_the_tool_runs() {
     // But the backup tool, run later, trips over it.
     let configs = conferr_sut::default_configs(&sut);
     let mut broken = configs.clone();
-    *broken.get_mut("my.cnf").expect("my.cnf") =
-        broken["my.cnf"].replace("quick", "qiuck");
+    *broken.get_mut("my.cnf").expect("my.cnf") = broken["my.cnf"].replace("quick", "qiuck");
     assert!(sut.start(&broken).is_running());
     let tool = sut.run_test("mysqldump-tool");
     assert!(!tool.passed(), "the tool must surface the latent error");
@@ -155,7 +161,10 @@ fn apache_accepts_freeform_server_admin() {
     // email address; ... freeform strings are readily accepted here."
     let mut sut = ApacheSim::new();
     let result = inject_value(&mut sut, "ServerAdmin", "not an email at all");
-    assert!(matches!(result, InjectionResult::Undetected { .. }), "{result}");
+    assert!(
+        matches!(result, InjectionResult::Undetected { .. }),
+        "{result}"
+    );
 }
 
 #[test]
@@ -164,7 +173,10 @@ fn apache_accepts_freeform_server_name() {
     // accepts anything."
     let mut sut = ApacheSim::new();
     let result = inject_value(&mut sut, "ServerName", "definitely not a hostname!");
-    assert!(matches!(result, InjectionResult::Undetected { .. }), "{result}");
+    assert!(
+        matches!(result, InjectionResult::Undetected { .. }),
+        "{result}"
+    );
 }
 
 #[test]

@@ -13,13 +13,23 @@ fn xml_typo_campaign_produces_all_three_outcome_kinds() {
     let mut campaign = Campaign::new(&mut sut).expect("campaign");
     campaign.add_generator(Box::new(XmlAttrTypoPlugin::new(Keyboard::qwerty_us())));
     let profile = campaign.run().expect("run");
-    assert!(profile.len() > 100, "rich fault load, got {}", profile.len());
+    assert!(
+        profile.len() > 100,
+        "rich fault load, got {}",
+        profile.len()
+    );
 
     let s = profile.summary();
     assert_eq!(s.skipped, 0);
     assert!(s.detected_at_startup > 0, "{s:?}");
-    assert!(s.detected_by_tests > 0, "port/context typos must reach the deploy check: {s:?}");
-    assert!(s.undetected > 0, "free-form attributes must absorb typos: {s:?}");
+    assert!(
+        s.detected_by_tests > 0,
+        "port/context typos must reach the deploy check: {s:?}"
+    );
+    assert!(
+        s.undetected > 0,
+        "free-form attributes must absorb typos: {s:?}"
+    );
 }
 
 #[test]
