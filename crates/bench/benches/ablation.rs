@@ -61,10 +61,12 @@ fn value_faults(
     per_directive: usize,
     seed: u64,
 ) -> Vec<GeneratedFault> {
-    let query: NodeQuery = "//directive".parse().expect("static query");
+    static DIRECTIVE: std::sync::LazyLock<NodeQuery> =
+        std::sync::LazyLock::new(|| "//directive".parse().expect("static query"));
+    let query: &NodeQuery = &DIRECTIVE;
     let mut out = Vec::new();
     let mut rng = StdRng::seed_from_u64(seed);
-    for (file, tree) in campaign.baseline().clone().iter() {
+    for (file, tree) in campaign.baseline().iter() {
         for (path, node) in query.select_nodes(tree) {
             let Some(value) = node.text() else { continue };
             if value.is_empty() {

@@ -1,0 +1,178 @@
+//! Machine-readable campaign-engine timings — the repo's perf
+//! trajectory anchor.
+//!
+//! Runs the full §5.2 fault load (Table 1 protocol: every-directive
+//! deletion plus sampled name/value typos) against MySQL, Postgres
+//! and Apache, `repeat` times over, through both drivers:
+//!
+//! * **serial** — one `Campaign`, one SUT, one thread (with the
+//!   copy-on-write apply and cached baseline serialization);
+//! * **parallel** — `ParallelCampaign`, one worker and one SUT
+//!   instance per thread, outcomes merged in fault order.
+//!
+//! The two profiles are asserted identical before any timing is
+//! reported, then wall-clock numbers go to `BENCH_campaign.json`.
+//! The parallel speedup scales with core count; on a single-core
+//! machine it only measures sharding overhead.
+//!
+//! ```text
+//! cargo run --release -p conferr-bench --bin bench_campaign [repeat] [threads]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use conferr::{sut_factory, Campaign, ParallelCampaign, ResilienceProfile};
+use conferr_bench::{default_threads, table1_faultload, DEFAULT_SEED};
+use conferr_keyboard::Keyboard;
+use conferr_model::GeneratedFault;
+use conferr_sut::{ApacheSim, MySqlSim, PostgresSim, SystemUnderTest};
+
+/// Pre-PR serial driver total (same host, `repeat` = 20): the
+/// deep-clone-everything, serialize-everything engine this PR
+/// replaced. Kept as the fixed reference point of the trajectory.
+const PRE_PR_SERIAL_TOTAL_MS: f64 = 1440.0;
+const PRE_PR_REPEAT: usize = 20;
+
+/// Timing row for one system.
+struct Row {
+    system: String,
+    faults: usize,
+    serial_ms: f64,
+    parallel_ms: f64,
+}
+
+/// Builds the repeated §5.2 fault load for one system.
+fn faultload(sut: &mut dyn SystemUnderTest, repeat: usize) -> Vec<GeneratedFault> {
+    let keyboard = Keyboard::qwerty_us();
+    let campaign = Campaign::new(sut).expect("campaign");
+    let one = table1_faultload(campaign.baseline(), &keyboard, DEFAULT_SEED);
+    let mut out = Vec::with_capacity(one.len() * repeat);
+    for _ in 0..repeat {
+        out.extend(one.iter().cloned());
+    }
+    out
+}
+
+fn run_system<F>(make_sut: F, repeat: usize, threads: usize) -> Row
+where
+    F: Fn() -> Box<dyn SystemUnderTest> + Sync,
+{
+    let mut sut = make_sut();
+    let system = sut.name().to_string();
+    let faults = faultload(sut.as_mut(), repeat);
+    let n = faults.len();
+
+    let mut campaign = Campaign::new(sut.as_mut()).expect("campaign");
+    // Clone outside the timed region: both drivers must be measured
+    // over identical work (the parallel run below moves `faults`).
+    let serial_faults = faults.clone();
+    let start = Instant::now();
+    let serial = campaign.run_faults(serial_faults).expect("serial run");
+    let serial_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let parallel_campaign = ParallelCampaign::new(&make_sut)
+        .expect("campaign")
+        .with_threads(threads);
+    let start = Instant::now();
+    let parallel = parallel_campaign.run_faults(faults).expect("parallel run");
+    let parallel_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    assert_profiles_identical(&serial, &parallel);
+    Row {
+        system,
+        faults: n,
+        serial_ms,
+        parallel_ms,
+    }
+}
+
+/// The timing comparison is only meaningful if both drivers computed
+/// the same thing.
+fn assert_profiles_identical(serial: &ResilienceProfile, parallel: &ResilienceProfile) {
+    assert_eq!(
+        conferr::profile_to_json(serial),
+        conferr::profile_to_json(parallel),
+        "parallel profile diverged from serial"
+    );
+}
+
+fn main() {
+    let repeat: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
+    let threads: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(default_threads);
+
+    println!("campaign engine, full Table 1 fault load x{repeat}, {threads} thread(s)");
+    let rows = [
+        run_system(sut_factory(MySqlSim::new), repeat, threads),
+        run_system(sut_factory(PostgresSim::new), repeat, threads),
+        run_system(sut_factory(ApacheSim::new), repeat, threads),
+    ];
+
+    for row in &rows {
+        println!(
+            "{:<14} {:>6} faults  serial {:>9.1} ms  parallel {:>9.1} ms  speedup {:>5.2}x",
+            row.system,
+            row.faults,
+            row.serial_ms,
+            row.parallel_ms,
+            row.serial_ms / row.parallel_ms
+        );
+    }
+    let total_serial: f64 = rows.iter().map(|r| r.serial_ms).sum();
+    let total_parallel: f64 = rows.iter().map(|r| r.parallel_ms).sum();
+    println!(
+        "{:<14} {:>6}         serial {total_serial:>9.1} ms  parallel {total_parallel:>9.1} ms  \
+         speedup {:>5.2}x",
+        "TOTAL",
+        "",
+        total_serial / total_parallel
+    );
+    if repeat == PRE_PR_REPEAT {
+        println!(
+            "pre-PR serial reference (same fault load): {PRE_PR_SERIAL_TOTAL_MS:.1} ms -> \
+             {:.2}x vs parallel",
+            PRE_PR_SERIAL_TOTAL_MS / total_parallel
+        );
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"schema\": \"conferr-bench-campaign/v1\",");
+    let _ = writeln!(json, "  \"repeat\": {repeat},");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(
+        json,
+        "  \"pre_pr_serial_total_ms\": {{\"value\": {PRE_PR_SERIAL_TOTAL_MS}, \
+         \"repeat\": {PRE_PR_REPEAT}, \"note\": \"pre-COW deep-clone serial driver, same host as the committed run\"}},"
+    );
+    json.push_str("  \"systems\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"system\": \"{}\", \"faults\": {}, \"serial_ms\": {:.1}, \
+             \"parallel_ms\": {:.1}, \"speedup\": {:.2}}}{comma}",
+            row.system,
+            row.faults,
+            row.serial_ms,
+            row.parallel_ms,
+            row.serial_ms / row.parallel_ms
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"total\": {{\"serial_ms\": {total_serial:.1}, \"parallel_ms\": {total_parallel:.1}, \
+         \"speedup\": {:.2}}}",
+        total_serial / total_parallel
+    );
+    json.push_str("}\n");
+    std::fs::write("BENCH_campaign.json", &json).expect("write BENCH_campaign.json");
+    println!("wrote BENCH_campaign.json");
+}

@@ -2,19 +2,19 @@
 //! MySQL vs Postgres, across all directives (paper §5.5).
 //!
 //! ```text
-//! cargo run -p conferr-bench --bin fig3 [seed]
+//! cargo run -p conferr-bench --bin fig3 [seed]   # CONFERR_THREADS=n to pin workers
 //! ```
 
 use conferr::report::stacked_bar;
 use conferr::DetectionBand;
-use conferr_bench::{figure3, DEFAULT_SEED};
+use conferr_bench::{figure3_parallel, threads_from_env, DEFAULT_SEED};
 
 fn main() {
     let seed = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(DEFAULT_SEED);
-    let report = figure3(seed).expect("figure 3 comparison failed");
+    let report = figure3_parallel(seed, threads_from_env()).expect("figure 3 comparison failed");
 
     println!("Figure 3. Resilience to typos in MySQL and Postgres, across all directives");
     println!("(seed {seed}; 20 value-typo experiments per directive; booleans excluded)");

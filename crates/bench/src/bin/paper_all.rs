@@ -5,6 +5,10 @@
 //! ```text
 //! cargo run -p conferr-bench --bin paper_all [seed]
 //! ```
+//!
+//! Every sibling binary runs its campaigns on the parallel engine,
+//! one worker per core; set `CONFERR_THREADS=n` (inherited by the
+//! spawned binaries) to pin the worker count.
 
 use std::process::Command;
 

@@ -2,20 +2,21 @@
 //! Apache (paper §5.2).
 //!
 //! ```text
-//! cargo run -p conferr-bench --bin table1 [seed]
+//! cargo run -p conferr-bench --bin table1 [seed]   # CONFERR_THREADS=n to pin workers
 //! ```
 
 use conferr::report::TextTable;
-use conferr_bench::{table1, DEFAULT_SEED};
+use conferr_bench::{table1_parallel, threads_from_env, DEFAULT_SEED};
 
 fn main() {
     let seed = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(DEFAULT_SEED);
-    let columns = table1(seed).expect("table 1 campaign failed");
+    let threads = threads_from_env();
+    let columns = table1_parallel(seed, threads).expect("table 1 campaign failed");
 
-    println!("Table 1. Resilience to typos (seed {seed})");
+    println!("Table 1. Resilience to typos (seed {seed}, {threads} worker thread(s))");
     println!("(deletion of every directive + sampled typos in directive names and values)");
     println!();
     let mut t = TextTable::new(vec!["", &columns[0].0, &columns[1].0, &columns[2].0]);

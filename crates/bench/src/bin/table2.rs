@@ -3,18 +3,18 @@
 //! (paper §5.3).
 //!
 //! ```text
-//! cargo run -p conferr-bench --bin table2 [seed]
+//! cargo run -p conferr-bench --bin table2 [seed]   # CONFERR_THREADS=n to pin workers
 //! ```
 
 use conferr::report::TextTable;
-use conferr_bench::{table2, DEFAULT_SEED};
+use conferr_bench::{table2_parallel, threads_from_env, DEFAULT_SEED};
 
 fn main() {
     let seed = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(DEFAULT_SEED);
-    let t2 = table2(seed).expect("table 2 campaign failed");
+    let t2 = table2_parallel(seed, threads_from_env()).expect("table 2 campaign failed");
 
     println!("Table 2. Resilience to structural errors (seed {seed}; 10 variant files per class)");
     println!();

@@ -2,14 +2,14 @@
 //! for BIND and djbdns (paper §5.4).
 //!
 //! ```text
-//! cargo run -p conferr-bench --bin table3
+//! cargo run -p conferr-bench --bin table3   # CONFERR_THREADS=n to pin workers
 //! ```
 
 use conferr::report::TextTable;
-use conferr_bench::table3;
+use conferr_bench::{table3_parallel, threads_from_env};
 
 fn main() {
-    let t3 = table3().expect("table 3 campaign failed");
+    let t3 = table3_parallel(threads_from_env()).expect("table 3 campaign failed");
 
     println!("Table 3. Resilience to semantic errors");
     println!();

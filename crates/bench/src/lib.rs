@@ -20,10 +20,12 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 use std::collections::BTreeMap;
+use std::sync::LazyLock;
 
 use conferr::{
-    value_typo_resilience, Campaign, CampaignError, ComparisonReport, InjectionResult,
-    ProfileSummary, ResilienceProfile,
+    parallel_indexed_map, parallel_value_typo_resilience, sut_factory, value_typo_resilience,
+    Campaign, CampaignError, ComparisonReport, InjectionResult, ParallelCampaign, ProfileSummary,
+    ResilienceProfile,
 };
 use conferr_keyboard::Keyboard;
 use conferr_model::{
@@ -55,6 +57,21 @@ const DIRECTIVES_PER_FILE: usize = 10;
 /// listening-port directives whose typos only functional tests catch.
 pub const DEFAULT_SEED: u64 = 1912; // RFC 1912, the DNS error catalogue.
 
+pub use conferr::default_threads;
+
+/// Worker-thread count for the paper binaries: the `CONFERR_THREADS`
+/// environment variable when set (and positive), the machine's
+/// available parallelism otherwise. An environment variable rather
+/// than a positional argument keeps the binaries' `[seed]` CLI stable
+/// (and lets `paper_all` forward one seed to every sibling).
+pub fn threads_from_env() -> usize {
+    std::env::var("CONFERR_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|n| *n > 0)
+        .unwrap_or_else(default_threads)
+}
+
 /// All five typo submodels applied to one token, concatenated.
 pub fn all_typos(keyboard: &Keyboard, token: &str) -> Vec<(String, String)> {
     let mut out = Vec::new();
@@ -74,8 +91,11 @@ pub fn all_typos(keyboard: &Keyboard, token: &str) -> Vec<(String, String)> {
 /// plus sampled typos in directive names and values (10 directives per
 /// file for each, 6 seeded variants per selected directive).
 pub fn table1_faultload(set: &ConfigSet, keyboard: &Keyboard, seed: u64) -> Vec<GeneratedFault> {
+    /// `//directive`, parsed once per process.
+    static DIRECTIVE: LazyLock<NodeQuery> =
+        LazyLock::new(|| "//directive".parse().expect("static query"));
+    let query: &NodeQuery = &DIRECTIVE;
     let mut out = Vec::new();
-    let query: NodeQuery = "//directive".parse().expect("static query");
     // (a) Deletion of entire directives.
     for (file, tree) in set.iter() {
         for (path, node) in query.select_nodes(tree) {
@@ -188,6 +208,52 @@ pub fn table1(seed: u64) -> Result<Vec<(String, ProfileSummary)>, CampaignError>
     Ok(out)
 }
 
+/// One Table 1 column through the parallel driver. Byte-identical to
+/// [`table1_column`] — only wall-clock time differs.
+///
+/// # Errors
+///
+/// Propagates campaign failures.
+pub fn table1_column_parallel<F>(
+    make_sut: F,
+    seed: u64,
+    threads: usize,
+) -> Result<ResilienceProfile, CampaignError>
+where
+    F: Fn() -> Box<dyn SystemUnderTest> + Sync,
+{
+    let keyboard = Keyboard::qwerty_us();
+    let campaign = ParallelCampaign::new(make_sut)?.with_threads(threads);
+    let faults = table1_faultload(campaign.baseline(), &keyboard, seed);
+    campaign.run_faults(faults)
+}
+
+/// The full Table 1 through the parallel driver; identical numbers to
+/// [`table1`].
+///
+/// # Errors
+///
+/// Propagates campaign failures.
+pub fn table1_parallel(
+    seed: u64,
+    threads: usize,
+) -> Result<Vec<(String, ProfileSummary)>, CampaignError> {
+    Ok(vec![
+        (
+            "MySQL".to_string(),
+            table1_column_parallel(sut_factory(MySqlSim::new), seed, threads)?.summary(),
+        ),
+        (
+            "Postgres".to_string(),
+            table1_column_parallel(sut_factory(PostgresSim::new), seed, threads)?.summary(),
+        ),
+        (
+            "Apache".to_string(),
+            table1_column_parallel(sut_factory(ApacheSim::new), seed, threads)?.summary(),
+        ),
+    ])
+}
+
 /// One cell of Table 2: `Some(true)` = all variants accepted,
 /// `Some(false)` = at least one rejected, `None` = not applicable.
 pub type Table2Cell = Option<bool>;
@@ -267,6 +333,56 @@ pub fn table2(seed: u64) -> Result<Table2, CampaignError> {
         rows.push((class.label().to_string(), cells));
     }
     Ok(Table2 { systems, rows })
+}
+
+/// [`table2`] with the independent (class, system) cells sharded
+/// across worker threads; identical verdicts to the serial run (each
+/// cell constructs its own SUT and campaign either way).
+///
+/// # Errors
+///
+/// Propagates the first per-cell campaign failure.
+pub fn table2_parallel(seed: u64, threads: usize) -> Result<Table2, CampaignError> {
+    const SYSTEMS: [&str; 3] = ["MySQL", "Postgres", "Apache"];
+    let classes = VariationClass::ALL;
+
+    // Cells in row-major order; the Apache section-order cell is n/a
+    // by construction (see `table2`) and never scheduled.
+    let jobs: Vec<(usize, usize)> = classes
+        .iter()
+        .enumerate()
+        .flat_map(|(row, class)| {
+            (0..SYSTEMS.len())
+                .filter(move |col| {
+                    !(SYSTEMS[*col] == "Apache" && *class == VariationClass::SectionOrder)
+                })
+                .map(move |col| (row, col))
+        })
+        .collect();
+
+    // Each cell constructs its own SUT, so the stateless shared
+    // scheduler applies directly.
+    let cells = parallel_indexed_map(&jobs, threads, |_, &(row, col)| {
+        let class = classes[row];
+        let verdict = match SYSTEMS[col] {
+            "MySQL" => variation_verdict(&mut MySqlSim::new(), class, seed),
+            "Postgres" => variation_verdict(&mut PostgresSim::new(), class, seed),
+            _ => variation_verdict(&mut ApacheSim::new(), class, seed),
+        };
+        (row, col, verdict)
+    });
+
+    let mut rows: Vec<(String, Vec<Table2Cell>)> = classes
+        .iter()
+        .map(|class| (class.label().to_string(), vec![None; SYSTEMS.len()]))
+        .collect();
+    for (row, col, verdict) in cells {
+        rows[row].1[col] = verdict?;
+    }
+    Ok(Table2 {
+        systems: SYSTEMS.iter().map(|s| s.to_string()).collect(),
+        rows,
+    })
 }
 
 /// Runs the 10 variants of one class against one system. `None` when
@@ -364,6 +480,44 @@ pub fn table3() -> Result<Table3, CampaignError> {
     })
 }
 
+/// [`table3`] through the parallel driver: each name server's
+/// semantic fault load is sharded across worker threads. Identical
+/// verdicts to the serial run.
+///
+/// # Errors
+///
+/// Propagates campaign failures.
+pub fn table3_parallel(threads: usize) -> Result<Table3, CampaignError> {
+    let kinds = DnsFaultKind::TABLE3;
+    let run_system = |make_sut: &(dyn Fn() -> Box<dyn SystemUnderTest> + Sync),
+                      plugin: DnsSemanticPlugin|
+     -> Result<Vec<Table3Verdict>, CampaignError> {
+        let campaign = ParallelCampaign::new(make_sut)?.with_threads(threads);
+        let faults = plugin.generate(campaign.baseline())?;
+        let profile = campaign.run_faults(faults)?;
+        Ok(kinds
+            .iter()
+            .map(|kind| rule_verdict(&profile, kind.rule()))
+            .collect())
+    };
+    let bind_verdicts = run_system(&sut_factory(BindSim::new), DnsSemanticPlugin::bind())?;
+    let djb_verdicts = run_system(&sut_factory(DjbdnsSim::new), DnsSemanticPlugin::tinydns())?;
+    Ok(Table3 {
+        rows: kinds
+            .iter()
+            .enumerate()
+            .map(|(i, kind)| {
+                (
+                    i + 1,
+                    kind.description().to_string(),
+                    bind_verdicts[i],
+                    djb_verdicts[i],
+                )
+            })
+            .collect(),
+    })
+}
+
 fn rule_verdict(profile: &ResilienceProfile, rule: &str) -> Table3Verdict {
     let outcomes: Vec<&InjectionResult> = profile
         .outcomes()
@@ -428,6 +582,52 @@ pub fn figure3(seed: u64) -> Result<ComparisonReport, CampaignError> {
             20,
             seed,
             &MySqlSim::boolean_directive_names(),
+        )?);
+    }
+    Ok(ComparisonReport { systems })
+}
+
+/// [`figure3`] through the parallel comparison runner
+/// ([`parallel_value_typo_resilience`]): per-directive experiments are
+/// sharded across worker threads, with per-directive seeding that
+/// depends only on the directive index — identical numbers to the
+/// serial run.
+///
+/// # Errors
+///
+/// Propagates campaign failures.
+pub fn figure3_parallel(seed: u64, threads: usize) -> Result<ComparisonReport, CampaignError> {
+    let keyboard = Keyboard::qwerty_us();
+    let mutator = move |value: &str| all_typos(&keyboard, value);
+
+    let mut systems = Vec::new();
+    {
+        let mut configs = BTreeMap::new();
+        configs.insert(
+            "postgresql.conf".to_string(),
+            PostgresSim::full_coverage_config(),
+        );
+        systems.push(parallel_value_typo_resilience(
+            sut_factory(PostgresSim::new),
+            &configs,
+            &mutator,
+            20,
+            seed,
+            &PostgresSim::boolean_directive_names(),
+            threads,
+        )?);
+    }
+    {
+        let mut configs = BTreeMap::new();
+        configs.insert("my.cnf".to_string(), MySqlSim::full_coverage_config());
+        systems.push(parallel_value_typo_resilience(
+            sut_factory(MySqlSim::new),
+            &configs,
+            &mutator,
+            20,
+            seed,
+            &MySqlSim::boolean_directive_names(),
+            threads,
         )?);
     }
     Ok(ComparisonReport { systems })

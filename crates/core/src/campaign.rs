@@ -5,9 +5,19 @@
 //! plugin for its fault load, and for every fault performs the
 //! inject → serialize → start → test → classify cycle, producing a
 //! [`ResilienceProfile`]. "None of these require human intervention."
+//!
+//! The per-injection hot path is allocation-lean: scenarios
+//! copy-on-write only the file(s) they edit (see
+//! [`conferr_model::FaultScenario::apply`]), and the driver keeps the
+//! baseline's serialized text cached so a file whose tree is still
+//! pointer-shared with the baseline is neither re-serialized nor
+//! diffed. For multi-core throughput, [`crate::ParallelCampaign`]
+//! shards a fault load across worker threads over the same shared
+//! engine.
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 use conferr_formats::{format_by_name, ConfigFormat};
 use conferr_model::{ConfigSet, ErrorGenerator, GenerateError, GeneratedFault};
@@ -40,6 +50,14 @@ pub enum CampaignError {
         /// Parser diagnostic.
         message: String,
     },
+    /// The parsed baseline failed to serialize back to text — the
+    /// round-trip the whole injection cycle depends on is broken.
+    BaselineSerialize {
+        /// The offending file.
+        file: String,
+        /// Serializer diagnostic.
+        message: String,
+    },
     /// A generator failed outright.
     Generate(GenerateError),
 }
@@ -54,6 +72,12 @@ impl fmt::Display for CampaignError {
                 write!(
                     f,
                     "baseline configuration {file:?} failed to parse: {message}"
+                )
+            }
+            CampaignError::BaselineSerialize { file, message } => {
+                write!(
+                    f,
+                    "baseline configuration {file:?} failed to serialize: {message}"
                 )
             }
             CampaignError::Generate(e) => write!(f, "{e}"),
@@ -76,32 +100,32 @@ impl From<GenerateError> for CampaignError {
     }
 }
 
-/// An injection campaign against one system-under-test.
-pub struct Campaign<'s> {
-    sut: &'s mut dyn SystemUnderTest,
-    generators: Vec<Box<dyn ErrorGenerator>>,
+/// The shared, immutable heart of a campaign: per-file
+/// parser/serializer pairs, the pristine baseline set, and the
+/// baseline's serialized text.
+///
+/// The engine is what both the serial [`Campaign`] and the
+/// [`crate::ParallelCampaign`] drive injections through. It holds no
+/// SUT and is never mutated after construction, so worker threads can
+/// share one engine by reference (`ConfigFormat` is `Send + Sync`,
+/// and the baseline's `Arc`-shared trees are immutable).
+pub(crate) struct InjectionEngine {
     formats: BTreeMap<String, Box<dyn ConfigFormat>>,
     baseline: ConfigSet,
+    /// `serialize(baseline[file])`, computed once. Injections reuse
+    /// this text verbatim for every file the scenario did not touch.
+    baseline_texts: BTreeMap<String, String>,
 }
 
-impl fmt::Debug for Campaign<'_> {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Campaign")
-            .field("sut", &self.sut.name())
-            .field("generators", &self.generators.len())
-            .field("files", &self.baseline.len())
-            .finish()
-    }
-}
-
-impl<'s> Campaign<'s> {
-    /// Creates a campaign from the SUT's default configuration files.
-    ///
-    /// # Errors
-    ///
-    /// Fails if a configuration file declares an unknown format or the
-    /// default contents do not parse.
-    pub fn new(sut: &'s mut dyn SystemUnderTest) -> Result<Self, CampaignError> {
+impl InjectionEngine {
+    /// Builds the engine from the SUT's declared configuration files,
+    /// with `overrides` (when given) replacing the default contents of
+    /// individual files. Files present in `overrides` are parsed once
+    /// — from the override text — never from the defaults.
+    pub(crate) fn new(
+        sut: &dyn SystemUnderTest,
+        overrides: Option<&BTreeMap<String, String>>,
+    ) -> Result<Self, CampaignError> {
         let mut formats = BTreeMap::new();
         let mut baseline = ConfigSet::new();
         for spec in sut.config_files() {
@@ -110,69 +134,66 @@ impl<'s> Campaign<'s> {
                     file: spec.name.clone(),
                     format: spec.format.clone(),
                 })?;
-            let tree =
-                format
-                    .parse(&spec.default_contents)
-                    .map_err(|e| CampaignError::BaselineParse {
-                        file: spec.name.clone(),
-                        message: e.to_string(),
-                    })?;
-            baseline.insert(spec.name.clone(), tree);
-            formats.insert(spec.name, format);
-        }
-        Ok(Campaign {
-            sut,
-            generators: Vec::new(),
-            formats,
-            baseline,
-        })
-    }
-
-    /// Creates a campaign from explicit configuration text instead of
-    /// the SUT defaults (used e.g. by the §5.5 comparison benchmark,
-    /// which runs against a full-coverage configuration).
-    ///
-    /// # Errors
-    ///
-    /// Same conditions as [`Campaign::new`].
-    pub fn with_configs(
-        sut: &'s mut dyn SystemUnderTest,
-        configs: &BTreeMap<String, String>,
-    ) -> Result<Self, CampaignError> {
-        let mut campaign = Campaign::new(sut)?;
-        for (file, text) in configs {
-            let Some(format) = campaign.formats.get(file) else {
-                return Err(CampaignError::UnknownFormat {
-                    file: file.clone(),
-                    format: "<undeclared file>".to_string(),
-                });
-            };
+            let text = overrides
+                .and_then(|o| o.get(&spec.name))
+                .map_or(spec.default_contents.as_str(), String::as_str);
             let tree = format
                 .parse(text)
                 .map_err(|e| CampaignError::BaselineParse {
-                    file: file.clone(),
+                    file: spec.name.clone(),
                     message: e.to_string(),
                 })?;
-            campaign.baseline.insert(file.clone(), tree);
+            baseline.insert(spec.name.clone(), tree);
+            formats.insert(spec.name, format);
         }
-        Ok(campaign)
-    }
-
-    /// Adds an error-generator plugin.
-    pub fn add_generator(&mut self, generator: Box<dyn ErrorGenerator>) -> &mut Self {
-        self.generators.push(generator);
-        self
+        if let Some(overrides) = overrides {
+            for file in overrides.keys() {
+                if !formats.contains_key(file) {
+                    return Err(CampaignError::UnknownFormat {
+                        file: file.clone(),
+                        format: "<undeclared file>".to_string(),
+                    });
+                }
+            }
+        }
+        let mut baseline_texts = BTreeMap::new();
+        for (file, tree) in baseline.iter() {
+            let text =
+                formats[file]
+                    .serialize(tree)
+                    .map_err(|e| CampaignError::BaselineSerialize {
+                        file: file.to_string(),
+                        message: e.to_string(),
+                    })?;
+            baseline_texts.insert(file.to_string(), text);
+        }
+        Ok(InjectionEngine {
+            formats,
+            baseline,
+            baseline_texts,
+        })
     }
 
     /// The parsed baseline configuration set.
-    pub fn baseline(&self) -> &ConfigSet {
+    pub(crate) fn baseline(&self) -> &ConfigSet {
         &self.baseline
     }
 
-    /// Serializes a configuration set to per-file text.
+    /// Serializes a configuration set to per-file text. Files whose
+    /// tree is still pointer-shared with the baseline reuse the cached
+    /// baseline text instead of walking the tree again, so the cost is
+    /// proportional to the files an edit touched.
     fn serialize_set(&self, set: &ConfigSet) -> Result<BTreeMap<String, String>, String> {
         let mut out = BTreeMap::new();
-        for (file, tree) in set.iter() {
+        for (file, tree) in set.iter_arcs() {
+            if self
+                .baseline
+                .get_arc(file)
+                .is_some_and(|b| Arc::ptr_eq(b, tree))
+            {
+                out.insert(file.to_string(), self.baseline_texts[file].clone());
+                continue;
+            }
             let Some(format) = self.formats.get(file) else {
                 return Err(format!("no serializer registered for {file:?}"));
             };
@@ -188,14 +209,18 @@ impl<'s> Campaign<'s> {
 
     /// Injects one already-mutated configuration set and classifies
     /// the SUT's response.
-    fn inject_mutated(&mut self, mutated: &ConfigSet) -> InjectionResult {
+    fn inject_mutated(
+        &self,
+        sut: &mut dyn SystemUnderTest,
+        mutated: &ConfigSet,
+    ) -> InjectionResult {
         // Serialization can legitimately fail: the mutated tree may
         // not be expressible in the file format (paper §3.2/§5.4).
         let texts = match self.serialize_set(mutated) {
             Ok(t) => t,
             Err(reason) => return InjectionResult::Inexpressible { reason },
         };
-        let start = self.sut.start(&texts);
+        let start = sut.start(&texts);
         let result = match start {
             StartOutcome::FailedToStart { diagnostic } => {
                 InjectionResult::DetectedAtStartup { diagnostic }
@@ -206,8 +231,8 @@ impl<'s> Campaign<'s> {
                     _ => Vec::new(),
                 };
                 let mut failed: Option<(String, String)> = None;
-                for test in self.sut.test_names() {
-                    match self.sut.run_test(&test) {
+                for test in sut.test_names() {
+                    match sut.run_test(&test) {
                         conferr_sut::TestOutcome::Passed => {}
                         conferr_sut::TestOutcome::Failed { diagnostic } => {
                             failed = Some((test, diagnostic));
@@ -223,16 +248,18 @@ impl<'s> Campaign<'s> {
                 }
             }
         };
-        self.sut.stop();
+        sut.stop();
         result
     }
 
     /// Computes a short structural diff describing the injected edit.
+    /// Files still pointer-shared with the baseline are skipped
+    /// without even a structural comparison.
     fn diff_summary(&self, mutated: &ConfigSet) -> Vec<String> {
         let mut lines = Vec::new();
-        for (file, tree) in mutated.iter() {
-            if let Some(original) = self.baseline.get(file) {
-                if original == tree {
+        for (file, tree) in mutated.iter_arcs() {
+            if let Some(original) = self.baseline.get_arc(file) {
+                if Arc::ptr_eq(original, tree) || original.as_ref() == tree.as_ref() {
                     continue;
                 }
                 for op in diff(original, tree) {
@@ -247,6 +274,128 @@ impl<'s> Campaign<'s> {
         lines
     }
 
+    /// Runs one fault end to end against `sut` and records the
+    /// outcome. This is the unit of work both drivers schedule; for a
+    /// fixed engine and fault it depends only on the SUT's
+    /// deterministic start/test behaviour, never on scheduling order.
+    pub(crate) fn outcome(
+        &self,
+        sut: &mut dyn SystemUnderTest,
+        fault: GeneratedFault,
+    ) -> InjectionOutcome {
+        match fault {
+            GeneratedFault::Scenario(scenario) => {
+                let (diff, result) = match scenario.apply(&self.baseline) {
+                    Ok(mutated) => (
+                        self.diff_summary(&mutated),
+                        self.inject_mutated(sut, &mutated),
+                    ),
+                    Err(e) => (
+                        Vec::new(),
+                        InjectionResult::Skipped {
+                            reason: e.to_string(),
+                        },
+                    ),
+                };
+                InjectionOutcome {
+                    id: scenario.id,
+                    description: scenario.description,
+                    class: scenario.class,
+                    diff,
+                    result,
+                }
+            }
+            GeneratedFault::Inexpressible {
+                id,
+                description,
+                class,
+                reason,
+            } => InjectionOutcome {
+                id,
+                description,
+                class,
+                diff: Vec::new(),
+                result: InjectionResult::Inexpressible { reason },
+            },
+        }
+    }
+}
+
+impl fmt::Debug for InjectionEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("InjectionEngine")
+            .field("files", &self.baseline.len())
+            .finish()
+    }
+}
+
+/// An injection campaign against one system-under-test.
+pub struct Campaign<'s> {
+    sut: &'s mut dyn SystemUnderTest,
+    generators: Vec<Box<dyn ErrorGenerator>>,
+    engine: InjectionEngine,
+}
+
+impl fmt::Debug for Campaign<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Campaign")
+            .field("sut", &self.sut.name())
+            .field("generators", &self.generators.len())
+            .field("files", &self.engine.baseline().len())
+            .finish()
+    }
+}
+
+impl<'s> Campaign<'s> {
+    /// Creates a campaign from the SUT's default configuration files.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a configuration file declares an unknown format or the
+    /// default contents do not parse (or do not serialize back).
+    pub fn new(sut: &'s mut dyn SystemUnderTest) -> Result<Self, CampaignError> {
+        let engine = InjectionEngine::new(sut, None)?;
+        Ok(Campaign {
+            sut,
+            generators: Vec::new(),
+            engine,
+        })
+    }
+
+    /// Creates a campaign from explicit configuration text instead of
+    /// the SUT defaults (used e.g. by the §5.5 comparison benchmark,
+    /// which runs against a full-coverage configuration). Overridden
+    /// files are parsed once, from the override text; only
+    /// non-overridden files fall back to the SUT defaults.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Campaign::new`], plus an
+    /// [`CampaignError::UnknownFormat`] for override files the SUT
+    /// does not declare.
+    pub fn with_configs(
+        sut: &'s mut dyn SystemUnderTest,
+        configs: &BTreeMap<String, String>,
+    ) -> Result<Self, CampaignError> {
+        let engine = InjectionEngine::new(sut, Some(configs))?;
+        Ok(Campaign {
+            sut,
+            generators: Vec::new(),
+            engine,
+        })
+    }
+
+    /// Adds an error-generator plugin.
+    pub fn add_generator(&mut self, generator: Box<dyn ErrorGenerator>) -> &mut Self {
+        self.generators.push(generator);
+        self
+    }
+
+    /// The parsed baseline configuration set.
+    pub fn baseline(&self) -> &ConfigSet {
+        self.engine.baseline()
+    }
+
     /// Runs every generator's full fault load and returns the
     /// resilience profile — ConfErr's sole output (§3.1).
     ///
@@ -257,7 +406,7 @@ impl<'s> Campaign<'s> {
     pub fn run(&mut self) -> Result<ResilienceProfile, CampaignError> {
         let mut faults = Vec::new();
         for generator in &self.generators {
-            faults.extend(generator.generate(&self.baseline)?);
+            faults.extend(generator.generate(self.engine.baseline())?);
         }
         self.run_faults(faults)
     }
@@ -274,41 +423,46 @@ impl<'s> Campaign<'s> {
     ) -> Result<ResilienceProfile, CampaignError> {
         let mut outcomes = Vec::with_capacity(faults.len());
         for fault in faults {
-            let outcome = match fault {
-                GeneratedFault::Scenario(scenario) => {
-                    let (diff, result) = match scenario.apply(&self.baseline) {
-                        Ok(mutated) => (self.diff_summary(&mutated), self.inject_mutated(&mutated)),
-                        Err(e) => (
-                            Vec::new(),
-                            InjectionResult::Skipped {
-                                reason: e.to_string(),
-                            },
-                        ),
-                    };
-                    InjectionOutcome {
-                        id: scenario.id,
-                        description: scenario.description,
-                        class: scenario.class,
-                        diff,
-                        result,
-                    }
-                }
-                GeneratedFault::Inexpressible {
-                    id,
-                    description,
-                    class,
-                    reason,
-                } => InjectionOutcome {
-                    id,
-                    description,
-                    class,
-                    diff: Vec::new(),
-                    result: InjectionResult::Inexpressible { reason },
-                },
-            };
-            outcomes.push(outcome);
+            outcomes.push(self.engine.outcome(self.sut, fault));
         }
         Ok(ResilienceProfile::new(self.sut.name(), outcomes))
+    }
+
+    /// Runs an explicit fault load across `threads` worker threads,
+    /// each driving its own SUT instance built by `make_sut`, and
+    /// merges the outcomes back in fault order. The resulting profile
+    /// is byte-identical to a serial [`Campaign::run_faults`] over the
+    /// same faults (asserted by the integration tests): outcomes
+    /// depend only on the shared baseline and the fault, never on
+    /// which worker ran them.
+    ///
+    /// The baseline is rebuilt from the factory's SUT **defaults** —
+    /// the equivalence above holds for faults generated against a
+    /// [`Campaign::new`]-style baseline. For a fault load generated
+    /// against overridden configuration text, use
+    /// [`crate::ParallelCampaign::with_configs`] so the workers share
+    /// the same overridden baseline the faults were derived from.
+    ///
+    /// This is an associated function (not a method) because a serial
+    /// campaign holds exactly one borrowed SUT; parallel execution
+    /// needs one instance per worker. See [`crate::ParallelCampaign`]
+    /// for the reusable, generator-aware form.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the factory's SUT declares an unparseable or
+    /// unserializable default configuration.
+    pub fn run_faults_parallel<F>(
+        make_sut: F,
+        faults: Vec<GeneratedFault>,
+        threads: usize,
+    ) -> Result<ResilienceProfile, CampaignError>
+    where
+        F: Fn() -> Box<dyn SystemUnderTest> + Sync,
+    {
+        crate::ParallelCampaign::new(make_sut)?
+            .with_threads(threads)
+            .run_faults(faults)
     }
 }
 
@@ -394,5 +548,24 @@ mod tests {
             Campaign::with_configs(&mut sut, &configs),
             Err(CampaignError::UnknownFormat { .. })
         ));
+    }
+
+    #[test]
+    fn engine_caches_baseline_serialization() {
+        let mut sut = PostgresSim::new();
+        let campaign = Campaign::new(&mut sut).unwrap();
+        // The untouched baseline serializes entirely from the cache
+        // and matches a from-scratch serialization.
+        let cached = campaign.engine.serialize_set(campaign.baseline()).unwrap();
+        assert_eq!(cached, campaign.engine.baseline_texts);
+        for (file, text) in &cached {
+            let format = &campaign.engine.formats[file];
+            assert_eq!(
+                *text,
+                format
+                    .serialize(campaign.baseline().get(file).unwrap())
+                    .unwrap()
+            );
+        }
     }
 }

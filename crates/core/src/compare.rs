@@ -10,6 +10,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::LazyLock;
 
 use conferr_model::{ErrorClass, FaultScenario, GeneratedFault, TreeEdit, TypoKind};
 use conferr_sut::SystemUnderTest;
@@ -223,10 +224,12 @@ type Target = (String, TreePath, String, String);
 /// Enumerates every candidate directive of the full-coverage
 /// configuration.
 fn enumerate_targets(campaign: &Campaign<'_>, skip_directives: &[&str]) -> Vec<Target> {
-    let query: NodeQuery = "//directive".parse().expect("static query");
+    /// `//directive`, parsed once per process.
+    static DIRECTIVE: LazyLock<NodeQuery> =
+        LazyLock::new(|| "//directive".parse().expect("static query"));
     let mut targets = Vec::new();
-    for (file, tree) in campaign.baseline().clone().iter() {
-        for (path, node) in query.select_nodes(tree) {
+    for (file, tree) in campaign.baseline().iter() {
+        for (path, node) in DIRECTIVE.select_nodes(tree) {
             let Some(name) = node.attr("name") else {
                 continue;
             };

@@ -46,6 +46,7 @@ mod campaign;
 mod compare;
 mod export;
 mod outcome;
+mod parallel;
 mod profile;
 pub mod report;
 
@@ -56,4 +57,5 @@ pub use compare::{
 };
 pub use export::{profile_to_csv, profile_to_json};
 pub use outcome::{InjectionOutcome, InjectionResult};
+pub use parallel::{default_threads, parallel_indexed_map, sut_factory, ParallelCampaign};
 pub use profile::{ProfileSummary, ResilienceProfile};

@@ -1,0 +1,347 @@
+//! The parallel campaign driver: the same inject → serialize → start →
+//! test → classify cycle as [`Campaign`](crate::Campaign), sharded across worker
+//! threads.
+//!
+//! ConfErr's value is running *large* fault loads unattended (paper
+//! §3.1), and every injection is independent: it starts from the
+//! pristine baseline, drives a deterministic SUT, and tears the SUT
+//! back down. [`ParallelCampaign`] exploits that independence. One
+//! immutable injection engine (formats + baseline + cached baseline
+//! text) is shared by reference across a [`std::thread::scope`];
+//! each worker owns a private SUT instance built by the factory
+//! closure and pulls faults off a shared cursor; outcomes land in
+//! per-fault slots and are emitted in fault order. The resulting
+//! profile is **byte-identical** to a serial [`Campaign::run_faults`](crate::Campaign::run_faults)
+//! over the same fault load — scheduling affects wall-clock time,
+//! never results.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use conferr_model::{ConfigSet, ErrorGenerator, GeneratedFault};
+use conferr_sut::SystemUnderTest;
+use parking_lot::Mutex;
+
+use crate::campaign::InjectionEngine;
+use crate::{CampaignError, InjectionOutcome, ResilienceProfile};
+
+/// Default worker count for parallel drivers: every core the machine
+/// offers (1 when the parallelism cannot be determined).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `f` over `items` on up to `threads` scoped worker threads
+/// (atomic-cursor work stealing) and returns the results **in item
+/// order** — scheduling never affects the output. This is the shared
+/// scheduling primitive behind the sharded paper drivers; use it for
+/// stateless per-item work. [`ParallelCampaign::run_faults`] keeps
+/// its own loop because its workers carry per-worker state (a reused
+/// SUT instance).
+pub fn parallel_indexed_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = threads.clamp(1, items.len().max(1));
+    if workers == 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                *slots[i].lock() = Some(f(i, item));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("worker filled every slot"))
+        .collect()
+}
+
+/// A multi-threaded injection campaign against one *kind* of
+/// system-under-test.
+///
+/// Because a campaign needs exclusive access to a SUT for the
+/// duration of each injection, parallel execution requires one SUT
+/// instance per worker; the campaign is therefore built from a
+/// factory closure rather than a borrowed instance. The factory must
+/// produce identically-configured SUTs (the five built-in simulators
+/// qualify: they are deterministic state machines fully reset by
+/// `stop`).
+///
+/// # Examples
+///
+/// ```
+/// use conferr::ParallelCampaign;
+/// use conferr_keyboard::Keyboard;
+/// use conferr_plugins::{TokenClass, TypoPlugin};
+/// use conferr_sut::{PostgresSim, SystemUnderTest};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut campaign =
+///     ParallelCampaign::new(|| Box::new(PostgresSim::new()) as Box<dyn SystemUnderTest>)?;
+/// campaign.add_generator(Box::new(TypoPlugin::new(
+///     Keyboard::qwerty_us(),
+///     TokenClass::DirectiveNames,
+/// )));
+/// let profile = campaign.run()?;
+/// assert!(profile.len() > 0);
+/// # Ok(())
+/// # }
+/// ```
+pub struct ParallelCampaign<F>
+where
+    F: Fn() -> Box<dyn SystemUnderTest> + Sync,
+{
+    make_sut: F,
+    system: String,
+    engine: InjectionEngine,
+    generators: Vec<Box<dyn ErrorGenerator>>,
+    threads: usize,
+}
+
+impl<F> std::fmt::Debug for ParallelCampaign<F>
+where
+    F: Fn() -> Box<dyn SystemUnderTest> + Sync,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParallelCampaign")
+            .field("system", &self.system)
+            .field("generators", &self.generators.len())
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl<F> ParallelCampaign<F>
+where
+    F: Fn() -> Box<dyn SystemUnderTest> + Sync,
+{
+    /// Creates a parallel campaign from the SUT's default
+    /// configuration files, probing one scout instance from the
+    /// factory. Worker count defaults to the machine's available
+    /// parallelism.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Campaign::new`](crate::Campaign::new).
+    pub fn new(make_sut: F) -> Result<Self, CampaignError> {
+        Self::build(make_sut, None)
+    }
+
+    /// Creates a parallel campaign from explicit configuration text,
+    /// mirroring [`Campaign::with_configs`](crate::Campaign::with_configs) (overridden files are
+    /// parsed once, from the override text).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Campaign::with_configs`](crate::Campaign::with_configs).
+    pub fn with_configs(
+        make_sut: F,
+        configs: &BTreeMap<String, String>,
+    ) -> Result<Self, CampaignError> {
+        Self::build(make_sut, Some(configs))
+    }
+
+    fn build(
+        make_sut: F,
+        overrides: Option<&BTreeMap<String, String>>,
+    ) -> Result<Self, CampaignError> {
+        let scout = make_sut();
+        let engine = InjectionEngine::new(scout.as_ref(), overrides)?;
+        let system = scout.name().to_string();
+        Ok(ParallelCampaign {
+            make_sut,
+            system,
+            engine,
+            generators: Vec::new(),
+            threads: default_threads(),
+        })
+    }
+
+    /// Sets the worker-thread count (clamped to at least 1).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The configured worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Adds an error-generator plugin.
+    pub fn add_generator(&mut self, generator: Box<dyn ErrorGenerator>) -> &mut Self {
+        self.generators.push(generator);
+        self
+    }
+
+    /// The parsed baseline configuration set.
+    pub fn baseline(&self) -> &ConfigSet {
+        self.engine.baseline()
+    }
+
+    /// Runs every generator's full fault load, sharded across the
+    /// worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Fails only when a generator fails outright; per-fault problems
+    /// are recorded in the profile.
+    pub fn run(&self) -> Result<ResilienceProfile, CampaignError> {
+        let mut faults = Vec::new();
+        for generator in &self.generators {
+            faults.extend(generator.generate(self.engine.baseline())?);
+        }
+        self.run_faults(faults)
+    }
+
+    /// Runs an explicit fault load across the worker threads and
+    /// merges the outcomes back in fault order.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible (kept fallible for symmetry with
+    /// [`Campaign::run_faults`](crate::Campaign::run_faults)): injection problems are per-fault
+    /// outcomes, and worker threads cannot fail to launch under
+    /// [`std::thread::scope`].
+    pub fn run_faults(
+        &self,
+        faults: Vec<GeneratedFault>,
+    ) -> Result<ResilienceProfile, CampaignError> {
+        let workers = self.threads.min(faults.len()).max(1);
+        if workers == 1 {
+            // No sharding: drive one SUT on this thread, exactly like
+            // the serial campaign.
+            let mut sut = (self.make_sut)();
+            let outcomes = faults
+                .into_iter()
+                .map(|fault| self.engine.outcome(sut.as_mut(), fault))
+                .collect();
+            return Ok(ResilienceProfile::new(self.system.as_str(), outcomes));
+        }
+
+        // Work-stealing by atomic cursor: faster workers take more
+        // faults, and the per-fault slot vector keeps the merge in
+        // fault order regardless of who ran what.
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<InjectionOutcome>>> =
+            faults.iter().map(|_| Mutex::new(None)).collect();
+        // Capture only the Sync pieces — the generators (not needed
+        // by workers) are deliberately left out of the closures.
+        let engine = &self.engine;
+        let make_sut = &self.make_sut;
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut sut = make_sut();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(fault) = faults.get(i) else { break };
+                        let outcome = engine.outcome(sut.as_mut(), fault.clone());
+                        *slots[i].lock() = Some(outcome);
+                    }
+                });
+            }
+        });
+        let outcomes = slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("worker filled every slot"))
+            .collect();
+        Ok(ResilienceProfile::new(self.system.as_str(), outcomes))
+    }
+}
+
+/// Boxes a concrete SUT constructor into the factory shape
+/// [`ParallelCampaign`] and [`Campaign::run_faults_parallel`](crate::Campaign::run_faults_parallel) expect —
+/// `sut_factory(PostgresSim::new)` reads better than the closure-plus-
+/// cast it expands to.
+pub fn sut_factory<S, C>(construct: C) -> impl Fn() -> Box<dyn SystemUnderTest> + Sync
+where
+    S: SystemUnderTest + 'static,
+    C: Fn() -> S + Sync,
+{
+    move || Box::new(construct())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Campaign;
+    use conferr_keyboard::Keyboard;
+    use conferr_model::TypoKind;
+    use conferr_plugins::{TokenClass, TypoPlugin};
+    use conferr_sut::{MySqlSim, PostgresSim};
+
+    fn plugin() -> Box<TypoPlugin> {
+        Box::new(
+            TypoPlugin::new(Keyboard::qwerty_us(), TokenClass::DirectiveNames)
+                .with_kinds([TypoKind::Omission, TypoKind::Transposition]),
+        )
+    }
+
+    #[test]
+    fn parallel_profile_is_byte_identical_to_serial() {
+        let serial = {
+            let mut sut = PostgresSim::new();
+            let mut campaign = Campaign::new(&mut sut).unwrap();
+            campaign.add_generator(plugin());
+            campaign.run().unwrap()
+        };
+        for threads in [1, 2, 5] {
+            let mut parallel = ParallelCampaign::new(sut_factory(PostgresSim::new))
+                .unwrap()
+                .with_threads(threads);
+            parallel.add_generator(plugin());
+            let profile = parallel.run().unwrap();
+            assert_eq!(profile.system(), serial.system());
+            assert_eq!(profile.outcomes(), serial.outcomes(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn run_faults_parallel_matches_serial_run_faults() {
+        let mut scout = MySqlSim::new();
+        let mut campaign = Campaign::new(&mut scout).unwrap();
+        let faults = plugin().generate(campaign.baseline()).unwrap();
+        let serial = campaign.run_faults(faults.clone()).unwrap();
+        let parallel =
+            Campaign::run_faults_parallel(sut_factory(MySqlSim::new), faults, 4).unwrap();
+        assert_eq!(serial.outcomes(), parallel.outcomes());
+    }
+
+    #[test]
+    fn empty_fault_load_yields_empty_profile() {
+        let campaign = ParallelCampaign::new(sut_factory(PostgresSim::new)).unwrap();
+        let profile = campaign.run_faults(Vec::new()).unwrap();
+        assert!(profile.is_empty());
+        assert_eq!(profile.system(), "postgres-sim");
+    }
+
+    #[test]
+    fn more_threads_than_faults_is_fine() {
+        let mut campaign = ParallelCampaign::new(sut_factory(PostgresSim::new))
+            .unwrap()
+            .with_threads(64);
+        campaign.add_generator(plugin());
+        assert!(!campaign.run().unwrap().is_empty());
+    }
+
+    #[test]
+    fn thread_count_is_clamped() {
+        let campaign = ParallelCampaign::new(sut_factory(PostgresSim::new))
+            .unwrap()
+            .with_threads(0);
+        assert_eq!(campaign.threads(), 1);
+    }
+}

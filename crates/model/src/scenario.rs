@@ -297,8 +297,14 @@ pub struct FaultScenario {
 }
 
 impl FaultScenario {
-    /// Applies the scenario to a copy of `set`, returning the mutated
-    /// set.
+    /// Applies the scenario to a copy-on-write clone of `set`,
+    /// returning the mutated set.
+    ///
+    /// The clone shares every tree with `set` (cheap `Arc` bumps);
+    /// only the file(s) the edits actually touch are deep-copied
+    /// before mutation. Untouched files stay pointer-identical to
+    /// `set`'s, which downstream consumers exploit to skip
+    /// re-serialization and diffing ([`ConfigSet::shares_tree`]).
     ///
     /// # Errors
     ///
@@ -308,6 +314,15 @@ impl FaultScenario {
         let mut out = set.clone();
         for edit in &self.edits {
             let file = edit.file().to_string();
+            if let TreeEdit::ReplaceTree { tree, .. } = edit {
+                // A whole-file replacement needn't copy-on-write the
+                // outgoing tree just to overwrite it.
+                if out.get(&file).is_none() {
+                    return Err(ModelError::UnknownFile { file });
+                }
+                out.insert(file, tree.clone());
+                continue;
+            }
             let tree = out
                 .get_mut(&file)
                 .ok_or_else(|| ModelError::UnknownFile { file: file.clone() })?;

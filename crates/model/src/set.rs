@@ -1,6 +1,7 @@
 //! Named sets of configuration trees — the unit of error injection.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use conferr_tree::ConfTree;
 use serde::{Deserialize, Serialize};
@@ -11,9 +12,20 @@ use serde::{Deserialize, Serialize};
 /// system's configuration files, which is what allows cross-file
 /// errors (paper §3.1) — e.g. deleting a forward DNS mapping while the
 /// reverse zone still references it.
+///
+/// Each file's tree is held behind an [`Arc`], so cloning a set is a
+/// handful of reference-count bumps rather than a deep copy of every
+/// tree. Mutation goes through [`ConfigSet::get_mut`], which
+/// copy-on-writes only the file being edited: a campaign replaying
+/// thousands of scenarios from one pristine baseline pays per-edit
+/// cost proportional to the files an edit touches, not to the size of
+/// the whole configuration. The driver exploits the sharing further —
+/// a file whose `Arc` is still pointer-equal to the baseline's
+/// ([`ConfigSet::get_arc`], [`Arc::ptr_eq`]) provably carries no edit
+/// and needs no re-serialization or diffing.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ConfigSet {
-    files: BTreeMap<String, ConfTree>,
+    files: BTreeMap<String, Arc<ConfTree>>,
 }
 
 impl ConfigSet {
@@ -24,27 +36,52 @@ impl ConfigSet {
 
     /// Inserts (or replaces) a file, returning the previous tree if
     /// one was present.
-    pub fn insert(&mut self, name: impl Into<String>, tree: ConfTree) -> Option<ConfTree> {
+    pub fn insert(&mut self, name: impl Into<String>, tree: ConfTree) -> Option<Arc<ConfTree>> {
+        self.files.insert(name.into(), Arc::new(tree))
+    }
+
+    /// Inserts (or replaces) a file with an already-shared tree,
+    /// preserving the sharing (no deep copy).
+    pub fn insert_arc(
+        &mut self,
+        name: impl Into<String>,
+        tree: Arc<ConfTree>,
+    ) -> Option<Arc<ConfTree>> {
         self.files.insert(name.into(), tree)
     }
 
     /// Shared access to a file's tree.
     pub fn get(&self, name: &str) -> Option<&ConfTree> {
+        self.files.get(name).map(Arc::as_ref)
+    }
+
+    /// The shared handle to a file's tree. Two sets hold *the same*
+    /// (not merely equal) tree for a file when the returned handles
+    /// are [`Arc::ptr_eq`] — the cheap "this file is untouched" test
+    /// the campaign driver uses to skip serialization and diffing.
+    pub fn get_arc(&self, name: &str) -> Option<&Arc<ConfTree>> {
         self.files.get(name)
     }
 
-    /// Exclusive access to a file's tree.
+    /// Exclusive access to a file's tree, copy-on-write: if the tree
+    /// is shared with another set (e.g. the pristine baseline), it is
+    /// cloned once so the edit never leaks into the other holders.
     pub fn get_mut(&mut self, name: &str) -> Option<&mut ConfTree> {
-        self.files.get_mut(name)
+        self.files.get_mut(name).map(Arc::make_mut)
     }
 
     /// Removes a file from the set.
-    pub fn remove(&mut self, name: &str) -> Option<ConfTree> {
+    pub fn remove(&mut self, name: &str) -> Option<Arc<ConfTree>> {
         self.files.remove(name)
     }
 
     /// Iterates over `(name, tree)` pairs in name order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &ConfTree)> {
+        self.files.iter().map(|(k, v)| (k.as_str(), v.as_ref()))
+    }
+
+    /// Iterates over `(name, shared handle)` pairs in name order.
+    pub fn iter_arcs(&self) -> impl Iterator<Item = (&str, &Arc<ConfTree>)> {
         self.files.iter().map(|(k, v)| (k.as_str(), v))
     }
 
@@ -62,19 +99,32 @@ impl ConfigSet {
     pub fn is_empty(&self) -> bool {
         self.files.is_empty()
     }
+
+    /// `true` iff `self` and `other` hold the *identical* shared tree
+    /// for `name` (pointer equality, not structural equality). A
+    /// `true` result proves no edit touched the file since the sets
+    /// diverged; `false` says nothing — structurally equal trees in
+    /// distinct allocations also return `false`.
+    pub fn shares_tree(&self, other: &ConfigSet, name: &str) -> bool {
+        match (self.files.get(name), other.files.get(name)) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
 }
 
 impl FromIterator<(String, ConfTree)> for ConfigSet {
     fn from_iter<T: IntoIterator<Item = (String, ConfTree)>>(iter: T) -> Self {
         ConfigSet {
-            files: iter.into_iter().collect(),
+            files: iter.into_iter().map(|(k, v)| (k, Arc::new(v))).collect(),
         }
     }
 }
 
 impl Extend<(String, ConfTree)> for ConfigSet {
     fn extend<T: IntoIterator<Item = (String, ConfTree)>>(&mut self, iter: T) {
-        self.files.extend(iter);
+        self.files
+            .extend(iter.into_iter().map(|(k, v)| (k, Arc::new(v))));
     }
 }
 
@@ -111,5 +161,52 @@ mod tests {
             .collect();
         set.extend(vec![("b".to_string(), ConfTree::new(Node::new("config")))]);
         assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn clone_shares_trees_until_mutated() {
+        let mut set = ConfigSet::new();
+        set.insert("a.conf", ConfTree::new(Node::new("config")));
+        set.insert(
+            "b.conf",
+            ConfTree::new(Node::new("config").with_child(Node::new("directive"))),
+        );
+        let copy = set.clone();
+        assert!(copy.shares_tree(&set, "a.conf"));
+        assert!(copy.shares_tree(&set, "b.conf"));
+
+        // Mutating one file in the copy detaches only that file.
+        let mut copy = copy;
+        copy.get_mut("b.conf")
+            .unwrap()
+            .root_mut()
+            .children_mut()
+            .clear();
+        assert!(copy.shares_tree(&set, "a.conf"));
+        assert!(!copy.shares_tree(&set, "b.conf"));
+        // The original is untouched.
+        assert_eq!(set.get("b.conf").unwrap().root().children().len(), 1);
+        assert!(copy.get("b.conf").unwrap().root().children().is_empty());
+    }
+
+    #[test]
+    fn shares_tree_is_pointer_not_structural_equality() {
+        let mut a = ConfigSet::new();
+        let mut b = ConfigSet::new();
+        a.insert("x.conf", ConfTree::new(Node::new("config")));
+        b.insert("x.conf", ConfTree::new(Node::new("config")));
+        assert_eq!(a, b);
+        assert!(!a.shares_tree(&b, "x.conf"));
+        assert!(!a.shares_tree(&b, "missing.conf"));
+    }
+
+    #[test]
+    fn insert_arc_preserves_sharing() {
+        let tree = Arc::new(ConfTree::new(Node::new("config")));
+        let mut a = ConfigSet::new();
+        let mut b = ConfigSet::new();
+        a.insert_arc("x.conf", Arc::clone(&tree));
+        b.insert_arc("x.conf", tree);
+        assert!(a.shares_tree(&b, "x.conf"));
     }
 }

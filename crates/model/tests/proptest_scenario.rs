@@ -1,0 +1,228 @@
+//! Property-based tests for copy-on-write scenario application.
+//!
+//! `ConfigSet` shares trees behind `Arc` and `FaultScenario::apply`
+//! copy-on-writes only the files an edit touches. These properties
+//! pin the semantics to the reference behaviour: applying a scenario
+//! must produce exactly what a deep-clone-everything implementation
+//! (the pre-COW driver) would, must never disturb the original set,
+//! and must keep every untouched file pointer-shared with the
+//! original.
+
+use conferr_model::{ConfigSet, ErrorClass, FaultScenario, TreeEdit, TypoKind};
+use conferr_tree::{ConfTree, Node, TreePath};
+use proptest::prelude::*;
+
+/// Strategy producing an arbitrary small node tree.
+fn arb_node(depth: u32) -> impl Strategy<Value = Node> {
+    let leaf = (
+        prop::sample::select(vec!["directive", "comment", "blank"]),
+        prop::option::of("[a-z]{1,6}"),
+        prop::option::of("[a-zA-Z0-9_ ]{0,8}"),
+    )
+        .prop_map(|(kind, name, text)| {
+            let mut n = Node::new(kind);
+            if let Some(name) = name {
+                n.set_attr("name", name);
+            }
+            n.set_text(text);
+            n
+        });
+    leaf.prop_recursive(depth, 16, 4, |inner| {
+        (
+            prop::sample::select(vec!["section", "config"]),
+            prop::option::of("[a-z]{1,6}"),
+            prop::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(kind, name, children)| {
+                let mut n = Node::new(kind);
+                if let Some(name) = name {
+                    n.set_attr("name", name);
+                }
+                n.with_children(children)
+            })
+    })
+}
+
+/// A set of 1–3 files named `file0.conf`…
+fn arb_set() -> impl Strategy<Value = ConfigSet> {
+    prop::collection::vec(arb_node(2), 1..4).prop_map(|roots| {
+        roots
+            .into_iter()
+            .enumerate()
+            .map(|(i, root)| (format!("file{i}.conf"), ConfTree::new(root)))
+            .collect()
+    })
+}
+
+/// Paths short enough to sometimes resolve, deep enough to sometimes
+/// dangle — both sides of the equivalence matter.
+fn arb_path() -> impl Strategy<Value = TreePath> {
+    prop::collection::vec(0usize..4, 0..3).prop_map(TreePath::from)
+}
+
+/// A file name drawn from `file0..file2` plus an occasionally-unknown
+/// ghost, so the error path is exercised too.
+fn arb_file() -> impl Strategy<Value = String> {
+    (0usize..4).prop_map(|i| {
+        if i >= 3 {
+            "ghost.conf".to_string()
+        } else {
+            format!("file{i}.conf")
+        }
+    })
+}
+
+/// One arbitrary edit covering every `TreeEdit` variant.
+fn arb_edit() -> BoxedStrategy<TreeEdit> {
+    prop_oneof![
+        (arb_file(), arb_path()).prop_map(|(file, path)| TreeEdit::Delete { file, path }),
+        (arb_file(), arb_path()).prop_map(|(file, path)| TreeEdit::DuplicateAfter { file, path }),
+        (arb_file(), arb_path(), arb_path(), 0usize..4).prop_map(
+            |(file, from, to_parent, index)| TreeEdit::Move {
+                file,
+                from,
+                to_parent,
+                index
+            }
+        ),
+        (arb_file(), arb_path(), prop::option::of("[a-z0-9]{0,6}"))
+            .prop_map(|(file, path, text)| TreeEdit::SetText { file, path, text }),
+        (arb_file(), arb_path(), "[a-z]{1,4}", "[a-z0-9]{0,4}").prop_map(
+            |(file, path, key, value)| TreeEdit::SetAttr {
+                file,
+                path,
+                key,
+                value
+            }
+        ),
+        (arb_file(), arb_path(), 0usize..4, arb_node(1)).prop_map(|(file, parent, index, node)| {
+            TreeEdit::Insert {
+                file,
+                parent,
+                index,
+                node,
+            }
+        }),
+        (arb_file(), arb_path(), 0usize..3, 0usize..3)
+            .prop_map(|(file, parent, i, j)| { TreeEdit::SwapChildren { file, parent, i, j } }),
+        (arb_file(), arb_node(1)).prop_map(|(file, node)| TreeEdit::ReplaceTree {
+            file,
+            tree: ConfTree::new(node)
+        }),
+    ]
+    .boxed()
+}
+
+fn scenario(edits: Vec<TreeEdit>) -> FaultScenario {
+    FaultScenario {
+        id: "prop".into(),
+        description: "property scenario".into(),
+        class: ErrorClass::Typo(TypoKind::Omission),
+        edits,
+    }
+}
+
+/// The reference semantics: deep-clone *every* file up front (fresh
+/// allocations, no sharing), then apply each edit through the public
+/// `ConfTree` editing API — exactly what the pre-COW driver did.
+fn deep_clone_apply(sc: &FaultScenario, set: &ConfigSet) -> Result<ConfigSet, String> {
+    let mut out: ConfigSet = set
+        .iter()
+        .map(|(name, tree)| (name.to_string(), tree.clone()))
+        .collect();
+    for edit in &sc.edits {
+        let file = edit.file().to_string();
+        let Some(tree) = out.get_mut(&file) else {
+            return Err(format!("unknown file {file:?}"));
+        };
+        let applied = match edit {
+            TreeEdit::Delete { path, .. } => tree.delete(path).map(|_| ()),
+            TreeEdit::DuplicateAfter { path, .. } => tree.duplicate(path).map(|_| ()),
+            TreeEdit::Move {
+                from,
+                to_parent,
+                index,
+                ..
+            } => tree.move_node(from, to_parent, *index).map(|_| ()),
+            TreeEdit::SetText { path, text, .. } => {
+                tree.set_text_at(path, text.clone()).map(|_| ())
+            }
+            TreeEdit::SetAttr {
+                path, key, value, ..
+            } => tree.set_attr_at(path, key, value).map(|_| ()),
+            TreeEdit::Insert {
+                parent,
+                index,
+                node,
+                ..
+            } => tree.insert(parent, *index, node.clone()).map(|_| ()),
+            TreeEdit::SwapChildren { parent, i, j, .. } => tree.swap_children(parent, *i, *j),
+            TreeEdit::ReplaceTree { tree: new_tree, .. } => {
+                *tree = new_tree.clone();
+                Ok(())
+            }
+        };
+        if let Err(e) = applied {
+            return Err(e.to_string());
+        }
+    }
+    Ok(out)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn cow_apply_equals_deep_clone_apply(
+        set in arb_set(),
+        edits in prop::collection::vec(arb_edit(), 0..5),
+    ) {
+        let pristine = set.clone();
+        let sc = scenario(edits);
+
+        let cow = sc.apply(&set);
+        let reference = deep_clone_apply(&sc, &set);
+
+        match (&cow, &reference) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "COW result diverges from deep-clone result"),
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(
+                false,
+                "result kinds diverge: cow={:?} reference={:?}",
+                a.is_ok(),
+                b.is_ok()
+            ),
+        }
+
+        // Applying a scenario never disturbs the original set.
+        prop_assert_eq!(&set, &pristine);
+    }
+
+    #[test]
+    fn cow_apply_shares_untouched_files(
+        set in arb_set(),
+        edits in prop::collection::vec(arb_edit(), 0..5),
+    ) {
+        let sc = scenario(edits);
+        if let Ok(out) = sc.apply(&set) {
+            let edited: Vec<&str> = sc.edits.iter().map(TreeEdit::file).collect();
+            for name in set.names() {
+                if edited.contains(&name) {
+                    // Every edit succeeded, so each edited file was
+                    // copy-on-written into its own allocation.
+                    prop_assert!(
+                        !out.shares_tree(&set, name),
+                        "edited file {} still shares its tree",
+                        name
+                    );
+                } else {
+                    prop_assert!(
+                        out.shares_tree(&set, name),
+                        "untouched file {} lost its sharing",
+                        name
+                    );
+                }
+            }
+        }
+    }
+}

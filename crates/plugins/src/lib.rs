@@ -27,6 +27,32 @@ mod typo;
 mod variations;
 mod xml_attr;
 
+/// Precompiled [`conferr_tree::NodeQuery`] values for the node kinds
+/// every generator targets. The query strings are static; parsing
+/// them once per process instead of once per template keeps query
+/// construction off the fault-generation hot path.
+pub(crate) mod queries {
+    use std::sync::LazyLock;
+
+    use conferr_tree::NodeQuery;
+
+    /// `//directive` — every directive in the tree.
+    pub(crate) static DIRECTIVE: LazyLock<NodeQuery> =
+        LazyLock::new(|| "//directive".parse().expect("static query"));
+
+    /// `//section` — every section in the tree.
+    pub(crate) static SECTION: LazyLock<NodeQuery> =
+        LazyLock::new(|| "//section".parse().expect("static query"));
+
+    /// `//config` — the root container of section-less formats.
+    pub(crate) static CONFIG: LazyLock<NodeQuery> =
+        LazyLock::new(|| "//config".parse().expect("static query"));
+
+    /// `//element` — every element of the XML representation.
+    pub(crate) static ELEMENT: LazyLock<NodeQuery> =
+        LazyLock::new(|| "//element".parse().expect("static query"));
+}
+
 pub use dns::{
     BindView, DnsFaultKind, DnsRecord, DnsRecordSet, DnsSemanticPlugin, DnsView, LocatedRecord,
     RrType, TinyDnsView, ViewError,

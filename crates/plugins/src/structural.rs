@@ -13,6 +13,8 @@ use conferr_model::{
 };
 use conferr_tree::Node;
 
+use crate::queries;
+
 /// The structural-errors generator.
 ///
 /// By default it produces all structural error kinds; use
@@ -90,32 +92,32 @@ impl StructuralPlugin {
         for kind in &self.kinds {
             match kind {
                 StructuralKind::DirectiveOmission => out.push(Box::new(DeleteTemplate::new(
-                    "//directive".parse().expect("static query"),
+                    queries::DIRECTIVE.clone(),
                     ErrorClass::Structural(StructuralKind::DirectiveOmission),
                 ))),
                 StructuralKind::SectionOmission => out.push(Box::new(DeleteTemplate::new(
-                    "//section".parse().expect("static query"),
+                    queries::SECTION.clone(),
                     ErrorClass::Structural(StructuralKind::SectionOmission),
                 ))),
                 StructuralKind::Duplication => {
                     out.push(Box::new(DuplicateTemplate::new(
-                        "//directive".parse().expect("static query"),
+                        queries::DIRECTIVE.clone(),
                         ErrorClass::Structural(StructuralKind::Duplication),
                     )));
                     out.push(Box::new(DuplicateTemplate::new(
-                        "//section".parse().expect("static query"),
+                        queries::SECTION.clone(),
                         ErrorClass::Structural(StructuralKind::Duplication),
                     )));
                 }
                 StructuralKind::Misplacement => out.push(Box::new(MoveTemplate::new(
-                    "//directive".parse().expect("static query"),
-                    "//section".parse().expect("static query"),
+                    queries::DIRECTIVE.clone(),
+                    queries::SECTION.clone(),
                     ErrorClass::Structural(StructuralKind::Misplacement),
                 ))),
                 StructuralKind::ForeignDirective => {
                     if let Some((label, node)) = &self.donor {
                         out.push(Box::new(InsertTemplate::new(
-                            "//section".parse().expect("static query"),
+                            queries::SECTION.clone(),
                             node.clone(),
                             label.clone(),
                             ErrorClass::Structural(StructuralKind::ForeignDirective),
@@ -123,7 +125,7 @@ impl StructuralPlugin {
                         // Section-less formats (e.g. Postgres) take the
                         // foreign directive at the top level.
                         out.push(Box::new(InsertTemplate::new(
-                            "//config".parse().expect("static query"),
+                            queries::CONFIG.clone(),
                             node.clone(),
                             label.clone(),
                             ErrorClass::Structural(StructuralKind::ForeignDirective),

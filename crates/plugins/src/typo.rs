@@ -7,6 +7,8 @@
 //! for insertions and substitutions.
 
 use conferr_keyboard::Keyboard;
+
+use crate::queries;
 use conferr_model::{
     ConfigSet, ErrorClass, ErrorGenerator, GenerateError, GeneratedFault, ModifyTemplate, Template,
     TypoKind,
@@ -227,26 +229,15 @@ impl TypoPlugin {
         let op = format!("typo-{kind}-{}", self.token_class.label());
         let mutator = move |current: &str| typos_of_kind(&kb, kind, current);
         let template = match self.token_class {
-            TokenClass::DirectiveNames => ModifyTemplate::new_attr(
-                "//directive".parse().expect("static query"),
-                "name",
-                class,
-                op,
-                mutator,
-            ),
-            TokenClass::DirectiveValues => ModifyTemplate::new(
-                "//directive".parse().expect("static query"),
-                class,
-                op,
-                mutator,
-            ),
-            TokenClass::SectionNames => ModifyTemplate::new_attr(
-                "//section".parse().expect("static query"),
-                "name",
-                class,
-                op,
-                mutator,
-            ),
+            TokenClass::DirectiveNames => {
+                ModifyTemplate::new_attr(queries::DIRECTIVE.clone(), "name", class, op, mutator)
+            }
+            TokenClass::DirectiveValues => {
+                ModifyTemplate::new(queries::DIRECTIVE.clone(), class, op, mutator)
+            }
+            TokenClass::SectionNames => {
+                ModifyTemplate::new_attr(queries::SECTION.clone(), "name", class, op, mutator)
+            }
         };
         match &self.file {
             Some(f) => template.in_file(f.clone()),

@@ -9,15 +9,13 @@
 //! claim of supporting "generic XML configuration files" holds for
 //! fault injection too, not just parsing.
 
+use crate::typo::{typos_of_kind, ALL_TYPO_KINDS};
 use conferr_formats::xml_parse_attrs;
 use conferr_keyboard::Keyboard;
 use conferr_model::{
     ConfigSet, ErrorClass, ErrorGenerator, FaultScenario, GenerateError, GeneratedFault, TreeEdit,
     TypoKind,
 };
-use conferr_tree::NodeQuery;
-
-use crate::typo::{typos_of_kind, ALL_TYPO_KINDS};
 
 /// Spelling-mistake generator for XML attribute values.
 #[derive(Debug, Clone)]
@@ -63,7 +61,7 @@ impl ErrorGenerator for XmlAttrTypoPlugin {
     }
 
     fn generate(&self, set: &ConfigSet) -> Result<Vec<GeneratedFault>, GenerateError> {
-        let query: NodeQuery = "//element".parse().expect("static query");
+        let query = &crate::queries::ELEMENT;
         let mut out = Vec::new();
         for (file, tree) in set.iter() {
             for (path, node) in query.select_nodes(tree) {

@@ -12,7 +12,7 @@
 use std::collections::BTreeMap;
 
 use conferr::report::stacked_bar;
-use conferr::value_typo_resilience;
+use conferr::{parallel_value_typo_resilience, sut_factory};
 use conferr_keyboard::Keyboard;
 use conferr_model::TypoKind;
 use conferr_plugins::typos_of_kind;
@@ -39,33 +39,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let experiments = 10;
     let seed = 1912;
 
+    // The parallel runner shards directives across one worker (and
+    // one SUT instance) per core; per-directive seeding makes the
+    // numbers identical to the serial `value_typo_resilience`.
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+
     let postgres = {
-        let mut sut = PostgresSim::new();
         let mut configs = BTreeMap::new();
         configs.insert(
             "postgresql.conf".to_string(),
             PostgresSim::full_coverage_config(),
         );
-        value_typo_resilience(
-            &mut sut,
+        parallel_value_typo_resilience(
+            sut_factory(PostgresSim::new),
             &configs,
             &mutator,
             experiments,
             seed,
             &PostgresSim::boolean_directive_names(),
+            threads,
         )?
     };
     let mysql = {
-        let mut sut = MySqlSim::new();
         let mut configs = BTreeMap::new();
         configs.insert("my.cnf".to_string(), MySqlSim::full_coverage_config());
-        value_typo_resilience(
-            &mut sut,
+        parallel_value_typo_resilience(
+            sut_factory(MySqlSim::new),
             &configs,
             &mutator,
             experiments,
             seed,
             &MySqlSim::boolean_directive_names(),
+            threads,
         )?
     };
 

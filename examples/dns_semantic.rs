@@ -10,17 +10,22 @@
 //! loader catches, faults that load silently, and faults that djbdns'
 //! combined `=` directive makes *impossible to write down*.
 
-use conferr::{Campaign, InjectionResult};
+use conferr::{sut_factory, InjectionResult, ParallelCampaign};
 use conferr_model::ErrorGenerator;
 use conferr_plugins::{DnsFaultKind, DnsSemanticPlugin};
 use conferr_sut::{BindSim, DjbdnsSim, SystemUnderTest};
 
-fn run(
+fn run<F>(
     name: &str,
-    sut: &mut dyn SystemUnderTest,
+    make_sut: F,
     plugin: DnsSemanticPlugin,
-) -> Result<(), Box<dyn std::error::Error>> {
-    let mut campaign = Campaign::new(sut)?;
+) -> Result<(), Box<dyn std::error::Error>>
+where
+    F: Fn() -> Box<dyn SystemUnderTest> + Sync,
+{
+    // One worker (and one simulated name server) per core; outcomes
+    // come back in fault order, identical to a serial campaign.
+    let campaign = ParallelCampaign::new(make_sut)?;
     let faults = plugin.generate(campaign.baseline())?;
     let profile = campaign.run_faults(faults)?;
     println!("=== {name} ===");
@@ -48,17 +53,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The four Table 3 rows plus the extended RFC-1912 error set.
     let kinds = DnsFaultKind::ALL;
 
-    let mut bind = BindSim::new();
     run(
         "BIND (zone files)",
-        &mut bind,
+        sut_factory(BindSim::new),
         DnsSemanticPlugin::bind().with_kinds(kinds),
     )?;
 
-    let mut djbdns = DjbdnsSim::new();
     run(
         "djbdns (tinydns-data)",
-        &mut djbdns,
+        sut_factory(DjbdnsSim::new),
         DnsSemanticPlugin::tinydns().with_kinds(kinds),
     )?;
 

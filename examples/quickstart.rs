@@ -9,6 +9,11 @@
 //! single-edit typo against directive names and values using a real
 //! keyboard model, injects each one, and classifies how the server
 //! responds — the end-to-end loop of the ConfErr paper's Figure 1.
+//!
+//! This is the minimal *serial* driver; for large fault loads, swap
+//! `Campaign` for `conferr::ParallelCampaign` (see the
+//! `structural_matrix` and `dns_semantic` examples) to shard
+//! injections across every core with byte-identical results.
 
 use conferr::{Campaign, InjectionResult};
 use conferr_keyboard::Keyboard;

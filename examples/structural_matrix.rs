@@ -11,16 +11,18 @@
 //! shows which administrator mental-model variations each system
 //! tolerates.
 
-use conferr::{Campaign, InjectionResult};
+use conferr::{sut_factory, InjectionResult, ParallelCampaign};
 use conferr_model::ErrorGenerator;
 use conferr_plugins::{VariationClass, VariationPlugin};
 use conferr_sut::{ApacheSim, MySqlSim, PostgresSim, SystemUnderTest};
 
-fn verdict(
-    sut: &mut dyn SystemUnderTest,
-    class: VariationClass,
-) -> Result<String, Box<dyn std::error::Error>> {
-    let mut campaign = Campaign::new(sut)?;
+fn verdict<F>(make_sut: F, class: VariationClass) -> Result<String, Box<dyn std::error::Error>>
+where
+    F: Fn() -> Box<dyn SystemUnderTest> + Sync,
+{
+    // Each class's ten variant files inject independently, so the
+    // parallel driver shards them across every available core.
+    let campaign = ParallelCampaign::new(make_sut)?;
     let plugin = VariationPlugin::new(class, 10, 1912);
     let faults = plugin.generate(campaign.baseline())?;
     if faults.is_empty() {
@@ -46,21 +48,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("{}", "-".repeat(56));
     for class in VariationClass::ALL {
-        let mut mysql = MySqlSim::new();
-        let mut postgres = PostgresSim::new();
-        let mut apache = ApacheSim::new();
         // The paper reports Apache's section order as n/a: container
         // order has defined semantics there (first VirtualHost wins).
         let apache_cell = if class == VariationClass::SectionOrder {
             "n/a".to_string()
         } else {
-            verdict(&mut apache, class)?
+            verdict(sut_factory(ApacheSim::new), class)?
         };
         println!(
             "{:<28} {:<8} {:<8} {:<8}",
             class.label(),
-            verdict(&mut mysql, class)?,
-            verdict(&mut postgres, class)?,
+            verdict(sut_factory(MySqlSim::new), class)?,
+            verdict(sut_factory(PostgresSim::new), class)?,
             apache_cell,
         );
     }

@@ -1,0 +1,104 @@
+//! The parallel campaign driver must be a pure wall-clock
+//! optimisation: over the full §5.2 fault load, its profile —
+//! including every diagnostic string, diff line and warning — must be
+//! byte-identical to the serial driver's, at any thread count.
+
+use conferr::{profile_to_json, sut_factory, Campaign, ParallelCampaign, ResilienceProfile};
+use conferr_bench::{
+    table1, table1_faultload, table1_parallel, table2, table2_parallel, table3, table3_parallel,
+    DEFAULT_SEED,
+};
+use conferr_keyboard::Keyboard;
+use conferr_model::GeneratedFault;
+use conferr_sut::{MySqlSim, PostgresSim, SystemUnderTest};
+
+/// The full §5.2 (Table 1) fault load for one system: deletion of
+/// every directive plus sampled name/value typos.
+fn full_faultload(sut: &mut dyn SystemUnderTest) -> Vec<GeneratedFault> {
+    let keyboard = Keyboard::qwerty_us();
+    let campaign = Campaign::new(sut).expect("campaign");
+    table1_faultload(campaign.baseline(), &keyboard, DEFAULT_SEED)
+}
+
+fn serial_profile(sut: &mut dyn SystemUnderTest, faults: Vec<GeneratedFault>) -> ResilienceProfile {
+    let mut campaign = Campaign::new(sut).expect("campaign");
+    campaign.run_faults(faults).expect("serial run")
+}
+
+#[test]
+fn parallel_equals_serial_for_mysql_full_faultload() {
+    let mut sut = MySqlSim::new();
+    let faults = full_faultload(&mut sut);
+    let serial = serial_profile(&mut sut, faults.clone());
+    for threads in [1, 2, 5] {
+        let parallel =
+            Campaign::run_faults_parallel(sut_factory(MySqlSim::new), faults.clone(), threads)
+                .expect("parallel run");
+        assert_eq!(
+            serial.outcomes(),
+            parallel.outcomes(),
+            "threads = {threads}"
+        );
+        // Byte-identical, not merely equal: the exported JSON (every
+        // id, description, diff line and diagnostic) matches exactly.
+        assert_eq!(
+            profile_to_json(&serial),
+            profile_to_json(&parallel),
+            "threads = {threads}"
+        );
+    }
+}
+
+#[test]
+fn parallel_equals_serial_for_postgres_full_faultload() {
+    let mut sut = PostgresSim::new();
+    let faults = full_faultload(&mut sut);
+    let serial = serial_profile(&mut sut, faults.clone());
+    for threads in [2, 8] {
+        let parallel =
+            Campaign::run_faults_parallel(sut_factory(PostgresSim::new), faults.clone(), threads)
+                .expect("parallel run");
+        assert_eq!(
+            profile_to_json(&serial),
+            profile_to_json(&parallel),
+            "threads = {threads}"
+        );
+    }
+}
+
+#[test]
+fn parallel_campaign_generators_match_serial() {
+    // The generator-driven entry point (`run`) goes through the same
+    // sharded path as `run_faults`.
+    let mut parallel = ParallelCampaign::new(sut_factory(PostgresSim::new))
+        .expect("campaign")
+        .with_threads(3);
+    parallel.add_generator(Box::new(conferr_plugins::StructuralPlugin::new()));
+    let parallel = parallel.run().expect("parallel run");
+
+    let mut sut = PostgresSim::new();
+    let mut serial = Campaign::new(&mut sut).expect("campaign");
+    serial.add_generator(Box::new(conferr_plugins::StructuralPlugin::new()));
+    let serial = serial.run().expect("serial run");
+
+    assert_eq!(profile_to_json(&serial), profile_to_json(&parallel));
+}
+
+#[test]
+fn parallel_paper_artifacts_match_serial() {
+    // Table 1 summaries.
+    let serial = table1(DEFAULT_SEED).expect("table1");
+    let parallel = table1_parallel(DEFAULT_SEED, 4).expect("table1 parallel");
+    assert_eq!(serial, parallel);
+
+    // Table 2 verdict matrix (cell-level sharding).
+    let serial = table2(DEFAULT_SEED).expect("table2");
+    let parallel = table2_parallel(DEFAULT_SEED, 4).expect("table2 parallel");
+    assert_eq!(serial.systems, parallel.systems);
+    assert_eq!(serial.rows, parallel.rows);
+
+    // Table 3 verdicts (includes inexpressible faults on djbdns).
+    let serial = table3().expect("table3");
+    let parallel = table3_parallel(4).expect("table3 parallel");
+    assert_eq!(serial.rows, parallel.rows);
+}
