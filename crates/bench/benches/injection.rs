@@ -8,7 +8,7 @@
 use conferr::Campaign;
 use conferr_bench::{table1_faultload, DEFAULT_SEED};
 use conferr_keyboard::Keyboard;
-use conferr_sut::{default_configs, ApacheSim, MySqlSim, PostgresSim, SystemUnderTest};
+use conferr_sut::{default_payload, ApacheSim, MySqlSim, PostgresSim, SystemUnderTest};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -41,23 +41,24 @@ fn bench_single_injection(c: &mut Criterion) {
 }
 
 fn bench_startup_only(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sut_startup");
-    group.bench_function("mysql", |b| {
-        let mut sut = MySqlSim::new();
-        let configs = default_configs(&sut);
-        b.iter(|| black_box(sut.start(&configs)))
-    });
-    group.bench_function("postgres", |b| {
-        let mut sut = PostgresSim::new();
-        let configs = default_configs(&sut);
-        b.iter(|| black_box(sut.start(&configs)))
-    });
-    group.bench_function("apache", |b| {
-        let mut sut = ApacheSim::new();
-        let configs = default_configs(&sut);
-        b.iter(|| black_box(sut.start(&configs)))
-    });
-    group.finish();
+    // Cached: repeated starts from the same payload hit the parse
+    // cache after the first iteration — the campaign steady state for
+    // unchanged files. Uncached: the reference cold path, a full
+    // parse-and-validate per start.
+    for (suffix, caching) in [("cached", true), ("uncached", false)] {
+        let mut group = c.benchmark_group(format!("sut_startup_{suffix}"));
+        let cases: Vec<(&str, Box<dyn SystemUnderTest>)> = vec![
+            ("mysql", Box::new(MySqlSim::new())),
+            ("postgres", Box::new(PostgresSim::new())),
+            ("apache", Box::new(ApacheSim::new())),
+        ];
+        for (name, mut sut) in cases {
+            sut.set_parse_caching(caching);
+            let payload = default_payload(sut.as_ref());
+            group.bench_function(name, |b| b.iter(|| black_box(sut.start(&payload))));
+        }
+        group.finish();
+    }
 }
 
 fn bench_full_campaign(c: &mut Criterion) {

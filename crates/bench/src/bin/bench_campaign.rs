@@ -3,17 +3,24 @@
 //!
 //! Runs the full §5.2 fault load (Table 1 protocol: every-directive
 //! deletion plus sampled name/value typos) against MySQL, Postgres
-//! and Apache, `repeat` times over, through both drivers:
+//! and Apache, `repeat` times over, through three configurations:
 //!
-//! * **serial** — one `Campaign`, one SUT, one thread (with the
-//!   copy-on-write apply and cached baseline serialization);
+//! * **serial uncached** — one `Campaign`, one SUT, parse caching
+//!   disabled: the reference cold path (every `start` re-parses its
+//!   configuration from text, as the pre-PR-3 drivers always did);
+//! * **serial** — the same campaign with the SUTs' content-addressed
+//!   `ParseCache` on: unchanged files parse once, repeated mutated
+//!   texts parse once;
 //! * **parallel** — `ParallelCampaign`, one worker and one SUT
-//!   instance per thread, outcomes merged in fault order.
+//!   instance (with its own cache) per thread, outcomes merged in
+//!   fault order.
 //!
-//! The two profiles are asserted identical before any timing is
-//! reported, then wall-clock numbers go to `BENCH_campaign.json`.
-//! The parallel speedup scales with core count; on a single-core
-//! machine it only measures sharding overhead.
+//! All three profiles are asserted **byte-identical** before any
+//! timing is reported — the parse cache and the scheduler must be
+//! pure wall-clock optimisations — then the numbers go to
+//! `BENCH_campaign.json`. The parallel speedup scales with core
+//! count; on a single-core machine it only measures sharding
+//! overhead.
 //!
 //! ```text
 //! cargo run --release -p conferr-bench --bin bench_campaign [repeat] [threads]
@@ -28,16 +35,23 @@ use conferr_keyboard::Keyboard;
 use conferr_model::GeneratedFault;
 use conferr_sut::{ApacheSim, MySqlSim, PostgresSim, SystemUnderTest};
 
-/// Pre-PR serial driver total (same host, `repeat` = 20): the
-/// deep-clone-everything, serialize-everything engine this PR
-/// replaced. Kept as the fixed reference point of the trajectory.
-const PRE_PR_SERIAL_TOTAL_MS: f64 = 1440.0;
-const PRE_PR_REPEAT: usize = 20;
+/// Fixed reference points of the trajectory, both measured on the
+/// committed-run host at `repeat` = 20:
+///
+/// * pre-PR-2: the deep-clone-everything, serialize-everything serial
+///   driver;
+/// * PR 2: the copy-on-write engine with cached baseline
+///   serialization, still re-parsing every configuration at every
+///   `start` (what "serial uncached" reproduces today).
+const PRE_PR2_SERIAL_TOTAL_MS: f64 = 1440.0;
+const PR2_SERIAL_TOTAL_MS: f64 = 1430.0;
+const REFERENCE_REPEAT: usize = 20;
 
 /// Timing row for one system.
 struct Row {
     system: String,
     faults: usize,
+    serial_uncached_ms: f64,
     serial_ms: f64,
     parallel_ms: f64,
 }
@@ -54,6 +68,22 @@ fn faultload(sut: &mut dyn SystemUnderTest, repeat: usize) -> Vec<GeneratedFault
     out
 }
 
+/// One timed serial run over `faults` with every cache layer (the
+/// SUT's parse cache and the engine's fault memo) on or off.
+fn timed_serial(
+    make_sut: &(dyn Fn() -> Box<dyn SystemUnderTest> + Sync),
+    faults: Vec<GeneratedFault>,
+    caching: bool,
+) -> (ResilienceProfile, f64) {
+    let mut sut = make_sut();
+    sut.set_parse_caching(caching);
+    let mut campaign = Campaign::new(sut.as_mut()).expect("campaign");
+    campaign.set_fault_memoization(caching);
+    let start = Instant::now();
+    let profile = campaign.run_faults(faults).expect("serial run");
+    (profile, start.elapsed().as_secs_f64() * 1e3)
+}
+
 fn run_system<F>(make_sut: F, repeat: usize, threads: usize) -> Row
 where
     F: Fn() -> Box<dyn SystemUnderTest> + Sync,
@@ -63,13 +93,10 @@ where
     let faults = faultload(sut.as_mut(), repeat);
     let n = faults.len();
 
-    let mut campaign = Campaign::new(sut.as_mut()).expect("campaign");
-    // Clone outside the timed region: both drivers must be measured
-    // over identical work (the parallel run below moves `faults`).
-    let serial_faults = faults.clone();
-    let start = Instant::now();
-    let serial = campaign.run_faults(serial_faults).expect("serial run");
-    let serial_ms = start.elapsed().as_secs_f64() * 1e3;
+    // All drivers must be measured over identical work (the parallel
+    // run below moves `faults`).
+    let (uncached, serial_uncached_ms) = timed_serial(&make_sut, faults.clone(), false);
+    let (serial, serial_ms) = timed_serial(&make_sut, faults.clone(), true);
 
     let parallel_campaign = ParallelCampaign::new(&make_sut)
         .expect("campaign")
@@ -78,22 +105,25 @@ where
     let parallel = parallel_campaign.run_faults(faults).expect("parallel run");
     let parallel_ms = start.elapsed().as_secs_f64() * 1e3;
 
-    assert_profiles_identical(&serial, &parallel);
+    assert_profiles_identical(&uncached, &serial, "cached serial");
+    assert_profiles_identical(&uncached, &parallel, "parallel");
     Row {
         system,
         faults: n,
+        serial_uncached_ms,
         serial_ms,
         parallel_ms,
     }
 }
 
-/// The timing comparison is only meaningful if both drivers computed
-/// the same thing.
-fn assert_profiles_identical(serial: &ResilienceProfile, parallel: &ResilienceProfile) {
+/// The timing comparison is only meaningful if every driver computed
+/// the same thing — and the parse cache is only *sound* if cached
+/// runs are byte-identical to uncached runs.
+fn assert_profiles_identical(reference: &ResilienceProfile, other: &ResilienceProfile, who: &str) {
     assert_eq!(
-        conferr::profile_to_json(serial),
-        conferr::profile_to_json(parallel),
-        "parallel profile diverged from serial"
+        conferr::profile_to_json(reference),
+        conferr::profile_to_json(other),
+        "{who} profile diverged from the uncached serial reference"
     );
 }
 
@@ -116,61 +146,70 @@ fn main() {
 
     for row in &rows {
         println!(
-            "{:<14} {:>6} faults  serial {:>9.1} ms  parallel {:>9.1} ms  speedup {:>5.2}x",
+            "{:<14} {:>6} faults  uncached {:>8.1} ms  serial {:>8.1} ms  parallel {:>8.1} ms  \
+             cache {:>5.2}x",
             row.system,
             row.faults,
+            row.serial_uncached_ms,
             row.serial_ms,
             row.parallel_ms,
-            row.serial_ms / row.parallel_ms
+            row.serial_uncached_ms / row.serial_ms
         );
     }
+    let total_uncached: f64 = rows.iter().map(|r| r.serial_uncached_ms).sum();
     let total_serial: f64 = rows.iter().map(|r| r.serial_ms).sum();
     let total_parallel: f64 = rows.iter().map(|r| r.parallel_ms).sum();
     println!(
-        "{:<14} {:>6}         serial {total_serial:>9.1} ms  parallel {total_parallel:>9.1} ms  \
-         speedup {:>5.2}x",
+        "{:<14} {:>6}         uncached {total_uncached:>8.1} ms  serial {total_serial:>8.1} ms  \
+         parallel {total_parallel:>8.1} ms  cache {:>5.2}x",
         "TOTAL",
         "",
-        total_serial / total_parallel
+        total_uncached / total_serial
     );
-    if repeat == PRE_PR_REPEAT {
+    if repeat == REFERENCE_REPEAT {
         println!(
-            "pre-PR serial reference (same fault load): {PRE_PR_SERIAL_TOTAL_MS:.1} ms -> \
-             {:.2}x vs parallel",
-            PRE_PR_SERIAL_TOTAL_MS / total_parallel
+            "references (same fault load, committed-run host): pre-PR-2 serial \
+             {PRE_PR2_SERIAL_TOTAL_MS:.0} ms, PR 2 serial {PR2_SERIAL_TOTAL_MS:.0} ms -> \
+             {:.2}x vs cached serial",
+            PR2_SERIAL_TOTAL_MS / total_serial
         );
     }
 
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": \"conferr-bench-campaign/v1\",");
+    let _ = writeln!(json, "  \"schema\": \"conferr-bench-campaign/v2\",");
     let _ = writeln!(json, "  \"repeat\": {repeat},");
     let _ = writeln!(json, "  \"threads\": {threads},");
     let _ = writeln!(
         json,
-        "  \"pre_pr_serial_total_ms\": {{\"value\": {PRE_PR_SERIAL_TOTAL_MS}, \
-         \"repeat\": {PRE_PR_REPEAT}, \"note\": \"pre-COW deep-clone serial driver, same host as the committed run\"}},"
+        "  \"references\": {{\"pre_pr2_serial_total_ms\": {PRE_PR2_SERIAL_TOTAL_MS}, \
+         \"pr2_serial_total_ms\": {PR2_SERIAL_TOTAL_MS}, \"repeat\": {REFERENCE_REPEAT}, \
+         \"note\": \"fixed trajectory anchors measured on the committed-run host: the pre-COW \
+         deep-clone serial driver and the PR 2 COW serial driver (re-parse on every start)\"}},"
     );
     json.push_str("  \"systems\": [\n");
     for (i, row) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
         let _ = writeln!(
             json,
-            "    {{\"system\": \"{}\", \"faults\": {}, \"serial_ms\": {:.1}, \
-             \"parallel_ms\": {:.1}, \"speedup\": {:.2}}}{comma}",
+            "    {{\"system\": \"{}\", \"faults\": {}, \"serial_uncached_ms\": {:.1}, \
+             \"serial_ms\": {:.1}, \"parallel_ms\": {:.1}, \"cache_speedup\": {:.2}}}{comma}",
             row.system,
             row.faults,
+            row.serial_uncached_ms,
             row.serial_ms,
             row.parallel_ms,
-            row.serial_ms / row.parallel_ms
+            row.serial_uncached_ms / row.serial_ms
         );
     }
     json.push_str("  ],\n");
     let _ = writeln!(
         json,
-        "  \"total\": {{\"serial_ms\": {total_serial:.1}, \"parallel_ms\": {total_parallel:.1}, \
-         \"speedup\": {:.2}}}",
-        total_serial / total_parallel
+        "  \"total\": {{\"serial_uncached_ms\": {total_uncached:.1}, \
+         \"serial_ms\": {total_serial:.1}, \"parallel_ms\": {total_parallel:.1}, \
+         \"cache_speedup\": {:.2}, \"speedup_vs_pr2_serial\": {:.2}}}",
+        total_uncached / total_serial,
+        PR2_SERIAL_TOTAL_MS / total_serial
     );
     json.push_str("}\n");
     std::fs::write("BENCH_campaign.json", &json).expect("write BENCH_campaign.json");

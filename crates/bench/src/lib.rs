@@ -1,6 +1,14 @@
 //! Benchmark harness regenerating every table and figure of the
 //! ConfErr paper's evaluation (§5).
 //!
+//! # Architecture
+//!
+//! This crate is the *evaluation layer*, the sink of the workspace DAG
+//! `tree → {keyboard, formats, model} → {plugins, sut} → core → bench`:
+//! it composes generators, simulators and the campaign drivers into
+//! the paper's experiments and the repo's perf-trajectory bench
+//! (`bench_campaign` → `BENCH_campaign.json`).
+//!
 //! | Artifact | Function | Binary |
 //! |----------|----------|--------|
 //! | Table 1 — resilience to typos | [`table1`] | `cargo run -p conferr-bench --bin table1` |

@@ -17,6 +17,21 @@
 //! error class (Table 1), compared across systems (§5.5, Figure 3)
 //! and rendered as text reports.
 //!
+//! # Architecture
+//!
+//! This crate is the *campaign layer* of the reproduction (paper
+//! §3.1, Figure 1): in the workspace DAG
+//! `tree → {keyboard, formats, model} → {plugins, sut} → core → bench`
+//! it orchestrates every other layer — generators produce fault
+//! loads, the engine applies them copy-on-write, serializes only
+//! mutated files (memoizing the preparation per edit list), and
+//! drives the simulators' cached startup parsing through
+//! [`conferr_sut::ConfigPayload`]. [`Campaign`] is the serial driver,
+//! [`ParallelCampaign`] the multi-worker one; both produce
+//! byte-identical profiles. See `docs/ARCHITECTURE.md` at the
+//! repository root for the full paper-section-to-crate map and an
+//! injection data-flow walkthrough.
+//!
 //! # Quickstart
 //!
 //! ```

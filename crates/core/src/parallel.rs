@@ -186,6 +186,14 @@ where
         self
     }
 
+    /// Enables or disables the engine's fault memo (default: on) —
+    /// see [`Campaign::set_fault_memoization`](crate::Campaign::set_fault_memoization).
+    /// The memo is internally synchronized; workers share it.
+    pub fn set_fault_memoization(&mut self, enabled: bool) -> &mut Self {
+        self.engine.set_fault_memoization(enabled);
+        self
+    }
+
     /// The parsed baseline configuration set.
     pub fn baseline(&self) -> &ConfigSet {
         self.engine.baseline()

@@ -1,5 +1,15 @@
 //! Round-trip-faithful configuration parsers and serializers.
 //!
+//! # Architecture
+//!
+//! This crate is the *format layer* of the reproduction (paper §3.2):
+//! in the workspace DAG
+//! `tree → {keyboard, formats, model} → {plugins, sut} → core → bench`
+//! it bridges between on-disk text and [`conferr_tree::ConfTree`],
+//! serving both the campaign engine (which serializes mutated trees)
+//! and the simulators in `conferr-sut` (which re-parse that text at
+//! startup, exactly as the real systems would).
+//!
 //! ConfErr performs all mutations on abstract tree representations of
 //! configuration files (paper §3.2). This crate supplies the
 //! system-specific parsing/serialization plugins that bridge between

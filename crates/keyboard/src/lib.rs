@@ -1,5 +1,14 @@
 //! Geometric keyboard model for realistic typo generation.
 //!
+//! # Architecture
+//!
+//! This crate is part of the *error-model layer* (paper §4.1): in the
+//! workspace DAG
+//! `tree → {keyboard, formats, model} → {plugins, sut} → core → bench`
+//! it supplies the physical-plausibility data the typo plugin in
+//! `conferr-plugins` consumes; it depends on nothing but the standard
+//! library.
+//!
 //! ConfErr's spelling-mistake plugin (paper §4.1) mimics real typos by
 //! consulting "an encoding of a true keyboard": for insertions and
 //! substitutions it locates the key (and modifiers) that produces the

@@ -1,5 +1,14 @@
 //! Fault scenarios, error templates and template combinators.
 //!
+//! # Architecture
+//!
+//! This crate is the *error-model layer* of the reproduction (paper
+//! §3.3): in the workspace DAG
+//! `tree → {keyboard, formats, model} → {plugins, sut} → core → bench`
+//! it sits between the tree foundation and the concrete generator
+//! plugins, defining the [`FaultScenario`]/[`Template`] vocabulary the
+//! campaign engine in `conferr` (core) replays.
+//!
 //! This crate is the middle layer of ConfErr (paper §3.3): it turns
 //! *error models* into concrete, replayable mutations of configuration
 //! trees.

@@ -152,7 +152,7 @@ impl fmt::Display for ErrorClass {
 }
 
 /// One declarative edit against one file of a [`ConfigSet`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum TreeEdit {
     /// Delete the node at `path`.
     Delete {
@@ -283,7 +283,41 @@ impl TreeEdit {
 ///
 /// Scenarios are *values*: applying one never mutates the original
 /// set, so a campaign can replay thousands of scenarios from the same
-/// pristine configuration.
+/// pristine configuration. Two scenarios with identical `edits` are
+/// interchangeable against a fixed baseline — the campaign engine's
+/// fault memo exploits exactly that.
+///
+/// # Examples
+///
+/// ```
+/// use conferr_model::{ConfigSet, ErrorClass, FaultScenario, StructuralKind, TreeEdit};
+/// use conferr_tree::{ConfTree, Node, TreePath};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut set = ConfigSet::new();
+/// set.insert(
+///     "app.conf",
+///     ConfTree::new(
+///         Node::new("config")
+///             .with_child(Node::new("directive").with_attr("name", "port").with_text("80")),
+///     ),
+/// );
+/// let scenario = FaultScenario {
+///     id: "delete:port".into(),
+///     description: "drop the port directive".into(),
+///     class: ErrorClass::Structural(StructuralKind::DirectiveOmission),
+///     edits: vec![TreeEdit::Delete {
+///         file: "app.conf".into(),
+///         path: TreePath::from(vec![0]),
+///     }],
+/// };
+/// let mutated = scenario.apply(&set)?;
+/// assert_eq!(mutated.get("app.conf").unwrap().root().children().len(), 0);
+/// // The original set is untouched.
+/// assert_eq!(set.get("app.conf").unwrap().root().children().len(), 1);
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FaultScenario {
     /// Stable identifier, unique within one generation run.

@@ -1,5 +1,14 @@
 //! ConfErr error-generator plugins (paper §4).
 //!
+//! # Architecture
+//!
+//! This crate is the *generator layer* of the reproduction: in the
+//! workspace DAG
+//! `tree → {keyboard, formats, model} → {plugins, sut} → core → bench`
+//! it turns the paper's psychological error models into concrete
+//! [`conferr_model::FaultScenario`] loads, which the campaign engine
+//! in `conferr` (core) injects into the simulators of `conferr-sut`.
+//!
 //! Three plugins translate the paper's human-error models into
 //! concrete fault loads:
 //!

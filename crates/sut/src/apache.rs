@@ -22,13 +22,17 @@
 //! truncated.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use conferr_formats::{ApacheFormat, ConfigFormat};
 use conferr_tree::Node;
 
 use crate::directive::parse_int_strict;
 use crate::minihttp::{HttpService, VirtualFs, VirtualHost};
-use crate::{ConfigFileSpec, StartOutcome, SystemUnderTest, TestOutcome};
+use crate::{
+    CacheStats, ConfigFileSpec, ConfigPayload, ParseCache, StartOutcome, SystemUnderTest,
+    TestOutcome,
+};
 
 /// How a directive's arguments are validated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -304,25 +308,43 @@ fn builtin_fs() -> VirtualFs {
 
 #[derive(Debug)]
 struct Running {
-    service: HttpService,
+    service: Arc<HttpService>,
 }
+
+/// Deterministic result of parsing and validating one `httpd.conf`
+/// text: the would-be HTTP service plus startup warnings, or the
+/// startup diagnostic. This is what the parse cache memoizes.
+type ApacheStartup = Result<(Arc<HttpService>, Vec<String>), String>;
 
 /// The Apache httpd 2.2 simulator. See the module docs for its
 /// validation (and deliberate non-validation) inventory.
 #[derive(Debug, Default)]
 pub struct ApacheSim {
     running: Option<Running>,
+    cache: ParseCache<ApacheStartup>,
 }
 
 impl ApacheSim {
     /// Creates a stopped simulator.
     pub fn new() -> Self {
-        ApacheSim { running: None }
+        ApacheSim::default()
     }
 
     /// Shared access to the running HTTP service (for assertions).
     pub fn service(&self) -> Option<&HttpService> {
-        self.running.as_ref().map(|r| &r.service)
+        self.running.as_ref().map(|r| r.service.as_ref())
+    }
+
+    /// The full startup path: parse, validate every directive, build
+    /// the HTTP service. Pure in the configuration text.
+    fn parse_and_validate(text: &str) -> ApacheStartup {
+        let tree = ApacheFormat::new()
+            .parse(text)
+            .map_err(|e| format!("Syntax error in httpd.conf: {e}"))?;
+        Self::validate_tree(tree.root())?;
+        let mut warnings = Vec::new();
+        let service = Self::build_service(tree.root(), &mut warnings)?;
+        Ok((Arc::new(service), warnings))
     }
 
     fn rule_for(name: &str) -> Option<&'static ArgRule> {
@@ -534,34 +556,32 @@ impl SystemUnderTest for ApacheSim {
         }]
     }
 
-    fn start(&mut self, configs: &BTreeMap<String, String>) -> StartOutcome {
+    fn start(&mut self, configs: &ConfigPayload) -> StartOutcome {
         self.running = None;
-        let Some(text) = configs.get("httpd.conf") else {
+        let Some(file) = configs.get("httpd.conf") else {
             return StartOutcome::FailedToStart {
                 diagnostic: "httpd: could not open document config file httpd.conf".to_string(),
             };
         };
-        let tree = match ApacheFormat::new().parse(text) {
-            Ok(t) => t,
-            Err(e) => {
-                return StartOutcome::FailedToStart {
-                    diagnostic: format!("Syntax error in httpd.conf: {e}"),
+        let startup = self
+            .cache
+            .get_or_parse("httpd.conf", file, Self::parse_and_validate);
+        match startup.as_ref() {
+            Ok((service, warnings)) => {
+                self.running = Some(Running {
+                    service: Arc::clone(service),
+                });
+                if warnings.is_empty() {
+                    StartOutcome::Started
+                } else {
+                    StartOutcome::StartedWithWarnings {
+                        warnings: warnings.clone(),
+                    }
                 }
             }
-        };
-        if let Err(diagnostic) = Self::validate_tree(tree.root()) {
-            return StartOutcome::FailedToStart { diagnostic };
-        }
-        let mut warnings = Vec::new();
-        let service = match Self::build_service(tree.root(), &mut warnings) {
-            Ok(s) => s,
-            Err(diagnostic) => return StartOutcome::FailedToStart { diagnostic },
-        };
-        self.running = Some(Running { service });
-        if warnings.is_empty() {
-            StartOutcome::Started
-        } else {
-            StartOutcome::StartedWithWarnings { warnings }
+            Err(diagnostic) => StartOutcome::FailedToStart {
+                diagnostic: diagnostic.clone(),
+            },
         }
     }
 
@@ -591,6 +611,14 @@ impl SystemUnderTest for ApacheSim {
     fn stop(&mut self) {
         self.running = None;
     }
+
+    fn set_parse_caching(&mut self, enabled: bool) {
+        self.cache.set_enabled(enabled);
+    }
+
+    fn parse_cache_stats(&self) -> Option<CacheStats> {
+        Some(self.cache.stats())
+    }
 }
 
 #[cfg(test)]
@@ -602,7 +630,7 @@ mod tests {
         let mut sut = ApacheSim::new();
         let mut configs = default_configs(&sut);
         patch(configs.get_mut("httpd.conf").unwrap());
-        let outcome = sut.start(&configs);
+        let outcome = sut.start(&ConfigPayload::from_texts(&configs));
         (sut, outcome)
     }
 

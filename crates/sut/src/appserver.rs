@@ -16,12 +16,15 @@
 //! * everything else (application base paths, display names) is
 //!   accepted free-form.
 
-use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use conferr_formats::{xml_parse_attrs, ConfigFormat, XmlFormat};
 use conferr_tree::Node;
 
-use crate::{ConfigFileSpec, StartOutcome, SystemUnderTest, TestOutcome};
+use crate::{
+    CacheStats, ConfigFileSpec, ConfigPayload, ParseCache, StartOutcome, SystemUnderTest,
+    TestOutcome,
+};
 
 const DEFAULT_SERVER_XML: &str = r#"<?xml version="1.0"?>
 <server port="8005" shutdown="SHUTDOWN">
@@ -60,16 +63,50 @@ struct Running {
     contexts: Vec<String>,
 }
 
+/// Deterministic result of parsing and validating one `server.xml`
+/// text: the validated deployment state (read-only while running), or
+/// the startup diagnostic. This is what the parse cache memoizes.
+type ServerStartup = Result<Arc<Running>, String>;
+
 /// The XML-configured application-server simulator.
 #[derive(Debug, Default)]
 pub struct AppServerSim {
-    running: Option<Running>,
+    running: Option<Arc<Running>>,
+    cache: ParseCache<ServerStartup>,
 }
 
 impl AppServerSim {
     /// Creates a stopped simulator.
     pub fn new() -> Self {
-        AppServerSim { running: None }
+        AppServerSim::default()
+    }
+
+    /// The full startup path: parse `server.xml`, validate every
+    /// element against the schema, enforce the cross-element
+    /// constraints. Pure in the configuration text.
+    fn parse_and_validate(text: &str) -> ServerStartup {
+        let tree = XmlFormat::new()
+            .parse(text)
+            .map_err(|e| format!("server.xml is not well-formed: {e}"))?;
+        let mut state = Running::default();
+        let mut hosts = Vec::new();
+        let mut default_hosts = Vec::new();
+        for child in tree.root().children() {
+            Self::validate_element(child, "", &mut state, &mut hosts, &mut default_hosts)?;
+        }
+        if state.connector_ports.is_empty() {
+            return Err("no <connector> elements: nothing to listen on".to_string());
+        }
+        // Cross-element constraint: the engine's default host must be
+        // declared.
+        for dh in &default_hosts {
+            if !hosts.iter().any(|h| h.eq_ignore_ascii_case(dh)) {
+                return Err(format!(
+                    "<engine default-host=\"{dh}\"> does not match any declared <host>"
+                ));
+            }
+        }
+        Ok(Arc::new(state))
     }
 
     fn attrs_of(node: &Node) -> Result<Vec<(String, String)>, String> {
@@ -182,49 +219,25 @@ impl SystemUnderTest for AppServerSim {
         }]
     }
 
-    fn start(&mut self, configs: &BTreeMap<String, String>) -> StartOutcome {
+    fn start(&mut self, configs: &ConfigPayload) -> StartOutcome {
         self.running = None;
-        let Some(text) = configs.get("server.xml") else {
+        let Some(file) = configs.get("server.xml") else {
             return StartOutcome::FailedToStart {
                 diagnostic: "cannot open server.xml".to_string(),
             };
         };
-        let tree = match XmlFormat::new().parse(text) {
-            Ok(t) => t,
-            Err(e) => {
-                return StartOutcome::FailedToStart {
-                    diagnostic: format!("server.xml is not well-formed: {e}"),
-                }
+        let startup = self
+            .cache
+            .get_or_parse("server.xml", file, Self::parse_and_validate);
+        match startup.as_ref() {
+            Ok(state) => {
+                self.running = Some(Arc::clone(state));
+                StartOutcome::Started
             }
-        };
-        let mut state = Running::default();
-        let mut hosts = Vec::new();
-        let mut default_hosts = Vec::new();
-        for child in tree.root().children() {
-            if let Err(diagnostic) =
-                Self::validate_element(child, "", &mut state, &mut hosts, &mut default_hosts)
-            {
-                return StartOutcome::FailedToStart { diagnostic };
-            }
+            Err(diagnostic) => StartOutcome::FailedToStart {
+                diagnostic: diagnostic.clone(),
+            },
         }
-        if state.connector_ports.is_empty() {
-            return StartOutcome::FailedToStart {
-                diagnostic: "no <connector> elements: nothing to listen on".to_string(),
-            };
-        }
-        // Cross-element constraint: the engine's default host must be
-        // declared.
-        for dh in &default_hosts {
-            if !hosts.iter().any(|h| h.eq_ignore_ascii_case(dh)) {
-                return StartOutcome::FailedToStart {
-                    diagnostic: format!(
-                        "<engine default-host=\"{dh}\"> does not match any declared <host>"
-                    ),
-                };
-            }
-        }
-        self.running = Some(state);
-        StartOutcome::Started
     }
 
     fn test_names(&self) -> Vec<String> {
@@ -258,6 +271,14 @@ impl SystemUnderTest for AppServerSim {
     fn stop(&mut self) {
         self.running = None;
     }
+
+    fn set_parse_caching(&mut self, enabled: bool) {
+        self.cache.set_enabled(enabled);
+    }
+
+    fn parse_cache_stats(&self) -> Option<CacheStats> {
+        Some(self.cache.stats())
+    }
 }
 
 #[cfg(test)]
@@ -269,7 +290,7 @@ mod tests {
         let mut sut = AppServerSim::new();
         let mut configs = default_configs(&sut);
         patch(configs.get_mut("server.xml").unwrap());
-        let outcome = sut.start(&configs);
+        let outcome = sut.start(&ConfigPayload::from_texts(&configs));
         (sut, outcome)
     }
 

@@ -13,13 +13,14 @@
 //! server is answering to requests both for the forward and the
 //! reverse zone" — zone-liveness SOA probes, not per-record audits.
 
-use std::collections::BTreeMap;
-
 use conferr_formats::{ConfigFormat, ZoneFormat};
 use conferr_tree::ConfTree;
 
 use crate::minidns::{QType, ZoneStore};
-use crate::{ConfigFileSpec, StartOutcome, SystemUnderTest, TestOutcome};
+use crate::{
+    CacheStats, ConfigFileSpec, ConfigPayload, ParseCache, StartOutcome, SystemUnderTest,
+    TestOutcome,
+};
 
 const DEFAULT_FORWARD_ZONE: &str = "\
 $TTL 86400
@@ -55,11 +56,19 @@ struct Running {
     store: ZoneStore,
 }
 
+/// Deterministic result of parsing and sanity-checking one zone
+/// file's text: the zone apex and its loaded records, or the loader
+/// diagnostic. Memoized per file, so an injection that mutates
+/// `forward.zone` re-parses only that file while `reverse.zone` is
+/// served from the cache.
+type ZoneParse = Result<(String, Vec<LoadedRecord>), String>;
+
 /// The BIND 9.4 simulator. See the module docs for which RFC-1912
 /// faults its loader detects.
 #[derive(Debug, Default)]
 pub struct BindSim {
     running: Option<Running>,
+    cache: ParseCache<ZoneParse>,
 }
 
 #[derive(Debug, Clone)]
@@ -72,7 +81,16 @@ struct LoadedRecord {
 impl BindSim {
     /// Creates a stopped simulator.
     pub fn new() -> Self {
-        BindSim { running: None }
+        BindSim::default()
+    }
+
+    /// The full per-zone startup path: parse the master file and run
+    /// BIND's zone sanity checks. Pure in `(file, text)`.
+    fn parse_zone(file: &str, text: &str) -> ZoneParse {
+        let tree = ZoneFormat::new()
+            .parse(text)
+            .map_err(|e| format!("dns_master_load: {e}"))?;
+        Self::load_zone(file, &tree)
     }
 
     /// Shared access to the loaded zone store (for assertions).
@@ -275,32 +293,30 @@ impl SystemUnderTest for BindSim {
         ]
     }
 
-    fn start(&mut self, configs: &BTreeMap<String, String>) -> StartOutcome {
+    fn start(&mut self, configs: &ConfigPayload) -> StartOutcome {
         self.running = None;
-        let fmt = ZoneFormat::new();
         let mut store = ZoneStore::new();
         for file in ["forward.zone", "reverse.zone"] {
-            let Some(text) = configs.get(file) else {
+            let Some(file_text) = configs.get(file) else {
                 return StartOutcome::FailedToStart {
                     diagnostic: format!("could not open zone file '{file}'"),
                 };
             };
-            let tree = match fmt.parse(text) {
-                Ok(t) => t,
-                Err(e) => {
-                    return StartOutcome::FailedToStart {
-                        diagnostic: format!("dns_master_load: {e}"),
-                    }
-                }
-            };
-            match Self::load_zone(file, &tree) {
+            let parsed = self
+                .cache
+                .get_or_parse(file, file_text, |text| Self::parse_zone(file, text));
+            match parsed.as_ref() {
                 Ok((apex, records)) => {
-                    store.add_zone(&apex);
+                    store.add_zone(apex);
                     for r in records {
-                        store.add_record(&r.owner, r.rtype, r.rdata);
+                        store.add_record(&r.owner, r.rtype, r.rdata.clone());
                     }
                 }
-                Err(diagnostic) => return StartOutcome::FailedToStart { diagnostic },
+                Err(diagnostic) => {
+                    return StartOutcome::FailedToStart {
+                        diagnostic: diagnostic.clone(),
+                    }
+                }
             }
         }
         self.running = Some(Running { store });
@@ -335,6 +351,14 @@ impl SystemUnderTest for BindSim {
     fn stop(&mut self) {
         self.running = None;
     }
+
+    fn set_parse_caching(&mut self, enabled: bool) {
+        self.cache.set_enabled(enabled);
+    }
+
+    fn parse_cache_stats(&self) -> Option<CacheStats> {
+        Some(self.cache.stats())
+    }
 }
 
 #[cfg(test)]
@@ -342,12 +366,13 @@ mod tests {
     use super::*;
     use crate::default_configs;
     use crate::minidns::QType;
+    use std::collections::BTreeMap;
 
     fn start_with(patch: impl Fn(&mut BTreeMap<String, String>)) -> (BindSim, StartOutcome) {
         let mut sut = BindSim::new();
         let mut configs = default_configs(&sut);
         patch(&mut configs);
-        let outcome = sut.start(&configs);
+        let outcome = sut.start(&ConfigPayload::from_texts(&configs));
         (sut, outcome)
     }
 

@@ -12,12 +12,15 @@
 //! prefixes and malformed IPv4 addresses abort startup, as
 //! `tinydns-data` would).
 
-use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use conferr_formats::{tinydns_fields, ConfigFormat, TinyDnsFormat};
 
 use crate::minidns::{QType, ZoneStore};
-use crate::{ConfigFileSpec, StartOutcome, SystemUnderTest, TestOutcome};
+use crate::{
+    CacheStats, ConfigFileSpec, ConfigPayload, ParseCache, StartOutcome, SystemUnderTest,
+    TestOutcome,
+};
 
 const DEFAULT_DATA: &str = "\
 # tinydns-data for example.com
@@ -34,25 +37,48 @@ Cwebmail.example.com:www.example.com:86400
 
 #[derive(Debug)]
 struct Running {
-    store: ZoneStore,
+    store: Arc<ZoneStore>,
 }
+
+/// Deterministic result of parsing one `data` file's text: the loaded
+/// record store (read-only while running), or the `tinydns-data`
+/// diagnostic. This is what the parse cache memoizes.
+type DataParse = Result<Arc<ZoneStore>, String>;
 
 /// The djbdns/tinydns simulator. See the module docs for what its
 /// loader does — and deliberately does not — check.
 #[derive(Debug, Default)]
 pub struct DjbdnsSim {
     running: Option<Running>,
+    cache: ParseCache<DataParse>,
 }
 
 impl DjbdnsSim {
     /// Creates a stopped simulator.
     pub fn new() -> Self {
-        DjbdnsSim { running: None }
+        DjbdnsSim::default()
     }
 
     /// Shared access to the loaded record store (for assertions).
     pub fn store(&self) -> Option<&ZoneStore> {
-        self.running.as_ref().map(|r| &r.store)
+        self.running.as_ref().map(|r| r.store.as_ref())
+    }
+
+    /// The full startup path: parse the tinydns data file and load
+    /// every line, as `tinydns-data` would. Pure in the text.
+    fn parse_data(text: &str) -> DataParse {
+        let tree = TinyDnsFormat::new()
+            .parse(text)
+            .map_err(|e| format!("tinydns-data: fatal: {e}"))?;
+        let mut store = ZoneStore::new();
+        for (i, node) in tree.root().children().iter().enumerate() {
+            if node.kind() != "line" {
+                continue;
+            }
+            let ty = node.attr("type").unwrap_or("");
+            Self::load_line(&mut store, ty, node.text().unwrap_or(""), i + 1)?;
+        }
+        Ok(Arc::new(store))
     }
 
     fn check_ip(ip: &str, line_no: usize) -> Result<(), String> {
@@ -180,35 +206,25 @@ impl SystemUnderTest for DjbdnsSim {
         }]
     }
 
-    fn start(&mut self, configs: &BTreeMap<String, String>) -> StartOutcome {
+    fn start(&mut self, configs: &ConfigPayload) -> StartOutcome {
         self.running = None;
-        let Some(text) = configs.get("data") else {
+        let Some(file) = configs.get("data") else {
             return StartOutcome::FailedToStart {
                 diagnostic: "tinydns-data: fatal: unable to open data".to_string(),
             };
         };
-        let tree = match TinyDnsFormat::new().parse(text) {
-            Ok(t) => t,
-            Err(e) => {
-                return StartOutcome::FailedToStart {
-                    diagnostic: format!("tinydns-data: fatal: {e}"),
-                }
+        let parsed = self.cache.get_or_parse("data", file, Self::parse_data);
+        match parsed.as_ref() {
+            Ok(store) => {
+                self.running = Some(Running {
+                    store: Arc::clone(store),
+                });
+                StartOutcome::Started
             }
-        };
-        let mut store = ZoneStore::new();
-        for (i, node) in tree.root().children().iter().enumerate() {
-            if node.kind() != "line" {
-                continue;
-            }
-            let ty = node.attr("type").unwrap_or("");
-            if let Err(diagnostic) =
-                Self::load_line(&mut store, ty, node.text().unwrap_or(""), i + 1)
-            {
-                return StartOutcome::FailedToStart { diagnostic };
-            }
+            Err(diagnostic) => StartOutcome::FailedToStart {
+                diagnostic: diagnostic.clone(),
+            },
         }
-        self.running = Some(Running { store });
-        StartOutcome::Started
     }
 
     fn test_names(&self) -> Vec<String> {
@@ -239,6 +255,14 @@ impl SystemUnderTest for DjbdnsSim {
     fn stop(&mut self) {
         self.running = None;
     }
+
+    fn set_parse_caching(&mut self, enabled: bool) {
+        self.cache.set_enabled(enabled);
+    }
+
+    fn parse_cache_stats(&self) -> Option<CacheStats> {
+        Some(self.cache.stats())
+    }
 }
 
 #[cfg(test)]
@@ -250,7 +274,7 @@ mod tests {
         let mut sut = DjbdnsSim::new();
         let mut configs = default_configs(&sut);
         patch(configs.get_mut("data").unwrap());
-        let outcome = sut.start(&configs);
+        let outcome = sut.start(&ConfigPayload::from_texts(&configs));
         (sut, outcome)
     }
 

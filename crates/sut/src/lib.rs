@@ -20,8 +20,24 @@
 //!   used by both name servers.
 //!
 //! Every simulator implements [`SystemUnderTest`]: the campaign driver
-//! feeds it serialized (possibly fault-injected) configuration text,
-//! starts it, runs its functional tests and classifies the outcome.
+//! feeds it a [`ConfigPayload`] of serialized (possibly
+//! fault-injected) configuration text, starts it, runs its functional
+//! tests and classifies the outcome. Because the simulators are
+//! deterministic functions of that text, each memoizes its
+//! parse-and-validate startup path in a content-addressed
+//! [`ParseCache`] — byte-identical text provably yields the identical
+//! [`StartOutcome`], so repeated starts cost a lookup instead of a
+//! re-parse while mutated text always takes the full paper-faithful
+//! startup path on first sight (see [`payload`] for the design).
+//!
+//! # Architecture
+//!
+//! This crate is the *case-study layer* of the reproduction (paper
+//! §5): in the workspace DAG
+//! `tree → {keyboard, formats, model} → {plugins, sut} → core → bench`
+//! it sits alongside the error-generator plugins, consuming the
+//! format layer ([`conferr_formats`]) and being driven by the
+//! campaign engine in `conferr` (core).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
@@ -35,6 +51,7 @@ pub mod minidb;
 pub mod minidns;
 pub mod minihttp;
 mod mysql;
+pub mod payload;
 mod postgres;
 
 pub use apache::ApacheSim;
@@ -46,6 +63,7 @@ pub use directive::{
 };
 pub use djbdns::DjbdnsSim;
 pub use mysql::MySqlSim;
+pub use payload::{CacheStats, ConfigPayload, ContentId, FileText, ParseCache, TextOrigin};
 pub use postgres::PostgresSim;
 
 use std::collections::BTreeMap;
@@ -141,7 +159,23 @@ impl TestOutcome {
 /// startup path would, `run_test` exercises the running instance the
 /// way an administrator's smoke script would (paper §5.1: create a
 /// table and query it; fetch a page; resolve forward and reverse
-/// names).
+/// names). Determinism is what makes the [`ParseCache`] sound: the
+/// same configuration bytes must always produce the same
+/// [`StartOutcome`].
+///
+/// # Examples
+///
+/// ```
+/// use conferr_sut::{default_payload, MySqlSim, SystemUnderTest};
+///
+/// let mut sut = MySqlSim::new();
+/// let payload = default_payload(&sut);
+/// assert!(sut.start(&payload).is_running());
+/// for test in sut.test_names() {
+///     assert!(sut.run_test(&test).passed());
+/// }
+/// sut.stop();
+/// ```
 pub trait SystemUnderTest: fmt::Debug {
     /// System name, e.g. `"mysql-sim"`.
     fn name(&self) -> &str;
@@ -149,9 +183,11 @@ pub trait SystemUnderTest: fmt::Debug {
     /// The configuration files the system reads, with defaults.
     fn config_files(&self) -> Vec<ConfigFileSpec>;
 
-    /// Starts the system from raw configuration text (keyed by file
-    /// name, as produced by serializing a mutated configuration set).
-    fn start(&mut self, configs: &BTreeMap<String, String>) -> StartOutcome;
+    /// Starts the system from the serialized configuration payload
+    /// (shared per-file text plus content identity, as produced by
+    /// serializing a mutated configuration set — see
+    /// [`ConfigPayload`]).
+    fn start(&mut self, configs: &ConfigPayload) -> StartOutcome;
 
     /// Names of the functional tests, in execution order.
     fn test_names(&self) -> Vec<String>;
@@ -161,6 +197,18 @@ pub trait SystemUnderTest: fmt::Debug {
 
     /// Stops the system and discards runtime state.
     fn stop(&mut self);
+
+    /// Enables or disables startup parse memoization, when the
+    /// implementation has a [`ParseCache`]. Disabling yields the
+    /// reference cold path: every `start` re-parses from text.
+    /// Default: no-op for implementations without a cache.
+    fn set_parse_caching(&mut self, _enabled: bool) {}
+
+    /// Parse-cache counters, or `None` when the implementation does
+    /// not memoize startup parsing.
+    fn parse_cache_stats(&self) -> Option<CacheStats> {
+        None
+    }
 }
 
 /// Builds the default configuration text map for a system — the
@@ -169,6 +217,15 @@ pub fn default_configs(sut: &dyn SystemUnderTest) -> BTreeMap<String, String> {
     sut.config_files()
         .into_iter()
         .map(|spec| (spec.name, spec.default_contents))
+        .collect()
+}
+
+/// Builds the default configuration payload for a system, tagging
+/// every file as baseline text (pinned once parsed).
+pub fn default_payload(sut: &dyn SystemUnderTest) -> ConfigPayload {
+    sut.config_files()
+        .into_iter()
+        .map(|spec| (spec.name, FileText::baseline(spec.default_contents)))
         .collect()
 }
 

@@ -26,6 +26,7 @@
 //! Table 1 row and its poor Figure 3 profile.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use conferr_formats::{ConfigFormat, IniFormat};
 use conferr_tree::Node;
@@ -35,7 +36,10 @@ use crate::directive::{
     MySqlParse, PrefixError, ValueType,
 };
 use crate::minidb::{Engine, EngineLimits};
-use crate::{ConfigFileSpec, StartOutcome, SystemUnderTest, TestOutcome};
+use crate::{
+    CacheStats, ConfigFileSpec, ConfigPayload, ParseCache, StartOutcome, SystemUnderTest,
+    TestOutcome,
+};
 
 /// Registry of `[mysqld]` server variables (a representative subset of
 /// MySQL 5.1's ~280 system variables; bounds follow the 5.1 manual).
@@ -391,23 +395,37 @@ max_allowed_packet=16M
 
 #[derive(Debug)]
 struct Running {
-    vars: BTreeMap<String, String>,
+    vars: Arc<BTreeMap<String, String>>,
     engine: Engine,
     port: String,
-    raw_config: String,
+    raw_config: Arc<str>,
 }
+
+/// Deterministic result of parsing and validating one `my.cnf` text:
+/// the resolved server variables and derived engine limits, or the
+/// fatal startup diagnostic. This is what the parse cache memoizes;
+/// the mutable query engine is built fresh on every start.
+#[derive(Debug)]
+struct Blueprint {
+    vars: Arc<BTreeMap<String, String>>,
+    port: String,
+    limits: EngineLimits,
+}
+
+type MySqlStartup = Result<Blueprint, String>;
 
 /// The MySQL 5.1 simulator. See the module docs for the flaw
 /// inventory it reproduces.
 #[derive(Debug, Default)]
 pub struct MySqlSim {
     running: Option<Running>,
+    cache: ParseCache<MySqlStartup>,
 }
 
 impl MySqlSim {
     /// Creates a stopped simulator.
     pub fn new() -> Self {
-        MySqlSim { running: None }
+        MySqlSim::default()
     }
 
     /// A full-coverage `my.cnf` for the §5.5 comparison benchmark:
@@ -558,36 +576,14 @@ impl MySqlSim {
         vars.insert(spec_name.to_string(), value);
         Ok(())
     }
-}
 
-impl SystemUnderTest for MySqlSim {
-    fn name(&self) -> &str {
-        "mysql-sim"
-    }
-
-    fn config_files(&self) -> Vec<ConfigFileSpec> {
-        vec![ConfigFileSpec {
-            name: "my.cnf".to_string(),
-            format: "ini".to_string(),
-            default_contents: DEFAULT_MY_CNF.to_string(),
-        }]
-    }
-
-    fn start(&mut self, configs: &BTreeMap<String, String>) -> StartOutcome {
-        self.running = None;
-        let Some(text) = configs.get("my.cnf") else {
-            return StartOutcome::FailedToStart {
-                diagnostic: "could not open required defaults file: my.cnf".to_string(),
-            };
-        };
-        let tree = match IniFormat::new().parse(text) {
-            Ok(t) => t,
-            Err(e) => {
-                return StartOutcome::FailedToStart {
-                    diagnostic: format!("error while reading my.cnf: {e}"),
-                }
-            }
-        };
+    /// The full startup path: parse `my.cnf`, absorb the `[mysqld]`
+    /// group with MySQL's lenient value discipline, check path-valued
+    /// directives. Pure in the configuration text.
+    fn parse_and_validate(text: &str) -> MySqlStartup {
+        let tree = IniFormat::new()
+            .parse(text)
+            .map_err(|e| format!("error while reading my.cnf: {e}"))?;
         // Seed every variable with its default, then absorb [mysqld].
         let mut vars: BTreeMap<String, String> = SERVER_REGISTRY
             .iter()
@@ -602,9 +598,7 @@ impl SystemUnderTest for MySqlSim {
                 continue;
             }
             for node in section.children_of_kind("directive") {
-                if let Err(diagnostic) = Self::absorb_server_directive(&mut vars, node) {
-                    return StartOutcome::FailedToStart { diagnostic };
-                }
+                Self::absorb_server_directive(&mut vars, node)?;
             }
         }
         // Path-valued directives must point at an existing location,
@@ -612,11 +606,9 @@ impl SystemUnderTest for MySqlSim {
         for path_var in ["datadir", "basedir", "tmpdir", "socket", "log_error"] {
             if let Some(path) = vars.get(path_var) {
                 if !path_is_valid(path) {
-                    return StartOutcome::FailedToStart {
-                        diagnostic: format!(
-                            "[ERROR] {path_var}: Can't read dir of '{path}' (Errcode: 2)"
-                        ),
-                    };
+                    return Err(format!(
+                        "[ERROR] {path_var}: Can't read dir of '{path}' (Errcode: 2)"
+                    ));
                 }
             }
         }
@@ -634,13 +626,51 @@ impl SystemUnderTest for MySqlSim {
             .get("port")
             .cloned()
             .unwrap_or_else(|| DEFAULT_PORT.to_string());
-        self.running = Some(Running {
-            vars,
-            engine: Engine::new(limits),
+        Ok(Blueprint {
+            vars: Arc::new(vars),
             port,
-            raw_config: text.clone(),
-        });
-        StartOutcome::Started
+            limits,
+        })
+    }
+}
+
+impl SystemUnderTest for MySqlSim {
+    fn name(&self) -> &str {
+        "mysql-sim"
+    }
+
+    fn config_files(&self) -> Vec<ConfigFileSpec> {
+        vec![ConfigFileSpec {
+            name: "my.cnf".to_string(),
+            format: "ini".to_string(),
+            default_contents: DEFAULT_MY_CNF.to_string(),
+        }]
+    }
+
+    fn start(&mut self, configs: &ConfigPayload) -> StartOutcome {
+        self.running = None;
+        let Some(file) = configs.get("my.cnf") else {
+            return StartOutcome::FailedToStart {
+                diagnostic: "could not open required defaults file: my.cnf".to_string(),
+            };
+        };
+        let startup = self
+            .cache
+            .get_or_parse("my.cnf", file, Self::parse_and_validate);
+        match startup.as_ref() {
+            Ok(blueprint) => {
+                self.running = Some(Running {
+                    vars: Arc::clone(&blueprint.vars),
+                    engine: Engine::new(blueprint.limits.clone()),
+                    port: blueprint.port.clone(),
+                    raw_config: file.shared_text(),
+                });
+                StartOutcome::Started
+            }
+            Err(diagnostic) => StartOutcome::FailedToStart {
+                diagnostic: diagnostic.clone(),
+            },
+        }
     }
 
     fn test_names(&self) -> Vec<String> {
@@ -718,6 +748,14 @@ impl SystemUnderTest for MySqlSim {
     fn stop(&mut self) {
         self.running = None;
     }
+
+    fn set_parse_caching(&mut self, enabled: bool) {
+        self.cache.set_enabled(enabled);
+    }
+
+    fn parse_cache_stats(&self) -> Option<CacheStats> {
+        Some(self.cache.stats())
+    }
 }
 
 #[cfg(test)]
@@ -730,7 +768,7 @@ mod tests {
         let mut configs = default_configs(&sut);
         let text = configs.get_mut("my.cnf").unwrap();
         patch(text);
-        let outcome = sut.start(&configs.clone());
+        let outcome = sut.start(&ConfigPayload::from_texts(&configs));
         (sut, outcome)
     }
 

@@ -17,6 +17,7 @@
 //!   accepted) but may **not** be truncated (Table 2: rejected).
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use conferr_formats::{ConfigFormat, KvFormat};
 
@@ -24,7 +25,10 @@ use crate::directive::{
     parse_bool_pg, parse_int_strict, parse_size_strict, DirectiveSpec, ValueType,
 };
 use crate::minidb::{Engine, EngineLimits};
-use crate::{ConfigFileSpec, StartOutcome, SystemUnderTest, TestOutcome};
+use crate::{
+    CacheStats, ConfigFileSpec, ConfigPayload, ParseCache, StartOutcome, SystemUnderTest,
+    TestOutcome,
+};
 
 /// Registry of configuration parameters (a representative subset of
 /// Postgres 8.2's ~200 GUC variables; bounds follow the 8.2 docs).
@@ -189,21 +193,35 @@ port = 5432
 
 #[derive(Debug)]
 struct Running {
-    vars: BTreeMap<String, String>,
+    vars: Arc<BTreeMap<String, String>>,
     engine: Engine,
 }
+
+/// Deterministic result of parsing and validating one
+/// `postgresql.conf` text: the resolved parameters and derived engine
+/// limits, or the FATAL startup diagnostic. This is what the parse
+/// cache memoizes; the mutable query engine is built fresh on every
+/// start.
+#[derive(Debug)]
+struct Blueprint {
+    vars: Arc<BTreeMap<String, String>>,
+    limits: EngineLimits,
+}
+
+type PostgresStartup = Result<Blueprint, String>;
 
 /// The Postgres 8.2 simulator. See the module docs for the validation
 /// discipline it reproduces.
 #[derive(Debug, Default)]
 pub struct PostgresSim {
     running: Option<Running>,
+    cache: ParseCache<PostgresStartup>,
 }
 
 impl PostgresSim {
     /// Creates a stopped simulator.
     pub fn new() -> Self {
-        PostgresSim { running: None }
+        PostgresSim::default()
     }
 
     /// A full-coverage `postgresql.conf` for the §5.5 comparison
@@ -323,36 +341,15 @@ impl PostgresSim {
         }
         Ok(())
     }
-}
 
-impl SystemUnderTest for PostgresSim {
-    fn name(&self) -> &str {
-        "postgres-sim"
-    }
-
-    fn config_files(&self) -> Vec<ConfigFileSpec> {
-        vec![ConfigFileSpec {
-            name: "postgresql.conf".to_string(),
-            format: "kv".to_string(),
-            default_contents: DEFAULT_CONF.to_string(),
-        }]
-    }
-
-    fn start(&mut self, configs: &BTreeMap<String, String>) -> StartOutcome {
-        self.running = None;
-        let Some(text) = configs.get("postgresql.conf") else {
-            return StartOutcome::FailedToStart {
-                diagnostic: "could not open postgresql.conf".to_string(),
-            };
-        };
-        let tree = match KvFormat::new().parse(text) {
-            Ok(t) => t,
-            Err(e) => {
-                return StartOutcome::FailedToStart {
-                    diagnostic: format!("syntax error in postgresql.conf: {e}"),
-                }
-            }
-        };
+    /// The full startup path: parse `postgresql.conf`, validate every
+    /// parameter strictly, enforce the cross-directive constraints.
+    /// Pure in the configuration text; errors carry the exact FATAL
+    /// diagnostic.
+    fn parse_and_validate(text: &str) -> PostgresStartup {
+        let tree = KvFormat::new()
+            .parse(text)
+            .map_err(|e| format!("syntax error in postgresql.conf: {e}"))?;
         let mut vars: BTreeMap<String, String> = REGISTRY
             .iter()
             .map(|s| {
@@ -368,43 +365,31 @@ impl SystemUnderTest for PostgresSim {
             // Case-insensitive, *exact* (no truncation) lookup.
             let lower = raw_name.to_ascii_lowercase();
             let Some(spec) = REGISTRY.iter().find(|s| s.name == lower) else {
-                return StartOutcome::FailedToStart {
-                    diagnostic: format!(
-                        "FATAL: unrecognized configuration parameter \"{raw_name}\""
-                    ),
-                };
+                return Err(format!(
+                    "FATAL: unrecognized configuration parameter \"{raw_name}\""
+                ));
             };
             let raw_value = node.text().unwrap_or("");
             if raw_value.is_empty() {
-                return StartOutcome::FailedToStart {
-                    diagnostic: format!("FATAL: parameter \"{raw_name}\" requires a value"),
-                };
+                return Err(format!("FATAL: parameter \"{raw_name}\" requires a value"));
             }
             // Unbalanced quoting is a syntax error, exactly as the
             // real guc-file lexer reports it.
             if raw_value.matches('\'').count() % 2 == 1 {
-                return StartOutcome::FailedToStart {
-                    diagnostic: format!(
-                        "FATAL: syntax error in configuration near \"{raw_value}\" \
-                         (unterminated quoted string)"
-                    ),
-                };
+                return Err(format!(
+                    "FATAL: syntax error in configuration near \"{raw_value}\" \
+                     (unterminated quoted string)"
+                ));
             }
             match Self::validate_value(spec, raw_value) {
                 Ok(v) => {
                     vars.insert(spec.name.to_string(), v);
                 }
-                Err(msg) => {
-                    return StartOutcome::FailedToStart {
-                        diagnostic: format!("FATAL: {msg}"),
-                    }
-                }
+                Err(msg) => return Err(format!("FATAL: {msg}")),
             }
         }
         if let Err(msg) = Self::check_cross_constraints(&vars) {
-            return StartOutcome::FailedToStart {
-                diagnostic: format!("FATAL: {msg}"),
-            };
+            return Err(format!("FATAL: {msg}"));
         }
         let limits = EngineLimits {
             max_connections: vars
@@ -413,11 +398,48 @@ impl SystemUnderTest for PostgresSim {
                 .unwrap_or(100),
             max_statement_bytes: 1 << 20,
         };
-        self.running = Some(Running {
-            vars,
-            engine: Engine::new(limits),
-        });
-        StartOutcome::Started
+        Ok(Blueprint {
+            vars: Arc::new(vars),
+            limits,
+        })
+    }
+}
+
+impl SystemUnderTest for PostgresSim {
+    fn name(&self) -> &str {
+        "postgres-sim"
+    }
+
+    fn config_files(&self) -> Vec<ConfigFileSpec> {
+        vec![ConfigFileSpec {
+            name: "postgresql.conf".to_string(),
+            format: "kv".to_string(),
+            default_contents: DEFAULT_CONF.to_string(),
+        }]
+    }
+
+    fn start(&mut self, configs: &ConfigPayload) -> StartOutcome {
+        self.running = None;
+        let Some(file) = configs.get("postgresql.conf") else {
+            return StartOutcome::FailedToStart {
+                diagnostic: "could not open postgresql.conf".to_string(),
+            };
+        };
+        let startup = self
+            .cache
+            .get_or_parse("postgresql.conf", file, Self::parse_and_validate);
+        match startup.as_ref() {
+            Ok(blueprint) => {
+                self.running = Some(Running {
+                    vars: Arc::clone(&blueprint.vars),
+                    engine: Engine::new(blueprint.limits.clone()),
+                });
+                StartOutcome::Started
+            }
+            Err(diagnostic) => StartOutcome::FailedToStart {
+                diagnostic: diagnostic.clone(),
+            },
+        }
     }
 
     fn test_names(&self) -> Vec<String> {
@@ -462,6 +484,14 @@ impl SystemUnderTest for PostgresSim {
     fn stop(&mut self) {
         self.running = None;
     }
+
+    fn set_parse_caching(&mut self, enabled: bool) {
+        self.cache.set_enabled(enabled);
+    }
+
+    fn parse_cache_stats(&self) -> Option<CacheStats> {
+        Some(self.cache.stats())
+    }
 }
 
 #[cfg(test)]
@@ -473,7 +503,7 @@ mod tests {
         let mut sut = PostgresSim::new();
         let mut configs = default_configs(&sut);
         patch(configs.get_mut("postgresql.conf").unwrap());
-        let outcome = sut.start(&configs);
+        let outcome = sut.start(&ConfigPayload::from_texts(&configs));
         (sut, outcome)
     }
 

@@ -66,36 +66,46 @@ impl fmt::Display for DiffOp {
 /// recursively.
 pub fn diff(old: &ConfTree, new: &ConfTree) -> Vec<DiffOp> {
     let mut ops = Vec::new();
+    let mut old_path = Vec::new();
+    let mut new_path = Vec::new();
     diff_nodes(
         old.root(),
         new.root(),
-        &TreePath::root(),
-        &TreePath::root(),
+        &mut old_path,
+        &mut new_path,
         &mut ops,
     );
     ops
 }
 
-fn signature(n: &Node) -> (String, Option<String>) {
-    (n.kind().to_string(), n.attr("name").map(str::to_string))
+/// Materializes a path stack plus a final child index into a
+/// [`TreePath`] — only called when an op is actually emitted, so the
+/// all-equal hot path allocates nothing per node.
+fn path_at(stack: &[usize], index: usize) -> TreePath {
+    let mut segments = Vec::with_capacity(stack.len() + 1);
+    segments.extend_from_slice(stack);
+    segments.push(index);
+    TreePath::from(segments)
+}
+
+fn signature(n: &Node) -> (&str, Option<&str>) {
+    (n.kind(), n.attr("name"))
 }
 
 fn shallow_equal(a: &Node, b: &Node) -> bool {
-    a.kind() == b.kind()
-        && a.text() == b.text()
-        && a.attrs().collect::<Vec<_>>() == b.attrs().collect::<Vec<_>>()
+    a.kind() == b.kind() && a.text() == b.text() && a.attrs().eq(b.attrs())
 }
 
 fn diff_nodes(
     old: &Node,
     new: &Node,
-    old_path: &TreePath,
-    new_path: &TreePath,
+    old_path: &mut Vec<usize>,
+    new_path: &mut Vec<usize>,
     ops: &mut Vec<DiffOp>,
 ) {
     if !shallow_equal(old, new) {
         ops.push(DiffOp::Changed {
-            path: new_path.clone(),
+            path: TreePath::from(new_path.clone()),
             before: old.describe(),
             after: new.describe(),
         });
@@ -108,38 +118,41 @@ fn diff_nodes(
     for &(pa, pb) in &pairs {
         while ai < pa {
             ops.push(DiffOp::Deleted {
-                path: old_path.child(ai),
+                path: path_at(old_path, ai),
                 node: a[ai].describe(),
             });
             ai += 1;
         }
         while bi < pb {
             ops.push(DiffOp::Inserted {
-                path: new_path.child(bi),
+                path: path_at(new_path, bi),
                 node: b[bi].describe(),
             });
             bi += 1;
         }
-        diff_nodes(
-            &a[pa],
-            &b[pb],
-            &old_path.child(pa),
-            &new_path.child(pb),
-            ops,
-        );
+        // Equal subtrees need no recursion; the compare is shallow-
+        // first and cheap, and single-point edits leave almost every
+        // paired subtree untouched.
+        if a[pa] != b[pb] {
+            old_path.push(pa);
+            new_path.push(pb);
+            diff_nodes(&a[pa], &b[pb], old_path, new_path, ops);
+            old_path.pop();
+            new_path.pop();
+        }
         ai = pa + 1;
         bi = pb + 1;
     }
     while ai < a.len() {
         ops.push(DiffOp::Deleted {
-            path: old_path.child(ai),
+            path: path_at(old_path, ai),
             node: a[ai].describe(),
         });
         ai += 1;
     }
     while bi < b.len() {
         ops.push(DiffOp::Inserted {
-            path: new_path.child(bi),
+            path: path_at(new_path, bi),
             node: b[bi].describe(),
         });
         bi += 1;
@@ -148,35 +161,63 @@ fn diff_nodes(
 
 /// Longest common subsequence over child signatures; returns matched
 /// index pairs in increasing order.
+///
+/// Fault scenarios are single-point edits, so the two child lists
+/// almost always share a long common prefix and suffix. Equal-
+/// signature heads (and, symmetrically, tails) are always part of an
+/// optimal matching, so they are paired directly and the quadratic
+/// DP runs only on the usually tiny middle window — this is what
+/// keeps the per-injection diff cost proportional to the edit, not
+/// to the configuration size.
 fn lcs_pairs(a: &[Node], b: &[Node]) -> Vec<(usize, usize)> {
-    let sig_a: Vec<_> = a.iter().map(signature).collect();
-    let sig_b: Vec<_> = b.iter().map(signature).collect();
     let n = a.len();
     let m = b.len();
-    // dp[i][j] = LCS length of a[i..], b[j..]
-    let mut dp = vec![vec![0usize; m + 1]; n + 1];
-    for i in (0..n).rev() {
-        for j in (0..m).rev() {
-            dp[i][j] = if sig_a[i] == sig_b[j] {
-                dp[i + 1][j + 1] + 1
+    let mut prefix = 0;
+    while prefix < n && prefix < m && signature(&a[prefix]) == signature(&b[prefix]) {
+        prefix += 1;
+    }
+    let mut suffix = 0;
+    while suffix < n - prefix
+        && suffix < m - prefix
+        && signature(&a[n - 1 - suffix]) == signature(&b[m - 1 - suffix])
+    {
+        suffix += 1;
+    }
+    let an = n - prefix - suffix;
+    let bm = m - prefix - suffix;
+
+    let mut pairs: Vec<(usize, usize)> = (0..prefix).map(|i| (i, i)).collect();
+    if an > 0 && bm > 0 {
+        let sig_a: Vec<_> = a[prefix..prefix + an].iter().map(signature).collect();
+        let sig_b: Vec<_> = b[prefix..prefix + bm].iter().map(signature).collect();
+        // dp[i * (bm + 1) + j] = LCS length of the windows'
+        // suffixes a[i..], b[j..] (one flat buffer, no per-row
+        // allocations).
+        let width = bm + 1;
+        let mut dp = vec![0usize; (an + 1) * width];
+        for i in (0..an).rev() {
+            for j in (0..bm).rev() {
+                dp[i * width + j] = if sig_a[i] == sig_b[j] {
+                    dp[(i + 1) * width + j + 1] + 1
+                } else {
+                    dp[(i + 1) * width + j].max(dp[i * width + j + 1])
+                };
+            }
+        }
+        let (mut i, mut j) = (0, 0);
+        while i < an && j < bm {
+            if sig_a[i] == sig_b[j] {
+                pairs.push((prefix + i, prefix + j));
+                i += 1;
+                j += 1;
+            } else if dp[(i + 1) * width + j] >= dp[i * width + j + 1] {
+                i += 1;
             } else {
-                dp[i + 1][j].max(dp[i][j + 1])
-            };
+                j += 1;
+            }
         }
     }
-    let mut pairs = Vec::new();
-    let (mut i, mut j) = (0, 0);
-    while i < n && j < m {
-        if sig_a[i] == sig_b[j] {
-            pairs.push((i, j));
-            i += 1;
-            j += 1;
-        } else if dp[i + 1][j] >= dp[i][j + 1] {
-            i += 1;
-        } else {
-            j += 1;
-        }
-    }
+    pairs.extend((0..suffix).map(|k| (n - suffix + k, m - suffix + k)));
     pairs
 }
 

@@ -1,5 +1,14 @@
 //! Abstract configuration-tree representation for ConfErr.
 //!
+//! # Architecture
+//!
+//! This crate is the *foundation layer* of the reproduction (paper
+//! §3.2): in the workspace DAG
+//! `tree → {keyboard, formats, model} → {plugins, sut} → core → bench`
+//! every other crate builds on these trees — formats parse text into
+//! them, the model edits them, plugins select injection targets in
+//! them, and the campaign engine diffs them.
+//!
 //! The DSN 2008 ConfErr paper models configuration files as XML
 //! information sets: trees of *information items* with attached
 //! properties. This crate provides the native Rust equivalent:
@@ -63,7 +72,7 @@ use serde::{Deserialize, Serialize};
 /// `ConfTree` is the unit that parsers produce, error templates mutate,
 /// and serializers consume. Cloning is deep and cheap enough for the
 /// injection workloads ConfErr runs (configuration files are small).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ConfTree {
     root: Node,
 }

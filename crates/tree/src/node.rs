@@ -26,7 +26,7 @@ use crate::TreePath;
 /// assert_eq!(n.attr("name"), Some("Listen"));
 /// assert_eq!(n.text(), Some("80"));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Node {
     kind: String,
     #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]

@@ -3,6 +3,11 @@
 //! cross-crate integration tests; the actual functionality lives in the
 //! `conferr*` crates re-exported below.
 //!
+//! The workspace layers form the DAG
+//! `tree → {keyboard, formats, model} → {plugins, sut} → core → bench`;
+//! see each crate's `# Architecture` section for the paper layer it
+//! implements, and `docs/ARCHITECTURE.md` for the full map.
+//!
 //! [examples]: https://github.com/conferr/conferr-rs/tree/main/examples
 
 pub use conferr;

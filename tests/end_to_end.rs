@@ -175,7 +175,11 @@ fn suts_recover_after_failed_start() {
     bad.get_mut("postgresql.conf")
         .expect("conf")
         .push_str("bogus_param = 1\n");
-    assert!(!sut.start(&bad).is_running());
-    assert!(sut.start(&good).is_running());
+    assert!(!sut
+        .start(&conferr_sut::ConfigPayload::from_texts(&bad))
+        .is_running());
+    assert!(sut
+        .start(&conferr_sut::ConfigPayload::from_texts(&good))
+        .is_running());
     assert!(sut.run_test("connect-and-query").passed());
 }
