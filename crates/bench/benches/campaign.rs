@@ -1,8 +1,9 @@
 //! Campaign-engine throughput: the serial driver (copy-on-write
-//! apply, cached baseline serialization) versus the parallel driver,
-//! over the full §5.2 fault load. The parallel numbers scale with
-//! core count; on a single-core machine they only show the sharding
-//! overhead.
+//! apply, cached baseline serialization) versus the persistent
+//! executor-backed parallel driver, over the full §5.2 fault load.
+//! The parallel numbers scale with core count; on a single-core
+//! machine they only show the sharding overhead (and the executor's
+//! serial fast path).
 
 use conferr::{sut_factory, Campaign, ParallelCampaign};
 use conferr_bench::{default_threads, table1_faultload, DEFAULT_SEED};

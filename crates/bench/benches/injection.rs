@@ -6,7 +6,7 @@
 //! mutate → serialize → start → functional tests → classify.
 
 use conferr::Campaign;
-use conferr_bench::{table1_faultload, DEFAULT_SEED};
+use conferr_bench::{deep_copy_tree, httpd_apply_fixture, table1_faultload, DEFAULT_SEED};
 use conferr_keyboard::Keyboard;
 use conferr_sut::{default_payload, ApacheSim, MySqlSim, PostgresSim, SystemUnderTest};
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -61,6 +61,26 @@ fn bench_startup_only(c: &mut Criterion) {
     }
 }
 
+fn bench_apply_path_vs_deep_copy(c: &mut Criterion) {
+    // The injection front half on the largest configuration
+    // (httpd.conf): applying one value-typo scenario copies only the
+    // root-to-edit path of the Arc-backed tree. The deep-copy
+    // function reproduces what every apply paid per edited file
+    // before the structural sharing — the reference the >=5x
+    // acceptance gate in BENCH_campaign.json compares against.
+    let (baseline, scenario) = httpd_apply_fixture();
+    let tree = baseline.get("httpd.conf").expect("httpd.conf parsed");
+
+    let mut group = c.benchmark_group("apply_httpd");
+    group.bench_function("path_copy_apply", |b| {
+        b.iter(|| black_box(scenario.apply(black_box(&baseline)).expect("apply")))
+    });
+    group.bench_function("whole_tree_deep_copy", |b| {
+        b.iter(|| black_box(deep_copy_tree(black_box(tree))))
+    });
+    group.finish();
+}
+
 fn bench_full_campaign(c: &mut Criterion) {
     // The paper's headline: "testing each SUT took less than one
     // hour". The whole Table 1 column runs in milliseconds here.
@@ -83,6 +103,7 @@ criterion_group!(
     benches,
     bench_single_injection,
     bench_startup_only,
+    bench_apply_path_vs_deep_copy,
     bench_full_campaign
 );
 criterion_main!(benches);

@@ -3,7 +3,7 @@
 //!
 //! Runs the full §5.2 fault load (Table 1 protocol: every-directive
 //! deletion plus sampled name/value typos) against MySQL, Postgres
-//! and Apache, `repeat` times over, through three configurations:
+//! and Apache, `repeat` times over, through five configurations:
 //!
 //! * **serial uncached** — one `Campaign`, one SUT, parse caching
 //!   disabled: the reference cold path (every `start` re-parses its
@@ -13,29 +13,49 @@
 //!   texts parse once;
 //! * **parallel** — `ParallelCampaign`, one worker and one SUT
 //!   instance (with its own cache) per thread, outcomes merged in
-//!   fault order.
+//!   fault order;
+//! * **executor** — one persistent `CampaignExecutor` shared by all
+//!   three systems: worker threads and per-worker SUT caches are
+//!   constructed once and reused across every `run_faults` call;
+//! * **batch** — all three systems' fault loads as **one**
+//!   `CampaignBatch`, drained off a single campaign-tagged queue
+//!   (cross-system work stealing), timed cold (fresh engines and
+//!   pool) and warm (resubmitted to the persistent executor).
 //!
-//! All three profiles are asserted **byte-identical** before any
-//! timing is reported — the parse cache and the scheduler must be
-//! pure wall-clock optimisations — then the numbers go to
-//! `BENCH_campaign.json`. The parallel speedup scales with core
-//! count; on a single-core machine it only measures sharding
-//! overhead.
+//! All profiles are asserted **byte-identical** before any timing is
+//! reported — caches, the pool and the batch scheduler must be pure
+//! wall-clock optimisations — then the numbers go to
+//! `BENCH_campaign.json` (schema v3). The parallel/executor/batch
+//! speedups scale with core count; on a single-core machine they only
+//! measure scheduling overhead (and the batch profile exercises the
+//! executor's serial fast path). A final microbench times
+//! `FaultScenario::apply` on `httpd.conf` against a whole-tree deep
+//! copy — the cost the `Arc`-backed node sharing removed.
 //!
 //! ```text
 //! cargo run --release -p conferr-bench --bin bench_campaign [repeat] [threads]
 //! ```
+//!
+//! `threads` defaults to `CONFERR_THREADS` (or the machine's
+//! parallelism). CI runs this binary with `CONFERR_THREADS=2` as a
+//! byte-identity gate: any profile diverging from the uncached serial
+//! reference aborts with a failing assertion.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use conferr::{sut_factory, Campaign, ParallelCampaign, ResilienceProfile};
-use conferr_bench::{default_threads, table1_faultload, DEFAULT_SEED};
+use conferr::{
+    sut_factory, Campaign, CampaignBatch, CampaignExecutor, ExecutorCampaign, ParallelCampaign,
+    ResilienceProfile, SutFactory,
+};
+use conferr_bench::{
+    deep_copy_tree, httpd_apply_fixture, table1_faultload, threads_from_env, DEFAULT_SEED,
+};
 use conferr_keyboard::Keyboard;
 use conferr_model::GeneratedFault;
-use conferr_sut::{ApacheSim, MySqlSim, PostgresSim, SystemUnderTest};
+use conferr_sut::{ApacheSim, MySqlSim, PostgresSim};
 
-/// Fixed reference points of the trajectory, both measured on the
+/// Fixed reference points of the trajectory, all measured on the
 /// committed-run host at `repeat` = 20:
 ///
 /// * pre-PR-2: the deep-clone-everything, serialize-everything serial
@@ -54,28 +74,40 @@ struct Row {
     serial_uncached_ms: f64,
     serial_ms: f64,
     parallel_ms: f64,
+    executor_ms: f64,
 }
 
-/// Builds the repeated §5.2 fault load for one system.
-fn faultload(sut: &mut dyn SystemUnderTest, repeat: usize) -> Vec<GeneratedFault> {
+/// One system's prepared workload: factory, shared campaign, and the
+/// repeated §5.2 fault load.
+struct Workload {
+    factory: SutFactory,
+    campaign: ExecutorCampaign,
+    faults: Vec<GeneratedFault>,
+}
+
+fn workload(factory: SutFactory, repeat: usize) -> Workload {
     let keyboard = Keyboard::qwerty_us();
-    let campaign = Campaign::new(sut).expect("campaign");
+    let campaign = ExecutorCampaign::new(factory.clone()).expect("campaign");
     let one = table1_faultload(campaign.baseline(), &keyboard, DEFAULT_SEED);
-    let mut out = Vec::with_capacity(one.len() * repeat);
+    let mut faults = Vec::with_capacity(one.len() * repeat);
     for _ in 0..repeat {
-        out.extend(one.iter().cloned());
+        faults.extend(one.iter().cloned());
     }
-    out
+    Workload {
+        factory,
+        campaign,
+        faults,
+    }
 }
 
 /// One timed serial run over `faults` with every cache layer (the
 /// SUT's parse cache and the engine's fault memo) on or off.
 fn timed_serial(
-    make_sut: &(dyn Fn() -> Box<dyn SystemUnderTest> + Sync),
+    factory: &SutFactory,
     faults: Vec<GeneratedFault>,
     caching: bool,
 ) -> (ResilienceProfile, f64) {
-    let mut sut = make_sut();
+    let mut sut = factory.create();
     sut.set_parse_caching(caching);
     let mut campaign = Campaign::new(sut.as_mut()).expect("campaign");
     campaign.set_fault_memoization(caching);
@@ -84,47 +116,100 @@ fn timed_serial(
     (profile, start.elapsed().as_secs_f64() * 1e3)
 }
 
-fn run_system<F>(make_sut: F, repeat: usize, threads: usize) -> Row
-where
-    F: Fn() -> Box<dyn SystemUnderTest> + Sync,
-{
-    let mut sut = make_sut();
-    let system = sut.name().to_string();
-    let faults = faultload(sut.as_mut(), repeat);
-    let n = faults.len();
+fn run_system(
+    work: &Workload,
+    threads: usize,
+    executor: &CampaignExecutor,
+) -> (Row, ResilienceProfile) {
+    let system = work.campaign.system().to_string();
+    let n = work.faults.len();
 
-    // All drivers must be measured over identical work (the parallel
-    // run below moves `faults`).
-    let (uncached, serial_uncached_ms) = timed_serial(&make_sut, faults.clone(), false);
-    let (serial, serial_ms) = timed_serial(&make_sut, faults.clone(), true);
+    let (uncached, serial_uncached_ms) = timed_serial(&work.factory, work.faults.clone(), false);
+    let (serial, serial_ms) = timed_serial(&work.factory, work.faults.clone(), true);
 
-    let parallel_campaign = ParallelCampaign::new(&make_sut)
+    let parallel_campaign = ParallelCampaign::new(work.factory.clone())
         .expect("campaign")
         .with_threads(threads);
     let start = Instant::now();
-    let parallel = parallel_campaign.run_faults(faults).expect("parallel run");
+    let parallel = parallel_campaign
+        .run_faults(work.faults.clone())
+        .expect("parallel run");
     let parallel_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    // The persistent pool: threads and per-worker SUT caches already
+    // exist (warmed by earlier systems/submissions).
+    let start = Instant::now();
+    let exec_profile = executor
+        .run_faults(&work.campaign, work.faults.clone())
+        .expect("executor run");
+    let executor_ms = start.elapsed().as_secs_f64() * 1e3;
 
     assert_profiles_identical(&uncached, &serial, "cached serial");
     assert_profiles_identical(&uncached, &parallel, "parallel");
-    Row {
-        system,
-        faults: n,
-        serial_uncached_ms,
-        serial_ms,
-        parallel_ms,
-    }
+    assert_profiles_identical(&uncached, &exec_profile, "executor");
+    (
+        Row {
+            system,
+            faults: n,
+            serial_uncached_ms,
+            serial_ms,
+            parallel_ms,
+            executor_ms,
+        },
+        uncached,
+    )
 }
 
 /// The timing comparison is only meaningful if every driver computed
-/// the same thing — and the parse cache is only *sound* if cached
-/// runs are byte-identical to uncached runs.
+/// the same thing — and the caches and schedulers are only *sound* if
+/// their runs are byte-identical to the uncached serial reference.
 fn assert_profiles_identical(reference: &ResilienceProfile, other: &ResilienceProfile, who: &str) {
     assert_eq!(
         conferr::profile_to_json(reference),
         conferr::profile_to_json(other),
         "{who} profile diverged from the uncached serial reference"
     );
+}
+
+/// Timings (in microseconds) of one `httpd.conf` scenario apply: the
+/// current path-proportional copy vs the old whole-tree deep copy.
+struct ApplyBench {
+    nodes: usize,
+    deep_copy_us: f64,
+    path_apply_us: f64,
+}
+
+fn apply_bench() -> ApplyBench {
+    let (baseline, scenario) = httpd_apply_fixture();
+    let tree = baseline.get("httpd.conf").expect("httpd.conf parsed");
+    let nodes = tree.root().subtree_len();
+
+    const ITERS: u32 = 2000;
+    let time_us = |f: &mut dyn FnMut()| {
+        // Warm up, then time.
+        for _ in 0..50 {
+            f();
+        }
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            f();
+        }
+        start.elapsed().as_secs_f64() * 1e6 / f64::from(ITERS)
+    };
+
+    let deep_copy_us = time_us(&mut || {
+        let copy = deep_copy_tree(tree);
+        std::hint::black_box(&copy);
+    });
+    let path_apply_us = time_us(&mut || {
+        let mutated = scenario.apply(&baseline).expect("apply");
+        std::hint::black_box(&mutated);
+    });
+    ApplyBench {
+        nodes,
+        deep_copy_us,
+        path_apply_us,
+    }
 }
 
 fn main() {
@@ -135,36 +220,96 @@ fn main() {
     let threads: usize = std::env::args()
         .nth(2)
         .and_then(|s| s.parse().ok())
-        .unwrap_or_else(default_threads);
+        .unwrap_or_else(threads_from_env);
 
     println!("campaign engine, full Table 1 fault load x{repeat}, {threads} thread(s)");
-    let rows = [
-        run_system(sut_factory(MySqlSim::new), repeat, threads),
-        run_system(sut_factory(PostgresSim::new), repeat, threads),
-        run_system(sut_factory(ApacheSim::new), repeat, threads),
+
+    // One persistent pool for the executor profile — its workers and
+    // SUT caches survive across all three systems.
+    let executor = CampaignExecutor::new(threads);
+    let workloads = [
+        workload(sut_factory(MySqlSim::new), repeat),
+        workload(sut_factory(PostgresSim::new), repeat),
+        workload(sut_factory(ApacheSim::new), repeat),
     ];
+
+    let mut rows = Vec::new();
+    let mut references = Vec::new();
+    for work in &workloads {
+        let (row, reference) = run_system(work, threads, &executor);
+        rows.push(row);
+        references.push(reference);
+    }
+
+    // Batch profile, cold: all three systems through one
+    // campaign-tagged queue, with *fresh* engines and a fresh pool so
+    // the number measures pure batch-scheduling overhead against the
+    // cached serial total (every cache starts as cold as the serial
+    // runs').
+    let batch_executor = CampaignExecutor::new(threads);
+    let cold_campaigns: Vec<ExecutorCampaign> = workloads
+        .iter()
+        .map(|work| ExecutorCampaign::new(work.factory.clone()).expect("campaign"))
+        .collect();
+    let make_batch = || {
+        // Built (fault lists cloned) outside the timed region, like
+        // every other profile's inputs.
+        let mut batch = CampaignBatch::new();
+        for (work, campaign) in workloads.iter().zip(&cold_campaigns) {
+            batch.push(campaign, work.faults.clone());
+        }
+        batch
+    };
+    let batch = make_batch();
+    let start = Instant::now();
+    let batch_profiles = batch_executor.run_batch(batch).expect("batch run");
+    let batch_cold_ms = start.elapsed().as_secs_f64() * 1e3;
+    for (reference, profile) in references.iter().zip(&batch_profiles) {
+        assert_profiles_identical(reference, profile, "batch (cold)");
+    }
+
+    // Batch profile, warm: the identical batch resubmitted to the
+    // same executor — fault memos, parse caches, SUT instances and
+    // worker threads all persist. This is the steady state of a
+    // table2-style many-campaign workload.
+    let batch = make_batch();
+    let start = Instant::now();
+    let warm_profiles = batch_executor.run_batch(batch).expect("warm batch");
+    let batch_warm_ms = start.elapsed().as_secs_f64() * 1e3;
+    for (reference, profile) in references.iter().zip(&warm_profiles) {
+        assert_profiles_identical(reference, profile, "batch (warm)");
+    }
 
     for row in &rows {
         println!(
             "{:<14} {:>6} faults  uncached {:>8.1} ms  serial {:>8.1} ms  parallel {:>8.1} ms  \
-             cache {:>5.2}x",
+             executor {:>8.1} ms  cache {:>5.2}x",
             row.system,
             row.faults,
             row.serial_uncached_ms,
             row.serial_ms,
             row.parallel_ms,
+            row.executor_ms,
             row.serial_uncached_ms / row.serial_ms
         );
     }
     let total_uncached: f64 = rows.iter().map(|r| r.serial_uncached_ms).sum();
     let total_serial: f64 = rows.iter().map(|r| r.serial_ms).sum();
     let total_parallel: f64 = rows.iter().map(|r| r.parallel_ms).sum();
+    let total_executor: f64 = rows.iter().map(|r| r.executor_ms).sum();
+    let batch_overhead_pct = (batch_cold_ms - total_serial) / total_serial * 100.0;
     println!(
         "{:<14} {:>6}         uncached {total_uncached:>8.1} ms  serial {total_serial:>8.1} ms  \
-         parallel {total_parallel:>8.1} ms  cache {:>5.2}x",
+         parallel {total_parallel:>8.1} ms  executor {total_executor:>8.1} ms  cache {:>5.2}x",
         "TOTAL",
         "",
         total_uncached / total_serial
+    );
+    println!(
+        "batch (all systems, one queue): cold {batch_cold_ms:.1} ms \
+         ({batch_overhead_pct:+.1}% vs serial total), warm rerun {batch_warm_ms:.1} ms \
+         ({:.2}x vs serial total)",
+        total_serial / batch_warm_ms
     );
     if repeat == REFERENCE_REPEAT {
         println!(
@@ -175,9 +320,19 @@ fn main() {
         );
     }
 
+    let apply = apply_bench();
+    println!(
+        "scenario apply on httpd.conf ({} nodes): whole-tree deep copy {:.2} us, \
+         path-proportional apply {:.2} us -> {:.1}x",
+        apply.nodes,
+        apply.deep_copy_us,
+        apply.path_apply_us,
+        apply.deep_copy_us / apply.path_apply_us
+    );
+
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": \"conferr-bench-campaign/v2\",");
+    let _ = writeln!(json, "  \"schema\": \"conferr-bench-campaign/v3\",");
     let _ = writeln!(json, "  \"repeat\": {repeat},");
     let _ = writeln!(json, "  \"threads\": {threads},");
     let _ = writeln!(
@@ -193,12 +348,14 @@ fn main() {
         let _ = writeln!(
             json,
             "    {{\"system\": \"{}\", \"faults\": {}, \"serial_uncached_ms\": {:.1}, \
-             \"serial_ms\": {:.1}, \"parallel_ms\": {:.1}, \"cache_speedup\": {:.2}}}{comma}",
+             \"serial_ms\": {:.1}, \"parallel_ms\": {:.1}, \"executor_ms\": {:.1}, \
+             \"cache_speedup\": {:.2}}}{comma}",
             row.system,
             row.faults,
             row.serial_uncached_ms,
             row.serial_ms,
             row.parallel_ms,
+            row.executor_ms,
             row.serial_uncached_ms / row.serial_ms
         );
     }
@@ -207,9 +364,33 @@ fn main() {
         json,
         "  \"total\": {{\"serial_uncached_ms\": {total_uncached:.1}, \
          \"serial_ms\": {total_serial:.1}, \"parallel_ms\": {total_parallel:.1}, \
-         \"cache_speedup\": {:.2}, \"speedup_vs_pr2_serial\": {:.2}}}",
+         \"executor_ms\": {total_executor:.1}, \"cache_speedup\": {:.2}, \
+         \"speedup_vs_pr2_serial\": {:.2}}},",
         total_uncached / total_serial,
         PR2_SERIAL_TOTAL_MS / total_serial
+    );
+    let _ = writeln!(
+        json,
+        "  \"batch\": {{\"cold_ms\": {batch_cold_ms:.1}, \
+         \"overhead_vs_serial_pct\": {batch_overhead_pct:.1}, \
+         \"warm_ms\": {batch_warm_ms:.1}, \"warm_speedup_vs_serial\": {:.2}, \
+         \"note\": \"all three systems' fault loads as one CampaignBatch: cold = fresh \
+         engines and pool (pure scheduling overhead vs cached serial), warm = same batch \
+         resubmitted to the persistent executor (fault memos, parse caches, SUTs and \
+         threads reused); byte-identity vs the uncached serial reference asserted for \
+         both\"}},",
+        total_serial / batch_warm_ms
+    );
+    let _ = writeln!(
+        json,
+        "  \"apply\": {{\"file\": \"httpd.conf\", \"nodes\": {}, \"deep_copy_us\": {:.2}, \
+         \"path_apply_us\": {:.2}, \"speedup\": {:.1}, \
+         \"note\": \"one value-typo FaultScenario::apply (Arc-backed path copy) vs the \
+         whole-tree deep copy it replaced\"}}",
+        apply.nodes,
+        apply.deep_copy_us,
+        apply.path_apply_us,
+        apply.deep_copy_us / apply.path_apply_us
     );
     json.push_str("}\n");
     std::fs::write("BENCH_campaign.json", &json).expect("write BENCH_campaign.json");

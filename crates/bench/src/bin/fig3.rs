@@ -6,6 +6,7 @@
 //! ```
 
 use conferr::report::stacked_bar;
+use conferr::CampaignExecutor;
 use conferr::DetectionBand;
 use conferr_bench::{figure3_parallel, threads_from_env, DEFAULT_SEED};
 
@@ -14,7 +15,8 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(DEFAULT_SEED);
-    let report = figure3_parallel(seed, threads_from_env()).expect("figure 3 comparison failed");
+    let executor = CampaignExecutor::new(threads_from_env());
+    let report = figure3_parallel(&executor, seed).expect("figure 3 comparison failed");
 
     println!("Figure 3. Resilience to typos in MySQL and Postgres, across all directives");
     println!("(seed {seed}; 20 value-typo experiments per directive; booleans excluded)");

@@ -6,6 +6,7 @@
 //! ```
 
 use conferr::report::TextTable;
+use conferr::CampaignExecutor;
 use conferr_bench::{table1_parallel, threads_from_env, DEFAULT_SEED};
 
 fn main() {
@@ -14,7 +15,8 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(DEFAULT_SEED);
     let threads = threads_from_env();
-    let columns = table1_parallel(seed, threads).expect("table 1 campaign failed");
+    let executor = CampaignExecutor::new(threads);
+    let columns = table1_parallel(&executor, seed).expect("table 1 campaign failed");
 
     println!("Table 1. Resilience to typos (seed {seed}, {threads} worker thread(s))");
     println!("(deletion of every directive + sampled typos in directive names and values)");

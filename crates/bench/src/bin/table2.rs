@@ -7,6 +7,7 @@
 //! ```
 
 use conferr::report::TextTable;
+use conferr::CampaignExecutor;
 use conferr_bench::{table2_parallel, threads_from_env, DEFAULT_SEED};
 
 fn main() {
@@ -14,7 +15,8 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(DEFAULT_SEED);
-    let t2 = table2_parallel(seed, threads_from_env()).expect("table 2 campaign failed");
+    let executor = CampaignExecutor::new(threads_from_env());
+    let t2 = table2_parallel(&executor, seed).expect("table 2 campaign failed");
 
     println!("Table 2. Resilience to structural errors (seed {seed}; 10 variant files per class)");
     println!();

@@ -27,13 +27,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
-use std::collections::BTreeMap;
 use std::sync::LazyLock;
 
 use conferr::{
-    parallel_indexed_map, parallel_value_typo_resilience, sut_factory, value_typo_resilience,
-    Campaign, CampaignError, ComparisonReport, InjectionResult, ParallelCampaign, ProfileSummary,
-    ResilienceProfile,
+    parallel_value_typo_resilience, sut_factory, value_typo_resilience, Campaign, CampaignBatch,
+    CampaignError, CampaignExecutor, ComparisonReport, ExecutorCampaign, InjectionResult,
+    ProfileSummary, ResilienceProfile, SutFactory,
 };
 use conferr_keyboard::Keyboard;
 use conferr_model::{
@@ -43,8 +42,10 @@ use conferr_model::{
 use conferr_plugins::{
     typos_of_kind, DnsFaultKind, DnsSemanticPlugin, VariationClass, VariationPlugin,
 };
-use conferr_sut::{ApacheSim, BindSim, DjbdnsSim, MySqlSim, PostgresSim, SystemUnderTest};
-use conferr_tree::{Node, NodeQuery, TreePath};
+use conferr_sut::{
+    ApacheSim, BindSim, ConfigPayload, DjbdnsSim, FileText, MySqlSim, PostgresSim, SystemUnderTest,
+};
+use conferr_tree::{ConfTree, Node, NodeQuery, TreePath};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -78,6 +79,51 @@ pub fn threads_from_env() -> usize {
         .and_then(|s| s.parse::<usize>().ok())
         .filter(|n| *n > 0)
         .unwrap_or_else(default_threads)
+}
+
+/// Reconstructs a configuration tree node by node, without any
+/// structural sharing — the per-edited-file cost every
+/// [`conferr_model::FaultScenario::apply`] paid before `Node` went
+/// `Arc`-backed. The apply benches use this as the whole-tree-copy
+/// reference against today's path-proportional copy.
+pub fn deep_copy_tree(tree: &ConfTree) -> ConfTree {
+    fn deep_copy(node: &Node) -> Node {
+        let mut out = Node::new(node.kind());
+        for (key, value) in node.attrs() {
+            out.set_attr(key, value);
+        }
+        if let Some(text) = node.text() {
+            out.set_text(Some(text.to_string()));
+        }
+        for child in node.children() {
+            out.push_child(deep_copy(child));
+        }
+        out
+    }
+    ConfTree::new(deep_copy(tree.root()))
+}
+
+/// The `httpd.conf` apply-microbench fixture shared by
+/// `bench_campaign` and the criterion `injection` bench: the Apache
+/// baseline set and one representative §5.2 value-typo scenario
+/// (a leaf edit, the common case) against `httpd.conf`. Both benches
+/// must time the *same* edit or their path-copy vs whole-tree-copy
+/// numbers silently drift apart.
+pub fn httpd_apply_fixture() -> (ConfigSet, FaultScenario) {
+    let keyboard = Keyboard::qwerty_us();
+    let mut sut = ApacheSim::new();
+    let campaign = Campaign::new(&mut sut).expect("apache campaign");
+    let baseline = campaign.baseline().clone();
+    let faults = table1_faultload(&baseline, &keyboard, DEFAULT_SEED);
+    let scenario = faults
+        .iter()
+        .find_map(|f| match f {
+            GeneratedFault::Scenario(s) if s.id.starts_with("t1-value:httpd.conf") => Some(s),
+            _ => None,
+        })
+        .expect("httpd.conf value typo exists")
+        .clone();
+    (baseline, scenario)
 }
 
 /// All five typo submodels applied to one token, concatenated.
@@ -216,50 +262,60 @@ pub fn table1(seed: u64) -> Result<Vec<(String, ProfileSummary)>, CampaignError>
     Ok(out)
 }
 
-/// One Table 1 column through the parallel driver. Byte-identical to
-/// [`table1_column`] — only wall-clock time differs.
+/// One Table 1 column through the persistent executor. Byte-identical
+/// to [`table1_column`] — only wall-clock time differs.
 ///
 /// # Errors
 ///
 /// Propagates campaign failures.
-pub fn table1_column_parallel<F>(
-    make_sut: F,
+pub fn table1_column_parallel(
+    factory: SutFactory,
     seed: u64,
-    threads: usize,
-) -> Result<ResilienceProfile, CampaignError>
-where
-    F: Fn() -> Box<dyn SystemUnderTest> + Sync,
-{
+    executor: &CampaignExecutor,
+) -> Result<ResilienceProfile, CampaignError> {
     let keyboard = Keyboard::qwerty_us();
-    let campaign = ParallelCampaign::new(make_sut)?.with_threads(threads);
+    let campaign = ExecutorCampaign::new(factory)?;
     let faults = table1_faultload(campaign.baseline(), &keyboard, seed);
-    campaign.run_faults(faults)
+    executor.run_faults(&campaign, faults)
 }
 
-/// The full Table 1 through the parallel driver; identical numbers to
-/// [`table1`].
+/// The three `(label, factory)` pairs of the Table 1 / Table 2
+/// systems, in column order.
+fn table12_factories() -> [(&'static str, SutFactory); 3] {
+    [
+        ("MySQL", sut_factory(MySqlSim::new)),
+        ("Postgres", sut_factory(PostgresSim::new)),
+        ("Apache", sut_factory(ApacheSim::new)),
+    ]
+}
+
+/// The full Table 1 through the executor, scheduled as **one batch
+/// across all three systems**: workers drain a single fault queue, so
+/// a worker done with MySQL's faults immediately steals Postgres or
+/// Apache work. Identical numbers to [`table1`].
 ///
 /// # Errors
 ///
 /// Propagates campaign failures.
 pub fn table1_parallel(
+    executor: &CampaignExecutor,
     seed: u64,
-    threads: usize,
 ) -> Result<Vec<(String, ProfileSummary)>, CampaignError> {
-    Ok(vec![
-        (
-            "MySQL".to_string(),
-            table1_column_parallel(sut_factory(MySqlSim::new), seed, threads)?.summary(),
-        ),
-        (
-            "Postgres".to_string(),
-            table1_column_parallel(sut_factory(PostgresSim::new), seed, threads)?.summary(),
-        ),
-        (
-            "Apache".to_string(),
-            table1_column_parallel(sut_factory(ApacheSim::new), seed, threads)?.summary(),
-        ),
-    ])
+    let keyboard = Keyboard::qwerty_us();
+    let mut batch = CampaignBatch::new();
+    let mut labels = Vec::new();
+    for (label, factory) in table12_factories() {
+        let campaign = ExecutorCampaign::new(factory)?;
+        let faults = table1_faultload(campaign.baseline(), &keyboard, seed);
+        batch.push(&campaign, faults);
+        labels.push(label.to_string());
+    }
+    let profiles = executor.run_batch(batch)?;
+    Ok(labels
+        .into_iter()
+        .zip(profiles)
+        .map(|(label, profile)| (label, profile.summary()))
+        .collect())
 }
 
 /// One cell of Table 2: `Some(true)` = all variants accepted,
@@ -343,52 +399,57 @@ pub fn table2(seed: u64) -> Result<Table2, CampaignError> {
     Ok(Table2 { systems, rows })
 }
 
-/// [`table2`] with the independent (class, system) cells sharded
-/// across worker threads; identical verdicts to the serial run (each
-/// cell constructs its own SUT and campaign either way).
+/// [`table2`] as **one executor batch**: every applicable
+/// (class, system) cell becomes a batch entry — 14 small campaigns in
+/// one submission, drained off a single queue — with the three
+/// systems' engines shared across their five cells each. This is the
+/// many-small-campaign workload the persistent pool exists for; the
+/// verdicts are identical to the serial run.
 ///
 /// # Errors
 ///
 /// Propagates the first per-cell campaign failure.
-pub fn table2_parallel(seed: u64, threads: usize) -> Result<Table2, CampaignError> {
-    const SYSTEMS: [&str; 3] = ["MySQL", "Postgres", "Apache"];
+pub fn table2_parallel(executor: &CampaignExecutor, seed: u64) -> Result<Table2, CampaignError> {
     let classes = VariationClass::ALL;
+    let factories = table12_factories();
+    let campaigns = factories
+        .iter()
+        .map(|(_, factory)| ExecutorCampaign::new(factory.clone()))
+        .collect::<Result<Vec<_>, _>>()?;
 
     // Cells in row-major order; the Apache section-order cell is n/a
-    // by construction (see `table2`) and never scheduled.
-    let jobs: Vec<(usize, usize)> = classes
-        .iter()
-        .enumerate()
-        .flat_map(|(row, class)| {
-            (0..SYSTEMS.len())
-                .filter(move |col| {
-                    !(SYSTEMS[*col] == "Apache" && *class == VariationClass::SectionOrder)
-                })
-                .map(move |col| (row, col))
-        })
-        .collect();
-
-    // Each cell constructs its own SUT, so the stateless shared
-    // scheduler applies directly.
-    let cells = parallel_indexed_map(&jobs, threads, |_, &(row, col)| {
-        let class = classes[row];
-        let verdict = match SYSTEMS[col] {
-            "MySQL" => variation_verdict(&mut MySqlSim::new(), class, seed),
-            "Postgres" => variation_verdict(&mut PostgresSim::new(), class, seed),
-            _ => variation_verdict(&mut ApacheSim::new(), class, seed),
-        };
-        (row, col, verdict)
-    });
-
+    // by construction (see `table2`), classes with no generatable
+    // variants are n/a too — neither is scheduled.
     let mut rows: Vec<(String, Vec<Table2Cell>)> = classes
         .iter()
-        .map(|class| (class.label().to_string(), vec![None; SYSTEMS.len()]))
+        .map(|class| (class.label().to_string(), vec![None; factories.len()]))
         .collect();
-    for (row, col, verdict) in cells {
-        rows[row].1[col] = verdict?;
+    let mut batch = CampaignBatch::new();
+    let mut scheduled: Vec<(usize, usize)> = Vec::new();
+    for (row, class) in classes.iter().enumerate() {
+        for (col, campaign) in campaigns.iter().enumerate() {
+            if factories[col].0 == "Apache" && *class == VariationClass::SectionOrder {
+                continue;
+            }
+            let plugin = VariationPlugin::new(*class, 10, seed);
+            let faults = plugin.generate(campaign.baseline())?;
+            if faults.is_empty() {
+                continue;
+            }
+            batch.push(campaign, faults);
+            scheduled.push((row, col));
+        }
+    }
+    let profiles = executor.run_batch(batch)?;
+    for ((row, col), profile) in scheduled.into_iter().zip(profiles) {
+        let accepted = profile
+            .outcomes()
+            .iter()
+            .all(|o| matches!(o.result, InjectionResult::Undetected { .. }));
+        rows[row].1[col] = Some(accepted);
     }
     Ok(Table2 {
-        systems: SYSTEMS.iter().map(|s| s.to_string()).collect(),
+        systems: factories.iter().map(|(s, _)| s.to_string()).collect(),
         rows,
     })
 }
@@ -488,28 +549,34 @@ pub fn table3() -> Result<Table3, CampaignError> {
     })
 }
 
-/// [`table3`] through the parallel driver: each name server's
-/// semantic fault load is sharded across worker threads. Identical
+/// [`table3`] through the executor: both name servers' semantic fault
+/// loads go into **one batch**, so workers steal across BIND and
+/// djbdns instead of idling at a per-system barrier. Identical
 /// verdicts to the serial run.
 ///
 /// # Errors
 ///
 /// Propagates campaign failures.
-pub fn table3_parallel(threads: usize) -> Result<Table3, CampaignError> {
+pub fn table3_parallel(executor: &CampaignExecutor) -> Result<Table3, CampaignError> {
     let kinds = DnsFaultKind::TABLE3;
-    let run_system = |make_sut: &(dyn Fn() -> Box<dyn SystemUnderTest> + Sync),
-                      plugin: DnsSemanticPlugin|
-     -> Result<Vec<Table3Verdict>, CampaignError> {
-        let campaign = ParallelCampaign::new(make_sut)?.with_threads(threads);
+    let mut batch = CampaignBatch::new();
+    for (factory, plugin) in [
+        (sut_factory(BindSim::new), DnsSemanticPlugin::bind()),
+        (sut_factory(DjbdnsSim::new), DnsSemanticPlugin::tinydns()),
+    ] {
+        let campaign = ExecutorCampaign::new(factory)?;
         let faults = plugin.generate(campaign.baseline())?;
-        let profile = campaign.run_faults(faults)?;
-        Ok(kinds
+        batch.push(&campaign, faults);
+    }
+    let profiles = executor.run_batch(batch)?;
+    let verdicts = |profile: &ResilienceProfile| -> Vec<Table3Verdict> {
+        kinds
             .iter()
-            .map(|kind| rule_verdict(&profile, kind.rule()))
-            .collect())
+            .map(|kind| rule_verdict(profile, kind.rule()))
+            .collect()
     };
-    let bind_verdicts = run_system(&sut_factory(BindSim::new), DnsSemanticPlugin::bind())?;
-    let djb_verdicts = run_system(&sut_factory(DjbdnsSim::new), DnsSemanticPlugin::tinydns())?;
+    let bind_verdicts = verdicts(&profiles[0]);
+    let djb_verdicts = verdicts(&profiles[1]);
     Ok(Table3 {
         rows: kinds
             .iter()
@@ -565,14 +632,9 @@ pub fn figure3(seed: u64) -> Result<ComparisonReport, CampaignError> {
     let mut systems = Vec::new();
     {
         let mut sut = PostgresSim::new();
-        let mut configs = BTreeMap::new();
-        configs.insert(
-            "postgresql.conf".to_string(),
-            PostgresSim::full_coverage_config(),
-        );
         systems.push(value_typo_resilience(
             &mut sut,
-            &configs,
+            &postgres_full_coverage_payload(),
             &mutator,
             20,
             seed,
@@ -581,11 +643,9 @@ pub fn figure3(seed: u64) -> Result<ComparisonReport, CampaignError> {
     }
     {
         let mut sut = MySqlSim::new();
-        let mut configs = BTreeMap::new();
-        configs.insert("my.cnf".to_string(), MySqlSim::full_coverage_config());
         systems.push(value_typo_resilience(
             &mut sut,
-            &configs,
+            &mysql_full_coverage_payload(),
             &mutator,
             20,
             seed,
@@ -595,49 +655,65 @@ pub fn figure3(seed: u64) -> Result<ComparisonReport, CampaignError> {
     Ok(ComparisonReport { systems })
 }
 
-/// [`figure3`] through the parallel comparison runner
-/// ([`parallel_value_typo_resilience`]): per-directive experiments are
-/// sharded across worker threads, with per-directive seeding that
-/// depends only on the directive index — identical numbers to the
-/// serial run.
+/// The §5.5 full-coverage Postgres configuration as a startup payload.
+fn postgres_full_coverage_payload() -> ConfigPayload {
+    let mut configs = ConfigPayload::new();
+    configs.insert(
+        "postgresql.conf",
+        FileText::mutated(PostgresSim::full_coverage_config()),
+    );
+    configs
+}
+
+/// The §5.5 full-coverage MySQL configuration as a startup payload.
+fn mysql_full_coverage_payload() -> ConfigPayload {
+    let mut configs = ConfigPayload::new();
+    configs.insert(
+        "my.cnf",
+        FileText::mutated(MySqlSim::full_coverage_config()),
+    );
+    configs
+}
+
+/// [`figure3`] through the batched comparison runner
+/// ([`parallel_value_typo_resilience`]): each system's full-coverage
+/// configuration is parsed into one shared engine, every directive
+/// becomes a batch entry, and both systems run on the same persistent
+/// executor — the second comparison reuses the workers (and their
+/// SUT instances) the first one warmed up. Per-directive seeding
+/// depends only on the directive index, so the numbers are identical
+/// to the serial run.
 ///
 /// # Errors
 ///
 /// Propagates campaign failures.
-pub fn figure3_parallel(seed: u64, threads: usize) -> Result<ComparisonReport, CampaignError> {
+pub fn figure3_parallel(
+    executor: &CampaignExecutor,
+    seed: u64,
+) -> Result<ComparisonReport, CampaignError> {
     let keyboard = Keyboard::qwerty_us();
     let mutator = move |value: &str| all_typos(&keyboard, value);
 
-    let mut systems = Vec::new();
-    {
-        let mut configs = BTreeMap::new();
-        configs.insert(
-            "postgresql.conf".to_string(),
-            PostgresSim::full_coverage_config(),
-        );
-        systems.push(parallel_value_typo_resilience(
+    let systems = vec![
+        parallel_value_typo_resilience(
             sut_factory(PostgresSim::new),
-            &configs,
+            &postgres_full_coverage_payload(),
             &mutator,
             20,
             seed,
             &PostgresSim::boolean_directive_names(),
-            threads,
-        )?);
-    }
-    {
-        let mut configs = BTreeMap::new();
-        configs.insert("my.cnf".to_string(), MySqlSim::full_coverage_config());
-        systems.push(parallel_value_typo_resilience(
+            executor,
+        )?,
+        parallel_value_typo_resilience(
             sut_factory(MySqlSim::new),
-            &configs,
+            &mysql_full_coverage_payload(),
             &mutator,
             20,
             seed,
             &MySqlSim::boolean_directive_names(),
-            threads,
-        )?);
-    }
+            executor,
+        )?,
+    ];
     Ok(ComparisonReport { systems })
 }
 

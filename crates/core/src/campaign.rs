@@ -20,6 +20,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use conferr_formats::{format_by_name, ConfigFormat};
@@ -157,17 +158,20 @@ pub(crate) struct InjectionEngine {
     memo: Mutex<HashMap<Vec<TreeEdit>, Arc<Prepared>>>,
     /// When false, every fault is prepared from scratch — the
     /// reference cold path used by benches and equivalence tests.
-    memoize_faults: bool,
+    /// Atomic so shared engines (executor, parallel workers) can be
+    /// switched without exclusive access.
+    memoize_faults: AtomicBool,
 }
 
 impl InjectionEngine {
     /// Builds the engine from the SUT's declared configuration files,
     /// with `overrides` (when given) replacing the default contents of
     /// individual files. Files present in `overrides` are parsed once
-    /// — from the override text — never from the defaults.
+    /// — from the override's shared text — never from the defaults,
+    /// and never through an intermediate `String` clone.
     pub(crate) fn new(
         sut: &dyn SystemUnderTest,
-        overrides: Option<&BTreeMap<String, String>>,
+        overrides: Option<&ConfigPayload>,
     ) -> Result<Self, CampaignError> {
         let mut formats = BTreeMap::new();
         let mut baseline = ConfigSet::new();
@@ -179,7 +183,7 @@ impl InjectionEngine {
                 })?;
             let text = overrides
                 .and_then(|o| o.get(&spec.name))
-                .map_or(spec.default_contents.as_str(), String::as_str);
+                .map_or(spec.default_contents.as_str(), FileText::text);
             let tree = format
                 .parse(text)
                 .map_err(|e| CampaignError::BaselineParse {
@@ -190,10 +194,10 @@ impl InjectionEngine {
             formats.insert(spec.name, format);
         }
         if let Some(overrides) = overrides {
-            for file in overrides.keys() {
+            for (file, _) in overrides.iter() {
                 if !formats.contains_key(file) {
                     return Err(CampaignError::UnknownFormat {
-                        file: file.clone(),
+                        file: file.to_string(),
                         format: "<undeclared file>".to_string(),
                     });
                 }
@@ -215,17 +219,22 @@ impl InjectionEngine {
             baseline,
             baseline_payload,
             memo: Mutex::new(HashMap::new()),
-            memoize_faults: true,
+            memoize_faults: AtomicBool::new(true),
         })
     }
 
     /// Enables or disables the fault memo (see
     /// [`Campaign::set_fault_memoization`]).
-    pub(crate) fn set_fault_memoization(&mut self, enabled: bool) {
-        self.memoize_faults = enabled;
+    pub(crate) fn set_fault_memoization(&self, enabled: bool) {
+        self.memoize_faults.store(enabled, Ordering::Relaxed);
         if !enabled {
             self.memo.lock().clear();
         }
+    }
+
+    /// `true` iff the fault memo is active.
+    fn memoize_faults(&self) -> bool {
+        self.memoize_faults.load(Ordering::Relaxed)
     }
 
     /// The parsed baseline configuration set.
@@ -274,13 +283,13 @@ impl InjectionEngine {
     /// a hit returns the byte-identical `Prepared` the cold path
     /// would recompute.
     fn prepare(&self, scenario: &FaultScenario) -> Arc<Prepared> {
-        if self.memoize_faults {
+        if self.memoize_faults() {
             if let Some(hit) = self.memo.lock().get(&scenario.edits) {
                 return Arc::clone(hit);
             }
         }
         let prepared = Arc::new(self.prepare_cold(scenario));
-        if self.memoize_faults {
+        if self.memoize_faults() {
             let mut memo = self.memo.lock();
             if memo.len() >= FAULT_MEMO_CAPACITY {
                 memo.clear();
@@ -483,19 +492,36 @@ impl<'s> Campaign<'s> {
     }
 
     /// Creates a campaign from explicit configuration text instead of
-    /// the SUT defaults (used e.g. by the §5.5 comparison benchmark,
+    /// the SUT defaults. Convenience wrapper over
+    /// [`Campaign::with_payload`] for callers holding a plain text
+    /// map; the map is wrapped into a [`ConfigPayload`] once, then
+    /// parsed from the shared text.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Campaign::with_payload`].
+    pub fn with_configs(
+        sut: &'s mut dyn SystemUnderTest,
+        configs: &BTreeMap<String, String>,
+    ) -> Result<Self, CampaignError> {
+        Self::with_payload(sut, &ConfigPayload::from_texts(configs))
+    }
+
+    /// Creates a campaign from explicit configuration payloads instead
+    /// of the SUT defaults (used e.g. by the §5.5 comparison driver,
     /// which runs against a full-coverage configuration). Overridden
-    /// files are parsed once, from the override text; only
-    /// non-overridden files fall back to the SUT defaults.
+    /// files are parsed once, from the payload's shared `Arc<str>`
+    /// text — no `String` clone per campaign; only non-overridden
+    /// files fall back to the SUT defaults.
     ///
     /// # Errors
     ///
     /// Same conditions as [`Campaign::new`], plus an
     /// [`CampaignError::UnknownFormat`] for override files the SUT
     /// does not declare.
-    pub fn with_configs(
+    pub fn with_payload(
         sut: &'s mut dyn SystemUnderTest,
-        configs: &BTreeMap<String, String>,
+        configs: &ConfigPayload,
     ) -> Result<Self, CampaignError> {
         let engine = InjectionEngine::new(sut, Some(configs))?;
         Ok(Campaign {
@@ -565,7 +591,7 @@ impl<'s> Campaign<'s> {
     }
 
     /// Runs an explicit fault load across `threads` worker threads,
-    /// each driving its own SUT instance built by `make_sut`, and
+    /// each driving its own SUT instance built by `factory`, and
     /// merges the outcomes back in fault order. The resulting profile
     /// is byte-identical to a serial [`Campaign::run_faults`] over the
     /// same faults (asserted by the integration tests): outcomes
@@ -582,21 +608,20 @@ impl<'s> Campaign<'s> {
     /// This is an associated function (not a method) because a serial
     /// campaign holds exactly one borrowed SUT; parallel execution
     /// needs one instance per worker. See [`crate::ParallelCampaign`]
-    /// for the reusable, generator-aware form.
+    /// for the reusable, generator-aware form, and
+    /// [`crate::CampaignExecutor`] for a pool that persists across
+    /// calls.
     ///
     /// # Errors
     ///
     /// Fails when the factory's SUT declares an unparseable or
     /// unserializable default configuration.
-    pub fn run_faults_parallel<F>(
-        make_sut: F,
+    pub fn run_faults_parallel(
+        factory: crate::SutFactory,
         faults: Vec<GeneratedFault>,
         threads: usize,
-    ) -> Result<ResilienceProfile, CampaignError>
-    where
-        F: Fn() -> Box<dyn SystemUnderTest> + Sync,
-    {
-        crate::ParallelCampaign::new(make_sut)?
+    ) -> Result<ResilienceProfile, CampaignError> {
+        crate::ParallelCampaign::new(factory)?
             .with_threads(threads)
             .run_faults(faults)
     }

@@ -12,15 +12,15 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::LazyLock;
 
-use conferr_model::{ErrorClass, FaultScenario, GeneratedFault, TreeEdit, TypoKind};
-use conferr_sut::SystemUnderTest;
+use conferr_model::{ConfigSet, ErrorClass, FaultScenario, GeneratedFault, TreeEdit, TypoKind};
+use conferr_sut::{ConfigPayload, SystemUnderTest};
 use conferr_tree::{NodeQuery, TreePath};
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
+use crate::executor::{CampaignBatch, CampaignExecutor, ExecutorCampaign, SutFactory};
 use crate::{Campaign, CampaignError};
 
 /// The four detection-rate bands of Figure 3.
@@ -182,8 +182,10 @@ impl fmt::Display for ComparisonReport {
 
 /// Runs the §5.5 value-typo resilience procedure against one system.
 ///
-/// * `configs` — the full-coverage configuration text (every directive
-///   with a default value, booleans excluded, as in the paper);
+/// * `configs` — the full-coverage configuration payload (every
+///   directive with a default value, booleans excluded, as in the
+///   paper); build one from plain text with
+///   [`ConfigPayload::from_texts`];
 /// * `mutator` — produces `(mutated_value, label)` typo candidates for
 ///   a value (typically all five typo submodels);
 /// * `experiments_per_directive` — the paper ran 20;
@@ -194,26 +196,23 @@ impl fmt::Display for ComparisonReport {
 /// Propagates [`CampaignError`] from campaign construction.
 pub fn value_typo_resilience(
     sut: &mut dyn SystemUnderTest,
-    configs: &BTreeMap<String, String>,
+    configs: &ConfigPayload,
     mutator: &dyn Fn(&str) -> Vec<(String, String)>,
     experiments_per_directive: usize,
     seed: u64,
     skip_directives: &[&str],
 ) -> Result<SystemResilience, CampaignError> {
     let system = sut.name().to_string();
-    let mut campaign = Campaign::with_configs(sut, configs)?;
-    let targets = enumerate_targets(&campaign, skip_directives);
+    let mut campaign = Campaign::with_payload(sut, configs)?;
+    let targets = enumerate_targets(campaign.baseline(), skip_directives);
 
     let mut directives = Vec::with_capacity(targets.len());
     for (idx, target) in targets.into_iter().enumerate() {
-        directives.push(run_directive_experiments(
-            &mut campaign,
-            idx,
-            target,
-            mutator,
-            experiments_per_directive,
-            seed,
-        )?);
+        let name = target.2.clone();
+        let faults = directive_faults(idx, target, mutator, experiments_per_directive, seed);
+        let experiments = faults.len();
+        let profile = campaign.run_faults(faults)?;
+        directives.push(directive_resilience(name, experiments, &profile));
     }
     Ok(SystemResilience { system, directives })
 }
@@ -223,12 +222,12 @@ type Target = (String, TreePath, String, String);
 
 /// Enumerates every candidate directive of the full-coverage
 /// configuration.
-fn enumerate_targets(campaign: &Campaign<'_>, skip_directives: &[&str]) -> Vec<Target> {
+fn enumerate_targets(baseline: &ConfigSet, skip_directives: &[&str]) -> Vec<Target> {
     /// `//directive`, parsed once per process.
     static DIRECTIVE: LazyLock<NodeQuery> =
         LazyLock::new(|| "//directive".parse().expect("static query"));
     let mut targets = Vec::new();
-    for (file, tree) in campaign.baseline().iter() {
+    for (file, tree) in baseline.iter() {
         for (path, node) in DIRECTIVE.select_nodes(tree) {
             let Some(name) = node.attr("name") else {
                 continue;
@@ -246,20 +245,22 @@ fn enumerate_targets(campaign: &Campaign<'_>, skip_directives: &[&str]) -> Vec<T
     targets
 }
 
-/// Runs the seeded typo experiments for one directive.
-fn run_directive_experiments(
-    campaign: &mut Campaign<'_>,
+/// Builds the seeded typo fault load for one directive. Pure in
+/// `(idx, target, seed)` — this is what makes the batched runner
+/// bit-identical to the sequential one: the faults depend only on the
+/// directive's index, never on scheduling.
+fn directive_faults(
     idx: usize,
     (file, path, name, value): Target,
     mutator: &dyn Fn(&str) -> Vec<(String, String)>,
     experiments_per_directive: usize,
     seed: u64,
-) -> Result<DirectiveResilience, CampaignError> {
+) -> Vec<GeneratedFault> {
     let mut variants = mutator(&value);
     let mut rng = StdRng::seed_from_u64(seed.wrapping_add(idx as u64));
     variants.shuffle(&mut rng);
     variants.truncate(experiments_per_directive);
-    let faults: Vec<GeneratedFault> = variants
+    variants
         .into_iter()
         .enumerate()
         .map(|(v, (mutated, label))| {
@@ -274,92 +275,66 @@ fn run_directive_experiments(
                 }],
             })
         })
-        .collect();
-    let experiments = faults.len();
-    let profile = campaign.run_faults(faults)?;
-    let summary = profile.summary();
-    Ok(DirectiveResilience {
-        directive: name,
-        experiments,
-        detected: summary.detected_at_startup + summary.detected_by_tests,
-    })
+        .collect()
 }
 
-/// Parallel variant of [`value_typo_resilience`]: splits the directive
-/// targets across `threads` worker threads, each driving its *own*
-/// instance of the system-under-test (campaigns need exclusive access
-/// to their SUT). Results are bit-identical to the sequential run —
-/// the per-directive seeds depend only on the directive's index.
+/// Folds one directive's profile into its detection statistics.
+fn directive_resilience(
+    directive: String,
+    experiments: usize,
+    profile: &crate::ResilienceProfile,
+) -> DirectiveResilience {
+    let summary = profile.summary();
+    DirectiveResilience {
+        directive,
+        experiments,
+        detected: summary.detected_at_startup + summary.detected_by_tests,
+    }
+}
+
+/// Parallel variant of [`value_typo_resilience`], rebased on the
+/// persistent [`CampaignExecutor`]: the full-coverage configuration is
+/// parsed into **one** shared engine (no per-thread re-parse, no
+/// per-run `String` clones), every directive's fault load becomes one
+/// [`CampaignBatch`] entry against that engine, and the executor's
+/// workers steal directives off the shared queue, reusing their
+/// cached SUT instances. Results are bit-identical to the sequential
+/// run — the per-directive seeds depend only on the directive's
+/// index.
 ///
 /// # Errors
 ///
-/// Propagates the first per-thread [`CampaignError`].
-pub fn parallel_value_typo_resilience<F>(
-    make_sut: F,
-    configs: &BTreeMap<String, String>,
-    mutator: &(dyn Fn(&str) -> Vec<(String, String)> + Sync),
+/// Propagates [`CampaignError`] from campaign construction.
+pub fn parallel_value_typo_resilience(
+    factory: SutFactory,
+    configs: &ConfigPayload,
+    mutator: &dyn Fn(&str) -> Vec<(String, String)>,
     experiments_per_directive: usize,
     seed: u64,
     skip_directives: &[&str],
-    threads: usize,
-) -> Result<SystemResilience, CampaignError>
-where
-    F: Fn() -> Box<dyn SystemUnderTest> + Sync,
-{
-    let threads = threads.max(1);
-    // Enumerate targets once, against a scout instance.
-    let mut scout = make_sut();
-    let system = scout.name().to_string();
-    let campaign = Campaign::with_configs(scout.as_mut(), configs)?;
-    let targets = enumerate_targets(&campaign, skip_directives);
-    drop(campaign);
+    executor: &CampaignExecutor,
+) -> Result<SystemResilience, CampaignError> {
+    let campaign = ExecutorCampaign::with_payload(factory, configs)?;
+    let system = campaign.system().to_string();
+    let targets = enumerate_targets(campaign.baseline(), skip_directives);
 
-    let indexed: Vec<(usize, Target)> = targets.into_iter().enumerate().collect();
-    let chunk_size = indexed.len().div_ceil(threads);
-    let results: Mutex<Vec<(usize, DirectiveResilience)>> =
-        Mutex::new(Vec::with_capacity(indexed.len()));
-    let first_error: Mutex<Option<CampaignError>> = Mutex::new(None);
-
-    std::thread::scope(|scope| {
-        for chunk in indexed.chunks(chunk_size.max(1)) {
-            scope.spawn(|| {
-                let mut sut = make_sut();
-                let mut campaign = match Campaign::with_configs(sut.as_mut(), configs) {
-                    Ok(c) => c,
-                    Err(e) => {
-                        first_error.lock().get_or_insert(e);
-                        return;
-                    }
-                };
-                for (idx, target) in chunk.iter().cloned() {
-                    match run_directive_experiments(
-                        &mut campaign,
-                        idx,
-                        target,
-                        mutator,
-                        experiments_per_directive,
-                        seed,
-                    ) {
-                        Ok(d) => results.lock().push((idx, d)),
-                        Err(e) => {
-                            first_error.lock().get_or_insert(e);
-                            return;
-                        }
-                    }
-                }
-            });
-        }
-    });
-
-    if let Some(e) = first_error.into_inner() {
-        return Err(e);
+    // One batch entry per directive, all sharing the campaign's
+    // engine; the executor merges outcomes per entry, in fault order.
+    let mut batch = CampaignBatch::new();
+    let mut names = Vec::with_capacity(targets.len());
+    for (idx, target) in targets.into_iter().enumerate() {
+        names.push(target.2.clone());
+        let faults = directive_faults(idx, target, mutator, experiments_per_directive, seed);
+        batch.push(&campaign, faults);
     }
-    let mut collected = results.into_inner();
-    collected.sort_by_key(|(idx, _)| *idx);
-    Ok(SystemResilience {
-        system,
-        directives: collected.into_iter().map(|(_, d)| d).collect(),
-    })
+    let profiles = executor.run_batch(batch)?;
+
+    let directives = names
+        .into_iter()
+        .zip(&profiles)
+        .map(|(name, profile)| directive_resilience(name, profile.len(), profile))
+        .collect();
+    Ok(SystemResilience { system, directives })
 }
 
 /// Convenience wrapper running [`value_typo_resilience`] for several
@@ -371,11 +346,7 @@ where
 /// Propagates the first per-system failure.
 #[allow(clippy::type_complexity)]
 pub fn compare_value_typo_resilience(
-    runs: Vec<(
-        &mut dyn SystemUnderTest,
-        BTreeMap<String, String>,
-        Vec<&'static str>,
-    )>,
+    runs: Vec<(&mut dyn SystemUnderTest, ConfigPayload, Vec<&'static str>)>,
     mutator: &dyn Fn(&str) -> Vec<(String, String)>,
     experiments_per_directive: usize,
     seed: u64,

@@ -1,0 +1,909 @@
+//! The persistent campaign executor: a reusable worker pool with
+//! cross-system batch scheduling.
+//!
+//! The paper's real workloads (`table2`, `fig3`, `paper_all`, the
+//! §5.5 comparison) run *many* campaigns back to back. The scoped
+//! per-call driver ([`crate::ParallelCampaign`]) re-spawned its worker
+//! threads and re-constructed one SUT per worker on every
+//! `run_faults` call — cost that dwarfs the work itself once a single
+//! campaign's fault loop is tens of microseconds. The types here
+//! amortize all of it:
+//!
+//! * [`CampaignExecutor`] — a pool of persistent worker threads,
+//!   constructed once and reused across any number of `run_faults` /
+//!   `run_batch` calls. Each worker keeps a private cache of SUT
+//!   instances **keyed by [`SutFactory`] identity**, so a worker that
+//!   has ever driven a `postgres-sim` reuses that instance — and its
+//!   content-addressed parse cache — for every later campaign built
+//!   from the same factory.
+//! * [`CampaignBatch`] — N `(system, fault load)` campaigns submitted
+//!   as one unit. The executor schedules the batch through a single
+//!   global fault queue tagged by campaign, so workers steal across
+//!   *systems* as well as within each system's fault list: a worker
+//!   done with MySQL faults immediately picks up Apache faults
+//!   instead of idling at a per-system barrier.
+//! * [`ExecutorCampaign`] — the shareable half of a campaign (system
+//!   name, [`SutFactory`], `Arc`-shared injection engine). Cloning is
+//!   a handful of refcount bumps, so many batch entries can share one
+//!   engine (the §5.5 driver schedules one entry per *directive*, all
+//!   against the same full-coverage baseline).
+//!
+//! Scheduling never affects results: outcomes land in per-fault slots
+//! and are merged **per campaign in fault order**, so every profile is
+//! byte-identical to a serial [`crate::Campaign::run_faults`] over the
+//! same faults (asserted by the integration tests and the campaign
+//! bench). When the executor's effective parallelism is 1 — a
+//! one-core machine, or `threads = 1` — submissions take a serial
+//! fast path with zero queue, slot or merge overhead, driving the
+//! caller-side SUT cache directly on the submitting thread.
+//!
+//! # Examples
+//!
+//! ```
+//! use conferr::{sut_factory, CampaignBatch, CampaignExecutor, ExecutorCampaign};
+//! use conferr_keyboard::Keyboard;
+//! use conferr_model::ErrorGenerator;
+//! use conferr_plugins::{TokenClass, TypoPlugin};
+//! use conferr_sut::{MySqlSim, PostgresSim};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let executor = CampaignExecutor::new(2);
+//! let plugin = TypoPlugin::new(Keyboard::qwerty_us(), TokenClass::DirectiveNames);
+//!
+//! // One batch, two systems, one shared fault queue.
+//! let mut batch = CampaignBatch::new();
+//! for campaign in [
+//!     ExecutorCampaign::new(sut_factory(MySqlSim::new))?,
+//!     ExecutorCampaign::new(sut_factory(PostgresSim::new))?,
+//! ] {
+//!     let faults = plugin.generate(campaign.baseline())?;
+//!     batch.push(&campaign, faults);
+//! }
+//! let profiles = executor.run_batch(batch)?;
+//! assert_eq!(profiles.len(), 2);
+//! assert_eq!(profiles[0].system(), "mysql-sim");
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+
+use conferr_model::{ConfigSet, GeneratedFault};
+use conferr_sut::{ConfigPayload, SystemUnderTest};
+
+use crate::campaign::InjectionEngine;
+use crate::{CampaignError, InjectionOutcome, ResilienceProfile};
+
+/// Locks a [`Mutex`], shedding poisoning (a panicking worker must not
+/// wedge the pool; the executor's state is repaired by the next
+/// submission, and outcome slots are only read after `pending` hits
+/// zero).
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A shareable, `Send + Sync` factory of system-under-test instances
+/// — the executor's unit of SUT identity.
+///
+/// Workers cache one SUT per *factory* (not per call), so handing the
+/// same `SutFactory` to many campaigns is what makes the pool
+/// amortize SUT construction and parse-cache warmup across them. Two
+/// clones of one factory share identity ([`SutFactory::key`]); two
+/// independently built factories never do, even for the same
+/// closure.
+///
+/// Build one with [`SutFactory::new`] or the free-function shorthand
+/// [`sut_factory`].
+#[derive(Clone)]
+pub struct SutFactory {
+    construct: Arc<dyn Fn() -> Box<dyn SystemUnderTest + Send> + Send + Sync>,
+}
+
+impl SutFactory {
+    /// Wraps a concrete SUT constructor,
+    /// e.g. `SutFactory::new(PostgresSim::new)`.
+    pub fn new<S, C>(construct: C) -> Self
+    where
+        S: SystemUnderTest + Send + 'static,
+        C: Fn() -> S + Send + Sync + 'static,
+    {
+        SutFactory {
+            construct: Arc::new(move || Box::new(construct())),
+        }
+    }
+
+    /// Wraps a closure that already produces boxed trait objects.
+    pub fn from_boxed(
+        construct: impl Fn() -> Box<dyn SystemUnderTest + Send> + Send + Sync + 'static,
+    ) -> Self {
+        SutFactory {
+            construct: Arc::new(construct),
+        }
+    }
+
+    /// Builds one SUT instance.
+    pub fn create(&self) -> Box<dyn SystemUnderTest + Send> {
+        (self.construct)()
+    }
+
+    /// The factory's identity: stable across clones, distinct across
+    /// independently constructed factories. Worker SUT caches key on
+    /// this.
+    pub fn key(&self) -> usize {
+        Arc::as_ptr(&self.construct).cast::<()>() as usize
+    }
+}
+
+impl fmt::Debug for SutFactory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SutFactory")
+            .field("key", &self.key())
+            .finish()
+    }
+}
+
+/// Shorthand for [`SutFactory::new`]:
+/// `sut_factory(PostgresSim::new)` reads better than the
+/// closure-plus-box it expands to. This is the factory shape every
+/// parallel driver ([`CampaignExecutor`], [`crate::ParallelCampaign`],
+/// [`crate::Campaign::run_faults_parallel`]) expects.
+pub fn sut_factory<S, C>(construct: C) -> SutFactory
+where
+    S: SystemUnderTest + Send + 'static,
+    C: Fn() -> S + Send + Sync + 'static,
+{
+    SutFactory::new(construct)
+}
+
+/// SUT instances cached per worker (and one cache for submitting
+/// threads), keyed by [`SutFactory::key`]. The cached entry holds the
+/// factory alive, so a key can never be recycled by a new allocation
+/// while its SUT is cached.
+#[derive(Default)]
+struct SutCache {
+    suts: HashMap<usize, (SutFactory, Box<dyn SystemUnderTest + Send>)>,
+}
+
+/// Distinct factories a single worker retains SUTs for. Far above any
+/// paper workload (six simulator kinds); the clear merely bounds
+/// memory for executors fed unbounded streams of fresh factories.
+const SUT_CACHE_CAPACITY: usize = 32;
+
+impl SutCache {
+    fn get_or_create(&mut self, factory: &SutFactory) -> &mut (dyn SystemUnderTest + Send) {
+        let key = factory.key();
+        if self.suts.len() >= SUT_CACHE_CAPACITY && !self.suts.contains_key(&key) {
+            self.suts.clear();
+        }
+        self.suts
+            .entry(key)
+            .or_insert_with(|| (factory.clone(), factory.create()))
+            .1
+            .as_mut()
+    }
+}
+
+/// The shareable half of one campaign: system name, SUT factory and
+/// `Arc`-shared injection engine (formats, parsed baseline, cached
+/// baseline payload, fault memo).
+///
+/// Cloning is cheap (refcount bumps), and many [`CampaignBatch`]
+/// entries may share one `ExecutorCampaign` — the §5.5 driver pushes
+/// one entry per directive, all against the same engine, so the
+/// full-coverage configuration is parsed exactly once per comparison
+/// rather than once per worker thread.
+#[derive(Clone)]
+pub struct ExecutorCampaign {
+    system: String,
+    factory: SutFactory,
+    engine: Arc<InjectionEngine>,
+}
+
+impl fmt::Debug for ExecutorCampaign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExecutorCampaign")
+            .field("system", &self.system)
+            .field("files", &self.engine.baseline().len())
+            .finish()
+    }
+}
+
+impl ExecutorCampaign {
+    /// Creates a campaign from the factory's SUT defaults, probing one
+    /// scout instance.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`crate::Campaign::new`].
+    pub fn new(factory: SutFactory) -> Result<Self, CampaignError> {
+        Self::build(factory, None)
+    }
+
+    /// Creates a campaign from explicit configuration payloads,
+    /// mirroring [`crate::Campaign::with_payload`] (overridden files
+    /// are parsed once, from the shared override text).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`crate::Campaign::with_payload`].
+    pub fn with_payload(
+        factory: SutFactory,
+        configs: &ConfigPayload,
+    ) -> Result<Self, CampaignError> {
+        Self::build(factory, Some(configs))
+    }
+
+    /// Creates a campaign from explicit configuration text, wrapping
+    /// the map into a payload once (see
+    /// [`crate::Campaign::with_configs`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`crate::Campaign::with_configs`].
+    pub fn with_configs(
+        factory: SutFactory,
+        configs: &BTreeMap<String, String>,
+    ) -> Result<Self, CampaignError> {
+        Self::build(factory, Some(&ConfigPayload::from_texts(configs)))
+    }
+
+    fn build(
+        factory: SutFactory,
+        overrides: Option<&ConfigPayload>,
+    ) -> Result<Self, CampaignError> {
+        let scout = factory.create();
+        let engine = Arc::new(InjectionEngine::new(scout.as_ref(), overrides)?);
+        Ok(ExecutorCampaign {
+            system: scout.name().to_string(),
+            factory,
+            engine,
+        })
+    }
+
+    /// The system name the campaign's profiles carry.
+    pub fn system(&self) -> &str {
+        &self.system
+    }
+
+    /// The parsed baseline configuration set.
+    pub fn baseline(&self) -> &ConfigSet {
+        self.engine.baseline()
+    }
+
+    /// The campaign's SUT factory (shared identity with every clone).
+    pub fn factory(&self) -> &SutFactory {
+        &self.factory
+    }
+
+    /// Enables or disables the engine's fault memo (default: on) —
+    /// see [`crate::Campaign::set_fault_memoization`]. The setting is
+    /// shared by every clone of this campaign.
+    pub fn set_fault_memoization(&self, enabled: bool) -> &Self {
+        self.engine.set_fault_memoization(enabled);
+        self
+    }
+}
+
+/// N campaigns with their fault loads, submitted to a
+/// [`CampaignExecutor`] as one scheduling unit.
+///
+/// Entry order is preserved: [`CampaignExecutor::run_batch`] returns
+/// one profile per entry, in push order, each merged in fault order.
+#[derive(Debug, Default)]
+pub struct CampaignBatch {
+    entries: Vec<(ExecutorCampaign, Vec<GeneratedFault>)>,
+}
+
+impl CampaignBatch {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        CampaignBatch::default()
+    }
+
+    /// Appends one campaign with an explicit fault load. The campaign
+    /// handle is cloned (refcount bumps); pushing the same campaign
+    /// several times with different fault loads is the intended way to
+    /// group outcomes (e.g. per directive) while sharing one engine.
+    pub fn push(&mut self, campaign: &ExecutorCampaign, faults: Vec<GeneratedFault>) {
+        self.entries.push((campaign.clone(), faults));
+    }
+
+    /// Number of campaigns in the batch.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` iff no campaign has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total faults across all entries.
+    pub fn fault_count(&self) -> usize {
+        self.entries.iter().map(|(_, f)| f.len()).sum()
+    }
+}
+
+/// One batch in flight: the global fault queue (a flat index space
+/// over every entry's faults, stolen via an atomic cursor), the
+/// per-fault outcome slots, and the completion signal.
+struct BatchState {
+    units: Vec<(ExecutorCampaign, Vec<GeneratedFault>)>,
+    /// `bases[i]` = first flat index of unit `i`'s faults.
+    bases: Vec<usize>,
+    total: usize,
+    cursor: AtomicUsize,
+    slots: Vec<Mutex<Option<InjectionOutcome>>>,
+    /// Faults not yet completed; the worker that takes it to zero
+    /// signals `done`.
+    pending: AtomicUsize,
+    /// Set when a participant panicked mid-fault. The submitter
+    /// re-raises instead of waiting for `pending` (which would never
+    /// reach zero) — the panic-propagation behaviour the scoped
+    /// driver this pool replaced had for free.
+    poisoned: AtomicBool,
+    done: Mutex<bool>,
+    done_ready: Condvar,
+}
+
+/// Arms a [`BatchState`] against a panic while one fault executes:
+/// dropped during unwinding (normal completion disarms it with
+/// [`std::mem::forget`]), it poisons the batch and wakes the
+/// submitter so `run_batch` re-raises instead of deadlocking.
+struct PoisonOnPanic<'a>(&'a BatchState);
+
+impl Drop for PoisonOnPanic<'_> {
+    fn drop(&mut self) {
+        self.0.poisoned.store(true, Ordering::Release);
+        *lock(&self.0.done) = true;
+        self.0.done_ready.notify_all();
+    }
+}
+
+/// Clears the submitting thread's SUT cache when a fault panics on
+/// the submitting thread itself (normal completion disarms it with
+/// [`std::mem::forget`]): the panic propagates to the caller, and a
+/// SUT left half-mutated mid-`start` must not be reused by a later
+/// submission. Pool workers do the same for their own caches in
+/// [`worker_loop`].
+struct ClearCacheOnPanic<'a>(&'a mut SutCache);
+
+impl Drop for ClearCacheOnPanic<'_> {
+    fn drop(&mut self) {
+        self.0.suts.clear();
+    }
+}
+
+impl BatchState {
+    fn new(units: Vec<(ExecutorCampaign, Vec<GeneratedFault>)>) -> Self {
+        let mut bases = Vec::with_capacity(units.len());
+        let mut total = 0;
+        for (_, faults) in &units {
+            bases.push(total);
+            total += faults.len();
+        }
+        BatchState {
+            bases,
+            total,
+            cursor: AtomicUsize::new(0),
+            slots: (0..total).map(|_| Mutex::new(None)).collect(),
+            pending: AtomicUsize::new(total),
+            poisoned: AtomicBool::new(false),
+            done: Mutex::new(total == 0),
+            done_ready: Condvar::new(),
+            units,
+        }
+    }
+
+    /// Steals faults off the global cursor until the batch is
+    /// exhausted. Run by every pool worker *and* the submitting
+    /// thread; `suts` is the calling thread's private SUT cache.
+    fn process(&self, suts: &mut SutCache) {
+        loop {
+            let i = self.cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= self.total {
+                break;
+            }
+            let unit_idx = self.bases.partition_point(|&b| b <= i) - 1;
+            let (campaign, faults) = &self.units[unit_idx];
+            let fault = faults[i - self.bases[unit_idx]].clone();
+            // Armed before SUT construction: the cursor index is
+            // already claimed, so a panic anywhere from the factory
+            // closure onward must poison the batch or the submitter
+            // waits forever on this index.
+            let guard = PoisonOnPanic(self);
+            let sut = suts.get_or_create(&campaign.factory);
+            let outcome = campaign.engine.outcome(sut, fault);
+            std::mem::forget(guard);
+            *lock(&self.slots[i]) = Some(outcome);
+            if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                *lock(&self.done) = true;
+                self.done_ready.notify_all();
+            }
+        }
+    }
+
+    /// Drains the outcome slots into per-campaign profiles, in entry
+    /// order, each merged in fault order. Only called after `pending`
+    /// reached zero.
+    fn into_profiles(self) -> Vec<ResilienceProfile> {
+        let mut slots = self.slots.into_iter();
+        self.units
+            .into_iter()
+            .map(|(campaign, faults)| {
+                let outcomes = slots
+                    .by_ref()
+                    .take(faults.len())
+                    .map(|slot| {
+                        slot.into_inner()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .expect("every pending fault has a filled slot")
+                    })
+                    .collect();
+                ResilienceProfile::new(campaign.system.as_str(), outcomes)
+            })
+            .collect()
+    }
+}
+
+/// What the pool's condition variable hands to waiting workers.
+struct JobSlot {
+    /// Bumped once per installed batch; a worker only picks up a
+    /// batch whose generation it has not seen.
+    generation: u64,
+    batch: Option<Arc<BatchState>>,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    job: Mutex<JobSlot>,
+    work_ready: Condvar,
+}
+
+fn worker_loop(shared: Arc<PoolShared>) {
+    let mut suts = SutCache::default();
+    let mut seen = 0u64;
+    loop {
+        let batch = {
+            let mut slot = lock(&shared.job);
+            loop {
+                if slot.shutdown {
+                    return;
+                }
+                if slot.generation != seen {
+                    seen = slot.generation;
+                    if let Some(batch) = &slot.batch {
+                        break Arc::clone(batch);
+                    }
+                    // Generation moved but the batch is already
+                    // retired (fully drained before this worker woke):
+                    // nothing to steal, keep waiting.
+                }
+                slot = shared
+                    .work_ready
+                    .wait(slot)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        // Contain a mid-fault panic so the pool never shrinks: the
+        // batch is already poisoned (and the submitter woken) by
+        // `PoisonOnPanic`, so this worker only needs to shed any SUT
+        // the panic may have left half-mutated and keep serving.
+        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| batch.process(&mut suts)))
+            .is_err()
+        {
+            suts.suts.clear();
+        }
+    }
+}
+
+/// A persistent, work-stealing campaign worker pool.
+///
+/// Construct one per process (or per benchmark) with the desired
+/// parallelism and reuse it for every campaign: `threads - 1`
+/// persistent worker threads are spawned up front, and the submitting
+/// thread itself works the queue during a submission, so `threads`
+/// equals the effective parallelism. Submissions are serialized (one
+/// batch in flight at a time); dropping the executor shuts the
+/// workers down.
+///
+/// See the `executor` module docs (the source header of
+/// `crates/core/src/executor.rs`) for the scheduling and determinism
+/// guarantees, and [`CampaignBatch`] for multi-campaign submissions.
+pub struct CampaignExecutor {
+    threads: usize,
+    shared: Arc<PoolShared>,
+    workers: Vec<JoinHandle<()>>,
+    /// Serializes submissions and holds the submitting side's SUT
+    /// cache (reused across submissions exactly like a worker's).
+    caller: Mutex<SutCache>,
+}
+
+impl fmt::Debug for CampaignExecutor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CampaignExecutor")
+            .field("threads", &self.threads)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl CampaignExecutor {
+    /// Creates an executor with `threads` effective parallelism
+    /// (clamped to at least 1): `threads - 1` persistent workers plus
+    /// the submitting thread. `CampaignExecutor::new(1)` spawns no
+    /// threads at all — every submission runs on the caller via the
+    /// serial fast path.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(PoolShared {
+            job: Mutex::new(JobSlot {
+                generation: 0,
+                batch: None,
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+        });
+        let workers = (1..threads)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(shared))
+            })
+            .collect();
+        CampaignExecutor {
+            threads,
+            shared,
+            workers,
+            caller: Mutex::new(SutCache::default()),
+        }
+    }
+
+    /// Creates an executor sized to the machine's available
+    /// parallelism.
+    pub fn with_default_threads() -> Self {
+        Self::new(crate::default_threads())
+    }
+
+    /// The executor's effective parallelism (workers + submitting
+    /// thread).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs one campaign's fault load through the pool and merges the
+    /// outcomes in fault order. Byte-identical to a serial
+    /// [`crate::Campaign::run_faults`] over the same faults.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible (kept fallible for symmetry with
+    /// [`crate::Campaign::run_faults`]); per-fault problems are
+    /// recorded in the profile.
+    pub fn run_faults(
+        &self,
+        campaign: &ExecutorCampaign,
+        faults: Vec<GeneratedFault>,
+    ) -> Result<ResilienceProfile, CampaignError> {
+        let mut batch = CampaignBatch::new();
+        batch.push(campaign, faults);
+        Ok(self
+            .run_batch(batch)?
+            .pop()
+            .expect("single-entry batch yields one profile"))
+    }
+
+    /// Runs a whole batch through one global, campaign-tagged fault
+    /// queue and returns one profile per entry (push order, outcomes
+    /// in fault order — byte-identical to running every entry through
+    /// a serial campaign).
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible (kept fallible for symmetry with the
+    /// serial drivers); per-fault problems are recorded in the
+    /// profiles.
+    pub fn run_batch(&self, batch: CampaignBatch) -> Result<Vec<ResilienceProfile>, CampaignError> {
+        // One submission at a time; the guard doubles as the
+        // submitting thread's SUT cache.
+        let mut caller = lock(&self.caller);
+        let entries = batch.entries;
+        let total: usize = entries.iter().map(|(_, f)| f.len()).sum();
+
+        // Serial fast path: with no pool workers (threads == 1) — or
+        // nothing to parallelize — run the entries in order on this
+        // thread, with zero queue, slot or merge overhead. This is
+        // exactly the serial campaign loop, plus the persistent SUT
+        // cache.
+        if self.workers.is_empty() || total <= 1 {
+            let cache = ClearCacheOnPanic(&mut caller);
+            let profiles = entries
+                .into_iter()
+                .map(|(campaign, faults)| {
+                    let sut = cache.0.get_or_create(&campaign.factory);
+                    let outcomes = faults
+                        .into_iter()
+                        .map(|fault| campaign.engine.outcome(sut, fault))
+                        .collect();
+                    ResilienceProfile::new(campaign.system.as_str(), outcomes)
+                })
+                .collect();
+            std::mem::forget(cache);
+            return Ok(profiles);
+        }
+
+        let state = Arc::new(BatchState::new(entries));
+        {
+            let mut slot = lock(&self.shared.job);
+            slot.generation += 1;
+            slot.batch = Some(Arc::clone(&state));
+        }
+        self.shared.work_ready.notify_all();
+
+        // The submitting thread steals work too.
+        let cache = ClearCacheOnPanic(&mut caller);
+        state.process(&mut *cache.0);
+        std::mem::forget(cache);
+
+        // Wait for in-flight stragglers on other workers.
+        let mut done = lock(&state.done);
+        while !*done {
+            done = state
+                .done_ready
+                .wait(done)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        drop(done);
+        lock(&self.shared.job).batch = None;
+        // Re-raise a worker's panic on the submitting thread, as the
+        // scoped driver's join did. (A panic on the submitting thread
+        // itself propagates out of `process` above directly.)
+        assert!(
+            !state.poisoned.load(Ordering::Acquire),
+            "a campaign worker panicked while executing a fault"
+        );
+
+        let state = match Arc::try_unwrap(state) {
+            Ok(state) => state,
+            Err(shared) => {
+                // A worker may still hold its Arc for the instants
+                // between filling the last slot and re-parking; wait
+                // it out (bounded: workers drop the handle without
+                // taking further locks).
+                let mut shared = shared;
+                loop {
+                    std::thread::yield_now();
+                    match Arc::try_unwrap(shared) {
+                        Ok(state) => break state,
+                        Err(s) => shared = s,
+                    }
+                }
+            }
+        };
+        Ok(state.into_profiles())
+    }
+}
+
+impl Drop for CampaignExecutor {
+    fn drop(&mut self) {
+        {
+            let mut slot = lock(&self.shared.job);
+            slot.shutdown = true;
+        }
+        self.shared.work_ready.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Campaign;
+    use conferr_keyboard::Keyboard;
+    use conferr_model::{ErrorGenerator, TypoKind};
+    use conferr_plugins::{TokenClass, TypoPlugin};
+    use conferr_sut::{MySqlSim, PostgresSim};
+
+    fn plugin() -> TypoPlugin {
+        TypoPlugin::new(Keyboard::qwerty_us(), TokenClass::DirectiveNames)
+            .with_kinds([TypoKind::Omission, TypoKind::Transposition])
+    }
+
+    #[test]
+    fn factory_identity_is_shared_by_clones_only() {
+        let a = sut_factory(PostgresSim::new);
+        let b = a.clone();
+        let c = sut_factory(PostgresSim::new);
+        assert_eq!(a.key(), b.key());
+        assert_ne!(a.key(), c.key());
+        assert_eq!(a.create().name(), "postgres-sim");
+    }
+
+    #[test]
+    fn executor_profiles_match_serial_for_all_thread_counts() {
+        let campaign = ExecutorCampaign::new(sut_factory(PostgresSim::new)).unwrap();
+        let faults = plugin().generate(campaign.baseline()).unwrap();
+        let serial = {
+            let mut sut = PostgresSim::new();
+            let mut c = Campaign::new(&mut sut).unwrap();
+            c.run_faults(faults.clone()).unwrap()
+        };
+        for threads in [1, 2, 5] {
+            let executor = CampaignExecutor::new(threads);
+            let profile = executor.run_faults(&campaign, faults.clone()).unwrap();
+            assert_eq!(profile.outcomes(), serial.outcomes(), "threads = {threads}");
+            assert_eq!(profile.system(), "postgres-sim");
+        }
+    }
+
+    #[test]
+    fn batch_preserves_entry_order_and_fault_order() {
+        let executor = CampaignExecutor::new(3);
+        let mysql = ExecutorCampaign::new(sut_factory(MySqlSim::new)).unwrap();
+        let postgres = ExecutorCampaign::new(sut_factory(PostgresSim::new)).unwrap();
+        let mysql_faults = plugin().generate(mysql.baseline()).unwrap();
+        let postgres_faults = plugin().generate(postgres.baseline()).unwrap();
+
+        let mut batch = CampaignBatch::new();
+        batch.push(&postgres, postgres_faults.clone());
+        batch.push(&mysql, mysql_faults.clone());
+        assert_eq!(batch.len(), 2);
+        assert_eq!(
+            batch.fault_count(),
+            postgres_faults.len() + mysql_faults.len()
+        );
+        let profiles = executor.run_batch(batch).unwrap();
+        assert_eq!(profiles[0].system(), "postgres-sim");
+        assert_eq!(profiles[1].system(), "mysql-sim");
+        let ids: Vec<&str> = profiles[1]
+            .outcomes()
+            .iter()
+            .map(|o| o.id.as_str())
+            .collect();
+        let expected: Vec<&str> = mysql_faults.iter().map(|f| f.id()).collect();
+        assert_eq!(ids, expected, "outcomes merge in fault order");
+    }
+
+    #[test]
+    fn empty_batch_and_empty_entries_work() {
+        let executor = CampaignExecutor::new(2);
+        assert!(executor.run_batch(CampaignBatch::new()).unwrap().is_empty());
+        let campaign = ExecutorCampaign::new(sut_factory(PostgresSim::new)).unwrap();
+        let mut batch = CampaignBatch::new();
+        batch.push(&campaign, Vec::new());
+        let profiles = executor.run_batch(batch).unwrap();
+        assert_eq!(profiles.len(), 1);
+        assert!(profiles[0].is_empty());
+    }
+
+    #[test]
+    fn executor_is_reusable_across_submissions() {
+        let executor = CampaignExecutor::new(2);
+        let campaign = ExecutorCampaign::new(sut_factory(PostgresSim::new)).unwrap();
+        let faults = plugin().generate(campaign.baseline()).unwrap();
+        let first = executor.run_faults(&campaign, faults.clone()).unwrap();
+        let second = executor.run_faults(&campaign, faults).unwrap();
+        assert_eq!(first.outcomes(), second.outcomes());
+    }
+
+    /// A simulator that panics when started on a configuration
+    /// containing the marker text — stands in for a simulator bug
+    /// tripped by a pathological injected configuration.
+    #[derive(Debug)]
+    struct PanickingSim;
+
+    impl conferr_sut::SystemUnderTest for PanickingSim {
+        fn name(&self) -> &str {
+            "panic-sim"
+        }
+        fn config_files(&self) -> Vec<conferr_sut::ConfigFileSpec> {
+            vec![conferr_sut::ConfigFileSpec {
+                name: "p.conf".to_string(),
+                format: "kv".to_string(),
+                default_contents: "x = 1\n".to_string(),
+            }]
+        }
+        fn start(&mut self, configs: &conferr_sut::ConfigPayload) -> conferr_sut::StartOutcome {
+            if configs.text("p.conf").is_some_and(|t| t.contains("BOOM")) {
+                panic!("simulator bug");
+            }
+            conferr_sut::StartOutcome::Started
+        }
+        fn test_names(&self) -> Vec<String> {
+            Vec::new()
+        }
+        fn run_test(&mut self, _test: &str) -> conferr_sut::TestOutcome {
+            conferr_sut::TestOutcome::Passed
+        }
+        fn stop(&mut self) {}
+    }
+
+    #[test]
+    fn worker_panic_propagates_instead_of_deadlocking() {
+        use conferr_model::{ErrorClass, FaultScenario, TreeEdit, TypoKind};
+        use conferr_tree::TreePath;
+        // Many benign faults plus one that trips the simulator bug,
+        // across enough threads that a pool worker (not just the
+        // submitting thread) can hit it. Before the poison guard this
+        // hung forever when a worker took the panicking fault.
+        let campaign = ExecutorCampaign::new(sut_factory(|| PanickingSim)).unwrap();
+        let fault = |v: &str, i: usize| {
+            GeneratedFault::Scenario(FaultScenario {
+                id: format!("f{i}"),
+                description: "set x".to_string(),
+                class: ErrorClass::Typo(TypoKind::Substitution),
+                edits: vec![TreeEdit::SetText {
+                    file: "p.conf".to_string(),
+                    path: TreePath::from(vec![0]),
+                    text: Some(v.to_string()),
+                }],
+            })
+        };
+        let mut faults: Vec<GeneratedFault> = (0..64).map(|i| fault("2", i)).collect();
+        faults.insert(32, fault("BOOM", 64));
+
+        let executor = CampaignExecutor::new(4);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            executor.run_faults(&campaign, faults)
+        }));
+        assert!(result.is_err(), "the worker panic must propagate");
+
+        // The pool survives a poisoned submission: later submissions
+        // on the same executor still complete.
+        let profile = executor
+            .run_faults(&campaign, (0..8).map(|i| fault("3", i)).collect())
+            .unwrap();
+        assert_eq!(profile.len(), 8);
+    }
+
+    #[test]
+    fn factory_panic_during_batch_propagates_instead_of_deadlocking() {
+        use conferr_model::{ErrorClass, FaultScenario, TreeEdit, TypoKind};
+        use conferr_tree::TreePath;
+        // The scout instance (create #0) builds the campaign; every
+        // later construction — which happens on whichever thread
+        // claims the first fault — panics. The claimed cursor index
+        // must still poison the batch (the guard is armed before SUT
+        // construction), or the submitter waits forever.
+        let creates = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&creates);
+        let factory = SutFactory::new(move || {
+            assert!(counter.fetch_add(1, Ordering::Relaxed) == 0, "factory bug");
+            PanickingSim
+        });
+        let campaign = ExecutorCampaign::new(factory).unwrap();
+        let faults: Vec<GeneratedFault> = (0..16)
+            .map(|i| {
+                GeneratedFault::Scenario(FaultScenario {
+                    id: format!("f{i}"),
+                    description: "set x".to_string(),
+                    class: ErrorClass::Typo(TypoKind::Substitution),
+                    edits: vec![TreeEdit::SetText {
+                        file: "p.conf".to_string(),
+                        path: TreePath::from(vec![0]),
+                        text: Some("2".to_string()),
+                    }],
+                })
+            })
+            .collect();
+        let executor = CampaignExecutor::new(3);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            executor.run_faults(&campaign, faults)
+        }));
+        assert!(result.is_err(), "the factory panic must propagate");
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one_with_no_workers() {
+        let executor = CampaignExecutor::new(0);
+        assert_eq!(executor.threads(), 1);
+        let campaign = ExecutorCampaign::new(sut_factory(PostgresSim::new)).unwrap();
+        let faults = plugin().generate(campaign.baseline()).unwrap();
+        assert!(!executor.run_faults(&campaign, faults).unwrap().is_empty());
+    }
+}

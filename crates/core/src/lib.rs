@@ -26,11 +26,14 @@
 //! loads, the engine applies them copy-on-write, serializes only
 //! mutated files (memoizing the preparation per edit list), and
 //! drives the simulators' cached startup parsing through
-//! [`conferr_sut::ConfigPayload`]. [`Campaign`] is the serial driver,
-//! [`ParallelCampaign`] the multi-worker one; both produce
-//! byte-identical profiles. See `docs/ARCHITECTURE.md` at the
-//! repository root for the full paper-section-to-crate map and an
-//! injection data-flow walkthrough.
+//! [`conferr_sut::ConfigPayload`]. [`Campaign`] is the serial driver;
+//! [`ParallelCampaign`] and the persistent
+//! [`CampaignExecutor`]/[`CampaignBatch`] pair schedule fault loads —
+//! including whole batches of campaigns across systems — over a
+//! reusable worker pool; every driver produces byte-identical
+//! profiles. See `docs/ARCHITECTURE.md` at the repository root for
+//! the full paper-section-to-crate map and an injection data-flow
+//! walkthrough.
 //!
 //! # Quickstart
 //!
@@ -59,6 +62,7 @@
 
 mod campaign;
 mod compare;
+mod executor;
 mod export;
 mod outcome;
 mod parallel;
@@ -70,7 +74,8 @@ pub use compare::{
     compare_value_typo_resilience, parallel_value_typo_resilience, task_resilience,
     value_typo_resilience, ComparisonReport, DetectionBand, DirectiveResilience, SystemResilience,
 };
+pub use executor::{sut_factory, CampaignBatch, CampaignExecutor, ExecutorCampaign, SutFactory};
 pub use export::{profile_to_csv, profile_to_json};
 pub use outcome::{InjectionOutcome, InjectionResult};
-pub use parallel::{default_threads, parallel_indexed_map, sut_factory, ParallelCampaign};
+pub use parallel::{default_threads, parallel_indexed_map, ParallelCampaign};
 pub use profile::{ProfileSummary, ResilienceProfile};

@@ -5,25 +5,27 @@
 //! ConfErr's value is running *large* fault loads unattended (paper
 //! §3.1), and every injection is independent: it starts from the
 //! pristine baseline, drives a deterministic SUT, and tears the SUT
-//! back down. [`ParallelCampaign`] exploits that independence. One
-//! immutable injection engine (formats + baseline + cached baseline
-//! text) is shared by reference across a [`std::thread::scope`];
-//! each worker owns a private SUT instance built by the factory
-//! closure and pulls faults off a shared cursor; outcomes land in
-//! per-fault slots and are emitted in fault order. The resulting
-//! profile is **byte-identical** to a serial [`Campaign::run_faults`](crate::Campaign::run_faults)
-//! over the same fault load — scheduling affects wall-clock time,
-//! never results.
+//! back down. [`ParallelCampaign`] exploits that independence. It is
+//! a thin, generator-aware veneer over the persistent
+//! [`CampaignExecutor`](crate::CampaignExecutor): the first `run_faults` call builds (and
+//! every later call reuses) a worker pool whose threads each own a
+//! private SUT instance cached by [`SutFactory`](crate::SutFactory) identity, and faults
+//! are stolen off a shared cursor with outcomes merged back in fault
+//! order. The resulting profile is **byte-identical** to a serial
+//! [`Campaign::run_faults`](crate::Campaign::run_faults) over the same fault load — scheduling
+//! affects wall-clock time, never results. For scheduling *several*
+//! campaigns across systems through one queue, use
+//! [`CampaignBatch`](crate::CampaignBatch) on a shared executor directly.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use conferr_model::{ConfigSet, ErrorGenerator, GeneratedFault};
-use conferr_sut::SystemUnderTest;
+use conferr_sut::ConfigPayload;
 use parking_lot::Mutex;
 
-use crate::campaign::InjectionEngine;
-use crate::{CampaignError, InjectionOutcome, ResilienceProfile};
+use crate::executor::{CampaignExecutor, ExecutorCampaign, SutFactory};
+use crate::{CampaignError, ResilienceProfile};
 
 /// Default worker count for parallel drivers: every core the machine
 /// offers (1 when the parallelism cannot be determined).
@@ -36,10 +38,10 @@ pub fn default_threads() -> usize {
 /// Runs `f` over `items` on up to `threads` scoped worker threads
 /// (atomic-cursor work stealing) and returns the results **in item
 /// order** — scheduling never affects the output. This is the shared
-/// scheduling primitive behind the sharded paper drivers; use it for
-/// stateless per-item work. [`ParallelCampaign::run_faults`] keeps
-/// its own loop because its workers carry per-worker state (a reused
-/// SUT instance).
+/// scheduling primitive for stateless per-item work that does not
+/// involve a SUT; campaign workloads go through the persistent
+/// [`CampaignExecutor`](crate::CampaignExecutor), whose workers carry
+/// reusable SUT instances.
 pub fn parallel_indexed_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
@@ -73,22 +75,22 @@ where
 /// Because a campaign needs exclusive access to a SUT for the
 /// duration of each injection, parallel execution requires one SUT
 /// instance per worker; the campaign is therefore built from a
-/// factory closure rather than a borrowed instance. The factory must
-/// produce identically-configured SUTs (the five built-in simulators
+/// [`SutFactory`](crate::SutFactory) rather than a borrowed instance. The factory must
+/// produce identically-configured SUTs (the built-in simulators
 /// qualify: they are deterministic state machines fully reset by
-/// `stop`).
+/// `stop`). The underlying worker pool is created on first use and
+/// persists across `run`/`run_faults` calls, SUT instances included.
 ///
 /// # Examples
 ///
 /// ```
-/// use conferr::ParallelCampaign;
+/// use conferr::{sut_factory, ParallelCampaign};
 /// use conferr_keyboard::Keyboard;
 /// use conferr_plugins::{TokenClass, TypoPlugin};
-/// use conferr_sut::{PostgresSim, SystemUnderTest};
+/// use conferr_sut::PostgresSim;
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
-/// let mut campaign =
-///     ParallelCampaign::new(|| Box::new(PostgresSim::new()) as Box<dyn SystemUnderTest>)?;
+/// let mut campaign = ParallelCampaign::new(sut_factory(PostgresSim::new))?;
 /// campaign.add_generator(Box::new(TypoPlugin::new(
 ///     Keyboard::qwerty_us(),
 ///     TokenClass::DirectiveNames,
@@ -98,34 +100,27 @@ where
 /// # Ok(())
 /// # }
 /// ```
-pub struct ParallelCampaign<F>
-where
-    F: Fn() -> Box<dyn SystemUnderTest> + Sync,
-{
-    make_sut: F,
-    system: String,
-    engine: InjectionEngine,
+pub struct ParallelCampaign {
+    campaign: ExecutorCampaign,
     generators: Vec<Box<dyn ErrorGenerator>>,
     threads: usize,
+    /// Built lazily at the first run with the configured thread
+    /// count, then reused (with its worker threads and their SUT
+    /// caches) by every later run. Reset by [`Self::with_threads`].
+    executor: Mutex<Option<CampaignExecutor>>,
 }
 
-impl<F> std::fmt::Debug for ParallelCampaign<F>
-where
-    F: Fn() -> Box<dyn SystemUnderTest> + Sync,
-{
+impl std::fmt::Debug for ParallelCampaign {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ParallelCampaign")
-            .field("system", &self.system)
+            .field("system", &self.campaign.system())
             .field("generators", &self.generators.len())
             .field("threads", &self.threads)
             .finish()
     }
 }
 
-impl<F> ParallelCampaign<F>
-where
-    F: Fn() -> Box<dyn SystemUnderTest> + Sync,
-{
+impl ParallelCampaign {
     /// Creates a parallel campaign from the SUT's default
     /// configuration files, probing one scout instance from the
     /// factory. Worker count defaults to the machine's available
@@ -134,8 +129,8 @@ where
     /// # Errors
     ///
     /// Same conditions as [`Campaign::new`](crate::Campaign::new).
-    pub fn new(make_sut: F) -> Result<Self, CampaignError> {
-        Self::build(make_sut, None)
+    pub fn new(factory: SutFactory) -> Result<Self, CampaignError> {
+        Ok(Self::from_campaign(ExecutorCampaign::new(factory)?))
     }
 
     /// Creates a parallel campaign from explicit configuration text,
@@ -146,32 +141,45 @@ where
     ///
     /// Same conditions as [`Campaign::with_configs`](crate::Campaign::with_configs).
     pub fn with_configs(
-        make_sut: F,
+        factory: SutFactory,
         configs: &BTreeMap<String, String>,
     ) -> Result<Self, CampaignError> {
-        Self::build(make_sut, Some(configs))
+        Ok(Self::from_campaign(ExecutorCampaign::with_configs(
+            factory, configs,
+        )?))
     }
 
-    fn build(
-        make_sut: F,
-        overrides: Option<&BTreeMap<String, String>>,
+    /// Creates a parallel campaign from explicit configuration
+    /// payloads, mirroring [`Campaign::with_payload`](crate::Campaign::with_payload).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Campaign::with_payload`](crate::Campaign::with_payload).
+    pub fn with_payload(
+        factory: SutFactory,
+        configs: &ConfigPayload,
     ) -> Result<Self, CampaignError> {
-        let scout = make_sut();
-        let engine = InjectionEngine::new(scout.as_ref(), overrides)?;
-        let system = scout.name().to_string();
-        Ok(ParallelCampaign {
-            make_sut,
-            system,
-            engine,
+        Ok(Self::from_campaign(ExecutorCampaign::with_payload(
+            factory, configs,
+        )?))
+    }
+
+    /// Wraps an already-built [`ExecutorCampaign`](crate::ExecutorCampaign).
+    pub fn from_campaign(campaign: ExecutorCampaign) -> Self {
+        ParallelCampaign {
+            campaign,
             generators: Vec::new(),
             threads: default_threads(),
-        })
+            executor: Mutex::new(None),
+        }
     }
 
-    /// Sets the worker-thread count (clamped to at least 1).
+    /// Sets the worker-thread count (clamped to at least 1),
+    /// discarding any previously built pool.
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        *self.executor.get_mut() = None;
         self
     }
 
@@ -190,13 +198,19 @@ where
     /// see [`Campaign::set_fault_memoization`](crate::Campaign::set_fault_memoization).
     /// The memo is internally synchronized; workers share it.
     pub fn set_fault_memoization(&mut self, enabled: bool) -> &mut Self {
-        self.engine.set_fault_memoization(enabled);
+        self.campaign.set_fault_memoization(enabled);
         self
     }
 
     /// The parsed baseline configuration set.
     pub fn baseline(&self) -> &ConfigSet {
-        self.engine.baseline()
+        self.campaign.baseline()
+    }
+
+    /// The underlying [`ExecutorCampaign`](crate::ExecutorCampaign) (cheap to clone into a
+    /// [`CampaignBatch`](crate::CampaignBatch)).
+    pub fn campaign(&self) -> &ExecutorCampaign {
+        &self.campaign
     }
 
     /// Runs every generator's full fault load, sharded across the
@@ -209,83 +223,33 @@ where
     pub fn run(&self) -> Result<ResilienceProfile, CampaignError> {
         let mut faults = Vec::new();
         for generator in &self.generators {
-            faults.extend(generator.generate(self.engine.baseline())?);
+            faults.extend(generator.generate(self.campaign.baseline())?);
         }
         self.run_faults(faults)
     }
 
-    /// Runs an explicit fault load across the worker threads and
-    /// merges the outcomes back in fault order.
+    /// Runs an explicit fault load across the (persistent) worker
+    /// threads and merges the outcomes back in fault order.
     ///
     /// # Errors
     ///
     /// Currently infallible (kept fallible for symmetry with
     /// [`Campaign::run_faults`](crate::Campaign::run_faults)): injection problems are per-fault
-    /// outcomes, and worker threads cannot fail to launch under
-    /// [`std::thread::scope`].
+    /// outcomes.
     pub fn run_faults(
         &self,
         faults: Vec<GeneratedFault>,
     ) -> Result<ResilienceProfile, CampaignError> {
-        let workers = self.threads.min(faults.len()).max(1);
-        if workers == 1 {
-            // No sharding: drive one SUT on this thread, exactly like
-            // the serial campaign.
-            let mut sut = (self.make_sut)();
-            let outcomes = faults
-                .into_iter()
-                .map(|fault| self.engine.outcome(sut.as_mut(), fault))
-                .collect();
-            return Ok(ResilienceProfile::new(self.system.as_str(), outcomes));
-        }
-
-        // Work-stealing by atomic cursor: faster workers take more
-        // faults, and the per-fault slot vector keeps the merge in
-        // fault order regardless of who ran what.
-        let cursor = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<InjectionOutcome>>> =
-            faults.iter().map(|_| Mutex::new(None)).collect();
-        // Capture only the Sync pieces — the generators (not needed
-        // by workers) are deliberately left out of the closures.
-        let engine = &self.engine;
-        let make_sut = &self.make_sut;
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| {
-                    let mut sut = make_sut();
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(fault) = faults.get(i) else { break };
-                        let outcome = engine.outcome(sut.as_mut(), fault.clone());
-                        *slots[i].lock() = Some(outcome);
-                    }
-                });
-            }
-        });
-        let outcomes = slots
-            .into_iter()
-            .map(|slot| slot.into_inner().expect("worker filled every slot"))
-            .collect();
-        Ok(ResilienceProfile::new(self.system.as_str(), outcomes))
+        let mut guard = self.executor.lock();
+        let executor = guard.get_or_insert_with(|| CampaignExecutor::new(self.threads));
+        executor.run_faults(&self.campaign, faults)
     }
-}
-
-/// Boxes a concrete SUT constructor into the factory shape
-/// [`ParallelCampaign`] and [`Campaign::run_faults_parallel`](crate::Campaign::run_faults_parallel) expect —
-/// `sut_factory(PostgresSim::new)` reads better than the closure-plus-
-/// cast it expands to.
-pub fn sut_factory<S, C>(construct: C) -> impl Fn() -> Box<dyn SystemUnderTest> + Sync
-where
-    S: SystemUnderTest + 'static,
-    C: Fn() -> S + Sync,
-{
-    move || Box::new(construct())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Campaign;
+    use crate::{sut_factory, Campaign};
     use conferr_keyboard::Keyboard;
     use conferr_model::TypoKind;
     use conferr_plugins::{TokenClass, TypoPlugin};
@@ -326,6 +290,17 @@ mod tests {
         let parallel =
             Campaign::run_faults_parallel(sut_factory(MySqlSim::new), faults, 4).unwrap();
         assert_eq!(serial.outcomes(), parallel.outcomes());
+    }
+
+    #[test]
+    fn repeated_runs_reuse_the_pool_and_stay_identical() {
+        let mut campaign = ParallelCampaign::new(sut_factory(PostgresSim::new))
+            .unwrap()
+            .with_threads(3);
+        campaign.add_generator(plugin());
+        let first = campaign.run().unwrap();
+        let second = campaign.run().unwrap();
+        assert_eq!(first.outcomes(), second.outcomes());
     }
 
     #[test]

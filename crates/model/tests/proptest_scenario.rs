@@ -122,6 +122,34 @@ fn scenario(edits: Vec<TreeEdit>) -> FaultScenario {
     }
 }
 
+/// Reconstructs a node into entirely fresh allocations — no `Arc`
+/// sharing with the source. A structural comparison against such a
+/// snapshot detects in-place mutation of shared nodes, which the
+/// (cheap, sharing) `clone()` cannot: a mutation leaking through a
+/// shared `Arc` would change the clone identically.
+fn deep_snapshot_node(node: &Node) -> Node {
+    let mut out = Node::new(node.kind());
+    for (key, value) in node.attrs() {
+        out.set_attr(key, value);
+    }
+    out.set_text(node.text().map(str::to_string));
+    for child in node.children() {
+        out.push_child(deep_snapshot_node(child));
+    }
+    out
+}
+
+fn deep_snapshot(set: &ConfigSet) -> ConfigSet {
+    set.iter()
+        .map(|(name, tree)| {
+            (
+                name.to_string(),
+                ConfTree::new(deep_snapshot_node(tree.root())),
+            )
+        })
+        .collect()
+}
+
 /// The reference semantics: deep-clone *every* file up front (fresh
 /// allocations, no sharing), then apply each edit through the public
 /// `ConfTree` editing API — exactly what the pre-COW driver did.
@@ -196,6 +224,88 @@ proptest! {
 
         // Applying a scenario never disturbs the original set.
         prop_assert_eq!(&set, &pristine);
+    }
+
+    #[test]
+    fn apply_never_mutates_arc_shared_nodes(
+        set in arb_set(),
+        edits in prop::collection::vec(arb_edit(), 0..5),
+    ) {
+        // `Node` shares subtrees by `Arc`; an `apply` that mutated a
+        // shared node in place (instead of copy-on-writing the path)
+        // would corrupt the baseline — and every other set sharing
+        // it — invisibly to the shallow-clone comparison above. The
+        // deep snapshot has no sharing with `set`, so any leak shows
+        // up as a structural difference.
+        let snapshot = deep_snapshot(&set);
+        let _ = scenario(edits).apply(&set);
+        prop_assert_eq!(&set, &snapshot, "apply mutated the original through shared nodes");
+    }
+
+    #[test]
+    fn leaf_edit_copies_only_the_root_to_edit_path(
+        set in arb_set(),
+        raw_path in arb_path(),
+        text in prop::option::of("[a-z0-9]{0,6}"),
+    ) {
+        // A SetText edit at a resolvable path must detach exactly the
+        // nodes on the root-to-edit path; every sibling hanging off
+        // that path stays the *same allocation* as the original's
+        // (observable via Node::ptr_eq). This is the sharing that
+        // makes apply cost proportional to depth, and it must never
+        // let a mutation travel into a shared sibling.
+        let file = "file0.conf".to_string();
+        let tree = set.get(&file).expect("file0 always exists");
+        if tree.node_at(&raw_path).is_err() {
+            // Unresolvable path: nothing to observe for this case.
+            continue;
+        }
+
+        let sc = scenario(vec![TreeEdit::SetText {
+            file: file.clone(),
+            path: raw_path.clone(),
+            text,
+        }]);
+        let out = sc.apply(&set).expect("resolvable SetText applies");
+        let mutated = out.get(&file).expect("file survives");
+
+        let mut original_cursor = tree.root();
+        let mut mutated_cursor = mutated.root();
+        for &step in raw_path.indices() {
+            // The path node itself was copy-on-written...
+            prop_assert!(
+                !Node::ptr_eq(original_cursor, mutated_cursor),
+                "a node on the edit path kept its allocation"
+            );
+            // ...while every sibling of the next step kept its
+            // allocation.
+            for (i, (a, b)) in original_cursor
+                .children()
+                .iter()
+                .zip(mutated_cursor.children())
+                .enumerate()
+            {
+                if i != step {
+                    prop_assert!(
+                        Node::ptr_eq(a, b),
+                        "sibling {} off the edit path was copied (or mutated)",
+                        i
+                    );
+                }
+            }
+            original_cursor = &original_cursor.children()[step];
+            mutated_cursor = &mutated_cursor.children()[step];
+        }
+        prop_assert!(!Node::ptr_eq(original_cursor, mutated_cursor));
+        // The edited node's own children are still shared: only the
+        // path is copied, not the subtree below the edit.
+        for (a, b) in original_cursor
+            .children()
+            .iter()
+            .zip(mutated_cursor.children())
+        {
+            prop_assert!(Node::ptr_eq(a, b), "child below the edit point was copied");
+        }
     }
 
     #[test]

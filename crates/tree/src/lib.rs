@@ -70,8 +70,12 @@ use serde::{Deserialize, Serialize};
 /// operations addressed by [`TreePath`].
 ///
 /// `ConfTree` is the unit that parsers produce, error templates mutate,
-/// and serializers consume. Cloning is deep and cheap enough for the
-/// injection workloads ConfErr runs (configuration files are small).
+/// and serializers consume. Because [`Node`] is an `Arc`-backed
+/// copy-on-write handle, cloning a tree is a reference-count bump and
+/// editing a clone copies only the root-to-edit path
+/// ([`ConfTree::node_at_mut`] detaches one node per level as it
+/// descends); untouched subtrees stay shared with the original, which
+/// [`Node::ptr_eq`] can observe.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ConfTree {
     root: Node,
@@ -118,7 +122,10 @@ impl ConfTree {
         Ok(cur)
     }
 
-    /// Resolves `path` to an exclusive node reference.
+    /// Resolves `path` to an exclusive node reference, detaching (at
+    /// most) one shared node per level on the way down — the
+    /// path-proportional copy that makes editing a clone of a shared
+    /// tree cheap.
     ///
     /// # Errors
     ///
@@ -127,7 +134,6 @@ impl ConfTree {
     pub fn node_at_mut(&mut self, path: &TreePath) -> Result<&mut Node, TreeError> {
         let mut cur = &mut self.root;
         for (depth, &idx) in path.indices().iter().enumerate() {
-            let len = cur.children().len();
             cur = cur
                 .children_mut()
                 .get_mut(idx)
@@ -135,7 +141,6 @@ impl ConfTree {
                     path: path.clone(),
                     depth,
                 })?;
-            let _ = len;
         }
         Ok(cur)
     }

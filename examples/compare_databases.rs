@@ -9,14 +9,12 @@
 //! the fraction each database detects, then bin the per-directive
 //! rates into the paper's Poor/Fair/Good/Excellent bands (Figure 3).
 
-use std::collections::BTreeMap;
-
 use conferr::report::stacked_bar;
-use conferr::{parallel_value_typo_resilience, sut_factory};
+use conferr::{parallel_value_typo_resilience, sut_factory, CampaignExecutor};
 use conferr_keyboard::Keyboard;
 use conferr_model::TypoKind;
 use conferr_plugins::typos_of_kind;
-use conferr_sut::{MySqlSim, PostgresSim};
+use conferr_sut::{ConfigPayload, FileText, MySqlSim, PostgresSim};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let keyboard = Keyboard::qwerty_us();
@@ -39,16 +37,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let experiments = 10;
     let seed = 1912;
 
-    // The parallel runner shards directives across one worker (and
-    // one SUT instance) per core; per-directive seeding makes the
-    // numbers identical to the serial `value_typo_resilience`.
-    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // The batched runner parses each full-coverage configuration into
+    // one shared engine, schedules every directive as a batch entry on
+    // the persistent executor (one worker and one cached SUT instance
+    // per core), and merges outcomes per directive; per-directive
+    // seeding makes the numbers identical to the serial
+    // `value_typo_resilience`. The MySQL comparison reuses the worker
+    // pool the Postgres one warmed up.
+    let executor = CampaignExecutor::with_default_threads();
 
     let postgres = {
-        let mut configs = BTreeMap::new();
+        let mut configs = ConfigPayload::new();
         configs.insert(
-            "postgresql.conf".to_string(),
-            PostgresSim::full_coverage_config(),
+            "postgresql.conf",
+            FileText::mutated(PostgresSim::full_coverage_config()),
         );
         parallel_value_typo_resilience(
             sut_factory(PostgresSim::new),
@@ -57,12 +59,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             experiments,
             seed,
             &PostgresSim::boolean_directive_names(),
-            threads,
+            &executor,
         )?
     };
     let mysql = {
-        let mut configs = BTreeMap::new();
-        configs.insert("my.cnf".to_string(), MySqlSim::full_coverage_config());
+        let mut configs = ConfigPayload::new();
+        configs.insert(
+            "my.cnf",
+            FileText::mutated(MySqlSim::full_coverage_config()),
+        );
         parallel_value_typo_resilience(
             sut_factory(MySqlSim::new),
             &configs,
@@ -70,7 +75,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             experiments,
             seed,
             &MySqlSim::boolean_directive_names(),
-            threads,
+            &executor,
         )?
     };
 

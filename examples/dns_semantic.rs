@@ -10,60 +10,61 @@
 //! loader catches, faults that load silently, and faults that djbdns'
 //! combined `=` directive makes *impossible to write down*.
 
-use conferr::{sut_factory, InjectionResult, ParallelCampaign};
+use conferr::{sut_factory, CampaignBatch, CampaignExecutor, ExecutorCampaign, InjectionResult};
 use conferr_model::ErrorGenerator;
 use conferr_plugins::{DnsFaultKind, DnsSemanticPlugin};
-use conferr_sut::{BindSim, DjbdnsSim, SystemUnderTest};
-
-fn run<F>(
-    name: &str,
-    make_sut: F,
-    plugin: DnsSemanticPlugin,
-) -> Result<(), Box<dyn std::error::Error>>
-where
-    F: Fn() -> Box<dyn SystemUnderTest> + Sync,
-{
-    // One worker (and one simulated name server) per core; outcomes
-    // come back in fault order, identical to a serial campaign.
-    let campaign = ParallelCampaign::new(make_sut)?;
-    let faults = plugin.generate(campaign.baseline())?;
-    let profile = campaign.run_faults(faults)?;
-    println!("=== {name} ===");
-    for outcome in profile.outcomes() {
-        let verdict = match &outcome.result {
-            InjectionResult::DetectedAtStartup { diagnostic } => {
-                format!("DETECTED at zone load: {diagnostic}")
-            }
-            InjectionResult::DetectedByFunctionalTest { test, .. } => {
-                format!("DETECTED by {test}")
-            }
-            InjectionResult::Undetected { .. } => "loaded silently (NOT detected)".to_string(),
-            InjectionResult::Inexpressible { reason } => {
-                format!("INEXPRESSIBLE in this format: {reason}")
-            }
-            InjectionResult::Skipped { reason } => format!("skipped: {reason}"),
-        };
-        println!("  {:<46} -> {verdict}", outcome.description);
-    }
-    println!();
-    Ok(())
-}
+use conferr_sut::{BindSim, DjbdnsSim};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The four Table 3 rows plus the extended RFC-1912 error set.
     let kinds = DnsFaultKind::ALL;
 
-    run(
-        "BIND (zone files)",
-        sut_factory(BindSim::new),
-        DnsSemanticPlugin::bind().with_kinds(kinds),
-    )?;
+    // Both name servers' fault loads go into one batch on a shared
+    // executor: workers steal across systems off a single
+    // campaign-tagged queue, and outcomes come back per campaign in
+    // fault order — identical to two serial campaigns.
+    let executor = CampaignExecutor::with_default_threads();
+    let mut batch = CampaignBatch::new();
+    let mut names = Vec::new();
+    for (name, factory, plugin) in [
+        (
+            "BIND (zone files)",
+            sut_factory(BindSim::new),
+            DnsSemanticPlugin::bind().with_kinds(kinds),
+        ),
+        (
+            "djbdns (tinydns-data)",
+            sut_factory(DjbdnsSim::new),
+            DnsSemanticPlugin::tinydns().with_kinds(kinds),
+        ),
+    ] {
+        let campaign = ExecutorCampaign::new(factory)?;
+        let faults = plugin.generate(campaign.baseline())?;
+        batch.push(&campaign, faults);
+        names.push(name);
+    }
+    let profiles = executor.run_batch(batch)?;
 
-    run(
-        "djbdns (tinydns-data)",
-        sut_factory(DjbdnsSim::new),
-        DnsSemanticPlugin::tinydns().with_kinds(kinds),
-    )?;
+    for (name, profile) in names.into_iter().zip(&profiles) {
+        println!("=== {name} ===");
+        for outcome in profile.outcomes() {
+            let verdict = match &outcome.result {
+                InjectionResult::DetectedAtStartup { diagnostic } => {
+                    format!("DETECTED at zone load: {diagnostic}")
+                }
+                InjectionResult::DetectedByFunctionalTest { test, .. } => {
+                    format!("DETECTED by {test}")
+                }
+                InjectionResult::Undetected { .. } => "loaded silently (NOT detected)".to_string(),
+                InjectionResult::Inexpressible { reason } => {
+                    format!("INEXPRESSIBLE in this format: {reason}")
+                }
+                InjectionResult::Skipped { reason } => format!("skipped: {reason}"),
+            };
+            println!("  {:<46} -> {verdict}", outcome.description);
+        }
+        println!();
+    }
 
     println!(
         "note the asymmetry the paper highlights: BIND *detects* the alias-consistency\n\

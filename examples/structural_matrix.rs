@@ -11,56 +11,87 @@
 //! shows which administrator mental-model variations each system
 //! tolerates.
 
-use conferr::{sut_factory, InjectionResult, ParallelCampaign};
+use conferr::{sut_factory, CampaignBatch, CampaignExecutor, ExecutorCampaign, InjectionResult};
 use conferr_model::ErrorGenerator;
 use conferr_plugins::{VariationClass, VariationPlugin};
-use conferr_sut::{ApacheSim, MySqlSim, PostgresSim, SystemUnderTest};
-
-fn verdict<F>(make_sut: F, class: VariationClass) -> Result<String, Box<dyn std::error::Error>>
-where
-    F: Fn() -> Box<dyn SystemUnderTest> + Sync,
-{
-    // Each class's ten variant files inject independently, so the
-    // parallel driver shards them across every available core.
-    let campaign = ParallelCampaign::new(make_sut)?;
-    let plugin = VariationPlugin::new(class, 10, 1912);
-    let faults = plugin.generate(campaign.baseline())?;
-    if faults.is_empty() {
-        return Ok("n/a".to_string());
-    }
-    let profile = campaign.run_faults(faults)?;
-    let rejected = profile
-        .outcomes()
-        .iter()
-        .filter(|o| !matches!(o.result, InjectionResult::Undetected { .. }))
-        .count();
-    Ok(if rejected == 0 {
-        "Yes".to_string()
-    } else {
-        format!("No ({rejected}/10 rejected)")
-    })
-}
+use conferr_sut::{ApacheSim, MySqlSim, PostgresSim};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Every (class, system) cell is a tiny campaign — exactly the
+    // many-small-campaign workload the persistent executor exists
+    // for. All applicable cells go into ONE batch: a single
+    // campaign-tagged fault queue, workers stealing across systems,
+    // each system's engine shared by its five cells.
+    let executor = CampaignExecutor::with_default_threads();
+    let systems = [
+        ("MySQL", ExecutorCampaign::new(sut_factory(MySqlSim::new))?),
+        (
+            "Postgres",
+            ExecutorCampaign::new(sut_factory(PostgresSim::new))?,
+        ),
+        (
+            "Apache",
+            ExecutorCampaign::new(sut_factory(ApacheSim::new))?,
+        ),
+    ];
+
+    let mut batch = CampaignBatch::new();
+    let mut cells: Vec<Vec<Option<usize>>> = Vec::new(); // batch index per cell
+    let mut scheduled = 0;
+    for class in VariationClass::ALL {
+        let mut row = Vec::new();
+        for (name, campaign) in &systems {
+            // The paper reports Apache's section order as n/a:
+            // container order has defined semantics there (first
+            // VirtualHost wins).
+            if *name == "Apache" && class == VariationClass::SectionOrder {
+                row.push(None);
+                continue;
+            }
+            let plugin = VariationPlugin::new(class, 10, 1912);
+            let faults = plugin.generate(campaign.baseline())?;
+            if faults.is_empty() {
+                row.push(None);
+                continue;
+            }
+            batch.push(campaign, faults);
+            row.push(Some(scheduled));
+            scheduled += 1;
+        }
+        cells.push(row);
+    }
+    let profiles = executor.run_batch(batch)?;
+
     println!(
         "{:<28} {:<8} {:<8} {:<8}",
         "variation class", "MySQL", "Postgres", "Apache"
     );
     println!("{}", "-".repeat(56));
-    for class in VariationClass::ALL {
-        // The paper reports Apache's section order as n/a: container
-        // order has defined semantics there (first VirtualHost wins).
-        let apache_cell = if class == VariationClass::SectionOrder {
-            "n/a".to_string()
-        } else {
-            verdict(sut_factory(ApacheSim::new), class)?
-        };
+    for (class, row) in VariationClass::ALL.iter().zip(cells) {
+        let verdicts: Vec<String> = row
+            .into_iter()
+            .map(|cell| match cell {
+                None => "n/a".to_string(),
+                Some(idx) => {
+                    let rejected = profiles[idx]
+                        .outcomes()
+                        .iter()
+                        .filter(|o| !matches!(o.result, InjectionResult::Undetected { .. }))
+                        .count();
+                    if rejected == 0 {
+                        "Yes".to_string()
+                    } else {
+                        format!("No ({rejected}/10 rejected)")
+                    }
+                }
+            })
+            .collect();
         println!(
             "{:<28} {:<8} {:<8} {:<8}",
             class.label(),
-            verdict(sut_factory(MySqlSim::new), class)?,
-            verdict(sut_factory(PostgresSim::new), class)?,
-            apache_cell,
+            verdicts[0],
+            verdicts[1],
+            verdicts[2],
         );
     }
     println!();

@@ -86,19 +86,24 @@ fn parallel_campaign_generators_match_serial() {
 
 #[test]
 fn parallel_paper_artifacts_match_serial() {
-    // Table 1 summaries.
+    // One persistent executor drives all three artifacts — the
+    // cross-artifact reuse `paper_all` performs, with its SUT caches
+    // warmed by earlier tables when later ones run.
+    let executor = conferr::CampaignExecutor::new(4);
+
+    // Table 1 summaries (one cross-system batch).
     let serial = table1(DEFAULT_SEED).expect("table1");
-    let parallel = table1_parallel(DEFAULT_SEED, 4).expect("table1 parallel");
+    let parallel = table1_parallel(&executor, DEFAULT_SEED).expect("table1 parallel");
     assert_eq!(serial, parallel);
 
-    // Table 2 verdict matrix (cell-level sharding).
+    // Table 2 verdict matrix (14 cell campaigns in one batch).
     let serial = table2(DEFAULT_SEED).expect("table2");
-    let parallel = table2_parallel(DEFAULT_SEED, 4).expect("table2 parallel");
+    let parallel = table2_parallel(&executor, DEFAULT_SEED).expect("table2 parallel");
     assert_eq!(serial.systems, parallel.systems);
     assert_eq!(serial.rows, parallel.rows);
 
     // Table 3 verdicts (includes inexpressible faults on djbdns).
     let serial = table3().expect("table3");
-    let parallel = table3_parallel(4).expect("table3 parallel");
+    let parallel = table3_parallel(&executor).expect("table3 parallel");
     assert_eq!(serial.rows, parallel.rows);
 }

@@ -1,14 +1,14 @@
-//! The parallel comparison runner must produce results bit-identical
+//! The batched comparison runner must produce results bit-identical
 //! to the sequential §5.5 procedure: per-directive seeding depends
 //! only on the directive index, never on scheduling.
 
-use std::collections::BTreeMap;
-
-use conferr::{parallel_value_typo_resilience, value_typo_resilience};
+use conferr::{
+    parallel_value_typo_resilience, sut_factory, value_typo_resilience, CampaignExecutor,
+};
 use conferr_keyboard::Keyboard;
 use conferr_model::TypoKind;
 use conferr_plugins::typos_of_kind;
-use conferr_sut::{PostgresSim, SystemUnderTest};
+use conferr_sut::{ConfigPayload, FileText, PostgresSim};
 
 fn mutator(keyboard: &Keyboard) -> impl Fn(&str) -> Vec<(String, String)> + Sync + '_ {
     move |value: &str| {
@@ -29,10 +29,10 @@ fn mutator(keyboard: &Keyboard) -> impl Fn(&str) -> Vec<(String, String)> + Sync
 fn parallel_equals_sequential() {
     let keyboard = Keyboard::qwerty_us();
     let m = mutator(&keyboard);
-    let mut configs = BTreeMap::new();
+    let mut configs = ConfigPayload::new();
     configs.insert(
-        "postgresql.conf".to_string(),
-        PostgresSim::full_coverage_config(),
+        "postgresql.conf",
+        FileText::mutated(PostgresSim::full_coverage_config()),
     );
     let skip = PostgresSim::boolean_directive_names();
 
@@ -41,14 +41,15 @@ fn parallel_equals_sequential() {
         value_typo_resilience(&mut sut, &configs, &m, 8, 42, &skip).expect("sequential")
     };
     for threads in [1, 3, 8] {
+        let executor = CampaignExecutor::new(threads);
         let parallel = parallel_value_typo_resilience(
-            || Box::new(PostgresSim::new()) as Box<dyn SystemUnderTest>,
+            sut_factory(PostgresSim::new),
             &configs,
             &m,
             8,
             42,
             &skip,
-            threads,
+            &executor,
         )
         .expect("parallel");
         assert_eq!(parallel, sequential, "threads = {threads}");
@@ -56,22 +57,51 @@ fn parallel_equals_sequential() {
 }
 
 #[test]
+fn repeated_runs_on_one_executor_stay_identical() {
+    // The §5.5 runner reuses a persistent pool (warm SUT caches and
+    // all) without drifting: the second run over the same payload is
+    // bit-identical to the first.
+    let keyboard = Keyboard::qwerty_us();
+    let m = mutator(&keyboard);
+    let mut configs = ConfigPayload::new();
+    configs.insert(
+        "postgresql.conf",
+        FileText::mutated("port = 5432\nmax_connections = 20\nshared_buffers = 100\n"),
+    );
+    let executor = CampaignExecutor::new(3);
+    let run = || {
+        parallel_value_typo_resilience(
+            sut_factory(PostgresSim::new),
+            &configs,
+            &m,
+            5,
+            7,
+            &[],
+            &executor,
+        )
+        .expect("parallel")
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
 fn parallel_handles_more_threads_than_targets() {
     let keyboard = Keyboard::qwerty_us();
     let m = mutator(&keyboard);
-    let mut configs = BTreeMap::new();
+    let mut configs = ConfigPayload::new();
     configs.insert(
-        "postgresql.conf".to_string(),
-        "port = 5432\nmax_connections = 20\nshared_buffers = 100\n".to_string(),
+        "postgresql.conf",
+        FileText::mutated("port = 5432\nmax_connections = 20\nshared_buffers = 100\n"),
     );
+    let executor = CampaignExecutor::new(64);
     let result = parallel_value_typo_resilience(
-        || Box::new(PostgresSim::new()) as Box<dyn SystemUnderTest>,
+        sut_factory(PostgresSim::new),
         &configs,
         &m,
         5,
         7,
         &[],
-        64,
+        &executor,
     )
     .expect("parallel");
     assert_eq!(result.directives.len(), 3);
