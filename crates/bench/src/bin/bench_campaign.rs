@@ -20,17 +20,23 @@
 //! * **batch** — all three systems' fault loads as **one**
 //!   `CampaignBatch`, drained off a single campaign-tagged queue
 //!   (cross-system work stealing), timed cold (fresh engines and
-//!   pool) and warm (resubmitted to the persistent executor).
+//!   pool) and warm (resubmitted to the persistent executor);
+//! * **streaming** — the same fault load pulled from a live
+//!   `FaultSource` chunk by chunk and drained into an `OutcomeSink`
+//!   through the executor's bounded reorder window, with the observed
+//!   peak buffering asserted against the `chunk × threads` bound.
 //!
 //! All profiles are asserted **byte-identical** before any timing is
-//! reported — caches, the pool and the batch scheduler must be pure
-//! wall-clock optimisations — then the numbers go to
-//! `BENCH_campaign.json` (schema v3). The parallel/executor/batch
-//! speedups scale with core count; on a single-core machine they only
-//! measure scheduling overhead (and the batch profile exercises the
-//! executor's serial fast path). A final microbench times
-//! `FaultScenario::apply` on `httpd.conf` against a whole-tree deep
-//! copy — the cost the `Arc`-backed node sharing removed.
+//! reported — caches, the pool, the batch scheduler and the streaming
+//! pipeline must be pure wall-clock/memory optimisations — then the
+//! numbers go to `BENCH_campaign.json` (schema v4). The
+//! parallel/executor/batch speedups scale with core count; on a
+//! single-core machine they only measure scheduling overhead (and the
+//! batch profile exercises the executor's serial fast path). Two
+//! closing benches: a **million-fault smoke run** — a lazily
+//! enumerated ≥10^6-fault space streamed into a counting sink, never
+//! buffering more than the streaming window — and the
+//! `FaultScenario::apply` microbench against a whole-tree deep copy.
 //!
 //! ```text
 //! cargo run --release -p conferr-bench --bin bench_campaign [repeat] [threads]
@@ -39,20 +45,22 @@
 //! `threads` defaults to `CONFERR_THREADS` (or the machine's
 //! parallelism). CI runs this binary with `CONFERR_THREADS=2` as a
 //! byte-identity gate: any profile diverging from the uncached serial
-//! reference aborts with a failing assertion.
+//! reference — or a streaming window overrun — aborts with a failing
+//! assertion.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use conferr::{
-    sut_factory, Campaign, CampaignBatch, CampaignExecutor, ExecutorCampaign, ParallelCampaign,
-    ResilienceProfile, SutFactory,
+    sut_factory, Campaign, CampaignBatch, CampaignExecutor, CollectingSink, CountingSink,
+    ExecutorCampaign, ParallelCampaign, ResilienceProfile, SutFactory,
 };
 use conferr_bench::{
-    deep_copy_tree, httpd_apply_fixture, table1_faultload, threads_from_env, DEFAULT_SEED,
+    deep_copy_tree, httpd_apply_fixture, million_fault_source, table1_faultload, threads_from_env,
+    DEFAULT_SEED,
 };
 use conferr_keyboard::Keyboard;
-use conferr_model::GeneratedFault;
+use conferr_model::{EagerSource, GeneratedFault};
 use conferr_sut::{ApacheSim, MySqlSim, PostgresSim};
 
 /// Fixed reference points of the trajectory, all measured on the
@@ -67,6 +75,9 @@ const PRE_PR2_SERIAL_TOTAL_MS: f64 = 1440.0;
 const PR2_SERIAL_TOTAL_MS: f64 = 1430.0;
 const REFERENCE_REPEAT: usize = 20;
 
+/// Faults in the bounded-memory streaming smoke run.
+const SMOKE_TARGET: usize = 1_000_000;
+
 /// Timing row for one system.
 struct Row {
     system: String,
@@ -75,6 +86,8 @@ struct Row {
     serial_ms: f64,
     parallel_ms: f64,
     executor_ms: f64,
+    streaming_ms: f64,
+    peak_buffered: usize,
 }
 
 /// One system's prepared workload: factory, shared campaign, and the
@@ -144,9 +157,29 @@ fn run_system(
         .expect("executor run");
     let executor_ms = start.elapsed().as_secs_f64() * 1e3;
 
+    // Streaming: the same load pulled from a live source chunk by
+    // chunk and drained through the bounded reorder window into a
+    // sink — the v4 profile. The source adapter is built outside the
+    // timed region, like every other profile's inputs.
+    let source = Box::new(EagerSource::new(work.faults.clone()));
+    let mut sink = CollectingSink::with_capacity(n);
+    let start = Instant::now();
+    let stats = executor
+        .run_source(&work.campaign, source, &mut sink)
+        .expect("streaming run");
+    let streaming_ms = start.elapsed().as_secs_f64() * 1e3;
+    let streamed = sink.into_profile(work.campaign.system());
+    let window = executor.chunk_size() * executor.threads();
+    assert!(
+        stats.peak_buffered <= window,
+        "streaming buffered {} outcomes, window is {window}",
+        stats.peak_buffered
+    );
+
     assert_profiles_identical(&uncached, &serial, "cached serial");
     assert_profiles_identical(&uncached, &parallel, "parallel");
     assert_profiles_identical(&uncached, &exec_profile, "executor");
+    assert_profiles_identical(&uncached, &streamed, "streaming");
     (
         Row {
             system,
@@ -155,9 +188,64 @@ fn run_system(
             serial_ms,
             parallel_ms,
             executor_ms,
+            streaming_ms,
+            peak_buffered: stats.peak_buffered,
         },
         uncached,
     )
+}
+
+/// The bounded-memory smoke: a lazily enumerated space of
+/// [`SMOKE_TARGET`] compound faults (the MySQL Table 1 load crossed
+/// with itself twice, sampled and capped — see
+/// [`million_fault_source`]) streamed into a counting sink. The fault
+/// space is never materialized, no outcome is retained, and the
+/// executor's reorder buffer is asserted to stay within the
+/// `chunk × threads` window.
+struct SmokeBench {
+    faults: usize,
+    ms: f64,
+    peak_buffered: usize,
+    window: usize,
+    detected_at_startup: usize,
+}
+
+fn million_fault_smoke(threads: usize) -> SmokeBench {
+    let keyboard = Keyboard::qwerty_us();
+    let campaign = ExecutorCampaign::new(sut_factory(MySqlSim::new)).expect("campaign");
+    // A million *distinct* edit lists would only thrash the engine's
+    // bounded fault memo; the smoke measures the uncached pipeline.
+    campaign.set_fault_memoization(false);
+    let base = table1_faultload(campaign.baseline(), &keyboard, DEFAULT_SEED);
+    let source = million_fault_source(base, SMOKE_TARGET);
+
+    let executor = CampaignExecutor::new(threads);
+    let window = executor.chunk_size() * executor.threads();
+    let mut sink = CountingSink::new();
+    let start = Instant::now();
+    let stats = executor
+        .run_source(&campaign, Box::new(source), &mut sink)
+        .expect("smoke run");
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let summary = sink.summary();
+    assert_eq!(
+        stats.outcomes, SMOKE_TARGET,
+        "the space holds >= 10^6 faults"
+    );
+    assert_eq!(summary.total, SMOKE_TARGET);
+    assert!(
+        stats.peak_buffered <= window,
+        "smoke buffered {} outcomes, window is {window}",
+        stats.peak_buffered
+    );
+    SmokeBench {
+        faults: SMOKE_TARGET,
+        ms,
+        peak_buffered: stats.peak_buffered,
+        window,
+        detected_at_startup: summary.detected_at_startup,
+    }
 }
 
 /// The timing comparison is only meaningful if every driver computed
@@ -283,13 +371,15 @@ fn main() {
     for row in &rows {
         println!(
             "{:<14} {:>6} faults  uncached {:>8.1} ms  serial {:>8.1} ms  parallel {:>8.1} ms  \
-             executor {:>8.1} ms  cache {:>5.2}x",
+             executor {:>8.1} ms  streaming {:>8.1} ms (peak buf {})  cache {:>5.2}x",
             row.system,
             row.faults,
             row.serial_uncached_ms,
             row.serial_ms,
             row.parallel_ms,
             row.executor_ms,
+            row.streaming_ms,
+            row.peak_buffered,
             row.serial_uncached_ms / row.serial_ms
         );
     }
@@ -320,6 +410,19 @@ fn main() {
         );
     }
 
+    let smoke = million_fault_smoke(threads);
+    println!(
+        "streaming smoke: {} faults through a counting sink in {:.0} ms \
+         ({:.0}k faults/s), peak buffered outcomes {} (window {}), \
+         {} detected at startup",
+        smoke.faults,
+        smoke.ms,
+        smoke.faults as f64 / smoke.ms,
+        smoke.peak_buffered,
+        smoke.window,
+        smoke.detected_at_startup,
+    );
+
     let apply = apply_bench();
     println!(
         "scenario apply on httpd.conf ({} nodes): whole-tree deep copy {:.2} us, \
@@ -332,7 +435,7 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": \"conferr-bench-campaign/v3\",");
+    let _ = writeln!(json, "  \"schema\": \"conferr-bench-campaign/v4\",");
     let _ = writeln!(json, "  \"repeat\": {repeat},");
     let _ = writeln!(json, "  \"threads\": {threads},");
     let _ = writeln!(
@@ -349,6 +452,7 @@ fn main() {
             json,
             "    {{\"system\": \"{}\", \"faults\": {}, \"serial_uncached_ms\": {:.1}, \
              \"serial_ms\": {:.1}, \"parallel_ms\": {:.1}, \"executor_ms\": {:.1}, \
+             \"streaming_ms\": {:.1}, \"streaming_peak_buffered\": {}, \
              \"cache_speedup\": {:.2}}}{comma}",
             row.system,
             row.faults,
@@ -356,6 +460,8 @@ fn main() {
             row.serial_ms,
             row.parallel_ms,
             row.executor_ms,
+            row.streaming_ms,
+            row.peak_buffered,
             row.serial_uncached_ms / row.serial_ms
         );
     }
@@ -380,6 +486,20 @@ fn main() {
          threads reused); byte-identity vs the uncached serial reference asserted for \
          both\"}},",
         total_serial / batch_warm_ms
+    );
+    let _ = writeln!(
+        json,
+        "  \"streaming_smoke\": {{\"faults\": {}, \"ms\": {:.0}, \"faults_per_sec\": {:.0}, \
+         \"peak_buffered\": {}, \"window\": {}, \"threads\": {threads}, \
+         \"note\": \"a lazily enumerated space of 10^6 compound faults (MySQL Table 1 load \
+         crossed with itself twice, seeded 90% sample, capped) streamed into a counting \
+         sink: the fault space is never materialized, no outcome is retained, and the \
+         executor's reorder buffer is asserted to stay within chunk_size x threads\"}},",
+        smoke.faults,
+        smoke.ms,
+        smoke.faults as f64 / (smoke.ms / 1e3),
+        smoke.peak_buffered,
+        smoke.window,
     );
     let _ = writeln!(
         json,

@@ -5,7 +5,7 @@
 //! cargo run -p conferr-bench --bin table1 [seed]   # CONFERR_THREADS=n to pin workers
 //! ```
 
-use conferr::report::TextTable;
+use conferr::report::summary_table;
 use conferr::CampaignExecutor;
 use conferr_bench::{table1_parallel, threads_from_env, DEFAULT_SEED};
 
@@ -21,35 +21,7 @@ fn main() {
     println!("Table 1. Resilience to typos (seed {seed}, {threads} worker thread(s))");
     println!("(deletion of every directive + sampled typos in directive names and values)");
     println!();
-    let mut t = TextTable::new(vec!["", &columns[0].0, &columns[1].0, &columns[2].0]);
-    let row = |label: &str, f: &dyn Fn(&conferr::ProfileSummary) -> String| {
-        let mut cells = vec![label.to_string()];
-        for (_, s) in &columns {
-            cells.push(f(s));
-        }
-        cells
-    };
-    t.add_row(row("# of Injected Errors", &|s| {
-        format!("{} (100%)", s.injected())
-    }));
-    t.add_row(row("Detected by system at startup", &|s| {
-        format!(
-            "{} ({:.0}%)",
-            s.detected_at_startup,
-            s.pct(s.detected_at_startup)
-        )
-    }));
-    t.add_row(row("Detected by functional tests", &|s| {
-        format!(
-            "{} ({:.0}%)",
-            s.detected_by_tests,
-            s.pct(s.detected_by_tests)
-        )
-    }));
-    t.add_row(row("Ignored", &|s| {
-        format!("{} ({:.0}%)", s.undetected, s.pct(s.undetected))
-    }));
-    print!("{}", t.render());
+    print!("{}", summary_table(&columns).render());
     println!();
     println!(
         "paper reported: MySQL 327 injected (83% / <1% / 17%), Postgres 98 (78% / 0% / 22%), \

@@ -126,6 +126,26 @@ pub fn httpd_apply_fixture() -> (ConfigSet, FaultScenario) {
     (baseline, scenario)
 }
 
+/// A lazily enumerated fault space of at least `target` faults built
+/// from one eager base load: the base crossed with itself twice
+/// (every ordered triple, combined into one 3-edit compound
+/// scenario), thinned by a seeded 90% sample, capped at `target`.
+/// Memory is O(|base|) however large `target` is — this is the
+/// source behind `bench_campaign`'s million-fault bounded-memory
+/// smoke run. Deterministic for a fixed base (same faults, same
+/// order, any chunking).
+pub fn million_fault_source(
+    base: Vec<GeneratedFault>,
+    target: usize,
+) -> impl conferr_model::FaultSource + Send {
+    use conferr_model::{EagerSource, FaultSourceExt};
+    EagerSource::new(base.clone())
+        .product(EagerSource::new(base.clone()))
+        .product(EagerSource::new(base))
+        .sample(DEFAULT_SEED, 0.9)
+        .take(target)
+}
+
 /// All five typo submodels applied to one token, concatenated.
 pub fn all_typos(keyboard: &Keyboard, token: &str) -> Vec<(String, String)> {
     let mut out = Vec::new();

@@ -25,7 +25,7 @@ use std::sync::Arc;
 
 use conferr_formats::{format_by_name, ConfigFormat};
 use conferr_model::{
-    ConfigSet, ErrorGenerator, FaultScenario, GenerateError, GeneratedFault, TreeEdit,
+    ConfigSet, ErrorGenerator, FaultScenario, FaultSource, GenerateError, GeneratedFault, TreeEdit,
 };
 use conferr_sut::{ConfigPayload, FileText, StartOutcome, SystemUnderTest};
 use conferr_tree::diff;
@@ -122,13 +122,23 @@ enum Prepared {
     /// The mutated set applied and serialized; the SUT can start.
     Ready {
         payload: ConfigPayload,
-        diff: Vec<String>,
+        diff: Arc<[String]>,
     },
     /// The scenario could not be applied to the baseline.
     Skipped { reason: String },
     /// The mutated tree exists (and diffs) but cannot be expressed in
     /// the file format (paper §3.2/§5.4).
-    Inexpressible { diff: Vec<String>, reason: String },
+    Inexpressible { diff: Arc<[String]>, reason: String },
+}
+
+/// The shared empty diff every diff-less outcome points at — one
+/// allocation per process instead of one per outcome.
+static EMPTY_DIFF: std::sync::LazyLock<Arc<[String]>> =
+    std::sync::LazyLock::new(|| Vec::new().into());
+
+/// A refcount bump on the process-wide empty diff.
+pub(crate) fn empty_diff() -> Arc<[String]> {
+    Arc::clone(&EMPTY_DIFF)
 }
 
 /// The shared heart of a campaign: per-file parser/serializer pairs,
@@ -309,7 +319,7 @@ impl InjectionEngine {
                 }
             }
         };
-        let diff = self.diff_summary(&mutated);
+        let diff: Arc<[String]> = self.diff_summary(&mutated).into();
         // Serialization can legitimately fail: the mutated tree may
         // not be expressible in the file format (paper §3.2/§5.4).
         match self.payload_for(&mutated) {
@@ -392,12 +402,16 @@ impl InjectionEngine {
         match fault {
             GeneratedFault::Scenario(scenario) => {
                 let prepared = self.prepare(&scenario);
+                // `diff` clones below are `Arc` refcount bumps: every
+                // outcome of the same preparation shares one line
+                // allocation (ROADMAP perf idea: no per-outcome
+                // `Vec<String>` clone).
                 let (diff, result) = match prepared.as_ref() {
                     Prepared::Ready { payload, diff } => {
                         (diff.clone(), self.start_and_classify(sut, payload))
                     }
                     Prepared::Skipped { reason } => (
-                        Vec::new(),
+                        empty_diff(),
                         InjectionResult::Skipped {
                             reason: reason.clone(),
                         },
@@ -426,7 +440,7 @@ impl InjectionEngine {
                 id,
                 description,
                 class,
-                diff: Vec::new(),
+                diff: empty_diff(),
                 result: InjectionResult::Inexpressible { reason },
             },
         }
@@ -575,6 +589,10 @@ impl<'s> Campaign<'s> {
 
     /// Runs an explicit fault load (used by benches that pre-sample).
     ///
+    /// Internally this is the streaming pipeline with an eager-source
+    /// adapter and a collecting sink — byte-identical to the
+    /// pre-streaming loop, asserted by `tests/streaming_pipeline.rs`.
+    ///
     /// # Errors
     ///
     /// Currently infallible, but kept fallible for symmetry with
@@ -583,11 +601,42 @@ impl<'s> Campaign<'s> {
         &mut self,
         faults: Vec<GeneratedFault>,
     ) -> Result<ResilienceProfile, CampaignError> {
-        let mut outcomes = Vec::with_capacity(faults.len());
-        for fault in faults {
-            outcomes.push(self.engine.outcome(self.sut, fault));
+        let mut sink = crate::CollectingSink::with_capacity(faults.len());
+        self.run_source(&mut conferr_model::EagerSource::new(faults), &mut sink)?;
+        Ok(sink.into_profile(self.sut.name()))
+    }
+
+    /// Streams faults from a live [`FaultSource`], handing each
+    /// outcome to `sink` **as it completes, in fault order** —
+    /// serially, the bounded-memory path for fault spaces too large to
+    /// materialize. Memory held by the driver is O(chunk size): at
+    /// most [`crate::DEFAULT_CHUNK_SIZE`] faults are in flight and no
+    /// outcome is ever buffered.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the source's first production failure; outcomes
+    /// already handed to the sink stay handed.
+    pub fn run_source(
+        &mut self,
+        source: &mut dyn FaultSource,
+        sink: &mut dyn crate::OutcomeSink,
+    ) -> Result<(), CampaignError> {
+        let mut chunk = Vec::with_capacity(crate::DEFAULT_CHUNK_SIZE);
+        loop {
+            chunk.clear();
+            source
+                .next_chunk(crate::DEFAULT_CHUNK_SIZE, &mut chunk)
+                .map_err(CampaignError::Generate)?;
+            // Exhaustion is judged by what was actually appended, so
+            // a source that miscounts cannot loop the driver forever.
+            if chunk.is_empty() {
+                return Ok(());
+            }
+            for fault in chunk.drain(..) {
+                sink.accept(self.engine.outcome(self.sut, fault));
+            }
         }
-        Ok(ResilienceProfile::new(self.sut.name(), outcomes))
     }
 
     /// Runs an explicit fault load across `threads` worker threads,

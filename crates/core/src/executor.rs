@@ -1,41 +1,62 @@
 //! The persistent campaign executor: a reusable worker pool with
-//! cross-system batch scheduling.
+//! cross-system batch scheduling and a streaming fault pipeline.
 //!
 //! The paper's real workloads (`table2`, `fig3`, `paper_all`, the
-//! §5.5 comparison) run *many* campaigns back to back. The scoped
-//! per-call driver ([`crate::ParallelCampaign`]) re-spawned its worker
-//! threads and re-constructed one SUT per worker on every
-//! `run_faults` call — cost that dwarfs the work itself once a single
-//! campaign's fault loop is tens of microseconds. The types here
-//! amortize all of it:
+//! §5.5 comparison) run *many* campaigns back to back, and the
+//! ROADMAP's north star runs *huge* ones (million-fault sweeps). The
+//! types here amortize the per-campaign costs and bound the
+//! per-campaign memory:
 //!
 //! * [`CampaignExecutor`] — a pool of persistent worker threads,
 //!   constructed once and reused across any number of `run_faults` /
-//!   `run_batch` calls. Each worker keeps a private cache of SUT
-//!   instances **keyed by [`SutFactory`] identity**, so a worker that
-//!   has ever driven a `postgres-sim` reuses that instance — and its
-//!   content-addressed parse cache — for every later campaign built
-//!   from the same factory.
-//! * [`CampaignBatch`] — N `(system, fault load)` campaigns submitted
-//!   as one unit. The executor schedules the batch through a single
-//!   global fault queue tagged by campaign, so workers steal across
-//!   *systems* as well as within each system's fault list: a worker
-//!   done with MySQL faults immediately picks up Apache faults
-//!   instead of idling at a per-system barrier.
+//!   `run_batch` / `run_source` calls. Each worker keeps a private
+//!   cache of SUT instances **keyed by [`SutFactory`] identity**, so a
+//!   worker that has ever driven a `postgres-sim` reuses that instance
+//!   — and its content-addressed parse cache — for every later
+//!   campaign built from the same factory.
+//! * [`CampaignBatch`] — N campaigns submitted as one unit, each
+//!   backed either by an eager fault `Vec` ([`CampaignBatch::push`])
+//!   or by a live, lazily-pulled
+//!   [`FaultSource`](conferr_model::FaultSource)
+//!   ([`CampaignBatch::push_source`]). The executor schedules the
+//!   batch through a single shared queue tagged by campaign, so
+//!   workers steal across *systems* as well as within each system's
+//!   fault list.
 //! * [`ExecutorCampaign`] — the shareable half of a campaign (system
 //!   name, [`SutFactory`], `Arc`-shared injection engine). Cloning is
 //!   a handful of refcount bumps, so many batch entries can share one
 //!   engine (the §5.5 driver schedules one entry per *directive*, all
 //!   against the same full-coverage baseline).
 //!
-//! Scheduling never affects results: outcomes land in per-fault slots
-//! and are merged **per campaign in fault order**, so every profile is
-//! byte-identical to a serial [`crate::Campaign::run_faults`] over the
-//! same faults (asserted by the integration tests and the campaign
-//! bench). When the executor's effective parallelism is 1 — a
-//! one-core machine, or `threads = 1` — submissions take a serial
-//! fast path with zero queue, slot or merge overhead, driving the
-//! caller-side SUT cache directly on the submitting thread.
+//! # Streaming data flow
+//!
+//! Faults are handed out in **chunks** ([`DEFAULT_CHUNK_SIZE`] per
+//! claim, configurable via [`CampaignExecutor::set_chunk_size`])
+//! rather than one at a time: a claiming thread takes the producer
+//! lock, pulls the next chunk from the current entry's fault source
+//! (for eager entries this is just an index bump over the owned
+//! `Vec`), and works the whole chunk before claiming again — so
+//! generation runs on at most one thread at a time *while every other
+//! thread injects*, and queue contention drops by the chunk factor.
+//!
+//! Completed outcomes pass through a bounded per-campaign reorder
+//! buffer and are handed to each campaign's
+//! [`OutcomeSink`](crate::OutcomeSink) **in fault order** by the
+//! submitting thread. Production is throttled by a window of
+//! `chunk_size × threads` faults outstanding (produced but not yet
+//! sunk), which bounds both the in-flight faults and the buffered
+//! outcomes: a million-fault campaign streamed into a counting sink
+//! never holds more than the window in memory
+//! ([`StreamStats::peak_buffered`] reports the observed maximum).
+//!
+//! Scheduling never affects results: every profile is byte-identical
+//! to a serial [`crate::Campaign::run_faults`] over the same faults
+//! (asserted by the integration tests and the campaign bench). When
+//! the executor's effective parallelism is 1 — a one-core machine, or
+//! `threads = 1` — submissions take a serial fast path with zero
+//! queue, buffer or window overhead, driving the caller-side SUT
+//! cache directly on the submitting thread and handing each outcome
+//! to its sink the moment it completes.
 //!
 //! # Examples
 //!
@@ -65,6 +86,29 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Streaming a lazily generated fault load into a bounded-memory
+//! sink:
+//!
+//! ```
+//! use conferr::{sut_factory, CampaignExecutor, CountingSink, ExecutorCampaign};
+//! use conferr_keyboard::Keyboard;
+//! use conferr_model::IntoFaultSource;
+//! use conferr_plugins::{TokenClass, TypoPlugin};
+//! use conferr_sut::PostgresSim;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let executor = CampaignExecutor::new(2);
+//! let campaign = ExecutorCampaign::new(sut_factory(PostgresSim::new))?;
+//! let plugin = TypoPlugin::new(Keyboard::qwerty_us(), TokenClass::DirectiveNames);
+//! let source = plugin.into_source(campaign.baseline());
+//! let mut sink = CountingSink::new();
+//! let stats = executor.run_source(&campaign, Box::new(source), &mut sink)?;
+//! assert_eq!(sink.summary().total, stats.outcomes);
+//! assert!(stats.peak_buffered <= executor.chunk_size() * executor.threads());
+//! # Ok(())
+//! # }
+//! ```
 
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
@@ -72,16 +116,24 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 
-use conferr_model::{ConfigSet, GeneratedFault};
+use conferr_model::{
+    BoxFaultSource, ConfigSet, EagerSource, FaultSource, GenerateError, GeneratedFault,
+};
 use conferr_sut::{ConfigPayload, SystemUnderTest};
 
 use crate::campaign::InjectionEngine;
+use crate::sink::{CollectingSink, OutcomeSink};
 use crate::{CampaignError, InjectionOutcome, ResilienceProfile};
+
+/// Faults handed out per queue claim by default — the middle of the
+/// ROADMAP's 8–32 chunked-stealing range. Tune per executor with
+/// [`CampaignExecutor::set_chunk_size`].
+pub const DEFAULT_CHUNK_SIZE: usize = 16;
 
 /// Locks a [`Mutex`], shedding poisoning (a panicking worker must not
 /// wedge the pool; the executor's state is repaired by the next
-/// submission, and outcome slots are only read after `pending` hits
-/// zero).
+/// submission, and reorder buffers are only drained by the
+/// submitting thread).
 fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
@@ -288,14 +340,71 @@ impl ExecutorCampaign {
     }
 }
 
-/// N campaigns with their fault loads, submitted to a
+/// One batch entry's fault supply: an owned eager load (behind the
+/// model's [`EagerSource`] adapter — one chunk-drain implementation,
+/// not two), or a live source pulled chunk by chunk as the batch
+/// executes. Only the `Eager` variant's size is trusted as exact.
+enum FaultFeed {
+    Eager(EagerSource),
+    Source(BoxFaultSource),
+}
+
+impl FaultFeed {
+    fn as_source(&mut self) -> &mut (dyn FaultSource + Send) {
+        match self {
+            FaultFeed::Eager(faults) => faults,
+            FaultFeed::Source(source) => source.as_mut(),
+        }
+    }
+
+    /// Appends up to `max` faults to `out` (eager feeds never fail).
+    fn next_chunk(
+        &mut self,
+        max: usize,
+        out: &mut Vec<GeneratedFault>,
+    ) -> Result<usize, GenerateError> {
+        self.as_source().next_chunk(max, out)
+    }
+
+    /// Exact remaining count for eager feeds, the source's lower
+    /// bound otherwise.
+    fn min_remaining(&self) -> usize {
+        match self {
+            FaultFeed::Eager(faults) => faults.size_hint().0,
+            FaultFeed::Source(source) => source.size_hint().0,
+        }
+    }
+
+    /// Exact remaining count, when known.
+    fn exact_remaining(&self) -> Option<usize> {
+        match self {
+            FaultFeed::Eager(faults) => Some(faults.size_hint().0),
+            FaultFeed::Source(_) => None,
+        }
+    }
+}
+
+impl fmt::Debug for FaultFeed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultFeed::Eager(faults) => write!(f, "Eager({} faults)", faults.size_hint().0),
+            FaultFeed::Source(source) => {
+                write!(f, "Source(size_hint = {:?})", source.size_hint())
+            }
+        }
+    }
+}
+
+/// N campaigns with their fault supplies, submitted to a
 /// [`CampaignExecutor`] as one scheduling unit.
 ///
 /// Entry order is preserved: [`CampaignExecutor::run_batch`] returns
-/// one profile per entry, in push order, each merged in fault order.
+/// one profile per entry, in push order, each merged in fault order —
+/// and the sink-based runner delivers each entry's outcomes to its
+/// sink in fault order.
 #[derive(Debug, Default)]
 pub struct CampaignBatch {
-    entries: Vec<(ExecutorCampaign, Vec<GeneratedFault>)>,
+    entries: Vec<(ExecutorCampaign, FaultFeed)>,
 }
 
 impl CampaignBatch {
@@ -304,12 +413,23 @@ impl CampaignBatch {
         CampaignBatch::default()
     }
 
-    /// Appends one campaign with an explicit fault load. The campaign
-    /// handle is cloned (refcount bumps); pushing the same campaign
-    /// several times with different fault loads is the intended way to
-    /// group outcomes (e.g. per directive) while sharing one engine.
+    /// Appends one campaign with an explicit, eager fault load. The
+    /// campaign handle is cloned (refcount bumps); pushing the same
+    /// campaign several times with different fault loads is the
+    /// intended way to group outcomes (e.g. per directive) while
+    /// sharing one engine.
     pub fn push(&mut self, campaign: &ExecutorCampaign, faults: Vec<GeneratedFault>) {
-        self.entries.push((campaign.clone(), faults));
+        self.entries
+            .push((campaign.clone(), FaultFeed::Eager(EagerSource::new(faults))));
+    }
+
+    /// Appends one campaign backed by a live
+    /// [`FaultSource`](conferr_model::FaultSource): faults are pulled
+    /// chunk by chunk *while the batch runs*, so generation overlaps
+    /// injection and the fault space is never materialized.
+    pub fn push_source(&mut self, campaign: &ExecutorCampaign, source: BoxFaultSource) {
+        self.entries
+            .push((campaign.clone(), FaultFeed::Source(source)));
     }
 
     /// Number of campaigns in the batch.
@@ -322,45 +442,126 @@ impl CampaignBatch {
         self.entries.is_empty()
     }
 
-    /// Total faults across all entries.
+    /// Total faults across all entries — exact for eager entries, the
+    /// source's lower bound for streaming ones.
     pub fn fault_count(&self) -> usize {
-        self.entries.iter().map(|(_, f)| f.len()).sum()
+        self.entries.iter().map(|(_, f)| f.min_remaining()).sum()
     }
 }
 
-/// One batch in flight: the global fault queue (a flat index space
-/// over every entry's faults, stolen via an atomic cursor), the
-/// per-fault outcome slots, and the completion signal.
-struct BatchState {
-    units: Vec<(ExecutorCampaign, Vec<GeneratedFault>)>,
-    /// `bases[i]` = first flat index of unit `i`'s faults.
-    bases: Vec<usize>,
-    total: usize,
-    cursor: AtomicUsize,
-    slots: Vec<Mutex<Option<InjectionOutcome>>>,
-    /// Faults not yet completed; the worker that takes it to zero
-    /// signals `done`.
-    pending: AtomicUsize,
-    /// Set when a participant panicked mid-fault. The submitter
-    /// re-raises instead of waiting for `pending` (which would never
-    /// reach zero) — the panic-propagation behaviour the scoped
-    /// driver this pool replaced had for free.
-    poisoned: AtomicBool,
-    done: Mutex<bool>,
-    done_ready: Condvar,
+/// What a streaming run reports beyond the sinks' own contents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Outcomes handed to sinks across all batch entries.
+    pub outcomes: usize,
+    /// The largest number of completed-but-not-yet-sunk outcomes ever
+    /// buffered in the reorder window — bounded by
+    /// `chunk_size × threads` by construction (and `0` on the serial
+    /// fast path, which sinks each outcome the moment it completes).
+    pub peak_buffered: usize,
 }
 
-/// Arms a [`BatchState`] against a panic while one fault executes:
-/// dropped during unwinding (normal completion disarms it with
-/// [`std::mem::forget`]), it poisons the batch and wakes the
-/// submitter so `run_batch` re-raises instead of deadlocking.
-struct PoisonOnPanic<'a>(&'a BatchState);
+/// One claimed unit of work: `faults[i]` is fault `base + i` of batch
+/// entry `unit`.
+struct Chunk {
+    unit: usize,
+    base: usize,
+    faults: Vec<GeneratedFault>,
+}
+
+/// The producer half of a streaming batch: the per-entry feeds and
+/// the window bookkeeping. Entries are drained in order; at most one
+/// thread produces at a time (the lock *is* the "dedicated producer
+/// path" — every other thread injects meanwhile).
+struct Producer {
+    feeds: Vec<Option<FaultFeed>>,
+    /// First entry that may still have faults.
+    next_unit: usize,
+    /// Per-entry count of faults produced so far (= the next fault
+    /// index).
+    produced: Vec<usize>,
+    /// Faults produced but not yet handed to a sink. Production
+    /// requires `outstanding + chunk ≤ window`, which is what bounds
+    /// reorder-buffer memory.
+    outstanding: usize,
+    /// All feeds drained (or aborted by `error`).
+    exhausted: bool,
+    /// The first source failure; ends production, reported after the
+    /// in-flight faults drain.
+    error: Option<GenerateError>,
+}
+
+/// One entry's reorder buffer: completions arrive in any order, the
+/// submitting thread drains the contiguous prefix to the sink.
+struct EmitUnit {
+    /// Next fault index to hand to the sink.
+    next: usize,
+    pending: BTreeMap<usize, InjectionOutcome>,
+}
+
+/// The submitter's wake-up channel: workers bump `epoch` after every
+/// completion; the submitter sleeps only while the epoch stands
+/// still.
+struct ProgressState {
+    epoch: u64,
+    submitter_waiting: bool,
+}
+
+/// One streaming batch in flight. Shared by the pool workers and the
+/// submitting thread; sinks stay on the submitting thread and are
+/// never touched by workers.
+struct StreamState {
+    units: Vec<ExecutorCampaign>,
+    chunk: usize,
+    /// `chunk × threads`: the cap on faults produced but not sunk.
+    window: usize,
+    producer: Mutex<Producer>,
+    /// Waited on by claimers when the window is full; notified by the
+    /// submitter's drain (and by poisoning).
+    space_ready: Condvar,
+    emit: Vec<Mutex<EmitUnit>>,
+    progress: Mutex<ProgressState>,
+    progress_ready: Condvar,
+    /// Set when a participant panicked mid-fault or mid-production.
+    /// The submitter re-raises instead of waiting for a drain that
+    /// will never finish — the panic-propagation behaviour the scoped
+    /// driver this pool replaced had for free.
+    poisoned: AtomicBool,
+    /// Completed-but-not-sunk outcomes, and the high-water mark.
+    buffered: AtomicUsize,
+    peak_buffered: AtomicUsize,
+}
+
+/// Arms a [`StreamState`] against a panic while one fault executes or
+/// one chunk is produced: dropped during unwinding (normal completion
+/// disarms it with [`std::mem::forget`]), it poisons the batch and
+/// wakes every waiter so `run_batch` re-raises instead of
+/// deadlocking.
+///
+/// `producer_held` must say whether the panicking scope already holds
+/// the producer mutex. When it does not (the fault-execution path),
+/// the drop briefly acquires it before notifying `space_ready`:
+/// without that, a worker that just read `poisoned == false` under
+/// the lock but has not yet entered `space_ready.wait` would miss the
+/// notification and sleep forever — stranding a pool thread and
+/// hanging the executor's drop. When the lock *is* held (the
+/// production path), no thread can be in that check-to-wait window,
+/// and re-locking here would self-deadlock.
+struct PoisonOnPanic<'a> {
+    state: &'a StreamState,
+    producer_held: bool,
+}
 
 impl Drop for PoisonOnPanic<'_> {
     fn drop(&mut self) {
-        self.0.poisoned.store(true, Ordering::Release);
-        *lock(&self.0.done) = true;
-        self.0.done_ready.notify_all();
+        self.state.poisoned.store(true, Ordering::Release);
+        if !self.producer_held {
+            drop(lock(&self.state.producer));
+        }
+        self.state.space_ready.notify_all();
+        let mut progress = lock(&self.state.progress);
+        progress.epoch += 1;
+        self.state.progress_ready.notify_all();
     }
 }
 
@@ -378,75 +579,255 @@ impl Drop for ClearCacheOnPanic<'_> {
     }
 }
 
-impl BatchState {
-    fn new(units: Vec<(ExecutorCampaign, Vec<GeneratedFault>)>) -> Self {
-        let mut bases = Vec::with_capacity(units.len());
-        let mut total = 0;
-        for (_, faults) in &units {
-            bases.push(total);
-            total += faults.len();
+impl StreamState {
+    fn new(entries: Vec<(ExecutorCampaign, FaultFeed)>, chunk: usize, threads: usize) -> Self {
+        let mut units = Vec::with_capacity(entries.len());
+        let mut feeds = Vec::with_capacity(entries.len());
+        for (campaign, feed) in entries {
+            units.push(campaign);
+            feeds.push(Some(feed));
         }
-        BatchState {
-            bases,
-            total,
-            cursor: AtomicUsize::new(0),
-            slots: (0..total).map(|_| Mutex::new(None)).collect(),
-            pending: AtomicUsize::new(total),
+        let n = units.len();
+        StreamState {
+            chunk,
+            window: chunk.saturating_mul(threads),
+            producer: Mutex::new(Producer {
+                feeds,
+                next_unit: 0,
+                produced: vec![0; n],
+                outstanding: 0,
+                exhausted: n == 0,
+                error: None,
+            }),
+            space_ready: Condvar::new(),
+            emit: (0..n)
+                .map(|_| {
+                    Mutex::new(EmitUnit {
+                        next: 0,
+                        pending: BTreeMap::new(),
+                    })
+                })
+                .collect(),
+            progress: Mutex::new(ProgressState {
+                epoch: 0,
+                submitter_waiting: false,
+            }),
+            progress_ready: Condvar::new(),
             poisoned: AtomicBool::new(false),
-            done: Mutex::new(total == 0),
-            done_ready: Condvar::new(),
+            buffered: AtomicUsize::new(0),
+            peak_buffered: AtomicUsize::new(0),
             units,
         }
     }
 
-    /// Steals faults off the global cursor until the batch is
-    /// exhausted. Run by every pool worker *and* the submitting
-    /// thread; `suts` is the calling thread's private SUT cache.
-    fn process(&self, suts: &mut SutCache) {
-        loop {
-            let i = self.cursor.fetch_add(1, Ordering::Relaxed);
-            if i >= self.total {
-                break;
-            }
-            let unit_idx = self.bases.partition_point(|&b| b <= i) - 1;
-            let (campaign, faults) = &self.units[unit_idx];
-            let fault = faults[i - self.bases[unit_idx]].clone();
-            // Armed before SUT construction: the cursor index is
-            // already claimed, so a panic anywhere from the factory
-            // closure onward must poison the batch or the submitter
-            // waits forever on this index.
-            let guard = PoisonOnPanic(self);
-            let sut = suts.get_or_create(&campaign.factory);
-            let outcome = campaign.engine.outcome(sut, fault);
+    /// Produces the next chunk under the held producer lock,
+    /// advancing across entries. `None` means the batch is exhausted
+    /// (possibly because a source failed — `p.error` then says so).
+    fn produce(&self, p: &mut Producer) -> Option<Chunk> {
+        let mut faults = Vec::with_capacity(self.chunk);
+        while p.next_unit < p.feeds.len() {
+            let unit = p.next_unit;
+            let feed = p.feeds[unit].as_mut().expect("unfinished units are Some");
+            // Armed across the pull: a panicking source must poison
+            // the batch, not strand the submitter.
+            let guard = PoisonOnPanic {
+                state: self,
+                producer_held: true,
+            };
+            let pulled = feed.next_chunk(self.chunk, &mut faults);
             std::mem::forget(guard);
-            *lock(&self.slots[i]) = Some(outcome);
-            if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
-                *lock(&self.done) = true;
-                self.done_ready.notify_all();
+            // Window/index bookkeeping trusts what was actually
+            // appended, never the source's returned count — a
+            // miscounting third-party source must not be able to
+            // wedge `outstanding` above zero forever (hang) or spin
+            // on empty "non-empty" chunks (live-lock).
+            match pulled {
+                Err(e) => {
+                    p.error = Some(e);
+                    p.exhausted = true;
+                    p.feeds.iter_mut().for_each(|f| *f = None);
+                    return None;
+                }
+                Ok(_) if faults.is_empty() => {
+                    p.feeds[unit] = None;
+                    p.next_unit += 1;
+                }
+                Ok(_) => {
+                    let n = faults.len();
+                    let base = p.produced[unit];
+                    p.produced[unit] += n;
+                    p.outstanding += n;
+                    return Some(Chunk { unit, base, faults });
+                }
+            }
+        }
+        p.exhausted = true;
+        None
+    }
+
+    /// Claims the next chunk of work. Blocks on the window when
+    /// `block` (pool workers); returns `None` immediately otherwise
+    /// (the submitting thread, which must keep draining). `None` with
+    /// `block` means the batch is over for this thread.
+    fn claim(&self, block: bool) -> Option<Chunk> {
+        let mut p = lock(&self.producer);
+        loop {
+            if self.poisoned.load(Ordering::Acquire) || p.exhausted {
+                return None;
+            }
+            if p.outstanding + self.chunk <= self.window {
+                match self.produce(&mut p) {
+                    Some(chunk) => return Some(chunk),
+                    // Exhausted (or errored) just now: loop re-checks
+                    // and returns None.
+                    None => continue,
+                }
+            }
+            if !block {
+                return None;
+            }
+            p = self
+                .space_ready
+                .wait(p)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Runs one claimed fault and parks the outcome in its entry's
+    /// reorder buffer, waking the submitter.
+    fn run_fault(&self, suts: &mut SutCache, unit: usize, index: usize, fault: GeneratedFault) {
+        // Armed before SUT construction: the fault is already claimed,
+        // so a panic anywhere from the factory closure onward must
+        // poison the batch or the submitter waits forever on it. No
+        // lock is held here, so the drop re-locks the producer to
+        // close the check-to-wait window of `claim`.
+        let guard = PoisonOnPanic {
+            state: self,
+            producer_held: false,
+        };
+        let campaign = &self.units[unit];
+        let sut = suts.get_or_create(&campaign.factory);
+        let outcome = campaign.engine.outcome(sut, fault);
+        std::mem::forget(guard);
+
+        {
+            let mut emit = lock(&self.emit[unit]);
+            // Counted under the emit lock, BEFORE the insert: the
+            // drain's matching `fetch_sub` can only run after it
+            // removed this outcome (same lock), so the increment
+            // always happens-before its decrement and the counter
+            // can never underflow.
+            let buffered = self.buffered.fetch_add(1, Ordering::AcqRel) + 1;
+            self.peak_buffered.fetch_max(buffered, Ordering::AcqRel);
+            emit.pending.insert(index, outcome);
+        }
+        let mut progress = lock(&self.progress);
+        progress.epoch += 1;
+        if progress.submitter_waiting {
+            self.progress_ready.notify_all();
+        }
+    }
+
+    /// Pool-worker loop: claim chunks until the batch is over.
+    fn work(&self, suts: &mut SutCache) {
+        while let Some(chunk) = self.claim(true) {
+            for (i, fault) in chunk.faults.into_iter().enumerate() {
+                self.run_fault(suts, chunk.unit, chunk.base + i, fault);
             }
         }
     }
 
-    /// Drains the outcome slots into per-campaign profiles, in entry
-    /// order, each merged in fault order. Only called after `pending`
-    /// reached zero.
-    fn into_profiles(self) -> Vec<ResilienceProfile> {
-        let mut slots = self.slots.into_iter();
-        self.units
-            .into_iter()
-            .map(|(campaign, faults)| {
-                let outcomes = slots
-                    .by_ref()
-                    .take(faults.len())
-                    .map(|slot| {
-                        slot.into_inner()
-                            .unwrap_or_else(PoisonError::into_inner)
-                            .expect("every pending fault has a filled slot")
-                    })
-                    .collect();
-                ResilienceProfile::new(campaign.system.as_str(), outcomes)
-            })
-            .collect()
+    /// Drains every entry's contiguous completed prefix to its sink
+    /// (submitting thread only), releasing window space. Returns how
+    /// many outcomes were sunk.
+    fn drain(
+        &self,
+        sinks: &mut [&mut dyn OutcomeSink],
+        scratch: &mut Vec<InjectionOutcome>,
+    ) -> usize {
+        let mut drained = 0;
+        for (unit, sink) in sinks.iter_mut().enumerate() {
+            scratch.clear();
+            {
+                let mut emit = lock(&self.emit[unit]);
+                loop {
+                    let next = emit.next;
+                    match emit.pending.remove(&next) {
+                        Some(outcome) => {
+                            emit.next += 1;
+                            scratch.push(outcome);
+                        }
+                        None => break,
+                    }
+                }
+            }
+            drained += scratch.len();
+            // Sink writes happen outside the emit lock so workers
+            // completing faults for this entry never wait on I/O.
+            for outcome in scratch.drain(..) {
+                sink.accept(outcome);
+            }
+        }
+        if drained > 0 {
+            self.buffered.fetch_sub(drained, Ordering::AcqRel);
+            {
+                let mut p = lock(&self.producer);
+                p.outstanding -= drained;
+            }
+            self.space_ready.notify_all();
+        }
+        drained
+    }
+
+    /// `true` once every produced fault has been handed to a sink and
+    /// no feed can produce more.
+    fn finished(&self) -> bool {
+        let p = lock(&self.producer);
+        p.exhausted && p.outstanding == 0
+    }
+
+    /// The submitting thread's loop: steal work like a worker, but
+    /// drain completions to the sinks after every fault and sleep
+    /// only while nothing progresses. Returns the total outcomes
+    /// sunk; on poisoning it returns early (the caller re-raises).
+    fn drive(&self, suts: &mut SutCache, sinks: &mut [&mut dyn OutcomeSink]) -> usize {
+        let mut scratch = Vec::new();
+        let mut sunk = 0;
+        loop {
+            let epoch = lock(&self.progress).epoch;
+            sunk += self.drain(sinks, &mut scratch);
+            if self.poisoned.load(Ordering::Acquire) {
+                return sunk;
+            }
+            if self.finished() {
+                return sunk;
+            }
+            if let Some(chunk) = self.claim(false) {
+                for (i, fault) in chunk.faults.into_iter().enumerate() {
+                    self.run_fault(suts, chunk.unit, chunk.base + i, fault);
+                    sunk += self.drain(sinks, &mut scratch);
+                }
+            } else {
+                // The failed claim may itself have *discovered*
+                // exhaustion (produced the final `Ok(0)`s): re-check
+                // before sleeping, or nothing would ever wake us.
+                if self.finished() {
+                    return sunk;
+                }
+                // Otherwise faults are in flight on workers: wait for
+                // a completion (or poisoning) unless one already
+                // happened since we read the epoch above.
+                let mut progress = lock(&self.progress);
+                if progress.epoch == epoch {
+                    progress.submitter_waiting = true;
+                    progress = self
+                        .progress_ready
+                        .wait(progress)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    progress.submitter_waiting = false;
+                }
+            }
+        }
     }
 }
 
@@ -455,7 +836,7 @@ struct JobSlot {
     /// Bumped once per installed batch; a worker only picks up a
     /// batch whose generation it has not seen.
     generation: u64,
-    batch: Option<Arc<BatchState>>,
+    batch: Option<Arc<StreamState>>,
     shutdown: bool,
 }
 
@@ -493,8 +874,7 @@ fn worker_loop(shared: Arc<PoolShared>) {
         // batch is already poisoned (and the submitter woken) by
         // `PoisonOnPanic`, so this worker only needs to shed any SUT
         // the panic may have left half-mutated and keep serving.
-        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| batch.process(&mut suts)))
-            .is_err()
+        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| batch.work(&mut suts))).is_err()
         {
             suts.suts.clear();
         }
@@ -512,10 +892,14 @@ fn worker_loop(shared: Arc<PoolShared>) {
 /// workers down.
 ///
 /// See the `executor` module docs (the source header of
-/// `crates/core/src/executor.rs`) for the scheduling and determinism
-/// guarantees, and [`CampaignBatch`] for multi-campaign submissions.
+/// `crates/core/src/executor.rs`) for the scheduling, streaming and
+/// determinism guarantees, and [`CampaignBatch`] for multi-campaign
+/// submissions.
 pub struct CampaignExecutor {
     threads: usize,
+    /// Faults handed out per claim; see
+    /// [`CampaignExecutor::set_chunk_size`].
+    chunk_size: AtomicUsize,
     shared: Arc<PoolShared>,
     workers: Vec<JoinHandle<()>>,
     /// Serializes submissions and holds the submitting side's SUT
@@ -528,6 +912,7 @@ impl fmt::Debug for CampaignExecutor {
         f.debug_struct("CampaignExecutor")
             .field("threads", &self.threads)
             .field("workers", &self.workers.len())
+            .field("chunk_size", &self.chunk_size())
             .finish()
     }
 }
@@ -556,6 +941,7 @@ impl CampaignExecutor {
             .collect();
         CampaignExecutor {
             threads,
+            chunk_size: AtomicUsize::new(DEFAULT_CHUNK_SIZE),
             shared,
             workers,
             caller: Mutex::new(SutCache::default()),
@@ -572,6 +958,24 @@ impl CampaignExecutor {
     /// thread).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Sets the number of faults handed out per queue claim (clamped
+    /// to 1..=4096; default [`DEFAULT_CHUNK_SIZE`]). Larger chunks
+    /// cut queue contention on many-core runners; smaller chunks
+    /// shrink the streaming window (`chunk × threads`) and with it
+    /// the reorder-buffer memory bound and straggler skew. Results
+    /// are byte-identical at every setting, and the 1-thread serial
+    /// fast path is unaffected.
+    pub fn set_chunk_size(&self, chunk: usize) -> &Self {
+        self.chunk_size
+            .store(chunk.clamp(1, 4096), Ordering::Relaxed);
+        self
+    }
+
+    /// The current per-claim chunk size.
+    pub fn chunk_size(&self) -> usize {
+        self.chunk_size.load(Ordering::Relaxed).max(1)
     }
 
     /// Runs one campaign's fault load through the pool and merges the
@@ -596,46 +1000,115 @@ impl CampaignExecutor {
             .expect("single-entry batch yields one profile"))
     }
 
-    /// Runs a whole batch through one global, campaign-tagged fault
-    /// queue and returns one profile per entry (push order, outcomes
-    /// in fault order — byte-identical to running every entry through
-    /// a serial campaign).
+    /// Streams one campaign from a live fault source into `sink`,
+    /// with outcomes delivered in fault order as they complete.
+    /// Memory is bounded by the streaming window no matter how many
+    /// faults the source yields.
     ///
     /// # Errors
     ///
-    /// Currently infallible (kept fallible for symmetry with the
-    /// serial drivers); per-fault problems are recorded in the
-    /// profiles.
+    /// Propagates the source's first production failure; outcomes
+    /// completed before the failure are still delivered to the sink.
+    pub fn run_source(
+        &self,
+        campaign: &ExecutorCampaign,
+        source: BoxFaultSource,
+        sink: &mut dyn OutcomeSink,
+    ) -> Result<StreamStats, CampaignError> {
+        let mut batch = CampaignBatch::new();
+        batch.push_source(campaign, source);
+        self.run_batch_with_sinks(batch, &mut [sink])
+    }
+
+    /// Runs a whole batch through one shared, campaign-tagged chunk
+    /// queue and returns one profile per entry (push order, outcomes
+    /// in fault order — byte-identical to running every entry through
+    /// a serial campaign). Streaming entries
+    /// ([`CampaignBatch::push_source`]) are pulled lazily while the
+    /// batch runs.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a streaming entry's source fails; eager entries
+    /// never fail (per-fault problems are recorded in the profiles).
     pub fn run_batch(&self, batch: CampaignBatch) -> Result<Vec<ResilienceProfile>, CampaignError> {
+        let systems: Vec<String> = batch
+            .entries
+            .iter()
+            .map(|(c, _)| c.system.clone())
+            .collect();
+        let mut collectors: Vec<CollectingSink> = batch
+            .entries
+            .iter()
+            .map(|(_, feed)| CollectingSink::with_capacity(feed.min_remaining()))
+            .collect();
+        {
+            let mut sinks: Vec<&mut dyn OutcomeSink> = collectors
+                .iter_mut()
+                .map(|c| c as &mut dyn OutcomeSink)
+                .collect();
+            self.run_batch_with_sinks(batch, &mut sinks)?;
+        }
+        Ok(systems
+            .into_iter()
+            .zip(collectors)
+            .map(|(system, collector)| collector.into_profile(system))
+            .collect())
+    }
+
+    /// Runs a batch with one caller-provided sink per entry
+    /// (`sinks[i]` receives entry `i`'s outcomes, in fault order, as
+    /// they complete). This is the bounded-memory entry point: the
+    /// executor never buffers more than `chunk_size × threads`
+    /// outcomes, and with O(1) sinks (counting, CSV/JSONL writers) a
+    /// million-fault batch runs in constant memory.
+    ///
+    /// Sinks stay on the submitting thread — they need not be `Send`
+    /// — and are only written to between faults, never concurrently.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first source failure (outcomes completed before
+    /// it are still delivered).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sinks.len() != batch.len()`, and re-raises a worker
+    /// panic on the submitting thread.
+    pub fn run_batch_with_sinks(
+        &self,
+        batch: CampaignBatch,
+        sinks: &mut [&mut dyn OutcomeSink],
+    ) -> Result<StreamStats, CampaignError> {
+        assert_eq!(sinks.len(), batch.entries.len(), "one sink per batch entry");
         // One submission at a time; the guard doubles as the
         // submitting thread's SUT cache.
         let mut caller = lock(&self.caller);
         let entries = batch.entries;
-        let total: usize = entries.iter().map(|(_, f)| f.len()).sum();
-
-        // Serial fast path: with no pool workers (threads == 1) — or
-        // nothing to parallelize — run the entries in order on this
-        // thread, with zero queue, slot or merge overhead. This is
-        // exactly the serial campaign loop, plus the persistent SUT
-        // cache.
-        if self.workers.is_empty() || total <= 1 {
-            let cache = ClearCacheOnPanic(&mut caller);
-            let profiles = entries
-                .into_iter()
-                .map(|(campaign, faults)| {
-                    let sut = cache.0.get_or_create(&campaign.factory);
-                    let outcomes = faults
-                        .into_iter()
-                        .map(|fault| campaign.engine.outcome(sut, fault))
-                        .collect();
-                    ResilienceProfile::new(campaign.system.as_str(), outcomes)
-                })
-                .collect();
-            std::mem::forget(cache);
-            return Ok(profiles);
+        if entries.is_empty() {
+            return Ok(StreamStats {
+                outcomes: 0,
+                peak_buffered: 0,
+            });
         }
 
-        let state = Arc::new(BatchState::new(entries));
+        // Serial fast path: with no pool workers (threads == 1) — or
+        // an eager batch too small to parallelize — run the entries
+        // in order on this thread, with zero queue, window or reorder
+        // overhead: each outcome goes straight to its sink. This is
+        // exactly the serial campaign loop, plus the persistent SUT
+        // cache.
+        let eager_total: Option<usize> = entries
+            .iter()
+            .try_fold(0usize, |acc, (_, feed)| Some(acc + feed.exact_remaining()?));
+        if self.workers.is_empty() || eager_total.is_some_and(|t| t <= 1) {
+            let cache = ClearCacheOnPanic(&mut caller);
+            let result = Self::run_serial(entries, sinks, self.chunk_size(), cache.0);
+            std::mem::forget(cache);
+            return result;
+        }
+
+        let state = Arc::new(StreamState::new(entries, self.chunk_size(), self.threads));
         {
             let mut slot = lock(&self.shared.job);
             slot.generation += 1;
@@ -643,47 +1116,59 @@ impl CampaignExecutor {
         }
         self.shared.work_ready.notify_all();
 
-        // The submitting thread steals work too.
+        // The submitting thread steals work too, and owns the sinks.
         let cache = ClearCacheOnPanic(&mut caller);
-        state.process(&mut *cache.0);
+        let outcomes = state.drive(&mut *cache.0, sinks);
         std::mem::forget(cache);
 
-        // Wait for in-flight stragglers on other workers.
-        let mut done = lock(&state.done);
-        while !*done {
-            done = state
-                .done_ready
-                .wait(done)
-                .unwrap_or_else(PoisonError::into_inner);
-        }
-        drop(done);
         lock(&self.shared.job).batch = None;
         // Re-raise a worker's panic on the submitting thread, as the
         // scoped driver's join did. (A panic on the submitting thread
-        // itself propagates out of `process` above directly.)
+        // itself propagates out of `drive` above directly.)
         assert!(
             !state.poisoned.load(Ordering::Acquire),
             "a campaign worker panicked while executing a fault"
         );
+        if let Some(error) = lock(&state.producer).error.take() {
+            return Err(CampaignError::Generate(error));
+        }
+        Ok(StreamStats {
+            outcomes,
+            peak_buffered: state.peak_buffered.load(Ordering::Acquire),
+        })
+    }
 
-        let state = match Arc::try_unwrap(state) {
-            Ok(state) => state,
-            Err(shared) => {
-                // A worker may still hold its Arc for the instants
-                // between filling the last slot and re-parking; wait
-                // it out (bounded: workers drop the handle without
-                // taking further locks).
-                let mut shared = shared;
-                loop {
-                    std::thread::yield_now();
-                    match Arc::try_unwrap(shared) {
-                        Ok(state) => break state,
-                        Err(s) => shared = s,
-                    }
+    /// The 1-thread path: entries in order, chunk by chunk, each
+    /// outcome sunk the moment it completes (`peak_buffered = 0`).
+    fn run_serial(
+        entries: Vec<(ExecutorCampaign, FaultFeed)>,
+        sinks: &mut [&mut dyn OutcomeSink],
+        chunk_size: usize,
+        suts: &mut SutCache,
+    ) -> Result<StreamStats, CampaignError> {
+        let mut outcomes = 0;
+        let mut chunk = Vec::with_capacity(chunk_size);
+        for ((campaign, mut feed), sink) in entries.into_iter().zip(sinks.iter_mut()) {
+            loop {
+                chunk.clear();
+                feed.next_chunk(chunk_size, &mut chunk)
+                    .map_err(CampaignError::Generate)?;
+                // Exhaustion is judged by what was appended, not the
+                // returned count — see `produce`.
+                if chunk.is_empty() {
+                    break;
+                }
+                for fault in chunk.drain(..) {
+                    let sut = suts.get_or_create(&campaign.factory);
+                    sink.accept(campaign.engine.outcome(sut, fault));
+                    outcomes += 1;
                 }
             }
-        };
-        Ok(state.into_profiles())
+        }
+        Ok(StreamStats {
+            outcomes,
+            peak_buffered: 0,
+        })
     }
 }
 
@@ -703,9 +1188,9 @@ impl Drop for CampaignExecutor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Campaign;
+    use crate::{Campaign, CountingSink};
     use conferr_keyboard::Keyboard;
-    use conferr_model::{ErrorGenerator, TypoKind};
+    use conferr_model::{EagerSource, ErrorGenerator, IntoFaultSource, TypoKind};
     use conferr_plugins::{TokenClass, TypoPlugin};
     use conferr_sut::{MySqlSim, PostgresSim};
 
@@ -739,6 +1224,39 @@ mod tests {
             assert_eq!(profile.outcomes(), serial.outcomes(), "threads = {threads}");
             assert_eq!(profile.system(), "postgres-sim");
         }
+    }
+
+    #[test]
+    fn chunk_size_never_changes_results() {
+        let campaign = ExecutorCampaign::new(sut_factory(PostgresSim::new)).unwrap();
+        let faults = plugin().generate(campaign.baseline()).unwrap();
+        let reference = {
+            let mut sut = PostgresSim::new();
+            let mut c = Campaign::new(&mut sut).unwrap();
+            c.run_faults(faults.clone()).unwrap()
+        };
+        for threads in [1, 3] {
+            let executor = CampaignExecutor::new(threads);
+            for chunk in [1, 2, 7, 64] {
+                executor.set_chunk_size(chunk);
+                assert_eq!(executor.chunk_size(), chunk);
+                let profile = executor.run_faults(&campaign, faults.clone()).unwrap();
+                assert_eq!(
+                    profile.outcomes(),
+                    reference.outcomes(),
+                    "threads = {threads}, chunk = {chunk}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_size_is_clamped() {
+        let executor = CampaignExecutor::new(1);
+        executor.set_chunk_size(0);
+        assert_eq!(executor.chunk_size(), 1);
+        executor.set_chunk_size(1 << 20);
+        assert_eq!(executor.chunk_size(), 4096);
     }
 
     #[test]
@@ -791,6 +1309,151 @@ mod tests {
         assert_eq!(first.outcomes(), second.outcomes());
     }
 
+    #[test]
+    fn streamed_source_matches_eager_run_and_bounds_buffering() {
+        let campaign = ExecutorCampaign::new(sut_factory(PostgresSim::new)).unwrap();
+        let faults = plugin().generate(campaign.baseline()).unwrap();
+        let eager = {
+            let executor = CampaignExecutor::new(1);
+            executor.run_faults(&campaign, faults.clone()).unwrap()
+        };
+        for threads in [1, 2, 4] {
+            let executor = CampaignExecutor::new(threads);
+            let mut sink = crate::CollectingSink::new();
+            let stats = executor
+                .run_source(
+                    &campaign,
+                    Box::new(EagerSource::new(faults.clone())),
+                    &mut sink,
+                )
+                .unwrap();
+            assert_eq!(stats.outcomes, faults.len());
+            assert!(
+                stats.peak_buffered <= executor.chunk_size() * threads,
+                "peak {} vs window {} at {threads} threads",
+                stats.peak_buffered,
+                executor.chunk_size() * threads
+            );
+            let profile = sink.into_profile(campaign.system());
+            assert_eq!(profile.outcomes(), eager.outcomes(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn lazy_generator_source_runs_through_the_pool() {
+        let campaign = ExecutorCampaign::new(sut_factory(MySqlSim::new)).unwrap();
+        let eager = plugin().generate(campaign.baseline()).unwrap();
+        let executor = CampaignExecutor::new(3);
+        let mut sink = CountingSink::new();
+        let stats = executor
+            .run_source(
+                &campaign,
+                Box::new(plugin().into_source(campaign.baseline())),
+                &mut sink,
+            )
+            .unwrap();
+        assert_eq!(stats.outcomes, eager.len());
+        assert_eq!(sink.summary().total, eager.len());
+    }
+
+    #[test]
+    fn miscounting_sources_cannot_hang_the_pool() {
+        use conferr_model::{FaultSource, GenerateError};
+
+        /// Violates the `FaultSource` contract in both directions:
+        /// claims more faults than it appends, then claims progress
+        /// while appending nothing.
+        #[derive(Debug)]
+        struct Lying {
+            remaining: Vec<GeneratedFault>,
+        }
+        impl FaultSource for Lying {
+            fn next_chunk(
+                &mut self,
+                max: usize,
+                out: &mut Vec<GeneratedFault>,
+            ) -> Result<usize, GenerateError> {
+                if let Some(fault) = self.remaining.pop() {
+                    out.push(fault);
+                }
+                Ok(max + 5) // never the truth
+            }
+        }
+
+        let campaign = ExecutorCampaign::new(sut_factory(PostgresSim::new)).unwrap();
+        let faults = plugin().generate(campaign.baseline()).unwrap();
+        for threads in [1, 3] {
+            let executor = CampaignExecutor::new(threads);
+            executor.set_chunk_size(4);
+            let mut sink = CountingSink::new();
+            let stats = executor
+                .run_source(
+                    &campaign,
+                    Box::new(Lying {
+                        remaining: faults.iter().take(9).cloned().collect(),
+                    }),
+                    &mut sink,
+                )
+                .unwrap();
+            // The executor counts what actually arrived; the batch
+            // terminates instead of waiting on phantom faults.
+            assert_eq!(stats.outcomes, 9, "threads = {threads}");
+            assert_eq!(sink.summary().total, 9);
+        }
+    }
+
+    #[test]
+    fn source_errors_propagate_after_inflight_outcomes_drain() {
+        use conferr_model::{FaultSource, GenerateError};
+
+        /// Yields one fault, then fails.
+        #[derive(Debug)]
+        struct OneThenFail {
+            yielded: bool,
+            fault: Option<GeneratedFault>,
+        }
+        impl FaultSource for OneThenFail {
+            fn next_chunk(
+                &mut self,
+                _max: usize,
+                out: &mut Vec<GeneratedFault>,
+            ) -> Result<usize, GenerateError> {
+                if self.yielded {
+                    return Err(GenerateError::new("one-then-fail", "stream broke"));
+                }
+                self.yielded = true;
+                out.push(self.fault.take().expect("first pull"));
+                Ok(1)
+            }
+        }
+
+        let campaign = ExecutorCampaign::new(sut_factory(PostgresSim::new)).unwrap();
+        let fault = plugin()
+            .generate(campaign.baseline())
+            .unwrap()
+            .into_iter()
+            .next()
+            .unwrap();
+        for threads in [1, 3] {
+            let executor = CampaignExecutor::new(threads);
+            let mut sink = crate::CollectingSink::new();
+            let err = executor
+                .run_source(
+                    &campaign,
+                    Box::new(OneThenFail {
+                        yielded: false,
+                        fault: Some(fault.clone()),
+                    }),
+                    &mut sink,
+                )
+                .unwrap_err();
+            assert!(matches!(err, CampaignError::Generate(_)), "{err}");
+            // The serial path sinks the fault before hitting the
+            // error; the pooled path drains in-flight outcomes too.
+            assert_eq!(sink.len(), 1, "threads = {threads}");
+        }
+    }
+
     /// A simulator that panics when started on a configuration
     /// containing the marker text — stands in for a simulator bug
     /// tripped by a pathological injected configuration.
@@ -823,29 +1486,30 @@ mod tests {
         fn stop(&mut self) {}
     }
 
+    fn panic_fault(v: &str, i: usize) -> GeneratedFault {
+        use conferr_model::{ErrorClass, FaultScenario, TreeEdit};
+        use conferr_tree::TreePath;
+        GeneratedFault::Scenario(FaultScenario {
+            id: format!("f{i}"),
+            description: "set x".to_string(),
+            class: ErrorClass::Typo(TypoKind::Substitution),
+            edits: vec![TreeEdit::SetText {
+                file: "p.conf".to_string(),
+                path: TreePath::from(vec![0]),
+                text: Some(v.to_string()),
+            }],
+        })
+    }
+
     #[test]
     fn worker_panic_propagates_instead_of_deadlocking() {
-        use conferr_model::{ErrorClass, FaultScenario, TreeEdit, TypoKind};
-        use conferr_tree::TreePath;
         // Many benign faults plus one that trips the simulator bug,
         // across enough threads that a pool worker (not just the
         // submitting thread) can hit it. Before the poison guard this
         // hung forever when a worker took the panicking fault.
         let campaign = ExecutorCampaign::new(sut_factory(|| PanickingSim)).unwrap();
-        let fault = |v: &str, i: usize| {
-            GeneratedFault::Scenario(FaultScenario {
-                id: format!("f{i}"),
-                description: "set x".to_string(),
-                class: ErrorClass::Typo(TypoKind::Substitution),
-                edits: vec![TreeEdit::SetText {
-                    file: "p.conf".to_string(),
-                    path: TreePath::from(vec![0]),
-                    text: Some(v.to_string()),
-                }],
-            })
-        };
-        let mut faults: Vec<GeneratedFault> = (0..64).map(|i| fault("2", i)).collect();
-        faults.insert(32, fault("BOOM", 64));
+        let mut faults: Vec<GeneratedFault> = (0..64).map(|i| panic_fault("2", i)).collect();
+        faults.insert(32, panic_fault("BOOM", 64));
 
         let executor = CampaignExecutor::new(4);
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -856,19 +1520,64 @@ mod tests {
         // The pool survives a poisoned submission: later submissions
         // on the same executor still complete.
         let profile = executor
-            .run_faults(&campaign, (0..8).map(|i| fault("3", i)).collect())
+            .run_faults(&campaign, (0..8).map(|i| panic_fault("3", i)).collect())
+            .unwrap();
+        assert_eq!(profile.len(), 8);
+    }
+
+    #[test]
+    fn panicking_source_poisons_instead_of_deadlocking() {
+        use conferr_model::{FaultSource, GenerateError};
+
+        /// Yields a few faults, then panics inside `next_chunk` —
+        /// a buggy generator on the producer path.
+        #[derive(Debug)]
+        struct PanickingSource {
+            remaining: Vec<GeneratedFault>,
+        }
+        impl FaultSource for PanickingSource {
+            fn next_chunk(
+                &mut self,
+                max: usize,
+                out: &mut Vec<GeneratedFault>,
+            ) -> Result<usize, GenerateError> {
+                if self.remaining.is_empty() {
+                    panic!("generator bug");
+                }
+                let n = max.min(self.remaining.len());
+                out.extend(self.remaining.drain(..n));
+                Ok(n)
+            }
+        }
+
+        let campaign = ExecutorCampaign::new(sut_factory(|| PanickingSim)).unwrap();
+        let executor = CampaignExecutor::new(3);
+        executor.set_chunk_size(4);
+        let mut sink = CountingSink::new();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            executor.run_source(
+                &campaign,
+                Box::new(PanickingSource {
+                    remaining: (0..8).map(|i| panic_fault("2", i)).collect(),
+                }),
+                &mut sink,
+            )
+        }));
+        assert!(result.is_err(), "the producer panic must propagate");
+
+        // The pool is still serviceable.
+        let profile = executor
+            .run_faults(&campaign, (0..8).map(|i| panic_fault("3", i)).collect())
             .unwrap();
         assert_eq!(profile.len(), 8);
     }
 
     #[test]
     fn factory_panic_during_batch_propagates_instead_of_deadlocking() {
-        use conferr_model::{ErrorClass, FaultScenario, TreeEdit, TypoKind};
-        use conferr_tree::TreePath;
         // The scout instance (create #0) builds the campaign; every
         // later construction — which happens on whichever thread
-        // claims the first fault — panics. The claimed cursor index
-        // must still poison the batch (the guard is armed before SUT
+        // claims the first fault — panics. The claimed chunk must
+        // still poison the batch (the guard is armed before SUT
         // construction), or the submitter waits forever.
         let creates = Arc::new(AtomicUsize::new(0));
         let counter = Arc::clone(&creates);
@@ -877,20 +1586,7 @@ mod tests {
             PanickingSim
         });
         let campaign = ExecutorCampaign::new(factory).unwrap();
-        let faults: Vec<GeneratedFault> = (0..16)
-            .map(|i| {
-                GeneratedFault::Scenario(FaultScenario {
-                    id: format!("f{i}"),
-                    description: "set x".to_string(),
-                    class: ErrorClass::Typo(TypoKind::Substitution),
-                    edits: vec![TreeEdit::SetText {
-                        file: "p.conf".to_string(),
-                        path: TreePath::from(vec![0]),
-                        text: Some("2".to_string()),
-                    }],
-                })
-            })
-            .collect();
+        let faults: Vec<GeneratedFault> = (0..16).map(|i| panic_fault("2", i)).collect();
         let executor = CampaignExecutor::new(3);
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             executor.run_faults(&campaign, faults)

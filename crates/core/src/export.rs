@@ -4,10 +4,20 @@
 //! reports, campaigns feed dashboards and regression gates, so the
 //! profile exports to CSV (one row per injection) and to a small,
 //! dependency-free JSON encoding.
+//!
+//! Both formats are defined **per outcome** ([`outcome_to_csv_row`],
+//! [`outcome_to_jsonl`]): the whole-profile renderers concatenate the
+//! row encoders, and the streaming sinks ([`crate::CsvSink`],
+//! [`crate::JsonlSink`]) write the very same rows one outcome at a
+//! time — a streamed export is byte-identical to exporting the
+//! collected profile.
 
 use std::fmt::Write as _;
 
-use crate::{InjectionResult, ResilienceProfile};
+use crate::{InjectionOutcome, InjectionResult, ResilienceProfile};
+
+/// The CSV header row (no trailing newline).
+pub const CSV_HEADER: &str = "system,id,class,cognitive_level,result,detail,description";
 
 /// Escapes one CSV field (RFC 4180 quoting).
 fn csv_field(s: &str) -> String {
@@ -53,6 +63,22 @@ fn result_detail(result: &InjectionResult) -> (&'static str, String) {
     }
 }
 
+/// Renders one outcome as a CSV record (no trailing newline) under
+/// [`CSV_HEADER`].
+pub fn outcome_to_csv_row(system: &str, o: &InjectionOutcome) -> String {
+    let (label, detail) = result_detail(&o.result);
+    format!(
+        "{},{},{},{},{},{},{}",
+        csv_field(system),
+        csv_field(&o.id),
+        csv_field(&o.class.to_string()),
+        csv_field(&o.class.cognitive_level().to_string()),
+        label,
+        csv_field(&detail),
+        csv_field(&o.description),
+    )
+}
+
 /// Renders the profile as CSV: header plus one row per injection.
 ///
 /// ```
@@ -62,20 +88,11 @@ fn result_detail(result: &InjectionResult) -> (&'static str, String) {
 /// assert!(csv.starts_with("system,id,class,cognitive_level,result,detail,description"));
 /// ```
 pub fn profile_to_csv(profile: &ResilienceProfile) -> String {
-    let mut out = String::from("system,id,class,cognitive_level,result,detail,description\n");
+    let mut out = String::from(CSV_HEADER);
+    out.push('\n');
     for o in profile.outcomes() {
-        let (label, detail) = result_detail(&o.result);
-        let _ = writeln!(
-            out,
-            "{},{},{},{},{},{},{}",
-            csv_field(profile.system()),
-            csv_field(&o.id),
-            csv_field(&o.class.to_string()),
-            csv_field(&o.class.cognitive_level().to_string()),
-            label,
-            csv_field(&detail),
-            csv_field(&o.description),
-        );
+        out.push_str(&outcome_to_csv_row(profile.system(), o));
+        out.push('\n');
     }
     out
 }
@@ -102,26 +119,46 @@ pub fn profile_to_json(profile: &ResilienceProfile) -> String {
         if i > 0 {
             out.push(',');
         }
-        let (label, detail) = result_detail(&o.result);
-        let _ = write!(
-            out,
-            "{{\"id\":{},\"class\":{},\"result\":{},\"detail\":{},\"description\":{},\"diff\":[",
-            json_string(&o.id),
-            json_string(&o.class.to_string()),
-            json_string(label),
-            json_string(&detail),
-            json_string(&o.description),
-        );
-        for (j, line) in o.diff.iter().enumerate() {
-            if j > 0 {
-                out.push(',');
-            }
-            out.push_str(&json_string(line));
-        }
-        out.push_str("]}");
+        out.push_str(&outcome_to_json(o));
     }
     out.push_str("]}");
     out
+}
+
+/// Renders one outcome as the JSON object used inside
+/// [`profile_to_json`]'s `outcomes` array.
+pub fn outcome_to_json(o: &InjectionOutcome) -> String {
+    let (label, detail) = result_detail(&o.result);
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"id\":{},\"class\":{},\"result\":{},\"detail\":{},\"description\":{},\"diff\":[",
+        json_string(&o.id),
+        json_string(&o.class.to_string()),
+        json_string(label),
+        json_string(&detail),
+        json_string(&o.description),
+    );
+    for (j, line) in o.diff.iter().enumerate() {
+        if j > 0 {
+            out.push(',');
+        }
+        out.push_str(&json_string(line));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders one outcome as a JSON Lines record (no trailing newline):
+/// the [`outcome_to_json`] object with the system name prepended, so
+/// each line of a streamed JSONL export is self-describing.
+pub fn outcome_to_jsonl(system: &str, o: &InjectionOutcome) -> String {
+    let object = outcome_to_json(o);
+    format!(
+        "{{\"system\":{},{}",
+        json_string(system),
+        &object[1..] // splice into the object after its '{'
+    )
 }
 
 #[cfg(test)]
@@ -138,7 +175,7 @@ mod tests {
                     id: "a#1".into(),
                     description: "omit \"x\", then retry".into(),
                     class: ErrorClass::Typo(TypoKind::Omission),
-                    diff: vec!["- /0 directive".into()],
+                    diff: vec!["- /0 directive".to_string()].into(),
                     result: InjectionResult::DetectedAtStartup {
                         diagnostic: "bad\nline".into(),
                     },
@@ -147,7 +184,7 @@ mod tests {
                     id: "b#2".into(),
                     description: "dup".into(),
                     class: ErrorClass::Typo(TypoKind::Insertion),
-                    diff: vec![],
+                    diff: Vec::new().into(),
                     result: InjectionResult::Undetected { warnings: vec![] },
                 },
             ],

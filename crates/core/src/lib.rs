@@ -68,14 +68,22 @@ mod outcome;
 mod parallel;
 mod profile;
 pub mod report;
+mod sink;
 
 pub use campaign::{Campaign, CampaignError};
 pub use compare::{
     compare_value_typo_resilience, parallel_value_typo_resilience, task_resilience,
     value_typo_resilience, ComparisonReport, DetectionBand, DirectiveResilience, SystemResilience,
 };
-pub use executor::{sut_factory, CampaignBatch, CampaignExecutor, ExecutorCampaign, SutFactory};
-pub use export::{profile_to_csv, profile_to_json};
+pub use executor::{
+    sut_factory, CampaignBatch, CampaignExecutor, ExecutorCampaign, StreamStats, SutFactory,
+    DEFAULT_CHUNK_SIZE,
+};
+pub use export::{
+    outcome_to_csv_row, outcome_to_json, outcome_to_jsonl, profile_to_csv, profile_to_json,
+    CSV_HEADER,
+};
 pub use outcome::{InjectionOutcome, InjectionResult};
 pub use parallel::{default_threads, parallel_indexed_map, ParallelCampaign};
 pub use profile::{ProfileSummary, ResilienceProfile};
+pub use sink::{CollectingSink, CountingSink, CsvSink, JsonlSink, OutcomeSink};

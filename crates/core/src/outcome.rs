@@ -1,6 +1,7 @@
 //! Per-injection outcomes.
 
 use std::fmt;
+use std::sync::Arc;
 
 use conferr_model::ErrorClass;
 use serde::{Deserialize, Serialize};
@@ -101,8 +102,10 @@ pub struct InjectionOutcome {
     /// Taxonomy class of the mistake.
     pub class: ErrorClass,
     /// A short structural diff of the configuration edit (empty for
-    /// inexpressible faults).
-    pub diff: Vec<String>,
+    /// inexpressible faults). Shared (`Arc`) rather than owned: every
+    /// outcome of the same memoized preparation holds the same
+    /// allocation, so cloning a diff is a reference-count bump.
+    pub diff: Arc<[String]>,
     /// What happened.
     pub result: InjectionResult,
 }
@@ -145,7 +148,7 @@ mod tests {
             id: "t1".into(),
             description: "omit port".into(),
             class: ErrorClass::Typo(TypoKind::Omission),
-            diff: vec![],
+            diff: Vec::new().into(),
             result: InjectionResult::Undetected { warnings: vec![] },
         };
         assert!(o.to_string().contains("omit port"));

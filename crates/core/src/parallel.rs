@@ -244,6 +244,26 @@ impl ParallelCampaign {
         let executor = guard.get_or_insert_with(|| CampaignExecutor::new(self.threads));
         executor.run_faults(&self.campaign, faults)
     }
+
+    /// Streams faults from a live source across the (persistent)
+    /// worker pool, delivering outcomes to `sink` in fault order as
+    /// they complete — the bounded-memory path for fault spaces too
+    /// large to materialize (see
+    /// [`CampaignExecutor::run_source`](crate::CampaignExecutor::run_source)).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the source's first production failure; outcomes
+    /// completed before the failure are still delivered.
+    pub fn run_source(
+        &self,
+        source: conferr_model::BoxFaultSource,
+        sink: &mut dyn crate::OutcomeSink,
+    ) -> Result<crate::StreamStats, CampaignError> {
+        let mut guard = self.executor.lock();
+        let executor = guard.get_or_insert_with(|| CampaignExecutor::new(self.threads));
+        executor.run_source(&self.campaign, source, sink)
+    }
 }
 
 #[cfg(test)]

@@ -26,7 +26,10 @@ pub struct ProfileSummary {
 }
 
 impl ProfileSummary {
-    fn absorb(&mut self, result: &InjectionResult) {
+    /// Folds one more result into the counts — the O(1) accumulation
+    /// step streaming consumers ([`crate::CountingSink`]) use instead
+    /// of buffering outcomes.
+    pub fn absorb(&mut self, result: &InjectionResult) {
         self.total += 1;
         match result {
             InjectionResult::DetectedAtStartup { .. } => self.detected_at_startup += 1,
@@ -181,7 +184,7 @@ mod tests {
             id: id.into(),
             description: "d".into(),
             class: ErrorClass::Typo(TypoKind::Omission),
-            diff: vec![],
+            diff: Vec::new().into(),
             result,
         }
     }

@@ -1,8 +1,16 @@
 //! Text rendering for profiles and comparisons: aligned ASCII tables
 //! (as printed by the bench binaries that regenerate the paper's
 //! tables) and horizontal bar charts (Figure 3).
+//!
+//! Everything here renders from *aggregates* — [`ProfileSummary`]
+//! values, counts, percentages — never from per-outcome records, so
+//! the same renderers serve both collected profiles and the
+//! bounded-memory streaming pipeline (a [`crate::CountingSink`]'s
+//! summary feeds [`summary_table`] directly, no outcome buffering).
 
 use std::fmt::Write as _;
+
+use crate::ProfileSummary;
 
 /// A simple aligned text table.
 ///
@@ -88,6 +96,58 @@ impl TextTable {
         }
         out
     }
+}
+
+/// Builds the paper's Table 1-shaped summary table — injected /
+/// detected-at-startup / detected-by-tests / ignored rows, one column
+/// per `(label, summary)` — from aggregates alone, so it renders
+/// equally from a collected [`crate::ResilienceProfile::summary`] or
+/// from a streamed [`crate::CountingSink::summary`].
+///
+/// ```
+/// use conferr::report::summary_table;
+/// use conferr::ProfileSummary;
+///
+/// let summary = ProfileSummary { total: 4, detected_at_startup: 3, undetected: 1,
+///     ..Default::default() };
+/// let rendered = summary_table(&[("MySQL".to_string(), summary)]).render();
+/// assert!(rendered.contains("Detected by system at startup"));
+/// assert!(rendered.contains("3 (75%)"));
+/// ```
+pub fn summary_table(columns: &[(String, ProfileSummary)]) -> TextTable {
+    let mut headers = vec![""];
+    for (label, _) in columns {
+        headers.push(label);
+    }
+    let mut t = TextTable::new(headers);
+    let row = |label: &str, cell: &dyn Fn(&ProfileSummary) -> String| {
+        let mut cells = vec![label.to_string()];
+        for (_, s) in columns {
+            cells.push(cell(s));
+        }
+        cells
+    };
+    t.add_row(row("# of Injected Errors", &|s| {
+        format!("{} (100%)", s.injected())
+    }));
+    t.add_row(row("Detected by system at startup", &|s| {
+        format!(
+            "{} ({:.0}%)",
+            s.detected_at_startup,
+            s.pct(s.detected_at_startup)
+        )
+    }));
+    t.add_row(row("Detected by functional tests", &|s| {
+        format!(
+            "{} ({:.0}%)",
+            s.detected_by_tests,
+            s.pct(s.detected_by_tests)
+        )
+    }));
+    t.add_row(row("Ignored", &|s| {
+        format!("{} ({:.0}%)", s.undetected, s.pct(s.undetected))
+    }));
+    t
 }
 
 /// Renders a horizontal percentage bar of the given width, e.g.

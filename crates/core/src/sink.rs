@@ -1,0 +1,344 @@
+//! Outcome sinks — the streaming end of the campaign pipeline.
+//!
+//! An [`OutcomeSink`] receives [`InjectionOutcome`]s one at a time,
+//! **in fault order**, as the campaign drivers complete them. Sinks
+//! are what decouple a campaign's memory from its size: a collecting
+//! sink reproduces today's in-memory [`ResilienceProfile`], while the
+//! counting and writer-backed sinks hold O(1) state no matter how many
+//! faults flow through — the bounded-memory half of a million-fault
+//! campaign (source → chunked queue → sink; see
+//! `docs/ARCHITECTURE.md`).
+//!
+//! Every driver guarantees in-order delivery: [`crate::Campaign::run_source`]
+//! completes faults in order outright, and the parallel drivers
+//! ([`crate::CampaignExecutor`]) reorder worker completions through a
+//! bounded buffer before the sink sees them, so a streamed export is
+//! byte-identical to exporting the collected profile.
+
+use std::io;
+
+use crate::export::{outcome_to_csv_row, outcome_to_jsonl, CSV_HEADER};
+use crate::{InjectionOutcome, ProfileSummary, ResilienceProfile};
+
+/// A consumer of campaign outcomes, fed in fault order as injections
+/// complete.
+///
+/// # Examples
+///
+/// A sink that keeps only undetected faults:
+///
+/// ```
+/// use conferr::{InjectionOutcome, OutcomeSink};
+///
+/// #[derive(Default)]
+/// struct Undetected(Vec<String>);
+///
+/// impl OutcomeSink for Undetected {
+///     fn accept(&mut self, outcome: InjectionOutcome) {
+///         if !outcome.result.detected() {
+///             self.0.push(outcome.id);
+///         }
+///     }
+/// }
+/// ```
+pub trait OutcomeSink {
+    /// Receives the next completed outcome. Called exactly once per
+    /// fault, in fault order.
+    fn accept(&mut self, outcome: InjectionOutcome);
+}
+
+impl<S: OutcomeSink + ?Sized> OutcomeSink for &mut S {
+    fn accept(&mut self, outcome: InjectionOutcome) {
+        (**self).accept(outcome);
+    }
+}
+
+impl<S: OutcomeSink + ?Sized> OutcomeSink for Box<S> {
+    fn accept(&mut self, outcome: InjectionOutcome) {
+        (**self).accept(outcome);
+    }
+}
+
+/// Collects every outcome into memory — the sink behind all the
+/// profile-returning entry points, reproducing the pre-streaming
+/// behaviour exactly.
+#[derive(Debug, Default)]
+pub struct CollectingSink {
+    outcomes: Vec<InjectionOutcome>,
+}
+
+impl CollectingSink {
+    /// An empty collector.
+    pub fn new() -> Self {
+        CollectingSink::default()
+    }
+
+    /// An empty collector with room for `n` outcomes.
+    pub fn with_capacity(n: usize) -> Self {
+        CollectingSink {
+            outcomes: Vec::with_capacity(n),
+        }
+    }
+
+    /// Outcomes collected so far.
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// `true` iff nothing has been collected.
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+
+    /// Wraps the collected outcomes into a profile.
+    pub fn into_profile(self, system: impl Into<String>) -> ResilienceProfile {
+        ResilienceProfile::new(system, self.outcomes)
+    }
+
+    /// The collected outcomes, in fault order.
+    pub fn into_outcomes(self) -> Vec<InjectionOutcome> {
+        self.outcomes
+    }
+}
+
+impl OutcomeSink for CollectingSink {
+    fn accept(&mut self, outcome: InjectionOutcome) {
+        self.outcomes.push(outcome);
+    }
+}
+
+/// Folds outcomes into a running [`ProfileSummary`] and drops them —
+/// O(1) memory regardless of campaign size. This is the sink the
+/// million-fault smoke run drains through: the aggregate Table 1
+/// numbers survive, the per-fault records do not.
+#[derive(Debug, Default)]
+pub struct CountingSink {
+    summary: ProfileSummary,
+}
+
+impl CountingSink {
+    /// An empty counter.
+    pub fn new() -> Self {
+        CountingSink::default()
+    }
+
+    /// The counts accumulated so far.
+    pub fn summary(&self) -> ProfileSummary {
+        self.summary
+    }
+}
+
+impl OutcomeSink for CountingSink {
+    fn accept(&mut self, outcome: InjectionOutcome) {
+        self.summary.absorb(&outcome.result);
+    }
+}
+
+/// Streams outcomes as CSV rows (the exact format of
+/// [`crate::profile_to_csv`]) into any writer: the header up front
+/// (so even a zero-fault campaign's export matches
+/// `profile_to_csv(&empty_profile)` byte for byte), then one record
+/// per outcome. O(1) memory; I/O errors are recorded and reported by
+/// [`CsvSink::finish`] rather than panicking mid-campaign.
+#[derive(Debug)]
+pub struct CsvSink<W: io::Write> {
+    system: String,
+    writer: W,
+    error: Option<io::Error>,
+}
+
+impl<W: io::Write> CsvSink<W> {
+    /// A CSV sink labelling every row with `system`. Writes the
+    /// header immediately (an I/O failure surfaces in
+    /// [`CsvSink::finish`]).
+    pub fn new(system: impl Into<String>, writer: W) -> Self {
+        let mut sink = CsvSink {
+            system: system.into(),
+            writer,
+            error: None,
+        };
+        sink.write(CSV_HEADER);
+        sink
+    }
+
+    /// Flushes and returns the writer, surfacing the first I/O error
+    /// hit while streaming.
+    ///
+    /// # Errors
+    ///
+    /// The first write/flush failure, if any occurred.
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+
+    fn write(&mut self, line: &str) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = writeln!(self.writer, "{line}") {
+            self.error = Some(e);
+        }
+    }
+}
+
+impl<W: io::Write> OutcomeSink for CsvSink<W> {
+    fn accept(&mut self, outcome: InjectionOutcome) {
+        let row = outcome_to_csv_row(&self.system, &outcome);
+        self.write(&row);
+    }
+}
+
+/// Streams outcomes as JSON Lines (one [`crate::outcome_to_jsonl`]
+/// object per line) into any writer. O(1) memory; I/O errors surface
+/// via [`JsonlSink::finish`].
+#[derive(Debug)]
+pub struct JsonlSink<W: io::Write> {
+    system: String,
+    writer: W,
+    error: Option<io::Error>,
+}
+
+impl<W: io::Write> JsonlSink<W> {
+    /// A JSONL sink labelling every record with `system`.
+    pub fn new(system: impl Into<String>, writer: W) -> Self {
+        JsonlSink {
+            system: system.into(),
+            writer,
+            error: None,
+        }
+    }
+
+    /// Flushes and returns the writer, surfacing the first I/O error
+    /// hit while streaming.
+    ///
+    /// # Errors
+    ///
+    /// The first write/flush failure, if any occurred.
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+}
+
+impl<W: io::Write> OutcomeSink for JsonlSink<W> {
+    fn accept(&mut self, outcome: InjectionOutcome) {
+        if self.error.is_some() {
+            return;
+        }
+        let line = outcome_to_jsonl(&self.system, &outcome);
+        if let Err(e) = writeln!(self.writer, "{line}") {
+            self.error = Some(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{profile_to_csv, InjectionResult};
+    use conferr_model::{ErrorClass, TypoKind};
+
+    fn outcome(id: &str) -> InjectionOutcome {
+        InjectionOutcome {
+            id: id.to_string(),
+            description: format!("desc {id}"),
+            class: ErrorClass::Typo(TypoKind::Omission),
+            diff: vec![format!("- {id}")].into(),
+            result: InjectionResult::DetectedAtStartup {
+                diagnostic: "bad, line".to_string(),
+            },
+        }
+    }
+
+    #[test]
+    fn collecting_sink_reproduces_a_profile() {
+        let mut sink = CollectingSink::new();
+        sink.accept(outcome("a"));
+        sink.accept(outcome("b"));
+        assert_eq!(sink.len(), 2);
+        assert!(!sink.is_empty());
+        let profile = sink.into_profile("sut");
+        assert_eq!(profile.outcomes()[0].id, "a");
+        assert_eq!(profile.outcomes()[1].id, "b");
+    }
+
+    #[test]
+    fn counting_sink_matches_profile_summary() {
+        let mut counting = CountingSink::new();
+        let mut collecting = CollectingSink::new();
+        for id in ["a", "b", "c"] {
+            counting.accept(outcome(id));
+            collecting.accept(outcome(id));
+        }
+        assert_eq!(counting.summary(), collecting.into_profile("s").summary());
+    }
+
+    #[test]
+    fn csv_sink_streams_byte_identically_to_profile_export() {
+        let outcomes: Vec<InjectionOutcome> =
+            ["a", "b,c", "d\"e"].iter().map(|id| outcome(id)).collect();
+        let mut sink = CsvSink::new("my,sut", Vec::new());
+        for o in &outcomes {
+            sink.accept(o.clone());
+        }
+        let streamed = String::from_utf8(sink.finish().unwrap()).unwrap();
+        let profile = ResilienceProfile::new("my,sut", outcomes);
+        assert_eq!(streamed, profile_to_csv(&profile));
+    }
+
+    #[test]
+    fn empty_csv_sink_matches_empty_profile_export() {
+        let sink = CsvSink::new("s", Vec::new());
+        let streamed = String::from_utf8(sink.finish().unwrap()).unwrap();
+        let empty = ResilienceProfile::new("s", vec![]);
+        assert_eq!(
+            streamed,
+            profile_to_csv(&empty),
+            "header-only, like the profile export"
+        );
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_self_describing_object_per_line() {
+        let mut sink = JsonlSink::new("sut", Vec::new());
+        sink.accept(outcome("a"));
+        sink.accept(outcome("b"));
+        let text = String::from_utf8(sink.finish().unwrap()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            assert!(line.starts_with("{\"system\":\"sut\",\"id\":"), "{line}");
+            assert!(line.ends_with('}'), "{line}");
+            assert_eq!(line.matches('{').count(), line.matches('}').count());
+        }
+        assert_eq!(
+            lines[1].matches("\"id\":\"b\"").count(),
+            1,
+            "records stream in fault order"
+        );
+    }
+
+    #[test]
+    fn writer_errors_surface_in_finish_not_accept() {
+        struct Failing;
+        impl io::Write for Failing {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = CsvSink::new("s", Failing);
+        sink.accept(outcome("a")); // must not panic
+        sink.accept(outcome("b"));
+        assert!(sink.finish().is_err());
+    }
+}

@@ -39,7 +39,7 @@ fn arb_outcome() -> impl Strategy<Value = InjectionOutcome> {
             id,
             description: "generated".into(),
             class,
-            diff: Vec::new(),
+            diff: Vec::new().into(),
             result,
         }
     })

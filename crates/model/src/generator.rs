@@ -106,6 +106,16 @@ pub trait ErrorGenerator: fmt::Debug {
     fn generate(&self, set: &ConfigSet) -> Result<Vec<GeneratedFault>, GenerateError>;
 }
 
+impl<G: ErrorGenerator + ?Sized> ErrorGenerator for Box<G> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn generate(&self, set: &ConfigSet) -> Result<Vec<GeneratedFault>, GenerateError> {
+        (**self).generate(set)
+    }
+}
+
 /// Adapts any [`Template`] into an [`ErrorGenerator`] that never
 /// produces inexpressible faults.
 #[derive(Debug)]

@@ -27,6 +27,11 @@
 //!   the combinators ([`Union`], [`Sample`], [`Limit`], [`Filter`])
 //!   mirror its "complex templates" for composing and subsetting
 //!   fault-scenario sets.
+//! * [`FaultSource`] — the streaming counterpart of a generated fault
+//!   load: a pull-based, chunked producer with lazy combinators
+//!   ([`FaultSourceExt`]), so fault spaces far larger than memory
+//!   (cartesian products, sampled sweeps) can feed a campaign without
+//!   ever being materialized.
 //!
 //! # Examples
 //!
@@ -68,6 +73,7 @@ mod error;
 mod generator;
 mod scenario;
 mod set;
+mod source;
 mod template;
 
 pub use combine::{Filter, Limit, Sample, Union};
@@ -75,6 +81,11 @@ pub use error::ModelError;
 pub use generator::{ErrorGenerator, GenerateError, GeneratedFault, TemplateGenerator};
 pub use scenario::{CognitiveLevel, ErrorClass, FaultScenario, StructuralKind, TreeEdit, TypoKind};
 pub use set::ConfigSet;
+pub use source::{
+    combine_faults, product_eager, sample_keeps, BoxFaultSource, ChainSource, EagerSource,
+    FaultSource, FaultSourceExt, GeneratorSource, IntoFaultSource, ProductSource, SampleSource,
+    TakeSource,
+};
 pub use template::{
     DeleteTemplate, DuplicateTemplate, FileSelector, InsertTemplate, ModifyMutator, ModifyTarget,
     ModifyTemplate, MoveTemplate, SwapTemplate, Template,

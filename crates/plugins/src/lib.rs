@@ -26,11 +26,18 @@
 //!   representation and mapped back through per-system views
 //!   ([`BindView`], [`TinyDnsView`]); faults the target format cannot
 //!   express surface as inexpressible outcomes rather than scenarios.
+//!
+//! For campaigns whose fault space outgrows memory, plugins compose
+//! *lazily* through [`conferr_model::FaultSource`]: [`plugin_source`]
+//! chains plugin loads with per-plugin deferred generation, and
+//! [`double_fault_source`] enumerates the cross-product of two
+//! plugins' faults without ever materializing it.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod dns;
+mod streaming;
 mod structural;
 mod typo;
 mod variations;
@@ -66,6 +73,7 @@ pub use dns::{
     BindView, DnsFaultKind, DnsRecord, DnsRecordSet, DnsSemanticPlugin, DnsView, LocatedRecord,
     RrType, TinyDnsView, ViewError,
 };
+pub use streaming::{double_fault_source, plugin_source};
 pub use structural::StructuralPlugin;
 pub use typo::{typos_of_kind, TokenClass, TypoPlugin, ALL_TYPO_KINDS};
 pub use variations::{VariationClass, VariationPlugin};

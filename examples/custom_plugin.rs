@@ -10,11 +10,18 @@
 //! other's slot (a classic copy-paste slip the built-in plugins do not
 //! model). The plugin enumerates every directive pair within a
 //! section and emits one two-edit scenario per pair.
+//!
+//! The second half of the example shows the same plugin on the
+//! *streaming* pipeline: the plugin becomes a lazy `FaultSource`
+//! (generation deferred to first pull), a seeded `sample` thins the
+//! load, and a `CsvSink` receives each outcome as it completes — the
+//! bounded-memory shape a custom plugin with a huge fault space
+//! should use.
 
-use conferr::Campaign;
+use conferr::{Campaign, CsvSink};
 use conferr_model::{
-    ConfigSet, ErrorClass, ErrorGenerator, FaultScenario, GenerateError, GeneratedFault,
-    StructuralKind, TreeEdit,
+    ConfigSet, ErrorClass, ErrorGenerator, FaultScenario, FaultSourceExt, GenerateError,
+    GeneratedFault, IntoFaultSource, StructuralKind, TreeEdit,
 };
 use conferr_sut::PostgresSim;
 use conferr_tree::NodeQuery;
@@ -101,5 +108,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          constraint and is caught; swapping two unconstrained values is absorbed silently —\n\
          exactly the class of inconsistency error the paper's §2.3 semantic model describes."
     );
+
+    // The streaming shape of the same campaign: the plugin's
+    // generation is deferred to the first chunk pull, a seeded 40%
+    // sample thins the pair space without materializing it, and each
+    // outcome streams into a CSV sink as it completes — memory stays
+    // O(chunk) however many pairs the plugin can enumerate.
+    let mut source = ValueSwapPlugin
+        .into_source(campaign.baseline())
+        .sample(1912, 0.4);
+    let mut sink = CsvSink::new("postgres-sim", Vec::new());
+    campaign.run_source(&mut source, &mut sink)?;
+    let csv = String::from_utf8(sink.finish()?)?;
+    println!();
+    println!(
+        "streamed a sampled subset into CSV ({} rows); first lines:",
+        csv.lines().count().saturating_sub(1)
+    );
+    for line in csv.lines().take(4) {
+        println!("  {line}");
+    }
     Ok(())
 }

@@ -39,7 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("example silently-absorbed mistakes:");
     for outcome in profile.undetected().take(8) {
         println!("  - {} ({})", outcome.description, outcome.class);
-        for line in &outcome.diff {
+        for line in outcome.diff.iter() {
             println!("      {line}");
         }
     }

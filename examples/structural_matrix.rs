@@ -12,7 +12,7 @@
 //! tolerates.
 
 use conferr::{sut_factory, CampaignBatch, CampaignExecutor, ExecutorCampaign, InjectionResult};
-use conferr_model::ErrorGenerator;
+use conferr_model::IntoFaultSource;
 use conferr_plugins::{VariationClass, VariationPlugin};
 use conferr_sut::{ApacheSim, MySqlSim, PostgresSim};
 
@@ -21,7 +21,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // many-small-campaign workload the persistent executor exists
     // for. All applicable cells go into ONE batch: a single
     // campaign-tagged fault queue, workers stealing across systems,
-    // each system's engine shared by its five cells.
+    // each system's engine shared by its five cells. Cells are pushed
+    // as lazy *sources*, so each cell's variants are generated only
+    // when the queue reaches it — generation overlaps injection.
     let executor = CampaignExecutor::with_default_threads();
     let systems = [
         ("MySQL", ExecutorCampaign::new(sut_factory(MySqlSim::new))?),
@@ -48,13 +50,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 row.push(None);
                 continue;
             }
+            // Every applicable cell is pushed lazily; classes that
+            // turn out to generate no variants come back as empty
+            // profiles and render as n/a below — no eager probe.
             let plugin = VariationPlugin::new(class, 10, 1912);
-            let faults = plugin.generate(campaign.baseline())?;
-            if faults.is_empty() {
-                row.push(None);
-                continue;
-            }
-            batch.push(campaign, faults);
+            batch.push_source(campaign, Box::new(plugin.into_source(campaign.baseline())));
             row.push(Some(scheduled));
             scheduled += 1;
         }
@@ -72,6 +72,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .into_iter()
             .map(|cell| match cell {
                 None => "n/a".to_string(),
+                Some(idx) if profiles[idx].is_empty() => "n/a".to_string(),
                 Some(idx) => {
                     let rejected = profiles[idx]
                         .outcomes()

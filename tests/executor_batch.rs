@@ -151,6 +151,40 @@ fn single_thread_executor_takes_serial_fast_path_over_batches() {
     }
 }
 
+/// Chunked stealing is a pure scheduling knob: any chunk size yields
+/// the same profiles, and on a 1-thread executor (the serial fast
+/// path, which never touches the queue) the setting is inert.
+#[test]
+fn chunk_size_is_result_neutral_over_batches() {
+    let cells = table2_cells();
+    let reference: Vec<ResilienceProfile> = {
+        let executor = CampaignExecutor::new(1);
+        let mut batch = CampaignBatch::new();
+        for (campaign, faults) in &cells {
+            batch.push(campaign, faults.clone());
+        }
+        executor.run_batch(batch).expect("reference run")
+    };
+    for threads in [1, 3] {
+        for chunk in [1, 5, 32] {
+            let executor = CampaignExecutor::new(threads);
+            executor.set_chunk_size(chunk);
+            let mut batch = CampaignBatch::new();
+            for (campaign, faults) in &cells {
+                batch.push(campaign, faults.clone());
+            }
+            let profiles = executor.run_batch(batch).expect("batch run");
+            for (a, b) in profiles.iter().zip(&reference) {
+                assert_eq!(
+                    profile_to_json(a),
+                    profile_to_json(b),
+                    "threads = {threads}, chunk = {chunk}"
+                );
+            }
+        }
+    }
+}
+
 /// A cross-system batch (the Table 1 protocol against all three
 /// systems through one queue) matches per-system serial runs.
 #[test]
