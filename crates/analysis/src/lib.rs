@@ -1,0 +1,54 @@
+//! Static fault-space analysis for ConfErr.
+//!
+//! # Architecture
+//!
+//! This crate is the *static analysis layer* of the workspace DAG
+//! `tree → {keyboard, formats, model, analysis} → {plugins, sut} →
+//! core → bench`: everything a simulated server "knows" about its
+//! configuration language — valid directive names, value domains,
+//! required arguments, cross-directive constraints, which directives
+//! each functional test reads — extracted into declarative
+//! [`schema::DirectiveSchema`] tables plus the *exact* decision
+//! functions the simulators themselves call. Because simulator and
+//! analyzer share one implementation, a static verdict can never
+//! drift from the dynamic outcome it predicts.
+//!
+//! Three consumers build on the tables:
+//!
+//! * [`lint::FaultLinter`] classifies a prepared fault **before any
+//!   SUT starts** — apply the edits, serialize with the real format,
+//!   re-parse with the real parser, validate the re-parsed tree with
+//!   the extracted models — yielding a [`verdict::StaticVerdict`]
+//!   and a per-file [`touch::FileTouch`] set.
+//! * [`prepass::LintedSource`] streams that classification over any
+//!   `conferr_model::FaultSource` without materializing the load.
+//! * The injection engine (in `conferr` core) uses the touch sets to
+//!   skip functional tests whose declared read-set is provably
+//!   disjoint from an edit — test-impact pruning, byte-identical to
+//!   the unpruned reference path.
+//!
+//! The soundness contract is asymmetric by design: `WillFailParse`
+//! and `WillFailValidate` promise a failing dynamic start,
+//! `SemanticallySilent` promises an undetected, warning-free run
+//! (relative to a healthy baseline), and `Unknown` promises nothing.
+//! See `StaticVerdict` for the precise statement.
+
+pub mod apache;
+pub mod lint;
+pub mod mysql;
+pub mod postgres;
+pub mod prepass;
+pub mod schema;
+pub mod tinydns;
+pub mod touch;
+pub mod value;
+pub mod verdict;
+
+pub use lint::{FaultLinter, FileSurvey, Lint};
+pub use prepass::LintedSource;
+pub use schema::{
+    schema_for, Dialect, DirectiveSchema, FileSchema, ReadScope, TestImpact, APACHE_SCHEMA,
+    APPSERVER_SCHEMA, BIND_SCHEMA, DJBDNS_SCHEMA, MYSQL_SCHEMA, POSTGRES_SCHEMA,
+};
+pub use touch::{scope_intersects, test_is_impacted, whole_config_touch, FileTouch, TouchMap};
+pub use verdict::{StaticVerdict, ValidationClass, Violation};

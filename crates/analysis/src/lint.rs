@@ -1,0 +1,543 @@
+//! The fault linter: static verdicts and touch maps for prepared
+//! faults, plus whole-file surveys for the `conferr-lint` CLI.
+//!
+//! [`FaultLinter::lint`] runs the *round-trip* pipeline on a fault's
+//! edit list: apply to the baseline, serialize the edited file with
+//! the real format, re-parse with the real parser, then evaluate the
+//! extracted dialect model against the baseline fingerprint. Because
+//! every stage reuses the exact code the simulator runs at startup,
+//! `WillFailParse`/`WillFailValidate` verdicts are sound by
+//! construction — the dynamic start cannot disagree.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, LazyLock, Mutex};
+
+use conferr_formats::{format_by_name, ConfigFormat};
+use conferr_model::{ConfigSet, ErrorClass, FaultScenario, TreeEdit, TypoKind};
+use conferr_tree::Node;
+
+use crate::schema::{Dialect, DirectiveSchema};
+use crate::touch::{touch_of_edits, FileTouch, TouchMap};
+use crate::verdict::StaticVerdict;
+
+/// Memo entries are dropped wholesale past this size to bound memory
+/// on unbounded streaming loads.
+const MEMO_CAP: usize = 8192;
+
+static EMPTY_TOUCH: LazyLock<Arc<TouchMap>> = LazyLock::new(|| Arc::new(TouchMap::new()));
+
+/// The linter's answer for one fault: a verdict about the start
+/// outcome and a touch map bounding what the edit can affect.
+#[derive(Debug, Clone)]
+pub struct Lint {
+    /// Predicted start behaviour.
+    pub verdict: StaticVerdict,
+    /// Files/directives the fault can affect (shared: many callers
+    /// hold the same lint).
+    pub touch: Arc<TouchMap>,
+}
+
+impl Lint {
+    /// The maximally-conservative lint: no prediction, everything in
+    /// `schema` potentially touched.
+    pub fn unknown(schema: &DirectiveSchema) -> Lint {
+        Lint {
+            verdict: StaticVerdict::Unknown,
+            touch: Arc::new(crate::touch::whole_config_touch(schema)),
+        }
+    }
+
+    /// The lint of an empty edit list: byte-identical to the
+    /// baseline, touching nothing.
+    pub fn identity() -> Lint {
+        Lint {
+            verdict: StaticVerdict::SemanticallySilent,
+            touch: Arc::clone(&EMPTY_TOUCH),
+        }
+    }
+}
+
+/// Pre-flight linter for one system's fault space.
+///
+/// Construction captures the baseline [`ConfigSet`] and computes each
+/// modeled file's baseline fingerprint through the same
+/// serialize→re-parse round trip later applied to edited trees, so
+/// fingerprint comparisons never see formatting noise. The linter is
+/// `Sync`; campaigns share one across worker threads.
+pub struct FaultLinter {
+    schema: &'static DirectiveSchema,
+    baseline: ConfigSet,
+    formats: BTreeMap<&'static str, Box<dyn ConfigFormat>>,
+    baseline_fps: BTreeMap<&'static str, Option<String>>,
+    memo: Mutex<HashMap<Vec<TreeEdit>, Lint>>,
+}
+
+impl std::fmt::Debug for FaultLinter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultLinter")
+            .field("system", &self.schema.system)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FaultLinter {
+    /// Builds a linter for `schema` over the given baseline.
+    ///
+    /// # Errors
+    ///
+    /// When a schema file names a format the registry does not
+    /// provide (a schema bug, not a user error).
+    pub fn new(schema: &'static DirectiveSchema, baseline: ConfigSet) -> Result<Self, String> {
+        let mut formats = BTreeMap::new();
+        for fs in schema.files {
+            let format = format_by_name(fs.format)
+                .ok_or_else(|| format!("{}: unknown format '{}'", schema.system, fs.format))?;
+            formats.insert(fs.file, format);
+        }
+        let mut baseline_fps = BTreeMap::new();
+        for fs in schema.files {
+            let fp = baseline.get(fs.file).and_then(|tree| {
+                let format = formats.get(fs.file)?;
+                let text = format.serialize(tree).ok()?;
+                let reparsed = format.parse(&text).ok()?;
+                dialect_fingerprint(fs.dialect, reparsed.root())
+            });
+            baseline_fps.insert(fs.file, fp);
+        }
+        Ok(FaultLinter {
+            schema,
+            baseline,
+            formats,
+            baseline_fps,
+            memo: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The schema this linter enforces.
+    pub fn schema(&self) -> &'static DirectiveSchema {
+        self.schema
+    }
+
+    /// Lints a fault's edit list. Memoized: repeated loads (chunk
+    /// replays, multi-thread identity checks) hit the cache.
+    pub fn lint(&self, edits: &[TreeEdit]) -> Lint {
+        if edits.is_empty() {
+            return Lint::identity();
+        }
+        if let Some(hit) = self.memo.lock().expect("linter memo poisoned").get(edits) {
+            return hit.clone();
+        }
+        let lint = self.lint_uncached(edits);
+        let mut memo = self.memo.lock().expect("linter memo poisoned");
+        if memo.len() >= MEMO_CAP {
+            memo.clear();
+        }
+        memo.insert(edits.to_vec(), lint.clone());
+        lint
+    }
+
+    fn lint_uncached(&self, edits: &[TreeEdit]) -> Lint {
+        if edits.len() > 1 {
+            // Compound faults: per-edit path refinement against the
+            // baseline is unsound (later edits see shifted paths), so
+            // bound them by their edited files only.
+            let touch: TouchMap = edits
+                .iter()
+                .map(|e| (e.file().to_string(), FileTouch::WholeFile))
+                .collect();
+            return Lint {
+                verdict: StaticVerdict::Unknown,
+                touch: Arc::new(touch),
+            };
+        }
+
+        let probe = FaultScenario {
+            id: String::new(),
+            description: String::new(),
+            class: ErrorClass::Typo(TypoKind::Substitution),
+            edits: edits.to_vec(),
+        };
+        let Ok(edited) = probe.apply(&self.baseline) else {
+            // Inapplicable edits never reach injection; stay silent
+            // about them but bound the files they name.
+            let touch: TouchMap = edits
+                .iter()
+                .map(|e| (e.file().to_string(), FileTouch::WholeFile))
+                .collect();
+            return Lint {
+                verdict: StaticVerdict::Unknown,
+                touch: Arc::new(touch),
+            };
+        };
+
+        let file = edits[0].file();
+        let refined = touch_of_edits(self.schema, &self.baseline, edits);
+        let (Some(fs), Some(format)) = (self.schema.file(file), self.formats.get(file)) else {
+            return Lint {
+                verdict: StaticVerdict::Unknown,
+                touch: Arc::new(refined),
+            };
+        };
+        let Some(tree) = edited.get(file) else {
+            return Lint {
+                verdict: StaticVerdict::Unknown,
+                touch: Arc::new(refined),
+            };
+        };
+
+        // Round trip: the simulator starts from serialized bytes, so
+        // the verdict must be computed on what those bytes re-parse
+        // to, not on the in-memory edited tree.
+        let Ok(text) = format.serialize(tree) else {
+            // Inexpressible under the format; the campaign reports it
+            // without starting the SUT.
+            return Lint {
+                verdict: StaticVerdict::Unknown,
+                touch: Arc::new(refined),
+            };
+        };
+        let Ok(reparsed) = format.parse(&text) else {
+            return Lint {
+                verdict: StaticVerdict::WillFailParse,
+                touch: Arc::new(whole_file_touch(file)),
+            };
+        };
+
+        if !fs.dialect.is_fully_modeled() {
+            return Lint {
+                verdict: StaticVerdict::Unknown,
+                touch: Arc::new(refined),
+            };
+        }
+        match dialect_check(fs.dialect, reparsed.root()) {
+            Err(violation) => Lint {
+                verdict: violation.into_verdict(),
+                touch: Arc::new(whole_file_touch(file)),
+            },
+            Ok(fp) => {
+                let silent = self
+                    .baseline_fps
+                    .get(file)
+                    .and_then(Option::as_ref)
+                    .is_some_and(|base| *base == fp);
+                Lint {
+                    verdict: if silent {
+                        StaticVerdict::SemanticallySilent
+                    } else {
+                        StaticVerdict::Unknown
+                    },
+                    touch: Arc::new(refined),
+                }
+            }
+        }
+    }
+}
+
+fn whole_file_touch(file: &str) -> TouchMap {
+    let mut map = TouchMap::new();
+    map.insert(file.to_string(), FileTouch::WholeFile);
+    map
+}
+
+/// Runs the dialect's validator and returns the semantic fingerprint.
+fn dialect_check(dialect: Dialect, root: &Node) -> Result<String, crate::verdict::Violation> {
+    match dialect {
+        Dialect::MySqlIni => crate::mysql::fingerprint(root),
+        Dialect::PostgresKv => crate::postgres::fingerprint(root),
+        Dialect::ApacheHttpd => crate::apache::fingerprint(root),
+        Dialect::TinyDns => crate::tinydns::fingerprint(root),
+        Dialect::BindZone | Dialect::AppServerXml => Ok(String::new()),
+    }
+}
+
+fn dialect_fingerprint(dialect: Dialect, root: &Node) -> Option<String> {
+    if !dialect.is_fully_modeled() {
+        return None;
+    }
+    dialect_check(dialect, root).ok()
+}
+
+/// Per-file node statistics for the `conferr-lint` CLI: how much of a
+/// real configuration the dialect model understands, and any outright
+/// violations it detects.
+#[derive(Debug, Clone)]
+pub struct FileSurvey {
+    /// File name the survey ran over.
+    pub file: String,
+    /// Nodes surveyed (directives, records, data lines).
+    pub total: usize,
+    /// Nodes whose semantics the dialect model captures.
+    pub known: usize,
+    /// Violations the static model detects in the file as-is.
+    pub violations: Vec<crate::verdict::Violation>,
+}
+
+impl FileSurvey {
+    /// Fraction of surveyed nodes the model cannot classify.
+    pub fn unknown_rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                (self.total - self.known) as f64 / self.total as f64
+            }
+        }
+    }
+}
+
+/// Surveys one configuration file against a system's schema.
+///
+/// # Errors
+///
+/// When the schema does not declare `file_name`, the format registry
+/// lacks the declared format, or the file does not parse.
+pub fn survey(
+    schema: &DirectiveSchema,
+    file_name: &str,
+    contents: &str,
+) -> Result<FileSurvey, String> {
+    let fs = schema
+        .file(file_name)
+        .ok_or_else(|| format!("{}: schema declares no file '{file_name}'", schema.system))?;
+    let format = format_by_name(fs.format)
+        .ok_or_else(|| format!("{}: unknown format '{}'", schema.system, fs.format))?;
+    let tree = format
+        .parse(contents)
+        .map_err(|e| format!("{file_name}: parse error: {e}"))?;
+
+    let mut total = 0usize;
+    let mut known = 0usize;
+    let mut violations = Vec::new();
+    match fs.dialect {
+        Dialect::MySqlIni => {
+            for section in tree.root().children() {
+                if section.kind() != "section" {
+                    continue;
+                }
+                let in_server = section.attr("name") == Some("mysqld");
+                for node in section.children() {
+                    if node.kind() != "directive" {
+                        continue;
+                    }
+                    total += 1;
+                    if !in_server {
+                        // Non-[mysqld] sections are inert to the
+                        // server: fully understood by the model.
+                        known += 1;
+                        continue;
+                    }
+                    let raw = node.attr("name").unwrap_or("");
+                    let name = crate::mysql::normalize_name(raw);
+                    if crate::value::resolve_prefix(
+                        crate::mysql::SERVER_REGISTRY.iter().map(|s| s.name),
+                        &name,
+                    )
+                    .is_ok()
+                    {
+                        known += 1;
+                    }
+                }
+            }
+            if let Err(v) = crate::mysql::fingerprint(tree.root()) {
+                violations.push(v);
+            }
+        }
+        Dialect::PostgresKv => {
+            for node in tree.root().children() {
+                if node.kind() != "directive" {
+                    continue;
+                }
+                total += 1;
+                let name = crate::postgres::canonical_name(node.attr("name").unwrap_or(""));
+                if crate::postgres::REGISTRY.iter().any(|s| s.name == name) {
+                    known += 1;
+                }
+            }
+            if let Err(v) = crate::postgres::fingerprint(tree.root()) {
+                violations.push(v);
+            }
+        }
+        Dialect::ApacheHttpd => {
+            survey_apache_nodes(tree.root(), &mut total, &mut known);
+            if let Err(v) = crate::apache::fingerprint(tree.root()) {
+                violations.push(v);
+            }
+        }
+        Dialect::TinyDns => {
+            for node in tree.root().children() {
+                if node.kind() != "line" {
+                    continue;
+                }
+                total += 1;
+                let ty = node.attr("type").unwrap_or("");
+                if crate::tinydns::IP_CHECKED_TYPES.contains(&ty)
+                    || crate::tinydns::UNCHECKED_TYPES.contains(&ty)
+                {
+                    known += 1;
+                }
+            }
+            if let Err(v) = crate::tinydns::check_file(tree.root()) {
+                violations.push(v);
+            }
+        }
+        Dialect::BindZone | Dialect::AppServerXml => {
+            // No dialect model: every substantive node is unknown.
+            total = count_substantive(tree.root());
+        }
+    }
+    Ok(FileSurvey {
+        file: file_name.to_string(),
+        total,
+        known,
+        violations,
+    })
+}
+
+fn survey_apache_nodes(node: &Node, total: &mut usize, known: &mut usize) {
+    for child in node.children() {
+        match child.kind() {
+            "directive" => {
+                *total += 1;
+                let name = crate::apache::canonical_name(child.attr("name").unwrap_or(""));
+                if crate::apache::rule_for(&name).is_some() {
+                    *known += 1;
+                }
+            }
+            "section" => {
+                *total += 1;
+                let name = child.attr("name").unwrap_or("");
+                if crate::apache::SECTIONS
+                    .iter()
+                    .any(|s| s.eq_ignore_ascii_case(name))
+                {
+                    *known += 1;
+                }
+                survey_apache_nodes(child, total, known);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn count_substantive(node: &Node) -> usize {
+    node.children()
+        .iter()
+        .map(|c| {
+            let own = usize::from(!matches!(c.kind(), "comment" | "blank"));
+            own + count_substantive(c)
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{schema_for, MYSQL_SCHEMA};
+    use conferr_formats::IniFormat;
+    use conferr_tree::TreePath;
+
+    fn mysql_baseline() -> ConfigSet {
+        let text = "[mysqld]\nport=3306\nsort_buffer_size=2097152\n# notes\n";
+        let tree = IniFormat::new().parse(text).expect("fixture parses");
+        let mut set = ConfigSet::new();
+        set.insert("my.cnf", tree);
+        set
+    }
+
+    fn linter() -> FaultLinter {
+        FaultLinter::new(&MYSQL_SCHEMA, mysql_baseline()).expect("formats resolve")
+    }
+
+    #[test]
+    fn unknown_variable_is_will_fail_validate() {
+        let l = linter();
+        let lint = l.lint(&[TreeEdit::SetAttr {
+            file: "my.cnf".into(),
+            path: TreePath::root().child(0).child(0),
+            key: "name".into(),
+            value: "prot".into(),
+        }]);
+        assert!(matches!(
+            lint.verdict,
+            StaticVerdict::WillFailValidate { ref directive, .. } if directive == "prot"
+        ));
+        assert_eq!(lint.touch.get("my.cnf"), Some(&FileTouch::WholeFile));
+    }
+
+    #[test]
+    fn comment_churn_is_semantically_silent() {
+        let l = linter();
+        let lint = l.lint(&[TreeEdit::SetText {
+            file: "my.cnf".into(),
+            path: TreePath::root().child(0).child(2),
+            text: Some("# different notes".into()),
+        }]);
+        assert_eq!(lint.verdict, StaticVerdict::SemanticallySilent);
+    }
+
+    #[test]
+    fn value_change_within_registry_is_unknown_with_refined_touch() {
+        let l = linter();
+        let lint = l.lint(&[TreeEdit::SetText {
+            file: "my.cnf".into(),
+            path: TreePath::root().child(0).child(1),
+            text: Some("4194304".into()),
+        }]);
+        assert_eq!(lint.verdict, StaticVerdict::Unknown);
+        let FileTouch::Directives(touched) = lint.touch.get("my.cnf").expect("touched") else {
+            panic!("expected refined touch");
+        };
+        assert!(touched.contains("sort_buffer_size"));
+    }
+
+    #[test]
+    fn empty_and_compound_edit_lists_take_the_cheap_paths() {
+        let l = linter();
+        let lint = l.lint(&[]);
+        assert_eq!(lint.verdict, StaticVerdict::SemanticallySilent);
+        assert!(lint.touch.is_empty());
+
+        let e = TreeEdit::Delete {
+            file: "my.cnf".into(),
+            path: TreePath::root().child(0).child(2),
+        };
+        let lint = l.lint(&[e.clone(), e]);
+        assert_eq!(lint.verdict, StaticVerdict::Unknown);
+        assert_eq!(lint.touch.get("my.cnf"), Some(&FileTouch::WholeFile));
+    }
+
+    #[test]
+    fn lint_results_are_memoized() {
+        let l = linter();
+        let edits = vec![TreeEdit::Delete {
+            file: "my.cnf".into(),
+            path: TreePath::root().child(0).child(2),
+        }];
+        let a = l.lint(&edits);
+        let b = l.lint(&edits);
+        assert!(
+            Arc::ptr_eq(&a.touch, &b.touch),
+            "second call must hit the memo"
+        );
+    }
+
+    #[test]
+    fn survey_rates_default_like_configs() {
+        let schema = schema_for("mysql").unwrap();
+        let s = survey(
+            schema,
+            "my.cnf",
+            "[client]\nport=3306\n[mysqld]\nport=3306\n",
+        )
+        .unwrap();
+        assert_eq!((s.total, s.known), (2, 2));
+        assert!(s.violations.is_empty());
+        assert!(s.unknown_rate().abs() < f64::EPSILON);
+
+        let s = survey(schema, "my.cnf", "[mysqld]\nnot_a_variable=1\n").unwrap();
+        assert_eq!((s.total, s.known), (1, 0));
+        assert_eq!(s.violations.len(), 1);
+        assert!((s.unknown_rate() - 1.0).abs() < f64::EPSILON);
+    }
+}

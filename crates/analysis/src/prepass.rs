@@ -1,0 +1,145 @@
+//! Streaming pre-pass: lint faults as they flow out of any
+//! [`FaultSource`], without materializing the load.
+//!
+//! [`LintedSource`] is a transparent combinator — it yields exactly
+//! the faults of its inner source, in order, with the same size hint
+//! — that invokes a [`FaultLinter`] on every concrete scenario and
+//! hands each `(fault, lint)` pair to an observer callback. Campaigns
+//! use it to annotate outcomes; standalone tools use it to survey a
+//! fault space's static verdict distribution before any SUT starts.
+
+use std::sync::Arc;
+
+use conferr_model::{FaultSource, GenerateError, GeneratedFault};
+
+use crate::lint::{FaultLinter, Lint};
+
+/// A [`FaultSource`] adapter that lints every scenario it yields.
+///
+/// Inexpressible faults have no edit list to lint; the observer sees
+/// them with the maximally-conservative [`Lint::unknown`] so counts
+/// stay in one-to-one correspondence with the stream.
+pub struct LintedSource<S, F> {
+    inner: S,
+    linter: Arc<FaultLinter>,
+    observer: F,
+}
+
+impl<S, F> std::fmt::Debug for LintedSource<S, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LintedSource")
+            .field("linter", &self.linter)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<S, F> LintedSource<S, F>
+where
+    S: FaultSource,
+    F: FnMut(&GeneratedFault, &Lint),
+{
+    /// Wraps `inner`, reporting each yielded fault's lint to
+    /// `observer`.
+    pub fn new(inner: S, linter: Arc<FaultLinter>, observer: F) -> Self {
+        LintedSource {
+            inner,
+            linter,
+            observer,
+        }
+    }
+
+    /// Unwraps the adapter, returning the inner source.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S, F> FaultSource for LintedSource<S, F>
+where
+    S: FaultSource,
+    F: FnMut(&GeneratedFault, &Lint),
+{
+    fn next_chunk(
+        &mut self,
+        max: usize,
+        out: &mut Vec<GeneratedFault>,
+    ) -> Result<usize, GenerateError> {
+        let before = out.len();
+        let n = self.inner.next_chunk(max, out)?;
+        for fault in &out[before..] {
+            let lint = match fault {
+                GeneratedFault::Scenario(s) => self.linter.lint(&s.edits),
+                GeneratedFault::Inexpressible { .. } => Lint::unknown(self.linter.schema()),
+            };
+            (self.observer)(fault, &lint);
+        }
+        Ok(n)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::MYSQL_SCHEMA;
+    use crate::verdict::StaticVerdict;
+    use conferr_formats::{ConfigFormat, IniFormat};
+    use conferr_model::{ConfigSet, EagerSource, ErrorClass, FaultScenario, TreeEdit, TypoKind};
+    use conferr_tree::TreePath;
+
+    #[test]
+    fn linted_source_is_transparent_and_observes_every_fault() {
+        let tree = IniFormat::new()
+            .parse("[mysqld]\nport=3306\n# note\n")
+            .expect("fixture parses");
+        let mut baseline = ConfigSet::new();
+        baseline.insert("my.cnf", tree);
+        let linter = Arc::new(FaultLinter::new(&MYSQL_SCHEMA, baseline).expect("linter builds"));
+
+        let faults = vec![
+            GeneratedFault::Scenario(FaultScenario {
+                id: "f1".into(),
+                description: "comment churn".into(),
+                class: ErrorClass::Typo(TypoKind::Substitution),
+                edits: vec![TreeEdit::SetText {
+                    file: "my.cnf".into(),
+                    path: TreePath::root().child(0).child(1),
+                    text: Some("# other note".into()),
+                }],
+            }),
+            GeneratedFault::Inexpressible {
+                id: "f2".into(),
+                description: "cannot express".into(),
+                class: ErrorClass::Typo(TypoKind::Substitution),
+                reason: "no representation".into(),
+            },
+        ];
+
+        let mut seen = Vec::new();
+        let mut source = LintedSource::new(EagerSource::new(faults), linter, |f, lint| {
+            let id = match f {
+                GeneratedFault::Scenario(s) => s.id.clone(),
+                GeneratedFault::Inexpressible { id, .. } => id.clone(),
+            };
+            seen.push((id, lint.verdict.clone()));
+        });
+
+        assert_eq!(source.size_hint(), (2, Some(2)));
+        let mut out = Vec::new();
+        let n = source.next_chunk(16, &mut out).expect("chunk");
+        assert_eq!(source.size_hint(), (0, Some(0)));
+        drop(source);
+        assert_eq!(n, 2);
+        assert_eq!(out.len(), 2);
+        assert_eq!(
+            seen,
+            vec![
+                ("f1".into(), StaticVerdict::SemanticallySilent),
+                ("f2".into(), StaticVerdict::Unknown),
+            ]
+        );
+    }
+}

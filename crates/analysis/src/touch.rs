@@ -1,0 +1,375 @@
+//! Touch maps: which directives of which files a fault can affect.
+//!
+//! Test-impact pruning skips a functional test when its declared
+//! read-set ([`crate::schema::TestImpact`]) is disjoint from the
+//! fault's *touch map* — the statically-derived overestimate of what
+//! the edit can change. Soundness runs in one direction only: a touch
+//! map may be **wider** than the true effect (costing a wasted test
+//! run) but must never be narrower (which would skip a test whose
+//! outcome the edit can change). Whenever a refinement rule cannot
+//! prove containment, it falls back to [`FileTouch::WholeFile`].
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use conferr_model::{ConfigSet, TreeEdit};
+use conferr_tree::{ConfTree, Node, TreePath};
+
+use crate::schema::{Dialect, DirectiveSchema, ReadScope, TestImpact};
+
+/// The statically-derived overestimate of what an edit can change in
+/// one file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FileTouch {
+    /// The edit may change anything in the file.
+    WholeFile,
+    /// The edit can only affect these directives (canonical names).
+    /// An empty set means the file's bytes changed but no modeled
+    /// directive did (comment or whitespace churn).
+    Directives(BTreeSet<String>),
+}
+
+impl FileTouch {
+    /// Widens `self` to also cover `other`.
+    pub fn merge(&mut self, other: FileTouch) {
+        match (&mut *self, other) {
+            (FileTouch::WholeFile, _) => {}
+            (_, FileTouch::WholeFile) => *self = FileTouch::WholeFile,
+            (FileTouch::Directives(mine), FileTouch::Directives(theirs)) => {
+                mine.extend(theirs);
+            }
+        }
+    }
+}
+
+/// Per-file touches of one fault. Files absent from the map are
+/// byte-identical to the baseline.
+pub type TouchMap = BTreeMap<String, FileTouch>;
+
+/// Whether a test's declared read scope can observe a file's touch.
+///
+/// A [`ReadScope::WholeFile`] scope observes *any* touch of that file
+/// (even pure comment churn changes the bytes a whole-file reader
+/// sees), while a directive scope observes a touch only when the
+/// canonical-name sets intersect.
+pub fn scope_intersects(scope: &ReadScope, touch: &FileTouch) -> bool {
+    match (scope, touch) {
+        (ReadScope::WholeFile, _) => true,
+        (ReadScope::Directives(_), FileTouch::WholeFile) => true,
+        (ReadScope::Directives(reads), FileTouch::Directives(touched)) => {
+            reads.iter().any(|r| touched.contains(*r))
+        }
+    }
+}
+
+/// Whether a fault with touch map `touch` can change the outcome of
+/// `test`. A test is impacted when any of its declared per-file read
+/// scopes intersects the corresponding file's touch.
+pub fn test_is_impacted(test: &TestImpact, touch: &TouchMap) -> bool {
+    test.reads
+        .iter()
+        .any(|(file, scope)| touch.get(*file).is_some_and(|t| scope_intersects(scope, t)))
+}
+
+/// A touch map claiming every file of `schema` may have changed — the
+/// safe answer when nothing sharper can be proven.
+pub fn whole_config_touch(schema: &DirectiveSchema) -> TouchMap {
+    schema
+        .files
+        .iter()
+        .map(|f| (f.file.to_string(), FileTouch::WholeFile))
+        .collect()
+}
+
+/// Computes the touch map of a fault's edit list against the baseline
+/// configuration, refining per-directive where the dialect allows it.
+pub fn touch_of_edits(
+    schema: &DirectiveSchema,
+    baseline: &ConfigSet,
+    edits: &[TreeEdit],
+) -> TouchMap {
+    let mut map = TouchMap::new();
+    for edit in edits {
+        let file = edit.file();
+        let touch = match schema.file(file) {
+            Some(fs) if fs.dialect.refines_touch_sets() => match baseline.get(file) {
+                Some(tree) => refine_edit(fs.dialect, tree, edit),
+                None => FileTouch::WholeFile,
+            },
+            _ => FileTouch::WholeFile,
+        };
+        match map.entry(file.to_string()) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(touch);
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => e.get_mut().merge(touch),
+        }
+    }
+    map
+}
+
+/// Canonical directive names a raw spelling can resolve to under the
+/// dialect's name resolution (several for ambiguous MySQL prefixes).
+fn canonical(dialect: Dialect, raw: &str) -> Vec<String> {
+    match dialect {
+        Dialect::MySqlIni => crate::mysql::canonical_names(raw),
+        Dialect::PostgresKv => vec![crate::postgres::canonical_name(raw)],
+        Dialect::ApacheHttpd => vec![crate::apache::canonical_name(raw)],
+        _ => vec![raw.to_string()],
+    }
+}
+
+/// A directive name that serializes onto a single line without
+/// disturbing surrounding structure in any of the refinable formats.
+fn is_safe_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.'))
+}
+
+fn has_line_break(text: &str) -> bool {
+    text.contains('\n') || text.contains('\r')
+}
+
+/// Comment text that every refinable format re-parses as a comment.
+fn is_inert_comment(text: &str) -> bool {
+    !has_line_break(text) && text.starts_with('#')
+}
+
+fn is_inert_blank(text: &str) -> bool {
+    !has_line_break(text) && text.trim().is_empty()
+}
+
+/// The directive names affected by touching `node` in place, or
+/// `None` when the node's effect cannot be bounded (sections, nodes
+/// with children, comments whose text would not re-parse as inert).
+fn node_touch(dialect: Dialect, node: &Node) -> Option<BTreeSet<String>> {
+    if !node.children().is_empty() {
+        return None;
+    }
+    match node.kind() {
+        "directive" => node
+            .attr("name")
+            .map(|n| canonical(dialect, n).into_iter().collect()),
+        "comment" => is_inert_comment(node.text().unwrap_or("#")).then(BTreeSet::new),
+        "blank" => is_inert_blank(node.text().unwrap_or("")).then(BTreeSet::new),
+        _ => None,
+    }
+}
+
+fn touch_at(dialect: Dialect, tree: &ConfTree, path: &TreePath) -> FileTouch {
+    match tree.node_at(path) {
+        Ok(node) => match node_touch(dialect, node) {
+            Some(set) => FileTouch::Directives(set),
+            None => FileTouch::WholeFile,
+        },
+        Err(_) => FileTouch::WholeFile,
+    }
+}
+
+fn refine_edit(dialect: Dialect, tree: &ConfTree, edit: &TreeEdit) -> FileTouch {
+    match edit {
+        TreeEdit::Delete { path, .. } | TreeEdit::DuplicateAfter { path, .. } => {
+            touch_at(dialect, tree, path)
+        }
+        TreeEdit::Move { from, .. } => touch_at(dialect, tree, from),
+        TreeEdit::SetText { path, text, .. } => {
+            let new_text = text.as_deref().unwrap_or("");
+            if has_line_break(new_text) {
+                return FileTouch::WholeFile;
+            }
+            match tree.node_at(path) {
+                Ok(node) if node.children().is_empty() => match node.kind() {
+                    // The name stays on the line, so the re-parsed
+                    // node keeps its identity whatever the new value.
+                    "directive" => touch_at(dialect, tree, path),
+                    "comment" if is_inert_comment(new_text) => {
+                        FileTouch::Directives(BTreeSet::new())
+                    }
+                    "blank" if is_inert_blank(new_text) => FileTouch::Directives(BTreeSet::new()),
+                    _ => FileTouch::WholeFile,
+                },
+                _ => FileTouch::WholeFile,
+            }
+        }
+        TreeEdit::SetAttr {
+            path, key, value, ..
+        } => match tree.node_at(path) {
+            Ok(node)
+                if node.kind() == "directive"
+                    && node.children().is_empty()
+                    && key == "name"
+                    && is_safe_name(value) =>
+            {
+                match node.attr("name") {
+                    Some(old) => {
+                        let mut set: BTreeSet<String> =
+                            canonical(dialect, old).into_iter().collect();
+                        set.extend(canonical(dialect, value));
+                        FileTouch::Directives(set)
+                    }
+                    None => FileTouch::WholeFile,
+                }
+            }
+            _ => FileTouch::WholeFile,
+        },
+        TreeEdit::Insert { node, .. } => inserted_node_touch(dialect, node),
+        TreeEdit::SwapChildren { parent, i, j, .. } => match tree.node_at(parent) {
+            Ok(p) => {
+                let (Some(a), Some(b)) = (p.children().get(*i), p.children().get(*j)) else {
+                    return FileTouch::WholeFile;
+                };
+                match (node_touch(dialect, a), node_touch(dialect, b)) {
+                    (Some(mut x), Some(y)) => {
+                        x.extend(y);
+                        FileTouch::Directives(x)
+                    }
+                    _ => FileTouch::WholeFile,
+                }
+            }
+            Err(_) => FileTouch::WholeFile,
+        },
+        TreeEdit::ReplaceTree { .. } => FileTouch::WholeFile,
+    }
+}
+
+/// The touch of a freshly-inserted node. Stricter than [`node_touch`]
+/// because the node never round-tripped through the parser: its name
+/// and text must provably serialize onto one inert-or-directive line.
+fn inserted_node_touch(dialect: Dialect, node: &Node) -> FileTouch {
+    if !node.children().is_empty() || node.text().is_some_and(has_line_break) {
+        return FileTouch::WholeFile;
+    }
+    match node.kind() {
+        "directive" => match node.attr("name") {
+            Some(name) if is_safe_name(name) => {
+                FileTouch::Directives(canonical(dialect, name).into_iter().collect())
+            }
+            _ => FileTouch::WholeFile,
+        },
+        "comment" if is_inert_comment(node.text().unwrap_or("")) => {
+            FileTouch::Directives(BTreeSet::new())
+        }
+        "blank" if is_inert_blank(node.text().unwrap_or("")) => {
+            FileTouch::Directives(BTreeSet::new())
+        }
+        _ => FileTouch::WholeFile,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::MYSQL_SCHEMA;
+    use conferr_formats::{ConfigFormat, IniFormat};
+    use conferr_tree::TreePath;
+
+    fn mysql_baseline() -> ConfigSet {
+        let text = "[mysqld]\nport=3306\nsort_buffer_size=2M\n# tuning notes\n";
+        let tree = IniFormat::new().parse(text).expect("fixture parses");
+        let mut set = ConfigSet::new();
+        set.insert("my.cnf", tree);
+        set
+    }
+
+    fn directives(names: &[&str]) -> FileTouch {
+        FileTouch::Directives(names.iter().map(|s| (*s).to_string()).collect())
+    }
+
+    #[test]
+    fn directive_edits_touch_their_canonical_name() {
+        let set = mysql_baseline();
+        // [mysqld] is child 0; port is its child 0.
+        let edit = TreeEdit::SetText {
+            file: "my.cnf".into(),
+            path: TreePath::root().child(0).child(0),
+            text: Some("9999".into()),
+        };
+        let map = touch_of_edits(&MYSQL_SCHEMA, &set, &[edit]);
+        assert_eq!(map.get("my.cnf"), Some(&directives(&["port"])));
+    }
+
+    #[test]
+    fn comment_churn_touches_nothing_but_marks_the_file() {
+        let set = mysql_baseline();
+        let edit = TreeEdit::SetText {
+            file: "my.cnf".into(),
+            path: TreePath::root().child(0).child(2),
+            text: Some("# different notes".into()),
+        };
+        let map = touch_of_edits(&MYSQL_SCHEMA, &set, &[edit]);
+        assert_eq!(map.get("my.cnf"), Some(&directives(&[])));
+
+        // A directive-scope test is unaffected; a whole-file reader
+        // still sees the byte change.
+        let smoke = MYSQL_SCHEMA.test("connect-and-query").unwrap();
+        let dump = MYSQL_SCHEMA.test("mysqldump-tool").unwrap();
+        assert!(!test_is_impacted(smoke, &map));
+        assert!(test_is_impacted(dump, &map));
+    }
+
+    #[test]
+    fn newlines_and_renames_escalate_conservatively() {
+        let set = mysql_baseline();
+        let newline = TreeEdit::SetText {
+            file: "my.cnf".into(),
+            path: TreePath::root().child(0).child(0),
+            text: Some("3306\n[client]".into()),
+        };
+        let map = touch_of_edits(&MYSQL_SCHEMA, &set, &[newline]);
+        assert_eq!(map.get("my.cnf"), Some(&FileTouch::WholeFile));
+
+        let unsafe_rename = TreeEdit::SetAttr {
+            file: "my.cnf".into(),
+            path: TreePath::root().child(0).child(0),
+            key: "name".into(),
+            value: "po[rt".into(),
+        };
+        let map = touch_of_edits(&MYSQL_SCHEMA, &set, &[unsafe_rename]);
+        assert_eq!(map.get("my.cnf"), Some(&FileTouch::WholeFile));
+    }
+
+    #[test]
+    fn rename_touches_both_old_and_new_names() {
+        let set = mysql_baseline();
+        let rename = TreeEdit::SetAttr {
+            file: "my.cnf".into(),
+            path: TreePath::root().child(0).child(1),
+            key: "name".into(),
+            value: "sort_buffer_siez".into(),
+        };
+        let map = touch_of_edits(&MYSQL_SCHEMA, &set, &[rename]);
+        assert_eq!(
+            map.get("my.cnf"),
+            Some(&directives(&["sort_buffer_size", "sort_buffer_siez"]))
+        );
+    }
+
+    #[test]
+    fn whole_file_scope_intersects_any_touch() {
+        assert!(scope_intersects(
+            &ReadScope::WholeFile,
+            &FileTouch::Directives(BTreeSet::new())
+        ));
+        assert!(scope_intersects(
+            &ReadScope::Directives(&["port"]),
+            &FileTouch::WholeFile
+        ));
+        assert!(!scope_intersects(
+            &ReadScope::Directives(&["port"]),
+            &directives(&["sort_buffer_size"])
+        ));
+    }
+
+    #[test]
+    fn unrefinable_dialects_and_replace_tree_are_whole_file() {
+        let set = mysql_baseline();
+        let replace = TreeEdit::ReplaceTree {
+            file: "my.cnf".into(),
+            tree: ConfTree::new(Node::new("config")),
+        };
+        let map = touch_of_edits(&MYSQL_SCHEMA, &set, &[replace]);
+        assert_eq!(map.get("my.cnf"), Some(&FileTouch::WholeFile));
+        assert_eq!(whole_config_touch(&MYSQL_SCHEMA).len(), 1);
+    }
+}

@@ -1,0 +1,219 @@
+//! Static verdicts and the violations that justify them.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// What the static linter predicts a prepared fault will do when the
+/// mutated configuration is handed to the system under test.
+///
+/// # Soundness contract
+///
+/// The contract is deliberately asymmetric:
+///
+/// * [`StaticVerdict::WillFailParse`] and
+///   [`StaticVerdict::WillFailValidate`] **guarantee** that starting
+///   the SUT on the mutated payload fails (a `StartOutcome::Failed`,
+///   i.e. the campaign classifies the fault as detected at startup).
+/// * [`StaticVerdict::SemanticallySilent`] guarantees — *relative to
+///   a healthy, warning-free baseline* — that the run completes
+///   undetected with no warnings: every edit leaves the effective
+///   configuration byte-identical to the baseline once re-parsed.
+/// * [`StaticVerdict::Unknown`] promises nothing; the dynamic
+///   pipeline is the only authority for such faults.
+///
+/// The linter is free to answer `Unknown` whenever it is not certain,
+/// so precision (how often it answers at all) is a quality metric,
+/// while the two `WillFail*` variants and `SemanticallySilent` are
+/// hard correctness claims checked by the precision-gate tests.
+///
+/// ```
+/// use conferr_analysis::StaticVerdict;
+///
+/// let v = StaticVerdict::WillFailParse;
+/// assert_eq!(v.label(), "will-fail-parse");
+/// assert!(v.predicts_start_failure());
+/// assert!(!StaticVerdict::Unknown.predicts_start_failure());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StaticVerdict {
+    /// The mutated file no longer parses under the SUT's own config
+    /// parser; startup will fail before any validation runs.
+    WillFailParse,
+    /// The mutated tree parses but violates the SUT's validation
+    /// model; startup will reject it.
+    WillFailValidate {
+        /// The directive (canonical spelling where one exists) that
+        /// triggers the rejection.
+        directive: String,
+        /// Which family of check rejects it.
+        class: ValidationClass,
+    },
+    /// The edit cannot change the SUT's effective configuration: the
+    /// mutated payload re-parses to the same validated model as the
+    /// baseline (e.g. a comment typo).
+    SemanticallySilent,
+    /// The linter makes no claim.
+    Unknown,
+}
+
+impl StaticVerdict {
+    /// Stable machine-readable label, used in CSV exports and the
+    /// `conferr-lint` report.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StaticVerdict::WillFailParse => "will-fail-parse",
+            StaticVerdict::WillFailValidate { .. } => "will-fail-validate",
+            StaticVerdict::SemanticallySilent => "semantically-silent",
+            StaticVerdict::Unknown => "unknown",
+        }
+    }
+
+    /// True for the two variants that promise a failing startup.
+    pub fn predicts_start_failure(&self) -> bool {
+        matches!(
+            self,
+            StaticVerdict::WillFailParse | StaticVerdict::WillFailValidate { .. }
+        )
+    }
+}
+
+impl fmt::Display for StaticVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StaticVerdict::WillFailValidate { directive, class } => {
+                write!(f, "will-fail-validate({directive}: {})", class.label())
+            }
+            other => f.write_str(other.label()),
+        }
+    }
+}
+
+/// The family of validation check a [`Violation`] belongs to —
+/// the "which failure class" structure the outcome rows carry for
+/// downstream clustering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ValidationClass {
+    /// Directive name not in the registry.
+    UnknownDirective,
+    /// Abbreviated name matches several registry entries.
+    AmbiguousDirective,
+    /// Value fails the directive's type/range check.
+    InvalidValue,
+    /// Directive requires a value but none was supplied.
+    MissingValue,
+    /// Quoted string never closes.
+    UnterminatedString,
+    /// A cross-directive constraint is violated.
+    ConstraintViolation,
+    /// A path points outside the simulated filesystem.
+    InvalidPath,
+    /// Two listeners bind the same address.
+    DuplicateListen,
+    /// No listening sockets remain.
+    NoListenSockets,
+}
+
+impl ValidationClass {
+    /// Stable machine-readable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ValidationClass::UnknownDirective => "unknown-directive",
+            ValidationClass::AmbiguousDirective => "ambiguous-directive",
+            ValidationClass::InvalidValue => "invalid-value",
+            ValidationClass::MissingValue => "missing-value",
+            ValidationClass::UnterminatedString => "unterminated-string",
+            ValidationClass::ConstraintViolation => "constraint-violation",
+            ValidationClass::InvalidPath => "invalid-path",
+            ValidationClass::DuplicateListen => "duplicate-listen",
+            ValidationClass::NoListenSockets => "no-listen-sockets",
+        }
+    }
+}
+
+/// One concrete validation failure: the offending directive, the
+/// check family, and the *exact* diagnostic string the simulator
+/// would emit at startup. Simulators call the extracted deciders and
+/// keep only `message`, so the diagnostic text cannot drift between
+/// static and dynamic paths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Offending directive (canonical spelling where one exists).
+    pub directive: String,
+    /// Which family of check rejected it.
+    pub class: ValidationClass,
+    /// The simulator's verbatim startup diagnostic.
+    pub message: String,
+}
+
+impl Violation {
+    /// Shorthand constructor.
+    pub fn new(
+        directive: impl Into<String>,
+        class: ValidationClass,
+        message: impl Into<String>,
+    ) -> Self {
+        Violation {
+            directive: directive.into(),
+            class,
+            message: message.into(),
+        }
+    }
+
+    /// Converts into the matching verdict.
+    pub fn into_verdict(self) -> StaticVerdict {
+        StaticVerdict::WillFailValidate {
+            directive: self.directive,
+            class: self.class,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(StaticVerdict::Unknown.label(), "unknown");
+        assert_eq!(
+            StaticVerdict::SemanticallySilent.label(),
+            "semantically-silent"
+        );
+        assert_eq!(
+            StaticVerdict::WillFailValidate {
+                directive: "port".into(),
+                class: ValidationClass::InvalidValue,
+            }
+            .label(),
+            "will-fail-validate"
+        );
+        assert_eq!(ValidationClass::DuplicateListen.label(), "duplicate-listen");
+    }
+
+    #[test]
+    fn display_includes_directive_and_class() {
+        let v = StaticVerdict::WillFailValidate {
+            directive: "listen".into(),
+            class: ValidationClass::DuplicateListen,
+        };
+        assert_eq!(
+            v.to_string(),
+            "will-fail-validate(listen: duplicate-listen)"
+        );
+        assert_eq!(StaticVerdict::WillFailParse.to_string(), "will-fail-parse");
+    }
+
+    #[test]
+    fn violation_round_trips_into_verdict() {
+        let v = Violation::new("datadir", ValidationClass::InvalidPath, "boom");
+        assert_eq!(
+            v.clone().into_verdict(),
+            StaticVerdict::WillFailValidate {
+                directive: "datadir".into(),
+                class: ValidationClass::InvalidPath,
+            }
+        );
+        assert!(v.into_verdict().predicts_start_failure());
+    }
+}

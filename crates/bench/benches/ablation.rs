@@ -146,8 +146,7 @@ fn distinct_flaws(
             // variant suffix).
             let site =
                 o.id.rsplit_once('#')
-                    .map(|(s, _)| s.to_string())
-                    .unwrap_or_else(|| o.id.clone());
+                    .map_or_else(|| o.id.clone(), |(s, _)| s.to_string());
             sites.insert(site);
         }
     }
@@ -189,11 +188,11 @@ fn bench_generation_strategies(c: &mut Criterion) {
     let keyboard = Keyboard::qwerty_us();
     let mut group = c.benchmark_group("substitution_generation");
     group.bench_function("keyboard_aware", |b| {
-        b.iter(|| black_box(all_typos(&keyboard, "max_allowed_packet").len()))
+        b.iter(|| black_box(all_typos(&keyboard, "max_allowed_packet").len()));
     });
     group.bench_function("uniform_random", |b| {
         let mut rng = StdRng::seed_from_u64(DEFAULT_SEED);
-        b.iter(|| black_box(uniform_substitutions("max_allowed_packet", &mut rng, 40).len()))
+        b.iter(|| black_box(uniform_substitutions("max_allowed_packet", &mut rng, 40).len()));
     });
     group.finish();
 }

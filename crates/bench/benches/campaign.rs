@@ -31,7 +31,7 @@ fn bench_serial_vs_parallel(c: &mut Criterion) {
             let mut campaign = Campaign::new(&mut sut).expect("campaign");
             let profile = campaign.run_faults(black_box(faults.clone())).expect("run");
             black_box(profile.summary())
-        })
+        });
     });
 
     let threads = default_threads();
@@ -42,7 +42,7 @@ fn bench_serial_vs_parallel(c: &mut Criterion) {
         b.iter(|| {
             let profile = campaign.run_faults(black_box(faults.clone())).expect("run");
             black_box(profile.summary())
-        })
+        });
     });
     group.finish();
 }
@@ -64,7 +64,7 @@ fn bench_cow_apply(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("scenario_apply");
     group.bench_function("cow_single_edit", |b| {
-        b.iter(|| black_box(scenario.apply(black_box(&baseline)).expect("apply")))
+        b.iter(|| black_box(scenario.apply(black_box(&baseline)).expect("apply")));
     });
     group.finish();
 }

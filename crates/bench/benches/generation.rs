@@ -23,7 +23,7 @@ fn bench_typo_generation(c: &mut Criterion) {
     ] {
         let plugin = TypoPlugin::new(Keyboard::qwerty_us(), class);
         group.bench_function(label, |b| {
-            b.iter(|| black_box(plugin.generate(&baseline).expect("generate").len()))
+            b.iter(|| black_box(plugin.generate(&baseline).expect("generate").len()));
         });
     }
     group.finish();
@@ -39,7 +39,7 @@ fn bench_structural_generation(c: &mut Criterion) {
     };
     let plugin = StructuralPlugin::new();
     c.bench_function("generate_structural", |b| {
-        b.iter(|| black_box(plugin.generate(&baseline).expect("generate").len()))
+        b.iter(|| black_box(plugin.generate(&baseline).expect("generate").len()));
     });
 }
 
@@ -55,7 +55,7 @@ fn bench_dns_generation(c: &mut Criterion) {
         };
         let plugin = DnsSemanticPlugin::bind();
         group.bench_function("bind", |b| {
-            b.iter(|| black_box(plugin.generate(&baseline).expect("generate").len()))
+            b.iter(|| black_box(plugin.generate(&baseline).expect("generate").len()));
         });
     }
     {
@@ -68,7 +68,7 @@ fn bench_dns_generation(c: &mut Criterion) {
         };
         let plugin = DnsSemanticPlugin::tinydns();
         group.bench_function("tinydns", |b| {
-            b.iter(|| black_box(plugin.generate(&baseline).expect("generate").len()))
+            b.iter(|| black_box(plugin.generate(&baseline).expect("generate").len()));
         });
     }
     group.finish();

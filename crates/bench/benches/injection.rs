@@ -34,7 +34,7 @@ fn bench_single_injection(c: &mut Criterion) {
             b.iter(|| {
                 let profile = campaign.run_faults(black_box(one.clone())).expect("run");
                 black_box(profile.summary());
-            })
+            });
         });
     }
     group.finish();
@@ -73,10 +73,10 @@ fn bench_apply_path_vs_deep_copy(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("apply_httpd");
     group.bench_function("path_copy_apply", |b| {
-        b.iter(|| black_box(scenario.apply(black_box(&baseline)).expect("apply")))
+        b.iter(|| black_box(scenario.apply(black_box(&baseline)).expect("apply")));
     });
     group.bench_function("whole_tree_deep_copy", |b| {
-        b.iter(|| black_box(deep_copy_tree(black_box(tree))))
+        b.iter(|| black_box(deep_copy_tree(black_box(tree))));
     });
     group.finish();
 }
@@ -94,7 +94,7 @@ fn bench_full_campaign(c: &mut Criterion) {
             let faults = table1_faultload(campaign.baseline(), &keyboard, DEFAULT_SEED);
             let profile = campaign.run_faults(faults).expect("run");
             black_box(profile.summary())
-        })
+        });
     });
     group.finish();
 }

@@ -29,7 +29,7 @@ fn bench_parse(c: &mut Criterion) {
         let format = format_by_name(&format_name).expect("known format");
         group.throughput(Throughput::Bytes(text.len() as u64));
         group.bench_function(format!("{format_name}/{name}"), |b| {
-            b.iter(|| black_box(format.parse(&text).expect("parse")))
+            b.iter(|| black_box(format.parse(&text).expect("parse")));
         });
     }
     group.finish();
@@ -42,7 +42,7 @@ fn bench_serialize(c: &mut Criterion) {
         let tree = format.parse(&text).expect("parse");
         group.throughput(Throughput::Bytes(text.len() as u64));
         group.bench_function(format!("{format_name}/{name}"), |b| {
-            b.iter(|| black_box(format.serialize(&tree).expect("serialize")))
+            b.iter(|| black_box(format.serialize(&tree).expect("serialize")));
         });
     }
     group.finish();

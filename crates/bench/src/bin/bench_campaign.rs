@@ -11,6 +11,10 @@
 //! * **serial** — the same campaign with the SUTs' content-addressed
 //!   `ParseCache` on: unchanged files parse once, repeated mutated
 //!   texts parse once;
+//! * **serial pruned** — the cached serial campaign with test-impact
+//!   pruning on: functional tests whose schema-declared read-set is
+//!   provably disjoint from a fault's statically derived touch map
+//!   are skipped (v5);
 //! * **parallel** — `ParallelCampaign`, one worker and one SUT
 //!   instance (with its own cache) per thread, outcomes merged in
 //!   fault order;
@@ -27,9 +31,10 @@
 //!   peak buffering asserted against the `chunk × threads` bound.
 //!
 //! All profiles are asserted **byte-identical** before any timing is
-//! reported — caches, the pool, the batch scheduler and the streaming
-//! pipeline must be pure wall-clock/memory optimisations — then the
-//! numbers go to `BENCH_campaign.json` (schema v4). The
+//! reported — caches, the pool, the batch scheduler, the streaming
+//! pipeline and test-impact pruning must be pure wall-clock/memory
+//! optimisations — then the numbers go to `BENCH_campaign.json`
+//! (schema v5). The
 //! parallel/executor/batch speedups scale with core count; on a
 //! single-core machine they only measure scheduling overhead (and the
 //! batch profile exercises the executor's serial fast path). Two
@@ -84,6 +89,7 @@ struct Row {
     faults: usize,
     serial_uncached_ms: f64,
     serial_ms: f64,
+    serial_pruned_ms: f64,
     parallel_ms: f64,
     executor_ms: f64,
     streaming_ms: f64,
@@ -114,16 +120,20 @@ fn workload(factory: SutFactory, repeat: usize) -> Workload {
 }
 
 /// One timed serial run over `faults` with every cache layer (the
-/// SUT's parse cache and the engine's fault memo) on or off.
+/// SUT's parse cache and the engine's fault memo) on or off, and
+/// test-impact pruning controlled independently so the pruned and
+/// unpruned cached profiles are separable.
 fn timed_serial(
     factory: &SutFactory,
     faults: Vec<GeneratedFault>,
     caching: bool,
+    pruning: bool,
 ) -> (ResilienceProfile, f64) {
     let mut sut = factory.create();
     sut.set_parse_caching(caching);
     let mut campaign = Campaign::new(sut.as_mut()).expect("campaign");
     campaign.set_fault_memoization(caching);
+    campaign.set_impact_pruning(pruning);
     let start = Instant::now();
     let profile = campaign.run_faults(faults).expect("serial run");
     (profile, start.elapsed().as_secs_f64() * 1e3)
@@ -137,8 +147,10 @@ fn run_system(
     let system = work.campaign.system().to_string();
     let n = work.faults.len();
 
-    let (uncached, serial_uncached_ms) = timed_serial(&work.factory, work.faults.clone(), false);
-    let (serial, serial_ms) = timed_serial(&work.factory, work.faults.clone(), true);
+    let (uncached, serial_uncached_ms) =
+        timed_serial(&work.factory, work.faults.clone(), false, false);
+    let (serial, serial_ms) = timed_serial(&work.factory, work.faults.clone(), true, false);
+    let (pruned, serial_pruned_ms) = timed_serial(&work.factory, work.faults.clone(), true, true);
 
     let parallel_campaign = ParallelCampaign::new(work.factory.clone())
         .expect("campaign")
@@ -177,6 +189,7 @@ fn run_system(
     );
 
     assert_profiles_identical(&uncached, &serial, "cached serial");
+    assert_profiles_identical(&uncached, &pruned, "impact-pruned serial");
     assert_profiles_identical(&uncached, &parallel, "parallel");
     assert_profiles_identical(&uncached, &exec_profile, "executor");
     assert_profiles_identical(&uncached, &streamed, "streaming");
@@ -186,6 +199,7 @@ fn run_system(
             faults: n,
             serial_uncached_ms,
             serial_ms,
+            serial_pruned_ms,
             parallel_ms,
             executor_ms,
             streaming_ms,
@@ -370,12 +384,14 @@ fn main() {
 
     for row in &rows {
         println!(
-            "{:<14} {:>6} faults  uncached {:>8.1} ms  serial {:>8.1} ms  parallel {:>8.1} ms  \
-             executor {:>8.1} ms  streaming {:>8.1} ms (peak buf {})  cache {:>5.2}x",
+            "{:<14} {:>6} faults  uncached {:>8.1} ms  serial {:>8.1} ms  pruned {:>8.1} ms  \
+             parallel {:>8.1} ms  executor {:>8.1} ms  streaming {:>8.1} ms (peak buf {})  \
+             cache {:>5.2}x",
             row.system,
             row.faults,
             row.serial_uncached_ms,
             row.serial_ms,
+            row.serial_pruned_ms,
             row.parallel_ms,
             row.executor_ms,
             row.streaming_ms,
@@ -385,15 +401,18 @@ fn main() {
     }
     let total_uncached: f64 = rows.iter().map(|r| r.serial_uncached_ms).sum();
     let total_serial: f64 = rows.iter().map(|r| r.serial_ms).sum();
+    let total_pruned: f64 = rows.iter().map(|r| r.serial_pruned_ms).sum();
     let total_parallel: f64 = rows.iter().map(|r| r.parallel_ms).sum();
     let total_executor: f64 = rows.iter().map(|r| r.executor_ms).sum();
     let batch_overhead_pct = (batch_cold_ms - total_serial) / total_serial * 100.0;
     println!(
         "{:<14} {:>6}         uncached {total_uncached:>8.1} ms  serial {total_serial:>8.1} ms  \
-         parallel {total_parallel:>8.1} ms  executor {total_executor:>8.1} ms  cache {:>5.2}x",
+         pruned {total_pruned:>8.1} ms  parallel {total_parallel:>8.1} ms  \
+         executor {total_executor:>8.1} ms  cache {:>5.2}x  prune {:>5.2}x",
         "TOTAL",
         "",
-        total_uncached / total_serial
+        total_uncached / total_serial,
+        total_serial / total_pruned
     );
     println!(
         "batch (all systems, one queue): cold {batch_cold_ms:.1} ms \
@@ -435,7 +454,7 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": \"conferr-bench-campaign/v4\",");
+    let _ = writeln!(json, "  \"schema\": \"conferr-bench-campaign/v5\",");
     let _ = writeln!(json, "  \"repeat\": {repeat},");
     let _ = writeln!(json, "  \"threads\": {threads},");
     let _ = writeln!(
@@ -451,28 +470,32 @@ fn main() {
         let _ = writeln!(
             json,
             "    {{\"system\": \"{}\", \"faults\": {}, \"serial_uncached_ms\": {:.1}, \
-             \"serial_ms\": {:.1}, \"parallel_ms\": {:.1}, \"executor_ms\": {:.1}, \
-             \"streaming_ms\": {:.1}, \"streaming_peak_buffered\": {}, \
-             \"cache_speedup\": {:.2}}}{comma}",
+             \"serial_ms\": {:.1}, \"serial_pruned_ms\": {:.1}, \"parallel_ms\": {:.1}, \
+             \"executor_ms\": {:.1}, \"streaming_ms\": {:.1}, \"streaming_peak_buffered\": {}, \
+             \"cache_speedup\": {:.2}, \"prune_speedup\": {:.2}}}{comma}",
             row.system,
             row.faults,
             row.serial_uncached_ms,
             row.serial_ms,
+            row.serial_pruned_ms,
             row.parallel_ms,
             row.executor_ms,
             row.streaming_ms,
             row.peak_buffered,
-            row.serial_uncached_ms / row.serial_ms
+            row.serial_uncached_ms / row.serial_ms,
+            row.serial_ms / row.serial_pruned_ms
         );
     }
     json.push_str("  ],\n");
     let _ = writeln!(
         json,
         "  \"total\": {{\"serial_uncached_ms\": {total_uncached:.1}, \
-         \"serial_ms\": {total_serial:.1}, \"parallel_ms\": {total_parallel:.1}, \
-         \"executor_ms\": {total_executor:.1}, \"cache_speedup\": {:.2}, \
+         \"serial_ms\": {total_serial:.1}, \"serial_pruned_ms\": {total_pruned:.1}, \
+         \"parallel_ms\": {total_parallel:.1}, \"executor_ms\": {total_executor:.1}, \
+         \"cache_speedup\": {:.2}, \"prune_speedup\": {:.2}, \
          \"speedup_vs_pr2_serial\": {:.2}}},",
         total_uncached / total_serial,
+        total_serial / total_pruned,
         PR2_SERIAL_TOTAL_MS / total_serial
     );
     let _ = writeln!(

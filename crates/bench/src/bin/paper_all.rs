@@ -20,9 +20,10 @@ fn main() {
         let mut cmd = Command::new(std::env::current_exe().map_or_else(
             |_| "cargo".to_string(),
             |p| {
-                p.parent()
-                    .map(|d| d.join(bin).display().to_string())
-                    .unwrap_or_else(|| "cargo".to_string())
+                p.parent().map_or_else(
+                    || "cargo".to_string(),
+                    |d| d.join(bin).display().to_string(),
+                )
             },
         ));
         if !seed.is_empty() {

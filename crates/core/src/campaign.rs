@@ -23,6 +23,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+use conferr_analysis::{test_is_impacted, FaultLinter, Lint, StaticVerdict, TouchMap};
 use conferr_formats::{format_by_name, ConfigFormat};
 use conferr_model::{
     ConfigSet, ErrorGenerator, FaultScenario, FaultSource, GenerateError, GeneratedFault, TreeEdit,
@@ -171,6 +172,30 @@ pub(crate) struct InjectionEngine {
     /// Atomic so shared engines (executor, parallel workers) can be
     /// switched without exclusive access.
     memoize_faults: AtomicBool,
+    /// Static-analysis context, present only when the SUT publishes a
+    /// directive schema. Holds the shared fault linter plus what the
+    /// one-time baseline scout observed dynamically.
+    analysis: Option<EngineAnalysis>,
+    /// When true (the default), functional tests whose declared
+    /// read-set is provably disjoint from a fault's touch map are
+    /// skipped — sound only against a healthy baseline, so the flag
+    /// is additionally gated on [`EngineAnalysis::healthy`]. Atomic
+    /// for the same shared-engine reason as `memoize_faults`.
+    impact_pruning: AtomicBool,
+}
+
+/// What the engine knows statically about its SUT, plus the result of
+/// the one-time dynamic scout run over the pristine baseline.
+struct EngineAnalysis {
+    /// The shared pre-flight linter ([`conferr_analysis::FaultLinter`]).
+    linter: Arc<FaultLinter>,
+    /// The baseline started and every functional test passed — the
+    /// precondition for counting a pruned (skipped) test as passed.
+    healthy: bool,
+    /// `healthy`, and the start carried no warnings — the
+    /// precondition for surfacing [`StaticVerdict::SemanticallySilent`],
+    /// which promises an undetected *and warning-free* run.
+    clean_start: bool,
 }
 
 impl InjectionEngine {
@@ -179,8 +204,15 @@ impl InjectionEngine {
     /// individual files. Files present in `overrides` are parsed once
     /// — from the override's shared text — never from the defaults,
     /// and never through an intermediate `String` clone.
+    ///
+    /// When the SUT publishes a [`conferr_analysis::DirectiveSchema`],
+    /// construction also *scouts* it: one start on the pristine
+    /// baseline plus one pass over the functional tests, establishing
+    /// whether the baseline is healthy (every test passes) and clean
+    /// (no startup warnings). Test-impact pruning and
+    /// `SemanticallySilent` verdicts are gated on that evidence.
     pub(crate) fn new(
-        sut: &dyn SystemUnderTest,
+        sut: &mut dyn SystemUnderTest,
         overrides: Option<&ConfigPayload>,
     ) -> Result<Self, CampaignError> {
         let mut formats = BTreeMap::new();
@@ -224,13 +256,58 @@ impl InjectionEngine {
                     })?;
             baseline_payload.insert(file.to_string(), FileText::baseline(text));
         }
+        let analysis = Self::scout(sut, &baseline, &baseline_payload);
         Ok(InjectionEngine {
             formats,
             baseline,
             baseline_payload,
             memo: Mutex::new(HashMap::new()),
             memoize_faults: AtomicBool::new(true),
+            analysis,
+            impact_pruning: AtomicBool::new(true),
         })
+    }
+
+    /// Builds the static-analysis context when the SUT publishes a
+    /// schema, probing the baseline dynamically once. A SUT without a
+    /// schema — or one whose schema the linter cannot service —
+    /// yields `None`, and the engine behaves exactly as before the
+    /// analysis layer existed.
+    fn scout(
+        sut: &mut dyn SystemUnderTest,
+        baseline: &ConfigSet,
+        baseline_payload: &ConfigPayload,
+    ) -> Option<EngineAnalysis> {
+        let schema = sut.schema()?;
+        let linter = FaultLinter::new(schema, baseline.clone()).ok()?;
+        let start = sut.start(baseline_payload);
+        let started = !matches!(start, StartOutcome::FailedToStart { .. });
+        let mut healthy = started;
+        if started {
+            for test in sut.test_names() {
+                if !matches!(sut.run_test(&test), conferr_sut::TestOutcome::Passed) {
+                    healthy = false;
+                    break;
+                }
+            }
+        }
+        sut.stop();
+        Some(EngineAnalysis {
+            linter: Arc::new(linter),
+            healthy,
+            clean_start: healthy && matches!(start, StartOutcome::Started),
+        })
+    }
+
+    /// Enables or disables test-impact pruning (see
+    /// [`Campaign::set_impact_pruning`]).
+    pub(crate) fn set_impact_pruning(&self, enabled: bool) {
+        self.impact_pruning.store(enabled, Ordering::Relaxed);
+    }
+
+    /// The shared pre-flight linter, when the SUT publishes a schema.
+    pub(crate) fn linter(&self) -> Option<Arc<FaultLinter>> {
+        self.analysis.as_ref().map(|a| Arc::clone(&a.linter))
     }
 
     /// Enables or disables the fault memo (see
@@ -330,11 +407,25 @@ impl InjectionEngine {
 
     /// Starts the SUT on one prepared payload and classifies its
     /// response.
+    ///
+    /// With a touch map in hand (and pruning enabled against a
+    /// healthy baseline), functional tests whose schema-declared
+    /// read-set is provably disjoint from the fault's touch map are
+    /// skipped: the scout saw them pass on the baseline, and the
+    /// touch map bounds the edit away from everything they read, so
+    /// their outcome cannot differ. Tests the schema does not declare
+    /// are never skipped.
     fn start_and_classify(
         &self,
         sut: &mut dyn SystemUnderTest,
         payload: &ConfigPayload,
+        touch: Option<&TouchMap>,
     ) -> InjectionResult {
+        let prune = touch.and_then(|touch| {
+            let analysis = self.analysis.as_ref()?;
+            (analysis.healthy && self.impact_pruning.load(Ordering::Relaxed))
+                .then(|| (analysis.linter.schema(), touch))
+        });
         let start = sut.start(payload);
         let result = match start {
             StartOutcome::FailedToStart { diagnostic } => {
@@ -347,6 +438,14 @@ impl InjectionEngine {
                 };
                 let mut failed: Option<(String, String)> = None;
                 for test in sut.test_names() {
+                    if let Some((schema, touch)) = prune {
+                        if schema
+                            .test(&test)
+                            .is_some_and(|impact| !test_is_impacted(impact, touch))
+                        {
+                            continue;
+                        }
+                    }
                     match sut.run_test(&test) {
                         conferr_sut::TestOutcome::Passed => {}
                         conferr_sut::TestOutcome::Failed { diagnostic } => {
@@ -401,15 +500,18 @@ impl InjectionEngine {
     ) -> InjectionOutcome {
         match fault {
             GeneratedFault::Scenario(scenario) => {
+                let lint = self.lint(&scenario.edits);
+                let verdict = self.annotate(lint.as_ref());
                 let prepared = self.prepare(&scenario);
                 // `diff` clones below are `Arc` refcount bumps: every
                 // outcome of the same preparation shares one line
                 // allocation (ROADMAP perf idea: no per-outcome
                 // `Vec<String>` clone).
                 let (diff, result) = match prepared.as_ref() {
-                    Prepared::Ready { payload, diff } => {
-                        (diff.clone(), self.start_and_classify(sut, payload))
-                    }
+                    Prepared::Ready { payload, diff } => (
+                        diff.clone(),
+                        self.start_and_classify(sut, payload, lint.as_ref().map(|l| &*l.touch)),
+                    ),
                     Prepared::Skipped { reason } => (
                         empty_diff(),
                         InjectionResult::Skipped {
@@ -428,6 +530,7 @@ impl InjectionEngine {
                     description: scenario.description,
                     class: scenario.class,
                     diff,
+                    verdict,
                     result,
                 }
             }
@@ -441,8 +544,29 @@ impl InjectionEngine {
                 description,
                 class,
                 diff: empty_diff(),
+                verdict: StaticVerdict::Unknown,
                 result: InjectionResult::Inexpressible { reason },
             },
+        }
+    }
+
+    /// Lints one scenario's edit list through the shared linter, when
+    /// the engine has one.
+    fn lint(&self, edits: &[TreeEdit]) -> Option<Lint> {
+        self.analysis.as_ref().map(|a| a.linter.lint(edits))
+    }
+
+    /// The verdict an outcome row carries: the lint's verdict, with
+    /// `SemanticallySilent` downgraded to `Unknown` unless the scout
+    /// certified a clean (healthy *and* warning-free) baseline —
+    /// silence is only a guarantee relative to such a baseline.
+    fn annotate(&self, lint: Option<&Lint>) -> StaticVerdict {
+        let (Some(analysis), Some(lint)) = (self.analysis.as_ref(), lint) else {
+            return StaticVerdict::Unknown;
+        };
+        match &lint.verdict {
+            StaticVerdict::SemanticallySilent if !analysis.clean_start => StaticVerdict::Unknown,
+            v => v.clone(),
         }
     }
 }
@@ -565,6 +689,27 @@ impl<'s> Campaign<'s> {
     pub fn set_fault_memoization(&mut self, enabled: bool) -> &mut Self {
         self.engine.set_fault_memoization(enabled);
         self
+    }
+
+    /// Enables or disables test-impact pruning (default: on).
+    ///
+    /// When the SUT publishes a [`conferr_analysis::DirectiveSchema`]
+    /// and the construction-time scout found the baseline healthy,
+    /// the engine skips functional tests whose schema-declared
+    /// read-set is provably disjoint from a fault's statically
+    /// derived touch map. The profile is byte-identical either way
+    /// (asserted in `tests/static_analysis.rs`); only wall-clock
+    /// differs. Systems without a schema ignore the knob.
+    pub fn set_impact_pruning(&mut self, enabled: bool) -> &mut Self {
+        self.engine.set_impact_pruning(enabled);
+        self
+    }
+
+    /// The engine's shared pre-flight linter, when the SUT publishes
+    /// a directive schema (e.g. to wrap a fault stream in a
+    /// [`conferr_analysis::LintedSource`]).
+    pub fn linter(&self) -> Option<std::sync::Arc<conferr_analysis::FaultLinter>> {
+        self.engine.linter()
     }
 
     /// The parsed baseline configuration set.

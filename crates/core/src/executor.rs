@@ -307,8 +307,8 @@ impl ExecutorCampaign {
         factory: SutFactory,
         overrides: Option<&ConfigPayload>,
     ) -> Result<Self, CampaignError> {
-        let scout = factory.create();
-        let engine = Arc::new(InjectionEngine::new(scout.as_ref(), overrides)?);
+        let mut scout = factory.create();
+        let engine = Arc::new(InjectionEngine::new(scout.as_mut(), overrides)?);
         Ok(ExecutorCampaign {
             system: scout.name().to_string(),
             factory,
@@ -337,6 +337,20 @@ impl ExecutorCampaign {
     pub fn set_fault_memoization(&self, enabled: bool) -> &Self {
         self.engine.set_fault_memoization(enabled);
         self
+    }
+
+    /// Enables or disables test-impact pruning (default: on) — see
+    /// [`crate::Campaign::set_impact_pruning`]. The setting is shared
+    /// by every clone of this campaign.
+    pub fn set_impact_pruning(&self, enabled: bool) -> &Self {
+        self.engine.set_impact_pruning(enabled);
+        self
+    }
+
+    /// The engine's shared pre-flight linter, when the SUT publishes
+    /// a directive schema — see [`crate::Campaign::linter`].
+    pub fn linter(&self) -> Option<Arc<conferr_analysis::FaultLinter>> {
+        self.engine.linter()
     }
 }
 
@@ -1283,7 +1297,10 @@ mod tests {
             .iter()
             .map(|o| o.id.as_str())
             .collect();
-        let expected: Vec<&str> = mysql_faults.iter().map(|f| f.id()).collect();
+        let expected: Vec<&str> = mysql_faults
+            .iter()
+            .map(conferr_model::GeneratedFault::id)
+            .collect();
         assert_eq!(ids, expected, "outcomes merge in fault order");
     }
 

@@ -17,7 +17,7 @@ use std::fmt::Write as _;
 use crate::{InjectionOutcome, InjectionResult, ResilienceProfile};
 
 /// The CSV header row (no trailing newline).
-pub const CSV_HEADER: &str = "system,id,class,cognitive_level,result,detail,description";
+pub const CSV_HEADER: &str = "system,id,class,cognitive_level,result,verdict,detail,description";
 
 /// Escapes one CSV field (RFC 4180 quoting).
 fn csv_field(s: &str) -> String {
@@ -68,12 +68,13 @@ fn result_detail(result: &InjectionResult) -> (&'static str, String) {
 pub fn outcome_to_csv_row(system: &str, o: &InjectionOutcome) -> String {
     let (label, detail) = result_detail(&o.result);
     format!(
-        "{},{},{},{},{},{},{}",
+        "{},{},{},{},{},{},{},{}",
         csv_field(system),
         csv_field(&o.id),
         csv_field(&o.class.to_string()),
         csv_field(&o.class.cognitive_level().to_string()),
         label,
+        o.verdict.label(),
         csv_field(&detail),
         csv_field(&o.description),
     )
@@ -85,7 +86,7 @@ pub fn outcome_to_csv_row(system: &str, o: &InjectionOutcome) -> String {
 /// use conferr::{profile_to_csv, ResilienceProfile};
 ///
 /// let csv = profile_to_csv(&ResilienceProfile::new("sut", vec![]));
-/// assert!(csv.starts_with("system,id,class,cognitive_level,result,detail,description"));
+/// assert!(csv.starts_with("system,id,class,cognitive_level,result,verdict,detail,description"));
 /// ```
 pub fn profile_to_csv(profile: &ResilienceProfile) -> String {
     let mut out = String::from(CSV_HEADER);
@@ -132,10 +133,11 @@ pub fn outcome_to_json(o: &InjectionOutcome) -> String {
     let mut out = String::new();
     let _ = write!(
         out,
-        "{{\"id\":{},\"class\":{},\"result\":{},\"detail\":{},\"description\":{},\"diff\":[",
+        "{{\"id\":{},\"class\":{},\"result\":{},\"verdict\":{},\"detail\":{},\"description\":{},\"diff\":[",
         json_string(&o.id),
         json_string(&o.class.to_string()),
         json_string(label),
+        json_string(o.verdict.label()),
         json_string(&detail),
         json_string(&o.description),
     );
@@ -165,6 +167,7 @@ pub fn outcome_to_jsonl(system: &str, o: &InjectionOutcome) -> String {
 mod tests {
     use super::*;
     use crate::InjectionOutcome;
+    use conferr_analysis::StaticVerdict;
     use conferr_model::{ErrorClass, TypoKind};
 
     fn sample() -> ResilienceProfile {
@@ -176,6 +179,7 @@ mod tests {
                     description: "omit \"x\", then retry".into(),
                     class: ErrorClass::Typo(TypoKind::Omission),
                     diff: vec!["- /0 directive".to_string()].into(),
+                    verdict: StaticVerdict::WillFailParse,
                     result: InjectionResult::DetectedAtStartup {
                         diagnostic: "bad\nline".into(),
                     },
@@ -185,6 +189,7 @@ mod tests {
                     description: "dup".into(),
                     class: ErrorClass::Typo(TypoKind::Insertion),
                     diff: Vec::new().into(),
+                    verdict: StaticVerdict::Unknown,
                     result: InjectionResult::Undetected { warnings: vec![] },
                 },
             ],

@@ -75,6 +75,7 @@ pub use compare::{
     compare_value_typo_resilience, parallel_value_typo_resilience, task_resilience,
     value_typo_resilience, ComparisonReport, DetectionBand, DirectiveResilience, SystemResilience,
 };
+pub use conferr_analysis::{FaultLinter, Lint, LintedSource, StaticVerdict, ValidationClass};
 pub use executor::{
     sut_factory, CampaignBatch, CampaignExecutor, ExecutorCampaign, StreamStats, SutFactory,
     DEFAULT_CHUNK_SIZE,

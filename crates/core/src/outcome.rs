@@ -3,6 +3,7 @@
 use std::fmt;
 use std::sync::Arc;
 
+use conferr_analysis::StaticVerdict;
 use conferr_model::ErrorClass;
 use serde::{Deserialize, Serialize};
 
@@ -106,6 +107,11 @@ pub struct InjectionOutcome {
     /// outcome of the same memoized preparation holds the same
     /// allocation, so cloning a diff is a reference-count bump.
     pub diff: Arc<[String]>,
+    /// The static linter's pre-flight prediction for this fault —
+    /// [`StaticVerdict::Unknown`] for systems without a directive
+    /// schema, and downgraded from `SemanticallySilent` whenever the
+    /// baseline scout could not certify a clean, warning-free start.
+    pub verdict: StaticVerdict,
     /// What happened.
     pub result: InjectionResult,
 }
@@ -149,6 +155,7 @@ mod tests {
             description: "omit port".into(),
             class: ErrorClass::Typo(TypoKind::Omission),
             diff: Vec::new().into(),
+            verdict: StaticVerdict::Unknown,
             result: InjectionResult::Undetected { warnings: vec![] },
         };
         assert!(o.to_string().contains("omit port"));

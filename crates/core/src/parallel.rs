@@ -30,9 +30,7 @@ use crate::{CampaignError, ResilienceProfile};
 /// Default worker count for parallel drivers: every core the machine
 /// offers (1 when the parallelism cannot be determined).
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
 }
 
 /// Runs `f` over `items` on up to `threads` scoped worker threads
@@ -199,6 +197,14 @@ impl ParallelCampaign {
     /// The memo is internally synchronized; workers share it.
     pub fn set_fault_memoization(&mut self, enabled: bool) -> &mut Self {
         self.campaign.set_fault_memoization(enabled);
+        self
+    }
+
+    /// Enables or disables test-impact pruning (default: on) — see
+    /// [`Campaign::set_impact_pruning`](crate::Campaign::set_impact_pruning).
+    /// The setting is shared by every worker.
+    pub fn set_impact_pruning(&mut self, enabled: bool) -> &mut Self {
+        self.campaign.set_impact_pruning(enabled);
         self
     }
 

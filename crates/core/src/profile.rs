@@ -185,6 +185,7 @@ mod tests {
             description: "d".into(),
             class: ErrorClass::Typo(TypoKind::Omission),
             diff: Vec::new().into(),
+            verdict: conferr_analysis::StaticVerdict::Unknown,
             result,
         }
     }

@@ -189,7 +189,7 @@ pub fn stacked_bar(segments: &[(char, f64)], width: usize) -> String {
         used += cells;
     }
     while out.chars().count() < width {
-        out.push(segments.last().map(|(c, _)| *c).unwrap_or('-'));
+        out.push(segments.last().map_or('-', |(c, _)| *c));
     }
     out
 }

@@ -251,6 +251,7 @@ mod tests {
             description: format!("desc {id}"),
             class: ErrorClass::Typo(TypoKind::Omission),
             diff: vec![format!("- {id}")].into(),
+            verdict: conferr_analysis::StaticVerdict::Unknown,
             result: InjectionResult::DetectedAtStartup {
                 diagnostic: "bad, line".to_string(),
             },

@@ -40,6 +40,7 @@ fn arb_outcome() -> impl Strategy<Value = InjectionOutcome> {
             description: "generated".into(),
             class,
             diff: Vec::new().into(),
+            verdict: conferr_analysis::StaticVerdict::Unknown,
             result,
         }
     })

@@ -317,7 +317,11 @@ mod tests {
         let tree = fmt.parse(SAMPLE).unwrap();
         let root_el = tree.root().first_child_of_kind("element").unwrap();
         assert_eq!(root_el.attr("tag"), Some("server"));
-        let children: Vec<&str> = root_el.children().iter().map(|c| c.kind()).collect();
+        let children: Vec<&str> = root_el
+            .children()
+            .iter()
+            .map(conferr_tree::Node::kind)
+            .collect();
         assert!(children.contains(&"comment"));
         let host = root_el.first_child_of_kind("element").unwrap();
         assert_eq!(host.attr("self_closing"), Some("yes"));

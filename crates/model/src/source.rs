@@ -316,6 +316,25 @@ pub trait IntoFaultSource: ErrorGenerator + Sized {
 
 impl<G: ErrorGenerator + Sized> IntoFaultSource for G {}
 
+/// Debug-build invariant check tying [`FaultSource::size_hint`] to
+/// what a pull actually produced: the hint's bounds must be ordered,
+/// and a single `next_chunk` can never yield more faults than the
+/// hint's upper bound promised were left. Compiled out of release
+/// builds; the combinator tests and proptests run debug.
+fn debug_check_hint(hint: (usize, Option<usize>), pulled: usize) {
+    let (lo, hi) = hint;
+    if let Some(hi) = hi {
+        debug_assert!(
+            lo <= hi,
+            "size_hint lower bound {lo} exceeds upper bound {hi}"
+        );
+        debug_assert!(
+            pulled <= hi,
+            "next_chunk produced {pulled} faults but size_hint promised at most {hi}"
+        );
+    }
+}
+
 /// See [`FaultSourceExt::chain`].
 #[derive(Debug)]
 pub struct ChainSource<A, B> {
@@ -331,14 +350,18 @@ impl<A: FaultSource, B: FaultSource> FaultSource for ChainSource<A, B> {
         out: &mut Vec<GeneratedFault>,
     ) -> Result<usize, GenerateError> {
         let max = max.max(1);
+        let hint = self.size_hint();
         if let Some(a) = &mut self.a {
             let n = a.next_chunk(max, out)?;
             if n > 0 {
+                debug_check_hint(hint, n);
                 return Ok(n);
             }
             self.a = None;
         }
-        self.b.next_chunk(max, out)
+        let n = self.b.next_chunk(max, out)?;
+        debug_check_hint(hint, n);
+        Ok(n)
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
@@ -369,7 +392,9 @@ impl<S: FaultSource> FaultSource for TakeSource<S> {
         if max == 0 {
             return Ok(0);
         }
+        let hint = self.size_hint();
         let n = self.inner.next_chunk(max, out)?;
+        debug_check_hint(hint, n);
         self.remaining -= n;
         Ok(n)
     }
@@ -422,12 +447,14 @@ impl<S: FaultSource> FaultSource for SampleSource<S> {
     ) -> Result<usize, GenerateError> {
         let max = max.max(1);
         let before = out.len();
+        let hint = self.size_hint();
         // Keep pulling inner chunks until at least one fault survives
         // the filter (or the inner source runs dry): returning 0 must
         // mean exhausted.
         loop {
             self.scratch.clear();
             if self.inner.next_chunk(max, &mut self.scratch)? == 0 {
+                debug_check_hint(hint, out.len() - before);
                 return Ok(out.len() - before);
             }
             for fault in self.scratch.drain(..) {
@@ -438,6 +465,7 @@ impl<S: FaultSource> FaultSource for SampleSource<S> {
                 }
             }
             if out.len() > before {
+                debug_check_hint(hint, out.len() - before);
                 return Ok(out.len() - before);
             }
         }
@@ -519,6 +547,7 @@ impl<A: FaultSource, B: FaultSource> FaultSource for ProductSource<A, B> {
         if self.right_faults.is_empty() {
             return Ok(0);
         }
+        let hint = self.size_hint();
         let mut chunk = Vec::new();
         while out.len() - before < max {
             if self.current.is_none() {
@@ -541,6 +570,7 @@ impl<A: FaultSource, B: FaultSource> FaultSource for ProductSource<A, B> {
                 self.current = None;
             }
         }
+        debug_check_hint(hint, out.len() - before);
         Ok(out.len() - before)
     }
 

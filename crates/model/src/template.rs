@@ -58,7 +58,7 @@ fn selected_targets(
         for path in query.select(tree) {
             let desc = tree
                 .node_at(&path)
-                .map(|n| n.describe())
+                .map(conferr_tree::Node::describe)
                 .unwrap_or_default();
             out.push((name.to_string(), path, desc));
         }
@@ -190,7 +190,10 @@ impl Template for MoveTemplate {
             let candidates = self.candidates.select(tree);
             let destinations = self.destinations.select(tree);
             for cand in &candidates {
-                let cand_desc = tree.node_at(cand).map(|n| n.describe()).unwrap_or_default();
+                let cand_desc = tree
+                    .node_at(cand)
+                    .map(conferr_tree::Node::describe)
+                    .unwrap_or_default();
                 for dest in &destinations {
                     if Some(dest) == cand.parent().as_ref()
                         || cand.is_ancestor_of(dest)
@@ -198,7 +201,10 @@ impl Template for MoveTemplate {
                     {
                         continue;
                     }
-                    let dest_desc = tree.node_at(dest).map(|n| n.describe()).unwrap_or_default();
+                    let dest_desc = tree
+                        .node_at(dest)
+                        .map(conferr_tree::Node::describe)
+                        .unwrap_or_default();
                     out.push(FaultScenario {
                         id: format!("move:{name}:{cand}->{dest}"),
                         description: format!("misplace {cand_desc} into {dest_desc} in {name}"),

@@ -207,7 +207,10 @@ mod tests {
                 .with_text("80"),
         );
         let faults = plugin.generate(&set()).unwrap();
-        let ids: Vec<&str> = faults.iter().map(|f| f.id()).collect();
+        let ids: Vec<&str> = faults
+            .iter()
+            .map(conferr_model::GeneratedFault::id)
+            .collect();
         assert!(ids.iter().any(|i| i.starts_with("delete:")));
         assert!(ids.iter().any(|i| i.starts_with("duplicate:")));
         assert!(ids.iter().any(|i| i.starts_with("move:")));

@@ -21,143 +21,17 @@
 //! Directive names are case-insensitive (Table 2) and cannot be
 //! truncated.
 
-use std::collections::BTreeMap;
 use std::sync::Arc;
 
+use conferr_analysis::apache::{startup_model, validate_tree, StartupModel};
+use conferr_analysis::{DirectiveSchema, APACHE_SCHEMA};
 use conferr_formats::{ApacheFormat, ConfigFormat};
-use conferr_tree::Node;
 
-use crate::directive::parse_int_strict;
 use crate::minihttp::{HttpService, VirtualFs, VirtualHost};
 use crate::{
     CacheStats, ConfigFileSpec, ConfigPayload, ParseCache, StartOutcome, SystemUnderTest,
     TestOutcome,
 };
-
-/// How a directive's arguments are validated.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ArgRule {
-    /// Any argument string is accepted (the paper's lax cases).
-    Lax,
-    /// Single strictly parsed integer.
-    Int,
-    /// First argument must be one of these keywords
-    /// (case-insensitive).
-    Keyword(&'static [&'static str]),
-    /// `Listen`: `port` or `address:port` with a numeric port.
-    Listen,
-    /// `Allow`/`Deny`: first argument must be `from`.
-    FromList,
-    /// `Order`: one of the fixed orderings.
-    Order,
-}
-
-const ON_OFF: &[&str] = &["On", "Off"];
-
-/// Directive registry: name (canonical case) → argument rule.
-const REGISTRY: &[(&str, ArgRule)] = &[
-    ("ServerRoot", ArgRule::Lax),
-    ("PidFile", ArgRule::Lax),
-    ("Timeout", ArgRule::Int),
-    ("KeepAlive", ArgRule::Keyword(ON_OFF)),
-    ("MaxKeepAliveRequests", ArgRule::Int),
-    ("KeepAliveTimeout", ArgRule::Int),
-    ("StartServers", ArgRule::Int),
-    ("MinSpareServers", ArgRule::Int),
-    ("MaxSpareServers", ArgRule::Int),
-    ("ServerLimit", ArgRule::Int),
-    ("MaxClients", ArgRule::Int),
-    ("MaxRequestsPerChild", ArgRule::Int),
-    ("Listen", ArgRule::Listen),
-    ("NameVirtualHost", ArgRule::Lax),
-    ("User", ArgRule::Lax),
-    ("Group", ArgRule::Lax),
-    // Paper §5.2: ServerAdmin should take a URL/email but accepts
-    // free-form strings.
-    ("ServerAdmin", ArgRule::Lax),
-    // Paper §5.2: ServerName should take a DNS name but accepts
-    // anything.
-    ("ServerName", ArgRule::Lax),
-    ("UseCanonicalName", ArgRule::Keyword(&["On", "Off", "DNS"])),
-    ("DocumentRoot", ArgRule::Lax),
-    ("DirectoryIndex", ArgRule::Lax),
-    ("AccessFileName", ArgRule::Lax),
-    ("TypesConfig", ArgRule::Lax),
-    // Paper §5.2: DefaultType/AddType should validate RFC-2045
-    // type/subtype but accept free-form strings.
-    ("DefaultType", ArgRule::Lax),
-    ("AddType", ArgRule::Lax),
-    (
-        "HostnameLookups",
-        ArgRule::Keyword(&["On", "Off", "Double"]),
-    ),
-    ("ErrorLog", ArgRule::Lax),
-    (
-        "LogLevel",
-        ArgRule::Keyword(&[
-            "debug", "info", "notice", "warn", "error", "crit", "alert", "emerg",
-        ]),
-    ),
-    ("LogFormat", ArgRule::Lax),
-    ("CustomLog", ArgRule::Lax),
-    ("ServerSignature", ArgRule::Keyword(&["On", "Off", "EMail"])),
-    (
-        "ServerTokens",
-        ArgRule::Keyword(&[
-            "Full",
-            "OS",
-            "Minimal",
-            "Minor",
-            "Major",
-            "Prod",
-            "ProductOnly",
-        ]),
-    ),
-    ("Alias", ArgRule::Lax),
-    ("ScriptAlias", ArgRule::Lax),
-    ("IndexOptions", ArgRule::Lax),
-    ("AddIconByEncoding", ArgRule::Lax),
-    ("AddIconByType", ArgRule::Lax),
-    ("AddIcon", ArgRule::Lax),
-    ("DefaultIcon", ArgRule::Lax),
-    ("ReadmeName", ArgRule::Lax),
-    ("HeaderName", ArgRule::Lax),
-    ("IndexIgnore", ArgRule::Lax),
-    ("AddLanguage", ArgRule::Lax),
-    ("LanguagePriority", ArgRule::Lax),
-    ("ForceLanguagePriority", ArgRule::Lax),
-    ("AddDefaultCharset", ArgRule::Lax),
-    ("AddHandler", ArgRule::Lax),
-    ("AddOutputFilter", ArgRule::Lax),
-    ("EnableMMAP", ArgRule::Keyword(ON_OFF)),
-    ("EnableSendfile", ArgRule::Keyword(ON_OFF)),
-    ("ExtendedStatus", ArgRule::Keyword(ON_OFF)),
-    ("ContentDigest", ArgRule::Keyword(ON_OFF)),
-    ("BrowserMatch", ArgRule::Lax),
-    ("SetEnvIf", ArgRule::Lax),
-    ("ErrorDocument", ArgRule::Lax),
-    ("FileETag", ArgRule::Lax),
-    ("Options", ArgRule::Lax),
-    ("AllowOverride", ArgRule::Lax),
-    ("Order", ArgRule::Order),
-    ("Allow", ArgRule::FromList),
-    ("Deny", ArgRule::FromList),
-    ("UserDir", ArgRule::Lax),
-];
-
-/// Section (container) names Apache accepts.
-const SECTIONS: &[&str] = &[
-    "Directory",
-    "DirectoryMatch",
-    "Files",
-    "FilesMatch",
-    "Location",
-    "LocationMatch",
-    "VirtualHost",
-    "IfModule",
-    "IfDefine",
-    "LimitExcept",
-];
 
 /// The default `httpd.conf`, carrying 98 directives like the stock
 /// Apache 2.2 configuration the paper used (§5.1).
@@ -336,210 +210,39 @@ impl ApacheSim {
     }
 
     /// The full startup path: parse, validate every directive, build
-    /// the HTTP service. Pure in the configuration text.
+    /// the HTTP service. Pure in the configuration text. Validation
+    /// and model extraction live in `conferr_analysis::apache` —
+    /// shared verbatim with the static linter — and the service is
+    /// assembled infallibly from the extracted [`StartupModel`].
     fn parse_and_validate(text: &str) -> ApacheStartup {
         let tree = ApacheFormat::new()
             .parse(text)
             .map_err(|e| format!("Syntax error in httpd.conf: {e}"))?;
-        Self::validate_tree(tree.root())?;
-        let mut warnings = Vec::new();
-        let service = Self::build_service(tree.root(), &mut warnings)?;
-        Ok((Arc::new(service), warnings))
+        validate_tree(tree.root()).map_err(|v| v.message)?;
+        let model = startup_model(tree.root()).map_err(|v| v.message)?;
+        Ok((Arc::new(Self::service_from_model(&model)), model.warnings))
     }
 
-    fn rule_for(name: &str) -> Option<&'static ArgRule> {
-        REGISTRY
-            .iter()
-            .find(|(n, _)| n.eq_ignore_ascii_case(name))
-            .map(|(_, r)| r)
-    }
-
-    fn check_directive(node: &Node) -> Result<(), String> {
-        let name = node.attr("name").unwrap_or("");
-        let args = node.text().unwrap_or("");
-        let Some(rule) = Self::rule_for(name) else {
-            return Err(format!(
-                "Invalid command '{name}', perhaps misspelled or defined by a module not \
-                 included in the server configuration"
-            ));
-        };
-        let first = args.split_whitespace().next().unwrap_or("");
-        match rule {
-            ArgRule::Lax => Ok(()),
-            ArgRule::Int => match parse_int_strict(args) {
-                Some(v) if v >= 0 => Ok(()),
-                _ => Err(format!(
-                    "{name} requires a non-negative integer, got \"{args}\""
-                )),
-            },
-            ArgRule::Keyword(options) => {
-                if options.iter().any(|o| o.eq_ignore_ascii_case(first)) {
-                    Ok(())
-                } else {
-                    Err(format!("{name} must be one of {options:?}, got \"{args}\""))
-                }
-            }
-            ArgRule::Listen => {
-                let port_part = first.rsplit(':').next().unwrap_or("");
-                match parse_int_strict(port_part) {
-                    Some(p) if (1..=65535).contains(&p) => Ok(()),
-                    _ => Err(format!(
-                        "Listen requires a port number or address:port, got \"{args}\""
-                    )),
-                }
-            }
-            ArgRule::FromList => {
-                if first.eq_ignore_ascii_case("from") {
-                    Ok(())
-                } else {
-                    Err(format!(
-                        "{name} takes 'from' followed by hosts, got \"{args}\""
-                    ))
-                }
-            }
-            ArgRule::Order => {
-                let ok = ["allow,deny", "deny,allow", "mutual-failure"]
-                    .iter()
-                    .any(|o| o.eq_ignore_ascii_case(first));
-                if ok {
-                    Ok(())
-                } else {
-                    Err(format!("unknown order \"{args}\""))
-                }
-            }
-        }
-    }
-
-    fn validate_tree(node: &Node) -> Result<(), String> {
-        for child in node.children() {
-            match child.kind() {
-                "directive" => Self::check_directive(child)?,
-                "section" => {
-                    let name = child.attr("name").unwrap_or("");
-                    if !SECTIONS.iter().any(|s| s.eq_ignore_ascii_case(name)) {
-                        return Err(format!(
-                            "Invalid command '<{name}', perhaps misspelled or defined by a \
-                             module not included in the server configuration"
-                        ));
-                    }
-                    Self::validate_tree(child)?;
-                }
-                _ => {}
-            }
-        }
-        Ok(())
-    }
-
-    fn directive_args<'n>(node: &'n Node, name: &str) -> Option<&'n str> {
-        node.children_of_kind("directive")
-            .find(|d| d.attr("name").is_some_and(|n| n.eq_ignore_ascii_case(name)))
-            .and_then(|d| d.text())
-    }
-
-    fn collect_aliases(node: &Node) -> Vec<(String, String)> {
-        let mut out = Vec::new();
-        for d in node.children_of_kind("directive") {
-            let name = d.attr("name").unwrap_or("");
-            if name.eq_ignore_ascii_case("Alias") || name.eq_ignore_ascii_case("ScriptAlias") {
-                let args: Vec<&str> = d.text().unwrap_or("").split_whitespace().collect();
-                if args.len() == 2 {
-                    out.push((args[0].to_string(), args[1].to_string()));
-                }
-            }
-        }
-        out
-    }
-
-    fn build_service(root: &Node, warnings: &mut Vec<String>) -> Result<HttpService, String> {
-        let mut listen_ports: Vec<u16> = Vec::new();
-        let mut mime_types = BTreeMap::new();
-        let mut service = HttpService {
+    fn service_from_model(model: &StartupModel) -> HttpService {
+        HttpService {
             fs: builtin_fs(),
-            directory_index: "index.html".to_string(),
-            default_type: "text/plain".to_string(),
-            main_doc_root: "/var/www/html".to_string(),
-            ..HttpService::default()
-        };
-        for d in root.children_of_kind("directive") {
-            let name = d.attr("name").unwrap_or("");
-            let args = d.text().unwrap_or("");
-            if name.eq_ignore_ascii_case("Listen") {
-                let port_part = args
-                    .split_whitespace()
-                    .next()
-                    .unwrap_or("")
-                    .rsplit(':')
-                    .next()
-                    .unwrap_or("");
-                let port: u16 = port_part
-                    .parse()
-                    .map_err(|_| format!("Listen port \"{port_part}\" is not a valid port"))?;
-                if listen_ports.contains(&port) {
-                    return Err(format!(
-                        "(98)Address already in use: make_sock: could not bind to \
-                         address [::]:{port}"
-                    ));
-                }
-                listen_ports.push(port);
-            } else if name.eq_ignore_ascii_case("DocumentRoot") {
-                service.main_doc_root = args.trim().trim_matches('"').to_string();
-            } else if name.eq_ignore_ascii_case("DirectoryIndex") {
-                if let Some(first) = args.split_whitespace().next() {
-                    service.directory_index = first.to_string();
-                }
-            } else if name.eq_ignore_ascii_case("DefaultType") {
-                service.default_type = args.trim().to_string();
-            } else if name.eq_ignore_ascii_case("AddType") {
-                let mut toks = args.split_whitespace();
-                if let Some(mime) = toks.next() {
-                    for ext in toks {
-                        mime_types
-                            .insert(ext.trim_start_matches('.').to_string(), mime.to_string());
-                    }
-                }
-            }
+            listen_ports: model.listen_ports.clone(),
+            main_doc_root: model.main_doc_root.clone(),
+            main_aliases: model.main_aliases.clone(),
+            directory_index: model.directory_index.clone(),
+            default_type: model.default_type.clone(),
+            mime_types: model.mime_types.clone(),
+            vhosts: model
+                .vhosts
+                .iter()
+                .map(|v| VirtualHost {
+                    server_name: v.server_name.clone(),
+                    doc_root: v.doc_root.clone(),
+                    aliases: v.aliases.clone(),
+                    addr_pattern: v.addr_pattern.clone(),
+                })
+                .collect(),
         }
-        service.main_aliases = Self::collect_aliases(root);
-        for section in root.children_of_kind("section") {
-            if !section
-                .attr("name")
-                .is_some_and(|n| n.eq_ignore_ascii_case("VirtualHost"))
-            {
-                continue;
-            }
-            let server_name =
-                Self::directive_args(section, "ServerName").map(|s| s.trim().to_string());
-            if server_name.is_none() {
-                // The common mistake called out in §2.2: a VirtualHost
-                // without its ServerName.
-                warnings.push(format!(
-                    "NameVirtualHost {}: VirtualHost has no ServerName; requests may be \
-                     misrouted",
-                    section.attr("args").unwrap_or("*:80")
-                ));
-            }
-            let doc_root = Self::directive_args(section, "DocumentRoot")
-                .map(|s| s.trim().trim_matches('"').to_string())
-                .unwrap_or_else(|| service.main_doc_root.clone());
-            service.vhosts.push(VirtualHost {
-                server_name,
-                doc_root,
-                aliases: Self::collect_aliases(section),
-                addr_pattern: section.attr("args").unwrap_or("*:80").to_string(),
-            });
-        }
-        if listen_ports.is_empty() {
-            return Err("no listening sockets available, shutting down".to_string());
-        }
-        if !service.fs.dir_exists(&service.main_doc_root) {
-            warnings.push(format!(
-                "Warning: DocumentRoot [{}] does not exist",
-                service.main_doc_root
-            ));
-        }
-        service.listen_ports = listen_ports;
-        service.mime_types = mime_types;
-        Ok(service)
     }
 }
 
@@ -618,6 +321,10 @@ impl SystemUnderTest for ApacheSim {
 
     fn parse_cache_stats(&self) -> Option<CacheStats> {
         Some(self.cache.stats())
+    }
+
+    fn schema(&self) -> Option<&'static DirectiveSchema> {
+        Some(&APACHE_SCHEMA)
     }
 }
 

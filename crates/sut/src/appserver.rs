@@ -18,6 +18,7 @@
 
 use std::sync::Arc;
 
+use conferr_analysis::{DirectiveSchema, APPSERVER_SCHEMA};
 use conferr_formats::{xml_parse_attrs, ConfigFormat, XmlFormat};
 use conferr_tree::Node;
 
@@ -278,6 +279,10 @@ impl SystemUnderTest for AppServerSim {
 
     fn parse_cache_stats(&self) -> Option<CacheStats> {
         Some(self.cache.stats())
+    }
+
+    fn schema(&self) -> Option<&'static DirectiveSchema> {
+        Some(&APPSERVER_SCHEMA)
     }
 }
 

@@ -13,6 +13,7 @@
 //! server is answering to requests both for the forward and the
 //! reverse zone" — zone-liveness SOA probes, not per-record audits.
 
+use conferr_analysis::{DirectiveSchema, BIND_SCHEMA};
 use conferr_formats::{ConfigFormat, ZoneFormat};
 use conferr_tree::ConfTree;
 
@@ -358,6 +359,10 @@ impl SystemUnderTest for BindSim {
 
     fn parse_cache_stats(&self) -> Option<CacheStats> {
         Some(self.cache.stats())
+    }
+
+    fn schema(&self) -> Option<&'static DirectiveSchema> {
+        Some(&BIND_SCHEMA)
     }
 }
 

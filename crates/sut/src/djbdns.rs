@@ -14,6 +14,8 @@
 
 use std::sync::Arc;
 
+use conferr_analysis::tinydns::check_line;
+use conferr_analysis::{DirectiveSchema, DJBDNS_SCHEMA};
 use conferr_formats::{tinydns_fields, ConfigFormat, TinyDnsFormat};
 
 use crate::minidns::{QType, ZoneStore};
@@ -64,8 +66,10 @@ impl DjbdnsSim {
         self.running.as_ref().map(|r| r.store.as_ref())
     }
 
-    /// The full startup path: parse the tinydns data file and load
-    /// every line, as `tinydns-data` would. Pure in the text.
+    /// The full startup path: parse the tinydns data file, run the
+    /// shared syntax check (the same `conferr_analysis::tinydns`
+    /// model the static linter uses), then load every line. Pure in
+    /// the text.
     fn parse_data(text: &str) -> DataParse {
         let tree = TinyDnsFormat::new()
             .parse(text)
@@ -76,21 +80,11 @@ impl DjbdnsSim {
                 continue;
             }
             let ty = node.attr("type").unwrap_or("");
-            Self::load_line(&mut store, ty, node.text().unwrap_or(""), i + 1)?;
+            let payload = node.text().unwrap_or("");
+            check_line(ty, payload, i + 1).map_err(|v| v.message)?;
+            Self::load_line(&mut store, ty, payload);
         }
         Ok(Arc::new(store))
-    }
-
-    fn check_ip(ip: &str, line_no: usize) -> Result<(), String> {
-        let octets: Vec<&str> = ip.split('.').collect();
-        let valid = octets.len() == 4 && octets.iter().all(|o| o.parse::<u8>().is_ok());
-        if valid {
-            Ok(())
-        } else {
-            Err(format!(
-                "tinydns-data: fatal: unable to parse data line {line_no}: bad IP address '{ip}'"
-            ))
-        }
     }
 
     fn reverse(ip: &str) -> String {
@@ -108,24 +102,17 @@ impl DjbdnsSim {
         }
     }
 
-    /// Expands one data line into the store. No consistency checks —
-    /// that is the point.
-    fn load_line(
-        store: &mut ZoneStore,
-        ty: &str,
-        payload: &str,
-        line_no: usize,
-    ) -> Result<(), String> {
+    /// Expands one checked data line into the store. No consistency
+    /// checks — that is the point.
+    fn load_line(store: &mut ZoneStore, ty: &str, payload: &str) {
         let fields = tinydns_fields(payload);
         let f = |i: usize| fields.get(i).copied().unwrap_or("");
         match ty {
             "=" => {
-                Self::check_ip(f(1), line_no)?;
                 store.add_record(&Self::dot(f(0)), QType::A, vec![f(1).to_string()]);
                 store.add_record(&Self::reverse(f(1)), QType::Ptr, vec![Self::dot(f(0))]);
             }
             "+" => {
-                Self::check_ip(f(1), line_no)?;
                 store.add_record(&Self::dot(f(0)), QType::A, vec![f(1).to_string()]);
             }
             "^" => {
@@ -142,7 +129,6 @@ impl DjbdnsSim {
                     vec![dist.to_string(), Self::dot(f(2))],
                 );
                 if !f(1).is_empty() {
-                    Self::check_ip(f(1), line_no)?;
                     store.add_record(&Self::dot(f(2)), QType::A, vec![f(1).to_string()]);
                 }
             }
@@ -162,7 +148,6 @@ impl DjbdnsSim {
                     );
                 }
                 if !f(1).is_empty() {
-                    Self::check_ip(f(1), line_no)?;
                     store.add_record(&Self::dot(f(2)), QType::A, vec![f(1).to_string()]);
                 }
             }
@@ -178,18 +163,13 @@ impl DjbdnsSim {
                     vec![Self::dot(f(1)), Self::dot(f(2)), f(3).to_string()],
                 );
             }
-            "%" | "-" | ":" | "3" | "6" => {
+            _ => {
                 // Location lines, disabled lines and generic/AAAA
-                // records are accepted and ignored by this simulator.
-            }
-            other => {
-                return Err(format!(
-                    "tinydns-data: fatal: unable to parse data line {line_no}: unknown \
-                     leading character '{other}'"
-                ))
+                // records are accepted and ignored by this simulator;
+                // unknown prefixes were already rejected by
+                // `check_line`.
             }
         }
-        Ok(())
     }
 }
 
@@ -262,6 +242,10 @@ impl SystemUnderTest for DjbdnsSim {
 
     fn parse_cache_stats(&self) -> Option<CacheStats> {
         Some(self.cache.stats())
+    }
+
+    fn schema(&self) -> Option<&'static DirectiveSchema> {
+        Some(&DJBDNS_SCHEMA)
     }
 }
 

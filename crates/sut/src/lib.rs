@@ -66,6 +66,9 @@ pub use mysql::MySqlSim;
 pub use payload::{CacheStats, ConfigPayload, ContentId, FileText, ParseCache, TextOrigin};
 pub use postgres::PostgresSim;
 
+// The declarative schemas the simulators expose for static analysis.
+pub use conferr_analysis::{schema_for, DirectiveSchema};
+
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -207,6 +210,14 @@ pub trait SystemUnderTest: fmt::Debug {
     /// Parse-cache counters, or `None` when the implementation does
     /// not memoize startup parsing.
     fn parse_cache_stats(&self) -> Option<CacheStats> {
+        None
+    }
+
+    /// The system's declarative directive schema — files, dialect
+    /// models and per-test read-sets — when one has been extracted.
+    /// Static analysis (pre-flight linting, test-impact pruning) is
+    /// only available for systems that return `Some`. Default: `None`.
+    fn schema(&self) -> Option<&'static DirectiveSchema> {
         None
     }
 }

@@ -174,7 +174,7 @@ impl ZoneStore {
             if qtype != QType::Cname {
                 if let Some(cname) = at_name.iter().find(|r| r.rtype == QType::Cname) {
                     chain.push((*cname).clone());
-                    current = normalize(cname.rdata.first().map(String::as_str).unwrap_or(""));
+                    current = normalize(cname.rdata.first().map_or("", String::as_str));
                     continue;
                 }
             }

@@ -109,8 +109,10 @@ impl HttpService {
                     .as_deref()
                     .is_some_and(|n| n.eq_ignore_ascii_case(host))
             })
-            .map(|v| (v.doc_root.as_str(), v.aliases.as_slice()))
-            .unwrap_or((self.main_doc_root.as_str(), self.main_aliases.as_slice()));
+            .map_or(
+                (self.main_doc_root.as_str(), self.main_aliases.as_slice()),
+                |v| (v.doc_root.as_str(), v.aliases.as_slice()),
+            );
 
         let fs_path = self.resolve(doc_root, aliases, path);
         match self.fs.read(&fs_path) {

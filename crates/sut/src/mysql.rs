@@ -28,345 +28,18 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use conferr_formats::{ConfigFormat, IniFormat};
-use conferr_tree::Node;
-
-use crate::directive::{
-    parse_bool_mysql, parse_int_strict, parse_size_mysql, resolve_prefix, DirectiveSpec,
-    MySqlParse, PrefixError, ValueType,
+use conferr_analysis::mysql::{
+    check_dump_config, validate_server_config, DEFAULT_PORT, SERVER_REGISTRY,
 };
+use conferr_analysis::{DirectiveSchema, MYSQL_SCHEMA};
+use conferr_formats::{ConfigFormat, IniFormat};
+
+use crate::directive::ValueType;
 use crate::minidb::{Engine, EngineLimits};
 use crate::{
     CacheStats, ConfigFileSpec, ConfigPayload, ParseCache, StartOutcome, SystemUnderTest,
     TestOutcome,
 };
-
-/// Registry of `[mysqld]` server variables (a representative subset of
-/// MySQL 5.1's ~280 system variables; bounds follow the 5.1 manual).
-const SERVER_REGISTRY: &[DirectiveSpec] = &[
-    DirectiveSpec::new("port", ValueType::Int { min: 0, max: 65535 }, "3306"),
-    DirectiveSpec::new("socket", ValueType::Text, "/var/run/mysqld/mysqld.sock"),
-    DirectiveSpec::new("datadir", ValueType::Text, "/var/lib/mysql"),
-    DirectiveSpec::new("basedir", ValueType::Text, "/usr"),
-    DirectiveSpec::new("tmpdir", ValueType::Text, "/tmp"),
-    DirectiveSpec::new("bind_address", ValueType::Text, "0.0.0.0"),
-    DirectiveSpec::new(
-        "key_buffer_size",
-        ValueType::Size {
-            min: 8192,
-            max: 4_294_967_295,
-        },
-        "8388608",
-    ),
-    DirectiveSpec::new(
-        "max_allowed_packet",
-        ValueType::Size {
-            min: 1024,
-            max: 1_073_741_824,
-        },
-        "1048576",
-    ),
-    DirectiveSpec::new(
-        "table_open_cache",
-        ValueType::Int {
-            min: 1,
-            max: 524288,
-        },
-        "64",
-    ),
-    DirectiveSpec::new(
-        "sort_buffer_size",
-        ValueType::Size {
-            min: 32768,
-            max: 4_294_967_295,
-        },
-        "2097144",
-    ),
-    DirectiveSpec::new(
-        "net_buffer_length",
-        ValueType::Size {
-            min: 1024,
-            max: 1_048_576,
-        },
-        "16384",
-    ),
-    DirectiveSpec::new(
-        "read_buffer_size",
-        ValueType::Size {
-            min: 8192,
-            max: 2_147_479_552,
-        },
-        "131072",
-    ),
-    DirectiveSpec::new(
-        "read_rnd_buffer_size",
-        ValueType::Size {
-            min: 8192,
-            max: 4_294_967_295,
-        },
-        "262144",
-    ),
-    DirectiveSpec::new(
-        "myisam_sort_buffer_size",
-        ValueType::Size {
-            min: 4096,
-            max: 4_294_967_295,
-        },
-        "8388608",
-    ),
-    DirectiveSpec::new(
-        "thread_cache_size",
-        ValueType::Int { min: 0, max: 16384 },
-        "0",
-    ),
-    DirectiveSpec::new(
-        "thread_stack",
-        ValueType::Size {
-            min: 131072,
-            max: 4_294_967_295,
-        },
-        "196608",
-    ),
-    DirectiveSpec::new(
-        "max_connections",
-        ValueType::Int {
-            min: 1,
-            max: 100000,
-        },
-        "151",
-    ),
-    DirectiveSpec::new(
-        "max_connect_errors",
-        ValueType::Int {
-            min: 1,
-            max: 4_294_967_295,
-        },
-        "10",
-    ),
-    DirectiveSpec::new(
-        "wait_timeout",
-        ValueType::Int {
-            min: 1,
-            max: 31536000,
-        },
-        "28800",
-    ),
-    DirectiveSpec::new(
-        "interactive_timeout",
-        ValueType::Int {
-            min: 1,
-            max: 31536000,
-        },
-        "28800",
-    ),
-    DirectiveSpec::new(
-        "query_cache_size",
-        ValueType::Size {
-            min: 0,
-            max: 4_294_967_295,
-        },
-        "0",
-    ),
-    DirectiveSpec::new(
-        "tmp_table_size",
-        ValueType::Size {
-            min: 1024,
-            max: 4_294_967_295,
-        },
-        "16777216",
-    ),
-    DirectiveSpec::new(
-        "join_buffer_size",
-        ValueType::Size {
-            min: 8192,
-            max: 4_294_967_295,
-        },
-        "131072",
-    ),
-    DirectiveSpec::new(
-        "bulk_insert_buffer_size",
-        ValueType::Size {
-            min: 0,
-            max: 4_294_967_295,
-        },
-        "8388608",
-    ),
-    DirectiveSpec::new(
-        "server_id",
-        ValueType::Int {
-            min: 0,
-            max: 4_294_967_295,
-        },
-        "0",
-    ),
-    DirectiveSpec::new("back_log", ValueType::Int { min: 1, max: 65535 }, "50"),
-    DirectiveSpec::new(
-        "open_files_limit",
-        ValueType::Int { min: 0, max: 65535 },
-        "0",
-    ),
-    DirectiveSpec::new("skip_external_locking", ValueType::Bool, "1"),
-    DirectiveSpec::new("skip_networking", ValueType::Bool, "0"),
-    DirectiveSpec::new("log_error", ValueType::Text, "/var/log/mysql/error.log"),
-    DirectiveSpec::new("slow_query_log", ValueType::Bool, "0"),
-    DirectiveSpec::new(
-        "long_query_time",
-        ValueType::Int {
-            min: 1,
-            max: 31536000,
-        },
-        "10",
-    ),
-    DirectiveSpec::new(
-        "default_storage_engine",
-        ValueType::Enum(&["MyISAM", "InnoDB", "MEMORY", "CSV"]),
-        "MyISAM",
-    ),
-    DirectiveSpec::new(
-        "character_set_server",
-        ValueType::Enum(&["latin1", "utf8", "ascii", "ucs2"]),
-        "latin1",
-    ),
-    DirectiveSpec::new("collation_server", ValueType::Text, "latin1_swedish_ci"),
-    DirectiveSpec::new("sql_mode", ValueType::Text, ""),
-    DirectiveSpec::new("ft_min_word_len", ValueType::Int { min: 1, max: 84 }, "4"),
-    DirectiveSpec::new(
-        "innodb_buffer_pool_size",
-        ValueType::Size {
-            min: 1_048_576,
-            max: 4_294_967_295,
-        },
-        "8388608",
-    ),
-    DirectiveSpec::new(
-        "innodb_log_file_size",
-        ValueType::Size {
-            min: 1_048_576,
-            max: 4_294_967_295,
-        },
-        "5242880",
-    ),
-    DirectiveSpec::new(
-        "innodb_additional_mem_pool_size",
-        ValueType::Size {
-            min: 524_288,
-            max: 4_294_967_295,
-        },
-        "1048576",
-    ),
-    DirectiveSpec::new(
-        "innodb_log_buffer_size",
-        ValueType::Size {
-            min: 262_144,
-            max: 4_294_967_295,
-        },
-        "1048576",
-    ),
-    DirectiveSpec::new(
-        "query_cache_limit",
-        ValueType::Size {
-            min: 0,
-            max: 4_294_967_295,
-        },
-        "1048576",
-    ),
-    DirectiveSpec::new(
-        "max_heap_table_size",
-        ValueType::Size {
-            min: 16384,
-            max: 4_294_967_295,
-        },
-        "16777216",
-    ),
-    DirectiveSpec::new("innodb_data_home_dir", ValueType::Text, "/var/lib/mysql"),
-    DirectiveSpec::new(
-        "innodb_log_group_home_dir",
-        ValueType::Text,
-        "/var/lib/mysql",
-    ),
-    DirectiveSpec::new("pid_file", ValueType::Text, "/var/run/mysqld/mysqld.pid"),
-    DirectiveSpec::new(
-        "general_log_file",
-        ValueType::Text,
-        "/var/log/mysql/mysql.log",
-    ),
-    DirectiveSpec::new(
-        "slow_query_log_file",
-        ValueType::Text,
-        "/var/log/mysql/mysql-slow.log",
-    ),
-    DirectiveSpec::new("character_sets_dir", ValueType::Text, "/usr/share/charsets"),
-    DirectiveSpec::new("init_connect", ValueType::Text, "SET NAMES latin1"),
-    DirectiveSpec::new("ft_stopword_file", ValueType::Text, "/usr/share/stopwords"),
-    DirectiveSpec::new("log_bin", ValueType::Text, "/var/log/mysql/mysql-bin"),
-    DirectiveSpec::new("relay_log", ValueType::Text, "/var/log/mysql/relay-bin"),
-    DirectiveSpec::new(
-        "log_bin_index",
-        ValueType::Text,
-        "/var/log/mysql/mysql-bin.index",
-    ),
-    DirectiveSpec::new(
-        "relay_log_index",
-        ValueType::Text,
-        "/var/log/mysql/relay-bin.index",
-    ),
-    DirectiveSpec::new("plugin_dir", ValueType::Text, "/usr/lib/mysql/plugin"),
-    DirectiveSpec::new("ssl_ca", ValueType::Text, "/etc/mysql/cacert.pem"),
-    DirectiveSpec::new("ssl_cert", ValueType::Text, "/etc/mysql/server-cert.pem"),
-    DirectiveSpec::new("ssl_key", ValueType::Text, "/etc/mysql/server-key.pem"),
-    DirectiveSpec::new("init_file", ValueType::Text, "/etc/mysql/init.sql"),
-    DirectiveSpec::new("language", ValueType::Text, "/usr/share/mysql/english"),
-    DirectiveSpec::new("report_user", ValueType::Text, "repl"),
-    DirectiveSpec::new("master_host", ValueType::Text, "replica-source.example.com"),
-    DirectiveSpec::new("master_user", ValueType::Text, "repl"),
-    DirectiveSpec::new("report_host", ValueType::Text, "db1.example.com"),
-    DirectiveSpec::new("secure_auth_path", ValueType::Text, "/var/lib/mysql/auth"),
-    DirectiveSpec::new("slave_load_tmpdir", ValueType::Text, "/tmp"),
-];
-
-/// Registry for the `mysqldump` tool section (parsed only when the
-/// tool runs — the latent-error design flaw).
-const DUMP_REGISTRY: &[DirectiveSpec] = &[
-    DirectiveSpec::new("quick", ValueType::Bool, "0"),
-    DirectiveSpec::new(
-        "max_allowed_packet",
-        ValueType::Size {
-            min: 1024,
-            max: 1_073_741_824,
-        },
-        "25165824",
-    ),
-    DirectiveSpec::new("single_transaction", ValueType::Bool, "0"),
-    DirectiveSpec::new("compress", ValueType::Bool, "0"),
-];
-
-/// The port an administrator's plain `mysql -h 127.0.0.1` invocation
-/// uses — the functional test connects here.
-const DEFAULT_PORT: &str = "3306";
-
-/// Directories that exist on the simulated host; path-valued
-/// directives are validated against these, as the real server does
-/// when opening its data directory, socket and log files.
-const EXISTING_DIRS: &[&str] = &[
-    "/var/lib/mysql",
-    "/var/run/mysqld",
-    "/var/log/mysql",
-    "/usr",
-    "/tmp",
-];
-
-fn path_is_valid(path: &str) -> bool {
-    let t = path.trim();
-    if EXISTING_DIRS.contains(&t) {
-        return true;
-    }
-    // A file path is fine when its parent directory exists.
-    match t.rfind('/') {
-        Some(0) => false,
-        Some(idx) => EXISTING_DIRS.contains(&&t[..idx]),
-        None => false,
-    }
-}
 
 const DEFAULT_MY_CNF: &str = "\
 # Example MySQL config file (my.cnf).
@@ -476,107 +149,6 @@ impl MySqlSim {
             .and_then(|r| r.vars.get(name).map(String::as_str))
     }
 
-    /// Normalises an option name: `-` and `_` are interchangeable.
-    fn normalize_name(name: &str) -> String {
-        name.replace('-', "_")
-    }
-
-    /// Parses and validates one `[mysqld]` directive, applying the
-    /// lenient value discipline. Returns the resolved `(name, value)`
-    /// or a fatal diagnostic.
-    fn absorb_server_directive(
-        vars: &mut BTreeMap<String, String>,
-        node: &Node,
-    ) -> Result<(), String> {
-        let raw_name = node.attr("name").unwrap_or("");
-        let name = Self::normalize_name(raw_name);
-        let spec_name = match resolve_prefix(SERVER_REGISTRY.iter().map(|s| s.name), &name) {
-            Ok(n) => n,
-            Err(PrefixError::Unknown) => {
-                return Err(format!("unknown variable '{raw_name}'"));
-            }
-            Err(PrefixError::Ambiguous { candidates }) => {
-                return Err(format!(
-                    "ambiguous option '{raw_name}' (could be {})",
-                    candidates.join(", ")
-                ));
-            }
-        };
-        let spec = SERVER_REGISTRY
-            .iter()
-            .find(|s| s.name == spec_name)
-            .expect("resolved name is in the registry");
-        let bare = node.attr("bare") == Some("yes");
-        let raw_value = node.text().unwrap_or("");
-
-        let value = if bare {
-            match spec.vtype {
-                // A bare option enables boolean flags ...
-                ValueType::Bool => "1".to_string(),
-                // ... and is silently replaced by the default for
-                // value-carrying directives (flaw).
-                _ => spec.default.to_string(),
-            }
-        } else if raw_value.is_empty() && !matches!(spec.vtype, ValueType::Bool) {
-            // FLAW (paper §5.2): directives without a value are
-            // accepted and replaced with defaults.
-            spec.default.to_string()
-        } else {
-            match spec.vtype {
-                ValueType::Int { min, max } => match parse_int_strict(raw_value) {
-                    Some(v) if v >= min && v <= max => v.to_string(),
-                    // FLAW (paper §5.2): out-of-bounds values are
-                    // silently ignored and the default used instead.
-                    Some(_) => spec.default.to_string(),
-                    None => {
-                        return Err(format!(
-                            "option '{spec_name}' requires an integer argument, got \
-                             '{raw_value}'"
-                        ))
-                    }
-                },
-                ValueType::Size { min, max } => match parse_size_mysql(raw_value) {
-                    // FLAW: suffix parsing stops at the first
-                    // multiplier symbol, so "1M0" lands here as 1 MiB.
-                    MySqlParse::Value(v) if v >= min && v <= max => v.to_string(),
-                    // FLAW: out-of-bounds → silent default.
-                    MySqlParse::Value(_) => spec.default.to_string(),
-                    // FLAW: suffix-leading values → silent default.
-                    MySqlParse::SilentDefault => spec.default.to_string(),
-                    MySqlParse::Invalid => {
-                        return Err(format!(
-                            "option '{spec_name}' got an invalid size argument '{raw_value}'"
-                        ))
-                    }
-                },
-                ValueType::Bool => match parse_bool_mysql(raw_value) {
-                    Some(v) => u8::from(v).to_string(),
-                    // Boolean typos ARE detected (paper §5.5 excludes
-                    // booleans because both systems catch them).
-                    None => {
-                        return Err(format!(
-                            "variable '{spec_name}' can't be set to the value of '{raw_value}'"
-                        ))
-                    }
-                },
-                ValueType::Enum(options) => {
-                    match options.iter().find(|o| o.eq_ignore_ascii_case(raw_value)) {
-                        Some(o) => o.to_string(),
-                        None => {
-                            return Err(format!(
-                                "variable '{spec_name}' can't be set to the value of \
-                                 '{raw_value}'"
-                            ))
-                        }
-                    }
-                }
-                ValueType::Float { .. } | ValueType::Text => raw_value.to_string(),
-            }
-        };
-        vars.insert(spec_name.to_string(), value);
-        Ok(())
-    }
-
     /// The full startup path: parse `my.cnf`, absorb the `[mysqld]`
     /// group with MySQL's lenient value discipline, check path-valued
     /// directives. Pure in the configuration text.
@@ -584,34 +156,11 @@ impl MySqlSim {
         let tree = IniFormat::new()
             .parse(text)
             .map_err(|e| format!("error while reading my.cnf: {e}"))?;
-        // Seed every variable with its default, then absorb [mysqld].
-        let mut vars: BTreeMap<String, String> = SERVER_REGISTRY
-            .iter()
-            .map(|s| (s.name.to_string(), s.default.to_string()))
-            .collect();
-        // DESIGN FLAW (paper §5.2): only the server's own group is
-        // parsed at startup; every other group — [client],
-        // [mysqldump], even misspelled group names — is skipped, so
-        // errors there stay latent.
-        for section in tree.root().children_of_kind("section") {
-            if section.attr("name") != Some("mysqld") {
-                continue;
-            }
-            for node in section.children_of_kind("directive") {
-                Self::absorb_server_directive(&mut vars, node)?;
-            }
-        }
-        // Path-valued directives must point at an existing location,
-        // or the daemon aborts ("Can't read dir", "Can't create ...").
-        for path_var in ["datadir", "basedir", "tmpdir", "socket", "log_error"] {
-            if let Some(path) = vars.get(path_var) {
-                if !path_is_valid(path) {
-                    return Err(format!(
-                        "[ERROR] {path_var}: Can't read dir of '{path}' (Errcode: 2)"
-                    ));
-                }
-            }
-        }
+        // The lenient value discipline, section skipping and path
+        // checks live in `conferr_analysis::mysql` — shared verbatim
+        // with the static linter, so its verdicts cannot drift from
+        // this startup path.
+        let vars = validate_server_config(tree.root()).map_err(|v| v.message)?;
         let limits = EngineLimits {
             max_connections: vars
                 .get("max_connections")
@@ -726,20 +275,10 @@ impl SystemUnderTest for MySqlSim {
                     Ok(t) => t,
                     Err(e) => return TestOutcome::failed(format!("cannot re-read my.cnf: {e}")),
                 };
-                for section in tree.root().children_of_kind("section") {
-                    if section.attr("name") != Some("mysqldump") {
-                        continue;
-                    }
-                    for node in section.children_of_kind("directive") {
-                        let name = Self::normalize_name(node.attr("name").unwrap_or(""));
-                        if resolve_prefix(DUMP_REGISTRY.iter().map(|s| s.name), &name).is_err() {
-                            return TestOutcome::failed(format!(
-                                "mysqldump: unknown option '--{name}'"
-                            ));
-                        }
-                    }
+                match check_dump_config(tree.root()) {
+                    Ok(()) => TestOutcome::Passed,
+                    Err(v) => TestOutcome::failed(v.message),
                 }
-                TestOutcome::Passed
             }
             other => TestOutcome::failed(format!("unknown test {other:?}")),
         }
@@ -755,6 +294,10 @@ impl SystemUnderTest for MySqlSim {
 
     fn parse_cache_stats(&self) -> Option<CacheStats> {
         Some(self.cache.stats())
+    }
+
+    fn schema(&self) -> Option<&'static DirectiveSchema> {
+        Some(&MYSQL_SCHEMA)
     }
 }
 

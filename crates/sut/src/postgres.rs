@@ -19,158 +19,16 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+use conferr_analysis::postgres::{validate_config, REGISTRY};
+use conferr_analysis::{DirectiveSchema, POSTGRES_SCHEMA};
 use conferr_formats::{ConfigFormat, KvFormat};
 
-use crate::directive::{
-    parse_bool_pg, parse_int_strict, parse_size_strict, DirectiveSpec, ValueType,
-};
+use crate::directive::ValueType;
 use crate::minidb::{Engine, EngineLimits};
 use crate::{
     CacheStats, ConfigFileSpec, ConfigPayload, ParseCache, StartOutcome, SystemUnderTest,
     TestOutcome,
 };
-
-/// Registry of configuration parameters (a representative subset of
-/// Postgres 8.2's ~200 GUC variables; bounds follow the 8.2 docs).
-const REGISTRY: &[DirectiveSpec] = &[
-    DirectiveSpec::new("port", ValueType::Int { min: 1, max: 65535 }, "5432"),
-    DirectiveSpec::new("listen_addresses", ValueType::Text, "'localhost'"),
-    DirectiveSpec::new(
-        "max_connections",
-        ValueType::Int { min: 1, max: 10000 },
-        "100",
-    ),
-    DirectiveSpec::new(
-        "superuser_reserved_connections",
-        ValueType::Int { min: 0, max: 100 },
-        "3",
-    ),
-    DirectiveSpec::new(
-        "shared_buffers",
-        ValueType::Int {
-            min: 16,
-            max: 1073741823,
-        },
-        "1000",
-    ),
-    DirectiveSpec::new(
-        "temp_buffers",
-        ValueType::Int {
-            min: 100,
-            max: 1073741823,
-        },
-        "1000",
-    ),
-    DirectiveSpec::new(
-        "work_mem",
-        ValueType::Size {
-            min: 64 * 1024,
-            max: 2_147_483_647,
-        },
-        "1MB",
-    ),
-    DirectiveSpec::new(
-        "maintenance_work_mem",
-        ValueType::Size {
-            min: 1024 * 1024,
-            max: 2_147_483_647,
-        },
-        "16MB",
-    ),
-    DirectiveSpec::new(
-        "max_fsm_pages",
-        ValueType::Int {
-            min: 1000,
-            max: 2_147_483_647,
-        },
-        "153600",
-    ),
-    DirectiveSpec::new(
-        "max_fsm_relations",
-        ValueType::Int {
-            min: 100,
-            max: 2_147_483_647,
-        },
-        "1000",
-    ),
-    DirectiveSpec::new("wal_buffers", ValueType::Int { min: 4, max: 65536 }, "8"),
-    DirectiveSpec::new(
-        "checkpoint_segments",
-        ValueType::Int { min: 1, max: 65536 },
-        "3",
-    ),
-    DirectiveSpec::new(
-        "checkpoint_timeout",
-        ValueType::Int { min: 30, max: 3600 },
-        "300",
-    ),
-    DirectiveSpec::new(
-        "effective_cache_size",
-        ValueType::Int {
-            min: 1,
-            max: 2_147_483_647,
-        },
-        "16384",
-    ),
-    DirectiveSpec::new(
-        "random_page_cost",
-        ValueType::Float {
-            min: 0.0,
-            max: 1.0e10,
-        },
-        "4.0",
-    ),
-    DirectiveSpec::new(
-        "cpu_tuple_cost",
-        ValueType::Float {
-            min: 0.0,
-            max: 1.0e10,
-        },
-        "0.01",
-    ),
-    DirectiveSpec::new(
-        "vacuum_cost_delay",
-        ValueType::Int { min: 0, max: 1000 },
-        "0",
-    ),
-    DirectiveSpec::new(
-        "deadlock_timeout",
-        ValueType::Int {
-            min: 1,
-            max: 2_147_483_647,
-        },
-        "1000",
-    ),
-    DirectiveSpec::new("fsync", ValueType::Bool, "on"),
-    DirectiveSpec::new("ssl", ValueType::Bool, "off"),
-    DirectiveSpec::new("autovacuum", ValueType::Bool, "off"),
-    DirectiveSpec::new("stats_start_collector", ValueType::Bool, "on"),
-    DirectiveSpec::new(
-        "log_destination",
-        ValueType::Enum(&["stderr", "syslog", "eventlog", "csvlog"]),
-        "'stderr'",
-    ),
-    DirectiveSpec::new(
-        "log_min_messages",
-        ValueType::Enum(&[
-            "debug5", "debug4", "debug3", "debug2", "debug1", "info", "notice", "warning", "error",
-            "log", "fatal", "panic",
-        ]),
-        "notice",
-    ),
-    DirectiveSpec::new(
-        "client_min_messages",
-        ValueType::Enum(&[
-            "debug5", "debug4", "debug3", "debug2", "debug1", "log", "notice", "warning", "error",
-        ]),
-        "notice",
-    ),
-    DirectiveSpec::new("datestyle", ValueType::Text, "'iso, mdy'"),
-    DirectiveSpec::new("timezone", ValueType::Text, "unknown"),
-    DirectiveSpec::new("lc_messages", ValueType::Text, "'C'"),
-    DirectiveSpec::new("search_path", ValueType::Text, "'\"$user\",public'"),
-    DirectiveSpec::new("default_with_oids", ValueType::Bool, "off"),
-];
 
 /// Postgres 8.2's default `postgresql.conf` ships with exactly these
 /// eight active directives (paper §5.1).
@@ -255,93 +113,6 @@ impl PostgresSim {
             .and_then(|r| r.vars.get(name).map(String::as_str))
     }
 
-    fn validate_value(spec: &DirectiveSpec, raw: &str) -> Result<String, String> {
-        let unquoted = raw.trim().trim_matches('\'');
-        match spec.vtype {
-            ValueType::Int { min, max } => match parse_int_strict(unquoted) {
-                Some(v) if v >= min && v <= max => Ok(v.to_string()),
-                Some(v) => Err(format!(
-                    "{} = {v} is outside the valid range ({min} .. {max})",
-                    spec.name
-                )),
-                None => Err(format!(
-                    "parameter \"{}\" requires an integer value, got \"{raw}\"",
-                    spec.name
-                )),
-            },
-            ValueType::Size { min, max } => match parse_size_strict(unquoted) {
-                Some(v) if v >= min && v <= max => Ok(v.to_string()),
-                Some(v) => Err(format!(
-                    "{} = {v}B is outside the valid range ({min}B .. {max}B)",
-                    spec.name
-                )),
-                None => Err(format!(
-                    "parameter \"{}\" requires a size value (kB/MB/GB), got \"{raw}\"",
-                    spec.name
-                )),
-            },
-            ValueType::Float { min, max } => match unquoted.parse::<f64>() {
-                Ok(v) if v >= min && v <= max => Ok(v.to_string()),
-                Ok(v) => Err(format!(
-                    "{} = {v} is outside the valid range ({min} .. {max})",
-                    spec.name
-                )),
-                Err(_) => Err(format!(
-                    "parameter \"{}\" requires a numeric value, got \"{raw}\"",
-                    spec.name
-                )),
-            },
-            ValueType::Bool => match parse_bool_pg(unquoted) {
-                Some(v) => Ok(if v { "on" } else { "off" }.to_string()),
-                None => Err(format!(
-                    "parameter \"{}\" requires a Boolean value, got \"{raw}\"",
-                    spec.name
-                )),
-            },
-            ValueType::Enum(options) => {
-                match options.iter().find(|o| o.eq_ignore_ascii_case(unquoted)) {
-                    Some(o) => Ok(o.to_string()),
-                    None => Err(format!(
-                        "invalid value for parameter \"{}\": \"{raw}\"",
-                        spec.name
-                    )),
-                }
-            }
-            ValueType::Text => Ok(unquoted.to_string()),
-        }
-    }
-
-    /// The paper's flagship Postgres feature: constraints *across*
-    /// directives, checked after all values parse individually.
-    fn check_cross_constraints(vars: &BTreeMap<String, String>) -> Result<(), String> {
-        let get_i64 =
-            |name: &str| -> i64 { vars.get(name).and_then(|v| v.parse().ok()).unwrap_or(0) };
-        let max_fsm_pages = get_i64("max_fsm_pages");
-        let max_fsm_relations = get_i64("max_fsm_relations");
-        if max_fsm_pages < 16 * max_fsm_relations {
-            return Err(format!(
-                "max_fsm_pages must be at least 16 * max_fsm_relations \
-                 ({max_fsm_pages} < 16 * {max_fsm_relations})"
-            ));
-        }
-        let max_connections = get_i64("max_connections");
-        let superuser_reserved = get_i64("superuser_reserved_connections");
-        if superuser_reserved >= max_connections {
-            return Err(format!(
-                "superuser_reserved_connections ({superuser_reserved}) must be less than \
-                 max_connections ({max_connections})"
-            ));
-        }
-        let shared_buffers = get_i64("shared_buffers");
-        if shared_buffers < 2 * max_connections {
-            return Err(format!(
-                "shared_buffers ({shared_buffers}) must be at least twice \
-                 max_connections ({max_connections})"
-            ));
-        }
-        Ok(())
-    }
-
     /// The full startup path: parse `postgresql.conf`, validate every
     /// parameter strictly, enforce the cross-directive constraints.
     /// Pure in the configuration text; errors carry the exact FATAL
@@ -350,47 +121,10 @@ impl PostgresSim {
         let tree = KvFormat::new()
             .parse(text)
             .map_err(|e| format!("syntax error in postgresql.conf: {e}"))?;
-        let mut vars: BTreeMap<String, String> = REGISTRY
-            .iter()
-            .map(|s| {
-                (s.name.to_string(), {
-                    // Defaults pass through the same validator so the
-                    // stored form is canonical.
-                    Self::validate_value(s, s.default).expect("registry defaults are valid")
-                })
-            })
-            .collect();
-        for node in tree.root().children_of_kind("directive") {
-            let raw_name = node.attr("name").unwrap_or("");
-            // Case-insensitive, *exact* (no truncation) lookup.
-            let lower = raw_name.to_ascii_lowercase();
-            let Some(spec) = REGISTRY.iter().find(|s| s.name == lower) else {
-                return Err(format!(
-                    "FATAL: unrecognized configuration parameter \"{raw_name}\""
-                ));
-            };
-            let raw_value = node.text().unwrap_or("");
-            if raw_value.is_empty() {
-                return Err(format!("FATAL: parameter \"{raw_name}\" requires a value"));
-            }
-            // Unbalanced quoting is a syntax error, exactly as the
-            // real guc-file lexer reports it.
-            if raw_value.matches('\'').count() % 2 == 1 {
-                return Err(format!(
-                    "FATAL: syntax error in configuration near \"{raw_value}\" \
-                     (unterminated quoted string)"
-                ));
-            }
-            match Self::validate_value(spec, raw_value) {
-                Ok(v) => {
-                    vars.insert(spec.name.to_string(), v);
-                }
-                Err(msg) => return Err(format!("FATAL: {msg}")),
-            }
-        }
-        if let Err(msg) = Self::check_cross_constraints(&vars) {
-            return Err(format!("FATAL: {msg}"));
-        }
+        // Strict per-parameter validation and the cross-directive
+        // constraints live in `conferr_analysis::postgres` — shared
+        // verbatim with the static linter.
+        let vars = validate_config(tree.root()).map_err(|v| v.message)?;
         let limits = EngineLimits {
             max_connections: vars
                 .get("max_connections")
@@ -491,6 +225,10 @@ impl SystemUnderTest for PostgresSim {
 
     fn parse_cache_stats(&self) -> Option<CacheStats> {
         Some(self.cache.stats())
+    }
+
+    fn schema(&self) -> Option<&'static DirectiveSchema> {
+        Some(&POSTGRES_SCHEMA)
     }
 }
 

@@ -90,9 +90,8 @@ impl NodeQuery {
         for step in &self.steps {
             let mut next: Vec<TreePath> = Vec::new();
             for ctx in &context {
-                let node = match tree.node_at(ctx) {
-                    Ok(n) => n,
-                    Err(_) => continue,
+                let Ok(node) = tree.node_at(ctx) else {
+                    continue;
                 };
                 let mut candidates: Vec<(TreePath, &Node)> = Vec::new();
                 if step.descendant {

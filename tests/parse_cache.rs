@@ -130,8 +130,11 @@ fn repeated_fault_load_hits_the_cache_and_stays_identical() {
     let (uncached, _) = run(false);
     let (cached, stats) = run(true);
     assert_eq!(profile_to_json(&uncached), profile_to_json(&cached));
+    // The engine's construction-time baseline scout contributes the
+    // pinned baseline misses; the fault load itself must still serve
+    // at least 2/3 from the cache.
     assert!(
-        stats.hits >= 2 * stats.misses,
+        stats.hits >= 2 * (stats.misses - stats.pinned as u64),
         "3x the same load must serve at least 2/3 from the cache: {stats:?}"
     );
 }
