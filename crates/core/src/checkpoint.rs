@@ -1,0 +1,358 @@
+//! Campaign checkpointing — the resume half of a robust campaign.
+//!
+//! A [`CheckpointSink`] wraps any [`OutcomeSink`] and periodically
+//! journals a [`Checkpoint`] — the number of completed faults plus the
+//! running [`ProfileSummary`] — as one JSON object per line. After a
+//! crash or kill, [`Checkpoint::from_journal`] recovers the last
+//! durable record, and `CampaignExecutor::resume_from` re-runs the
+//! same fault source with the completed prefix skipped
+//! (`FaultSourceExt::skip`), continuing to the byte-identical final
+//! profile.
+//!
+//! # Journal format
+//!
+//! One self-contained record per line (hand-rolled JSON, like every
+//! export in this crate):
+//!
+//! ```text
+//! {"checkpoint":{"completed":128,"summary":{"total":128,"detected_at_startup":40,
+//! "detected_by_tests":11,"ignored":61,"inexpressible":9,"skipped":7,
+//! "timed_out":0,"harness_failures":0}}}
+//! ```
+//!
+//! The summary keys mirror [`crate::profile_to_json`]'s summary
+//! object (`ignored` = undetected). Later records supersede earlier
+//! ones; a torn final line (the process died mid-write) is simply
+//! ignored, falling back to the previous record.
+//!
+//! # At-least-once delivery
+//!
+//! The inner sink sees an outcome *before* the journal records it, so
+//! a kill between delivery and journaling means the resumed run
+//! replays at most `interval - 1` faults into the inner sink again.
+//! Append-only consumers (e.g. a JSONL export) therefore recover the
+//! exact uninterrupted stream by keeping the first `completed` lines
+//! of the killed run's output and concatenating the resumed run's —
+//! never by naive concatenation.
+
+use std::io::{self, Write};
+
+use crate::{InjectionOutcome, OutcomeSink, ProfileSummary};
+
+/// A durable position in a campaign: how many faults completed (in
+/// fault order) and the counts they produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Checkpoint {
+    /// Completed fault count — the global index the resumed source
+    /// skips to.
+    pub completed: usize,
+    /// The running summary at that point.
+    pub summary: ProfileSummary,
+}
+
+/// Extracts the unsigned integer following `"key":` in `line`.
+fn json_usize_field(line: &str, key: &str) -> Option<usize> {
+    let marker = format!("\"{key}\":");
+    let at = line.find(&marker)? + marker.len();
+    let digits: String = line[at..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+impl Checkpoint {
+    /// Parses one journal record, `None` if the line is not a
+    /// complete checkpoint (e.g. torn by a crash mid-write).
+    pub fn parse_record(line: &str) -> Option<Checkpoint> {
+        if !line.contains("\"checkpoint\"") || !line.trim_end().ends_with("}}}") {
+            return None;
+        }
+        Some(Checkpoint {
+            completed: json_usize_field(line, "completed")?,
+            summary: ProfileSummary {
+                total: json_usize_field(line, "total")?,
+                detected_at_startup: json_usize_field(line, "detected_at_startup")?,
+                detected_by_tests: json_usize_field(line, "detected_by_tests")?,
+                undetected: json_usize_field(line, "ignored")?,
+                inexpressible: json_usize_field(line, "inexpressible")?,
+                skipped: json_usize_field(line, "skipped")?,
+                timed_out: json_usize_field(line, "timed_out")?,
+                harness_failures: json_usize_field(line, "harness_failures")?,
+            },
+        })
+    }
+
+    /// Recovers the most recent durable checkpoint from journal text,
+    /// skipping torn or foreign lines. `None` if no record survived.
+    pub fn from_journal(journal: &str) -> Option<Checkpoint> {
+        journal.lines().rev().find_map(Checkpoint::parse_record)
+    }
+
+    /// Renders this checkpoint as its journal line (no trailing
+    /// newline).
+    pub fn to_record(&self) -> String {
+        let s = &self.summary;
+        format!(
+            "{{\"checkpoint\":{{\"completed\":{},\"summary\":{{\"total\":{},\
+             \"detected_at_startup\":{},\"detected_by_tests\":{},\"ignored\":{},\
+             \"inexpressible\":{},\"skipped\":{},\"timed_out\":{},\
+             \"harness_failures\":{}}}}}}}",
+            self.completed,
+            s.total,
+            s.detected_at_startup,
+            s.detected_by_tests,
+            s.undetected,
+            s.inexpressible,
+            s.skipped,
+            s.timed_out,
+            s.harness_failures,
+        )
+    }
+}
+
+/// An [`OutcomeSink`] decorator that forwards every outcome to an
+/// inner sink and journals a [`Checkpoint`] to a writer every
+/// `interval` outcomes (and once more in [`CheckpointSink::finish`]).
+/// See the module docs for the journal format and the at-least-once
+/// contract.
+#[derive(Debug)]
+pub struct CheckpointSink<S, W: Write> {
+    inner: S,
+    journal: W,
+    interval: usize,
+    state: Checkpoint,
+    since_last: usize,
+    error: Option<io::Error>,
+    tripped: bool,
+}
+
+impl<S: OutcomeSink, W: Write> CheckpointSink<S, W> {
+    /// Wraps `inner`, journaling to `journal` every `interval`
+    /// outcomes (clamped to at least 1).
+    pub fn new(inner: S, journal: W, interval: usize) -> Self {
+        CheckpointSink {
+            inner,
+            journal,
+            interval: interval.max(1),
+            state: Checkpoint::default(),
+            since_last: 0,
+            error: None,
+            tripped: false,
+        }
+    }
+
+    /// Like [`CheckpointSink::new`], but continuing from a recovered
+    /// checkpoint: counts pick up where the journal left off, so the
+    /// records written by the resumed run describe the whole
+    /// campaign, not just its tail.
+    pub fn resume(inner: S, journal: W, interval: usize, checkpoint: &Checkpoint) -> Self {
+        let mut sink = CheckpointSink::new(inner, journal, interval);
+        sink.state = *checkpoint;
+        sink
+    }
+
+    /// The current (not necessarily journaled) position.
+    pub fn checkpoint(&self) -> Checkpoint {
+        self.state
+    }
+
+    /// The wrapped sink.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Writes a final checkpoint record, flushes the journal and
+    /// returns the inner sink and journal writer.
+    ///
+    /// # Errors
+    ///
+    /// The first journaling failure, if any occurred.
+    pub fn finish(mut self) -> io::Result<(S, W)> {
+        self.write_record();
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        if self.tripped {
+            return Err(io::Error::other(
+                "a journal write failed (already reported)",
+            ));
+        }
+        self.journal.flush()?;
+        Ok((self.inner, self.journal))
+    }
+
+    fn write_record(&mut self) {
+        self.since_last = 0;
+        if self.error.is_some() || self.tripped {
+            return;
+        }
+        if let Err(e) = writeln!(self.journal, "{}", self.state.to_record()) {
+            self.error = Some(e);
+        }
+    }
+}
+
+impl<S: OutcomeSink, W: Write> OutcomeSink for CheckpointSink<S, W> {
+    fn accept(&mut self, outcome: InjectionOutcome) {
+        self.state.summary.absorb(&outcome.result);
+        self.state.completed += 1;
+        self.since_last += 1;
+        // Inner first, journal second: a checkpoint never claims an
+        // outcome the inner sink did not durably receive.
+        self.inner.accept(outcome);
+        if self.since_last >= self.interval {
+            self.write_record();
+        }
+    }
+
+    fn take_error(&mut self) -> Option<io::Error> {
+        if let Some(e) = self.inner.take_error() {
+            return Some(e);
+        }
+        let error = self.error.take();
+        if error.is_some() {
+            self.tripped = true;
+        }
+        error
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CollectingSink, CountingSink, InjectionResult};
+    use conferr_model::{ErrorClass, TypoKind};
+
+    fn outcome(id: usize) -> InjectionOutcome {
+        InjectionOutcome {
+            id: format!("f{id}"),
+            description: "d".into(),
+            class: ErrorClass::Typo(TypoKind::Omission),
+            diff: Vec::new().into(),
+            verdict: conferr_analysis::StaticVerdict::Unknown,
+            result: if id.is_multiple_of(3) {
+                InjectionResult::DetectedAtStartup {
+                    diagnostic: "x".into(),
+                }
+            } else {
+                InjectionResult::Undetected { warnings: vec![] }
+            },
+        }
+    }
+
+    #[test]
+    fn record_round_trips() {
+        let checkpoint = Checkpoint {
+            completed: 128,
+            summary: ProfileSummary {
+                total: 128,
+                detected_at_startup: 40,
+                detected_by_tests: 11,
+                undetected: 61,
+                inexpressible: 9,
+                skipped: 5,
+                timed_out: 1,
+                harness_failures: 1,
+            },
+        };
+        let line = checkpoint.to_record();
+        assert_eq!(Checkpoint::parse_record(&line), Some(checkpoint));
+    }
+
+    #[test]
+    fn from_journal_takes_the_last_complete_record_and_ignores_torn_tails() {
+        let a = Checkpoint {
+            completed: 10,
+            summary: ProfileSummary {
+                total: 10,
+                undetected: 10,
+                ..ProfileSummary::default()
+            },
+        };
+        let b = Checkpoint {
+            completed: 20,
+            summary: ProfileSummary {
+                total: 20,
+                undetected: 20,
+                ..ProfileSummary::default()
+            },
+        };
+        let torn = &b.to_record()[..30];
+        let journal = format!("{}\n{}\n{}", a.to_record(), b.to_record(), torn);
+        assert_eq!(Checkpoint::from_journal(&journal), Some(b));
+        assert_eq!(Checkpoint::from_journal("not a journal\n"), None);
+        assert_eq!(Checkpoint::from_journal(""), None);
+    }
+
+    #[test]
+    fn sink_journals_every_interval_and_forwards_inner_first() {
+        let mut sink = CheckpointSink::new(CollectingSink::new(), Vec::new(), 4);
+        for i in 0..10 {
+            sink.accept(outcome(i));
+        }
+        assert_eq!(sink.checkpoint().completed, 10);
+        let (inner, journal) = sink.finish().unwrap();
+        assert_eq!(inner.len(), 10);
+        let text = String::from_utf8(journal).unwrap();
+        let records: Vec<Checkpoint> = text.lines().filter_map(Checkpoint::parse_record).collect();
+        // Two interval records (at 4 and 8) plus the final one.
+        assert_eq!(
+            records.iter().map(|c| c.completed).collect::<Vec<_>>(),
+            [4, 8, 10]
+        );
+        assert_eq!(records.last().unwrap().summary.total, 10);
+    }
+
+    #[test]
+    fn resume_continues_counts_across_the_journal_boundary() {
+        // First run: killed after 6 of 10 outcomes.
+        let mut first = CheckpointSink::new(CountingSink::new(), Vec::new(), 3);
+        for i in 0..6 {
+            first.accept(outcome(i));
+        }
+        let (_, journal) = first.finish().unwrap();
+        let recovered =
+            Checkpoint::from_journal(&String::from_utf8(journal).unwrap()).expect("checkpoint");
+        assert_eq!(recovered.completed, 6);
+
+        // Resumed run: the remaining 4, counts seeded from the journal.
+        let mut resumed = CheckpointSink::resume(
+            CountingSink::with_summary(recovered.summary),
+            Vec::new(),
+            3,
+            &recovered,
+        );
+        for i in 6..10 {
+            resumed.accept(outcome(i));
+        }
+        let final_state = resumed.checkpoint();
+        assert_eq!(final_state.completed, 10);
+
+        // Reference: one uninterrupted run.
+        let mut reference = CountingSink::new();
+        for i in 0..10 {
+            reference.accept(outcome(i));
+        }
+        assert_eq!(final_state.summary, reference.summary());
+        assert_eq!(resumed.inner().summary(), reference.summary());
+    }
+
+    #[test]
+    fn journal_write_errors_surface_via_take_error() {
+        struct Failing;
+        impl Write for Failing {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("journal disk full"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = CheckpointSink::new(CollectingSink::new(), Failing, 1);
+        sink.accept(outcome(0));
+        let e = sink.take_error().expect("journal write failed");
+        assert!(e.to_string().contains("journal disk full"));
+        assert!(sink.finish().is_err());
+    }
+}

@@ -112,9 +112,11 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use conferr_model::{
     BoxFaultSource, ConfigSet, EagerSource, FaultSource, GenerateError, GeneratedFault,
@@ -211,6 +213,172 @@ where
     SutFactory::new(construct)
 }
 
+/// Bounded exponential backoff for retrying *retryable* per-fault
+/// failures (harness panics and deadline overruns) under fault
+/// isolation — see [`CampaignExecutor::set_retry_policy`].
+///
+/// Attempt `n + 1` sleeps `min(cap, base × 2ⁿ⁻¹)` first; the default
+/// ([`RetryPolicy::none`]) makes a single attempt and never sleeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per fault (clamped to at least 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base: Duration,
+    /// Upper bound on any single backoff.
+    pub cap: Duration,
+}
+
+impl RetryPolicy {
+    /// One attempt, no retries — the default.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base: Duration::ZERO,
+            cap: Duration::ZERO,
+        }
+    }
+
+    /// A policy of `max_attempts` total attempts with exponential
+    /// backoff from `base` capped at `cap`.
+    pub fn new(max_attempts: u32, base: Duration, cap: Duration) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            base,
+            cap,
+        }
+    }
+
+    /// The sleep before retry number `retry` (1-based).
+    fn backoff(&self, retry: u32) -> Duration {
+        let shift = retry.saturating_sub(1).min(31);
+        self.base.saturating_mul(1u32 << shift).min(self.cap)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
+}
+
+/// The execution policy snapshot one submission runs under: knob
+/// changes mid-flight never affect a batch already running.
+#[derive(Debug, Clone, Copy)]
+struct ExecPolicy {
+    isolate: bool,
+    retry: RetryPolicy,
+}
+
+/// Faults remembered as repeatedly failing before the quarantine list
+/// stops growing — a diagnostic aid, not a correctness structure.
+const QUARANTINE_CAPACITY: usize = 1024;
+
+fn push_quarantine(quarantine: &Mutex<Vec<String>>, id: &str) {
+    let mut q = lock(quarantine);
+    if q.len() < QUARANTINE_CAPACITY {
+        q.push(id.to_string());
+    }
+}
+
+/// Renders a caught panic payload for the `HarnessFailure` record.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The outcome recorded when the harness (SUT adapter, factory or
+/// engine) panicked on a fault: the fault's own identity with a
+/// [`InjectionResult::HarnessFailure`] result, so exports keep the
+/// static verdict column next to the failure.
+fn harness_failure_outcome(fault: &GeneratedFault, panic_msg: String) -> InjectionOutcome {
+    let (id, description, class) = match fault {
+        GeneratedFault::Scenario(s) => (s.id.clone(), s.description.clone(), s.class.clone()),
+        GeneratedFault::Inexpressible {
+            id,
+            description,
+            class,
+            ..
+        } => (id.clone(), description.clone(), class.clone()),
+    };
+    InjectionOutcome {
+        id,
+        description,
+        class,
+        diff: Vec::new().into(),
+        verdict: crate::StaticVerdict::Unknown,
+        result: crate::InjectionResult::HarnessFailure { panic_msg },
+    }
+}
+
+/// One fault's isolated execution: what to record, how many retries
+/// it took, and whether every attempt failed retryably (the
+/// quarantine signal).
+struct IsolatedRun {
+    outcome: InjectionOutcome,
+    retries: usize,
+    exhausted: bool,
+}
+
+/// Runs one fault with the harness contained: a panic anywhere from
+/// SUT construction through classification is caught, the panicking
+/// SUT (alone) is shed, and the fault is recorded as a
+/// [`InjectionResult::HarnessFailure`]. Harness panics and deadline
+/// overruns are retried per `retry`; anything else returns
+/// immediately.
+fn run_fault_isolated(
+    campaign: &ExecutorCampaign,
+    suts: &mut SutCache,
+    fault: &GeneratedFault,
+    retry: &RetryPolicy,
+) -> IsolatedRun {
+    let attempts = retry.max_attempts.max(1);
+    let mut last = None;
+    for attempt in 1..=attempts {
+        if attempt > 1 {
+            let backoff = retry.backoff(attempt - 1);
+            if !backoff.is_zero() {
+                std::thread::sleep(backoff);
+            }
+        }
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            let sut = suts.get_or_create(&campaign.factory);
+            campaign.engine.outcome(sut, fault.clone())
+        }));
+        match run {
+            Ok(outcome) => {
+                suts.live = None;
+                let retryable = matches!(outcome.result, crate::InjectionResult::TimedOut { .. });
+                if !retryable {
+                    return IsolatedRun {
+                        outcome,
+                        retries: (attempt - 1) as usize,
+                        exhausted: false,
+                    };
+                }
+                last = Some(outcome);
+            }
+            Err(payload) => {
+                suts.shed_live();
+                last = Some(harness_failure_outcome(
+                    fault,
+                    panic_message(payload.as_ref()),
+                ));
+            }
+        }
+    }
+    IsolatedRun {
+        outcome: last.expect("at least one attempt ran"),
+        retries: (attempts - 1) as usize,
+        exhausted: true,
+    }
+}
+
 /// SUT instances cached per worker (and one cache for submitting
 /// threads), keyed by [`SutFactory::key`]. The cached entry holds the
 /// factory alive, so a key can never be recycled by a new allocation
@@ -218,6 +386,11 @@ where
 #[derive(Default)]
 struct SutCache {
     suts: HashMap<usize, (SutFactory, Box<dyn SystemUnderTest + Send>)>,
+    /// The entry currently driving a fault, if any. A panic can only
+    /// leave *that* SUT half-mutated, so panic recovery sheds exactly
+    /// this entry ([`SutCache::shed_live`]) and every other cached
+    /// SUT keeps its warmed parse cache.
+    live: Option<usize>,
 }
 
 /// Distinct factories a single worker retains SUTs for. Far above any
@@ -231,11 +404,22 @@ impl SutCache {
         if self.suts.len() >= SUT_CACHE_CAPACITY && !self.suts.contains_key(&key) {
             self.suts.clear();
         }
+        // Marked live before construction: if the factory itself
+        // panics nothing was inserted, so shedding removes nothing.
+        self.live = Some(key);
         self.suts
             .entry(key)
             .or_insert_with(|| (factory.clone(), factory.create()))
             .1
             .as_mut()
+    }
+
+    /// Drops only the SUT that was live when a panic unwound through
+    /// it, keeping the rest of the cache warm.
+    fn shed_live(&mut self) {
+        if let Some(key) = self.live.take() {
+            self.suts.remove(&key);
+        }
     }
 }
 
@@ -344,6 +528,16 @@ impl ExecutorCampaign {
     /// by every clone of this campaign.
     pub fn set_impact_pruning(&self, enabled: bool) -> &Self {
         self.engine.set_impact_pruning(enabled);
+        self
+    }
+
+    /// Sets the per-fault soft deadline (default: none) — see
+    /// [`crate::Campaign::set_fault_deadline`]. Deadline overruns are
+    /// classified [`crate::InjectionResult::TimedOut`] and count as
+    /// retryable under the executor's [`RetryPolicy`]. The setting is
+    /// shared by every clone of this campaign.
+    pub fn set_fault_deadline(&self, budget: Option<Duration>) -> &Self {
+        self.engine.set_fault_deadline(budget);
         self
     }
 
@@ -473,6 +667,10 @@ pub struct StreamStats {
     /// `chunk_size × threads` by construction (and `0` on the serial
     /// fast path, which sinks each outcome the moment it completes).
     pub peak_buffered: usize,
+    /// Retries spent on retryable per-fault failures (harness panics,
+    /// deadline overruns) under the [`RetryPolicy`]; always `0` with
+    /// the default no-retry policy.
+    pub retries: usize,
 }
 
 /// One claimed unit of work: `faults[i]` is fault `base + i` of batch
@@ -500,9 +698,9 @@ struct Producer {
     outstanding: usize,
     /// All feeds drained (or aborted by `error`).
     exhausted: bool,
-    /// The first source failure; ends production, reported after the
-    /// in-flight faults drain.
-    error: Option<GenerateError>,
+    /// The first source or sink failure; ends production, reported
+    /// after the in-flight faults drain.
+    error: Option<CampaignError>,
 }
 
 /// One entry's reorder buffer: completions arrive in any order, the
@@ -529,6 +727,13 @@ struct StreamState {
     chunk: usize,
     /// `chunk × threads`: the cap on faults produced but not sunk.
     window: usize,
+    /// Isolation/retry policy snapshotted at submission.
+    policy: ExecPolicy,
+    /// Shared with the executor: faults whose every attempt failed
+    /// retryably.
+    quarantine: Arc<Mutex<Vec<String>>>,
+    /// Retries spent across the batch (reported in [`StreamStats`]).
+    retries: AtomicUsize,
     producer: Mutex<Producer>,
     /// Waited on by claimers when the window is full; notified by the
     /// submitter's drain (and by poisoning).
@@ -579,22 +784,29 @@ impl Drop for PoisonOnPanic<'_> {
     }
 }
 
-/// Clears the submitting thread's SUT cache when a fault panics on
+/// Sheds the submitting thread's *live* SUT when a fault panics on
 /// the submitting thread itself (normal completion disarms it with
-/// [`std::mem::forget`]): the panic propagates to the caller, and a
-/// SUT left half-mutated mid-`start` must not be reused by a later
-/// submission. Pool workers do the same for their own caches in
+/// [`std::mem::forget`]): the panic propagates to the caller, and the
+/// one SUT left half-mutated mid-`start` must not be reused by a
+/// later submission — while every other cached SUT keeps its warmed
+/// parse cache. Pool workers do the same for their own caches in
 /// [`worker_loop`].
-struct ClearCacheOnPanic<'a>(&'a mut SutCache);
+struct ShedLiveOnPanic<'a>(&'a mut SutCache);
 
-impl Drop for ClearCacheOnPanic<'_> {
+impl Drop for ShedLiveOnPanic<'_> {
     fn drop(&mut self) {
-        self.0.suts.clear();
+        self.0.shed_live();
     }
 }
 
 impl StreamState {
-    fn new(entries: Vec<(ExecutorCampaign, FaultFeed)>, chunk: usize, threads: usize) -> Self {
+    fn new(
+        entries: Vec<(ExecutorCampaign, FaultFeed)>,
+        chunk: usize,
+        threads: usize,
+        policy: ExecPolicy,
+        quarantine: Arc<Mutex<Vec<String>>>,
+    ) -> Self {
         let mut units = Vec::with_capacity(entries.len());
         let mut feeds = Vec::with_capacity(entries.len());
         for (campaign, feed) in entries {
@@ -605,6 +817,9 @@ impl StreamState {
         StreamState {
             chunk,
             window: chunk.saturating_mul(threads),
+            policy,
+            quarantine,
+            retries: AtomicUsize::new(0),
             producer: Mutex::new(Producer {
                 feeds,
                 next_unit: 0,
@@ -642,14 +857,29 @@ impl StreamState {
         while p.next_unit < p.feeds.len() {
             let unit = p.next_unit;
             let feed = p.feeds[unit].as_mut().expect("unfinished units are Some");
-            // Armed across the pull: a panicking source must poison
-            // the batch, not strand the submitter.
-            let guard = PoisonOnPanic {
-                state: self,
-                producer_held: true,
+            // Under isolation a panicking source is contained and
+            // becomes a generation error; in strict mode the armed
+            // guard poisons the batch so the submitter is never
+            // stranded.
+            let pulled = if self.policy.isolate {
+                catch_unwind(AssertUnwindSafe(|| {
+                    feed.next_chunk(self.chunk, &mut faults)
+                }))
+                .unwrap_or_else(|payload| {
+                    Err(GenerateError::new(
+                        "fault-source",
+                        format!("source panicked: {}", panic_message(payload.as_ref())),
+                    ))
+                })
+            } else {
+                let guard = PoisonOnPanic {
+                    state: self,
+                    producer_held: true,
+                };
+                let pulled = feed.next_chunk(self.chunk, &mut faults);
+                std::mem::forget(guard);
+                pulled
             };
-            let pulled = feed.next_chunk(self.chunk, &mut faults);
-            std::mem::forget(guard);
             // Window/index bookkeeping trusts what was actually
             // appended, never the source's returned count — a
             // miscounting third-party source must not be able to
@@ -657,7 +887,7 @@ impl StreamState {
             // on empty "non-empty" chunks (live-lock).
             match pulled {
                 Err(e) => {
-                    p.error = Some(e);
+                    p.error = Some(CampaignError::Generate(e));
                     p.exhausted = true;
                     p.feeds.iter_mut().for_each(|f| *f = None);
                     return None;
@@ -710,19 +940,33 @@ impl StreamState {
     /// Runs one claimed fault and parks the outcome in its entry's
     /// reorder buffer, waking the submitter.
     fn run_fault(&self, suts: &mut SutCache, unit: usize, index: usize, fault: GeneratedFault) {
-        // Armed before SUT construction: the fault is already claimed,
-        // so a panic anywhere from the factory closure onward must
-        // poison the batch or the submitter waits forever on it. No
-        // lock is held here, so the drop re-locks the producer to
-        // close the check-to-wait window of `claim`.
-        let guard = PoisonOnPanic {
-            state: self,
-            producer_held: false,
-        };
         let campaign = &self.units[unit];
-        let sut = suts.get_or_create(&campaign.factory);
-        let outcome = campaign.engine.outcome(sut, fault);
-        std::mem::forget(guard);
+        let outcome = if self.policy.isolate {
+            // Isolated (default): panics are contained per fault and
+            // recorded as harness failures; the batch keeps running.
+            let run = run_fault_isolated(campaign, suts, &fault, &self.policy.retry);
+            self.retries.fetch_add(run.retries, Ordering::Relaxed);
+            if run.exhausted {
+                push_quarantine(&self.quarantine, &run.outcome.id);
+            }
+            run.outcome
+        } else {
+            // Strict: armed before SUT construction — the fault is
+            // already claimed, so a panic anywhere from the factory
+            // closure onward must poison the batch or the submitter
+            // waits forever on it. No lock is held here, so the drop
+            // re-locks the producer to close the check-to-wait window
+            // of `claim`.
+            let guard = PoisonOnPanic {
+                state: self,
+                producer_held: false,
+            };
+            let sut = suts.get_or_create(&campaign.factory);
+            let outcome = campaign.engine.outcome(sut, fault);
+            suts.live = None;
+            std::mem::forget(guard);
+            outcome
+        };
 
         {
             let mut emit = lock(&self.emit[unit]);
@@ -760,6 +1004,7 @@ impl StreamState {
         scratch: &mut Vec<InjectionOutcome>,
     ) -> usize {
         let mut drained = 0;
+        let mut sink_error = None;
         for (unit, sink) in sinks.iter_mut().enumerate() {
             scratch.clear();
             {
@@ -781,6 +1026,9 @@ impl StreamState {
             for outcome in scratch.drain(..) {
                 sink.accept(outcome);
             }
+            if sink_error.is_none() {
+                sink_error = sink.take_error();
+            }
         }
         if drained > 0 {
             self.buffered.fetch_sub(drained, Ordering::AcqRel);
@@ -788,6 +1036,20 @@ impl StreamState {
                 let mut p = lock(&self.producer);
                 p.outstanding -= drained;
             }
+            self.space_ready.notify_all();
+        }
+        if let Some(e) = sink_error {
+            // A failed export aborts production: no new faults are
+            // pulled, the in-flight ones drain normally (into a sink
+            // that now discards), and the error surfaces after the
+            // batch settles.
+            let mut p = lock(&self.producer);
+            if p.error.is_none() {
+                p.error = Some(CampaignError::SinkIo(e));
+            }
+            p.exhausted = true;
+            p.feeds.iter_mut().for_each(|f| *f = None);
+            drop(p);
             self.space_ready.notify_all();
         }
         drained
@@ -886,11 +1148,11 @@ fn worker_loop(shared: Arc<PoolShared>) {
         };
         // Contain a mid-fault panic so the pool never shrinks: the
         // batch is already poisoned (and the submitter woken) by
-        // `PoisonOnPanic`, so this worker only needs to shed any SUT
-        // the panic may have left half-mutated and keep serving.
-        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| batch.work(&mut suts))).is_err()
-        {
-            suts.suts.clear();
+        // `PoisonOnPanic`, so this worker only needs to shed the one
+        // SUT the panic left half-mutated and keep serving — every
+        // other cached SUT keeps its warmed parse cache.
+        if catch_unwind(AssertUnwindSafe(|| batch.work(&mut suts))).is_err() {
+            suts.shed_live();
         }
     }
 }
@@ -914,6 +1176,14 @@ pub struct CampaignExecutor {
     /// Faults handed out per claim; see
     /// [`CampaignExecutor::set_chunk_size`].
     chunk_size: AtomicUsize,
+    /// Per-fault isolation (default on); see
+    /// [`CampaignExecutor::set_fault_isolation`].
+    isolate_faults: AtomicBool,
+    /// Retry policy for retryable isolated failures.
+    retry: Mutex<RetryPolicy>,
+    /// Faults whose every attempt failed retryably, across
+    /// submissions; see [`CampaignExecutor::quarantined`].
+    quarantine: Arc<Mutex<Vec<String>>>,
     shared: Arc<PoolShared>,
     workers: Vec<JoinHandle<()>>,
     /// Serializes submissions and holds the submitting side's SUT
@@ -956,6 +1226,9 @@ impl CampaignExecutor {
         CampaignExecutor {
             threads,
             chunk_size: AtomicUsize::new(DEFAULT_CHUNK_SIZE),
+            isolate_faults: AtomicBool::new(true),
+            retry: Mutex::new(RetryPolicy::none()),
+            quarantine: Arc::new(Mutex::new(Vec::new())),
             shared,
             workers,
             caller: Mutex::new(SutCache::default()),
@@ -990,6 +1263,58 @@ impl CampaignExecutor {
     /// The current per-claim chunk size.
     pub fn chunk_size(&self) -> usize {
         self.chunk_size.load(Ordering::Relaxed).max(1)
+    }
+
+    /// Enables or disables per-fault isolation (default: **on**).
+    ///
+    /// Isolated, each inject → start → test runs under
+    /// `catch_unwind`: a harness panic (SUT adapter bug, factory bug,
+    /// engine bug) is recorded as a
+    /// [`crate::InjectionResult::HarnessFailure`] outcome for that
+    /// fault — annotated in the CSV/JSONL exports next to the static
+    /// verdict — the panicking SUT alone is shed, and the campaign
+    /// keeps running. Disabled (strict mode), a panic poisons the
+    /// whole submission and re-raises on the submitting thread — the
+    /// right behaviour for CI runs that should fail loudly on any
+    /// harness bug. Non-chaotic outcomes are byte-identical either
+    /// way (asserted by `tests/robust_executor.rs`).
+    pub fn set_fault_isolation(&self, enabled: bool) -> &Self {
+        self.isolate_faults.store(enabled, Ordering::Relaxed);
+        self
+    }
+
+    /// `true` while per-fault isolation is on.
+    pub fn fault_isolation(&self) -> bool {
+        self.isolate_faults.load(Ordering::Relaxed)
+    }
+
+    /// Sets the retry policy for retryable isolated failures —
+    /// harness panics and [`crate::InjectionResult::TimedOut`]
+    /// overruns (default: [`RetryPolicy::none`]). A fault whose every
+    /// attempt fails retryably keeps its last outcome and is added to
+    /// the [`CampaignExecutor::quarantined`] list. Ignored in strict
+    /// mode.
+    pub fn set_retry_policy(&self, policy: RetryPolicy) -> &Self {
+        *lock(&self.retry) = policy;
+        self
+    }
+
+    /// The current retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        *lock(&self.retry)
+    }
+
+    /// Fault ids whose every isolated attempt failed retryably, in
+    /// completion order, accumulated across submissions (capped at an
+    /// internal capacity). Empty with the default no-retry policy
+    /// unless a fault fails its single attempt.
+    pub fn quarantined(&self) -> Vec<String> {
+        lock(&self.quarantine).clone()
+    }
+
+    /// Clears the quarantine list.
+    pub fn clear_quarantine(&self) {
+        lock(&self.quarantine).clear();
     }
 
     /// Runs one campaign's fault load through the pool and merges the
@@ -1032,6 +1357,31 @@ impl CampaignExecutor {
         let mut batch = CampaignBatch::new();
         batch.push_source(campaign, source);
         self.run_batch_with_sinks(batch, &mut [sink])
+    }
+
+    /// Resumes an interrupted campaign from a recovered
+    /// [`crate::Checkpoint`]: re-runs the *same* fault source with the
+    /// completed prefix skipped
+    /// ([`conferr_model::FaultSourceExt::skip`], so positions keep
+    /// their global meaning) and streams the remaining outcomes into
+    /// `sink` — typically a [`crate::CheckpointSink`] built with
+    /// [`crate::CheckpointSink::resume`] so counts continue where the
+    /// journal left off. The resumed outcomes continue to the
+    /// byte-identical final profile of the uninterrupted run
+    /// (asserted by `tests/robust_executor.rs`).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CampaignExecutor::run_source`].
+    pub fn resume_from(
+        &self,
+        campaign: &ExecutorCampaign,
+        source: BoxFaultSource,
+        checkpoint: &crate::Checkpoint,
+        sink: &mut dyn OutcomeSink,
+    ) -> Result<StreamStats, CampaignError> {
+        use conferr_model::FaultSourceExt;
+        self.run_source(campaign, Box::new(source.skip(checkpoint.completed)), sink)
     }
 
     /// Runs a whole batch through one shared, campaign-tagged chunk
@@ -1103,8 +1453,15 @@ impl CampaignExecutor {
             return Ok(StreamStats {
                 outcomes: 0,
                 peak_buffered: 0,
+                retries: 0,
             });
         }
+        // Snapshot the policy for the whole submission: flipping the
+        // knobs mid-flight never affects a batch already running.
+        let policy = ExecPolicy {
+            isolate: self.fault_isolation(),
+            retry: self.retry_policy(),
+        };
 
         // Serial fast path: with no pool workers (threads == 1) — or
         // an eager batch too small to parallelize — run the entries
@@ -1116,13 +1473,22 @@ impl CampaignExecutor {
             .iter()
             .try_fold(0usize, |acc, (_, feed)| Some(acc + feed.exact_remaining()?));
         if self.workers.is_empty() || eager_total.is_some_and(|t| t <= 1) {
-            let cache = ClearCacheOnPanic(&mut caller);
-            let result = Self::run_serial(entries, sinks, self.chunk_size(), cache.0);
+            let cache = ShedLiveOnPanic(&mut caller);
+            let result =
+                Self::run_serial(entries, sinks, self.chunk_size(), cache.0, policy, |id| {
+                    push_quarantine(&self.quarantine, id);
+                });
             std::mem::forget(cache);
             return result;
         }
 
-        let state = Arc::new(StreamState::new(entries, self.chunk_size(), self.threads));
+        let state = Arc::new(StreamState::new(
+            entries,
+            self.chunk_size(),
+            self.threads,
+            policy,
+            Arc::clone(&self.quarantine),
+        ));
         {
             let mut slot = lock(&self.shared.job);
             slot.generation += 1;
@@ -1131,24 +1497,27 @@ impl CampaignExecutor {
         self.shared.work_ready.notify_all();
 
         // The submitting thread steals work too, and owns the sinks.
-        let cache = ClearCacheOnPanic(&mut caller);
+        let cache = ShedLiveOnPanic(&mut caller);
         let outcomes = state.drive(&mut *cache.0, sinks);
         std::mem::forget(cache);
 
         lock(&self.shared.job).batch = None;
         // Re-raise a worker's panic on the submitting thread, as the
         // scoped driver's join did. (A panic on the submitting thread
-        // itself propagates out of `drive` above directly.)
+        // itself propagates out of `drive` above directly.) Under
+        // isolation this fires only for panics outside the contained
+        // per-fault scope.
         assert!(
             !state.poisoned.load(Ordering::Acquire),
             "a campaign worker panicked while executing a fault"
         );
         if let Some(error) = lock(&state.producer).error.take() {
-            return Err(CampaignError::Generate(error));
+            return Err(error);
         }
         Ok(StreamStats {
             outcomes,
             peak_buffered: state.peak_buffered.load(Ordering::Acquire),
+            retries: state.retries.load(Ordering::Relaxed),
         })
     }
 
@@ -1159,29 +1528,58 @@ impl CampaignExecutor {
         sinks: &mut [&mut dyn OutcomeSink],
         chunk_size: usize,
         suts: &mut SutCache,
+        policy: ExecPolicy,
+        quarantine: impl Fn(&str),
     ) -> Result<StreamStats, CampaignError> {
         let mut outcomes = 0;
+        let mut retries = 0;
         let mut chunk = Vec::with_capacity(chunk_size);
         for ((campaign, mut feed), sink) in entries.into_iter().zip(sinks.iter_mut()) {
             loop {
                 chunk.clear();
-                feed.next_chunk(chunk_size, &mut chunk)
-                    .map_err(CampaignError::Generate)?;
+                let pulled = if policy.isolate {
+                    catch_unwind(AssertUnwindSafe(|| feed.next_chunk(chunk_size, &mut chunk)))
+                        .unwrap_or_else(|payload| {
+                            Err(GenerateError::new(
+                                "fault-source",
+                                format!("source panicked: {}", panic_message(payload.as_ref())),
+                            ))
+                        })
+                } else {
+                    feed.next_chunk(chunk_size, &mut chunk)
+                };
+                pulled.map_err(CampaignError::Generate)?;
                 // Exhaustion is judged by what was appended, not the
                 // returned count — see `produce`.
                 if chunk.is_empty() {
                     break;
                 }
                 for fault in chunk.drain(..) {
-                    let sut = suts.get_or_create(&campaign.factory);
-                    sink.accept(campaign.engine.outcome(sut, fault));
+                    let outcome = if policy.isolate {
+                        let run = run_fault_isolated(&campaign, suts, &fault, &policy.retry);
+                        retries += run.retries;
+                        if run.exhausted {
+                            quarantine(&run.outcome.id);
+                        }
+                        run.outcome
+                    } else {
+                        let sut = suts.get_or_create(&campaign.factory);
+                        let outcome = campaign.engine.outcome(sut, fault);
+                        suts.live = None;
+                        outcome
+                    };
+                    sink.accept(outcome);
                     outcomes += 1;
+                }
+                if let Some(e) = sink.take_error() {
+                    return Err(CampaignError::SinkIo(e));
                 }
             }
         }
         Ok(StreamStats {
             outcomes,
             peak_buffered: 0,
+            retries,
         })
     }
 }
@@ -1488,7 +1886,11 @@ mod tests {
                 default_contents: "x = 1\n".to_string(),
             }]
         }
-        fn start(&mut self, configs: &conferr_sut::ConfigPayload) -> conferr_sut::StartOutcome {
+        fn start(
+            &mut self,
+            configs: &conferr_sut::ConfigPayload,
+            _deadline: &conferr_sut::Deadline,
+        ) -> conferr_sut::StartOutcome {
             if configs.text("p.conf").is_some_and(|t| t.contains("BOOM")) {
                 panic!("simulator bug");
             }
@@ -1497,7 +1899,11 @@ mod tests {
         fn test_names(&self) -> Vec<String> {
             Vec::new()
         }
-        fn run_test(&mut self, _test: &str) -> conferr_sut::TestOutcome {
+        fn run_test(
+            &mut self,
+            _test: &str,
+            _deadline: &conferr_sut::Deadline,
+        ) -> conferr_sut::TestOutcome {
             conferr_sut::TestOutcome::Passed
         }
         fn stop(&mut self) {}
@@ -1519,7 +1925,7 @@ mod tests {
     }
 
     #[test]
-    fn worker_panic_propagates_instead_of_deadlocking() {
+    fn strict_mode_worker_panic_propagates_instead_of_deadlocking() {
         // Many benign faults plus one that trips the simulator bug,
         // across enough threads that a pool worker (not just the
         // submitting thread) can hit it. Before the poison guard this
@@ -1529,9 +1935,9 @@ mod tests {
         faults.insert(32, panic_fault("BOOM", 64));
 
         let executor = CampaignExecutor::new(4);
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            executor.run_faults(&campaign, faults)
-        }));
+        executor.set_fault_isolation(false);
+        assert!(!executor.fault_isolation());
+        let result = catch_unwind(AssertUnwindSafe(|| executor.run_faults(&campaign, faults)));
         assert!(result.is_err(), "the worker panic must propagate");
 
         // The pool survives a poisoned submission: later submissions
@@ -1540,6 +1946,112 @@ mod tests {
             .run_faults(&campaign, (0..8).map(|i| panic_fault("3", i)).collect())
             .unwrap();
         assert_eq!(profile.len(), 8);
+    }
+
+    #[test]
+    fn isolated_panic_becomes_a_harness_failure_and_the_run_continues() {
+        // The same panicking fault load, isolation on (the default):
+        // no panic escapes, the poisoned fault is recorded as a
+        // harness failure, and every other fault's outcome matches a
+        // clean run.
+        let campaign = ExecutorCampaign::new(sut_factory(|| PanickingSim)).unwrap();
+        for threads in [1, 4] {
+            let executor = CampaignExecutor::new(threads);
+            assert!(executor.fault_isolation());
+            let mut faults: Vec<GeneratedFault> = (0..24).map(|i| panic_fault("2", i)).collect();
+            faults.insert(12, panic_fault("BOOM", 24));
+            let profile = executor.run_faults(&campaign, faults).unwrap();
+            assert_eq!(profile.len(), 25, "threads = {threads}");
+            let summary = profile.summary();
+            assert_eq!(summary.harness_failures, 1);
+            let failed = &profile.outcomes()[12];
+            assert_eq!(failed.id, "f24");
+            assert!(
+                matches!(
+                    &failed.result,
+                    crate::InjectionResult::HarnessFailure { panic_msg }
+                        if panic_msg.contains("simulator bug")
+                ),
+                "{:?}",
+                failed.result
+            );
+            // The single failed attempt exhausted the (no-retry)
+            // policy, so the fault lands in quarantine.
+            assert_eq!(executor.quarantined(), ["f24"]);
+            executor.clear_quarantine();
+            assert!(executor.quarantined().is_empty());
+        }
+    }
+
+    #[test]
+    fn retry_policy_retries_transient_panics_and_quarantines_persistent_ones() {
+        // Creations 1 and 2 panic; the scout (creation 0) and later
+        // ones succeed — a transient harness fault healed by
+        // retrying (each panic sheds the live SUT, so every retry
+        // re-runs the factory).
+        let creations = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&creations);
+        let factory = SutFactory::new(move || {
+            let n = counter.fetch_add(1, Ordering::Relaxed);
+            assert!(!(n == 1 || n == 2), "transient factory bug");
+            PanickingSim
+        });
+        let campaign = ExecutorCampaign::new(factory).unwrap();
+        let executor = CampaignExecutor::new(1);
+        executor.set_retry_policy(RetryPolicy::new(
+            4,
+            Duration::from_millis(1),
+            Duration::from_millis(2),
+        ));
+        assert_eq!(executor.retry_policy().max_attempts, 4);
+
+        let mut sink = crate::CollectingSink::new();
+        let stats = executor
+            .run_source(
+                &campaign,
+                Box::new(EagerSource::new(vec![panic_fault("2", 0)])),
+                &mut sink,
+            )
+            .unwrap();
+        assert_eq!(stats.retries, 2, "two failed attempts, then success");
+        assert!(executor.quarantined().is_empty());
+        let outcomes = sink.into_outcomes();
+        assert_eq!(outcomes.len(), 1);
+        assert!(!matches!(
+            outcomes[0].result,
+            crate::InjectionResult::HarnessFailure { .. }
+        ));
+
+        // A fault that panics on every attempt exhausts the policy
+        // and is quarantined with its last harness failure recorded.
+        let mut sink = crate::CollectingSink::new();
+        let stats = executor
+            .run_source(
+                &campaign,
+                Box::new(EagerSource::new(vec![panic_fault("BOOM", 1)])),
+                &mut sink,
+            )
+            .unwrap();
+        assert_eq!(stats.retries, 3);
+        assert_eq!(executor.quarantined(), ["f1"]);
+        assert!(matches!(
+            sink.into_outcomes()[0].result,
+            crate::InjectionResult::HarnessFailure { .. }
+        ));
+    }
+
+    #[test]
+    fn retry_backoff_is_exponential_and_capped() {
+        let policy = RetryPolicy::new(10, Duration::from_millis(3), Duration::from_millis(10));
+        assert_eq!(policy.backoff(1), Duration::from_millis(3));
+        assert_eq!(policy.backoff(2), Duration::from_millis(6));
+        assert_eq!(policy.backoff(3), Duration::from_millis(10), "capped");
+        assert_eq!(policy.backoff(31), Duration::from_millis(10), "no overflow");
+        assert_eq!(RetryPolicy::none().max_attempts, 1);
+        assert_eq!(
+            RetryPolicy::new(0, Duration::ZERO, Duration::ZERO).max_attempts,
+            1
+        );
     }
 
     #[test]
@@ -1570,8 +2082,9 @@ mod tests {
         let campaign = ExecutorCampaign::new(sut_factory(|| PanickingSim)).unwrap();
         let executor = CampaignExecutor::new(3);
         executor.set_chunk_size(4);
+        executor.set_fault_isolation(false);
         let mut sink = CountingSink::new();
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let result = catch_unwind(AssertUnwindSafe(|| {
             executor.run_source(
                 &campaign,
                 Box::new(PanickingSource {
@@ -1587,10 +2100,30 @@ mod tests {
             .run_faults(&campaign, (0..8).map(|i| panic_fault("3", i)).collect())
             .unwrap();
         assert_eq!(profile.len(), 8);
+
+        // Isolated (the default), the same source panic is contained
+        // into a generation error: completed outcomes still arrive,
+        // no panic escapes.
+        executor.set_fault_isolation(true);
+        let mut sink = CountingSink::new();
+        let err = executor
+            .run_source(
+                &campaign,
+                Box::new(PanickingSource {
+                    remaining: (0..8).map(|i| panic_fault("2", i)).collect(),
+                }),
+                &mut sink,
+            )
+            .unwrap_err();
+        assert!(
+            matches!(&err, CampaignError::Generate(g) if g.message.contains("generator bug")),
+            "{err}"
+        );
+        assert_eq!(sink.summary().total, 8);
     }
 
     #[test]
-    fn factory_panic_during_batch_propagates_instead_of_deadlocking() {
+    fn strict_mode_factory_panic_during_batch_propagates_instead_of_deadlocking() {
         // The scout instance (create #0) builds the campaign; every
         // later construction — which happens on whichever thread
         // claims the first fault — panics. The claimed chunk must
@@ -1605,10 +2138,51 @@ mod tests {
         let campaign = ExecutorCampaign::new(factory).unwrap();
         let faults: Vec<GeneratedFault> = (0..16).map(|i| panic_fault("2", i)).collect();
         let executor = CampaignExecutor::new(3);
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            executor.run_faults(&campaign, faults)
-        }));
+        executor.set_fault_isolation(false);
+        let result = catch_unwind(AssertUnwindSafe(|| executor.run_faults(&campaign, faults)));
         assert!(result.is_err(), "the factory panic must propagate");
+    }
+
+    #[test]
+    fn sink_write_errors_abort_the_batch_as_sink_io() {
+        use std::io::{self, Write};
+
+        /// Fails after `ok_writes` successful writes.
+        struct FlakyWriter {
+            ok_writes: usize,
+        }
+        impl Write for FlakyWriter {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                if self.ok_writes == 0 {
+                    return Err(io::Error::other("export disk full"));
+                }
+                self.ok_writes -= 1;
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let campaign = ExecutorCampaign::new(sut_factory(PostgresSim::new)).unwrap();
+        let faults = plugin().generate(campaign.baseline()).unwrap();
+        assert!(faults.len() > 4);
+        for threads in [1, 3] {
+            let executor = CampaignExecutor::new(threads);
+            let mut sink = crate::CsvSink::new("postgres-sim", FlakyWriter { ok_writes: 3 });
+            let err = executor
+                .run_source(
+                    &campaign,
+                    Box::new(EagerSource::new(faults.clone())),
+                    &mut sink,
+                )
+                .unwrap_err();
+            assert!(
+                matches!(&err, CampaignError::SinkIo(e) if e.to_string().contains("disk full")),
+                "threads = {threads}: {err}"
+            );
+            assert!(sink.finish().is_err(), "the sink stays tripped");
+        }
     }
 
     #[test]

@@ -60,6 +60,10 @@ fn result_detail(result: &InjectionResult) -> (&'static str, String) {
         InjectionResult::Undetected { warnings } => ("ignored", warnings.join("; ")),
         InjectionResult::Inexpressible { reason } => ("inexpressible", reason.clone()),
         InjectionResult::Skipped { reason } => ("skipped", reason.clone()),
+        InjectionResult::TimedOut { phase, budget_ms } => {
+            ("timed-out", format!("{phase} exceeded {budget_ms} ms"))
+        }
+        InjectionResult::HarnessFailure { panic_msg } => ("harness-failure", panic_msg.clone()),
     }
 }
 
@@ -107,13 +111,16 @@ pub fn profile_to_json(profile: &ResilienceProfile) -> String {
     let _ = write!(
         out,
         "\"summary\":{{\"total\":{},\"detected_at_startup\":{},\"detected_by_tests\":{},\
-         \"ignored\":{},\"inexpressible\":{},\"skipped\":{}}},",
+         \"ignored\":{},\"inexpressible\":{},\"skipped\":{},\"timed_out\":{},\
+         \"harness_failures\":{}}},",
         s.total,
         s.detected_at_startup,
         s.detected_by_tests,
         s.undetected,
         s.inexpressible,
-        s.skipped
+        s.skipped,
+        s.timed_out,
+        s.harness_failures
     );
     out.push_str("\"outcomes\":[");
     for (i, o) in profile.outcomes().iter().enumerate() {
@@ -227,6 +234,43 @@ mod tests {
         assert_eq!(csv_field("a\"b"), "\"a\"\"b\"");
         assert_eq!(json_string("tab\there"), "\"tab\\there\"");
         assert_eq!(json_string("ctrl\u{1}"), "\"ctrl\\u0001\"");
+    }
+
+    #[test]
+    fn robustness_outcomes_export_next_to_the_verdict() {
+        let o = InjectionOutcome {
+            id: "c#3".into(),
+            description: "stall".into(),
+            class: ErrorClass::Typo(TypoKind::Substitution),
+            diff: Vec::new().into(),
+            verdict: StaticVerdict::Unknown,
+            result: InjectionResult::TimedOut {
+                phase: "startup".into(),
+                budget_ms: 250,
+            },
+        };
+        let row = outcome_to_csv_row("sut", &o);
+        assert!(
+            row.contains("timed-out,unknown,startup exceeded 250 ms"),
+            "{row}"
+        );
+        let o = InjectionOutcome {
+            result: InjectionResult::HarnessFailure {
+                panic_msg: "adapter bug".into(),
+            },
+            ..o
+        };
+        let line = outcome_to_jsonl("sut", &o);
+        assert!(line.contains("\"result\":\"harness-failure\""), "{line}");
+        assert!(line.contains("\"detail\":\"adapter bug\""), "{line}");
+        assert!(line.contains("\"verdict\":"), "{line}");
+    }
+
+    #[test]
+    fn summary_json_carries_robustness_buckets() {
+        let json = profile_to_json(&sample());
+        assert!(json.contains("\"timed_out\":0"), "{json}");
+        assert!(json.contains("\"harness_failures\":0"), "{json}");
     }
 
     #[test]

@@ -61,6 +61,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod campaign;
+mod checkpoint;
 mod compare;
 mod executor;
 mod export;
@@ -71,14 +72,15 @@ pub mod report;
 mod sink;
 
 pub use campaign::{Campaign, CampaignError};
+pub use checkpoint::{Checkpoint, CheckpointSink};
 pub use compare::{
     compare_value_typo_resilience, parallel_value_typo_resilience, task_resilience,
     value_typo_resilience, ComparisonReport, DetectionBand, DirectiveResilience, SystemResilience,
 };
 pub use conferr_analysis::{FaultLinter, Lint, LintedSource, StaticVerdict, ValidationClass};
 pub use executor::{
-    sut_factory, CampaignBatch, CampaignExecutor, ExecutorCampaign, StreamStats, SutFactory,
-    DEFAULT_CHUNK_SIZE,
+    sut_factory, CampaignBatch, CampaignExecutor, ExecutorCampaign, RetryPolicy, StreamStats,
+    SutFactory, DEFAULT_CHUNK_SIZE,
 };
 pub use export::{
     outcome_to_csv_row, outcome_to_json, outcome_to_jsonl, profile_to_csv, profile_to_json,

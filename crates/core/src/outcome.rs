@@ -46,6 +46,28 @@ pub enum InjectionResult {
         /// Why the injection was skipped.
         reason: String,
     },
+    /// The fault's start-or-test cycle overran its soft deadline (see
+    /// `conferr_sut::Deadline`). The fault *was* injected — the SUT
+    /// simply took too long — so it still counts toward the injected
+    /// denominator, just never as a detection.
+    TimedOut {
+        /// Which phase overran: `"startup"` or a functional test's
+        /// name.
+        phase: String,
+        /// The configured budget in milliseconds. Deliberately the
+        /// budget, not the measured overrun, so profiles stay
+        /// byte-reproducible.
+        budget_ms: u64,
+    },
+    /// The *harness* failed while driving this fault — a panic in the
+    /// SUT adapter, the factory or the engine, caught by the
+    /// executor's per-fault isolation. Says nothing about the
+    /// system's resilience, so it is excluded from the injected
+    /// denominator (like [`InjectionResult::Skipped`]).
+    HarnessFailure {
+        /// The caught panic's message.
+        panic_msg: String,
+    },
 }
 
 impl InjectionResult {
@@ -67,6 +89,8 @@ impl InjectionResult {
             InjectionResult::Undetected { .. } => "ignored",
             InjectionResult::Inexpressible { .. } => "inexpressible",
             InjectionResult::Skipped { .. } => "skipped",
+            InjectionResult::TimedOut { .. } => "timed-out",
+            InjectionResult::HarnessFailure { .. } => "harness-failure",
         }
     }
 }
@@ -88,6 +112,12 @@ impl fmt::Display for InjectionResult {
             }
             InjectionResult::Inexpressible { reason } => write!(f, "inexpressible: {reason}"),
             InjectionResult::Skipped { reason } => write!(f, "skipped: {reason}"),
+            InjectionResult::TimedOut { phase, budget_ms } => {
+                write!(f, "timed out: {phase} exceeded {budget_ms} ms")
+            }
+            InjectionResult::HarnessFailure { panic_msg } => {
+                write!(f, "harness failure: {panic_msg}")
+            }
         }
     }
 }
@@ -141,6 +171,30 @@ mod tests {
         assert!(!InjectionResult::Undetected { warnings: vec![] }.detected());
         assert!(!InjectionResult::Inexpressible { reason: "r".into() }.detected());
         assert!(!InjectionResult::Skipped { reason: "r".into() }.detected());
+        assert!(!InjectionResult::TimedOut {
+            phase: "startup".into(),
+            budget_ms: 100
+        }
+        .detected());
+        assert!(!InjectionResult::HarnessFailure {
+            panic_msg: "boom".into()
+        }
+        .detected());
+    }
+
+    #[test]
+    fn robustness_labels_and_display() {
+        let t = InjectionResult::TimedOut {
+            phase: "connect-and-query".into(),
+            budget_ms: 250,
+        };
+        assert_eq!(t.label(), "timed-out");
+        assert!(t.to_string().contains("250 ms"));
+        let h = InjectionResult::HarnessFailure {
+            panic_msg: "adapter bug".into(),
+        };
+        assert_eq!(h.label(), "harness-failure");
+        assert!(h.to_string().contains("adapter bug"));
     }
 
     #[test]

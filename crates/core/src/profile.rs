@@ -23,6 +23,14 @@ pub struct ProfileSummary {
     pub inexpressible: usize,
     /// Skipped (scenario failed to apply).
     pub skipped: usize,
+    /// Overran the per-fault soft deadline. Timed-out faults *were*
+    /// injected, so they stay in the injected denominator; they are
+    /// just never detections.
+    pub timed_out: usize,
+    /// The harness itself failed on the fault (isolated panic).
+    /// Excluded from the injected denominator — a harness bug says
+    /// nothing about the system's resilience.
+    pub harness_failures: usize,
 }
 
 impl ProfileSummary {
@@ -37,13 +45,16 @@ impl ProfileSummary {
             InjectionResult::Undetected { .. } => self.undetected += 1,
             InjectionResult::Inexpressible { .. } => self.inexpressible += 1,
             InjectionResult::Skipped { .. } => self.skipped += 1,
+            InjectionResult::TimedOut { .. } => self.timed_out += 1,
+            InjectionResult::HarnessFailure { .. } => self.harness_failures += 1,
         }
     }
 
-    /// Number of *injected* faults (total minus inexpressible and
-    /// skipped) — the denominator the paper's percentages use.
+    /// Number of *injected* faults (total minus inexpressible,
+    /// skipped and harness failures) — the denominator the paper's
+    /// percentages use.
     pub fn injected(&self) -> usize {
-        self.total - self.inexpressible - self.skipped
+        self.total - self.inexpressible - self.skipped - self.harness_failures
     }
 
     /// Fraction of injected faults the system detected (startup or
@@ -87,6 +98,12 @@ impl fmt::Display for ProfileSummary {
         }
         if self.skipped > 0 {
             write!(f, ", {} skipped", self.skipped)?;
+        }
+        if self.timed_out > 0 {
+            write!(f, ", {} timed out", self.timed_out)?;
+        }
+        if self.harness_failures > 0 {
+            write!(f, ", {} harness failure(s)", self.harness_failures)?;
         }
         Ok(())
     }
@@ -211,6 +228,19 @@ mod tests {
                 outcome("4", InjectionResult::Undetected { warnings: vec![] }),
                 outcome("5", InjectionResult::Inexpressible { reason: "r".into() }),
                 outcome("6", InjectionResult::Skipped { reason: "s".into() }),
+                outcome(
+                    "7",
+                    InjectionResult::TimedOut {
+                        phase: "startup".into(),
+                        budget_ms: 100,
+                    },
+                ),
+                outcome(
+                    "8",
+                    InjectionResult::HarnessFailure {
+                        panic_msg: "boom".into(),
+                    },
+                ),
             ],
         )
     }
@@ -218,14 +248,18 @@ mod tests {
     #[test]
     fn summary_counts_every_bucket() {
         let s = sample().summary();
-        assert_eq!(s.total, 6);
+        assert_eq!(s.total, 8);
         assert_eq!(s.detected_at_startup, 1);
         assert_eq!(s.detected_by_tests, 1);
         assert_eq!(s.undetected, 2);
         assert_eq!(s.inexpressible, 1);
         assert_eq!(s.skipped, 1);
-        assert_eq!(s.injected(), 4);
-        assert!((s.detection_rate() - 0.5).abs() < 1e-9);
+        assert_eq!(s.timed_out, 1);
+        assert_eq!(s.harness_failures, 1);
+        // Timed-out faults stay in the denominator; harness failures
+        // do not.
+        assert_eq!(s.injected(), 5);
+        assert!((s.detection_rate() - 0.4).abs() < 1e-9);
     }
 
     #[test]
@@ -238,6 +272,8 @@ mod tests {
                 + s.undetected
                 + s.inexpressible
                 + s.skipped
+                + s.timed_out
+                + s.harness_failures
         );
     }
 
@@ -245,7 +281,7 @@ mod tests {
     fn by_class_groups() {
         let map = sample().by_class();
         assert_eq!(map.len(), 1);
-        assert_eq!(map.values().next().unwrap().total, 6);
+        assert_eq!(map.values().next().unwrap().total, 8);
     }
 
     #[test]
@@ -255,12 +291,12 @@ mod tests {
         let extra = ResilienceProfile::new(
             "sut",
             vec![outcome(
-                "7",
+                "9",
                 InjectionResult::Undetected { warnings: vec![] },
             )],
         );
         p.merge(extra);
-        assert_eq!(p.len(), 7);
+        assert_eq!(p.len(), 9);
         assert_eq!(p.undetected().count(), 3);
     }
 

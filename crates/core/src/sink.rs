@@ -45,17 +45,35 @@ pub trait OutcomeSink {
     /// Receives the next completed outcome. Called exactly once per
     /// fault, in fault order.
     fn accept(&mut self, outcome: InjectionOutcome);
+
+    /// Takes the sink's pending I/O error, if it has one. The
+    /// campaign drivers poll this after delivering outcomes and abort
+    /// the run with `CampaignError::SinkIo` when it returns `Some` —
+    /// a full disk stops the campaign cleanly instead of silently
+    /// discarding the rest of the stream. In-memory sinks (the
+    /// default) never error.
+    fn take_error(&mut self) -> Option<io::Error> {
+        None
+    }
 }
 
 impl<S: OutcomeSink + ?Sized> OutcomeSink for &mut S {
     fn accept(&mut self, outcome: InjectionOutcome) {
         (**self).accept(outcome);
     }
+
+    fn take_error(&mut self) -> Option<io::Error> {
+        (**self).take_error()
+    }
 }
 
 impl<S: OutcomeSink + ?Sized> OutcomeSink for Box<S> {
     fn accept(&mut self, outcome: InjectionOutcome) {
         (**self).accept(outcome);
+    }
+
+    fn take_error(&mut self) -> Option<io::Error> {
+        (**self).take_error()
     }
 }
 
@@ -122,6 +140,14 @@ impl CountingSink {
         CountingSink::default()
     }
 
+    /// A counter resuming from previously accumulated counts — the
+    /// restore half of checkpoint/resume (see
+    /// [`crate::CheckpointSink`]): seed it with the journaled summary
+    /// and the resumed run continues the same totals.
+    pub fn with_summary(summary: ProfileSummary) -> Self {
+        CountingSink { summary }
+    }
+
     /// The counts accumulated so far.
     pub fn summary(&self) -> ProfileSummary {
         self.summary
@@ -145,6 +171,9 @@ pub struct CsvSink<W: io::Write> {
     system: String,
     writer: W,
     error: Option<io::Error>,
+    /// The error was already handed to a driver via `take_error`;
+    /// `finish` must still fail, just without the moved-out cause.
+    tripped: bool,
 }
 
 impl<W: io::Write> CsvSink<W> {
@@ -156,6 +185,7 @@ impl<W: io::Write> CsvSink<W> {
             system: system.into(),
             writer,
             error: None,
+            tripped: false,
         };
         sink.write(CSV_HEADER);
         sink
@@ -166,17 +196,24 @@ impl<W: io::Write> CsvSink<W> {
     ///
     /// # Errors
     ///
-    /// The first write/flush failure, if any occurred.
+    /// The first write/flush failure, if any occurred — even when the
+    /// error itself was already surfaced through
+    /// [`OutcomeSink::take_error`].
     pub fn finish(mut self) -> io::Result<W> {
         if let Some(e) = self.error {
             return Err(e);
+        }
+        if self.tripped {
+            return Err(io::Error::other(
+                "a streaming write failed (already reported)",
+            ));
         }
         self.writer.flush()?;
         Ok(self.writer)
     }
 
     fn write(&mut self, line: &str) {
-        if self.error.is_some() {
+        if self.error.is_some() || self.tripped {
             return;
         }
         if let Err(e) = writeln!(self.writer, "{line}") {
@@ -190,6 +227,14 @@ impl<W: io::Write> OutcomeSink for CsvSink<W> {
         let row = outcome_to_csv_row(&self.system, &outcome);
         self.write(&row);
     }
+
+    fn take_error(&mut self) -> Option<io::Error> {
+        let error = self.error.take();
+        if error.is_some() {
+            self.tripped = true;
+        }
+        error
+    }
 }
 
 /// Streams outcomes as JSON Lines (one [`crate::outcome_to_jsonl`]
@@ -200,6 +245,7 @@ pub struct JsonlSink<W: io::Write> {
     system: String,
     writer: W,
     error: Option<io::Error>,
+    tripped: bool,
 }
 
 impl<W: io::Write> JsonlSink<W> {
@@ -209,6 +255,7 @@ impl<W: io::Write> JsonlSink<W> {
             system: system.into(),
             writer,
             error: None,
+            tripped: false,
         }
     }
 
@@ -217,10 +264,17 @@ impl<W: io::Write> JsonlSink<W> {
     ///
     /// # Errors
     ///
-    /// The first write/flush failure, if any occurred.
+    /// The first write/flush failure, if any occurred — even when the
+    /// error itself was already surfaced through
+    /// [`OutcomeSink::take_error`].
     pub fn finish(mut self) -> io::Result<W> {
         if let Some(e) = self.error {
             return Err(e);
+        }
+        if self.tripped {
+            return Err(io::Error::other(
+                "a streaming write failed (already reported)",
+            ));
         }
         self.writer.flush()?;
         Ok(self.writer)
@@ -229,13 +283,21 @@ impl<W: io::Write> JsonlSink<W> {
 
 impl<W: io::Write> OutcomeSink for JsonlSink<W> {
     fn accept(&mut self, outcome: InjectionOutcome) {
-        if self.error.is_some() {
+        if self.error.is_some() || self.tripped {
             return;
         }
         let line = outcome_to_jsonl(&self.system, &outcome);
         if let Err(e) = writeln!(self.writer, "{line}") {
             self.error = Some(e);
         }
+    }
+
+    fn take_error(&mut self) -> Option<io::Error> {
+        let error = self.error.take();
+        if error.is_some() {
+            self.tripped = true;
+        }
+        error
     }
 }
 
@@ -341,5 +403,38 @@ mod tests {
         sink.accept(outcome("a")); // must not panic
         sink.accept(outcome("b"));
         assert!(sink.finish().is_err());
+    }
+
+    #[test]
+    fn take_error_drains_once_and_finish_still_fails() {
+        struct Failing;
+        impl io::Write for Failing {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = JsonlSink::new("s", Failing);
+        assert!(sink.take_error().is_none(), "no error before any write");
+        sink.accept(outcome("a"));
+        let taken = sink.take_error().expect("first write failed");
+        assert_eq!(taken.to_string(), "disk full");
+        assert!(sink.take_error().is_none(), "error is taken once");
+        sink.accept(outcome("b")); // tripped: stays a no-op
+        assert!(sink.finish().is_err(), "finish still reports failure");
+    }
+
+    #[test]
+    fn in_memory_sinks_never_error() {
+        let mut sink = CollectingSink::new();
+        sink.accept(outcome("a"));
+        assert!(sink.take_error().is_none());
+        let mut counting = CountingSink::with_summary(sink.into_profile("s").summary());
+        assert_eq!(counting.summary().total, 1);
+        counting.accept(outcome("b"));
+        assert_eq!(counting.summary().total, 2, "resumed counts continue");
+        assert!(counting.take_error().is_none());
     }
 }

@@ -84,7 +84,7 @@ pub use set::ConfigSet;
 pub use source::{
     combine_faults, product_eager, sample_keeps, BoxFaultSource, ChainSource, EagerSource,
     FaultSource, FaultSourceExt, GeneratorSource, IntoFaultSource, ProductSource, SampleSource,
-    TakeSource,
+    SkipSource, TakeSource,
 };
 pub use template::{
     DeleteTemplate, DuplicateTemplate, FileSelector, InsertTemplate, ModifyMutator, ModifyTarget,

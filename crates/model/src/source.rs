@@ -151,6 +151,20 @@ pub trait FaultSourceExt: FaultSource + Sized {
         }
     }
 
+    /// Everything after the first `n` faults. The skipped prefix is
+    /// still *generated* (then discarded), so positions keep their
+    /// global meaning — which is exactly what checkpoint resume
+    /// needs: re-run the same source with the completed prefix
+    /// skipped and the surviving faults line up index-for-index with
+    /// the uninterrupted run.
+    fn skip(self, n: usize) -> SkipSource<Self> {
+        SkipSource {
+            inner: self,
+            to_skip: n,
+            scratch: Vec::new(),
+        }
+    }
+
     /// The cartesian product of this source with `right`: for each of
     /// this source's faults `a` (streamed one at a time), every
     /// `right` fault `b` yields [`combine_faults`]`(a, b)` (pairs
@@ -408,6 +422,47 @@ impl<S: FaultSource> FaultSource for TakeSource<S> {
     }
 }
 
+/// See [`FaultSourceExt::skip`].
+#[derive(Debug)]
+pub struct SkipSource<S> {
+    inner: S,
+    to_skip: usize,
+    /// Reused discard buffer for the prefix drain.
+    scratch: Vec<GeneratedFault>,
+}
+
+impl<S: FaultSource> FaultSource for SkipSource<S> {
+    fn next_chunk(
+        &mut self,
+        max: usize,
+        out: &mut Vec<GeneratedFault>,
+    ) -> Result<usize, GenerateError> {
+        while self.to_skip > 0 {
+            self.scratch.clear();
+            let pull = self.to_skip.min(DEFAULT_PULL);
+            let n = self.inner.next_chunk(pull, &mut self.scratch)?;
+            if n == 0 {
+                // Inner ran dry inside the prefix: nothing survives.
+                self.to_skip = 0;
+                return Ok(0);
+            }
+            self.to_skip -= n.min(self.to_skip);
+        }
+        let hint = self.size_hint();
+        let n = self.inner.next_chunk(max, out)?;
+        debug_check_hint(hint, n);
+        Ok(n)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let (lower, upper) = self.inner.size_hint();
+        (
+            lower.saturating_sub(self.to_skip),
+            upper.map(|u| u.saturating_sub(self.to_skip)),
+        )
+    }
+}
+
 /// `true` iff a [`FaultSourceExt::sample`] source with this `seed` and
 /// `rate` keeps the fault at global `index`. Exposed so eager code
 /// (and the equivalence proptests) can apply the exact same decision:
@@ -646,6 +701,44 @@ mod tests {
         assert_eq!(ids(&s.collect_all().unwrap()), ["a", "b"]);
         let empty = EagerSource::new(vec![fault("a")]).take(0);
         assert!(empty.collect_all().unwrap().is_empty());
+    }
+
+    #[test]
+    fn skip_drops_the_prefix_and_adjusts_hint() {
+        let s = EagerSource::new(vec![fault("a"), fault("b"), fault("c"), fault("d")]).skip(2);
+        assert_eq!(s.size_hint(), (2, Some(2)));
+        assert_eq!(ids(&s.collect_all().unwrap()), ["c", "d"]);
+    }
+
+    #[test]
+    fn skip_is_chunk_independent() {
+        let faults: Vec<GeneratedFault> = (0..200).map(|i| fault(&format!("f{i}"))).collect();
+        let expected: Vec<String> = (137..200).map(|i| format!("f{i}")).collect();
+        for chunk in [1, 3, 64, 1000] {
+            let mut s = EagerSource::new(faults.clone()).skip(137);
+            let mut out = Vec::new();
+            while s.next_chunk(chunk, &mut out).unwrap() > 0 {}
+            assert_eq!(ids(&out), expected, "chunk = {chunk}");
+        }
+    }
+
+    #[test]
+    fn skip_past_the_end_is_empty_not_an_error() {
+        let s = EagerSource::new(vec![fault("a")]).skip(10);
+        assert!(s.collect_all().unwrap().is_empty());
+        let zero = EagerSource::new(vec![fault("a")]).skip(0);
+        assert_eq!(ids(&zero.collect_all().unwrap()), ["a"]);
+    }
+
+    #[test]
+    fn skip_composes_with_other_combinators() {
+        let faults: Vec<GeneratedFault> = (0..20).map(|i| fault(&format!("f{i}"))).collect();
+        let out = EagerSource::new(faults)
+            .skip(5)
+            .take(3)
+            .collect_all()
+            .unwrap();
+        assert_eq!(ids(&out), ["f5", "f6", "f7"]);
     }
 
     #[test]

@@ -29,7 +29,7 @@ use conferr_formats::{ApacheFormat, ConfigFormat};
 
 use crate::minihttp::{HttpService, VirtualFs, VirtualHost};
 use crate::{
-    CacheStats, ConfigFileSpec, ConfigPayload, ParseCache, StartOutcome, SystemUnderTest,
+    CacheStats, ConfigFileSpec, ConfigPayload, Deadline, ParseCache, StartOutcome, SystemUnderTest,
     TestOutcome,
 };
 
@@ -259,7 +259,7 @@ impl SystemUnderTest for ApacheSim {
         }]
     }
 
-    fn start(&mut self, configs: &ConfigPayload) -> StartOutcome {
+    fn start(&mut self, configs: &ConfigPayload, _deadline: &Deadline) -> StartOutcome {
         self.running = None;
         let Some(file) = configs.get("httpd.conf") else {
             return StartOutcome::FailedToStart {
@@ -292,7 +292,7 @@ impl SystemUnderTest for ApacheSim {
         vec!["http-get".to_string()]
     }
 
-    fn run_test(&mut self, test: &str) -> TestOutcome {
+    fn run_test(&mut self, test: &str, _deadline: &Deadline) -> TestOutcome {
         let Some(running) = self.running.as_ref() else {
             return TestOutcome::failed("server is not running");
         };
@@ -337,7 +337,7 @@ mod tests {
         let mut sut = ApacheSim::new();
         let mut configs = default_configs(&sut);
         patch(configs.get_mut("httpd.conf").unwrap());
-        let outcome = sut.start(&ConfigPayload::from_texts(&configs));
+        let outcome = sut.start(&ConfigPayload::from_texts(&configs), &Deadline::unlimited());
         (sut, outcome)
     }
 
@@ -345,7 +345,7 @@ mod tests {
     fn default_config_starts_and_serves() {
         let (mut sut, outcome) = start_with(|_| {});
         assert_eq!(outcome, StartOutcome::Started, "{outcome}");
-        assert!(sut.run_test("http-get").passed());
+        assert!(sut.run_test("http-get", &Deadline::unlimited()).passed());
     }
 
     #[test]
@@ -440,7 +440,7 @@ mod tests {
             *t = t.replace("Listen 80", "Listen 81");
         });
         assert_eq!(outcome, StartOutcome::Started);
-        let result = sut.run_test("http-get");
+        let result = sut.run_test("http-get", &Deadline::unlimited());
         match result {
             TestOutcome::Failed { diagnostic } => {
                 assert!(diagnostic.contains("Connection refused"), "{diagnostic}");
@@ -504,7 +504,7 @@ mod tests {
                 "DocumentRoot /var/www/htm\nDirectoryIndex",
             );
         });
-        let result = sut.run_test("http-get");
+        let result = sut.run_test("http-get", &Deadline::unlimited());
         match result {
             TestOutcome::Failed { diagnostic } => {
                 assert!(diagnostic.contains("404"), "{diagnostic}");

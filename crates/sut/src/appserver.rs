@@ -23,7 +23,7 @@ use conferr_formats::{xml_parse_attrs, ConfigFormat, XmlFormat};
 use conferr_tree::Node;
 
 use crate::{
-    CacheStats, ConfigFileSpec, ConfigPayload, ParseCache, StartOutcome, SystemUnderTest,
+    CacheStats, ConfigFileSpec, ConfigPayload, Deadline, ParseCache, StartOutcome, SystemUnderTest,
     TestOutcome,
 };
 
@@ -220,7 +220,7 @@ impl SystemUnderTest for AppServerSim {
         }]
     }
 
-    fn start(&mut self, configs: &ConfigPayload) -> StartOutcome {
+    fn start(&mut self, configs: &ConfigPayload, _deadline: &Deadline) -> StartOutcome {
         self.running = None;
         let Some(file) = configs.get("server.xml") else {
             return StartOutcome::FailedToStart {
@@ -245,7 +245,7 @@ impl SystemUnderTest for AppServerSim {
         vec!["deploy-check".to_string()]
     }
 
-    fn run_test(&mut self, test: &str) -> TestOutcome {
+    fn run_test(&mut self, test: &str, _deadline: &Deadline) -> TestOutcome {
         let Some(running) = self.running.as_ref() else {
             return TestOutcome::failed("server is not running");
         };
@@ -295,7 +295,7 @@ mod tests {
         let mut sut = AppServerSim::new();
         let mut configs = default_configs(&sut);
         patch(configs.get_mut("server.xml").unwrap());
-        let outcome = sut.start(&ConfigPayload::from_texts(&configs));
+        let outcome = sut.start(&ConfigPayload::from_texts(&configs), &Deadline::unlimited());
         (sut, outcome)
     }
 
@@ -303,7 +303,9 @@ mod tests {
     fn default_config_starts_and_deploys() {
         let (mut sut, outcome) = start_with(|_| {});
         assert_eq!(outcome, StartOutcome::Started, "{outcome}");
-        assert!(sut.run_test("deploy-check").passed());
+        assert!(sut
+            .run_test("deploy-check", &Deadline::unlimited())
+            .passed());
     }
 
     #[test]
@@ -344,7 +346,9 @@ mod tests {
             *t = t.replace("port=\"8080\"", "port=\"8081\"");
         });
         assert_eq!(outcome, StartOutcome::Started);
-        assert!(!sut.run_test("deploy-check").passed());
+        assert!(!sut
+            .run_test("deploy-check", &Deadline::unlimited())
+            .passed());
     }
 
     #[test]
@@ -393,7 +397,9 @@ mod tests {
             *t = t.replace("path=\"/shop\"", "path=\"/shpo\"");
         });
         assert_eq!(outcome, StartOutcome::Started);
-        assert!(!sut.run_test("deploy-check").passed());
+        assert!(!sut
+            .run_test("deploy-check", &Deadline::unlimited())
+            .passed());
     }
 
     #[test]

@@ -19,7 +19,7 @@ use conferr_tree::ConfTree;
 
 use crate::minidns::{QType, ZoneStore};
 use crate::{
-    CacheStats, ConfigFileSpec, ConfigPayload, ParseCache, StartOutcome, SystemUnderTest,
+    CacheStats, ConfigFileSpec, ConfigPayload, Deadline, ParseCache, StartOutcome, SystemUnderTest,
     TestOutcome,
 };
 
@@ -294,7 +294,7 @@ impl SystemUnderTest for BindSim {
         ]
     }
 
-    fn start(&mut self, configs: &ConfigPayload) -> StartOutcome {
+    fn start(&mut self, configs: &ConfigPayload, _deadline: &Deadline) -> StartOutcome {
         self.running = None;
         let mut store = ZoneStore::new();
         for file in ["forward.zone", "reverse.zone"] {
@@ -331,7 +331,7 @@ impl SystemUnderTest for BindSim {
         ]
     }
 
-    fn run_test(&mut self, test: &str) -> TestOutcome {
+    fn run_test(&mut self, test: &str, _deadline: &Deadline) -> TestOutcome {
         let Some(running) = self.running.as_ref() else {
             return TestOutcome::failed("named is not running");
         };
@@ -377,7 +377,7 @@ mod tests {
         let mut sut = BindSim::new();
         let mut configs = default_configs(&sut);
         patch(&mut configs);
-        let outcome = sut.start(&ConfigPayload::from_texts(&configs));
+        let outcome = sut.start(&ConfigPayload::from_texts(&configs), &Deadline::unlimited());
         (sut, outcome)
     }
 
@@ -385,8 +385,12 @@ mod tests {
     fn default_zones_load_and_answer() {
         let (mut sut, outcome) = start_with(|_| {});
         assert_eq!(outcome, StartOutcome::Started, "{outcome}");
-        assert!(sut.run_test("forward-zone-alive").passed());
-        assert!(sut.run_test("reverse-zone-alive").passed());
+        assert!(sut
+            .run_test("forward-zone-alive", &Deadline::unlimited())
+            .passed());
+        assert!(sut
+            .run_test("reverse-zone-alive", &Deadline::unlimited())
+            .passed());
         let store = sut.store().unwrap();
         assert!(store.query("www.example.com.", QType::A).found());
         assert!(store.reverse_lookup("192.0.2.10").found());
@@ -403,8 +407,12 @@ mod tests {
             *z = z.replace("10\tIN PTR www.example.com.\n", "");
         });
         assert_eq!(outcome, StartOutcome::Started);
-        assert!(sut.run_test("forward-zone-alive").passed());
-        assert!(sut.run_test("reverse-zone-alive").passed());
+        assert!(sut
+            .run_test("forward-zone-alive", &Deadline::unlimited())
+            .passed());
+        assert!(sut
+            .run_test("reverse-zone-alive", &Deadline::unlimited())
+            .passed());
         assert!(!sut.store().unwrap().reverse_lookup("192.0.2.10").found());
     }
 
@@ -416,7 +424,9 @@ mod tests {
             *z = z.replace("10\tIN PTR www.example.com.", "10\tIN PTR ftp.example.com.");
         });
         assert_eq!(outcome, StartOutcome::Started);
-        assert!(sut.run_test("reverse-zone-alive").passed());
+        assert!(sut
+            .run_test("reverse-zone-alive", &Deadline::unlimited())
+            .passed());
     }
 
     #[test]

@@ -1,0 +1,125 @@
+//! Soft per-fault execution deadlines.
+//!
+//! A [`Deadline`] is created by the campaign engine once per injected
+//! fault and threaded through [`SystemUnderTest::start`] and
+//! [`SystemUnderTest::run_test`]. In-process simulators are free to
+//! ignore it — the engine itself checks [`Deadline::expired`] after
+//! each phase and classifies overruns as
+//! `InjectionResult::TimedOut` — but process-backed adapters (ROADMAP
+//! item 4) can use [`Deadline::remaining`] to bound how long they wait
+//! on a child process, turning the soft deadline into a hard one.
+//!
+//! Deadlines are *soft*: nothing preempts a phase that is already
+//! running. The guarantee is that an overrunning fault is classified
+//! as timed out as soon as the phase returns, instead of silently
+//! inflating the campaign or wedging the worker forever on a
+//! cooperative SUT.
+//!
+//! [`SystemUnderTest::start`]: crate::SystemUnderTest::start
+//! [`SystemUnderTest::run_test`]: crate::SystemUnderTest::run_test
+
+use std::time::{Duration, Instant};
+
+/// A soft deadline for one fault's start-and-test cycle.
+///
+/// Constructed either as [`Deadline::unlimited`] (never expires; the
+/// default for scouting and for campaigns with no deadline configured)
+/// or [`Deadline::after`] (expires `budget` from now).
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline {
+    /// The wall-clock expiry instant; `None` means never.
+    at: Option<Instant>,
+    /// The original budget, kept for deterministic reporting
+    /// (outcomes record the budget, never the measured elapsed time).
+    budget: Option<Duration>,
+}
+
+impl Deadline {
+    /// A deadline that never expires.
+    pub const fn unlimited() -> Self {
+        Deadline {
+            at: None,
+            budget: None,
+        }
+    }
+
+    /// A deadline expiring `budget` from now.
+    pub fn after(budget: Duration) -> Self {
+        Deadline {
+            // On (absurd) overflow fall back to unlimited rather than
+            // saturating to a bogus instant.
+            at: Instant::now().checked_add(budget),
+            budget: Some(budget),
+        }
+    }
+
+    /// `true` iff this deadline can never expire.
+    pub fn is_unlimited(&self) -> bool {
+        self.at.is_none()
+    }
+
+    /// `true` iff the deadline has passed.
+    pub fn expired(&self) -> bool {
+        self.at.is_some_and(|at| Instant::now() >= at)
+    }
+
+    /// Time left before expiry (`None` for unlimited deadlines,
+    /// `Some(Duration::ZERO)` once expired). Process-backed adapters
+    /// should use this as their wait bound.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.at
+            .map(|at| at.saturating_duration_since(Instant::now()))
+    }
+
+    /// The budget this deadline was created with, if any.
+    pub fn budget(&self) -> Option<Duration> {
+        self.budget
+    }
+
+    /// The budget in whole milliseconds (0 for unlimited) — the value
+    /// recorded in `TimedOut` outcomes, deliberately independent of
+    /// how long the overrun actually took so profiles stay
+    /// reproducible.
+    pub fn budget_ms(&self) -> u64 {
+        self.budget
+            .map_or(0, |b| u64::try_from(b.as_millis()).unwrap_or(u64::MAX))
+    }
+}
+
+impl Default for Deadline {
+    fn default() -> Self {
+        Deadline::unlimited()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_expires() {
+        let d = Deadline::unlimited();
+        assert!(d.is_unlimited());
+        assert!(!d.expired());
+        assert_eq!(d.remaining(), None);
+        assert_eq!(d.budget(), None);
+        assert_eq!(d.budget_ms(), 0);
+    }
+
+    #[test]
+    fn after_reports_budget_and_expires() {
+        let d = Deadline::after(Duration::from_millis(40));
+        assert!(!d.is_unlimited());
+        assert_eq!(d.budget(), Some(Duration::from_millis(40)));
+        assert_eq!(d.budget_ms(), 40);
+        assert!(!d.expired());
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(d.expired());
+        assert_eq!(d.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn default_is_unlimited() {
+        assert!(Deadline::default().is_unlimited());
+    }
+}

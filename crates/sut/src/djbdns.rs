@@ -20,7 +20,7 @@ use conferr_formats::{tinydns_fields, ConfigFormat, TinyDnsFormat};
 
 use crate::minidns::{QType, ZoneStore};
 use crate::{
-    CacheStats, ConfigFileSpec, ConfigPayload, ParseCache, StartOutcome, SystemUnderTest,
+    CacheStats, ConfigFileSpec, ConfigPayload, Deadline, ParseCache, StartOutcome, SystemUnderTest,
     TestOutcome,
 };
 
@@ -186,7 +186,7 @@ impl SystemUnderTest for DjbdnsSim {
         }]
     }
 
-    fn start(&mut self, configs: &ConfigPayload) -> StartOutcome {
+    fn start(&mut self, configs: &ConfigPayload, _deadline: &Deadline) -> StartOutcome {
         self.running = None;
         let Some(file) = configs.get("data") else {
             return StartOutcome::FailedToStart {
@@ -214,7 +214,7 @@ impl SystemUnderTest for DjbdnsSim {
         ]
     }
 
-    fn run_test(&mut self, test: &str) -> TestOutcome {
+    fn run_test(&mut self, test: &str, _deadline: &Deadline) -> TestOutcome {
         let Some(running) = self.running.as_ref() else {
             return TestOutcome::failed("tinydns is not running");
         };
@@ -258,7 +258,7 @@ mod tests {
         let mut sut = DjbdnsSim::new();
         let mut configs = default_configs(&sut);
         patch(configs.get_mut("data").unwrap());
-        let outcome = sut.start(&ConfigPayload::from_texts(&configs));
+        let outcome = sut.start(&ConfigPayload::from_texts(&configs), &Deadline::unlimited());
         (sut, outcome)
     }
 
@@ -266,8 +266,12 @@ mod tests {
     fn default_data_loads_and_answers() {
         let (mut sut, outcome) = start_with(|_| {});
         assert_eq!(outcome, StartOutcome::Started, "{outcome}");
-        assert!(sut.run_test("forward-zone-alive").passed());
-        assert!(sut.run_test("reverse-zone-alive").passed());
+        assert!(sut
+            .run_test("forward-zone-alive", &Deadline::unlimited())
+            .passed());
+        assert!(sut
+            .run_test("reverse-zone-alive", &Deadline::unlimited())
+            .passed());
         let store = sut.store().unwrap();
         assert!(store.query("www.example.com.", QType::A).found());
         assert!(store.reverse_lookup("192.0.2.10").found());
@@ -290,7 +294,9 @@ mod tests {
             t.push_str("Cexample.com:www.example.com:86400\n");
         });
         assert_eq!(outcome, StartOutcome::Started);
-        assert!(sut.run_test("forward-zone-alive").passed());
+        assert!(sut
+            .run_test("forward-zone-alive", &Deadline::unlimited())
+            .passed());
     }
 
     #[test]
@@ -303,7 +309,9 @@ mod tests {
             );
         });
         assert_eq!(outcome, StartOutcome::Started);
-        assert!(sut.run_test("forward-zone-alive").passed());
+        assert!(sut
+            .run_test("forward-zone-alive", &Deadline::unlimited())
+            .passed());
     }
 
     #[test]
@@ -339,14 +347,20 @@ mod tests {
             );
         });
         assert_eq!(outcome, StartOutcome::Started);
-        assert!(sut.run_test("forward-zone-alive").passed());
-        assert!(!sut.run_test("reverse-zone-alive").passed());
+        assert!(sut
+            .run_test("forward-zone-alive", &Deadline::unlimited())
+            .passed());
+        assert!(!sut
+            .run_test("reverse-zone-alive", &Deadline::unlimited())
+            .passed());
     }
 
     #[test]
     fn stopped_server_fails_tests() {
         let (mut sut, _) = start_with(|_| {});
         sut.stop();
-        assert!(!sut.run_test("forward-zone-alive").passed());
+        assert!(!sut
+            .run_test("forward-zone-alive", &Deadline::unlimited())
+            .passed());
     }
 }

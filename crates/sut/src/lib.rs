@@ -45,6 +45,8 @@
 mod apache;
 mod appserver;
 mod bind;
+pub mod chaos;
+mod deadline;
 mod directive;
 mod djbdns;
 pub mod minidb;
@@ -57,6 +59,8 @@ mod postgres;
 pub use apache::ApacheSim;
 pub use appserver::AppServerSim;
 pub use bind::BindSim;
+pub use chaos::{ChaosAction, ChaosConfig, ChaosSut, CHAOS_PREFIX};
+pub use deadline::Deadline;
 pub use directive::{
     parse_bool_mysql, parse_bool_pg, parse_int_prefix, parse_int_strict, parse_size_mysql,
     parse_size_strict, resolve_prefix, DirectiveSpec, MySqlParse, PrefixError, ValueType,
@@ -169,13 +173,14 @@ impl TestOutcome {
 /// # Examples
 ///
 /// ```
-/// use conferr_sut::{default_payload, MySqlSim, SystemUnderTest};
+/// use conferr_sut::{default_payload, Deadline, MySqlSim, SystemUnderTest};
 ///
 /// let mut sut = MySqlSim::new();
 /// let payload = default_payload(&sut);
-/// assert!(sut.start(&payload).is_running());
+/// let deadline = Deadline::unlimited();
+/// assert!(sut.start(&payload, &deadline).is_running());
 /// for test in sut.test_names() {
-///     assert!(sut.run_test(&test).passed());
+///     assert!(sut.run_test(&test, &deadline).passed());
 /// }
 /// sut.stop();
 /// ```
@@ -190,13 +195,20 @@ pub trait SystemUnderTest: fmt::Debug {
     /// (shared per-file text plus content identity, as produced by
     /// serializing a mutated configuration set — see
     /// [`ConfigPayload`]).
-    fn start(&mut self, configs: &ConfigPayload) -> StartOutcome;
+    ///
+    /// `deadline` is the soft budget for the whole fault cycle.
+    /// In-process simulators may ignore it (the campaign engine
+    /// checks expiry after each phase); adapters that wait on
+    /// external processes should bound the wait by
+    /// [`Deadline::remaining`].
+    fn start(&mut self, configs: &ConfigPayload, deadline: &Deadline) -> StartOutcome;
 
     /// Names of the functional tests, in execution order.
     fn test_names(&self) -> Vec<String>;
 
-    /// Runs one functional test against the started system.
-    fn run_test(&mut self, test: &str) -> TestOutcome;
+    /// Runs one functional test against the started system, under the
+    /// same soft `deadline` as the start phase.
+    fn run_test(&mut self, test: &str, deadline: &Deadline) -> TestOutcome;
 
     /// Stops the system and discards runtime state.
     fn stop(&mut self);

@@ -37,7 +37,7 @@ use conferr_formats::{ConfigFormat, IniFormat};
 use crate::directive::ValueType;
 use crate::minidb::{Engine, EngineLimits};
 use crate::{
-    CacheStats, ConfigFileSpec, ConfigPayload, ParseCache, StartOutcome, SystemUnderTest,
+    CacheStats, ConfigFileSpec, ConfigPayload, Deadline, ParseCache, StartOutcome, SystemUnderTest,
     TestOutcome,
 };
 
@@ -196,7 +196,7 @@ impl SystemUnderTest for MySqlSim {
         }]
     }
 
-    fn start(&mut self, configs: &ConfigPayload) -> StartOutcome {
+    fn start(&mut self, configs: &ConfigPayload, _deadline: &Deadline) -> StartOutcome {
         self.running = None;
         let Some(file) = configs.get("my.cnf") else {
             return StartOutcome::FailedToStart {
@@ -226,7 +226,7 @@ impl SystemUnderTest for MySqlSim {
         vec!["connect-and-query".to_string()]
     }
 
-    fn run_test(&mut self, test: &str) -> TestOutcome {
+    fn run_test(&mut self, test: &str, _deadline: &Deadline) -> TestOutcome {
         let Some(running) = self.running.as_mut() else {
             return TestOutcome::failed("server is not running");
         };
@@ -311,7 +311,7 @@ mod tests {
         let mut configs = default_configs(&sut);
         let text = configs.get_mut("my.cnf").unwrap();
         patch(text);
-        let outcome = sut.start(&ConfigPayload::from_texts(&configs));
+        let outcome = sut.start(&ConfigPayload::from_texts(&configs), &Deadline::unlimited());
         (sut, outcome)
     }
 
@@ -319,10 +319,16 @@ mod tests {
     fn default_config_starts_and_passes_tests() {
         let (mut sut, outcome) = start_with(|_| {});
         assert_eq!(outcome, StartOutcome::Started);
-        assert!(sut.run_test("connect-and-query").passed());
-        assert!(sut.run_test("mysqldump-tool").passed());
+        assert!(sut
+            .run_test("connect-and-query", &Deadline::unlimited())
+            .passed());
+        assert!(sut
+            .run_test("mysqldump-tool", &Deadline::unlimited())
+            .passed());
         sut.stop();
-        assert!(!sut.run_test("connect-and-query").passed());
+        assert!(!sut
+            .run_test("connect-and-query", &Deadline::unlimited())
+            .passed());
     }
 
     #[test]
@@ -385,9 +391,11 @@ mod tests {
             *t = t.replace("quick", "qiuck");
         });
         assert_eq!(outcome, StartOutcome::Started);
-        assert!(sut.run_test("connect-and-query").passed());
+        assert!(sut
+            .run_test("connect-and-query", &Deadline::unlimited())
+            .passed());
         // ... but surfaces when the backup tool finally runs.
-        let result = sut.run_test("mysqldump-tool");
+        let result = sut.run_test("mysqldump-tool", &Deadline::unlimited());
         match result {
             TestOutcome::Failed { diagnostic } => {
                 assert!(diagnostic.contains("unknown option"), "{diagnostic}");
@@ -470,7 +478,9 @@ mod tests {
             );
         });
         assert_eq!(outcome, StartOutcome::Started);
-        assert!(sut.run_test("connect-and-query").passed());
+        assert!(sut
+            .run_test("connect-and-query", &Deadline::unlimited())
+            .passed());
     }
 
     #[test]
@@ -485,7 +495,7 @@ mod tests {
             );
         });
         assert_eq!(outcome, StartOutcome::Started);
-        let result = sut.run_test("connect-and-query");
+        let result = sut.run_test("connect-and-query", &Deadline::unlimited());
         assert!(!result.passed(), "client must fail to reach port 3306");
     }
 
@@ -510,7 +520,9 @@ mod tests {
         });
         assert_eq!(outcome, StartOutcome::Started);
         assert_eq!(sut.server_var("port"), Some("3306"));
-        assert!(sut.run_test("connect-and-query").passed());
+        assert!(sut
+            .run_test("connect-and-query", &Deadline::unlimited())
+            .passed());
     }
 
     #[test]

@@ -145,17 +145,18 @@ impl FileText {
 /// # Examples
 ///
 /// ```
-/// use conferr_sut::{default_payload, ConfigPayload, FileText, PostgresSim, SystemUnderTest};
+/// use conferr_sut::{default_payload, ConfigPayload, Deadline, FileText, PostgresSim, SystemUnderTest};
 ///
 /// // Defaults, as the engine would hand them out (baseline origin):
 /// let mut sut = PostgresSim::new();
 /// let payload = default_payload(&sut);
-/// assert!(sut.start(&payload).is_running());
+/// let deadline = Deadline::unlimited();
+/// assert!(sut.start(&payload, &deadline).is_running());
 ///
 /// // Hand-built text, e.g. in a test (mutated origin):
 /// let mut payload = ConfigPayload::new();
 /// payload.insert("postgresql.conf", FileText::mutated("bogus = 1\n"));
-/// assert!(!sut.start(&payload).is_running());
+/// assert!(!sut.start(&payload, &deadline).is_running());
 /// ```
 ///
 /// [`SystemUnderTest::start`]: crate::SystemUnderTest::start

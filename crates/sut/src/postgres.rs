@@ -26,7 +26,7 @@ use conferr_formats::{ConfigFormat, KvFormat};
 use crate::directive::ValueType;
 use crate::minidb::{Engine, EngineLimits};
 use crate::{
-    CacheStats, ConfigFileSpec, ConfigPayload, ParseCache, StartOutcome, SystemUnderTest,
+    CacheStats, ConfigFileSpec, ConfigPayload, Deadline, ParseCache, StartOutcome, SystemUnderTest,
     TestOutcome,
 };
 
@@ -152,7 +152,7 @@ impl SystemUnderTest for PostgresSim {
         }]
     }
 
-    fn start(&mut self, configs: &ConfigPayload) -> StartOutcome {
+    fn start(&mut self, configs: &ConfigPayload, _deadline: &Deadline) -> StartOutcome {
         self.running = None;
         let Some(file) = configs.get("postgresql.conf") else {
             return StartOutcome::FailedToStart {
@@ -180,7 +180,7 @@ impl SystemUnderTest for PostgresSim {
         vec!["connect-and-query".to_string()]
     }
 
-    fn run_test(&mut self, test: &str) -> TestOutcome {
+    fn run_test(&mut self, test: &str, _deadline: &Deadline) -> TestOutcome {
         let Some(running) = self.running.as_mut() else {
             return TestOutcome::failed("server is not running");
         };
@@ -241,7 +241,7 @@ mod tests {
         let mut sut = PostgresSim::new();
         let mut configs = default_configs(&sut);
         patch(configs.get_mut("postgresql.conf").unwrap());
-        let outcome = sut.start(&ConfigPayload::from_texts(&configs));
+        let outcome = sut.start(&ConfigPayload::from_texts(&configs), &Deadline::unlimited());
         (sut, outcome)
     }
 
@@ -249,7 +249,9 @@ mod tests {
     fn default_config_starts_and_passes() {
         let (mut sut, outcome) = start_with(|_| {});
         assert_eq!(outcome, StartOutcome::Started);
-        assert!(sut.run_test("connect-and-query").passed());
+        assert!(sut
+            .run_test("connect-and-query", &Deadline::unlimited())
+            .passed());
     }
 
     #[test]

@@ -17,7 +17,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 
 use conferr_sut::{
-    default_configs, default_payload, ConfigPayload, FileText, ParseCache, PostgresSim,
+    default_configs, default_payload, ConfigPayload, Deadline, FileText, ParseCache, PostgresSim,
     SystemUnderTest,
 };
 use proptest::prelude::*;
@@ -57,7 +57,7 @@ proptest! {
 
         // Warm simulator: baseline parsed and pinned first.
         let mut warm = PostgresSim::new();
-        warm.start(&default_payload(&warm));
+        warm.start(&default_payload(&warm), &Deadline::unlimited());
         let before = warm.parse_cache_stats().unwrap();
         prop_assert_eq!(before.pinned, 1);
 
@@ -66,7 +66,7 @@ proptest! {
         // parse-and-validate path ran.
         let mut payload = ConfigPayload::new();
         payload.insert("postgresql.conf", FileText::mutated(mutated_text.as_str()));
-        let outcome = warm.start(&payload);
+        let outcome = warm.start(&payload, &Deadline::unlimited());
         let after = warm.parse_cache_stats().unwrap();
         prop_assert_eq!(after.misses, before.misses + 1);
         prop_assert_eq!(after.hits, before.hits);
@@ -75,12 +75,12 @@ proptest! {
         // produces.
         let mut cold = PostgresSim::new();
         cold.set_parse_caching(false);
-        let reference = cold.start(&payload);
+        let reference = cold.start(&payload, &Deadline::unlimited());
         prop_assert_eq!(&outcome, &reference);
 
         // Only a byte-identical re-sighting may hit, and the memoized
         // outcome is unchanged.
-        let replay = warm.start(&payload);
+        let replay = warm.start(&payload, &Deadline::unlimited());
         let replay_stats = warm.parse_cache_stats().unwrap();
         prop_assert_eq!(replay_stats.hits, after.hits + 1);
         prop_assert_eq!(&replay, &reference);

@@ -60,6 +60,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     format!("INEXPRESSIBLE in this format: {reason}")
                 }
                 InjectionResult::Skipped { reason } => format!("skipped: {reason}"),
+                InjectionResult::TimedOut { phase, budget_ms } => {
+                    format!("TIMED OUT: {phase} exceeded {budget_ms} ms")
+                }
+                InjectionResult::HarnessFailure { panic_msg } => {
+                    format!("HARNESS FAILURE: {panic_msg}")
+                }
             };
             println!("  {:<46} -> {verdict}", outcome.description);
         }

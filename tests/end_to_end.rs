@@ -176,10 +176,18 @@ fn suts_recover_after_failed_start() {
         .expect("conf")
         .push_str("bogus_param = 1\n");
     assert!(!sut
-        .start(&conferr_sut::ConfigPayload::from_texts(&bad))
+        .start(
+            &conferr_sut::ConfigPayload::from_texts(&bad),
+            &conferr_sut::Deadline::unlimited()
+        )
         .is_running());
     assert!(sut
-        .start(&conferr_sut::ConfigPayload::from_texts(&good))
+        .start(
+            &conferr_sut::ConfigPayload::from_texts(&good),
+            &conferr_sut::Deadline::unlimited()
+        )
         .is_running());
-    assert!(sut.run_test("connect-and-query").passed());
+    assert!(sut
+        .run_test("connect-and-query", &conferr_sut::Deadline::unlimited())
+        .passed());
 }

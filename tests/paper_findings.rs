@@ -5,7 +5,7 @@
 
 use conferr::{Campaign, InjectionResult};
 use conferr_model::{ConfigSet, ErrorClass, FaultScenario, GeneratedFault, TreeEdit, TypoKind};
-use conferr_sut::{ApacheSim, ConfigPayload, MySqlSim, PostgresSim, SystemUnderTest};
+use conferr_sut::{ApacheSim, ConfigPayload, Deadline, MySqlSim, PostgresSim, SystemUnderTest};
 use conferr_tree::{NodeQuery, TreePath};
 
 /// Builds a one-scenario fault load that rewrites the value of the
@@ -133,8 +133,10 @@ fn mysql_tool_section_errors_stay_latent_until_the_tool_runs() {
     let configs = conferr_sut::default_configs(&sut);
     let mut broken = configs.clone();
     *broken.get_mut("my.cnf").expect("my.cnf") = broken["my.cnf"].replace("quick", "qiuck");
-    assert!(sut.start(&ConfigPayload::from_texts(&broken)).is_running());
-    let tool = sut.run_test("mysqldump-tool");
+    assert!(sut
+        .start(&ConfigPayload::from_texts(&broken), &Deadline::unlimited())
+        .is_running());
+    let tool = sut.run_test("mysqldump-tool", &Deadline::unlimited());
     assert!(!tool.passed(), "the tool must surface the latent error");
 }
 
@@ -254,11 +256,15 @@ fn databases_detect_boolean_typos() {
         .get_mut("postgresql.conf")
         .expect("conf")
         .push_str("autovacuum = onn\n");
-    assert!(!pg.start(&ConfigPayload::from_texts(&configs)).is_running());
+    assert!(!pg
+        .start(&ConfigPayload::from_texts(&configs), &Deadline::unlimited())
+        .is_running());
 
     let mut my = MySqlSim::new();
     let mut configs = conferr_sut::default_configs(&my);
     *configs.get_mut("my.cnf").expect("cnf") =
         configs["my.cnf"].replace("skip-external-locking", "skip-external-locking=VES");
-    assert!(!my.start(&ConfigPayload::from_texts(&configs)).is_running());
+    assert!(!my
+        .start(&ConfigPayload::from_texts(&configs), &Deadline::unlimited())
+        .is_running());
 }

@@ -23,7 +23,8 @@ use conferr_formats::{format_by_name, ConfigFormat};
 use conferr_keyboard::Keyboard;
 use conferr_model::{ConfigSet, GeneratedFault};
 use conferr_sut::{
-    ApacheSim, BindSim, ConfigPayload, DjbdnsSim, FileText, MySqlSim, PostgresSim, SystemUnderTest,
+    ApacheSim, BindSim, ConfigPayload, Deadline, DjbdnsSim, FileText, MySqlSim, PostgresSim,
+    SystemUnderTest,
 };
 
 /// Runs the full Table 1 fault load through a serial campaign with
@@ -97,9 +98,9 @@ fn cached_start_is_identical_to_uncached_djbdns() {
     for text in &mutations {
         let mut payload = ConfigPayload::new();
         payload.insert("data", FileText::mutated(text.as_str()));
-        let first = warm.start(&payload);
-        let hit = warm.start(&payload);
-        let reference = cold.start(&payload);
+        let first = warm.start(&payload, &Deadline::unlimited());
+        let hit = warm.start(&payload, &Deadline::unlimited());
+        let reference = cold.start(&payload, &Deadline::unlimited());
         assert_eq!(first, reference);
         assert_eq!(hit, reference);
     }
@@ -208,9 +209,9 @@ fn assert_hit_equals_cold(make_sut: impl Fn() -> Box<dyn SystemUnderTest>) {
         let Some(payload) = replayer.payload_for(fault) else {
             continue;
         };
-        let first = warm.start(&payload); // cold or hit, depending on history
-        let hit = warm.start(&payload); // guaranteed byte-identical content
-        let reference = cold.start(&payload); // full parse, no memoization
+        let first = warm.start(&payload, &Deadline::unlimited()); // cold or hit, depending on history
+        let hit = warm.start(&payload, &Deadline::unlimited()); // guaranteed byte-identical content
+        let reference = cold.start(&payload, &Deadline::unlimited()); // full parse, no memoization
         assert_eq!(first, reference, "fault {}", fault.id());
         assert_eq!(hit, reference, "fault {} (cache hit)", fault.id());
         warm.stop();
@@ -261,7 +262,7 @@ fn unchanged_files_of_multi_file_suts_parse_once() {
         let Some(payload) = replayer.payload_for(fault) else {
             continue;
         };
-        sut.start(&payload);
+        sut.start(&payload, &Deadline::unlimited());
         sut.stop();
         starts += 1;
     }
