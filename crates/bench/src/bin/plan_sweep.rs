@@ -1,0 +1,228 @@
+//! Seeded property sweep over operator-session plans, feeding the
+//! committed bug base.
+//!
+//! ```text
+//! cargo run --release -p conferr-bench --bin plan_sweep            # write bugbase/
+//! cargo run --release -p conferr-bench --bin plan_sweep -- --check # CI gate
+//! ```
+//!
+//! The sweep is a fixed grid — every built-in workload profile and
+//! property, a fixed seed list, three systems, one chaos spec — so its
+//! output is a pure function of the codebase. Every plan that violates
+//! a property is shrunk to its minimal counterexample and recorded.
+//!
+//! `--check` (the nightly CI mode) recomputes the grid and requires
+//! the produced record set to equal the committed `bugbase/` directory
+//! *exactly*: a sweep record missing from the directory means the code
+//! grew a new counterexample (a regression to triage — or, after a
+//! deliberate behaviour change, a record to re-commit); a committed
+//! record the sweep no longer produces means a bug silently stopped
+//! reproducing. Both directions fail the gate. Each committed record
+//! is also replayed byte-for-byte through its stored selection.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use conferr::CampaignExecutor;
+use conferr_bench::threads_from_env;
+use conferr_plan::{BugBase, BugRecord, ChaosSpec, PlanHarness, Property, WorkloadProfile};
+
+/// Fixed seed list for the broad grid.
+const SEEDS: [u64; 4] = [0, 3, 17, 1912];
+/// Systems under sweep (a representative subset keeps the gate fast).
+const SYSTEMS: [&str; 3] = ["mysql", "postgres", "apache"];
+/// Steps per generated plan in the broad grid.
+const STEPS: usize = 12;
+/// Deep compound-heavy cells: longer sessions at seeds known to grow
+/// the detected-then-masked compound shape, so `no-silent-compound`
+/// is represented in the committed base alongside the other two
+/// properties.
+const DEEP_SEEDS: [u64; 2] = [30, 109];
+/// Steps per generated plan in the deep cells.
+const DEEP_STEPS: usize = 16;
+/// One chaos spec for the whole grid: start failures and fabricated
+/// test failures at moderate rates, no panics or stalls (those are
+/// covered by the robustness suite; here they would only slow the
+/// sweep down).
+const CHAOS: ChaosSpec = ChaosSpec {
+    seed: 7,
+    panic_pm: 0,
+    stall_pm: 0,
+    fail_pm: 350,
+    fail_test_pm: 200,
+    stall_ms: 5,
+};
+
+/// Default bug-base directory, relative to the repo root CI runs from.
+const DEFAULT_DIR: &str = "bugbase";
+
+fn sweep_cell(
+    executor: &CampaignExecutor,
+    harness: &PlanHarness,
+    profile: &str,
+    seed: u64,
+    steps: usize,
+    records: &mut Vec<BugRecord>,
+) {
+    let plan = harness
+        .generate(profile, seed, steps)
+        .expect("built-in profile");
+    let trace = harness.run(executor, &plan).expect("plan run");
+    for property in Property::ALL {
+        if property.evaluate(&trace).is_none() {
+            continue;
+        }
+        let report = harness
+            .shrink(executor, &plan, property)
+            .expect("shrink run")
+            .expect("a violating plan must shrink to a counterexample");
+        let record = harness
+            .build_record(
+                executor,
+                profile,
+                seed,
+                steps,
+                property,
+                &plan,
+                &report.minimal,
+            )
+            .expect("record build");
+        println!(
+            "{} {profile} seed={seed} {}: {} -> {} step(s) in {} run(s)",
+            harness.system(),
+            property.name(),
+            plan.len(),
+            report.minimal.len(),
+            report.runs
+        );
+        records.push(record);
+    }
+}
+
+fn sweep(executor: &CampaignExecutor) -> Vec<BugRecord> {
+    let mut records = Vec::new();
+    for system in SYSTEMS {
+        let harness = PlanHarness::new(system, Some(CHAOS)).expect("built-in system");
+        for profile in WorkloadProfile::builtin() {
+            for seed in SEEDS {
+                sweep_cell(executor, &harness, &profile.name, seed, STEPS, &mut records);
+            }
+        }
+        for seed in DEEP_SEEDS {
+            sweep_cell(
+                executor,
+                &harness,
+                "compound-heavy",
+                seed,
+                DEEP_STEPS,
+                &mut records,
+            );
+        }
+    }
+    records
+}
+
+fn write(base: &BugBase, records: &[BugRecord]) -> ExitCode {
+    for record in records {
+        let path = base.store(record).expect("store record");
+        println!("wrote {}", path.display());
+    }
+    println!("plan sweep: {} counterexample(s) recorded", records.len());
+    ExitCode::SUCCESS
+}
+
+fn check(base: &BugBase, executor: &CampaignExecutor, records: &[BugRecord]) -> ExitCode {
+    let committed: BTreeMap<String, BugRecord> = base
+        .records()
+        .expect("readable bug base")
+        .into_iter()
+        .map(|(path, record)| {
+            (
+                path.file_name()
+                    .and_then(|n| n.to_str())
+                    .expect("utf-8 file name")
+                    .to_string(),
+                record,
+            )
+        })
+        .collect();
+
+    let mut failures = Vec::new();
+    for record in records {
+        match committed.get(&record.file_name()) {
+            None => failures.push(format!(
+                "NEW counterexample not in the committed bug base: {}",
+                record.file_name()
+            )),
+            Some(stored) if stored != record => failures.push(format!(
+                "counterexample drifted from the committed record: {}",
+                record.file_name()
+            )),
+            Some(_) => {}
+        }
+    }
+    let produced: Vec<String> = records.iter().map(BugRecord::file_name).collect();
+    for name in committed.keys() {
+        if !produced.contains(name) {
+            failures.push(format!(
+                "committed record no longer reproduced by the sweep: {name}"
+            ));
+        }
+    }
+
+    // Every committed record must also replay byte-for-byte through
+    // its stored kept-step selection.
+    for (name, record) in &committed {
+        let harness = PlanHarness::from_record(record).expect("record system");
+        let result = harness
+            .replay_record(executor, record)
+            .expect("record replay");
+        if !result.matched {
+            failures.push(format!("record does not replay byte-for-byte: {name}"));
+        }
+    }
+
+    if failures.is_empty() {
+        println!(
+            "plan sweep check: {} record(s), all reproduced and replayed",
+            committed.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for failure in &failures {
+            eprintln!("plan sweep check: {failure}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut checking = false;
+    let mut dir = DEFAULT_DIR.to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--check" => checking = true,
+            "--out" => {
+                i += 1;
+                dir = args.get(i).cloned().expect("--out needs a directory");
+            }
+            other => {
+                eprintln!("plan_sweep: unknown argument {other:?}");
+                eprintln!("usage: plan_sweep [--check] [--out <dir>]");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+
+    let executor = CampaignExecutor::new(threads_from_env());
+    let base = BugBase::new(&dir);
+    let records = sweep(&executor);
+    if checking {
+        check(&base, &executor, &records)
+    } else {
+        write(&base, &records)
+    }
+}

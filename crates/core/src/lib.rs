@@ -67,6 +67,7 @@ mod executor;
 mod export;
 mod outcome;
 mod parallel;
+mod plan;
 mod profile;
 pub mod report;
 mod sink;
@@ -88,5 +89,6 @@ pub use export::{
 };
 pub use outcome::{InjectionOutcome, InjectionResult};
 pub use parallel::{default_threads, parallel_indexed_map, ParallelCampaign};
+pub use plan::{PlanTrace, PlanTraceSink, StepRecord};
 pub use profile::{ProfileSummary, ResilienceProfile};
 pub use sink::{CollectingSink, CountingSink, CsvSink, JsonlSink, OutcomeSink};

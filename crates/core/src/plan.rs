@@ -1,0 +1,332 @@
+//! Plan execution — the campaign-layer driver for multi-step
+//! operator sessions.
+//!
+//! A [`conferr_model::FaultPlan`] compiles to an ordinary fault source
+//! (one cumulative-edit fault per SUT-touching step), so
+//! [`CampaignExecutor::run_plan`] is a thin wrapper over
+//! [`CampaignExecutor::run_source`]: streaming, per-fault isolation,
+//! deadlines/retries and the in-order sink guarantee all apply to
+//! plans unchanged. What this module adds is the *trace*: a
+//! [`PlanTraceSink`] that correlates each emitted outcome back to its
+//! plan step (the executor delivers outcomes in emission order at any
+//! thread count, which is exactly the correlation invariant needed)
+//! and records the set of still-active injected steps alongside.
+//!
+//! Deadline overruns during `Revert`/`Restart` steps are relabelled:
+//! the engine classifies any startup overrun as
+//! `TimedOut { phase: "startup" }`, but for a plan step the phase an
+//! operator cares about is *which action* stalled — a wedged revert
+//! reads `phase: "revert"`, a wedged restart `phase: "restart"`. The
+//! functional-test phases keep their test names.
+
+use std::collections::VecDeque;
+
+use conferr_model::{FaultPlan, PlanAction, StepKind};
+
+use crate::{
+    CampaignError, CampaignExecutor, ExecutorCampaign, InjectionOutcome, InjectionResult,
+    OutcomeSink,
+};
+
+/// One executed plan step: its static shape plus the outcome the
+/// executor delivered for it (`None` for `Observe` steps, which never
+/// touch the SUT).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepRecord {
+    /// The step's stable id (original plan position).
+    pub id: usize,
+    /// What kind of action the step performed.
+    pub kind: StepKind,
+    /// Step payload: the injected fault's id, the reverted step id,
+    /// the focused test name or the observed property name.
+    pub detail: String,
+    /// For `Inject` steps, the underlying (un-prefixed) fault id.
+    pub injected: Option<String>,
+    /// For `Revert` steps, the inject step id being undone.
+    pub target: Option<usize>,
+    /// Inject step ids still active *after* this step executed.
+    pub active: Vec<usize>,
+    /// The delivered outcome (`None` for `Observe`).
+    pub outcome: Option<InjectionOutcome>,
+}
+
+/// The step-by-step outcome trace of one executed [`FaultPlan`] —
+/// what property oracles evaluate and what bug-base records replay
+/// byte-for-byte.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanTrace {
+    /// The system the plan ran against.
+    pub system: String,
+    /// The plan's seed (carried for replay bookkeeping).
+    pub seed: u64,
+    /// One record per plan step, in plan order.
+    pub records: Vec<StepRecord>,
+}
+
+impl PlanTrace {
+    /// Renders the trace as one deterministic line per step — the
+    /// byte-identity currency of determinism gates and bug-base
+    /// records.
+    pub fn render_lines(&self) -> Vec<String> {
+        self.records
+            .iter()
+            .map(|r| {
+                let active: Vec<String> = r.active.iter().map(ToString::to_string).collect();
+                let result = match &r.outcome {
+                    Some(o) => o.result.to_string(),
+                    None => "observe".to_string(),
+                };
+                format!(
+                    "step {} {} {} active=[{}] -> {result}",
+                    r.id,
+                    r.kind.label(),
+                    r.detail,
+                    active.join(",")
+                )
+            })
+            .collect()
+    }
+
+    /// The whole trace as one newline-joined string.
+    pub fn render(&self) -> String {
+        self.render_lines().join("\n")
+    }
+
+    /// The injection result recorded for the `Inject` step with the
+    /// given stable id, if any.
+    pub fn inject_result(&self, step_id: usize) -> Option<&InjectionResult> {
+        self.records
+            .iter()
+            .find(|r| r.id == step_id && r.kind == StepKind::Inject)
+            .and_then(|r| r.outcome.as_ref())
+            .map(|o| &o.result)
+    }
+}
+
+/// An [`OutcomeSink`] that reassembles a plan's outcome stream into a
+/// [`PlanTrace`].
+///
+/// Constructed from the plan itself: the full step schedule (kinds,
+/// details, active sets) is precomputed by replaying the plan's
+/// bookkeeping, and arriving outcomes are matched to SUT-touching
+/// steps in order — valid because the executor guarantees in-order
+/// delivery regardless of thread count.
+#[derive(Debug)]
+pub struct PlanTraceSink {
+    system: String,
+    seed: u64,
+    records: Vec<StepRecord>,
+    /// Indices into `records` still awaiting an outcome, in emission
+    /// order.
+    pending: VecDeque<usize>,
+    /// Outcomes that arrived beyond the schedule (foreign faults fed
+    /// through the same sink); counted so `finish` can reject misuse.
+    foreign: usize,
+}
+
+impl PlanTraceSink {
+    /// Precomputes the step schedule for `plan` against `system`.
+    pub fn new(system: &str, plan: &FaultPlan) -> Self {
+        let mut records = Vec::with_capacity(plan.steps.len());
+        let mut pending = VecDeque::new();
+        let mut active: Vec<usize> = Vec::new();
+        for step in &plan.steps {
+            let (detail, injected, target) = match &step.action {
+                PlanAction::Inject(fault) => {
+                    active.push(step.id);
+                    (fault.id().to_string(), Some(fault.id().to_string()), None)
+                }
+                PlanAction::Revert { of } => {
+                    active.retain(|id| id != of);
+                    (format!("step {of}"), None, Some(*of))
+                }
+                PlanAction::Restart => ("-".to_string(), None, None),
+                PlanAction::RunTest(test) => (test.clone(), None, None),
+                PlanAction::Observe(oracle) => (oracle.clone(), None, None),
+            };
+            if step.emits() {
+                pending.push_back(records.len());
+            }
+            records.push(StepRecord {
+                id: step.id,
+                kind: step.action.kind(),
+                detail,
+                injected,
+                target,
+                active: active.clone(),
+                outcome: None,
+            });
+        }
+        PlanTraceSink {
+            system: system.to_string(),
+            seed: plan.seed,
+            records,
+            pending,
+            foreign: 0,
+        }
+    }
+
+    /// Relabels an engine `"startup"` timeout with the plan-level
+    /// action that actually stalled.
+    fn relabel(kind: StepKind, mut outcome: InjectionOutcome) -> InjectionOutcome {
+        if let InjectionResult::TimedOut { phase, .. } = &mut outcome.result {
+            if phase == "startup" {
+                match kind {
+                    StepKind::Revert => "revert".clone_into(phase),
+                    StepKind::Restart => "restart".clone_into(phase),
+                    _ => {}
+                }
+            }
+        }
+        outcome
+    }
+
+    /// Consumes the sink into its trace.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Generate`]-free by construction; fails with
+    /// [`CampaignError::SinkIo`] semantics folded into a plain error
+    /// string if the executor delivered more or fewer outcomes than
+    /// the plan emits (the sink was fed a foreign source).
+    pub fn finish(self) -> Result<PlanTrace, CampaignError> {
+        if self.foreign > 0 || !self.pending.is_empty() {
+            return Err(CampaignError::SinkIo(std::io::Error::other(format!(
+                "plan trace misaligned: {} outcome(s) beyond schedule, {} step(s) never delivered",
+                self.foreign,
+                self.pending.len()
+            ))));
+        }
+        Ok(PlanTrace {
+            system: self.system,
+            seed: self.seed,
+            records: self.records,
+        })
+    }
+}
+
+impl OutcomeSink for PlanTraceSink {
+    fn accept(&mut self, outcome: InjectionOutcome) {
+        match self.pending.pop_front() {
+            Some(idx) => {
+                let record = &mut self.records[idx];
+                record.outcome = Some(Self::relabel(record.kind, outcome));
+            }
+            None => self.foreign += 1,
+        }
+    }
+}
+
+impl CampaignExecutor {
+    /// Executes a [`FaultPlan`] statefully against one campaign's SUT
+    /// and returns its step-by-step [`PlanTrace`].
+    ///
+    /// The plan streams through [`CampaignExecutor::run_source`], so
+    /// fault isolation, the configured fault deadline, retry policy
+    /// and chunking all behave exactly as for flat campaigns — and
+    /// the resulting trace is byte-identical at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CampaignExecutor::run_source`].
+    pub fn run_plan(
+        &self,
+        campaign: &ExecutorCampaign,
+        plan: &FaultPlan,
+    ) -> Result<PlanTrace, CampaignError> {
+        let mut sink = PlanTraceSink::new(campaign.system(), plan);
+        self.run_source(campaign, Box::new(plan.source()), &mut sink)?;
+        sink.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sut_factory;
+    use conferr_model::{ErrorClass, FaultScenario, GeneratedFault, TreeEdit};
+    use conferr_sut::MySqlSim;
+
+    fn bad_value_fault() -> GeneratedFault {
+        // Locate a real directive in the mysql baseline so the edit
+        // applies cleanly.
+        let factory = sut_factory(MySqlSim::new);
+        let campaign = ExecutorCampaign::new(factory).unwrap();
+        let set = campaign.baseline().clone();
+        let query: conferr_tree::NodeQuery = "//directive".parse().unwrap();
+        let (file, tree) = set.iter().next().unwrap();
+        let (path, _) = query.select_nodes(tree)[0].clone();
+        GeneratedFault::Scenario(FaultScenario {
+            id: "bad-value".to_string(),
+            description: "set a bogus value".to_string(),
+            class: ErrorClass::Semantic {
+                domain: "test".to_string(),
+                rule: "bogus".to_string(),
+            },
+            edits: vec![TreeEdit::SetText {
+                file: file.to_string(),
+                path,
+                text: Some("###bogus###".to_string()),
+            }],
+        })
+    }
+
+    fn plan() -> FaultPlan {
+        FaultPlan::new(
+            11,
+            vec![
+                conferr_model::PlanAction::Inject(bad_value_fault()),
+                conferr_model::PlanAction::Observe("recovers-after-revert".to_string()),
+                conferr_model::PlanAction::Revert { of: 0 },
+                conferr_model::PlanAction::Restart,
+            ],
+        )
+    }
+
+    #[test]
+    fn run_plan_traces_every_step_and_recovers_after_revert() {
+        let campaign = ExecutorCampaign::new(sut_factory(MySqlSim::new)).unwrap();
+        let executor = CampaignExecutor::new(1);
+        let trace = executor.run_plan(&campaign, &plan()).unwrap();
+        assert_eq!(trace.system, "mysql-sim");
+        assert_eq!(trace.seed, 11);
+        assert_eq!(trace.records.len(), 4);
+        assert!(trace.records[1].outcome.is_none(), "observe has no outcome");
+        assert_eq!(trace.records[2].active, Vec::<usize>::new());
+        // Reverting the only fault restores the baseline payload, so
+        // the step runs clean.
+        assert!(matches!(
+            trace.records[2].outcome.as_ref().unwrap().result,
+            InjectionResult::Undetected { .. }
+        ));
+        assert!(trace.render_lines()[2].starts_with("step 2 revert step 0 active=[]"));
+    }
+
+    #[test]
+    fn traces_are_identical_across_thread_counts() {
+        let campaign = ExecutorCampaign::new(sut_factory(MySqlSim::new)).unwrap();
+        let reference = CampaignExecutor::new(1)
+            .run_plan(&campaign, &plan())
+            .unwrap();
+        for threads in [2, 4] {
+            let trace = CampaignExecutor::new(threads)
+                .run_plan(&campaign, &plan())
+                .unwrap();
+            assert_eq!(trace, reference, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn foreign_outcomes_fail_finish() {
+        let campaign = ExecutorCampaign::new(sut_factory(MySqlSim::new)).unwrap();
+        let executor = CampaignExecutor::new(1);
+        let empty = FaultPlan::new(0, vec![]);
+        let mut sink = PlanTraceSink::new("mysql-sim", &empty);
+        // Feed a real plan's outcomes into an empty plan's sink.
+        let source = plan().source();
+        executor
+            .run_source(&campaign, Box::new(source), &mut sink)
+            .unwrap();
+        assert!(sink.finish().is_err());
+    }
+}

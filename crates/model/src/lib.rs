@@ -32,6 +32,11 @@
 //!   ([`FaultSourceExt`]), so fault spaces far larger than memory
 //!   (cartesian products, sampled sweeps) can feed a campaign without
 //!   ever being materialized.
+//! * [`FaultPlan`] — a seeded multi-step *operator session* (inject,
+//!   revert, restart, re-test, observe) that compiles to a stateful
+//!   [`FaultSource`] emitting one cumulative-edit fault per
+//!   SUT-touching step, so the campaign layer can execute sequenced
+//!   mistakes against one live system.
 //!
 //! # Examples
 //!
@@ -71,6 +76,7 @@
 mod combine;
 mod error;
 mod generator;
+mod plan;
 mod scenario;
 mod set;
 mod source;
@@ -79,6 +85,7 @@ mod template;
 pub use combine::{Filter, Limit, Sample, Union};
 pub use error::ModelError;
 pub use generator::{ErrorGenerator, GenerateError, GeneratedFault, TemplateGenerator};
+pub use plan::{FaultPlan, PlanAction, PlanSource, PlanStep, StepKind};
 pub use scenario::{CognitiveLevel, ErrorClass, FaultScenario, StructuralKind, TreeEdit, TypoKind};
 pub use set::ConfigSet;
 pub use source::{

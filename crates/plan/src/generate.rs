@@ -1,0 +1,433 @@
+//! Seeded plan generation from workload-weight profiles.
+//!
+//! A [`PlanGenerator`] derives a [`FaultPlan`] as a pure function of
+//! `(baseline, tests, profile, seed, steps)`: fault pools are built
+//! deterministically from the baseline (Table 1-style directive
+//! deletions and keyboard typos, compound pairs, masking pairs) and a
+//! SplitMix64 stream drawn from the seed picks weighted actions. The
+//! same seed therefore always yields the byte-identical plan — which
+//! is what lets bug-base records replay from a bare seed.
+
+use conferr_keyboard::Keyboard;
+use conferr_model::{
+    ConfigSet, DeleteTemplate, ErrorClass, ErrorGenerator, FaultPlan, FaultScenario,
+    GeneratedFault, PlanAction, StructuralKind, Template,
+};
+use conferr_plugins::{compound_pairs, masking_pairs, TokenClass, TypoPlugin};
+
+use crate::property::Property;
+
+/// Cap on the single-fault pool: keeps generation O(baseline) while
+/// leaving plenty of variety per seed.
+const MAX_SINGLES: usize = 64;
+/// Cap on the compound and masking pools.
+const MAX_COMPOUNDS: usize = 24;
+/// Salt separating the compound-pool sampling stream from the action
+/// stream.
+const COMPOUND_SALT: u64 = 0xc0_4d70_11d5;
+
+/// A deterministic SplitMix64 stream (same finalizer as the model
+/// layer's seeded sampling).
+#[derive(Debug)]
+struct PlanRng {
+    state: u64,
+}
+
+impl PlanRng {
+    fn new(seed: u64) -> Self {
+        PlanRng { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n` (`n` must be non-zero).
+    fn below(&mut self, n: usize) -> usize {
+        usize::try_from(self.next_u64() % n as u64).unwrap_or(0)
+    }
+}
+
+/// Relative weights for each step shape a generated session draws
+/// from. Weights are plain `u32`s; a zero weight disables the shape.
+///
+/// Two shapes are multi-step *templates*: `inject_masking` appends a
+/// corrupt-then-delete pair (two inject steps on the same directive)
+/// and `partial_fix` appends inject-compound → revert → re-inject-half
+/// (an operator who reverted everything, then re-made part of the
+/// mistake).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadProfile {
+    /// Profile name, as stored in bug-base records.
+    pub name: String,
+    /// Weight of a single Table 1-style mistake.
+    pub inject_single: u32,
+    /// Weight of a two-edit compound mistake in one step.
+    pub inject_compound: u32,
+    /// Weight of the two-step masking template.
+    pub inject_masking: u32,
+    /// Weight of the three-step partial-fix template.
+    pub partial_fix: u32,
+    /// Weight of reverting a still-active mistake.
+    pub revert: u32,
+    /// Weight of a plain restart.
+    pub restart: u32,
+    /// Weight of re-running one named functional test.
+    pub run_test: u32,
+    /// Weight of an observe (property marker) step.
+    pub observe: u32,
+}
+
+impl WorkloadProfile {
+    /// The default operator session: mostly single mistakes with
+    /// regular reverts, restarts and smoke tests.
+    pub fn operator_default() -> Self {
+        WorkloadProfile {
+            name: "operator-default".to_string(),
+            inject_single: 6,
+            inject_compound: 2,
+            inject_masking: 2,
+            partial_fix: 1,
+            revert: 4,
+            restart: 2,
+            run_test: 2,
+            observe: 1,
+        }
+    }
+
+    /// A compound-heavy session: stacked and masking mistakes
+    /// dominate — the profile most likely to trip
+    /// `degraded-still-diagnosed` and `no-silent-compound`.
+    pub fn compound_heavy() -> Self {
+        WorkloadProfile {
+            name: "compound-heavy".to_string(),
+            inject_single: 2,
+            inject_compound: 5,
+            inject_masking: 5,
+            partial_fix: 3,
+            revert: 2,
+            restart: 1,
+            run_test: 1,
+            observe: 1,
+        }
+    }
+
+    /// A revert-happy session: every mistake is soon undone — the
+    /// profile most likely to trip `recovers-after-revert`.
+    pub fn revert_happy() -> Self {
+        WorkloadProfile {
+            name: "revert-happy".to_string(),
+            inject_single: 5,
+            inject_compound: 1,
+            inject_masking: 1,
+            partial_fix: 1,
+            revert: 8,
+            restart: 2,
+            run_test: 2,
+            observe: 1,
+        }
+    }
+
+    /// All built-in profiles, in stable order.
+    pub fn builtin() -> Vec<WorkloadProfile> {
+        vec![
+            WorkloadProfile::operator_default(),
+            WorkloadProfile::compound_heavy(),
+            WorkloadProfile::revert_happy(),
+        ]
+    }
+
+    /// Looks a built-in profile up by name.
+    pub fn by_name(name: &str) -> Option<WorkloadProfile> {
+        WorkloadProfile::builtin()
+            .into_iter()
+            .find(|p| p.name == name)
+    }
+}
+
+/// What a plan generates against: the campaign's pristine baseline and
+/// the SUT's functional-test names.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanContext<'a> {
+    /// The campaign baseline configuration.
+    pub baseline: &'a ConfigSet,
+    /// The SUT's functional tests (for `RunTest` steps).
+    pub tests: &'a [String],
+}
+
+/// The deterministic single-fault pool a plan draws inject steps
+/// from: deletion of every directive (Table 1's omission class) plus
+/// keyboard typos in directive values, capped at a fixed pool size.
+pub fn single_faults(baseline: &ConfigSet) -> Vec<GeneratedFault> {
+    let query: conferr_tree::NodeQuery = "//directive".parse().expect("static query");
+    let mut pool: Vec<GeneratedFault> = DeleteTemplate::new(
+        query,
+        ErrorClass::Structural(StructuralKind::DirectiveOmission),
+    )
+    .generate(baseline)
+    .into_iter()
+    .map(GeneratedFault::Scenario)
+    .collect();
+    let typos = TypoPlugin::new(Keyboard::qwerty_us(), TokenClass::DirectiveValues)
+        .generate(baseline)
+        .unwrap_or_default();
+    pool.extend(typos);
+    pool.truncate(MAX_SINGLES);
+    pool
+}
+
+/// One step shape the weighted picker can choose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Choice {
+    Single,
+    Compound,
+    Masking,
+    PartialFix,
+    Revert,
+    Restart,
+    RunTest,
+    Observe,
+}
+
+/// Derives [`FaultPlan`]s from seeds and a [`WorkloadProfile`].
+///
+/// # Examples
+///
+/// Generation is a pure function of the context, seed and step count —
+/// the same inputs always produce the byte-identical plan:
+///
+/// ```
+/// use conferr_model::ConfigSet;
+/// use conferr_plan::{PlanContext, PlanGenerator, WorkloadProfile};
+/// use conferr_tree::{ConfTree, Node};
+///
+/// let mut baseline = ConfigSet::new();
+/// baseline.insert(
+///     "app.conf",
+///     ConfTree::new(
+///         Node::new("config")
+///             .with_child(Node::new("directive").with_attr("name", "port").with_text("80"))
+///             .with_child(Node::new("directive").with_attr("name", "host").with_text("a")),
+///     ),
+/// );
+/// let tests = vec!["ping".to_string()];
+/// let ctx = PlanContext { baseline: &baseline, tests: &tests };
+/// let generator = PlanGenerator::new(WorkloadProfile::operator_default());
+///
+/// let plan = generator.generate(&ctx, 42, 10);
+/// assert!(plan.len() >= 10);
+/// assert_eq!(plan, generator.generate(&ctx, 42, 10));
+/// assert_ne!(plan, generator.generate(&ctx, 43, 10));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PlanGenerator {
+    profile: WorkloadProfile,
+}
+
+impl PlanGenerator {
+    /// Creates a generator for one workload profile.
+    pub fn new(profile: WorkloadProfile) -> Self {
+        PlanGenerator { profile }
+    }
+
+    /// The generator's profile.
+    pub fn profile(&self) -> &WorkloadProfile {
+        &self.profile
+    }
+
+    /// Picks one weighted step shape among those currently available.
+    fn pick(
+        &self,
+        rng: &mut PlanRng,
+        active: bool,
+        singles: bool,
+        compounds: bool,
+        maskings: bool,
+        tests: bool,
+    ) -> Choice {
+        let p = &self.profile;
+        let mut table: Vec<(Choice, u32)> = Vec::with_capacity(8);
+        if singles {
+            table.push((Choice::Single, p.inject_single));
+        }
+        if compounds {
+            table.push((Choice::Compound, p.inject_compound));
+            table.push((Choice::PartialFix, p.partial_fix));
+        }
+        if maskings {
+            table.push((Choice::Masking, p.inject_masking));
+        }
+        if active {
+            table.push((Choice::Revert, p.revert));
+        }
+        table.push((Choice::Restart, p.restart));
+        if tests {
+            table.push((Choice::RunTest, p.run_test));
+        }
+        table.push((Choice::Observe, p.observe));
+        let total: u32 = table.iter().map(|(_, w)| w).sum();
+        if total == 0 {
+            return Choice::Restart;
+        }
+        let mut roll = rng.below(total as usize) as u32;
+        for (choice, weight) in table {
+            if roll < weight {
+                return choice;
+            }
+            roll -= weight;
+        }
+        Choice::Restart
+    }
+
+    /// Generates a plan of at least `steps` steps (multi-step
+    /// templates may overshoot by up to two).
+    pub fn generate(&self, ctx: &PlanContext<'_>, seed: u64, steps: usize) -> FaultPlan {
+        let singles = single_faults(ctx.baseline);
+        let compounds = compound_pairs(&singles, seed ^ COMPOUND_SALT, MAX_COMPOUNDS);
+        let maskings = masking_pairs(ctx.baseline, MAX_COMPOUNDS);
+        let mut rng = PlanRng::new(seed);
+        let mut actions: Vec<PlanAction> = Vec::with_capacity(steps + 2);
+        // Mirrors PlanSource's bookkeeping: which inject step ids are
+        // still active (ids are positions, assigned by FaultPlan::new).
+        let mut active: Vec<usize> = Vec::new();
+
+        while actions.len() < steps {
+            let choice = self.pick(
+                &mut rng,
+                !active.is_empty(),
+                !singles.is_empty(),
+                !compounds.is_empty(),
+                !maskings.is_empty(),
+                !ctx.tests.is_empty(),
+            );
+            match choice {
+                Choice::Single => {
+                    let fault = singles[rng.below(singles.len())].clone();
+                    active.push(actions.len());
+                    actions.push(PlanAction::Inject(fault));
+                }
+                Choice::Compound => {
+                    let fault = compounds[rng.below(compounds.len())].clone();
+                    active.push(actions.len());
+                    actions.push(PlanAction::Inject(fault));
+                }
+                Choice::Masking => {
+                    let (corrupt, delete) = maskings[rng.below(maskings.len())].clone();
+                    active.push(actions.len());
+                    actions.push(PlanAction::Inject(corrupt));
+                    active.push(actions.len());
+                    actions.push(PlanAction::Inject(delete));
+                }
+                Choice::PartialFix => {
+                    let fault = compounds[rng.below(compounds.len())].clone();
+                    let half = fault.scenario().map(|s| FaultScenario {
+                        id: format!("{}~partial", s.id.replace('+', "&")),
+                        description: format!("re-make part of the mistake: {}", s.description),
+                        class: s.class.clone(),
+                        edits: s.edits.iter().take(1).cloned().collect(),
+                    });
+                    let id = actions.len();
+                    actions.push(PlanAction::Inject(fault));
+                    actions.push(PlanAction::Revert { of: id });
+                    if let Some(half) = half {
+                        active.push(actions.len());
+                        actions.push(PlanAction::Inject(GeneratedFault::Scenario(half)));
+                    }
+                }
+                Choice::Revert => {
+                    let of = active[rng.below(active.len())];
+                    active.retain(|id| *id != of);
+                    actions.push(PlanAction::Revert { of });
+                }
+                Choice::Restart => actions.push(PlanAction::Restart),
+                Choice::RunTest => {
+                    let test = ctx.tests[rng.below(ctx.tests.len())].clone();
+                    actions.push(PlanAction::RunTest(test));
+                }
+                Choice::Observe => {
+                    let oracle = Property::ALL[rng.below(Property::ALL.len())];
+                    actions.push(PlanAction::Observe(oracle.name().to_string()));
+                }
+            }
+        }
+        FaultPlan::new(seed, actions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conferr_tree::{ConfTree, Node};
+
+    fn baseline() -> ConfigSet {
+        let mut set = ConfigSet::new();
+        set.insert(
+            "app.conf",
+            ConfTree::new(
+                Node::new("config")
+                    .with_child(Node::new("directive").with_attr("name", "a").with_text("1"))
+                    .with_child(Node::new("directive").with_attr("name", "b").with_text("2"))
+                    .with_child(Node::new("directive").with_attr("name", "c").with_text("3")),
+            ),
+        );
+        set
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_seed_sensitive() {
+        let set = baseline();
+        let tests = vec!["ping".to_string(), "query".to_string()];
+        let ctx = PlanContext {
+            baseline: &set,
+            tests: &tests,
+        };
+        for profile in WorkloadProfile::builtin() {
+            let generator = PlanGenerator::new(profile);
+            let a = generator.generate(&ctx, 9, 16);
+            let b = generator.generate(&ctx, 9, 16);
+            assert_eq!(a, b);
+            assert!(a.len() >= 16 && a.len() <= 18);
+            assert_ne!(a, generator.generate(&ctx, 10, 16));
+        }
+    }
+
+    #[test]
+    fn reverts_only_target_previously_active_injects() {
+        let set = baseline();
+        let ctx = PlanContext {
+            baseline: &set,
+            tests: &[],
+        };
+        let generator = PlanGenerator::new(WorkloadProfile::revert_happy());
+        for seed in 0..24 {
+            let plan = generator.generate(&ctx, seed, 20);
+            for (pos, step) in plan.steps.iter().enumerate() {
+                if let PlanAction::Revert { of } = &step.action {
+                    assert!(
+                        *of < pos && matches!(plan.steps[*of].action, PlanAction::Inject(_)),
+                        "seed {seed}: revert at {pos} targets {of}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn profiles_resolve_by_name() {
+        for profile in WorkloadProfile::builtin() {
+            assert_eq!(WorkloadProfile::by_name(&profile.name), Some(profile));
+        }
+        assert_eq!(WorkloadProfile::by_name("nope"), None);
+    }
+
+    #[test]
+    fn single_pool_is_nonempty_and_capped() {
+        let pool = single_faults(&baseline());
+        assert!(!pool.is_empty());
+        assert!(pool.len() <= MAX_SINGLES);
+    }
+}

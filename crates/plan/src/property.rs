@@ -1,0 +1,397 @@
+//! Named property oracles over plan traces.
+//!
+//! A [`Property`] is a predicate over a whole [`PlanTrace`] — the
+//! recovery-centric invariants flat single-shot injection cannot
+//! express. Evaluation is pure and deterministic: the same trace
+//! always yields the same verdict, which is what makes shrinking and
+//! bug-base replay sound.
+//!
+//! Obligations only attach to steps that actually drove the SUT:
+//! `Skipped` and `Inexpressible` outcomes (e.g. stacked edits whose
+//! combined scenario no longer applies) are exempt, so the oracles
+//! never blame the harness for faults it could not inject.
+
+use std::collections::BTreeSet;
+
+use conferr::{InjectionResult, PlanTrace, StaticVerdict};
+use conferr_model::StepKind;
+
+/// A property violation: which oracle failed, at which step, and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The violated property's name.
+    pub property: &'static str,
+    /// The stable id of the step the violation anchors to.
+    pub step: usize,
+    /// Human-readable explanation.
+    pub reason: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "property {} violated at step {}: {}",
+            self.property, self.step, self.reason
+        )
+    }
+}
+
+/// `true` iff the result reflects an actual start-and-classify cycle
+/// (as opposed to a fault the harness could not inject).
+fn drove_sut(result: &InjectionResult) -> bool {
+    !matches!(
+        result,
+        InjectionResult::Skipped { .. } | InjectionResult::Inexpressible { .. }
+    )
+}
+
+/// `true` iff the system absorbed the step without any signal at all.
+fn silent(result: &InjectionResult) -> bool {
+    matches!(result, InjectionResult::Undetected { warnings } if warnings.is_empty())
+}
+
+/// The built-in property oracles.
+///
+/// # Examples
+///
+/// Properties resolve by stable kebab-case name:
+///
+/// ```
+/// use conferr_plan::Property;
+///
+/// assert_eq!(Property::ALL.len(), 3);
+/// for p in Property::ALL {
+///     assert_eq!(Property::by_name(p.name()), Some(p));
+/// }
+/// assert_eq!(Property::by_name("recovers-after-revert"),
+///            Some(Property::RecoversAfterRevert));
+/// assert_eq!(Property::by_name("nope"), None);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Property {
+    /// After a `Revert`, if every *remaining* active fault was
+    /// individually absorbed without complaint at its own inject step
+    /// (or nothing remains active), the system must come back up
+    /// clean: anything but an undetected (running) outcome — a start
+    /// failure, a failed smoke test, a timeout, a harness panic — is
+    /// a violation. "The server recovers after the typo is reverted."
+    RecoversAfterRevert,
+    /// Once a fault has been *diagnosed* (detected at startup or by a
+    /// functional test at its inject step), every later step executed
+    /// while that fault is still active must also be detected. A
+    /// later step that is silently absorbed means a second mistake
+    /// *masked* a known-bad configuration; a timeout or harness
+    /// failure means the diagnosis was lost. "A second fault on a
+    /// degraded config is still diagnosed."
+    DegradedStillDiagnosed,
+    /// A compound inject (fault id contains `+`) must not be
+    /// completely silent while either (a) the static linter says the
+    /// configuration will fail to parse or validate, or (b) one of
+    /// its components was previously detected *alone* in this trace.
+    NoSilentCompound,
+}
+
+impl Property {
+    /// Every built-in property, in stable order.
+    pub const ALL: [Property; 3] = [
+        Property::RecoversAfterRevert,
+        Property::DegradedStillDiagnosed,
+        Property::NoSilentCompound,
+    ];
+
+    /// The property's stable kebab-case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Property::RecoversAfterRevert => "recovers-after-revert",
+            Property::DegradedStillDiagnosed => "degraded-still-diagnosed",
+            Property::NoSilentCompound => "no-silent-compound",
+        }
+    }
+
+    /// Looks a property up by its [`Property::name`].
+    pub fn by_name(name: &str) -> Option<Property> {
+        Property::ALL.into_iter().find(|p| p.name() == name)
+    }
+
+    /// Evaluates the property over a trace, returning the first
+    /// violation (in step order), if any.
+    pub fn evaluate(self, trace: &PlanTrace) -> Option<Violation> {
+        match self {
+            Property::RecoversAfterRevert => self.recovers_after_revert(trace),
+            Property::DegradedStillDiagnosed => self.degraded_still_diagnosed(trace),
+            Property::NoSilentCompound => self.no_silent_compound(trace),
+        }
+    }
+
+    fn recovers_after_revert(self, trace: &PlanTrace) -> Option<Violation> {
+        for record in &trace.records {
+            if record.kind != StepKind::Revert {
+                continue;
+            }
+            let Some(outcome) = &record.outcome else {
+                continue;
+            };
+            if !drove_sut(&outcome.result) {
+                continue;
+            }
+            // The revert's obligation is conditional: only when every
+            // fault left active was itself absorbed silently does the
+            // operator expect a clean comeback.
+            let benign = record.active.iter().all(|id| {
+                trace
+                    .inject_result(*id)
+                    .is_none_or(|r| matches!(r, InjectionResult::Undetected { .. }))
+            });
+            if benign && !matches!(outcome.result, InjectionResult::Undetected { .. }) {
+                return Some(Violation {
+                    property: self.name(),
+                    step: record.id,
+                    reason: format!(
+                        "revert left only silently-absorbed faults active \
+                         (remaining: {:?}) but the system did not come back: {}",
+                        record.active, outcome.result
+                    ),
+                });
+            }
+        }
+        None
+    }
+
+    fn degraded_still_diagnosed(self, trace: &PlanTrace) -> Option<Violation> {
+        let mut diagnosed: BTreeSet<usize> = BTreeSet::new();
+        for record in &trace.records {
+            if record.kind == StepKind::Observe {
+                continue;
+            }
+            let Some(outcome) = &record.outcome else {
+                continue;
+            };
+            let watched: Vec<usize> = record
+                .active
+                .iter()
+                .copied()
+                .filter(|id| diagnosed.contains(id))
+                .collect();
+            if !watched.is_empty() && drove_sut(&outcome.result) && !outcome.result.detected() {
+                return Some(Violation {
+                    property: self.name(),
+                    step: record.id,
+                    reason: format!(
+                        "previously-diagnosed fault(s) {watched:?} still active, \
+                         but this step went undiagnosed: {}",
+                        outcome.result
+                    ),
+                });
+            }
+            // Reverted faults leave the watch set; a newly detected
+            // inject joins it.
+            diagnosed.retain(|id| record.active.contains(id));
+            if record.kind == StepKind::Inject && outcome.result.detected() {
+                diagnosed.insert(record.id);
+            }
+        }
+        None
+    }
+
+    fn no_silent_compound(self, trace: &PlanTrace) -> Option<Violation> {
+        let mut detected_alone: BTreeSet<&str> = BTreeSet::new();
+        for record in &trace.records {
+            if record.kind != StepKind::Inject {
+                continue;
+            }
+            let (Some(outcome), Some(fault_id)) = (&record.outcome, record.injected.as_deref())
+            else {
+                continue;
+            };
+            if fault_id.contains('+') {
+                if silent(&outcome.result) {
+                    let statically_bad = matches!(
+                        outcome.verdict,
+                        StaticVerdict::WillFailParse | StaticVerdict::WillFailValidate { .. }
+                    );
+                    let masked_component = fault_id
+                        .split('+')
+                        .any(|component| detected_alone.contains(component));
+                    if statically_bad || masked_component {
+                        return Some(Violation {
+                            property: self.name(),
+                            step: record.id,
+                            reason: format!(
+                                "compound fault {fault_id} was silently absorbed \
+                                 (static verdict {:?}, component previously \
+                                 detected alone: {masked_component})",
+                                outcome.verdict
+                            ),
+                        });
+                    }
+                }
+            } else if outcome.result.detected() {
+                detected_alone.insert(fault_id);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conferr::{InjectionOutcome, StepRecord};
+    use conferr_model::{ErrorClass, TypoKind};
+
+    fn outcome(result: InjectionResult) -> InjectionOutcome {
+        InjectionOutcome {
+            id: "x".to_string(),
+            description: "d".to_string(),
+            class: ErrorClass::Typo(TypoKind::Omission),
+            diff: Vec::new().into(),
+            verdict: StaticVerdict::Unknown,
+            result,
+        }
+    }
+
+    fn record(
+        id: usize,
+        kind: StepKind,
+        active: Vec<usize>,
+        result: Option<InjectionResult>,
+    ) -> StepRecord {
+        StepRecord {
+            id,
+            kind,
+            detail: "d".to_string(),
+            injected: matches!(kind, StepKind::Inject).then(|| format!("f{id}")),
+            target: None,
+            active,
+            outcome: result.map(outcome),
+        }
+    }
+
+    fn trace(records: Vec<StepRecord>) -> PlanTrace {
+        PlanTrace {
+            system: "sim".to_string(),
+            seed: 0,
+            records,
+        }
+    }
+
+    fn undetected() -> InjectionResult {
+        InjectionResult::Undetected { warnings: vec![] }
+    }
+
+    fn failed_start() -> InjectionResult {
+        InjectionResult::DetectedAtStartup {
+            diagnostic: "boom".to_string(),
+        }
+    }
+
+    #[test]
+    fn recovers_after_revert_fires_only_on_benign_residue() {
+        // Inject absorbed, revert fails to come back: violation.
+        let t = trace(vec![
+            record(0, StepKind::Inject, vec![0], Some(undetected())),
+            record(
+                1,
+                StepKind::Revert,
+                vec![0],
+                Some(InjectionResult::TimedOut {
+                    phase: "revert".to_string(),
+                    budget_ms: 50,
+                }),
+            ),
+        ]);
+        let v = Property::RecoversAfterRevert.evaluate(&t).unwrap();
+        assert_eq!(v.step, 1);
+
+        // Remaining active fault was *detected* at inject: the system
+        // is legitimately down, no obligation.
+        let t = trace(vec![
+            record(0, StepKind::Inject, vec![0], Some(failed_start())),
+            record(1, StepKind::Revert, vec![0], Some(failed_start())),
+        ]);
+        assert_eq!(Property::RecoversAfterRevert.evaluate(&t), None);
+
+        // Clean recovery: no violation.
+        let t = trace(vec![
+            record(0, StepKind::Inject, vec![0], Some(undetected())),
+            record(1, StepKind::Revert, vec![], Some(undetected())),
+        ]);
+        assert_eq!(Property::RecoversAfterRevert.evaluate(&t), None);
+    }
+
+    #[test]
+    fn skipped_reverts_carry_no_obligation() {
+        let t = trace(vec![
+            record(0, StepKind::Inject, vec![0], Some(undetected())),
+            record(
+                1,
+                StepKind::Revert,
+                vec![0],
+                Some(InjectionResult::Skipped {
+                    reason: "stale".to_string(),
+                }),
+            ),
+        ]);
+        assert_eq!(Property::RecoversAfterRevert.evaluate(&t), None);
+    }
+
+    #[test]
+    fn degraded_still_diagnosed_catches_masking() {
+        // Fault 0 diagnosed; fault 1 stacks on top and the combined
+        // config is silently absorbed: violation at step 1.
+        let t = trace(vec![
+            record(0, StepKind::Inject, vec![0], Some(failed_start())),
+            record(1, StepKind::Inject, vec![0, 1], Some(undetected())),
+        ]);
+        let v = Property::DegradedStillDiagnosed.evaluate(&t).unwrap();
+        assert_eq!(v.step, 1);
+
+        // Once the diagnosed fault is reverted, silence is fine again.
+        let t = trace(vec![
+            record(0, StepKind::Inject, vec![0], Some(failed_start())),
+            record(1, StepKind::Revert, vec![], Some(undetected())),
+            record(2, StepKind::Restart, vec![], Some(undetected())),
+        ]);
+        assert_eq!(Property::DegradedStillDiagnosed.evaluate(&t), None);
+
+        // Still-detected while active: no violation.
+        let t = trace(vec![
+            record(0, StepKind::Inject, vec![0], Some(failed_start())),
+            record(1, StepKind::Restart, vec![0], Some(failed_start())),
+        ]);
+        assert_eq!(Property::DegradedStillDiagnosed.evaluate(&t), None);
+    }
+
+    #[test]
+    fn no_silent_compound_requires_a_masked_component_or_bad_verdict() {
+        let compound = |id: usize, active: Vec<usize>, result| StepRecord {
+            injected: Some("a+b".to_string()),
+            ..record(id, StepKind::Inject, active, Some(result))
+        };
+        // Component "a" detected alone earlier, compound silent: fire.
+        let t = trace(vec![
+            StepRecord {
+                injected: Some("a".to_string()),
+                ..record(0, StepKind::Inject, vec![0], Some(failed_start()))
+            },
+            record(1, StepKind::Revert, vec![], Some(undetected())),
+            compound(2, vec![2], undetected()),
+        ]);
+        let v = Property::NoSilentCompound.evaluate(&t).unwrap();
+        assert_eq!(v.step, 2);
+
+        // No prior component detection, verdict unknown: silence is
+        // tolerated.
+        let t = trace(vec![compound(0, vec![0], undetected())]);
+        assert_eq!(Property::NoSilentCompound.evaluate(&t), None);
+
+        // Statically condemned but silent: fire.
+        let mut rec = compound(0, vec![0], undetected());
+        if let Some(o) = &mut rec.outcome {
+            o.verdict = StaticVerdict::WillFailParse;
+        }
+        let t = trace(vec![rec]);
+        assert!(Property::NoSilentCompound.evaluate(&t).is_some());
+    }
+}

@@ -1,0 +1,408 @@
+//! Minimizing failing plans to minimal counterexamples.
+//!
+//! Given a plan that violates a property, [`shrink`] searches for a
+//! smaller plan that *still violates the same property*, alternating
+//! two passes until a fixpoint:
+//!
+//! 1. **Drop steps** — try removing each step (last to first; removing
+//!    an inject also removes any revert that targets it, which would
+//!    otherwise dangle).
+//! 2. **Simplify faults** — for surviving multi-edit inject steps, try
+//!    dropping individual edits.
+//!
+//! Every candidate is re-checked through the caller-supplied runner,
+//! which executes the candidate plan against a *fresh* SUT and
+//! evaluates the property — shrinking never trusts stale traces.
+//! Because plan execution is deterministic, the shrink result is a
+//! pure function of (plan, property, SUT construction) and is itself
+//! replayable.
+//!
+//! [`Selection`] captures *which* steps and edits survived as index
+//! lists, so a bug-base record can store the minimal plan as
+//! `seed + selection` and re-derive it from the generator instead of
+//! serializing fault scenarios.
+
+use conferr::CampaignError;
+use conferr_model::{FaultPlan, GeneratedFault, PlanAction, PlanStep};
+
+use crate::property::Violation;
+
+/// The result of a successful shrink: the minimal still-failing plan,
+/// the violation it produces, and how many candidate executions the
+/// search spent.
+#[derive(Debug, Clone)]
+pub struct ShrinkReport {
+    /// The minimal plan found (violates the same property as the
+    /// original).
+    pub minimal: FaultPlan,
+    /// The violation the minimal plan produces.
+    pub violation: Violation,
+    /// Number of plan executions the search performed (including the
+    /// initial confirmation run).
+    pub runs: usize,
+}
+
+/// Removes the step at `pos`, plus any revert that targeted it if it
+/// was an inject (a revert of a never-injected step is a semantic
+/// no-op, but dropping it keeps candidates honest subsequences).
+fn without_step(plan: &FaultPlan, pos: usize) -> FaultPlan {
+    let removed = &plan.steps[pos];
+    let removed_inject = matches!(removed.action, PlanAction::Inject(_)).then_some(removed.id);
+    let kept = plan
+        .steps
+        .iter()
+        .enumerate()
+        .filter(|(i, step)| {
+            if *i == pos {
+                return false;
+            }
+            match (&step.action, removed_inject) {
+                (PlanAction::Revert { of }, Some(target)) => *of != target,
+                _ => true,
+            }
+        })
+        .map(|(_, step)| step.clone())
+        .collect();
+    FaultPlan::from_steps(plan.seed, kept)
+}
+
+/// Removes edit `edit_pos` from the inject step at `pos`. Returns
+/// `None` if the step is not a multi-edit scenario inject.
+fn without_edit(plan: &FaultPlan, pos: usize, edit_pos: usize) -> Option<FaultPlan> {
+    let step = &plan.steps[pos];
+    let PlanAction::Inject(GeneratedFault::Scenario(scenario)) = &step.action else {
+        return None;
+    };
+    if scenario.edits.len() < 2 || edit_pos >= scenario.edits.len() {
+        return None;
+    }
+    let mut simplified = scenario.clone();
+    simplified.edits.remove(edit_pos);
+    let mut steps = plan.steps.clone();
+    steps[pos] = PlanStep {
+        id: step.id,
+        action: PlanAction::Inject(GeneratedFault::Scenario(simplified)),
+    };
+    Some(FaultPlan::from_steps(plan.seed, steps))
+}
+
+/// Shrinks `original` to a minimal plan that still fails, re-checking
+/// every candidate through `check`.
+///
+/// `check` runs a candidate plan and returns `Ok(Some(violation))` if
+/// the property under scrutiny is violated, `Ok(None)` if the
+/// candidate passes. Returns `Ok(None)` overall if the *original* plan
+/// does not fail (nothing to shrink).
+pub fn shrink<F>(original: &FaultPlan, mut check: F) -> Result<Option<ShrinkReport>, CampaignError>
+where
+    F: FnMut(&FaultPlan) -> Result<Option<Violation>, CampaignError>,
+{
+    let mut runs = 1;
+    let Some(mut violation) = check(original)? else {
+        return Ok(None);
+    };
+    let mut current = original.clone();
+
+    loop {
+        let mut changed = false;
+
+        // Pass 1: drop whole steps, last to first so indices stay
+        // valid after a removal.
+        let mut pos = current.len();
+        while pos > 0 {
+            pos -= 1;
+            let candidate = without_step(&current, pos);
+            runs += 1;
+            if let Some(v) = check(&candidate)? {
+                current = candidate;
+                violation = v;
+                changed = true;
+                // Removal may have dropped a dependent revert below
+                // `pos`; clamp and keep scanning downward.
+                pos = pos.min(current.len());
+            }
+        }
+
+        // Pass 2: simplify multi-edit injects, dropping edits from the
+        // end of each step's edit list.
+        for step_pos in 0..current.len() {
+            let mut edit_pos = match &current.steps[step_pos].action {
+                PlanAction::Inject(GeneratedFault::Scenario(s)) => s.edits.len(),
+                _ => continue,
+            };
+            while edit_pos > 0 {
+                edit_pos -= 1;
+                let Some(candidate) = without_edit(&current, step_pos, edit_pos) else {
+                    break;
+                };
+                runs += 1;
+                if let Some(v) = check(&candidate)? {
+                    current = candidate;
+                    violation = v;
+                    changed = true;
+                }
+            }
+        }
+
+        if !changed {
+            break;
+        }
+    }
+
+    Ok(Some(ShrinkReport {
+        minimal: current,
+        violation,
+        runs,
+    }))
+}
+
+/// Which steps (by stable id) and which edits of each multi-edit
+/// inject a shrunken plan kept — enough to re-derive the minimal plan
+/// from the regenerated original, so bug-base records never serialize
+/// fault scenarios.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Selection {
+    /// Stable ids of the kept steps, in plan order.
+    pub kept: Vec<usize>,
+    /// For inject steps whose edit list was simplified: `(step id,
+    /// kept edit indices into the original scenario's edit list)`.
+    /// Steps keeping all their edits have no entry.
+    pub kept_edits: Vec<(usize, Vec<usize>)>,
+}
+
+impl Selection {
+    /// Derives the selection that turns `original` into `minimal`.
+    ///
+    /// Assumes `minimal` came from shrinking `original` (i.e.
+    /// [`is_subplan`] holds); edit indices are matched greedily as a
+    /// subsequence.
+    pub fn of(original: &FaultPlan, minimal: &FaultPlan) -> Selection {
+        let mut kept = Vec::new();
+        let mut kept_edits = Vec::new();
+        for step in &minimal.steps {
+            kept.push(step.id);
+            let (
+                PlanAction::Inject(GeneratedFault::Scenario(min_s)),
+                Some(PlanAction::Inject(GeneratedFault::Scenario(orig_s))),
+            ) = (
+                &step.action,
+                original
+                    .steps
+                    .iter()
+                    .find(|o| o.id == step.id)
+                    .map(|o| &o.action),
+            )
+            else {
+                continue;
+            };
+            if min_s.edits.len() == orig_s.edits.len() {
+                continue;
+            }
+            // Greedy subsequence match: edits are Eq, and shrinking
+            // only removes edits, never reorders them.
+            let mut indices = Vec::new();
+            let mut from = 0;
+            for edit in &min_s.edits {
+                if let Some(offset) = orig_s.edits[from..].iter().position(|e| e == edit) {
+                    indices.push(from + offset);
+                    from += offset + 1;
+                }
+            }
+            kept_edits.push((step.id, indices));
+        }
+        Selection { kept, kept_edits }
+    }
+
+    /// Applies the selection to a (regenerated) original plan,
+    /// reproducing the minimal plan.
+    pub fn apply(&self, original: &FaultPlan) -> FaultPlan {
+        let steps = original
+            .steps
+            .iter()
+            .filter(|step| self.kept.contains(&step.id))
+            .map(|step| {
+                let Some((_, indices)) = self.kept_edits.iter().find(|(id, _)| *id == step.id)
+                else {
+                    return step.clone();
+                };
+                let PlanAction::Inject(GeneratedFault::Scenario(scenario)) = &step.action else {
+                    return step.clone();
+                };
+                let mut simplified = scenario.clone();
+                simplified.edits = indices
+                    .iter()
+                    .filter_map(|i| scenario.edits.get(*i).cloned())
+                    .collect();
+                PlanStep {
+                    id: step.id,
+                    action: PlanAction::Inject(GeneratedFault::Scenario(simplified)),
+                }
+            })
+            .collect();
+        FaultPlan::from_steps(original.seed, steps)
+    }
+}
+
+/// `true` iff `minimal` is a valid shrink of `original`: its step ids
+/// form a strictly increasing subset of the original's, inject edits
+/// are subsequences of the original step's edits, and non-inject steps
+/// are unchanged.
+pub fn is_subplan(minimal: &FaultPlan, original: &FaultPlan) -> bool {
+    let mut last: Option<usize> = None;
+    for step in &minimal.steps {
+        if last.is_some_and(|prev| step.id <= prev) {
+            return false;
+        }
+        last = Some(step.id);
+        let Some(orig) = original.steps.iter().find(|o| o.id == step.id) else {
+            return false;
+        };
+        match (&step.action, &orig.action) {
+            (
+                PlanAction::Inject(GeneratedFault::Scenario(min_s)),
+                PlanAction::Inject(GeneratedFault::Scenario(orig_s)),
+            ) => {
+                // Subsequence check over Eq edits.
+                let mut from = 0;
+                for edit in &min_s.edits {
+                    match orig_s.edits[from..].iter().position(|e| e == edit) {
+                        Some(offset) => from += offset + 1,
+                        None => return false,
+                    }
+                }
+            }
+            (a, b) if a == b => {}
+            _ => return false,
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conferr_model::{ErrorClass, FaultScenario, StructuralKind, TreeEdit};
+
+    fn edit(n: usize) -> TreeEdit {
+        TreeEdit::Delete {
+            file: format!("f{n}.conf"),
+            path: "/0".parse().unwrap(),
+        }
+    }
+
+    fn inject(tag: &str, edits: Vec<TreeEdit>) -> PlanAction {
+        PlanAction::Inject(GeneratedFault::Scenario(FaultScenario {
+            id: tag.to_string(),
+            description: tag.to_string(),
+            class: ErrorClass::Structural(StructuralKind::DirectiveOmission),
+            edits,
+        }))
+    }
+
+    fn violation() -> Violation {
+        Violation {
+            property: "recovers-after-revert",
+            step: 0,
+            reason: "r".to_string(),
+        }
+    }
+
+    fn plan() -> FaultPlan {
+        FaultPlan::new(
+            9,
+            vec![
+                inject("a", vec![edit(0)]),
+                PlanAction::Restart,
+                inject("b", vec![edit(1), edit(2), edit(3)]),
+                PlanAction::Revert { of: 0 },
+                PlanAction::Observe("x".to_string()),
+            ],
+        )
+    }
+
+    #[test]
+    fn shrink_drops_irrelevant_steps_and_edits_to_a_fixpoint() {
+        // "Fails" iff step id 2 is present and its fault includes
+        // edit(2) — everything else is noise the shrinker must remove.
+        let report = shrink(&plan(), |candidate| {
+            let fails = candidate.steps.iter().any(|s| {
+                s.id == 2
+                    && matches!(
+                        &s.action,
+                        PlanAction::Inject(GeneratedFault::Scenario(sc))
+                            if sc.edits.contains(&edit(2))
+                    )
+            });
+            Ok(fails.then(violation))
+        })
+        .unwrap()
+        .expect("original fails");
+        assert_eq!(report.minimal.len(), 1);
+        assert_eq!(report.minimal.steps[0].id, 2);
+        let PlanAction::Inject(GeneratedFault::Scenario(sc)) = &report.minimal.steps[0].action
+        else {
+            panic!("inject survives");
+        };
+        assert_eq!(sc.edits, vec![edit(2)]);
+        assert!(is_subplan(&report.minimal, &plan()));
+        assert!(report.runs > 1);
+    }
+
+    #[test]
+    fn shrink_of_a_passing_plan_is_none() {
+        assert!(shrink(&plan(), |_| Ok(None)).unwrap().is_none());
+    }
+
+    #[test]
+    fn dropping_an_inject_also_drops_its_revert() {
+        let shrunk = without_step(&plan(), 0);
+        assert!(shrunk.steps.iter().all(|s| s.id != 0 && s.id != 3));
+        assert_eq!(shrunk.len(), 3);
+    }
+
+    #[test]
+    fn selection_round_trips_the_minimal_plan() {
+        let original = plan();
+        let minimal = FaultPlan::from_steps(
+            original.seed,
+            vec![PlanStep {
+                id: 2,
+                action: inject("b", vec![edit(1), edit(3)]),
+            }],
+        );
+        let selection = Selection::of(&original, &minimal);
+        assert_eq!(selection.kept, vec![2]);
+        assert_eq!(selection.kept_edits, vec![(2, vec![0, 2])]);
+        assert_eq!(selection.apply(&original), minimal);
+    }
+
+    #[test]
+    fn is_subplan_rejects_reorders_mutations_and_strangers() {
+        let original = plan();
+        assert!(is_subplan(&original, &original));
+        // Reordered ids.
+        let reordered = FaultPlan::from_steps(
+            original.seed,
+            vec![original.steps[2].clone(), original.steps[0].clone()],
+        );
+        assert!(!is_subplan(&reordered, &original));
+        // An edit the original never had.
+        let mutated = FaultPlan::from_steps(
+            original.seed,
+            vec![PlanStep {
+                id: 2,
+                action: inject("b", vec![edit(9)]),
+            }],
+        );
+        assert!(!is_subplan(&mutated, &original));
+        // A step id the original never had.
+        let stranger = FaultPlan::from_steps(
+            original.seed,
+            vec![PlanStep {
+                id: 42,
+                action: PlanAction::Restart,
+            }],
+        );
+        assert!(!is_subplan(&stranger, &original));
+    }
+}

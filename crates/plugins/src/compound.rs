@@ -1,0 +1,225 @@
+//! Compound-mistake templates — multi-edit operator errors for the
+//! plan engine.
+//!
+//! The paper's Table 1 fault classes are *single* mistakes; real
+//! operator sessions stack them. This module provides the two
+//! compound shapes the plan engine's generator draws on:
+//!
+//! * [`compound_pairs`] / [`CompoundPlugin`] — seeded pairs of a base
+//!   fault load combined into one two-edit scenario
+//!   ([`conferr_model::combine_faults`]), modelling two mistakes made
+//!   in a single editing session before the restart.
+//! * [`masking_pairs`] — the *masking* template: first a directive's
+//!   value is corrupted (a detectable mistake), then a second slip
+//!   deletes the very directive that carried the corruption. Applied
+//!   in sequence the second mistake can *mask* the first — the
+//!   combined configuration is valid again, so a system that
+//!   diagnosed the corruption goes silent. This is the known-bad
+//!   compound behind the `degraded-still-diagnosed` property oracle.
+
+use conferr_model::{
+    combine_faults, ConfigSet, ErrorClass, ErrorGenerator, FaultScenario, GenerateError,
+    GeneratedFault, TreeEdit, TypoKind,
+};
+
+use crate::queries;
+
+// SplitMix64 finalizer, same construction as the model layer's
+// deterministic sampling.
+fn splitmix(seed: u64, value: u64) -> u64 {
+    let mut z = seed ^ value.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Combines seeded pairs from `base` into up to `limit` two-edit
+/// compound scenarios. Pair selection is a pure function of `seed`;
+/// pairs where either half is inexpressible (or both indices
+/// coincide) are skipped, so fewer than `limit` compounds may come
+/// back. Deterministic: same base, seed and limit ⇒ same compounds in
+/// the same order.
+pub fn compound_pairs(base: &[GeneratedFault], seed: u64, limit: usize) -> Vec<GeneratedFault> {
+    if base.len() < 2 {
+        return Vec::new();
+    }
+    let n = base.len() as u64;
+    let mut out = Vec::with_capacity(limit);
+    for k in 0..limit as u64 {
+        let i = (splitmix(seed, k * 2) % n) as usize;
+        let j = (splitmix(seed, k * 2 + 1) % n) as usize;
+        if i == j {
+            continue;
+        }
+        if let Some(compound) = combine_faults(&base[i], &base[j]) {
+            out.push(compound);
+        }
+    }
+    out
+}
+
+/// An [`ErrorGenerator`] decorator that emits seeded compound pairs
+/// of its base generator's fault load (see [`compound_pairs`]).
+#[derive(Debug)]
+pub struct CompoundPlugin {
+    base: Box<dyn ErrorGenerator>,
+    seed: u64,
+    limit: usize,
+}
+
+impl CompoundPlugin {
+    /// Wraps `base`, emitting up to `limit` seeded compounds per
+    /// generation.
+    pub fn new(base: Box<dyn ErrorGenerator>, seed: u64, limit: usize) -> Self {
+        CompoundPlugin { base, seed, limit }
+    }
+}
+
+impl ErrorGenerator for CompoundPlugin {
+    fn name(&self) -> &str {
+        "compound"
+    }
+
+    fn generate(&self, set: &ConfigSet) -> Result<Vec<GeneratedFault>, GenerateError> {
+        let base = self.base.generate(set)?;
+        Ok(compound_pairs(&base, self.seed, self.limit))
+    }
+}
+
+/// Generates masking pairs: for up to `limit` directives that carry a
+/// text value, a `(corrupt, delete)` pair of single-edit faults
+/// targeting the *same* node — inject the first alone and it is
+/// typically diagnosed; inject the second on top and the corrupted
+/// directive vanishes, so the combined configuration may be silently
+/// accepted again. Deterministic in baseline iteration order.
+pub fn masking_pairs(set: &ConfigSet, limit: usize) -> Vec<(GeneratedFault, GeneratedFault)> {
+    let query = &*queries::DIRECTIVE;
+    let mut out = Vec::new();
+    'files: for (file, tree) in set.iter() {
+        for (path, node) in query.select_nodes(tree) {
+            if out.len() >= limit {
+                break 'files;
+            }
+            if node.text().is_none_or(str::is_empty) {
+                continue;
+            }
+            let corrupt = GeneratedFault::Scenario(FaultScenario {
+                id: format!("mask-set:{file}:{path}"),
+                description: format!("corrupt the value of {}", node.describe()),
+                class: ErrorClass::Typo(TypoKind::Substitution),
+                edits: vec![TreeEdit::SetText {
+                    file: file.to_string(),
+                    path: path.clone(),
+                    text: Some("###bogus###".to_string()),
+                }],
+            });
+            let delete = GeneratedFault::Scenario(FaultScenario {
+                id: format!("mask-del:{file}:{path}"),
+                description: format!("then delete {} entirely", node.describe()),
+                class: ErrorClass::Structural(conferr_model::StructuralKind::DirectiveOmission),
+                edits: vec![TreeEdit::Delete {
+                    file: file.to_string(),
+                    path,
+                }],
+            });
+            out.push((corrupt, delete));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conferr_tree::{ConfTree, Node};
+
+    fn set() -> ConfigSet {
+        let mut set = ConfigSet::new();
+        set.insert(
+            "app.conf",
+            ConfTree::new(
+                Node::new("config")
+                    .with_child(Node::new("directive").with_attr("name", "a").with_text("1"))
+                    .with_child(Node::new("directive").with_attr("name", "b").with_text("2"))
+                    .with_child(Node::new("directive").with_attr("name", "c")),
+            ),
+        );
+        set
+    }
+
+    fn deletes(set: &ConfigSet) -> Vec<GeneratedFault> {
+        let query = &*queries::DIRECTIVE;
+        let mut out = Vec::new();
+        for (file, tree) in set.iter() {
+            for (path, _) in query.select_nodes(tree) {
+                out.push(GeneratedFault::Scenario(FaultScenario {
+                    id: format!("del:{file}:{path}"),
+                    description: "delete".to_string(),
+                    class: ErrorClass::Typo(TypoKind::Omission),
+                    edits: vec![TreeEdit::Delete {
+                        file: file.to_string(),
+                        path,
+                    }],
+                }));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn compound_pairs_are_seeded_two_edit_scenarios() {
+        let set = set();
+        let base = deletes(&set);
+        let pairs = compound_pairs(&base, 42, 8);
+        assert!(!pairs.is_empty());
+        for fault in &pairs {
+            let s = fault.scenario().unwrap();
+            assert_eq!(s.edits.len(), 2);
+            assert!(s.id.contains('+'));
+        }
+        assert_eq!(pairs, compound_pairs(&base, 42, 8), "deterministic");
+        assert_ne!(
+            compound_pairs(&base, 1, 8),
+            compound_pairs(&base, 2, 8),
+            "seed-sensitive"
+        );
+    }
+
+    #[test]
+    fn compound_plugin_wraps_a_base_generator() {
+        #[derive(Debug)]
+        struct Fixed(Vec<GeneratedFault>);
+        impl ErrorGenerator for Fixed {
+            fn name(&self) -> &str {
+                "fixed"
+            }
+            fn generate(&self, _: &ConfigSet) -> Result<Vec<GeneratedFault>, GenerateError> {
+                Ok(self.0.clone())
+            }
+        }
+        let set = set();
+        let plugin = CompoundPlugin::new(Box::new(Fixed(deletes(&set))), 7, 4);
+        assert_eq!(plugin.name(), "compound");
+        let faults = plugin.generate(&set).unwrap();
+        assert!(faults.iter().all(|f| f.scenario().is_some()));
+    }
+
+    #[test]
+    fn masking_pairs_target_the_same_node_with_set_then_delete() {
+        let set = set();
+        let pairs = masking_pairs(&set, 16);
+        // Only the two directives with text qualify.
+        assert_eq!(pairs.len(), 2);
+        for (corrupt, delete) in &pairs {
+            let c = corrupt.scenario().unwrap();
+            let d = delete.scenario().unwrap();
+            assert!(c.id.starts_with("mask-set:"));
+            assert!(d.id.starts_with("mask-del:"));
+            assert!(matches!(c.edits[0], TreeEdit::SetText { .. }));
+            assert!(matches!(d.edits[0], TreeEdit::Delete { .. }));
+        }
+        let capped = masking_pairs(&set, 1);
+        assert_eq!(capped.len(), 1);
+    }
+}

@@ -27,6 +27,12 @@
 //!   ([`BindView`], [`TinyDnsView`]); faults the target format cannot
 //!   express surface as inexpressible outcomes rather than scenarios.
 //!
+//! Operator *sequences* stack mistakes: [`CompoundPlugin`] /
+//! [`compound_pairs`] combine seeded pairs of a base load into
+//! two-edit scenarios, and [`masking_pairs`] emits the
+//! corrupt-then-delete masking template the plan engine's
+//! `degraded-still-diagnosed` oracle hunts for.
+//!
 //! For campaigns whose fault space outgrows memory, plugins compose
 //! *lazily* through [`conferr_model::FaultSource`]: [`plugin_source`]
 //! chains plugin loads with per-plugin deferred generation, and
@@ -36,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+mod compound;
 pub mod dns;
 mod streaming;
 mod structural;
@@ -69,6 +76,7 @@ pub(crate) mod queries {
         LazyLock::new(|| "//element".parse().expect("static query"));
 }
 
+pub use compound::{compound_pairs, masking_pairs, CompoundPlugin};
 pub use dns::{
     BindView, DnsFaultKind, DnsRecord, DnsRecordSet, DnsSemanticPlugin, DnsView, LocatedRecord,
     RrType, TinyDnsView, ViewError,

@@ -41,6 +41,12 @@ pub struct ChaosConfig {
     /// Probability that `start` reports a start failure without
     /// consulting the wrapped system.
     pub fail_rate: f64,
+    /// Probability that a *functional test* run after a mutated start
+    /// fabricates a failure (independent of the start-phase rates;
+    /// rolled per (payload, test) pair, so it is just as deterministic
+    /// as the start actions). Tests after a baseline start never
+    /// fail — scouting stays clean.
+    pub fail_test_rate: f64,
     /// How long a stall sleeps.
     pub stall_for: Duration,
 }
@@ -52,6 +58,7 @@ impl Default for ChaosConfig {
             panic_rate: 0.0,
             stall_rate: 0.0,
             fail_rate: 0.0,
+            fail_test_rate: 0.0,
             stall_for: Duration::from_millis(200),
         }
     }
@@ -97,11 +104,22 @@ fn splitmix(seed: u64, value: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Salt mixed into test-failure rolls so they are independent of the
+/// start-action roll for the same payload.
+const TEST_SALT: u64 = 0x7e57_7e57_7e57_7e57;
+
+/// Maps a mixed hash to `[0, 1)` with 53-bit precision.
+fn unit_roll(mixed: u64) -> f64 {
+    #[allow(clippy::cast_precision_loss)]
+    let roll = (mixed >> 11) as f64 / (1u64 << 53) as f64;
+    roll
+}
+
 impl ChaosConfig {
-    /// The action for one payload: a pure function of the seed and the
-    /// payload's *mutated* file texts. Payloads with no mutated entry
-    /// (baselines, scout probes) always [`ChaosAction::Pass`].
-    pub fn action_for(&self, payload: &ConfigPayload) -> ChaosAction {
+    /// FNV-1a hash of the payload's *mutated* entries, `None` when the
+    /// payload is purely baseline (scout probes, health checks) — the
+    /// per-fault identity every chaos decision keys on.
+    pub fn mutated_hash(payload: &ConfigPayload) -> Option<u64> {
         const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         let mut hash = FNV_OFFSET;
         let mut mutated = false;
@@ -112,12 +130,28 @@ impl ChaosConfig {
                 hash = fnv1a(hash, file.text().as_bytes());
             }
         }
-        if !mutated {
-            return ChaosAction::Pass;
+        mutated.then_some(hash)
+    }
+
+    /// `true` iff a functional test named `test`, run after a start
+    /// whose payload hashed to `payload_hash`, should fabricate a
+    /// failure. Pure function of (seed, payload, test name).
+    pub fn fails_test(&self, payload_hash: u64, test: &str) -> bool {
+        if self.fail_test_rate <= 0.0 {
+            return false;
         }
-        // Map the mixed hash to [0, 1) with 53-bit precision.
-        #[allow(clippy::cast_precision_loss)]
-        let roll = (splitmix(self.seed, hash) >> 11) as f64 / (1u64 << 53) as f64;
+        let mixed = splitmix(self.seed ^ TEST_SALT, fnv1a(payload_hash, test.as_bytes()));
+        unit_roll(mixed) < self.fail_test_rate
+    }
+
+    /// The action for one payload: a pure function of the seed and the
+    /// payload's *mutated* file texts. Payloads with no mutated entry
+    /// (baselines, scout probes) always [`ChaosAction::Pass`].
+    pub fn action_for(&self, payload: &ConfigPayload) -> ChaosAction {
+        let Some(hash) = Self::mutated_hash(payload) else {
+            return ChaosAction::Pass;
+        };
+        let roll = unit_roll(splitmix(self.seed, hash));
         if roll < self.panic_rate {
             ChaosAction::Panic
         } else if roll < self.panic_rate + self.stall_rate {
@@ -138,12 +172,20 @@ impl ChaosConfig {
 pub struct ChaosSut<S> {
     inner: S,
     config: ChaosConfig,
+    /// Mutated-payload hash of the most recent `start` (`None` after a
+    /// baseline start or `stop`) — the identity test-failure rolls key
+    /// on.
+    started: Option<u64>,
 }
 
 impl<S: SystemUnderTest> ChaosSut<S> {
     /// Wraps `inner` with the given chaos rates.
     pub fn new(inner: S, config: ChaosConfig) -> Self {
-        ChaosSut { inner, config }
+        ChaosSut {
+            inner,
+            config,
+            started: None,
+        }
     }
 
     /// The wrapped system.
@@ -167,6 +209,7 @@ impl<S: SystemUnderTest> SystemUnderTest for ChaosSut<S> {
     }
 
     fn start(&mut self, configs: &ConfigPayload, deadline: &Deadline) -> StartOutcome {
+        self.started = ChaosConfig::mutated_hash(configs);
         match self.config.action_for(configs) {
             ChaosAction::Pass => self.inner.start(configs, deadline),
             ChaosAction::Panic => panic!("{CHAOS_PREFIX} injected harness panic"),
@@ -185,10 +228,18 @@ impl<S: SystemUnderTest> SystemUnderTest for ChaosSut<S> {
     }
 
     fn run_test(&mut self, test: &str, deadline: &Deadline) -> TestOutcome {
+        if let Some(hash) = self.started {
+            if self.config.fails_test(hash, test) {
+                return TestOutcome::Failed {
+                    diagnostic: format!("{CHAOS_PREFIX} injected test failure"),
+                };
+            }
+        }
         self.inner.run_test(test, deadline)
     }
 
     fn stop(&mut self) {
+        self.started = None;
         self.inner.stop();
     }
 
@@ -292,6 +343,69 @@ mod tests {
             }
             other => panic!("expected chaos start failure, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn test_failures_roll_only_after_mutated_starts_and_deterministically() {
+        let config = ChaosConfig {
+            seed: 5,
+            fail_test_rate: 0.5,
+            ..ChaosConfig::default()
+        };
+        let mut sut = ChaosSut::new(MySqlSim::new(), config);
+        let deadline = Deadline::unlimited();
+
+        // Baseline start: every test passes, whatever the rate.
+        assert!(sut
+            .start(&default_payload(&MySqlSim::new()), &deadline)
+            .is_running());
+        for test in sut.test_names() {
+            assert!(sut.run_test(&test, &deadline).passed());
+        }
+        sut.stop();
+
+        // The fabrication decision is a pure function of
+        // (payload hash, test name): rerolling reproduces it, and
+        // across many payload hashes both outcomes occur.
+        let mut failed_any = false;
+        let mut passed_any = false;
+        for hash in 0..64u64 {
+            let first = config.fails_test(hash, "ping");
+            assert_eq!(first, config.fails_test(hash, "ping"));
+            failed_any |= first;
+            passed_any |= !first;
+        }
+        assert!(failed_any && passed_any, "both outcomes reachable");
+        // A zero rate never fabricates.
+        assert!(!ChaosConfig::default().fails_test(1, "ping"));
+    }
+
+    #[test]
+    fn fabricated_test_failures_carry_the_chaos_prefix() {
+        let config = ChaosConfig {
+            seed: 0,
+            fail_test_rate: 1.0,
+            ..ChaosConfig::default()
+        };
+        let mut sut = ChaosSut::new(MySqlSim::new(), config);
+        let deadline = Deadline::unlimited();
+        assert!(sut
+            .start(&mutated_payload("[mysqld]\nport = 1\n"), &deadline)
+            .is_running());
+        let test = sut.test_names().remove(0);
+        match sut.run_test(&test, &deadline) {
+            TestOutcome::Failed { diagnostic } => {
+                assert!(diagnostic.starts_with(CHAOS_PREFIX));
+            }
+            TestOutcome::Passed => panic!("expected fabricated failure"),
+        }
+        // After stop + a baseline start no payload hash is live, so
+        // even a 1.0 rate delegates untouched.
+        sut.stop();
+        assert!(sut
+            .start(&default_payload(&MySqlSim::new()), &deadline)
+            .is_running());
+        assert!(sut.run_test(&test, &deadline).passed());
     }
 
     #[test]

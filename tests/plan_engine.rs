@@ -1,0 +1,238 @@
+//! Plan-engine acceptance gates: seeded counterexamples must shrink,
+//! persist, and replay byte-identically at every thread count.
+
+use conferr::{CampaignExecutor, InjectionResult};
+use conferr_model::{FaultPlan, PlanAction};
+use conferr_plan::{
+    is_subplan, single_faults, BugBase, BugBaseError, ChaosSpec, PlanHarness, Property,
+};
+
+/// The chaos spec the gates hunt under: start failures and fabricated
+/// test failures, deterministic per payload.
+const CHAOS: ChaosSpec = ChaosSpec {
+    seed: 7,
+    panic_pm: 0,
+    stall_pm: 0,
+    fail_pm: 350,
+    fail_test_pm: 200,
+    stall_ms: 5,
+};
+
+const PROFILE: &str = "revert-happy";
+const STEPS: usize = 12;
+
+/// Scans seeds until a plan violates any property, returning
+/// `(seed, property)`.
+fn first_failing_seed(harness: &PlanHarness, executor: &CampaignExecutor) -> (u64, Property) {
+    for seed in 0..200 {
+        let plan = harness.generate(PROFILE, seed, STEPS).unwrap();
+        let trace = harness.run(executor, &plan).unwrap();
+        for property in Property::ALL {
+            if property.evaluate(&trace).is_some() {
+                return (seed, property);
+            }
+        }
+    }
+    panic!("no failing seed in 0..200 — the chaos harness should trip a property");
+}
+
+/// The tentpole acceptance gate: find a seeded failing plan, shrink it
+/// to a minimal counterexample, persist it to a bug base, and replay
+/// it byte-identically from both the JSON record and the bare seed —
+/// with every artifact identical at 1, 2 and 4 executor threads.
+#[test]
+fn seeded_counterexample_shrinks_persists_and_replays_at_every_thread_count() {
+    let harness = PlanHarness::new("mysql", Some(CHAOS)).unwrap();
+    let reference_executor = CampaignExecutor::new(1);
+    let (seed, property) = first_failing_seed(&harness, &reference_executor);
+
+    let plan = harness.generate(PROFILE, seed, STEPS).unwrap();
+    let reference_trace = harness.run(&reference_executor, &plan).unwrap();
+    let reference_report = harness
+        .shrink(&reference_executor, &plan, property)
+        .unwrap()
+        .expect("the failing plan must shrink");
+    assert!(is_subplan(&reference_report.minimal, &plan));
+    assert!(
+        reference_report.minimal.len() < plan.len(),
+        "shrink made progress"
+    );
+    let reference_record = harness
+        .build_record(
+            &reference_executor,
+            PROFILE,
+            seed,
+            STEPS,
+            property,
+            &plan,
+            &reference_report.minimal,
+        )
+        .unwrap();
+
+    let dir = std::env::temp_dir().join(format!("conferr-plan-gate-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let base = BugBase::new(&dir);
+    let path = base.store(&reference_record).unwrap();
+    let loaded = BugBase::load(&path).unwrap();
+    assert_eq!(loaded, reference_record, "round trip through disk");
+
+    for threads in [1, 2, 4] {
+        let executor = CampaignExecutor::new(threads);
+        // Identical plan and trace.
+        assert_eq!(harness.generate(PROFILE, seed, STEPS).unwrap(), plan);
+        let trace = harness.run(&executor, &plan).unwrap();
+        assert_eq!(
+            trace.render_lines(),
+            reference_trace.render_lines(),
+            "{threads} threads"
+        );
+        // Identical shrink result.
+        let report = harness.shrink(&executor, &plan, property).unwrap().unwrap();
+        assert_eq!(
+            report.minimal, reference_report.minimal,
+            "{threads} threads"
+        );
+        assert_eq!(
+            report.violation, reference_report.violation,
+            "{threads} threads"
+        );
+        // Replay by file: byte-identical trace, still violating.
+        let replay = harness.replay_record(&executor, &loaded).unwrap();
+        assert!(replay.matched, "{threads} threads: {replay:?}");
+        assert_eq!(replay.trace, loaded.trace, "{threads} threads");
+        // Replay by bare seed: the whole pipeline rebuilds the record.
+        let rebuilt = harness
+            .replay_seed(&executor, &loaded)
+            .unwrap()
+            .expect("seed replay must still violate");
+        assert_eq!(rebuilt, reference_record, "{threads} threads");
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A stalling revert or restart must classify `TimedOut` with the
+/// plan-level phase name instead of hanging (or reading "startup").
+#[test]
+fn stalling_revert_and_restart_classify_timed_out_with_plan_phases() {
+    let stall = ChaosSpec {
+        seed: 1,
+        panic_pm: 0,
+        stall_pm: 1000,
+        fail_pm: 0,
+        fail_test_pm: 0,
+        stall_ms: 120,
+    };
+    let mut harness = PlanHarness::new("mysql", Some(stall)).unwrap();
+    harness.set_deadline_ms(40);
+    let singles = single_faults(harness.campaign().baseline());
+    // Two stacked faults so the revert still leaves a mutated payload
+    // (a revert to a pristine baseline never stalls — chaos only
+    // perturbs mutated starts).
+    let plan = FaultPlan::new(
+        0,
+        vec![
+            PlanAction::Inject(singles[0].clone()),
+            PlanAction::Inject(singles[1].clone()),
+            PlanAction::Revert { of: 0 },
+            PlanAction::Restart,
+        ],
+    );
+    let executor = CampaignExecutor::new(1);
+    let trace = harness.run(&executor, &plan).unwrap();
+    for (record, phase) in trace.records[2..].iter().zip(["revert", "restart"]) {
+        match &record.outcome.as_ref().unwrap().result {
+            InjectionResult::TimedOut {
+                phase: actual,
+                budget_ms,
+            } => {
+                assert_eq!(actual, phase, "step {}", record.id);
+                assert_eq!(*budget_ms, 40);
+            }
+            other => panic!("step {} should time out, got {other}", record.id),
+        }
+    }
+}
+
+/// Torn or foreign bug-base files are rejected as malformed, never
+/// misread — the same contract as the checkpoint journal.
+#[test]
+fn torn_and_foreign_bugbase_records_are_rejected() {
+    let dir = std::env::temp_dir().join(format!("conferr-plan-torn-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let harness = PlanHarness::new("mysql", Some(CHAOS)).unwrap();
+    let executor = CampaignExecutor::new(1);
+    let (seed, property) = first_failing_seed(&harness, &executor);
+    let plan = harness.generate(PROFILE, seed, STEPS).unwrap();
+    let report = harness.shrink(&executor, &plan, property).unwrap().unwrap();
+    let record = harness
+        .build_record(
+            &executor,
+            PROFILE,
+            seed,
+            STEPS,
+            property,
+            &plan,
+            &report.minimal,
+        )
+        .unwrap();
+    let json = record.to_json();
+
+    // Torn prefixes of a real record: all rejected.
+    for cut in [10, json.len() / 2, json.len() - 1] {
+        let path = dir.join("torn.json");
+        std::fs::write(&path, &json[..cut]).unwrap();
+        assert!(
+            matches!(BugBase::load(&path), Err(BugBaseError::Malformed { .. })),
+            "cut at {cut}"
+        );
+    }
+    // Foreign JSON (a checkpoint record) is not a bug record.
+    let path = dir.join("foreign.json");
+    std::fs::write(&path, "{\"checkpoint\":{\"completed\":3}}\n").unwrap();
+    assert!(matches!(
+        BugBase::load(&path),
+        Err(BugBaseError::Malformed { .. })
+    ));
+    // And a torn file poisons directory enumeration loudly.
+    assert!(BugBase::new(&dir).records().is_err());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Without any chaos, a corrupt-then-delete masking pair on a real
+/// simulator trips `degraded-still-diagnosed`: the delete masks a
+/// directive whose corruption was already diagnosed. The
+/// counterexample is already minimal — shrinking cannot drop either
+/// step.
+#[test]
+fn masking_pair_trips_degraded_still_diagnosed_without_chaos() {
+    let harness = PlanHarness::new("postgres", None).unwrap();
+    let executor = CampaignExecutor::new(1);
+    let pairs = conferr_plugins::masking_pairs(harness.campaign().baseline(), 24);
+    assert!(!pairs.is_empty());
+
+    let property = Property::DegradedStillDiagnosed;
+    let mut found = None;
+    for (corrupt, delete) in pairs {
+        let plan = FaultPlan::new(
+            0,
+            vec![PlanAction::Inject(corrupt), PlanAction::Inject(delete)],
+        );
+        let trace = harness.run(&executor, &plan).unwrap();
+        if property.evaluate(&trace).is_some() {
+            found = Some(plan);
+            break;
+        }
+    }
+    let plan = found.expect("some masking pair must trip the oracle");
+    let report = harness.shrink(&executor, &plan, property).unwrap().unwrap();
+    assert_eq!(
+        report.minimal.len(),
+        2,
+        "corrupt + masking delete are both load-bearing"
+    );
+    assert!(is_subplan(&report.minimal, &plan));
+}

@@ -1,0 +1,111 @@
+//! Property tests over the plan engine: determinism across thread
+//! counts and shrinker soundness, sampled over generator seeds.
+
+use std::sync::OnceLock;
+
+use conferr::CampaignExecutor;
+use conferr_plan::{is_subplan, ChaosSpec, PlanHarness, Property};
+use proptest::prelude::*;
+
+const CHAOS: ChaosSpec = ChaosSpec {
+    seed: 7,
+    panic_pm: 0,
+    stall_pm: 0,
+    fail_pm: 350,
+    fail_test_pm: 200,
+    stall_ms: 5,
+};
+
+/// One chaos-wrapped mysql harness shared by every case — plan
+/// execution is stateless across runs, so sharing is sound and keeps
+/// the suite fast.
+fn harness() -> &'static PlanHarness {
+    static HARNESS: OnceLock<PlanHarness> = OnceLock::new();
+    HARNESS.get_or_init(|| PlanHarness::new("mysql", Some(CHAOS)).unwrap())
+}
+
+fn executors() -> &'static [CampaignExecutor; 3] {
+    static EXECUTORS: OnceLock<[CampaignExecutor; 3]> = OnceLock::new();
+    EXECUTORS.get_or_init(|| {
+        [
+            CampaignExecutor::new(1),
+            CampaignExecutor::new(2),
+            CampaignExecutor::new(4),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Same seed ⇒ byte-identical plan, trace and shrink result, at 1,
+    /// 2 and 4 executor threads (the chaos wrapper included).
+    #[test]
+    fn plans_traces_and_shrinks_are_deterministic(
+        seed in 0u64..500,
+        profile_idx in 0usize..3,
+    ) {
+        let harness = harness();
+        let profile = ["operator-default", "compound-heavy", "revert-happy"][profile_idx];
+        let plan = harness.generate(profile, seed, 10).unwrap();
+        prop_assert_eq!(&plan, &harness.generate(profile, seed, 10).unwrap());
+
+        let [one, two, four] = executors();
+        let reference = harness.run(one, &plan).unwrap();
+        for executor in [two, four] {
+            let trace = harness.run(executor, &plan).unwrap();
+            prop_assert_eq!(trace.render_lines(), reference.render_lines());
+        }
+
+        // When a property fails, the shrink result is identical at
+        // every thread count too.
+        for property in Property::ALL {
+            if property.evaluate(&reference).is_none() {
+                continue;
+            }
+            let report = harness.shrink(one, &plan, property).unwrap().unwrap();
+            for executor in [two, four] {
+                let again = harness.shrink(executor, &plan, property).unwrap().unwrap();
+                prop_assert_eq!(&again.minimal, &report.minimal);
+                prop_assert_eq!(&again.violation, &report.violation);
+            }
+        }
+    }
+
+    /// Shrinker soundness over generated failing plans: the minimal
+    /// plan still fails the same property, is a subsequence of the
+    /// original, and shrinking is idempotent.
+    #[test]
+    fn shrinking_is_sound_and_idempotent(seed in 0u64..500) {
+        let harness = harness();
+        let executor = &executors()[0];
+        let plan = harness.generate("revert-happy", seed, 12).unwrap();
+        let trace = harness.run(executor, &plan).unwrap();
+        for property in Property::ALL {
+            let Some(original_violation) = property.evaluate(&trace) else {
+                continue;
+            };
+            let report = harness.shrink(executor, &plan, property).unwrap().unwrap();
+            prop_assert_eq!(report.violation.property, original_violation.property);
+
+            // Still fails the same property when rerun from scratch.
+            let minimal_violation = harness
+                .check(executor, &report.minimal, property)
+                .unwrap()
+                .expect("minimal plan must still fail");
+            prop_assert_eq!(&minimal_violation, &report.violation);
+
+            // A subsequence of the original (step ids increasing,
+            // inject edits subsequences, bookkeeping steps unchanged).
+            prop_assert!(is_subplan(&report.minimal, &plan));
+            prop_assert!(report.minimal.len() <= plan.len());
+
+            // Idempotent: shrinking the minimal plan changes nothing.
+            let again = harness
+                .shrink(executor, &report.minimal, property)
+                .unwrap()
+                .expect("minimal plan still fails");
+            prop_assert_eq!(&again.minimal, &report.minimal);
+        }
+    }
+}
