@@ -34,7 +34,7 @@
 //! reported — caches, the pool, the batch scheduler, the streaming
 //! pipeline and test-impact pruning must be pure wall-clock/memory
 //! optimisations — then the numbers go to `BENCH_campaign.json`
-//! (schema v6). A dedicated **isolation** section times the same
+//! (schema v7). A dedicated **isolation** section times the same
 //! serial 1-thread workload in strict mode (no `catch_unwind`, panics
 //! poison) and in the default isolated mode (per-fault `catch_unwind`
 //! plus watchdog bookkeeping) over five back-to-back pairs, and gates
@@ -42,7 +42,14 @@
 //! safety net, not a tax. The
 //! parallel/executor/batch speedups scale with core count; on a
 //! single-core machine they only measure scheduling overhead (and the
-//! batch profile exercises the executor's serial fast path). Two
+//! batch profile exercises the executor's serial fast path). A
+//! **process** section (v7) prices the process tier: the mean
+//! wall-clock of one real spawned-validator start (`proc_start_ms`,
+//! sandbox materialization + spawn + supervise + classify, measured
+//! against the committed `conferr-stub-apachectl`) and the apache
+//! triage→confirm funnel ratio of a mixed-tier `run_tiered` pass; it
+//! degrades to `"available": false` when the stub binaries were not
+//! built alongside this bench. Two
 //! closing benches: a **million-fault smoke run** — a lazily
 //! enumerated ≥10^6-fault space streamed into a counting sink, never
 //! buffering more than the streaming window — and the
@@ -70,8 +77,12 @@ use conferr_bench::{
     DEFAULT_SEED,
 };
 use conferr_keyboard::Keyboard;
-use conferr_model::{EagerSource, GeneratedFault};
-use conferr_sut::{ApacheSim, MySqlSim, PostgresSim};
+use conferr_model::{EagerSource, ErrorGenerator, GeneratedFault};
+use conferr_plugins::StructuralPlugin;
+use conferr_proc::{apachectl_spec, process_factory, ProcessSut};
+use conferr_sut::{
+    default_payload, ApacheSim, Deadline, MySqlSim, PostgresSim, StartOutcome, SystemUnderTest,
+};
 
 /// Fixed reference points of the trajectory, all measured on the
 /// committed-run host at `repeat` = 20:
@@ -87,6 +98,9 @@ const REFERENCE_REPEAT: usize = 20;
 
 /// Faults in the bounded-memory streaming smoke run.
 const SMOKE_TARGET: usize = 1_000_000;
+
+/// Baseline starts averaged for the process tier's per-start price.
+const STARTS: usize = 20;
 
 /// Timing row for one system.
 struct Row {
@@ -344,6 +358,81 @@ fn isolation_bench(repeat: usize) -> IsolationBench {
     }
 }
 
+/// Process-tier pricing: the mean wall-clock of one real
+/// spawned-validator start and the apache triage→confirm funnel of a
+/// mixed-tier pass. `available` is `false` (and every number zero)
+/// when the committed stubs were not built next to this bench.
+struct ProcessBench {
+    available: bool,
+    proc_start_ms: f64,
+    tiered_ms: f64,
+    triaged: usize,
+    confirmed: usize,
+    funnel_ratio: f64,
+}
+
+fn process_bench(threads: usize) -> ProcessBench {
+    let unavailable = ProcessBench {
+        available: false,
+        proc_start_ms: 0.0,
+        tiered_ms: 0.0,
+        triaged: 0,
+        confirmed: 0,
+        funnel_ratio: 0.0,
+    };
+    let Some(stub) = std::env::current_exe()
+        .ok()
+        .and_then(|exe| exe.parent().map(|dir| dir.join("conferr-stub-apachectl")))
+        .filter(|stub| stub.is_file())
+    else {
+        return unavailable;
+    };
+
+    // Per-start cost: sandbox materialization + spawn + supervise +
+    // classify, on the baseline payload the scout uses.
+    let mut sut = ProcessSut::new(apachectl_spec(stub.clone()));
+    let payload = default_payload(&sut);
+    let deadline = Deadline::unlimited();
+    for _ in 0..3 {
+        assert!(matches!(
+            sut.start(&payload, &deadline),
+            StartOutcome::Started
+        ));
+    }
+    let start = Instant::now();
+    for _ in 0..STARTS {
+        assert!(matches!(
+            sut.start(&payload, &deadline),
+            StartOutcome::Started
+        ));
+    }
+    let proc_start_ms = start.elapsed().as_secs_f64() * 1e3 / STARTS as f64;
+
+    // The mixed-tier funnel: simulator triage over the apache
+    // structural load, interesting faults confirmed on the spawned
+    // stub.
+    let executor = CampaignExecutor::new(threads);
+    let triage = ExecutorCampaign::new(sut_factory(ApacheSim::new)).expect("triage campaign");
+    let confirm =
+        ExecutorCampaign::new(process_factory(apachectl_spec(stub))).expect("confirm campaign");
+    let faults = StructuralPlugin::new()
+        .generate(triage.baseline())
+        .expect("structural load");
+    let start = Instant::now();
+    let report = executor
+        .run_tiered(&triage, &confirm, faults)
+        .expect("tiered run");
+    let tiered_ms = start.elapsed().as_secs_f64() * 1e3;
+    ProcessBench {
+        available: true,
+        proc_start_ms,
+        tiered_ms,
+        triaged: report.triage.len(),
+        confirmed: report.selected,
+        funnel_ratio: report.funnel_ratio(),
+    }
+}
+
 /// The timing comparison is only meaningful if every driver computed
 /// the same thing — and the caches and schedulers are only *sound* if
 /// their runs are byte-identical to the uncached serial reference.
@@ -521,6 +610,24 @@ fn main() {
         isolation.overhead_pct
     );
 
+    let process = process_bench(threads);
+    if process.available {
+        println!(
+            "process tier (apache structural load): one spawned start {:.2} ms, \
+             {} triaged -> {} confirmed (funnel {:.3}) in {:.1} ms",
+            process.proc_start_ms,
+            process.triaged,
+            process.confirmed,
+            process.funnel_ratio,
+            process.tiered_ms
+        );
+    } else {
+        println!(
+            "process tier: stubs not built next to this bench \
+             (cargo build --release -p conferr-proc --bins) — section skipped"
+        );
+    }
+
     let smoke = million_fault_smoke(threads);
     println!(
         "streaming smoke: {} faults through a counting sink in {:.0} ms \
@@ -546,7 +653,7 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": \"conferr-bench-campaign/v6\",");
+    let _ = writeln!(json, "  \"schema\": \"conferr-bench-campaign/v7\",");
     let _ = writeln!(json, "  \"repeat\": {repeat},");
     let _ = writeln!(json, "  \"threads\": {threads},");
     let _ = writeln!(
@@ -615,6 +722,31 @@ fn main() {
         isolation.serial_isolated_ms,
         isolation.overhead_pct
     );
+    if process.available {
+        let _ = writeln!(
+            json,
+            "  \"process\": {{\"available\": true, \"proc_start_ms\": {:.2}, \
+             \"tiered_ms\": {:.1}, \"triaged\": {}, \"confirmed\": {}, \
+             \"funnel_ratio\": {:.3}, \
+             \"note\": \"the process tier priced against the committed conferr-stub-apachectl: \
+             proc_start_ms is the mean of {STARTS} baseline starts (sandbox materialization + \
+             spawn + supervision + exit/stderr classification); the funnel is a run_tiered pass \
+             over the apache structural load — simulator triage, interesting faults confirmed \
+             on the spawned stub\"}},",
+            process.proc_start_ms,
+            process.tiered_ms,
+            process.triaged,
+            process.confirmed,
+            process.funnel_ratio
+        );
+    } else {
+        let _ = writeln!(
+            json,
+            "  \"process\": {{\"available\": false, \
+             \"note\": \"stub binaries not built next to this bench; run \
+             cargo build --release -p conferr-proc --bins first\"}},"
+        );
+    }
     let _ = writeln!(
         json,
         "  \"streaming_smoke\": {{\"faults\": {}, \"ms\": {:.0}, \"faults_per_sec\": {:.0}, \

@@ -297,7 +297,7 @@ impl InjectionEngine {
         // soundness, it must never be cut short by a fault budget.
         let unlimited = Deadline::unlimited();
         let start = sut.start(baseline_payload, &unlimited);
-        let started = !matches!(start, StartOutcome::FailedToStart { .. });
+        let started = start.is_running();
         let mut healthy = started;
         if started {
             for test in sut.test_names() {
@@ -473,18 +473,31 @@ impl InjectionEngine {
             .fault_deadline()
             .map_or_else(Deadline::unlimited, Deadline::after);
         let start = sut.start(payload, &deadline);
-        let result = if deadline.expired() {
-            InjectionResult::TimedOut {
+        let result = match start {
+            // A hard-supervised adapter that killed its child reports
+            // the overrun itself, with its own phase name — more
+            // precise than the engine's after-the-fact soft check, so
+            // it wins. An adapter that recorded no budget of its own
+            // falls back to the engine's configured one.
+            StartOutcome::TimedOut { phase, budget_ms } => InjectionResult::TimedOut {
+                phase,
+                budget_ms: if budget_ms == 0 {
+                    deadline.budget_ms()
+                } else {
+                    budget_ms
+                },
+            },
+            _ if deadline.expired() => InjectionResult::TimedOut {
                 phase: "startup".to_string(),
                 budget_ms: deadline.budget_ms(),
-            }
-        } else {
-            match start {
+            },
+            start => match start {
+                StartOutcome::TimedOut { .. } => unreachable!("handled above"),
                 StartOutcome::FailedToStart { diagnostic } => {
                     InjectionResult::DetectedAtStartup { diagnostic }
                 }
-                StartOutcome::Started | StartOutcome::StartedWithWarnings { .. } => {
-                    let warnings = match &start {
+                ref start @ (StartOutcome::Started | StartOutcome::StartedWithWarnings { .. }) => {
+                    let warnings = match start {
                         StartOutcome::StartedWithWarnings { warnings } => warnings.clone(),
                         _ => Vec::new(),
                     };
@@ -526,7 +539,7 @@ impl InjectionEngine {
                         }
                     }
                 }
-            }
+            },
         };
         sut.stop();
         result
@@ -597,6 +610,9 @@ impl InjectionEngine {
                     class: scenario.class,
                     diff,
                     verdict,
+                    // Read *after* the start ran: tier-mixing wrappers
+                    // report the tier that actually served this fault.
+                    tier: sut.tier(),
                     result,
                 }
             }
@@ -611,6 +627,7 @@ impl InjectionEngine {
                 class,
                 diff: empty_diff(),
                 verdict: StaticVerdict::Unknown,
+                tier: sut.tier(),
                 result: InjectionResult::Inexpressible { reason },
             },
         }

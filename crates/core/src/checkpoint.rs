@@ -231,6 +231,7 @@ mod tests {
             class: ErrorClass::Typo(TypoKind::Omission),
             diff: Vec::new().into(),
             verdict: conferr_analysis::StaticVerdict::Unknown,
+            tier: conferr_sut::Tier::Sim,
             result: if id.is_multiple_of(3) {
                 InjectionResult::DetectedAtStartup {
                     diagnostic: "x".into(),

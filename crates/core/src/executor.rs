@@ -296,7 +296,11 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// engine) panicked on a fault: the fault's own identity with a
 /// [`InjectionResult::HarnessFailure`] result, so exports keep the
 /// static verdict column next to the failure.
-fn harness_failure_outcome(fault: &GeneratedFault, panic_msg: String) -> InjectionOutcome {
+fn harness_failure_outcome(
+    fault: &GeneratedFault,
+    panic_msg: String,
+    tier: conferr_sut::Tier,
+) -> InjectionOutcome {
     let (id, description, class) = match fault {
         GeneratedFault::Scenario(s) => (s.id.clone(), s.description.clone(), s.class.clone()),
         GeneratedFault::Inexpressible {
@@ -312,6 +316,7 @@ fn harness_failure_outcome(fault: &GeneratedFault, panic_msg: String) -> Injecti
         class,
         diff: Vec::new().into(),
         verdict: crate::StaticVerdict::Unknown,
+        tier,
         result: crate::InjectionResult::HarnessFailure { panic_msg },
     }
 }
@@ -368,6 +373,7 @@ fn run_fault_isolated(
                 last = Some(harness_failure_outcome(
                     fault,
                     panic_message(payload.as_ref()),
+                    campaign.default_tier,
                 ));
             }
         }
@@ -437,6 +443,10 @@ pub struct ExecutorCampaign {
     system: String,
     factory: SutFactory,
     engine: Arc<InjectionEngine>,
+    /// The tier the scout instance reported at construction — the
+    /// tier recorded on harness-failure rows, where the panicking SUT
+    /// can no longer be asked which tier it was serving from.
+    default_tier: conferr_sut::Tier,
 }
 
 impl fmt::Debug for ExecutorCampaign {
@@ -495,6 +505,7 @@ impl ExecutorCampaign {
         let engine = Arc::new(InjectionEngine::new(scout.as_mut(), overrides)?);
         Ok(ExecutorCampaign {
             system: scout.name().to_string(),
+            default_tier: scout.tier(),
             factory,
             engine,
         })

@@ -17,7 +17,8 @@ use std::fmt::Write as _;
 use crate::{InjectionOutcome, InjectionResult, ResilienceProfile};
 
 /// The CSV header row (no trailing newline).
-pub const CSV_HEADER: &str = "system,id,class,cognitive_level,result,verdict,detail,description";
+pub const CSV_HEADER: &str =
+    "system,id,class,cognitive_level,result,verdict,tier,detail,description";
 
 /// Escapes one CSV field (RFC 4180 quoting).
 fn csv_field(s: &str) -> String {
@@ -72,13 +73,14 @@ fn result_detail(result: &InjectionResult) -> (&'static str, String) {
 pub fn outcome_to_csv_row(system: &str, o: &InjectionOutcome) -> String {
     let (label, detail) = result_detail(&o.result);
     format!(
-        "{},{},{},{},{},{},{},{}",
+        "{},{},{},{},{},{},{},{},{}",
         csv_field(system),
         csv_field(&o.id),
         csv_field(&o.class.to_string()),
         csv_field(&o.class.cognitive_level().to_string()),
         label,
         o.verdict.label(),
+        o.tier.label(),
         csv_field(&detail),
         csv_field(&o.description),
     )
@@ -90,7 +92,7 @@ pub fn outcome_to_csv_row(system: &str, o: &InjectionOutcome) -> String {
 /// use conferr::{profile_to_csv, ResilienceProfile};
 ///
 /// let csv = profile_to_csv(&ResilienceProfile::new("sut", vec![]));
-/// assert!(csv.starts_with("system,id,class,cognitive_level,result,verdict,detail,description"));
+/// assert!(csv.starts_with("system,id,class,cognitive_level,result,verdict,tier,detail,description"));
 /// ```
 pub fn profile_to_csv(profile: &ResilienceProfile) -> String {
     let mut out = String::from(CSV_HEADER);
@@ -140,11 +142,12 @@ pub fn outcome_to_json(o: &InjectionOutcome) -> String {
     let mut out = String::new();
     let _ = write!(
         out,
-        "{{\"id\":{},\"class\":{},\"result\":{},\"verdict\":{},\"detail\":{},\"description\":{},\"diff\":[",
+        "{{\"id\":{},\"class\":{},\"result\":{},\"verdict\":{},\"tier\":{},\"detail\":{},\"description\":{},\"diff\":[",
         json_string(&o.id),
         json_string(&o.class.to_string()),
         json_string(label),
         json_string(o.verdict.label()),
+        json_string(o.tier.label()),
         json_string(&detail),
         json_string(&o.description),
     );
@@ -176,6 +179,7 @@ mod tests {
     use crate::InjectionOutcome;
     use conferr_analysis::StaticVerdict;
     use conferr_model::{ErrorClass, TypoKind};
+    use conferr_sut::Tier;
 
     fn sample() -> ResilienceProfile {
         ResilienceProfile::new(
@@ -187,6 +191,7 @@ mod tests {
                     class: ErrorClass::Typo(TypoKind::Omission),
                     diff: vec!["- /0 directive".to_string()].into(),
                     verdict: StaticVerdict::WillFailParse,
+                    tier: Tier::Sim,
                     result: InjectionResult::DetectedAtStartup {
                         diagnostic: "bad\nline".into(),
                     },
@@ -197,6 +202,7 @@ mod tests {
                     class: ErrorClass::Typo(TypoKind::Insertion),
                     diff: Vec::new().into(),
                     verdict: StaticVerdict::Unknown,
+                    tier: Tier::Proc,
                     result: InjectionResult::Undetected { warnings: vec![] },
                 },
             ],
@@ -244,6 +250,7 @@ mod tests {
             class: ErrorClass::Typo(TypoKind::Substitution),
             diff: Vec::new().into(),
             verdict: StaticVerdict::Unknown,
+            tier: Tier::Sim,
             result: InjectionResult::TimedOut {
                 phase: "startup".into(),
                 budget_ms: 250,
@@ -251,7 +258,7 @@ mod tests {
         };
         let row = outcome_to_csv_row("sut", &o);
         assert!(
-            row.contains("timed-out,unknown,startup exceeded 250 ms"),
+            row.contains("timed-out,unknown,sim,startup exceeded 250 ms"),
             "{row}"
         );
         let o = InjectionOutcome {
@@ -264,6 +271,17 @@ mod tests {
         assert!(line.contains("\"result\":\"harness-failure\""), "{line}");
         assert!(line.contains("\"detail\":\"adapter bug\""), "{line}");
         assert!(line.contains("\"verdict\":"), "{line}");
+        assert!(line.contains("\"tier\":\"sim\""), "{line}");
+    }
+
+    #[test]
+    fn tier_column_sits_next_to_the_verdict() {
+        let csv = profile_to_csv(&sample());
+        assert!(csv.contains(",verdict,tier,"), "{csv}");
+        assert!(csv.contains("will-fail-parse,sim,"), "{csv}");
+        assert!(csv.contains("unknown,proc,"), "{csv}");
+        let json = profile_to_json(&sample());
+        assert!(json.contains("\"tier\":\"proc\""), "{json}");
     }
 
     #[test]

@@ -71,6 +71,7 @@ mod plan;
 mod profile;
 pub mod report;
 mod sink;
+mod tiered;
 
 pub use campaign::{Campaign, CampaignError};
 pub use checkpoint::{Checkpoint, CheckpointSink};
@@ -79,6 +80,7 @@ pub use compare::{
     value_typo_resilience, ComparisonReport, DetectionBand, DirectiveResilience, SystemResilience,
 };
 pub use conferr_analysis::{FaultLinter, Lint, LintedSource, StaticVerdict, ValidationClass};
+pub use conferr_sut::Tier;
 pub use executor::{
     sut_factory, CampaignBatch, CampaignExecutor, ExecutorCampaign, RetryPolicy, StreamStats,
     SutFactory, DEFAULT_CHUNK_SIZE,
@@ -92,3 +94,4 @@ pub use parallel::{default_threads, parallel_indexed_map, ParallelCampaign};
 pub use plan::{PlanTrace, PlanTraceSink, StepRecord};
 pub use profile::{ProfileSummary, ResilienceProfile};
 pub use sink::{CollectingSink, CountingSink, CsvSink, JsonlSink, OutcomeSink};
+pub use tiered::{confirmation_candidate, TieredRunReport};

@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use conferr_analysis::StaticVerdict;
 use conferr_model::ErrorClass;
+use conferr_sut::Tier;
 use serde::{Deserialize, Serialize};
 
 /// How the system-under-test responded to one injected fault — the
@@ -142,6 +143,13 @@ pub struct InjectionOutcome {
     /// schema, and downgraded from `SemanticallySilent` whenever the
     /// baseline scout could not certify a clean, warning-free start.
     pub verdict: StaticVerdict,
+    /// Which execution tier served this fault: an in-process
+    /// simulator ([`Tier::Sim`]), a process-backed adapter
+    /// ([`Tier::Proc`]), or the simulator standing in for a degraded
+    /// process tier ([`Tier::ProcFallback`]). Exported as the `tier`
+    /// column next to `verdict`, so mixed-tier campaigns stay
+    /// auditable row by row.
+    pub tier: Tier,
     /// What happened.
     pub result: InjectionResult,
 }
@@ -210,6 +218,7 @@ mod tests {
             class: ErrorClass::Typo(TypoKind::Omission),
             diff: Vec::new().into(),
             verdict: StaticVerdict::Unknown,
+            tier: Tier::Sim,
             result: InjectionResult::Undetected { warnings: vec![] },
         };
         assert!(o.to_string().contains("omit port"));

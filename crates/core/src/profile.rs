@@ -203,6 +203,7 @@ mod tests {
             class: ErrorClass::Typo(TypoKind::Omission),
             diff: Vec::new().into(),
             verdict: conferr_analysis::StaticVerdict::Unknown,
+            tier: conferr_sut::Tier::Sim,
             result,
         }
     }

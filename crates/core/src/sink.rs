@@ -314,6 +314,7 @@ mod tests {
             class: ErrorClass::Typo(TypoKind::Omission),
             diff: vec![format!("- {id}")].into(),
             verdict: conferr_analysis::StaticVerdict::Unknown,
+            tier: conferr_sut::Tier::Sim,
             result: InjectionResult::DetectedAtStartup {
                 diagnostic: "bad, line".to_string(),
             },

@@ -41,6 +41,7 @@ fn arb_outcome() -> impl Strategy<Value = InjectionOutcome> {
             class,
             diff: Vec::new().into(),
             verdict: conferr_analysis::StaticVerdict::Unknown,
+            tier: conferr_sut::Tier::Sim,
             result,
         }
     })

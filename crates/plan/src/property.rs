@@ -247,6 +247,7 @@ mod tests {
             class: ErrorClass::Typo(TypoKind::Omission),
             diff: Vec::new().into(),
             verdict: StaticVerdict::Unknown,
+            tier: conferr::Tier::Sim,
             result,
         }
     }

@@ -1,0 +1,96 @@
+//! `compare_tiers` — diff a simulator campaign against the process
+//! tier, per directive family.
+//!
+//! Runs the structural + typo fault load for one system through both
+//! its simulator and its committed validator stub and prints the
+//! per-group agreement table plus every disagreement
+//! (`conferr_proc::compare_tiers`). Disagreements on statically
+//! *undecided* faults are expected — they are exactly the model gaps
+//! the process tier exists to measure; the `tier_smoke` CI gate is
+//! the strict cousin that asserts agreement on the decided ones.
+//!
+//! ```text
+//! cargo run --release -p conferr-proc --bin compare_tiers [apache|djbdns]
+//! ```
+
+use conferr::{sut_factory, CampaignExecutor, ExecutorCampaign, SutFactory};
+use conferr_keyboard::Keyboard;
+use conferr_model::{ErrorGenerator, GeneratedFault};
+use conferr_plugins::{DnsSemanticPlugin, StructuralPlugin, TokenClass, TypoPlugin};
+use conferr_proc::{apachectl_spec, checkconf_spec, compare_tiers, process_factory, ProcessSpec};
+use conferr_sut::{ApacheSim, DjbdnsSim};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// A sibling binary of this driver.
+fn sibling(name: &str) -> PathBuf {
+    let exe = std::env::current_exe().expect("current_exe");
+    exe.parent().expect("bin dir").join(name)
+}
+
+/// The system's simulator factory and stub spec.
+fn system(name: &str) -> Option<(SutFactory, ProcessSpec)> {
+    match name {
+        "apache" => Some((
+            sut_factory(ApacheSim::new),
+            apachectl_spec(sibling("conferr-stub-apachectl")),
+        )),
+        "djbdns" => Some((
+            sut_factory(DjbdnsSim::new),
+            checkconf_spec(sibling("conferr-stub-checkconf")),
+        )),
+        _ => None,
+    }
+}
+
+fn main() -> ExitCode {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "apache".to_string());
+    let Some((sim_factory, spec)) = system(&name) else {
+        eprintln!("usage: compare_tiers [apache|djbdns]");
+        return ExitCode::from(2);
+    };
+    if !spec.program.is_file() {
+        eprintln!(
+            "stub not found at {} — build with `cargo build -p conferr-proc --bins`",
+            spec.program.display()
+        );
+        return ExitCode::from(2);
+    }
+    let threads = std::env::var("CONFERR_THREADS")
+        .ok()
+        .and_then(|t| t.parse().ok())
+        .unwrap_or(2);
+    let executor = CampaignExecutor::new(threads);
+    let sim = ExecutorCampaign::new(sim_factory).expect("sim campaign");
+    let process = ExecutorCampaign::new(process_factory(spec)).expect("process campaign");
+
+    let keyboard = Keyboard::qwerty_us();
+    let mut faults: Vec<GeneratedFault> = StructuralPlugin::new()
+        .generate(sim.baseline())
+        .expect("structural load");
+    faults.extend(
+        TypoPlugin::new(keyboard.clone(), TokenClass::DirectiveNames)
+            .generate(sim.baseline())
+            .expect("name-typo load"),
+    );
+    faults.extend(
+        TypoPlugin::new(keyboard, TokenClass::DirectiveValues)
+            .generate(sim.baseline())
+            .expect("value-typo load"),
+    );
+    if name == "djbdns" {
+        // The tinydns data file has record lines, not directives —
+        // the semantic DNS plugin is its fault model.
+        faults.extend(
+            DnsSemanticPlugin::tinydns()
+                .generate(sim.baseline())
+                .expect("dns semantic load"),
+        );
+    }
+
+    let cmp = compare_tiers(&executor, &sim, &process, faults).expect("comparison");
+    print!("{}", cmp.render());
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,88 @@
+//! `conferr-misbehaving-stub` — an adversarial SUT binary for chaos
+//! tests of the process tier's supervision.
+//!
+//! Mode comes from `CONFERR_STUB_MODE`; each documents the outcome
+//! class the supervisor must map it to:
+//!
+//! * `ok` — exit 0 (`Started`);
+//! * `reject` — diagnostic on stderr, exit 1 (`FailedToStart`);
+//! * `hang` — never exits; the supervisor kills and reaps it
+//!   (`TimedOut{phase: "process"}`);
+//! * `sigterm` — same as `hang`, named for what it demonstrates:
+//!   ignoring `SIGTERM` buys a binary nothing, because the supervisor
+//!   escalates straight to the unmaskable `SIGKILL`;
+//! * `crash` — `abort()`, i.e. death by signal (harness failure →
+//!   retry policy → quarantine);
+//! * `badcode` — exits 7, an exit code no rule declares (harness
+//!   failure);
+//! * `flood` — writes megabytes to stderr, then hangs (`TimedOut`,
+//!   with the read-back capped by the adapter's `stderr_cap`);
+//! * `flood-exit` — writes a megabyte to stderr, then exits 1
+//!   (`FailedToStart` with *bounded* diagnostics — proves the capture
+//!   cap on the normal exit path).
+//!
+//! If `CONFERR_STUB_OK_TOKEN` is set and every file named on the
+//! command line contains that token, the stub behaves (exit 0)
+//! regardless of mode. This lets a campaign's baseline scout pass
+//! while injected faults — which mutate the token away — hit the
+//! configured misbehaviour: exactly the "only offending faults pay"
+//! contract the chaos gate asserts.
+
+use std::io::Write as _;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn main() -> ExitCode {
+    let mode = std::env::var("CONFERR_STUB_MODE").unwrap_or_else(|_| "ok".to_string());
+    if let Ok(token) = std::env::var("CONFERR_STUB_OK_TOKEN") {
+        let all_contain = std::env::args().skip(1).all(|path| {
+            std::fs::read_to_string(&path).is_ok_and(|text| text.contains(&token))
+        });
+        if all_contain {
+            println!("ok");
+            return ExitCode::SUCCESS;
+        }
+    }
+    match mode.as_str() {
+        "ok" => ExitCode::SUCCESS,
+        "reject" => {
+            eprintln!("configuration rejected by misbehaving stub");
+            ExitCode::from(1)
+        }
+        "hang" | "sigterm" => loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        },
+        "crash" => std::process::abort(),
+        "badcode" => ExitCode::from(7),
+        "flood" => {
+            flood_stderr(4 * 1024 * 1024);
+            loop {
+                std::thread::sleep(Duration::from_secs(3600));
+            }
+        }
+        "flood-exit" => {
+            flood_stderr(1024 * 1024);
+            eprintln!("flooded and rejected");
+            ExitCode::from(1)
+        }
+        other => {
+            eprintln!("conferr-misbehaving-stub: unknown mode '{other}'");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Writes roughly `bytes` of line-structured noise to stderr.
+fn flood_stderr(bytes: usize) {
+    let stderr = std::io::stderr();
+    let mut out = stderr.lock();
+    let line = "stderr flood from the misbehaving stub: lorem ipsum dolor sit amet\n";
+    let mut written = 0usize;
+    while written < bytes {
+        if out.write_all(line.as_bytes()).is_err() {
+            return;
+        }
+        written += line.len();
+    }
+    let _ = out.flush();
+}

@@ -1,0 +1,47 @@
+//! `conferr-stub-apachectl` — committed stand-in for
+//! `apachectl configtest`.
+//!
+//! Validates one `httpd.conf` with the *same* extracted dialect
+//! deciders the Apache simulator and the static linter use
+//! (`conferr_analysis::lint::survey`), so the process tier exercises a
+//! real spawn/supervise/classify cycle in CI without system packages,
+//! and agrees with the simulator on every statically decided fault by
+//! construction (gated empirically by the `tier_smoke` driver).
+//!
+//! Exit surface (the contract `conferr_proc::stub_rules` reads):
+//! 0 = configuration accepted; 1 = rejected, diagnostics on stderr;
+//! 2 = usage or I/O error (an undeclared code — the adapter treats it
+//! as a harness failure, which is correct: it means the harness, not
+//! the configuration, is broken).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: conferr-stub-apachectl <httpd.conf>");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match conferr_analysis::lint::survey(&conferr_analysis::APACHE_SCHEMA, "httpd.conf", &text) {
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::from(1)
+        }
+        Ok(s) if !s.violations.is_empty() => {
+            for v in &s.violations {
+                eprintln!("{}", v.message);
+            }
+            ExitCode::from(1)
+        }
+        Ok(_) => {
+            println!("Syntax OK");
+            ExitCode::SUCCESS
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! `conferr-stub-checkconf` — committed stand-in for a djbdns
+//! `tinydns-data` configuration check over the `data` file.
+//!
+//! Same contract as `conferr-stub-apachectl`: the extracted TinyDNS
+//! dialect deciders (`conferr_analysis::lint::survey`) decide, exit 0
+//! accepts, exit 1 rejects with diagnostics on stderr, exit 2 flags a
+//! harness-side usage or I/O error.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: conferr-stub-checkconf <data>");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match conferr_analysis::lint::survey(&conferr_analysis::DJBDNS_SCHEMA, "data", &text) {
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::from(1)
+        }
+        Ok(s) if !s.violations.is_empty() => {
+            for v in &s.violations {
+                eprintln!("{}", v.message);
+            }
+            ExitCode::from(1)
+        }
+        Ok(_) => {
+            println!("data OK");
+            ExitCode::SUCCESS
+        }
+    }
+}

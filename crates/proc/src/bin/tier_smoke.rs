@@ -1,0 +1,133 @@
+//! `tier_smoke` — CI gate for tier mixing: simulated triage feeding
+//! stub confirmation over the Table 1 apache load.
+//!
+//! Builds the §5.2-style apache fault load (every-directive deletion
+//! plus name/value typos), triages it on the Apache simulator, then
+//! confirms the interesting subset on a real spawned process — the
+//! committed `conferr-stub-apachectl` validator — via
+//! `CampaignExecutor::run_tiered`. Asserts:
+//!
+//! * every confirmation outcome is stamped tier `proc`;
+//! * on every *statically decided* confirmed fault the tiers agree —
+//!   the simulator's `detected-at-startup` is reproduced by the
+//!   external validator (both sides run the same extracted deciders,
+//!   so a disagreement means the adapter, the stub or the sandbox
+//!   materialization broke);
+//! * every spawned child was reaped and no sandbox survived.
+//!
+//! ```text
+//! cargo run --release -p conferr-proc --bin tier_smoke
+//! ```
+//!
+//! Exits non-zero (assertion failure) on any violation.
+
+use conferr::{sut_factory, CampaignExecutor, ExecutorCampaign, StaticVerdict};
+use conferr_keyboard::Keyboard;
+use conferr_model::{ErrorGenerator, GeneratedFault};
+use conferr_plugins::{StructuralPlugin, TokenClass, TypoPlugin};
+use conferr_proc::{apachectl_spec, process_factory, sandbox, supervise};
+use conferr_sut::ApacheSim;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// The committed validator stub, built alongside this driver.
+fn stub_path() -> PathBuf {
+    let exe = std::env::current_exe().expect("current_exe");
+    exe.parent()
+        .expect("bin dir")
+        .join("conferr-stub-apachectl")
+}
+
+fn main() {
+    let threads = std::env::var("CONFERR_THREADS")
+        .ok()
+        .and_then(|t| t.parse().ok())
+        .unwrap_or(2);
+    let stub = stub_path();
+    assert!(
+        stub.is_file(),
+        "stub not found at {} — build with `cargo build -p conferr-proc --bins`",
+        stub.display()
+    );
+
+    let executor = CampaignExecutor::new(threads);
+    let triage = ExecutorCampaign::new(sut_factory(ApacheSim::new)).expect("sim campaign");
+    let confirm = ExecutorCampaign::new(process_factory(apachectl_spec(stub)))
+        .expect("process campaign — the stub must accept the shipped httpd.conf");
+
+    let keyboard = Keyboard::qwerty_us();
+    let mut faults: Vec<GeneratedFault> = StructuralPlugin::new()
+        .generate(triage.baseline())
+        .expect("structural load");
+    faults.extend(
+        TypoPlugin::new(keyboard.clone(), TokenClass::DirectiveNames)
+            .generate(triage.baseline())
+            .expect("name-typo load"),
+    );
+    faults.extend(
+        TypoPlugin::new(keyboard, TokenClass::DirectiveValues)
+            .generate(triage.baseline())
+            .expect("value-typo load"),
+    );
+    let total = faults.len();
+
+    let report = executor
+        .run_tiered(&triage, &confirm, faults)
+        .expect("tiered run");
+
+    let triage_by_id: BTreeMap<&str, (&StaticVerdict, &str)> = report
+        .triage
+        .outcomes()
+        .iter()
+        .map(|o| (o.id.as_str(), (&o.verdict, o.result.label())))
+        .collect();
+
+    let mut decided_checked = 0usize;
+    for o in report.confirm.outcomes() {
+        assert_eq!(
+            o.tier.label(),
+            "proc",
+            "confirmation row [{}] must come from the process tier",
+            o.id
+        );
+        let (verdict, sim_label) = triage_by_id[o.id.as_str()];
+        if !matches!(verdict, StaticVerdict::Unknown) {
+            // Statically decided and still forwarded ⇒ the simulator
+            // rejected it at startup; the real validator must too.
+            assert_eq!(
+                sim_label, "detected-at-startup",
+                "[{}] decided fault confirmed for another reason",
+                o.id
+            );
+            assert_eq!(
+                o.result.label(),
+                "detected-at-startup",
+                "[{}] tiers disagree on a statically decided fault: sim={} proc={}",
+                o.id,
+                sim_label,
+                o.result.label()
+            );
+            decided_checked += 1;
+        }
+    }
+
+    assert_eq!(
+        supervise::spawned(),
+        supervise::reaped(),
+        "every spawned child must be reaped"
+    );
+    assert!(
+        sandbox::root_is_clean(),
+        "sandboxes must not outlive faults"
+    );
+
+    println!(
+        "tier_smoke: {} faults triaged, {} confirmed on the process tier \
+         (funnel {:.3}), {} statically decided faults agree, {} children spawned+reaped",
+        total,
+        report.selected,
+        report.funnel_ratio(),
+        decided_checked,
+        supervise::spawned()
+    );
+}

@@ -1,0 +1,183 @@
+//! Diffing the simulator's claims against the process tier's
+//! answers.
+//!
+//! [`compare_tiers`] runs one fault load through two campaigns —
+//! typically a simulator and a [`crate::ProcessSut`] over the same
+//! configuration surface — and pairs the outcomes fault by fault.
+//! Agreement is judged on the result label (`detected-at-startup`,
+//! `ignored`, ...), grouped per directive family so a systematic
+//! model gap ("the simulator rejects what the real validator
+//! shrugs at") shows up as one low-agreement row instead of a fog of
+//! individual disagreements.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use conferr::{CampaignError, CampaignExecutor, ExecutorCampaign};
+use conferr_model::GeneratedFault;
+
+/// One paired fault whose tiers answered differently.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TierDisagreement {
+    /// The fault id (identical on both tiers).
+    pub id: String,
+    /// The fault's human description.
+    pub description: String,
+    /// The simulator tier's result label.
+    pub sim: String,
+    /// The process tier's result label.
+    pub process: String,
+}
+
+/// Per-directive-family agreement counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupAgreement {
+    /// The grouping key (the fault id's generator and file segments).
+    pub key: String,
+    /// Faults in the group.
+    pub total: usize,
+    /// Faults whose result labels agree across tiers.
+    pub agree: usize,
+}
+
+/// The full diff of one fault load across two tiers.
+#[derive(Debug)]
+pub struct TierComparison {
+    /// Simulator campaign's system name.
+    pub sim_system: String,
+    /// Process campaign's system name.
+    pub proc_system: String,
+    /// Paired faults compared.
+    pub total: usize,
+    /// Per-group agreement, sorted by key.
+    pub groups: Vec<GroupAgreement>,
+    /// Every disagreeing pair, in fault order.
+    pub disagreements: Vec<TierDisagreement>,
+}
+
+impl TierComparison {
+    /// Overall agreement fraction (1.0 for an empty load).
+    pub fn agreement_rate(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            (self.total - self.disagreements.len()) as f64 / self.total as f64
+        }
+    }
+
+    /// Renders the comparison as a text report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "tier comparison: {} (sim) vs {} (proc) over {} faults — {:.1}% agree",
+            self.sim_system,
+            self.proc_system,
+            self.total,
+            self.agreement_rate() * 100.0
+        );
+        let _ = writeln!(out, "{:<40} {:>6} {:>6}", "group", "agree", "total");
+        for g in &self.groups {
+            let _ = writeln!(out, "{:<40} {:>6} {:>6}", g.key, g.agree, g.total);
+        }
+        if !self.disagreements.is_empty() {
+            let _ = writeln!(out, "disagreements:");
+            for d in &self.disagreements {
+                let _ = writeln!(
+                    out,
+                    "  [{}] {}: sim={} proc={}",
+                    d.id, d.description, d.sim, d.process
+                );
+            }
+        }
+        out
+    }
+}
+
+/// The grouping key of a fault id: its generator and file segments
+/// (`"t1-delete:httpd.conf:/3"` → `"t1-delete:httpd.conf"`), falling
+/// back to the whole id when it has no path segment.
+fn group_key(id: &str) -> String {
+    let mut parts = id.splitn(3, ':');
+    match (parts.next(), parts.next()) {
+        (Some(kind), Some(file)) => format!("{kind}:{file}"),
+        _ => id.to_string(),
+    }
+}
+
+/// Runs `faults` through both campaigns on `executor` and diffs the
+/// outcome profiles pairwise.
+///
+/// # Errors
+///
+/// Propagates either campaign's [`CampaignError`].
+pub fn compare_tiers(
+    executor: &CampaignExecutor,
+    sim: &ExecutorCampaign,
+    process: &ExecutorCampaign,
+    faults: Vec<GeneratedFault>,
+) -> Result<TierComparison, CampaignError> {
+    let sim_profile = executor.run_faults(sim, faults.clone())?;
+    let proc_profile = executor.run_faults(process, faults)?;
+    let mut groups: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+    let mut disagreements = Vec::new();
+    let mut total = 0usize;
+    for (s, p) in sim_profile.outcomes().iter().zip(proc_profile.outcomes()) {
+        debug_assert_eq!(s.id, p.id, "profiles pair by fault order");
+        total += 1;
+        let agree = s.result.label() == p.result.label();
+        let entry = groups.entry(group_key(&s.id)).or_insert((0, 0));
+        entry.1 += 1;
+        if agree {
+            entry.0 += 1;
+        } else {
+            disagreements.push(TierDisagreement {
+                id: s.id.clone(),
+                description: s.description.clone(),
+                sim: s.result.label().to_string(),
+                process: p.result.label().to_string(),
+            });
+        }
+    }
+    Ok(TierComparison {
+        sim_system: sim_profile.system().to_string(),
+        proc_system: proc_profile.system().to_string(),
+        total,
+        groups: groups
+            .into_iter()
+            .map(|(key, (agree, total))| GroupAgreement { key, total, agree })
+            .collect(),
+        disagreements,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conferr::sut_factory;
+    use conferr_model::ErrorGenerator;
+    use conferr_plugins::StructuralPlugin;
+    use conferr_sut::MySqlSim;
+
+    #[test]
+    fn identical_campaigns_agree_everywhere() {
+        let executor = CampaignExecutor::new(2);
+        let a = ExecutorCampaign::new(sut_factory(MySqlSim::new)).unwrap();
+        let b = ExecutorCampaign::new(sut_factory(MySqlSim::new)).unwrap();
+        let faults = StructuralPlugin::new().generate(a.baseline()).unwrap();
+        let n = faults.len();
+        let cmp = compare_tiers(&executor, &a, &b, faults).unwrap();
+        assert_eq!(cmp.total, n);
+        assert!(cmp.disagreements.is_empty());
+        assert!((cmp.agreement_rate() - 1.0).abs() < 1e-12);
+        assert_eq!(cmp.groups.iter().map(|g| g.total).sum::<usize>(), cmp.total);
+        let rendered = cmp.render();
+        assert!(rendered.contains("100.0% agree"), "{rendered}");
+    }
+
+    #[test]
+    fn group_key_takes_generator_and_file() {
+        assert_eq!(group_key("t1-delete:httpd.conf:/3"), "t1-delete:httpd.conf");
+        assert_eq!(group_key("plain-id"), "plain-id");
+    }
+}

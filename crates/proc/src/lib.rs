@@ -1,0 +1,59 @@
+//! Process-backed SUT tier for ConfErr campaigns.
+//!
+//! The simulators in `conferr-sut` answer in microseconds but every
+//! answer is a claim about the model. This crate adds the tier that
+//! asks a *real binary*: [`ProcessSut`] implements
+//! [`conferr_sut::SystemUnderTest`] by materializing each mutated
+//! [`conferr_sut::ConfigPayload`] into a per-fault [`SandboxGuard`]
+//! directory, spawning a configured command over it, supervising the
+//! child under a **hard** wall-clock deadline (kill-on-overrun plus
+//! reaping — unlike the engine's cooperative soft
+//! [`conferr_sut::Deadline`]) and classifying exit code plus bounded
+//! stderr into a [`conferr_sut::StartOutcome`] through per-system
+//! [`DiagnosticRule`] tables.
+//!
+//! The chaos contract: a hung, crash-looping, stderr-flooding or
+//! kill-resistant binary costs one fault, never the campaign. Overruns
+//! classify as `TimedOut{phase: "process"}`; signal deaths, undeclared
+//! exit codes and spawn failures panic into the executor's per-fault
+//! isolation, flow through its retry policy and end in quarantine; no
+//! child is orphaned and no sandbox outlives its fault
+//! ([`supervise::spawned`]/[`supervise::reaped`] and
+//! [`sandbox::created`]/[`sandbox::cleaned`] make both assertable).
+//!
+//! [`TieredSutFactory`] adds graceful degradation — process tier
+//! unavailable or past its failure threshold ⇒ the wrapped simulator
+//! serves, outcomes stamped [`conferr_sut::Tier::ProcFallback`] — and
+//! [`compare_tiers`] diffs a simulator campaign against a process
+//! campaign per directive family. Tier *mixing* (simulated triage →
+//! process confirmation of the interesting faults) lives in the core
+//! crate as `CampaignExecutor::run_tiered`; the committed validator
+//! stubs (`conferr-stub-apachectl`, `conferr-stub-checkconf`) re-use
+//! the extracted dialect deciders from `conferr-analysis`, so the
+//! whole tier runs in CI with no system packages.
+//!
+//! # Architecture
+//!
+//! In the workspace DAG
+//! `tree → {keyboard, formats, model} → {plugins, sut} → core → proc → bench`
+//! this crate sits between the campaign layer (whose executor and
+//! exports it plugs into) and the bench drivers that time it. See
+//! `docs/ARCHITECTURE.md` ("Process tier") for the sandbox lifecycle,
+//! the supervision state machine and the tier-mixing data flow.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod compare;
+mod process_sut;
+mod rules;
+pub mod sandbox;
+pub mod supervise;
+mod tiered;
+
+pub use compare::{compare_tiers, GroupAgreement, TierComparison, TierDisagreement};
+pub use process_sut::{apachectl_spec, checkconf_spec, process_factory, ProcessSpec, ProcessSut};
+pub use rules::{classify, stub_rules, Classification, DiagnosticRule};
+pub use sandbox::SandboxGuard;
+pub use supervise::{supervise, WaitResult};
+pub use tiered::{TierHealth, TieredSut, TieredSutFactory};

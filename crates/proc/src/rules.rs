@@ -1,0 +1,141 @@
+//! Per-system diagnostic rules: exit code + stderr → [`StartOutcome`].
+//!
+//! A real validator does not return a typed verdict; it returns an
+//! exit code and some text. Each [`crate::ProcessSpec`] carries an
+//! ordered [`DiagnosticRule`] table translating that observable
+//! surface into the campaign's [`StartOutcome`] vocabulary. The table
+//! is deliberately *closed*: an exit code no rule declares is a
+//! harness failure, not a guess — a misconfigured adapter must be
+//! loud, never silently counted as detection.
+
+use conferr_sut::StartOutcome;
+
+/// What a matched rule classifies the start as.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Classification {
+    /// The system came up cleanly.
+    Started,
+    /// The system came up; its stderr lines are operator-visible
+    /// warnings.
+    StartedWithWarnings,
+    /// The system refused the configuration; its stderr is the
+    /// diagnostic.
+    FailedToStart,
+}
+
+/// One row of a per-system diagnostic table: matches an exit code
+/// (optionally gated on a stderr substring) and classifies it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiagnosticRule {
+    /// The exit code this rule matches.
+    pub exit_code: i32,
+    /// Additional stderr substring gate; `None` matches any stderr.
+    pub stderr_contains: Option<&'static str>,
+    /// How a match is classified.
+    pub classify: Classification,
+}
+
+impl DiagnosticRule {
+    /// Rule matching `exit_code` with any stderr.
+    pub const fn on_exit(exit_code: i32, classify: Classification) -> Self {
+        DiagnosticRule {
+            exit_code,
+            stderr_contains: None,
+            classify,
+        }
+    }
+}
+
+/// The non-empty stderr lines, as operator-visible warnings.
+fn stderr_lines(stderr: &str) -> Vec<String> {
+    stderr
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+/// Classifies an exited child against a rule table: the first rule
+/// whose exit code (and stderr gate) matches wins. Returns `None`
+/// when no rule matches — the caller escalates that to a harness
+/// failure.
+pub fn classify(rules: &[DiagnosticRule], exit_code: i32, stderr: &str) -> Option<StartOutcome> {
+    let rule = rules.iter().find(|r| {
+        r.exit_code == exit_code
+            && r.stderr_contains
+                .is_none_or(|needle| stderr.contains(needle))
+    })?;
+    Some(match rule.classify {
+        Classification::Started => StartOutcome::Started,
+        Classification::StartedWithWarnings => StartOutcome::StartedWithWarnings {
+            warnings: stderr_lines(stderr),
+        },
+        Classification::FailedToStart => {
+            let lines = stderr_lines(stderr);
+            let diagnostic = if lines.is_empty() {
+                format!("exit code {exit_code}")
+            } else {
+                lines.join("; ")
+            };
+            StartOutcome::FailedToStart { diagnostic }
+        }
+    })
+}
+
+/// The rule table shared by the committed validator stubs
+/// (`conferr-stub-apachectl`, `conferr-stub-checkconf`): exit 0 is a
+/// clean start, exit 1 is a rejected configuration with the
+/// diagnostics on stderr. Anything else — including the stubs' own
+/// usage errors on exit 2 — is an undeclared code, i.e. a harness
+/// failure.
+pub fn stub_rules() -> Vec<DiagnosticRule> {
+    vec![
+        DiagnosticRule::on_exit(0, Classification::Started),
+        DiagnosticRule::on_exit(1, Classification::FailedToStart),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_matching_rule_wins_and_unmatched_is_none() {
+        let rules = stub_rules();
+        assert_eq!(classify(&rules, 0, ""), Some(StartOutcome::Started));
+        assert_eq!(
+            classify(&rules, 1, "line1\n\nline2\n"),
+            Some(StartOutcome::FailedToStart {
+                diagnostic: "line1; line2".to_string()
+            })
+        );
+        assert_eq!(
+            classify(&rules, 1, ""),
+            Some(StartOutcome::FailedToStart {
+                diagnostic: "exit code 1".to_string()
+            })
+        );
+        assert_eq!(classify(&rules, 2, "usage"), None);
+        assert_eq!(classify(&rules, 7, ""), None);
+    }
+
+    #[test]
+    fn stderr_gate_and_warning_classification() {
+        let rules = vec![
+            DiagnosticRule {
+                exit_code: 0,
+                stderr_contains: Some("warning"),
+                classify: Classification::StartedWithWarnings,
+            },
+            DiagnosticRule::on_exit(0, Classification::Started),
+        ];
+        assert_eq!(
+            classify(&rules, 0, "warning: deprecated directive\n"),
+            Some(StartOutcome::StartedWithWarnings {
+                warnings: vec!["warning: deprecated directive".to_string()]
+            })
+        );
+        assert_eq!(classify(&rules, 0, ""), Some(StartOutcome::Started));
+    }
+}

@@ -1,0 +1,142 @@
+//! Hard-deadline child supervision: spawn, poll, kill-on-overrun,
+//! reap.
+//!
+//! The campaign engine's [`conferr_sut::Deadline`] is *soft* — it
+//! classifies a phase that already returned. A real binary under
+//! fault injection can simply never return, so the process tier
+//! enforces the deadline itself: [`supervise`] polls the child
+//! against a hard wall-clock budget and, on overrun, kills it
+//! (`SIGKILL` via [`std::process::Child::kill`] — not catchable, so a
+//! `SIGTERM`-ignoring binary is no harder than a polite one) and
+//! reaps the zombie before returning. A hung, crash-looping or
+//! stderr-flooding child costs one fault's budget, never a worker
+//! thread and never an orphan.
+//!
+//! Output handling: the child's stdout/stderr are redirected to files
+//! *inside the fault's sandbox*, not pipes — a flooding child fills
+//! the filesystem buffer instead of dead-locking against a full pipe
+//! nobody drains. After exit, at most `stderr_cap` bytes of stderr
+//! are read back for diagnostics; the sandbox (and thus the flood)
+//! is removed by its [`crate::SandboxGuard`].
+//!
+//! Orphan accounting is global and monotonic ([`spawned`]/[`reaped`]):
+//! every spawn is paired with exactly one reap on every path, which
+//! the chaos tests assert across whole mixed-tier batches.
+
+use std::fs::File;
+use std::io::Read;
+use std::path::Path;
+use std::process::{Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Children ever spawned by this process's supervisors.
+static SPAWNED: AtomicU64 = AtomicU64::new(0);
+/// Children whose exit status was collected (normal exit or
+/// kill-on-overrun).
+static REAPED: AtomicU64 = AtomicU64::new(0);
+
+/// Children spawned since the process started.
+pub fn spawned() -> u64 {
+    SPAWNED.load(Ordering::SeqCst)
+}
+
+/// Children reaped since the process started. Equal to [`spawned`]
+/// whenever no supervisor is mid-flight: no orphans, ever.
+pub fn reaped() -> u64 {
+    REAPED.load(Ordering::SeqCst)
+}
+
+/// How a supervised child finished.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WaitResult {
+    /// The child exited on its own within the budget.
+    Exited {
+        /// `Some(code)` for a normal exit, `None` when the child died
+        /// on a signal — the caller treats signal death as a harness
+        /// failure, not a verdict.
+        code: Option<i32>,
+        /// Up to `stderr_cap` bytes of the child's stderr.
+        stderr: String,
+    },
+    /// The child overran the hard budget and was killed and reaped.
+    KilledOnOverrun {
+        /// Whatever stderr the child produced before the kill,
+        /// bounded by `stderr_cap`.
+        stderr: String,
+    },
+}
+
+/// Reads back at most `cap` bytes of a redirected output file,
+/// lossily decoded.
+fn read_bounded(path: &Path, cap: usize) -> String {
+    let Ok(file) = File::open(path) else {
+        return String::new();
+    };
+    let mut buf = Vec::with_capacity(cap.min(64 * 1024));
+    let _ = file.take(cap as u64).read_to_end(&mut buf);
+    String::from_utf8_lossy(&buf).into_owned()
+}
+
+/// Spawns `cmd` with its output redirected into `sandbox` and waits
+/// for it under a hard wall-clock `budget`. On overrun the child is
+/// killed with an uncatchable signal and reaped before this function
+/// returns.
+///
+/// # Errors
+///
+/// When the child cannot be spawned (missing binary, exec failure) or
+/// its status cannot be collected. Callers surface this as a harness
+/// failure — repeated spawn failures flow through the executor's
+/// retry policy into quarantine.
+pub fn supervise(
+    mut cmd: Command,
+    sandbox: &Path,
+    budget: Duration,
+    stderr_cap: usize,
+) -> Result<WaitResult, String> {
+    let stdout_path = sandbox.join(".conferr-stdout");
+    let stderr_path = sandbox.join(".conferr-stderr");
+    let stdout = File::create(&stdout_path)
+        .map_err(|e| format!("redirect stdout {}: {e}", stdout_path.display()))?;
+    let stderr = File::create(&stderr_path)
+        .map_err(|e| format!("redirect stderr {}: {e}", stderr_path.display()))?;
+    cmd.stdin(Stdio::null()).stdout(stdout).stderr(stderr);
+    let mut child = cmd
+        .spawn()
+        .map_err(|e| format!("spawn {:?}: {e}", cmd.get_program()))?;
+    SPAWNED.fetch_add(1, Ordering::SeqCst);
+
+    let started = Instant::now();
+    loop {
+        match child.try_wait() {
+            Ok(Some(status)) => {
+                REAPED.fetch_add(1, Ordering::SeqCst);
+                return Ok(WaitResult::Exited {
+                    code: status.code(),
+                    stderr: read_bounded(&stderr_path, stderr_cap),
+                });
+            }
+            Ok(None) => {
+                if started.elapsed() >= budget {
+                    // Kill is SIGKILL: not maskable, not negotiable.
+                    // A kill/wait error here means the child exited in
+                    // the race window; `wait` below still reaps it.
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    REAPED.fetch_add(1, Ordering::SeqCst);
+                    return Ok(WaitResult::KilledOnOverrun {
+                        stderr: read_bounded(&stderr_path, stderr_cap),
+                    });
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                REAPED.fetch_add(1, Ordering::SeqCst);
+                return Err(format!("wait {:?}: {e}", cmd.get_program()));
+            }
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Graceful degradation: a process tier that falls back to the
+//! simulator when it cannot serve.
+//!
+//! A campaign should survive its confirmation binary being missing,
+//! broken or flaky. [`TieredSutFactory`] probes the program once at
+//! construction and shares a [`TierHealth`] ledger across every SUT
+//! instance it builds: while the process tier is healthy, faults run
+//! on the real [`ProcessSut`] and are stamped [`Tier::Proc`]; once it
+//! is unavailable — program missing, or the shared failure count
+//! reached the threshold — the wrapped simulator serves instead and
+//! every such outcome is stamped [`Tier::ProcFallback`], visibly
+//! second-hand in the exports.
+//!
+//! Below the threshold a process-tier panic is *re-raised*, so the
+//! executor's per-fault isolation still records the harness failure
+//! and its retry policy still quarantines the fault — degradation
+//! changes who answers, never whether a failure is accounted.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+
+use conferr::SutFactory;
+use conferr_analysis::DirectiveSchema;
+use conferr_sut::{
+    CacheStats, ConfigFileSpec, ConfigPayload, Deadline, StartOutcome, SystemUnderTest,
+    TestOutcome, Tier,
+};
+
+use crate::process_sut::{ProcessSpec, ProcessSut};
+
+/// Shared health ledger of one process tier: availability (probed at
+/// factory construction) and a monotonic failure count compared
+/// against a degradation threshold.
+#[derive(Debug)]
+pub struct TierHealth {
+    available: AtomicBool,
+    failures: AtomicU32,
+    threshold: u32,
+}
+
+impl TierHealth {
+    /// A ledger that degrades after `threshold` failures (or
+    /// immediately when `available` is false).
+    pub fn new(available: bool, threshold: u32) -> Self {
+        TierHealth {
+            available: AtomicBool::new(available),
+            failures: AtomicU32::new(0),
+            threshold,
+        }
+    }
+
+    /// `true` once the process tier should no longer be asked:
+    /// unavailable from the start, or at/over the failure threshold.
+    pub fn degraded(&self) -> bool {
+        !self.available.load(Ordering::SeqCst)
+            || self.failures.load(Ordering::SeqCst) >= self.threshold
+    }
+
+    /// Records one process-tier failure (panic or hard timeout) and
+    /// returns the new count.
+    pub fn record_failure(&self) -> u32 {
+        self.failures.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// Failures recorded so far.
+    pub fn failures(&self) -> u32 {
+        self.failures.load(Ordering::SeqCst)
+    }
+
+    /// Whether the program probe succeeded at construction.
+    pub fn available(&self) -> bool {
+        self.available.load(Ordering::SeqCst)
+    }
+}
+
+/// A [`SystemUnderTest`] that serves each fault from the process tier
+/// while healthy and from the wrapped simulator once degraded,
+/// reporting the serving tier through [`SystemUnderTest::tier`].
+#[derive(Debug)]
+pub struct TieredSut {
+    proc_sut: ProcessSut,
+    sim: Box<dyn SystemUnderTest + Send>,
+    health: Arc<TierHealth>,
+    last_tier: Tier,
+}
+
+impl TieredSut {
+    /// Wraps one process adapter and one simulator instance around a
+    /// shared health ledger.
+    pub fn new(
+        proc_sut: ProcessSut,
+        sim: Box<dyn SystemUnderTest + Send>,
+        health: Arc<TierHealth>,
+    ) -> Self {
+        let last_tier = if health.degraded() {
+            Tier::ProcFallback
+        } else {
+            Tier::Proc
+        };
+        TieredSut {
+            proc_sut,
+            sim,
+            health,
+            last_tier,
+        }
+    }
+}
+
+impl SystemUnderTest for TieredSut {
+    fn name(&self) -> &str {
+        self.proc_sut.name()
+    }
+
+    fn config_files(&self) -> Vec<ConfigFileSpec> {
+        self.proc_sut.config_files()
+    }
+
+    fn start(&mut self, configs: &ConfigPayload, deadline: &Deadline) -> StartOutcome {
+        if self.health.degraded() {
+            self.last_tier = Tier::ProcFallback;
+            return self.sim.start(configs, deadline);
+        }
+        self.last_tier = Tier::Proc;
+        let attempt = catch_unwind(AssertUnwindSafe(|| self.proc_sut.start(configs, deadline)));
+        match attempt {
+            Ok(outcome) => {
+                if matches!(outcome, StartOutcome::TimedOut { .. }) {
+                    // A hard kill is a health signal but still a
+                    // truthful process-tier answer for this fault.
+                    self.health.record_failure();
+                }
+                outcome
+            }
+            Err(payload) => {
+                self.health.record_failure();
+                if self.health.degraded() {
+                    // The failure that crossed the threshold is the
+                    // first fault the simulator serves.
+                    self.last_tier = Tier::ProcFallback;
+                    self.sim.start(configs, deadline)
+                } else {
+                    // Keep the executor's accounting honest: the
+                    // harness failure is recorded, retried and
+                    // quarantined exactly as without the wrapper.
+                    resume_unwind(payload)
+                }
+            }
+        }
+    }
+
+    fn test_names(&self) -> Vec<String> {
+        if self.last_tier == Tier::Proc {
+            self.proc_sut.test_names()
+        } else {
+            self.sim.test_names()
+        }
+    }
+
+    fn run_test(&mut self, test: &str, deadline: &Deadline) -> TestOutcome {
+        // Only reachable on the fallback tier: the process tier
+        // declares no functional tests.
+        self.sim.run_test(test, deadline)
+    }
+
+    fn stop(&mut self) {
+        self.proc_sut.stop();
+        self.sim.stop();
+    }
+
+    fn set_parse_caching(&mut self, enabled: bool) {
+        self.sim.set_parse_caching(enabled);
+    }
+
+    fn parse_cache_stats(&self) -> Option<CacheStats> {
+        // Mixed-tier stats would conflate a real cache with spawns;
+        // report none rather than a misleading number.
+        None
+    }
+
+    fn schema(&self) -> Option<&'static DirectiveSchema> {
+        self.proc_sut.schema()
+    }
+
+    fn tier(&self) -> Tier {
+        self.last_tier
+    }
+}
+
+/// Builds [`TieredSut`]s from one spec, one simulator factory and one
+/// shared [`TierHealth`] — the graceful-degradation entry point.
+#[derive(Debug)]
+pub struct TieredSutFactory {
+    spec: ProcessSpec,
+    sim: SutFactory,
+    health: Arc<TierHealth>,
+}
+
+impl TieredSutFactory {
+    /// Probes `spec.program` (an existing file ⇒ available) and sets
+    /// up a shared ledger that degrades after `failure_threshold`
+    /// process-tier failures.
+    pub fn new(spec: ProcessSpec, sim: SutFactory, failure_threshold: u32) -> Self {
+        let available = spec.program.is_file();
+        TieredSutFactory {
+            spec,
+            sim,
+            health: Arc::new(TierHealth::new(available, failure_threshold)),
+        }
+    }
+
+    /// The shared health ledger (e.g. for asserting degradation in
+    /// tests or reporting it in drivers).
+    pub fn health(&self) -> Arc<TierHealth> {
+        Arc::clone(&self.health)
+    }
+
+    /// Converts into a [`SutFactory`] usable anywhere a simulator
+    /// factory is — every instance it creates shares this factory's
+    /// ledger.
+    pub fn into_factory(self) -> SutFactory {
+        let TieredSutFactory { spec, sim, health } = self;
+        SutFactory::from_boxed(move || {
+            Box::new(TieredSut::new(
+                ProcessSut::new(spec.clone()),
+                sim.create(),
+                Arc::clone(&health),
+            ))
+        })
+    }
+}

@@ -1,0 +1,425 @@
+//! End-to-end tests of the process tier: stub validators, sandbox
+//! RAII under panics, campaigns over real spawned children, the
+//! misbehaving-binary chaos matrix, the mixed-tier chaos gate and
+//! graceful degradation.
+//!
+//! Every test that spawns children takes the file-local [`lock`]:
+//! the orphan ledger (`supervise::spawned`/`reaped`) and the sandbox
+//! root are process-global, so spawn/reap-delta and root-cleanliness
+//! assertions are only meaningful while no other supervision is in
+//! flight.
+
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+use conferr::{profile_to_json, sut_factory, CampaignBatch, CampaignExecutor, ExecutorCampaign};
+use conferr_keyboard::Keyboard;
+use conferr_model::ErrorGenerator;
+use conferr_plugins::{StructuralPlugin, TokenClass, TypoPlugin};
+use conferr_proc::{
+    apachectl_spec, process_factory, sandbox, stub_rules, supervise, ProcessSpec, ProcessSut,
+    TieredSutFactory,
+};
+use conferr_sut::{
+    default_payload, ApacheSim, ConfigFileSpec, ConfigPayload, Deadline, FileText, StartOutcome,
+    SystemUnderTest, Tier,
+};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+/// Serializes the spawning tests; a panicking test must not wedge the
+/// rest of the suite.
+fn lock() -> MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn apachectl() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_conferr-stub-apachectl"))
+}
+
+fn misbehaving() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_conferr-misbehaving-stub"))
+}
+
+/// A process spec around the misbehaving stub: behaves on any
+/// configuration still containing the `conferr-ok` marker (so the
+/// campaign's baseline scout passes), misbehaves per `mode` once a
+/// fault mutates the marker away. The *offending* faults are exactly
+/// the ones whose edit touches the `marker` directive.
+fn misbehaving_spec(mode: &str, budget: Duration) -> ProcessSpec {
+    ProcessSpec {
+        system: "chaos-proc".to_string(),
+        files: vec![ConfigFileSpec {
+            name: "app.conf".to_string(),
+            format: "kv".to_string(),
+            default_contents: "marker = conferr-ok\nport = 5432\ntimeout = 30\n".to_string(),
+        }],
+        program: misbehaving(),
+        args: vec!["{file:app.conf}".to_string()],
+        env: vec![
+            ("CONFERR_STUB_MODE".to_string(), mode.to_string()),
+            (
+                "CONFERR_STUB_OK_TOKEN".to_string(),
+                "conferr-ok".to_string(),
+            ),
+        ],
+        rules: stub_rules(),
+        start_budget: budget,
+        stderr_cap: 4096,
+        schema: None,
+    }
+}
+
+/// `true` for faults whose edit removes the behave-marker — the
+/// offending faults of a misbehaving campaign. Duplicating or moving
+/// the marker line keeps the token in the file (the stub still
+/// behaves); only deleting it takes the token away.
+fn offends(id: &str, description: &str) -> bool {
+    id.starts_with("delete:") && description.contains("marker")
+}
+
+#[test]
+fn stub_validator_agrees_with_the_dialect_deciders() {
+    let _guard = lock();
+    let mut sut = ProcessSut::new(apachectl_spec(apachectl()));
+    let deadline = Deadline::unlimited();
+
+    let baseline = default_payload(&sut);
+    assert!(matches!(
+        sut.start(&baseline, &deadline),
+        StartOutcome::Started
+    ));
+    assert_eq!(sut.tier(), Tier::Proc);
+
+    let mut broken = ConfigPayload::new();
+    broken.insert(
+        "httpd.conf",
+        FileText::mutated("Listen 80\n<VirtualHost\n".to_string()),
+    );
+    match sut.start(&broken, &deadline) {
+        StartOutcome::FailedToStart { diagnostic } => {
+            assert!(diagnostic.contains("parse error"), "{diagnostic}");
+        }
+        other => panic!("expected rejection, got {other:?}"),
+    }
+    assert!(sandbox::root_is_clean());
+}
+
+#[test]
+fn spawn_failure_panics_and_still_cleans_the_sandbox() {
+    let _guard = lock();
+    let created_before = sandbox::created();
+    let cleaned_before = sandbox::cleaned();
+    let mut spec = apachectl_spec(apachectl());
+    spec.program = PathBuf::from("/nonexistent/conferr-no-such-binary");
+    let mut sut = ProcessSut::new(spec);
+    let payload = default_payload(&sut);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        sut.start(&payload, &Deadline::unlimited())
+    }));
+    assert!(
+        result.is_err(),
+        "spawn failure must panic (harness failure)"
+    );
+    assert_eq!(sandbox::created(), created_before + 1);
+    assert_eq!(sandbox::cleaned(), cleaned_before + 1);
+    assert!(sandbox::root_is_clean());
+}
+
+#[test]
+fn campaign_over_real_processes_stamps_the_proc_tier() {
+    let _guard = lock();
+    let executor = CampaignExecutor::new(2);
+    let campaign = ExecutorCampaign::new(process_factory(apachectl_spec(apachectl())))
+        .expect("process campaign");
+    let faults = StructuralPlugin::new()
+        .generate(campaign.baseline())
+        .expect("fault load");
+    let n = faults.len();
+    assert!(n > 0);
+    let profile = executor.run_faults(&campaign, faults).expect("run");
+    assert_eq!(profile.len(), n);
+    for o in profile.outcomes() {
+        assert_eq!(o.tier.label(), "proc", "[{}]", o.id);
+    }
+    let s = profile.summary();
+    assert_eq!(s.harness_failures, 0);
+    assert_eq!(s.timed_out, 0);
+    assert_eq!(supervise::spawned(), supervise::reaped());
+    assert!(sandbox::root_is_clean());
+}
+
+#[test]
+fn misbehaving_modes_cost_one_fault_never_the_pool() {
+    let _guard = lock();
+    // (mode, expected classification of the offending faults)
+    let matrix = [
+        ("hang", "timed-out"),
+        ("sigterm", "timed-out"),
+        ("flood", "timed-out"),
+        ("crash", "harness-failure"),
+        ("badcode", "harness-failure"),
+    ];
+    for threads in [1, 2, 4] {
+        let executor = CampaignExecutor::new(threads);
+        for (mode, expected) in matrix {
+            let campaign = ExecutorCampaign::new(process_factory(misbehaving_spec(
+                mode,
+                Duration::from_millis(150),
+            )))
+            .unwrap_or_else(|e| panic!("{mode}: scout must behave on the baseline: {e}"));
+            let faults = StructuralPlugin::new()
+                .generate(campaign.baseline())
+                .expect("fault load");
+            let profile = executor.run_faults(&campaign, faults).expect("run");
+            let mut offending = 0usize;
+            for o in profile.outcomes() {
+                if offends(&o.id, &o.description) {
+                    offending += 1;
+                    assert_eq!(
+                        o.result.label(),
+                        expected,
+                        "{mode} x{threads} [{}]: {}",
+                        o.id,
+                        o.description
+                    );
+                } else {
+                    assert!(
+                        !matches!(o.result.label(), "timed-out" | "harness-failure"),
+                        "{mode} x{threads}: innocent fault [{}] classified {}",
+                        o.id,
+                        o.result.label()
+                    );
+                }
+            }
+            assert!(offending > 0, "{mode}: the load must hit the marker");
+            // Single-attempt retryable failures land in quarantine.
+            let quarantined = executor.quarantined();
+            for o in profile
+                .outcomes()
+                .iter()
+                .filter(|o| offends(&o.id, &o.description))
+            {
+                assert!(
+                    quarantined.contains(&o.id),
+                    "{mode} x{threads}: [{}] should be quarantined",
+                    o.id
+                );
+            }
+            executor.clear_quarantine();
+        }
+        // The same pool stays healthy after every chaos mode.
+        let sim = ExecutorCampaign::new(sut_factory(ApacheSim::new)).expect("sim campaign");
+        let faults = StructuralPlugin::new()
+            .generate(sim.baseline())
+            .expect("load");
+        let profile = executor.run_faults(&sim, faults).expect("post-chaos run");
+        assert_eq!(profile.summary().harness_failures, 0);
+    }
+    assert_eq!(supervise::spawned(), supervise::reaped(), "no orphans");
+    assert!(sandbox::root_is_clean(), "no leftover sandboxes");
+}
+
+#[test]
+fn chaos_gate_mixed_tier_batch_stays_byte_identical_for_sims() {
+    let _guard = lock();
+    // Pure simulator-tier reference, on its own executor.
+    let reference = CampaignExecutor::new(2);
+    let mysql_ref = ExecutorCampaign::new(sut_factory(conferr_sut::MySqlSim::new)).unwrap();
+    let pg_ref = ExecutorCampaign::new(sut_factory(conferr_sut::PostgresSim::new)).unwrap();
+    let mysql_faults = StructuralPlugin::new()
+        .generate(mysql_ref.baseline())
+        .unwrap();
+    let pg_faults = StructuralPlugin::new().generate(pg_ref.baseline()).unwrap();
+    let mysql_expected = profile_to_json(
+        &reference
+            .run_faults(&mysql_ref, mysql_faults.clone())
+            .unwrap(),
+    );
+    let pg_expected = profile_to_json(&reference.run_faults(&pg_ref, pg_faults.clone()).unwrap());
+
+    for mode in ["hang", "crash", "badcode", "flood", "sigterm"] {
+        let executor = CampaignExecutor::new(2);
+        let mysql = ExecutorCampaign::new(sut_factory(conferr_sut::MySqlSim::new)).unwrap();
+        let pg = ExecutorCampaign::new(sut_factory(conferr_sut::PostgresSim::new)).unwrap();
+        let chaos = ExecutorCampaign::new(process_factory(misbehaving_spec(
+            mode,
+            Duration::from_millis(150),
+        )))
+        .expect("chaos campaign");
+        let chaos_faults = StructuralPlugin::new().generate(chaos.baseline()).unwrap();
+
+        let mut batch = CampaignBatch::new();
+        batch.push(&mysql, mysql_faults.clone());
+        batch.push(&pg, pg_faults.clone());
+        batch.push(&chaos, chaos_faults);
+        let profiles = executor.run_batch(batch).expect("mixed-tier batch");
+        assert_eq!(profiles.len(), 3);
+
+        // Non-chaos profiles: byte-identical to the pure simulator
+        // reference, misbehaving binary or not.
+        assert_eq!(profile_to_json(&profiles[0]), mysql_expected, "mode {mode}");
+        assert_eq!(profile_to_json(&profiles[1]), pg_expected, "mode {mode}");
+
+        // The chaos profile: only offending faults pay, and they pay
+        // as timeouts or harness failures (all quarantined).
+        let quarantined = executor.quarantined();
+        for o in profiles[2].outcomes() {
+            if offends(&o.id, &o.description) {
+                assert!(
+                    matches!(o.result.label(), "timed-out" | "harness-failure"),
+                    "mode {mode}: offending [{}] classified {}",
+                    o.id,
+                    o.result.label()
+                );
+                assert!(quarantined.contains(&o.id), "mode {mode}: [{}]", o.id);
+            } else {
+                assert!(
+                    !matches!(o.result.label(), "timed-out" | "harness-failure"),
+                    "mode {mode}: innocent [{}] classified {}",
+                    o.id,
+                    o.result.label()
+                );
+            }
+        }
+    }
+
+    assert_eq!(
+        supervise::spawned(),
+        supervise::reaped(),
+        "no orphaned child processes"
+    );
+    assert!(sandbox::root_is_clean(), "no leftover sandbox dirs");
+}
+
+#[test]
+fn tiered_factory_falls_back_when_the_program_is_missing() {
+    let _guard = lock();
+    let mut spec = apachectl_spec(apachectl());
+    spec.program = PathBuf::from("/nonexistent/conferr-no-such-binary");
+    let tiered = TieredSutFactory::new(spec, sut_factory(ApacheSim::new), 3);
+    let health = tiered.health();
+    assert!(!health.available());
+    assert!(health.degraded());
+
+    let executor = CampaignExecutor::new(2);
+    let campaign = ExecutorCampaign::new(tiered.into_factory()).expect("degraded campaign");
+    let faults = StructuralPlugin::new()
+        .generate(campaign.baseline())
+        .unwrap();
+
+    let sim = ExecutorCampaign::new(sut_factory(ApacheSim::new)).unwrap();
+    let sim_profile = executor.run_faults(&sim, faults.clone()).unwrap();
+    let profile = executor.run_faults(&campaign, faults).unwrap();
+
+    assert_eq!(profile.len(), sim_profile.len());
+    for (o, s) in profile.outcomes().iter().zip(sim_profile.outcomes()) {
+        assert_eq!(o.tier.label(), "proc-fallback", "[{}]", o.id);
+        // Same results as the pure simulator — only the tier differs.
+        assert_eq!(o.result.label(), s.result.label(), "[{}]", o.id);
+    }
+    // Nothing was ever spawned for the degraded tier.
+    assert!(sandbox::root_is_clean());
+}
+
+#[test]
+fn tiered_factory_degrades_after_repeated_process_failures() {
+    let _guard = lock();
+    // The misbehaving stub behaves while "Listen" survives in the
+    // config; faults that delete or rename it crash the child.
+    let spec = ProcessSpec {
+        env: vec![
+            ("CONFERR_STUB_MODE".to_string(), "crash".to_string()),
+            ("CONFERR_STUB_OK_TOKEN".to_string(), "Listen".to_string()),
+        ],
+        ..apachectl_spec(misbehaving())
+    };
+    let tiered = TieredSutFactory::new(spec, sut_factory(ApacheSim::new), 2);
+    let health = tiered.health();
+    assert!(health.available());
+
+    let executor = CampaignExecutor::new(1);
+    let campaign = ExecutorCampaign::new(tiered.into_factory()).expect("tiered campaign");
+    // Deleting `Listen` removes the token once; name typos on it give
+    // the further crashes that push the health past the threshold.
+    let mut faults = StructuralPlugin::new()
+        .generate(campaign.baseline())
+        .unwrap();
+    faults.extend(
+        TypoPlugin::new(Keyboard::qwerty_us(), TokenClass::DirectiveNames)
+            .generate(campaign.baseline())
+            .unwrap(),
+    );
+    let profile = executor.run_faults(&campaign, faults).expect("run");
+
+    assert!(health.failures() >= 2, "crashes must be recorded");
+    assert!(health.degraded());
+    let harness_failures = profile
+        .outcomes()
+        .iter()
+        .filter(|o| o.result.label() == "harness-failure")
+        .count();
+    let fallback_rows = profile
+        .outcomes()
+        .iter()
+        .filter(|o| o.tier.label() == "proc-fallback")
+        .count();
+    // Below the threshold the panic is re-raised (recorded, retried,
+    // quarantined); at and past it the simulator serves.
+    assert_eq!(
+        harness_failures, 1,
+        "exactly threshold - 1 harness failures"
+    );
+    assert!(fallback_rows > 0, "the simulator must take over");
+    assert_eq!(supervise::spawned(), supervise::reaped());
+    assert!(sandbox::root_is_clean());
+}
+
+#[test]
+fn flooding_diagnostics_are_bounded_by_the_stderr_cap() {
+    let _guard = lock();
+    // No OK token: the stub floods ~1 MiB and exits 1 on every start.
+    let mut spec = misbehaving_spec("flood-exit", Duration::from_secs(5));
+    spec.env.retain(|(k, _)| k != "CONFERR_STUB_OK_TOKEN");
+    let mut sut = ProcessSut::new(spec);
+    let payload = default_payload(&sut);
+    match sut.start(&payload, &Deadline::unlimited()) {
+        StartOutcome::FailedToStart { diagnostic } => {
+            assert!(
+                diagnostic.len() <= 4096 + 64,
+                "diagnostic must be capped, got {} bytes",
+                diagnostic.len()
+            );
+            assert!(diagnostic.contains("stderr flood"), "capped head retained");
+        }
+        other => panic!("expected bounded rejection, got {other:?}"),
+    }
+    assert!(sandbox::root_is_clean());
+}
+
+#[test]
+fn hard_deadline_binds_through_the_soft_deadline() {
+    let _guard = lock();
+    let mut spec = misbehaving_spec("hang", Duration::from_secs(30));
+    spec.env.retain(|(k, _)| k != "CONFERR_STUB_OK_TOKEN");
+    let mut sut = ProcessSut::new(spec);
+    let payload = default_payload(&sut);
+    // The campaign's soft deadline is tighter than the adapter's cap:
+    // the supervisor must take the binding constraint.
+    let soft = Deadline::after(Duration::from_millis(120));
+    let started = std::time::Instant::now();
+    match sut.start(&payload, &soft) {
+        StartOutcome::TimedOut { phase, budget_ms } => {
+            assert_eq!(phase, "process");
+            assert!(budget_ms <= 120, "hard budget {budget_ms} ms");
+        }
+        other => panic!("expected kill-on-overrun, got {other:?}"),
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "the 30 s cap must not bind"
+    );
+    assert_eq!(supervise::spawned(), supervise::reaped());
+    assert!(sandbox::root_is_clean());
+}

@@ -251,6 +251,10 @@ impl<S: SystemUnderTest> SystemUnderTest for ChaosSut<S> {
         self.inner.parse_cache_stats()
     }
 
+    fn tier(&self) -> crate::Tier {
+        self.inner.tier()
+    }
+
     fn schema(&self) -> Option<&'static DirectiveSchema> {
         self.inner.schema()
     }

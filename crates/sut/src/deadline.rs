@@ -76,6 +76,16 @@ impl Deadline {
         self.budget
     }
 
+    /// The **hard** wall-clock wait bound for adapters that supervise
+    /// an external process: the lesser of the adapter's own cap and
+    /// whatever remains of this soft deadline. A supervisor that
+    /// kills its child when this bound elapses turns the engine's
+    /// cooperative deadline into an enforced one — a hung binary
+    /// costs one fault's budget, never a worker.
+    pub fn hard_budget(&self, cap: Duration) -> Duration {
+        self.remaining().map_or(cap, |left| left.min(cap))
+    }
+
     /// The budget in whole milliseconds (0 for unlimited) — the value
     /// recorded in `TimedOut` outcomes, deliberately independent of
     /// how long the overrun actually took so profiles stay
@@ -121,5 +131,18 @@ mod tests {
     #[test]
     fn default_is_unlimited() {
         assert!(Deadline::default().is_unlimited());
+    }
+
+    #[test]
+    fn hard_budget_takes_the_binding_constraint() {
+        // Unlimited soft deadline: the adapter's cap binds.
+        let cap = Duration::from_millis(500);
+        assert_eq!(Deadline::unlimited().hard_budget(cap), cap);
+        // Tight soft deadline: the remaining soft budget binds.
+        let d = Deadline::after(Duration::from_millis(10));
+        assert!(d.hard_budget(cap) <= Duration::from_millis(10));
+        // Expired soft deadline: the bound collapses to zero.
+        std::thread::sleep(Duration::from_millis(15));
+        assert_eq!(d.hard_budget(cap), Duration::ZERO);
     }
 }

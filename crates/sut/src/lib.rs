@@ -92,6 +92,45 @@ pub struct ConfigFileSpec {
     pub default_contents: String,
 }
 
+/// Which execution tier produced an outcome: the in-process
+/// simulators, a process-backed adapter, or the simulator standing in
+/// for an unavailable process tier.
+///
+/// The campaign engine records the tier of the SUT that served each
+/// fault on its [`conferr::InjectionOutcome`] row (exported in the
+/// `tier` CSV/JSON column), so mixed-tier batches stay auditable:
+/// every verdict says whether it came from the model or from a real
+/// process.
+///
+/// [`conferr::InjectionOutcome`]: https://docs.rs/conferr
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Tier {
+    /// An in-process simulator answered.
+    Sim,
+    /// An external process (spawned in a sandbox) answered.
+    Proc,
+    /// The process tier was unavailable or degraded, so the simulator
+    /// answered in its place.
+    ProcFallback,
+}
+
+impl Tier {
+    /// Short label used in exports: `sim`, `proc` or `proc-fallback`.
+    pub fn label(self) -> &'static str {
+        match self {
+            Tier::Sim => "sim",
+            Tier::Proc => "proc",
+            Tier::ProcFallback => "proc-fallback",
+        }
+    }
+}
+
+impl fmt::Display for Tier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Result of starting the system with a set of configuration files.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum StartOutcome {
@@ -109,12 +148,28 @@ pub enum StartOutcome {
         /// The diagnostic the system printed.
         diagnostic: String,
     },
+    /// The start phase overran its **hard** wall-clock budget and the
+    /// adapter killed the system. In-process simulators never report
+    /// this (the engine's soft [`Deadline`] check covers them);
+    /// process-backed adapters do, because a hung child is reaped by
+    /// the supervisor before the soft deadline machinery ever sees the
+    /// overrun. The engine classifies it as
+    /// `InjectionResult::TimedOut` with the adapter's phase name.
+    TimedOut {
+        /// Which phase overran (process adapters report `"process"`).
+        phase: String,
+        /// The hard budget that was enforced, in milliseconds.
+        budget_ms: u64,
+    },
 }
 
 impl StartOutcome {
     /// `true` iff the system is running (with or without warnings).
     pub fn is_running(&self) -> bool {
-        !matches!(self, StartOutcome::FailedToStart { .. })
+        matches!(
+            self,
+            StartOutcome::Started | StartOutcome::StartedWithWarnings { .. }
+        )
     }
 }
 
@@ -127,6 +182,9 @@ impl fmt::Display for StartOutcome {
             }
             StartOutcome::FailedToStart { diagnostic } => {
                 write!(f, "failed to start: {diagnostic}")
+            }
+            StartOutcome::TimedOut { phase, budget_ms } => {
+                write!(f, "killed after {budget_ms} ms in phase {phase}")
             }
         }
     }
@@ -232,6 +290,15 @@ pub trait SystemUnderTest: fmt::Debug {
     fn schema(&self) -> Option<&'static DirectiveSchema> {
         None
     }
+
+    /// Which [`Tier`] served the most recent `start` (or will serve
+    /// the next one, before any start has run). The campaign engine
+    /// stamps this on every outcome row. Default: [`Tier::Sim`] — the
+    /// in-process simulators are the base tier; process-backed
+    /// adapters and tier-mixing wrappers override it.
+    fn tier(&self) -> Tier {
+        Tier::Sim
+    }
 }
 
 /// Builds the default configuration text map for a system — the
@@ -279,5 +346,26 @@ mod tests {
         }
         .to_string()
         .contains("x"));
+    }
+
+    #[test]
+    fn hard_timeout_outcome_is_not_running() {
+        let t = StartOutcome::TimedOut {
+            phase: "process".into(),
+            budget_ms: 250,
+        };
+        assert!(!t.is_running());
+        assert!(t.to_string().contains("250 ms"));
+        assert!(t.to_string().contains("process"));
+    }
+
+    #[test]
+    fn tier_labels() {
+        assert_eq!(Tier::Sim.label(), "sim");
+        assert_eq!(Tier::Proc.label(), "proc");
+        assert_eq!(Tier::ProcFallback.to_string(), "proc-fallback");
+        // Simulators sit on the base tier by default.
+        let sut = MySqlSim::new();
+        assert_eq!(sut.tier(), Tier::Sim);
     }
 }
