@@ -50,5 +50,7 @@ pub use schema::{
     schema_for, Dialect, DirectiveSchema, FileSchema, ReadScope, TestImpact, APACHE_SCHEMA,
     APPSERVER_SCHEMA, BIND_SCHEMA, DJBDNS_SCHEMA, MYSQL_SCHEMA, POSTGRES_SCHEMA,
 };
-pub use touch::{scope_intersects, test_is_impacted, whole_config_touch, FileTouch, TouchMap};
+pub use touch::{
+    scope_intersects, test_is_impacted, whole_config_touch, FileTouch, PrunePlan, TouchMap,
+};
 pub use verdict::{StaticVerdict, ValidationClass, Violation};

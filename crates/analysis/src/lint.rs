@@ -35,6 +35,12 @@ pub struct Lint {
     /// Files/directives the fault can affect (shared: many callers
     /// hold the same lint).
     pub touch: Arc<TouchMap>,
+    /// For the two `WillFail*` verdicts: the *exact* startup
+    /// diagnostic the simulator would emit, captured from the shared
+    /// deciders so a static-triage campaign can synthesize the
+    /// `DetectedAtStartup` outcome without paying for the start.
+    /// `None` whenever the verdict makes no start-failure claim.
+    pub diagnostic: Option<Arc<str>>,
 }
 
 impl Lint {
@@ -44,6 +50,7 @@ impl Lint {
         Lint {
             verdict: StaticVerdict::Unknown,
             touch: Arc::new(crate::touch::whole_config_touch(schema)),
+            diagnostic: None,
         }
     }
 
@@ -53,6 +60,7 @@ impl Lint {
         Lint {
             verdict: StaticVerdict::SemanticallySilent,
             touch: Arc::clone(&EMPTY_TOUCH),
+            diagnostic: None,
         }
     }
 }
@@ -148,6 +156,7 @@ impl FaultLinter {
             return Lint {
                 verdict: StaticVerdict::Unknown,
                 touch: Arc::new(touch),
+                diagnostic: None,
             };
         }
 
@@ -167,6 +176,7 @@ impl FaultLinter {
             return Lint {
                 verdict: StaticVerdict::Unknown,
                 touch: Arc::new(touch),
+                diagnostic: None,
             };
         };
 
@@ -176,12 +186,14 @@ impl FaultLinter {
             return Lint {
                 verdict: StaticVerdict::Unknown,
                 touch: Arc::new(refined),
+                diagnostic: None,
             };
         };
         let Some(tree) = edited.get(file) else {
             return Lint {
                 verdict: StaticVerdict::Unknown,
                 touch: Arc::new(refined),
+                diagnostic: None,
             };
         };
 
@@ -194,26 +206,42 @@ impl FaultLinter {
             return Lint {
                 verdict: StaticVerdict::Unknown,
                 touch: Arc::new(refined),
+                diagnostic: None,
             };
         };
-        let Ok(reparsed) = format.parse(&text) else {
-            return Lint {
-                verdict: StaticVerdict::WillFailParse,
-                touch: Arc::new(whole_file_touch(file)),
-            };
+        let reparsed = match format.parse(&text) {
+            Ok(tree) => tree,
+            Err(e) => {
+                // The simulator will hit the same parser on the same
+                // bytes; its wrapper comes from the shared dialect
+                // formatter, so this diagnostic is the dynamic one.
+                let diagnostic = fs.dialect.parse_failure_diagnostic(&e.to_string());
+                return Lint {
+                    verdict: StaticVerdict::WillFailParse,
+                    touch: Arc::new(whole_file_touch(file)),
+                    diagnostic: Some(diagnostic.into()),
+                };
+            }
         };
 
         if !fs.dialect.is_fully_modeled() {
             return Lint {
                 verdict: StaticVerdict::Unknown,
                 touch: Arc::new(refined),
+                diagnostic: None,
             };
         }
         match dialect_check(fs.dialect, reparsed.root()) {
-            Err(violation) => Lint {
-                verdict: violation.into_verdict(),
-                touch: Arc::new(whole_file_touch(file)),
-            },
+            Err(violation) => {
+                // The shared decider's message *is* the simulator's
+                // startup diagnostic, verbatim.
+                let diagnostic = Some(Arc::from(violation.message.as_str()));
+                Lint {
+                    verdict: violation.into_verdict(),
+                    touch: Arc::new(whole_file_touch(file)),
+                    diagnostic,
+                }
+            }
             Ok(fp) => {
                 let silent = self
                     .baseline_fps
@@ -227,6 +255,7 @@ impl FaultLinter {
                         StaticVerdict::Unknown
                     },
                     touch: Arc::new(refined),
+                    diagnostic: None,
                 }
             }
         }
@@ -505,6 +534,32 @@ mod tests {
         let lint = l.lint(&[e.clone(), e]);
         assert_eq!(lint.verdict, StaticVerdict::Unknown);
         assert_eq!(lint.touch.get("my.cnf"), Some(&FileTouch::WholeFile));
+    }
+
+    #[test]
+    fn will_fail_verdicts_capture_the_startup_diagnostic() {
+        let l = linter();
+        let lint = l.lint(&[TreeEdit::SetAttr {
+            file: "my.cnf".into(),
+            path: TreePath::root().child(0).child(0),
+            key: "name".into(),
+            value: "prot".into(),
+        }]);
+        let diag = lint
+            .diagnostic
+            .expect("validate failures carry the simulator diagnostic");
+        assert!(
+            diag.contains("prot"),
+            "diagnostic names the directive: {diag}"
+        );
+        // Verdicts that make no start-failure claim carry none.
+        assert!(l.lint(&[]).diagnostic.is_none());
+        let silent = l.lint(&[TreeEdit::SetText {
+            file: "my.cnf".into(),
+            path: TreePath::root().child(0).child(2),
+            text: Some("# other notes".into()),
+        }]);
+        assert!(silent.diagnostic.is_none());
     }
 
     #[test]

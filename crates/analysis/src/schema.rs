@@ -38,6 +38,24 @@ impl Dialect {
             Dialect::MySqlIni | Dialect::PostgresKv | Dialect::ApacheHttpd
         )
     }
+
+    /// The exact startup diagnostic a simulator of this dialect emits
+    /// when its configuration file fails to parse, given the format
+    /// parser's error text. The simulators and the static linter both
+    /// build parse-failure diagnostics through this one function, so
+    /// the strings cannot drift — which is what lets a static-triage
+    /// campaign synthesize `DetectedAtStartup` outcomes byte-identical
+    /// to a real start.
+    pub fn parse_failure_diagnostic(self, error: &str) -> String {
+        match self {
+            Dialect::MySqlIni => format!("error while reading my.cnf: {error}"),
+            Dialect::PostgresKv => format!("syntax error in postgresql.conf: {error}"),
+            Dialect::ApacheHttpd => format!("Syntax error in httpd.conf: {error}"),
+            Dialect::TinyDns => format!("tinydns-data: fatal: {error}"),
+            Dialect::BindZone => format!("dns_master_load: {error}"),
+            Dialect::AppServerXml => format!("server.xml is not well-formed: {error}"),
+        }
+    }
 }
 
 /// One configuration file a SUT consumes.

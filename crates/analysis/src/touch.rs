@@ -70,6 +70,116 @@ pub fn test_is_impacted(test: &TestImpact, touch: &TouchMap) -> bool {
         .any(|(file, scope)| touch.get(*file).is_some_and(|t| scope_intersects(scope, t)))
 }
 
+/// A pre-computed pruning plan: which functional tests impact pruning
+/// can ever skip, with their read scopes pre-widened so the per-fault
+/// disjointness check is as cheap as possible.
+///
+/// Widening a read scope only makes pruning *more* conservative — it
+/// skips fewer tests, never more — so both simplifications below are
+/// free of soundness obligations:
+///
+/// * A directive scope covering (nearly) the whole file — at least
+///   half of the distinct canonical directive names appearing in the
+///   file's baseline — is widened to [`ReadScope::WholeFile`]: the
+///   directive-set intersection on such a scope almost always answers
+///   "impacted", so checking it costs more than the rare prune it
+///   enables.
+/// * A test whose (widened) scopes read every schema file whole can
+///   never be pruned — a fault's touch map always names at least the
+///   file it edits — so it is dropped from the plan entirely and the
+///   campaign runs it with no per-fault check at all. On single-file
+///   systems this removes whole-file readers (djbdns's two probes,
+///   the mysqldump re-read, the app-server deploy walk) from the
+///   pruning hot path, which is what guarantees pruning can never
+///   cost more than it saves.
+#[derive(Debug)]
+pub struct PrunePlan {
+    tests: Vec<(&'static str, Vec<(&'static str, ReadScope)>)>,
+}
+
+impl PrunePlan {
+    /// Builds the plan for `schema` against the parsed baseline.
+    pub fn new(schema: &'static DirectiveSchema, baseline: &ConfigSet) -> PrunePlan {
+        let mut tests = Vec::new();
+        for test in schema.tests {
+            let scopes: Vec<(&'static str, ReadScope)> = test
+                .reads
+                .iter()
+                .map(|(file, scope)| {
+                    let widened = match scope {
+                        ReadScope::Directives(reads)
+                            if covers_most(baseline, schema, file, reads) =>
+                        {
+                            ReadScope::WholeFile
+                        }
+                        other => *other,
+                    };
+                    (*file, widened)
+                })
+                .collect();
+            let never_prunable = schema.files.iter().all(|fs| {
+                scopes
+                    .iter()
+                    .any(|(file, scope)| *file == fs.file && matches!(scope, ReadScope::WholeFile))
+            });
+            if !never_prunable {
+                tests.push((test.test, scopes));
+            }
+        }
+        PrunePlan { tests }
+    }
+
+    /// True when no test can ever be pruned — callers should skip the
+    /// per-fault machinery entirely.
+    pub fn is_empty(&self) -> bool {
+        self.tests.is_empty()
+    }
+
+    /// The pre-widened read scopes to check for `test`, or `None` when
+    /// pruning can never skip it (the caller should just run it).
+    pub fn scopes(&self, test: &str) -> Option<&[(&'static str, ReadScope)]> {
+        self.tests
+            .iter()
+            .find(|(name, _)| *name == test)
+            .map(|(_, scopes)| scopes.as_slice())
+    }
+
+    /// Whether a fault with touch map `touch` can change the outcome
+    /// of a test with the given pre-widened scopes — the plan-side
+    /// analogue of [`test_is_impacted`].
+    pub fn impacted(scopes: &[(&'static str, ReadScope)], touch: &TouchMap) -> bool {
+        scopes
+            .iter()
+            .any(|(file, scope)| touch.get(*file).is_some_and(|t| scope_intersects(scope, t)))
+    }
+}
+
+/// Whether a directive read-set covers at least half of the distinct
+/// canonical directive names in the file's baseline.
+fn covers_most(baseline: &ConfigSet, schema: &DirectiveSchema, file: &str, reads: &[&str]) -> bool {
+    let Some(tree) = baseline.get(file) else {
+        return false;
+    };
+    let dialect = match schema.file(file) {
+        Some(fs) => fs.dialect,
+        None => return false,
+    };
+    let mut names = BTreeSet::new();
+    distinct_directive_names(dialect, tree.root(), &mut names);
+    !names.is_empty() && reads.len() * 2 >= names.len()
+}
+
+fn distinct_directive_names(dialect: Dialect, node: &Node, names: &mut BTreeSet<String>) {
+    for child in node.children() {
+        if child.kind() == "directive" {
+            if let Some(name) = child.attr("name") {
+                names.extend(canonical(dialect, name));
+            }
+        }
+        distinct_directive_names(dialect, child, names);
+    }
+}
+
 /// A touch map claiming every file of `schema` may have changed — the
 /// safe answer when nothing sharper can be proven.
 pub fn whole_config_touch(schema: &DirectiveSchema) -> TouchMap {
@@ -359,6 +469,37 @@ mod tests {
             &ReadScope::Directives(&["port"]),
             &directives(&["sort_buffer_size"])
         ));
+    }
+
+    #[test]
+    fn prune_plan_drops_whole_file_readers_and_widens_broad_scopes() {
+        // Rich baseline: the smoke test's three directives are a small
+        // fraction of the file, so its scope stays directive-level;
+        // the dump tool reads the whole (only) file and can never be
+        // pruned, so it is dropped from the plan outright.
+        let text = "[mysqld]\nport=3306\na=1\nb=1\nc=1\nd=1\ne=1\nf=1\n";
+        let tree = IniFormat::new().parse(text).expect("fixture parses");
+        let mut set = ConfigSet::new();
+        set.insert("my.cnf", tree);
+        let plan = PrunePlan::new(&MYSQL_SCHEMA, &set);
+        assert!(plan.scopes("mysqldump-tool").is_none());
+        let scopes = plan.scopes("connect-and-query").expect("smoke test stays");
+        assert!(matches!(scopes[0].1, ReadScope::Directives(_)));
+
+        let port_touch: TouchMap = [("my.cnf".to_string(), directives(&["port"]))]
+            .into_iter()
+            .collect();
+        let inert_touch: TouchMap = [("my.cnf".to_string(), directives(&["a"]))]
+            .into_iter()
+            .collect();
+        assert!(PrunePlan::impacted(scopes, &port_touch));
+        assert!(!PrunePlan::impacted(scopes, &inert_touch));
+
+        // Against a two-directive baseline the smoke test's scope
+        // covers most of the file: it widens to WholeFile, every test
+        // becomes unprunable, and the plan empties.
+        let plan = PrunePlan::new(&MYSQL_SCHEMA, &mysql_baseline());
+        assert!(plan.is_empty());
     }
 
     #[test]

@@ -34,7 +34,16 @@
 //! reported — caches, the pool, the batch scheduler, the streaming
 //! pipeline and test-impact pruning must be pure wall-clock/memory
 //! optimisations — then the numbers go to `BENCH_campaign.json`
-//! (schema v7). A dedicated **isolation** section times the same
+//! (schema v8). A **scheduler** section (v8) prices the sharded
+//! executor core: the warm 3-system batch best-of-5 on the
+//! persistent pool, gated no slower than the cached serial total
+//! (under the v7 global-lock scheduler the pooled executor *lost* to
+//! serial; the fixed v7 anchors ride along in the JSON), a
+//! completion-batch `K` sweep (`K` = 1 reproduces per-fault
+//! publication), and the static-triage fast path against its
+//! `set_static_triage(false)` reference — byte-identity plus the
+//! skip-rate gate (at least 50% of the dynamic starts must be
+//! replaced). A dedicated **isolation** section times the same
 //! serial 1-thread workload in strict mode (no `catch_unwind`, panics
 //! poison) and in the default isolated mode (per-fault `catch_unwind`
 //! plus watchdog bookkeeping) over five back-to-back pairs, and gates
@@ -70,7 +79,7 @@ use std::time::Instant;
 
 use conferr::{
     sut_factory, Campaign, CampaignBatch, CampaignExecutor, CollectingSink, CountingSink,
-    ExecutorCampaign, ParallelCampaign, ResilienceProfile, SutFactory,
+    ExecutorCampaign, ParallelCampaign, ResilienceProfile, SutFactory, DEFAULT_COMPLETION_BATCH,
 };
 use conferr_bench::{
     deep_copy_tree, httpd_apply_fixture, million_fault_source, table1_faultload, threads_from_env,
@@ -95,6 +104,20 @@ use conferr_sut::{
 const PRE_PR2_SERIAL_TOTAL_MS: f64 = 1440.0;
 const PR2_SERIAL_TOTAL_MS: f64 = 1430.0;
 const REFERENCE_REPEAT: usize = 20;
+
+/// v7 anchors of the *global-lock* scheduler this PR's sharded
+/// scheduler replaced, measured on the committed-run host at
+/// `repeat` = 20, 2 threads: every claim, completion and progress
+/// update serialized on one producer mutex and one progress lock.
+const V7_GLOBAL_LOCK_EXECUTOR_TOTAL_MS: f64 = 140.9;
+const V7_GLOBAL_LOCK_BATCH_COLD_MS: f64 = 137.1;
+const V7_GLOBAL_LOCK_BATCH_WARM_MS: f64 = 21.6;
+const V7_REFERENCE_THREADS: usize = 2;
+
+/// Completion-batch sizes swept by the scheduler section. `K` = 1
+/// reproduces the per-fault publication the global-lock scheduler
+/// paid on every outcome.
+const K_SWEEP: [usize; 5] = [1, 4, 8, 16, 32];
 
 /// Faults in the bounded-memory streaming smoke run.
 const SMOKE_TARGET: usize = 1_000_000;
@@ -433,6 +456,125 @@ fn process_bench(threads: usize) -> ProcessBench {
     }
 }
 
+/// The sharded-scheduler section (v8): the warm 3-system batch
+/// re-timed best-of-5 on the persistent pool and gated at no slower
+/// than the cached serial total, a completion-batch `K` sweep (`K` =
+/// 1 reproduces per-fault publication), and the static-triage fast
+/// path priced against its `set_static_triage(false)` reference with
+/// byte-identity and the >= 50% skip-rate gate asserted.
+struct SchedulerBench {
+    warm_batch_ms: f64,
+    warm_vs_serial_ratio: f64,
+    k_sweep: Vec<(usize, f64)>,
+    triage_off_ms: f64,
+    triage_on_ms: f64,
+    triage_speedup: f64,
+    dynamic_starts: usize,
+    synthesized_starts: usize,
+    skip_rate: f64,
+}
+
+fn scheduler_bench(
+    workloads: &[Workload],
+    references: &[ResilienceProfile],
+    batch_executor: &CampaignExecutor,
+    make_batch: &dyn Fn() -> CampaignBatch,
+    total_serial: f64,
+) -> SchedulerBench {
+    // Warm 3-system batch, best of 5 rounds (the least-interfered
+    // round scores, like the isolation gate): every cache and thread
+    // already exists, so this is the steady-state scheduling cost the
+    // sharded producer shards + batched completions pay for.
+    let mut warm_batch_ms = f64::INFINITY;
+    for _ in 0..5 {
+        let batch = make_batch();
+        let start = Instant::now();
+        let profiles = batch_executor.run_batch(batch).expect("warm batch");
+        warm_batch_ms = warm_batch_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        for (reference, profile) in references.iter().zip(&profiles) {
+            assert_profiles_identical(reference, profile, "scheduler warm batch");
+        }
+    }
+    // The v8 acceptance gate: the pooled warm batch must be no slower
+    // than the cached serial total (<= 1.0x, plus 1 ms of timer
+    // slack) — under the v7 global-lock scheduler the pooled executor
+    // lost to serial outright.
+    assert!(
+        warm_batch_ms <= total_serial + 1.0,
+        "warm 3-system batch {warm_batch_ms:.1} ms is slower than the cached serial \
+         total {total_serial:.1} ms; the sharded scheduler must close the v7 gap"
+    );
+
+    // Completion-batch sweep: the same warm batch at each K, best of
+    // 3 rounds per point, byte-identity asserted at every K.
+    let mut k_sweep = Vec::new();
+    for k in K_SWEEP {
+        batch_executor.set_completion_batch(k);
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let batch = make_batch();
+            let start = Instant::now();
+            let profiles = batch_executor.run_batch(batch).expect("swept batch");
+            best = best.min(start.elapsed().as_secs_f64() * 1e3);
+            for (reference, profile) in references.iter().zip(&profiles) {
+                assert_profiles_identical(reference, profile, "completion-batch sweep");
+            }
+        }
+        k_sweep.push((k, best));
+    }
+    batch_executor.set_completion_batch(DEFAULT_COMPLETION_BATCH);
+
+    // Static triage: the 3-system serial load with the fast path off
+    // (the reference knob) and on, byte-identity asserted per system,
+    // start counters summed across systems.
+    let mut triage_off_ms = 0.0;
+    let mut triage_on_ms = 0.0;
+    let mut dynamic_starts = 0;
+    let mut synthesized_starts = 0;
+    for (work, reference) in workloads.iter().zip(references) {
+        let timed = |triage: bool| {
+            let mut sut = work.factory.create();
+            let mut campaign = Campaign::new(sut.as_mut()).expect("campaign");
+            campaign.set_static_triage(triage);
+            let start = Instant::now();
+            let profile = campaign
+                .run_faults(work.faults.clone())
+                .expect("triage run");
+            let ms = start.elapsed().as_secs_f64() * 1e3;
+            let stats = campaign.triage_stats();
+            (profile, ms, stats)
+        };
+        let (off, off_ms, (_, off_synth)) = timed(false);
+        assert_eq!(off_synth, 0, "triage off = every start dynamic");
+        let (on, on_ms, (dynamic, synthesized)) = timed(true);
+        assert_profiles_identical(reference, &off, "triage-off serial");
+        assert_profiles_identical(reference, &on, "triaged serial");
+        triage_off_ms += off_ms;
+        triage_on_ms += on_ms;
+        dynamic_starts += dynamic;
+        synthesized_starts += synthesized;
+    }
+    let skip_rate = synthesized_starts as f64 / (dynamic_starts + synthesized_starts) as f64;
+    // The second v8 acceptance gate: triage must cut dynamic starts
+    // on the Table 1 load by at least half.
+    assert!(
+        skip_rate >= 0.5,
+        "static triage skipped only {skip_rate:.3} of the Table 1 starts \
+         ({synthesized_starts} synthesized vs {dynamic_starts} dynamic); the gate is 50%"
+    );
+    SchedulerBench {
+        warm_batch_ms,
+        warm_vs_serial_ratio: warm_batch_ms / total_serial,
+        k_sweep,
+        triage_off_ms,
+        triage_on_ms,
+        triage_speedup: triage_off_ms / triage_on_ms,
+        dynamic_starts,
+        synthesized_starts,
+        skip_rate,
+    }
+}
+
 /// The timing comparison is only meaningful if every driver computed
 /// the same thing — and the caches and schedulers are only *sound* if
 /// their runs are byte-identical to the uncached serial reference.
@@ -516,14 +658,52 @@ fn main() {
 
     // Batch profile, cold: all three systems through one
     // campaign-tagged queue, with *fresh* engines and a fresh pool so
-    // the number measures pure batch-scheduling overhead against the
-    // cached serial total (every cache starts as cold as the serial
-    // runs').
-    let batch_executor = CampaignExecutor::new(threads);
-    let cold_campaigns: Vec<ExecutorCampaign> = workloads
-        .iter()
-        .map(|work| ExecutorCampaign::new(work.factory.clone()).expect("campaign"))
-        .collect();
+    // the number measures batch-scheduling cost with every cache as
+    // cold as the serial runs'. Best of 3 rounds (cold state rebuilt
+    // each round, construction untimed), because this one carries a
+    // gate.
+    //
+    // The cold gate's reference is the *parallel* total, not the
+    // serial one: a multi-worker cold batch keeps one SUT (and one
+    // parse cache) per worker, so each distinct mutated text parses
+    // once per worker instead of once overall — work a 1-worker
+    // serial run never does, and exactly the structure
+    // `ParallelCampaign` shares. (The old "<= 3% vs serial" note
+    // predates per-worker caches and was measured at 1 thread, where
+    // the two references coincide.) Against the matching reference,
+    // batch scheduling — cross-system queue, producer shards, reorder
+    // windows — must be cheap.
+    let total_parallel: f64 = rows.iter().map(|r| r.parallel_ms).sum();
+    let mut batch_cold_ms = f64::INFINITY;
+    let mut batch_executor = CampaignExecutor::new(threads);
+    let mut cold_campaigns: Vec<ExecutorCampaign> = Vec::new();
+    for _ in 0..3 {
+        let executor = CampaignExecutor::new(threads);
+        let campaigns: Vec<ExecutorCampaign> = workloads
+            .iter()
+            .map(|work| ExecutorCampaign::new(work.factory.clone()).expect("campaign"))
+            .collect();
+        let mut batch = CampaignBatch::new();
+        for (work, campaign) in workloads.iter().zip(&campaigns) {
+            batch.push(campaign, work.faults.clone());
+        }
+        let start = Instant::now();
+        let batch_profiles = executor.run_batch(batch).expect("batch run");
+        batch_cold_ms = batch_cold_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        for (reference, profile) in references.iter().zip(&batch_profiles) {
+            assert_profiles_identical(reference, profile, "batch (cold)");
+        }
+        // The last round's pool and engines stay warm for the warm
+        // rerun below.
+        batch_executor = executor;
+        cold_campaigns = campaigns;
+    }
+    let batch_vs_parallel_pct = (batch_cold_ms - total_parallel) / total_parallel * 100.0;
+    assert!(
+        batch_cold_ms <= total_parallel * 1.15 + 2.0,
+        "cold 3-system batch {batch_cold_ms:.1} ms is {batch_vs_parallel_pct:+.1}% over the \
+         parallel total {total_parallel:.1} ms; the gate is 15% (+ 2 ms timer slack)"
+    );
     let make_batch = || {
         // Built (fault lists cloned) outside the timed region, like
         // every other profile's inputs.
@@ -533,13 +713,6 @@ fn main() {
         }
         batch
     };
-    let batch = make_batch();
-    let start = Instant::now();
-    let batch_profiles = batch_executor.run_batch(batch).expect("batch run");
-    let batch_cold_ms = start.elapsed().as_secs_f64() * 1e3;
-    for (reference, profile) in references.iter().zip(&batch_profiles) {
-        assert_profiles_identical(reference, profile, "batch (cold)");
-    }
 
     // Batch profile, warm: the identical batch resubmitted to the
     // same executor — fault memos, parse caches, SUT instances and
@@ -552,6 +725,15 @@ fn main() {
     for (reference, profile) in references.iter().zip(&warm_profiles) {
         assert_profiles_identical(reference, profile, "batch (warm)");
     }
+
+    let total_serial: f64 = rows.iter().map(|r| r.serial_ms).sum();
+    let scheduler = scheduler_bench(
+        &workloads,
+        &references,
+        &batch_executor,
+        &make_batch,
+        total_serial,
+    );
 
     for row in &rows {
         println!(
@@ -571,9 +753,7 @@ fn main() {
         );
     }
     let total_uncached: f64 = rows.iter().map(|r| r.serial_uncached_ms).sum();
-    let total_serial: f64 = rows.iter().map(|r| r.serial_ms).sum();
     let total_pruned: f64 = rows.iter().map(|r| r.serial_pruned_ms).sum();
-    let total_parallel: f64 = rows.iter().map(|r| r.parallel_ms).sum();
     let total_executor: f64 = rows.iter().map(|r| r.executor_ms).sum();
     let batch_overhead_pct = (batch_cold_ms - total_serial) / total_serial * 100.0;
     println!(
@@ -587,8 +767,8 @@ fn main() {
     );
     println!(
         "batch (all systems, one queue): cold {batch_cold_ms:.1} ms \
-         ({batch_overhead_pct:+.1}% vs serial total), warm rerun {batch_warm_ms:.1} ms \
-         ({:.2}x vs serial total)",
+         ({batch_overhead_pct:+.1}% vs serial total, {batch_vs_parallel_pct:+.1}% vs parallel \
+         total, gate 15%), warm rerun {batch_warm_ms:.1} ms ({:.2}x vs serial total)",
         total_serial / batch_warm_ms
     );
     if repeat == REFERENCE_REPEAT {
@@ -599,6 +779,31 @@ fn main() {
             PR2_SERIAL_TOTAL_MS / total_serial
         );
     }
+
+    let mut sweep = String::new();
+    for (k, ms) in &scheduler.k_sweep {
+        let _ = write!(sweep, " K={k}: {ms:.1} ms");
+    }
+    println!(
+        "scheduler (sharded producers, batched completions): warm batch best {:.1} ms \
+         ({:.2}x vs serial total, gate <= 1.0x; v7 global lock: cold {:.0} ms, warm {:.0} ms \
+         at {} threads);{sweep}",
+        scheduler.warm_batch_ms,
+        scheduler.warm_vs_serial_ratio,
+        V7_GLOBAL_LOCK_BATCH_COLD_MS,
+        V7_GLOBAL_LOCK_BATCH_WARM_MS,
+        V7_REFERENCE_THREADS,
+    );
+    println!(
+        "static triage (3-system Table 1): off {:.1} ms, on {:.1} ms ({:.2}x), \
+         {} of {} starts synthesized (skip rate {:.3}, gate 0.5)",
+        scheduler.triage_off_ms,
+        scheduler.triage_on_ms,
+        scheduler.triage_speedup,
+        scheduler.synthesized_starts,
+        scheduler.dynamic_starts + scheduler.synthesized_starts,
+        scheduler.skip_rate,
+    );
 
     let isolation = isolation_bench(repeat);
     println!(
@@ -653,7 +858,7 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": \"conferr-bench-campaign/v7\",");
+    let _ = writeln!(json, "  \"schema\": \"conferr-bench-campaign/v8\",");
     let _ = writeln!(json, "  \"repeat\": {repeat},");
     let _ = writeln!(json, "  \"threads\": {threads},");
     let _ = writeln!(
@@ -701,13 +906,65 @@ fn main() {
         json,
         "  \"batch\": {{\"cold_ms\": {batch_cold_ms:.1}, \
          \"overhead_vs_serial_pct\": {batch_overhead_pct:.1}, \
+         \"overhead_vs_parallel_pct\": {batch_vs_parallel_pct:.1}, \
          \"warm_ms\": {batch_warm_ms:.1}, \"warm_speedup_vs_serial\": {:.2}, \
          \"note\": \"all three systems' fault loads as one CampaignBatch: cold = fresh \
-         engines and pool (pure scheduling overhead vs cached serial), warm = same batch \
+         engines and pool, best of 3 rounds, gated <= 15% over the *parallel* total — the \
+         reference with the same one-SUT-cache-per-worker structure, which a multi-worker \
+         cold run duplicates parse work against serial by design; warm = same batch \
          resubmitted to the persistent executor (fault memos, parse caches, SUTs and \
          threads reused); byte-identity vs the uncached serial reference asserted for \
          both\"}},",
         total_serial / batch_warm_ms
+    );
+    json.push_str("  \"scheduler\": {\n");
+    let _ = writeln!(
+        json,
+        "    \"warm_batch_ms\": {:.1}, \"warm_vs_serial_ratio\": {:.2},",
+        scheduler.warm_batch_ms, scheduler.warm_vs_serial_ratio
+    );
+    let _ = writeln!(
+        json,
+        "    \"v7_global_lock\": {{\"executor_total_ms\": {V7_GLOBAL_LOCK_EXECUTOR_TOTAL_MS}, \
+         \"batch_cold_ms\": {V7_GLOBAL_LOCK_BATCH_COLD_MS}, \
+         \"batch_warm_ms\": {V7_GLOBAL_LOCK_BATCH_WARM_MS}, \
+         \"threads\": {V7_REFERENCE_THREADS}, \
+         \"note\": \"fixed anchors measured on the committed-run host before sharding: one \
+         global producer mutex and one progress lock serialized every claim, completion and \
+         drain\"}},"
+    );
+    json.push_str("    \"completion_batch_sweep\": [");
+    for (i, (k, ms)) in scheduler.k_sweep.iter().enumerate() {
+        let comma = if i + 1 < scheduler.k_sweep.len() {
+            ", "
+        } else {
+            ""
+        };
+        let _ = write!(json, "{{\"k\": {k}, \"warm_batch_ms\": {ms:.1}}}{comma}");
+    }
+    json.push_str("],\n");
+    let _ = writeln!(
+        json,
+        "    \"triage\": {{\"off_ms\": {:.1}, \"on_ms\": {:.1}, \"speedup\": {:.2}, \
+         \"dynamic_starts\": {}, \"synthesized_starts\": {}, \"skip_rate\": {:.3}, \
+         \"note\": \"3-system serial Table 1 load with the static-triage fast path off (the \
+         reference knob) and on: WillFail* verdicts synthesize DetectedAtStartup, \
+         SemanticallySilent synthesizes a warning-free Undetected, everything else starts \
+         dynamically; byte-identity asserted per system and skip_rate gated >= 0.5\"}},",
+        scheduler.triage_off_ms,
+        scheduler.triage_on_ms,
+        scheduler.triage_speedup,
+        scheduler.dynamic_starts,
+        scheduler.synthesized_starts,
+        scheduler.skip_rate
+    );
+    let _ = writeln!(
+        json,
+        "    \"note\": \"per-entry producer shards + atomic entry cursor + drain-every-K \
+         completion batching: warm_batch_ms is the best of 5 warm 3-system batches on the \
+         persistent pool, gated no slower than the cached serial total; the K sweep re-times \
+         the same batch at each completion-batch size (K = 1 reproduces the per-fault \
+         publication the global-lock scheduler paid)\"\n  }},"
     );
     let _ = writeln!(
         json,

@@ -20,16 +20,16 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use conferr_analysis::{test_is_impacted, FaultLinter, Lint, StaticVerdict, TouchMap};
+use conferr_analysis::{FaultLinter, Lint, PrunePlan, StaticVerdict, TouchMap};
 use conferr_formats::{format_by_name, ConfigFormat};
 use conferr_model::{
     ConfigSet, ErrorGenerator, FaultScenario, FaultSource, GenerateError, GeneratedFault, TreeEdit,
 };
-use conferr_sut::{ConfigPayload, Deadline, FileText, StartOutcome, SystemUnderTest};
+use conferr_sut::{ConfigPayload, Deadline, FileText, StartOutcome, SystemUnderTest, Tier};
 use conferr_tree::diff;
 use parking_lot::Mutex;
 
@@ -194,6 +194,18 @@ pub(crate) struct InjectionEngine {
     /// unlimited (the default). Atomic for the same shared-engine
     /// reason as the other knobs. See [`Campaign::set_fault_deadline`].
     fault_deadline_ms: AtomicU64,
+    /// When true, faults the linter *proved* will fail startup get
+    /// their `DetectedAtStartup` outcome synthesized from the captured
+    /// diagnostic instead of paying for a simulator start. Opt-in
+    /// (default off); see [`Campaign::set_static_triage`]. Atomic for
+    /// the same shared-engine reason as the other knobs.
+    static_triage: AtomicBool,
+    /// Dynamic SUT starts actually performed (one per
+    /// `start_and_classify` call) — the denominator of the triage
+    /// skip-rate the bench gates on.
+    dynamic_starts: AtomicUsize,
+    /// Starts the triage fast path synthesized away.
+    triaged_starts: AtomicUsize,
 }
 
 /// What the engine knows statically about its SUT, plus the result of
@@ -208,6 +220,11 @@ struct EngineAnalysis {
     /// precondition for surfacing [`StaticVerdict::SemanticallySilent`],
     /// which promises an undetected *and warning-free* run.
     clean_start: bool,
+    /// Pre-computed pruning plan: which tests impact pruning can ever
+    /// skip, with read scopes pre-widened (see
+    /// [`conferr_analysis::PrunePlan`]). Tests absent from the plan
+    /// run without any per-fault disjointness check.
+    prune_plan: PrunePlan,
 }
 
 impl InjectionEngine {
@@ -278,6 +295,9 @@ impl InjectionEngine {
             analysis,
             impact_pruning: AtomicBool::new(true),
             fault_deadline_ms: AtomicU64::new(0),
+            static_triage: AtomicBool::new(false),
+            dynamic_starts: AtomicUsize::new(0),
+            triaged_starts: AtomicUsize::new(0),
         })
     }
 
@@ -315,6 +335,7 @@ impl InjectionEngine {
             linter: Arc::new(linter),
             healthy,
             clean_start: healthy && matches!(start, StartOutcome::Started),
+            prune_plan: PrunePlan::new(schema, baseline),
         })
     }
 
@@ -322,6 +343,73 @@ impl InjectionEngine {
     /// [`Campaign::set_impact_pruning`]).
     pub(crate) fn set_impact_pruning(&self, enabled: bool) {
         self.impact_pruning.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Enables or disables the static-triage fast path (see
+    /// [`Campaign::set_static_triage`]).
+    pub(crate) fn set_static_triage(&self, enabled: bool) {
+        self.static_triage.store(enabled, Ordering::Relaxed);
+    }
+
+    /// `(dynamic, synthesized)` start counts since construction:
+    /// starts actually performed against the SUT versus starts the
+    /// triage fast path synthesized away.
+    pub(crate) fn triage_stats(&self) -> (usize, usize) {
+        (
+            self.dynamic_starts.load(Ordering::Relaxed),
+            self.triaged_starts.load(Ordering::Relaxed),
+        )
+    }
+
+    /// The static-triage fast path: when enabled, a fault whose
+    /// dynamic outcome the linter *proved* has that outcome
+    /// synthesized without starting the SUT. Two verdict families
+    /// qualify: the `WillFail*` verdicts carry the exact startup
+    /// diagnostic the simulator would emit (→ `DetectedAtStartup`),
+    /// and `SemanticallySilent` guarantees — relative to the clean
+    /// baseline this path is gated on — a warning-free start with
+    /// every functional test passing (→ `Undetected` with no
+    /// warnings). The linter already ran for the verdict column, so
+    /// the marginal cost is a few loads.
+    ///
+    /// Byte-identity with the dynamic path needs every gate below: a
+    /// clean-start baseline (no earlier failure or warning can preempt
+    /// the predicted one, and `SemanticallySilent`'s promise is only
+    /// relative to a healthy, warning-free scout), a simulator tier
+    /// (`Tier::Sim` — process diagnostics come from exit codes and
+    /// stderr, which the linter does not model), and no configured
+    /// watchdog (a synthesized outcome could never observe an
+    /// overrun).
+    fn triage_shortcut(
+        &self,
+        sut: &mut dyn SystemUnderTest,
+        lint: Option<&Lint>,
+    ) -> Option<InjectionResult> {
+        if !self.static_triage.load(Ordering::Relaxed) {
+            return None;
+        }
+        let lint = lint?;
+        let analysis = self.analysis.as_ref()?;
+        if !analysis.clean_start
+            || self.fault_deadline_ms.load(Ordering::Relaxed) != 0
+            || sut.tier() != Tier::Sim
+        {
+            return None;
+        }
+        let result = match (&lint.verdict, &lint.diagnostic) {
+            (
+                StaticVerdict::WillFailParse | StaticVerdict::WillFailValidate { .. },
+                Some(diagnostic),
+            ) => InjectionResult::DetectedAtStartup {
+                diagnostic: diagnostic.to_string(),
+            },
+            (StaticVerdict::SemanticallySilent, _) => InjectionResult::Undetected {
+                warnings: Vec::new(),
+            },
+            _ => return None,
+        };
+        self.triaged_starts.fetch_add(1, Ordering::Relaxed);
+        Some(result)
     }
 
     /// Sets the per-fault soft deadline (see
@@ -461,8 +549,10 @@ impl InjectionEngine {
     ) -> InjectionResult {
         let prune = touch.and_then(|touch| {
             let analysis = self.analysis.as_ref()?;
-            (analysis.healthy && self.impact_pruning.load(Ordering::Relaxed))
-                .then(|| (analysis.linter.schema(), touch))
+            (analysis.healthy
+                && self.impact_pruning.load(Ordering::Relaxed)
+                && !analysis.prune_plan.is_empty())
+            .then_some((&analysis.prune_plan, touch))
         });
         // One soft deadline per fault, spanning start and every test.
         // The check runs after each phase returns (deadlines never
@@ -472,6 +562,7 @@ impl InjectionEngine {
         let deadline = self
             .fault_deadline()
             .map_or_else(Deadline::unlimited, Deadline::after);
+        self.dynamic_starts.fetch_add(1, Ordering::Relaxed);
         let start = sut.start(payload, &deadline);
         let result = match start {
             // A hard-supervised adapter that killed its child reports
@@ -504,10 +595,10 @@ impl InjectionEngine {
                     let mut failed: Option<(String, String)> = None;
                     let mut overran: Option<String> = None;
                     for test in sut.test_names() {
-                        if let Some((schema, touch)) = prune {
-                            if schema
-                                .test(&test)
-                                .is_some_and(|impact| !test_is_impacted(impact, touch))
+                        if let Some((plan, touch)) = prune {
+                            if plan
+                                .scopes(&test)
+                                .is_some_and(|scopes| !PrunePlan::impacted(scopes, touch))
                             {
                                 continue;
                             }
@@ -587,10 +678,17 @@ impl InjectionEngine {
                 // allocation (ROADMAP perf idea: no per-outcome
                 // `Vec<String>` clone).
                 let (diff, result) = match prepared.as_ref() {
-                    Prepared::Ready { payload, diff } => (
-                        diff.clone(),
-                        self.start_and_classify(sut, payload, lint.as_ref().map(|l| &*l.touch)),
-                    ),
+                    Prepared::Ready { payload, diff } => {
+                        let result = match self.triage_shortcut(sut, lint.as_ref()) {
+                            Some(result) => result,
+                            None => self.start_and_classify(
+                                sut,
+                                payload,
+                                lint.as_ref().map(|l| &*l.touch),
+                            ),
+                        };
+                        (diff.clone(), result)
+                    }
                     Prepared::Skipped { reason } => (
                         empty_diff(),
                         InjectionResult::Skipped {
@@ -786,6 +884,33 @@ impl<'s> Campaign<'s> {
     pub fn set_impact_pruning(&mut self, enabled: bool) -> &mut Self {
         self.engine.set_impact_pruning(enabled);
         self
+    }
+
+    /// Enables or disables the static-triage fast path (default: off).
+    ///
+    /// When enabled, faults the pre-flight linter *proved* will fail
+    /// startup (`WillFailParse`/`WillFailValidate`, with the exact
+    /// simulator diagnostic captured through the shared dialect
+    /// deciders) synthesize their
+    /// [`crate::InjectionResult::DetectedAtStartup`] outcome without
+    /// starting the SUT — the linter already ran for the verdict
+    /// column, so the whole dynamic start is saved. The fast path
+    /// self-gates on conditions that make the synthesis byte-identical
+    /// to a real start: a clean-start baseline, a simulator tier, and
+    /// no configured fault deadline; outside them the dynamic path
+    /// runs as usual. Byte-identity against the
+    /// `set_static_triage(false)` reference is asserted by
+    /// `tests/static_analysis.rs` and gated in `bench_campaign`.
+    pub fn set_static_triage(&mut self, enabled: bool) -> &mut Self {
+        self.engine.set_static_triage(enabled);
+        self
+    }
+
+    /// `(dynamic, synthesized)` start counts since construction: how
+    /// many faults paid for a real SUT start versus how many the
+    /// static-triage fast path decided without one.
+    pub fn triage_stats(&self) -> (usize, usize) {
+        self.engine.triage_stats()
     }
 
     /// Sets the per-fault soft deadline (default: none).

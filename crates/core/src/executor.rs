@@ -30,23 +30,38 @@
 //!
 //! # Streaming data flow
 //!
+//! Scheduling state is **sharded per batch entry**: every entry owns
+//! its fault feed behind its own producer lock, its own
+//! `chunk_size × threads` outstanding window, and its own reorder
+//! buffer. A lock-free atomic cursor rotates claiming threads across
+//! the entries, so threads pulling work for different systems never
+//! contend on a shared queue lock (the global producer bottleneck
+//! this design replaced), and entries generate concurrently with each
+//! other.
+//!
 //! Faults are handed out in **chunks** ([`DEFAULT_CHUNK_SIZE`] per
 //! claim, configurable via [`CampaignExecutor::set_chunk_size`])
-//! rather than one at a time: a claiming thread takes the producer
-//! lock, pulls the next chunk from the current entry's fault source
+//! rather than one at a time: a claiming thread takes one entry's
+//! shard lock, pulls the next chunk from that entry's fault source
 //! (for eager entries this is just an index bump over the owned
 //! `Vec`), and works the whole chunk before claiming again — so
-//! generation runs on at most one thread at a time *while every other
-//! thread injects*, and queue contention drops by the chunk factor.
+//! generation for an entry runs on at most one thread at a time
+//! *while every other thread injects*, and queue contention drops by
+//! the chunk factor.
 //!
-//! Completed outcomes pass through a bounded per-campaign reorder
-//! buffer and are handed to each campaign's
-//! [`OutcomeSink`](crate::OutcomeSink) **in fault order** by the
-//! submitting thread. Production is throttled by a window of
-//! `chunk_size × threads` faults outstanding (produced but not yet
+//! Completed outcomes are published in **batches**: each thread
+//! accumulates up to [`DEFAULT_COMPLETION_BATCH`] outcomes
+//! (configurable via [`CampaignExecutor::set_completion_batch`]) in a
+//! thread-local buffer and parks them in the entry's reorder buffer
+//! under one lock acquisition, flushing early on chunk boundaries,
+//! exhaustion and panics — so isolation and checkpoint semantics are
+//! unchanged. The submitting thread drains each entry's contiguous
+//! completed prefix to its [`OutcomeSink`](crate::OutcomeSink)
+//! **in fault order**. Production is throttled per entry by a window
+//! of `chunk_size × threads` faults outstanding (produced but not yet
 //! sunk), which bounds both the in-flight faults and the buffered
-//! outcomes: a million-fault campaign streamed into a counting sink
-//! never holds more than the window in memory
+//! outcomes for each entry: a million-fault campaign streamed into a
+//! counting sink never holds more than the window in memory
 //! ([`StreamStats::peak_buffered`] reports the observed maximum).
 //!
 //! Scheduling never affects results: every profile is byte-identical
@@ -131,6 +146,13 @@ use crate::{CampaignError, InjectionOutcome, ResilienceProfile};
 /// ROADMAP's 8–32 chunked-stealing range. Tune per executor with
 /// [`CampaignExecutor::set_chunk_size`].
 pub const DEFAULT_CHUNK_SIZE: usize = 16;
+
+/// Completed outcomes a thread accumulates locally before publishing
+/// them to an entry's reorder buffer in one lock acquisition — half a
+/// default chunk, so even a thread working one chunk publishes (and
+/// releases window space) mid-chunk. Tune per executor with
+/// [`CampaignExecutor::set_completion_batch`].
+pub const DEFAULT_COMPLETION_BATCH: usize = 8;
 
 /// Locks a [`Mutex`], shedding poisoning (a panicking worker must not
 /// wedge the pool; the executor's state is repaired by the next
@@ -552,6 +574,27 @@ impl ExecutorCampaign {
         self
     }
 
+    /// Enables or disables the static-triage fast path (default:
+    /// **off**) — see [`crate::Campaign::set_static_triage`] for the
+    /// self-gating rules and the byte-identity contract. With it on,
+    /// faults the linter proves `WillFailParse`/`WillFailValidate`
+    /// synthesize their `DetectedAtStartup` outcome without a
+    /// simulator start; `set_static_triage(false)` is the reference
+    /// knob that re-runs every start dynamically. The setting is
+    /// shared by every clone of this campaign (and with any
+    /// [`crate::Campaign`] veneer over the same engine).
+    pub fn set_static_triage(&self, enabled: bool) -> &Self {
+        self.engine.set_static_triage(enabled);
+        self
+    }
+
+    /// `(dynamic, synthesized)` start counts accumulated by the
+    /// shared engine across every clone of this campaign — see
+    /// [`crate::Campaign::triage_stats`].
+    pub fn triage_stats(&self) -> (usize, usize) {
+        self.engine.triage_stats()
+    }
+
     /// The engine's shared pre-flight linter, when the SUT publishes
     /// a directive schema — see [`crate::Campaign::linter`].
     pub fn linter(&self) -> Option<Arc<conferr_analysis::FaultLinter>> {
@@ -674,9 +717,10 @@ pub struct StreamStats {
     /// Outcomes handed to sinks across all batch entries.
     pub outcomes: usize,
     /// The largest number of completed-but-not-yet-sunk outcomes ever
-    /// buffered in the reorder window — bounded by
-    /// `chunk_size × threads` by construction (and `0` on the serial
-    /// fast path, which sinks each outcome the moment it completes).
+    /// buffered across the reorder windows — bounded by
+    /// `chunk_size × threads` *per batch entry* by construction (and
+    /// `0` on the serial fast path, which sinks each outcome the
+    /// moment it completes).
     pub peak_buffered: usize,
     /// Retries spent on retryable per-fault failures (harness panics,
     /// deadline overruns) under the [`RetryPolicy`]; always `0` with
@@ -692,34 +736,58 @@ struct Chunk {
     faults: Vec<GeneratedFault>,
 }
 
-/// The producer half of a streaming batch: the per-entry feeds and
-/// the window bookkeeping. Entries are drained in order; at most one
-/// thread produces at a time (the lock *is* the "dedicated producer
-/// path" — every other thread injects meanwhile).
-struct Producer {
-    feeds: Vec<Option<FaultFeed>>,
-    /// First entry that may still have faults.
-    next_unit: usize,
-    /// Per-entry count of faults produced so far (= the next fault
-    /// index).
-    produced: Vec<usize>,
-    /// Faults produced but not yet handed to a sink. Production
-    /// requires `outstanding + chunk ≤ window`, which is what bounds
-    /// reorder-buffer memory.
-    outstanding: usize,
-    /// All feeds drained (or aborted by `error`).
-    exhausted: bool,
-    /// The first source or sink failure; ends production, reported
-    /// after the in-flight faults drain.
-    error: Option<CampaignError>,
+/// What one production attempt on an entry shard yielded.
+enum Produced {
+    /// A chunk was pulled; the entry's window bookkeeping is already
+    /// updated.
+    Chunk(Chunk),
+    /// The feed ran dry (or was already drained by another claimer);
+    /// the entry is now exhausted.
+    Exhausted,
+    /// The feed failed. The caller must abort the batch — *after*
+    /// releasing the shard lock, so two concurrently failing entries
+    /// never lock each other's shards in opposite orders.
+    Failed(CampaignError),
 }
 
-/// One entry's reorder buffer: completions arrive in any order, the
-/// submitting thread drains the contiguous prefix to the sink.
+/// The producer half of one batch entry: its fault feed and fault
+/// index, guarded by the entry's own shard lock — so production on
+/// different entries never contends, and at most one thread generates
+/// per entry (the lock *is* the "dedicated producer path" — every
+/// other thread injects meanwhile).
+struct EntryShard {
+    /// `None` once the feed is drained, failed, or aborted.
+    feed: Option<FaultFeed>,
+    /// Faults produced so far (= the next fault index for this
+    /// entry).
+    produced: usize,
+}
+
+/// One entry's reorder buffer: completions arrive in any order (and
+/// in batches), the submitting thread drains the contiguous prefix to
+/// the sink.
 struct EmitUnit {
     /// Next fault index to hand to the sink.
     next: usize,
     pending: BTreeMap<usize, InjectionOutcome>,
+}
+
+/// One batch entry's full scheduling shard: campaign handle, producer
+/// state, outstanding window and reorder buffer. Each field has its
+/// own lock (or is atomic), so entries are scheduled fully
+/// independently.
+struct EntryState {
+    campaign: ExecutorCampaign,
+    shard: Mutex<EntryShard>,
+    /// Faults produced for this entry but not yet drained to its
+    /// sink. Production requires `outstanding + chunk ≤ window`,
+    /// which is what bounds this entry's reorder-buffer memory.
+    outstanding: AtomicUsize,
+    /// Set (permanently) under the shard lock when the feed is
+    /// drained, failed, or the batch aborts; lets claimers skip the
+    /// entry without touching its lock.
+    exhausted: AtomicBool,
+    emit: Mutex<EmitUnit>,
 }
 
 /// The submitter's wake-up channel: workers bump `epoch` after every
@@ -734,10 +802,14 @@ struct ProgressState {
 /// submitting thread; sinks stay on the submitting thread and are
 /// never touched by workers.
 struct StreamState {
-    units: Vec<ExecutorCampaign>,
+    entries: Vec<EntryState>,
     chunk: usize,
-    /// `chunk × threads`: the cap on faults produced but not sunk.
+    /// `chunk × threads`: the *per-entry* cap on faults produced but
+    /// not sunk.
     window: usize,
+    /// Outcomes a thread buffers locally before publishing them in
+    /// one emit-lock acquisition (snapshotted at submission).
+    completion_batch: usize,
     /// Isolation/retry policy snapshotted at submission.
     policy: ExecPolicy,
     /// Shared with the executor: faults whose every attempt failed
@@ -745,11 +817,20 @@ struct StreamState {
     quarantine: Arc<Mutex<Vec<String>>>,
     /// Retries spent across the batch (reported in [`StreamStats`]).
     retries: AtomicUsize,
-    producer: Mutex<Producer>,
-    /// Waited on by claimers when the window is full; notified by the
-    /// submitter's drain (and by poisoning).
+    /// Round-robin start point for claim scans: each claimer bumps it
+    /// and scans from `cursor % entries`, spreading threads across
+    /// the entry shards instead of convoying on entry 0.
+    cursor: AtomicUsize,
+    /// The first source or sink failure; ends production, reported
+    /// after the in-flight faults drain.
+    error: Mutex<Option<CampaignError>>,
+    /// Epoch bumped whenever window space may have appeared (drain,
+    /// abort, poisoning). Claimers read it before scanning and sleep
+    /// on `space_ready` only while it stands still — the read-epoch
+    /// protocol that makes a missed notification impossible.
+    space_epoch: Mutex<u64>,
+    /// Waited on by claimers when every live entry's window is full.
     space_ready: Condvar,
-    emit: Vec<Mutex<EmitUnit>>,
     progress: Mutex<ProgressState>,
     progress_ready: Condvar,
     /// Set when a participant panicked mid-fault or mid-production.
@@ -768,30 +849,103 @@ struct StreamState {
 /// wakes every waiter so `run_batch` re-raises instead of
 /// deadlocking.
 ///
-/// `producer_held` must say whether the panicking scope already holds
-/// the producer mutex. When it does not (the fault-execution path),
-/// the drop briefly acquires it before notifying `space_ready`:
-/// without that, a worker that just read `poisoned == false` under
-/// the lock but has not yet entered `space_ready.wait` would miss the
-/// notification and sleep forever — stranding a pool thread and
-/// hanging the executor's drop. When the lock *is* held (the
-/// production path), no thread can be in that check-to-wait window,
-/// and re-locking here would self-deadlock.
+/// Both wake-ups go through epoch bumps under the respective mutex: a
+/// claimer that read `poisoned == false` but has not yet entered
+/// `space_ready.wait` re-reads the space epoch under the lock before
+/// sleeping, so the bump here either changes the epoch it compares
+/// against or the notification finds it already waiting — a missed
+/// wake-up is impossible without ever re-taking a shard lock (which
+/// the production path may already hold).
 struct PoisonOnPanic<'a> {
     state: &'a StreamState,
-    producer_held: bool,
 }
 
 impl Drop for PoisonOnPanic<'_> {
     fn drop(&mut self) {
         self.state.poisoned.store(true, Ordering::Release);
-        if !self.producer_held {
-            drop(lock(&self.state.producer));
+        {
+            let mut epoch = lock(&self.state.space_epoch);
+            *epoch += 1;
         }
         self.state.space_ready.notify_all();
         let mut progress = lock(&self.state.progress);
         progress.epoch += 1;
         self.state.progress_ready.notify_all();
+    }
+}
+
+/// A thread-local buffer of completed outcomes for one batch entry,
+/// published to the entry's reorder buffer in batches of
+/// `completion_batch` under a single emit-lock acquisition — the
+/// "drain every K" half of the sharded scheduler. Dropping the
+/// buffer flushes the remainder, so chunk boundaries, exhaustion
+/// *and unwinding panics* all publish every completed outcome:
+/// isolation and checkpoint semantics are identical to per-fault
+/// publication.
+struct CompletionBatch<'a> {
+    state: &'a StreamState,
+    unit: usize,
+    pending: Vec<(usize, InjectionOutcome)>,
+    cap: usize,
+}
+
+impl<'a> CompletionBatch<'a> {
+    fn new(state: &'a StreamState, unit: usize) -> Self {
+        let cap = state.completion_batch.max(1);
+        CompletionBatch {
+            state,
+            unit,
+            pending: Vec::with_capacity(cap),
+            cap,
+        }
+    }
+
+    /// Buffers one completed outcome; returns `true` when the buffer
+    /// reached capacity and was flushed (the submitting thread drains
+    /// sinks on that signal).
+    fn push(&mut self, index: usize, outcome: InjectionOutcome) -> bool {
+        self.pending.push((index, outcome));
+        if self.pending.len() >= self.cap {
+            self.flush();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Publishes every buffered outcome under one emit-lock
+    /// acquisition and wakes the submitter once.
+    fn flush(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let n = self.pending.len();
+        {
+            let mut emit = lock(&self.state.entries[self.unit].emit);
+            // Counted under the emit lock, BEFORE the inserts: the
+            // drain's matching `fetch_sub` can only run after it
+            // removed these outcomes (same lock), so the increment
+            // always happens-before its decrement and the counter
+            // can never underflow.
+            let buffered = self.state.buffered.fetch_add(n, Ordering::AcqRel) + n;
+            self.state
+                .peak_buffered
+                .fetch_max(buffered, Ordering::AcqRel);
+            for (index, outcome) in self.pending.drain(..) {
+                emit.pending.insert(index, outcome);
+            }
+        }
+        let mut progress = lock(&self.state.progress);
+        progress.epoch += 1;
+        if progress.submitter_waiting {
+            self.state.progress_ready.notify_all();
+        }
+    }
+}
+
+impl Drop for CompletionBatch<'_> {
+    fn drop(&mut self) {
+        self.flush();
     }
 }
 
@@ -815,39 +969,21 @@ impl StreamState {
         entries: Vec<(ExecutorCampaign, FaultFeed)>,
         chunk: usize,
         threads: usize,
+        completion_batch: usize,
         policy: ExecPolicy,
         quarantine: Arc<Mutex<Vec<String>>>,
     ) -> Self {
-        let mut units = Vec::with_capacity(entries.len());
-        let mut feeds = Vec::with_capacity(entries.len());
-        for (campaign, feed) in entries {
-            units.push(campaign);
-            feeds.push(Some(feed));
-        }
-        let n = units.len();
         StreamState {
             chunk,
             window: chunk.saturating_mul(threads),
+            completion_batch,
             policy,
             quarantine,
             retries: AtomicUsize::new(0),
-            producer: Mutex::new(Producer {
-                feeds,
-                next_unit: 0,
-                produced: vec![0; n],
-                outstanding: 0,
-                exhausted: n == 0,
-                error: None,
-            }),
+            cursor: AtomicUsize::new(0),
+            error: Mutex::new(None),
+            space_epoch: Mutex::new(0),
             space_ready: Condvar::new(),
-            emit: (0..n)
-                .map(|_| {
-                    Mutex::new(EmitUnit {
-                        next: 0,
-                        pending: BTreeMap::new(),
-                    })
-                })
-                .collect(),
             progress: Mutex::new(ProgressState {
                 epoch: 0,
                 submitter_waiting: false,
@@ -856,103 +992,191 @@ impl StreamState {
             poisoned: AtomicBool::new(false),
             buffered: AtomicUsize::new(0),
             peak_buffered: AtomicUsize::new(0),
-            units,
+            entries: entries
+                .into_iter()
+                .map(|(campaign, feed)| EntryState {
+                    campaign,
+                    shard: Mutex::new(EntryShard {
+                        feed: Some(feed),
+                        produced: 0,
+                    }),
+                    outstanding: AtomicUsize::new(0),
+                    exhausted: AtomicBool::new(false),
+                    emit: Mutex::new(EmitUnit {
+                        next: 0,
+                        pending: BTreeMap::new(),
+                    }),
+                })
+                .collect(),
         }
     }
 
-    /// Produces the next chunk under the held producer lock,
-    /// advancing across entries. `None` means the batch is exhausted
-    /// (possibly because a source failed — `p.error` then says so).
-    fn produce(&self, p: &mut Producer) -> Option<Chunk> {
+    /// Pulls one chunk from entry `unit` under its held shard lock.
+    fn produce(&self, unit: usize, shard: &mut EntryShard) -> Produced {
+        let entry = &self.entries[unit];
+        let Some(feed) = shard.feed.as_mut() else {
+            return Produced::Exhausted;
+        };
         let mut faults = Vec::with_capacity(self.chunk);
-        while p.next_unit < p.feeds.len() {
-            let unit = p.next_unit;
-            let feed = p.feeds[unit].as_mut().expect("unfinished units are Some");
-            // Under isolation a panicking source is contained and
-            // becomes a generation error; in strict mode the armed
-            // guard poisons the batch so the submitter is never
-            // stranded.
-            let pulled = if self.policy.isolate {
-                catch_unwind(AssertUnwindSafe(|| {
-                    feed.next_chunk(self.chunk, &mut faults)
-                }))
-                .unwrap_or_else(|payload| {
-                    Err(GenerateError::new(
-                        "fault-source",
-                        format!("source panicked: {}", panic_message(payload.as_ref())),
-                    ))
-                })
-            } else {
-                let guard = PoisonOnPanic {
-                    state: self,
-                    producer_held: true,
-                };
-                let pulled = feed.next_chunk(self.chunk, &mut faults);
-                std::mem::forget(guard);
-                pulled
-            };
-            // Window/index bookkeeping trusts what was actually
-            // appended, never the source's returned count — a
-            // miscounting third-party source must not be able to
-            // wedge `outstanding` above zero forever (hang) or spin
-            // on empty "non-empty" chunks (live-lock).
-            match pulled {
-                Err(e) => {
-                    p.error = Some(CampaignError::Generate(e));
-                    p.exhausted = true;
-                    p.feeds.iter_mut().for_each(|f| *f = None);
-                    return None;
-                }
-                Ok(_) if faults.is_empty() => {
-                    p.feeds[unit] = None;
-                    p.next_unit += 1;
-                }
-                Ok(_) => {
-                    let n = faults.len();
-                    let base = p.produced[unit];
-                    p.produced[unit] += n;
-                    p.outstanding += n;
-                    return Some(Chunk { unit, base, faults });
-                }
+        // Under isolation a panicking source is contained and
+        // becomes a generation error; in strict mode the armed
+        // guard poisons the batch so the submitter is never
+        // stranded.
+        let pulled = if self.policy.isolate {
+            catch_unwind(AssertUnwindSafe(|| {
+                feed.next_chunk(self.chunk, &mut faults)
+            }))
+            .unwrap_or_else(|payload| {
+                Err(GenerateError::new(
+                    "fault-source",
+                    format!("source panicked: {}", panic_message(payload.as_ref())),
+                ))
+            })
+        } else {
+            let guard = PoisonOnPanic { state: self };
+            let pulled = feed.next_chunk(self.chunk, &mut faults);
+            std::mem::forget(guard);
+            pulled
+        };
+        // Window/index bookkeeping trusts what was actually
+        // appended, never the source's returned count — a
+        // miscounting third-party source must not be able to
+        // wedge `outstanding` above zero forever (hang) or spin
+        // on empty "non-empty" chunks (live-lock).
+        match pulled {
+            Err(e) => {
+                shard.feed = None;
+                entry.exhausted.store(true, Ordering::Release);
+                Produced::Failed(CampaignError::Generate(e))
+            }
+            Ok(_) if faults.is_empty() => {
+                shard.feed = None;
+                entry.exhausted.store(true, Ordering::Release);
+                Produced::Exhausted
+            }
+            Ok(_) => {
+                let n = faults.len();
+                let base = shard.produced;
+                shard.produced += n;
+                entry.outstanding.fetch_add(n, Ordering::AcqRel);
+                Produced::Chunk(Chunk { unit, base, faults })
             }
         }
-        p.exhausted = true;
-        None
     }
 
-    /// Claims the next chunk of work. Blocks on the window when
-    /// `block` (pool workers); returns `None` immediately otherwise
-    /// (the submitting thread, which must keep draining). `None` with
-    /// `block` means the batch is over for this thread.
+    /// Aborts the whole batch after a source or sink failure: records
+    /// the first error, drains every feed, and wakes all waiters
+    /// (claimers via the space epoch, the submitter via the progress
+    /// epoch — without the latter a submitter already asleep when the
+    /// last in-flight outcome drained would never learn the batch is
+    /// over). Must not be called with any shard lock held.
+    fn abort(&self, error: CampaignError) {
+        {
+            let mut slot = lock(&self.error);
+            if slot.is_none() {
+                *slot = Some(error);
+            }
+        }
+        for entry in &self.entries {
+            let mut shard = lock(&entry.shard);
+            shard.feed = None;
+            entry.exhausted.store(true, Ordering::Release);
+        }
+        {
+            let mut epoch = lock(&self.space_epoch);
+            *epoch += 1;
+        }
+        self.space_ready.notify_all();
+        let mut progress = lock(&self.progress);
+        progress.epoch += 1;
+        self.progress_ready.notify_all();
+    }
+
+    /// Claims the next chunk of work, scanning the entry shards
+    /// round-robin from an atomically advanced start point. Blocks on
+    /// the space epoch when every live entry's window is full and
+    /// `block` is set (pool workers); returns `None` immediately
+    /// otherwise (the submitting thread, which must keep draining).
+    /// `None` with `block` means the batch is over for this thread.
     fn claim(&self, block: bool) -> Option<Chunk> {
-        let mut p = lock(&self.producer);
+        let n = self.entries.len();
         loop {
-            if self.poisoned.load(Ordering::Acquire) || p.exhausted {
+            // Read before scanning: any space created after this read
+            // bumps the epoch, so the pre-sleep comparison below
+            // cannot miss it.
+            let epoch = *lock(&self.space_epoch);
+            if self.poisoned.load(Ordering::Acquire) {
                 return None;
             }
-            if p.outstanding + self.chunk <= self.window {
-                match self.produce(&mut p) {
-                    Some(chunk) => return Some(chunk),
-                    // Exhausted (or errored) just now: loop re-checks
-                    // and returns None.
-                    None => continue,
+            let start = self.cursor.fetch_add(1, Ordering::Relaxed) % n;
+            let mut failure = None;
+            'scan: for i in 0..n {
+                let unit = (start + i) % n;
+                let entry = &self.entries[unit];
+                if entry.exhausted.load(Ordering::Acquire) {
+                    continue;
                 }
+                if entry.outstanding.load(Ordering::Acquire) + self.chunk > self.window {
+                    continue;
+                }
+                let mut shard = lock(&entry.shard);
+                // Re-check under the lock: another claimer may have
+                // filled the window while we waited for the shard.
+                if entry.outstanding.load(Ordering::Acquire) + self.chunk > self.window {
+                    continue;
+                }
+                match self.produce(unit, &mut shard) {
+                    Produced::Chunk(chunk) => return Some(chunk),
+                    Produced::Exhausted => continue,
+                    Produced::Failed(e) => {
+                        // Abort outside the shard lock (see `abort`).
+                        drop(shard);
+                        failure = Some(e);
+                        break 'scan;
+                    }
+                }
+            }
+            if let Some(e) = failure {
+                self.abort(e);
+                return None;
+            }
+            // Re-read the flags rather than trusting the scan: an
+            // entry seen live above may have been exhausted by
+            // another claimer (without any notification) meanwhile.
+            if self
+                .entries
+                .iter()
+                .all(|e| e.exhausted.load(Ordering::Acquire))
+            {
+                return None;
             }
             if !block {
                 return None;
             }
-            p = self
-                .space_ready
-                .wait(p)
-                .unwrap_or_else(PoisonError::into_inner);
+            // Every live entry's window is full: outstanding > 0
+            // somewhere, so a future drain (or abort, or poisoning)
+            // will bump the epoch and notify. Sleep only if nothing
+            // already did since the read above.
+            let space = lock(&self.space_epoch);
+            if *space == epoch && !self.poisoned.load(Ordering::Acquire) {
+                let _space = self
+                    .space_ready
+                    .wait(space)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
         }
     }
 
-    /// Runs one claimed fault and parks the outcome in its entry's
-    /// reorder buffer, waking the submitter.
-    fn run_fault(&self, suts: &mut SutCache, unit: usize, index: usize, fault: GeneratedFault) {
-        let campaign = &self.units[unit];
-        let outcome = if self.policy.isolate {
+    /// Runs one claimed fault and returns its outcome — published by
+    /// the caller through a [`CompletionBatch`].
+    fn run_fault(
+        &self,
+        suts: &mut SutCache,
+        unit: usize,
+        fault: GeneratedFault,
+    ) -> InjectionOutcome {
+        let campaign = &self.entries[unit].campaign;
+        if self.policy.isolate {
             // Isolated (default): panics are contained per fault and
             // recorded as harness failures; the batch keeps running.
             let run = run_fault_isolated(campaign, suts, &fault, &self.policy.retry);
@@ -965,43 +1189,27 @@ impl StreamState {
             // Strict: armed before SUT construction — the fault is
             // already claimed, so a panic anywhere from the factory
             // closure onward must poison the batch or the submitter
-            // waits forever on it. No lock is held here, so the drop
-            // re-locks the producer to close the check-to-wait window
-            // of `claim`.
-            let guard = PoisonOnPanic {
-                state: self,
-                producer_held: false,
-            };
+            // waits forever on it. The unwind also flushes the
+            // caller's completion batch (its `Drop` runs after this
+            // guard's), so completed outcomes are never lost.
+            let guard = PoisonOnPanic { state: self };
             let sut = suts.get_or_create(&campaign.factory);
             let outcome = campaign.engine.outcome(sut, fault);
             suts.live = None;
             std::mem::forget(guard);
             outcome
-        };
-
-        {
-            let mut emit = lock(&self.emit[unit]);
-            // Counted under the emit lock, BEFORE the insert: the
-            // drain's matching `fetch_sub` can only run after it
-            // removed this outcome (same lock), so the increment
-            // always happens-before its decrement and the counter
-            // can never underflow.
-            let buffered = self.buffered.fetch_add(1, Ordering::AcqRel) + 1;
-            self.peak_buffered.fetch_max(buffered, Ordering::AcqRel);
-            emit.pending.insert(index, outcome);
-        }
-        let mut progress = lock(&self.progress);
-        progress.epoch += 1;
-        if progress.submitter_waiting {
-            self.progress_ready.notify_all();
         }
     }
 
-    /// Pool-worker loop: claim chunks until the batch is over.
+    /// Pool-worker loop: claim chunks until the batch is over,
+    /// publishing completions in batches (flushed at the latest on
+    /// each chunk boundary).
     fn work(&self, suts: &mut SutCache) {
         while let Some(chunk) = self.claim(true) {
+            let mut completions = CompletionBatch::new(self, chunk.unit);
             for (i, fault) in chunk.faults.into_iter().enumerate() {
-                self.run_fault(suts, chunk.unit, chunk.base + i, fault);
+                let outcome = self.run_fault(suts, chunk.unit, fault);
+                completions.push(chunk.base + i, outcome);
             }
         }
     }
@@ -1016,10 +1224,10 @@ impl StreamState {
     ) -> usize {
         let mut drained = 0;
         let mut sink_error = None;
-        for (unit, sink) in sinks.iter_mut().enumerate() {
+        for (entry, sink) in self.entries.iter().zip(sinks.iter_mut()) {
             scratch.clear();
             {
-                let mut emit = lock(&self.emit[unit]);
+                let mut emit = lock(&entry.emit);
                 loop {
                     let next = emit.next;
                     match emit.pending.remove(&next) {
@@ -1031,7 +1239,11 @@ impl StreamState {
                     }
                 }
             }
-            drained += scratch.len();
+            if !scratch.is_empty() {
+                drained += scratch.len();
+                self.buffered.fetch_sub(scratch.len(), Ordering::AcqRel);
+                entry.outstanding.fetch_sub(scratch.len(), Ordering::AcqRel);
+            }
             // Sink writes happen outside the emit lock so workers
             // completing faults for this entry never wait on I/O.
             for outcome in scratch.drain(..) {
@@ -1042,10 +1254,9 @@ impl StreamState {
             }
         }
         if drained > 0 {
-            self.buffered.fetch_sub(drained, Ordering::AcqRel);
             {
-                let mut p = lock(&self.producer);
-                p.outstanding -= drained;
+                let mut epoch = lock(&self.space_epoch);
+                *epoch += 1;
             }
             self.space_ready.notify_all();
         }
@@ -1054,29 +1265,28 @@ impl StreamState {
             // pulled, the in-flight ones drain normally (into a sink
             // that now discards), and the error surfaces after the
             // batch settles.
-            let mut p = lock(&self.producer);
-            if p.error.is_none() {
-                p.error = Some(CampaignError::SinkIo(e));
-            }
-            p.exhausted = true;
-            p.feeds.iter_mut().for_each(|f| *f = None);
-            drop(p);
-            self.space_ready.notify_all();
+            self.abort(CampaignError::SinkIo(e));
         }
         drained
     }
 
     /// `true` once every produced fault has been handed to a sink and
-    /// no feed can produce more.
+    /// no feed can produce more. Per entry, `exhausted` is read
+    /// before `outstanding`: the flag is set under the shard lock
+    /// after the final production, so a true flag makes every
+    /// increment of that entry's counter visible — and the submitter
+    /// itself performs all decrements.
     fn finished(&self) -> bool {
-        let p = lock(&self.producer);
-        p.exhausted && p.outstanding == 0
+        self.entries.iter().all(|e| {
+            e.exhausted.load(Ordering::Acquire) && e.outstanding.load(Ordering::Acquire) == 0
+        })
     }
 
     /// The submitting thread's loop: steal work like a worker, but
-    /// drain completions to the sinks after every fault and sleep
-    /// only while nothing progresses. Returns the total outcomes
-    /// sunk; on poisoning it returns early (the caller re-raises).
+    /// drain completions to the sinks on every completion-batch flush
+    /// and sleep only while nothing progresses. Returns the total
+    /// outcomes sunk; on poisoning it returns early (the caller
+    /// re-raises).
     fn drive(&self, suts: &mut SutCache, sinks: &mut [&mut dyn OutcomeSink]) -> usize {
         let mut scratch = Vec::new();
         let mut sunk = 0;
@@ -1090,10 +1300,18 @@ impl StreamState {
                 return sunk;
             }
             if let Some(chunk) = self.claim(false) {
-                for (i, fault) in chunk.faults.into_iter().enumerate() {
-                    self.run_fault(suts, chunk.unit, chunk.base + i, fault);
-                    sunk += self.drain(sinks, &mut scratch);
+                {
+                    let mut completions = CompletionBatch::new(self, chunk.unit);
+                    for (i, fault) in chunk.faults.into_iter().enumerate() {
+                        let outcome = self.run_fault(suts, chunk.unit, fault);
+                        if completions.push(chunk.base + i, outcome) {
+                            sunk += self.drain(sinks, &mut scratch);
+                        }
+                    }
+                    // Dropping `completions` flushes the remainder
+                    // before the post-chunk drain below.
                 }
+                sunk += self.drain(sinks, &mut scratch);
             } else {
                 // The failed claim may itself have *discovered*
                 // exhaustion (produced the final `Ok(0)`s): re-check
@@ -1102,8 +1320,9 @@ impl StreamState {
                     return sunk;
                 }
                 // Otherwise faults are in flight on workers: wait for
-                // a completion (or poisoning) unless one already
-                // happened since we read the epoch above.
+                // a completion-batch flush (or poisoning, or an
+                // abort) unless one already happened since we read
+                // the epoch above.
                 let mut progress = lock(&self.progress);
                 if progress.epoch == epoch {
                     progress.submitter_waiting = true;
@@ -1187,6 +1406,9 @@ pub struct CampaignExecutor {
     /// Faults handed out per claim; see
     /// [`CampaignExecutor::set_chunk_size`].
     chunk_size: AtomicUsize,
+    /// Completions published per emit-lock acquisition; see
+    /// [`CampaignExecutor::set_completion_batch`].
+    completion_batch: AtomicUsize,
     /// Per-fault isolation (default on); see
     /// [`CampaignExecutor::set_fault_isolation`].
     isolate_faults: AtomicBool,
@@ -1237,6 +1459,7 @@ impl CampaignExecutor {
         CampaignExecutor {
             threads,
             chunk_size: AtomicUsize::new(DEFAULT_CHUNK_SIZE),
+            completion_batch: AtomicUsize::new(DEFAULT_COMPLETION_BATCH),
             isolate_faults: AtomicBool::new(true),
             retry: Mutex::new(RetryPolicy::none()),
             quarantine: Arc::new(Mutex::new(Vec::new())),
@@ -1274,6 +1497,27 @@ impl CampaignExecutor {
     /// The current per-claim chunk size.
     pub fn chunk_size(&self) -> usize {
         self.chunk_size.load(Ordering::Relaxed).max(1)
+    }
+
+    /// Sets how many completed outcomes a thread buffers locally
+    /// before publishing them to an entry's reorder buffer in one
+    /// lock acquisition (clamped to 1..=4096; default
+    /// [`DEFAULT_COMPLETION_BATCH`]). `1` publishes every outcome
+    /// individually — the pre-sharding behaviour, kept as the
+    /// reference point for the scheduler bench. Batches are always
+    /// flushed on chunk boundaries, exhaustion and panics, so results
+    /// (and isolation/checkpoint semantics) are byte-identical at
+    /// every setting; only emit-lock traffic and submitter wake-ups
+    /// change. The serial fast path is unaffected.
+    pub fn set_completion_batch(&self, batch: usize) -> &Self {
+        self.completion_batch
+            .store(batch.clamp(1, 4096), Ordering::Relaxed);
+        self
+    }
+
+    /// The current completion-batch size.
+    pub fn completion_batch(&self) -> usize {
+        self.completion_batch.load(Ordering::Relaxed).max(1)
     }
 
     /// Enables or disables per-fault isolation (default: **on**).
@@ -1497,6 +1741,7 @@ impl CampaignExecutor {
             entries,
             self.chunk_size(),
             self.threads,
+            self.completion_batch(),
             policy,
             Arc::clone(&self.quarantine),
         ));
@@ -1522,7 +1767,7 @@ impl CampaignExecutor {
             !state.poisoned.load(Ordering::Acquire),
             "a campaign worker panicked while executing a fault"
         );
-        if let Some(error) = lock(&state.producer).error.take() {
+        if let Some(error) = lock(&state.error).take() {
             return Err(error);
         }
         Ok(StreamStats {

@@ -15,6 +15,17 @@
 //! The default notion of "interesting" is
 //! [`confirmation_candidate`]; [`CampaignExecutor::run_tiered_with`]
 //! accepts any other selector.
+//!
+//! Static triage (the campaign-level fast path,
+//! [`crate::Campaign::set_static_triage`]) composes freely with tier
+//! mixing: the knob rides on each campaign, so enabling it on the
+//! simulator-tier campaign synthesizes the statically-decided
+//! outcomes there without a start, while the process-tier
+//! confirmation campaign — whose SUTs are not [`conferr_sut::Tier::Sim`]
+//! — never takes the shortcut, by the gates documented on that
+//! method. Selection is unaffected either way: synthesized outcomes
+//! are byte-identical to dynamic ones, so the funnel forwards the
+//! same subset.
 
 use conferr_model::GeneratedFault;
 

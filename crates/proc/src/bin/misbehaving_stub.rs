@@ -35,9 +35,9 @@ use std::time::Duration;
 fn main() -> ExitCode {
     let mode = std::env::var("CONFERR_STUB_MODE").unwrap_or_else(|_| "ok".to_string());
     if let Ok(token) = std::env::var("CONFERR_STUB_OK_TOKEN") {
-        let all_contain = std::env::args().skip(1).all(|path| {
-            std::fs::read_to_string(&path).is_ok_and(|text| text.contains(&token))
-        });
+        let all_contain = std::env::args()
+            .skip(1)
+            .all(|path| std::fs::read_to_string(&path).is_ok_and(|text| text.contains(&token)));
         if all_contain {
             println!("ok");
             return ExitCode::SUCCESS;

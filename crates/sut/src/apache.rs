@@ -24,7 +24,7 @@
 use std::sync::Arc;
 
 use conferr_analysis::apache::{startup_model, validate_tree, StartupModel};
-use conferr_analysis::{DirectiveSchema, APACHE_SCHEMA};
+use conferr_analysis::{Dialect, DirectiveSchema, APACHE_SCHEMA};
 use conferr_formats::{ApacheFormat, ConfigFormat};
 
 use crate::minihttp::{HttpService, VirtualFs, VirtualHost};
@@ -217,7 +217,7 @@ impl ApacheSim {
     fn parse_and_validate(text: &str) -> ApacheStartup {
         let tree = ApacheFormat::new()
             .parse(text)
-            .map_err(|e| format!("Syntax error in httpd.conf: {e}"))?;
+            .map_err(|e| Dialect::ApacheHttpd.parse_failure_diagnostic(&e.to_string()))?;
         validate_tree(tree.root()).map_err(|v| v.message)?;
         let model = startup_model(tree.root()).map_err(|v| v.message)?;
         Ok((Arc::new(Self::service_from_model(&model)), model.warnings))

@@ -18,7 +18,7 @@
 
 use std::sync::Arc;
 
-use conferr_analysis::{DirectiveSchema, APPSERVER_SCHEMA};
+use conferr_analysis::{Dialect, DirectiveSchema, APPSERVER_SCHEMA};
 use conferr_formats::{xml_parse_attrs, ConfigFormat, XmlFormat};
 use conferr_tree::Node;
 
@@ -88,7 +88,7 @@ impl AppServerSim {
     fn parse_and_validate(text: &str) -> ServerStartup {
         let tree = XmlFormat::new()
             .parse(text)
-            .map_err(|e| format!("server.xml is not well-formed: {e}"))?;
+            .map_err(|e| Dialect::AppServerXml.parse_failure_diagnostic(&e.to_string()))?;
         let mut state = Running::default();
         let mut hosts = Vec::new();
         let mut default_hosts = Vec::new();

@@ -13,7 +13,7 @@
 //! server is answering to requests both for the forward and the
 //! reverse zone" — zone-liveness SOA probes, not per-record audits.
 
-use conferr_analysis::{DirectiveSchema, BIND_SCHEMA};
+use conferr_analysis::{Dialect, DirectiveSchema, BIND_SCHEMA};
 use conferr_formats::{ConfigFormat, ZoneFormat};
 use conferr_tree::ConfTree;
 
@@ -90,7 +90,7 @@ impl BindSim {
     fn parse_zone(file: &str, text: &str) -> ZoneParse {
         let tree = ZoneFormat::new()
             .parse(text)
-            .map_err(|e| format!("dns_master_load: {e}"))?;
+            .map_err(|e| Dialect::BindZone.parse_failure_diagnostic(&e.to_string()))?;
         Self::load_zone(file, &tree)
     }
 

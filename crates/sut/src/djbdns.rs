@@ -15,7 +15,7 @@
 use std::sync::Arc;
 
 use conferr_analysis::tinydns::check_line;
-use conferr_analysis::{DirectiveSchema, DJBDNS_SCHEMA};
+use conferr_analysis::{Dialect, DirectiveSchema, DJBDNS_SCHEMA};
 use conferr_formats::{tinydns_fields, ConfigFormat, TinyDnsFormat};
 
 use crate::minidns::{QType, ZoneStore};
@@ -73,7 +73,7 @@ impl DjbdnsSim {
     fn parse_data(text: &str) -> DataParse {
         let tree = TinyDnsFormat::new()
             .parse(text)
-            .map_err(|e| format!("tinydns-data: fatal: {e}"))?;
+            .map_err(|e| Dialect::TinyDns.parse_failure_diagnostic(&e.to_string()))?;
         let mut store = ZoneStore::new();
         for (i, node) in tree.root().children().iter().enumerate() {
             if node.kind() != "line" {

@@ -31,7 +31,7 @@ use std::sync::Arc;
 use conferr_analysis::mysql::{
     check_dump_config, validate_server_config, DEFAULT_PORT, SERVER_REGISTRY,
 };
-use conferr_analysis::{DirectiveSchema, MYSQL_SCHEMA};
+use conferr_analysis::{Dialect, DirectiveSchema, MYSQL_SCHEMA};
 use conferr_formats::{ConfigFormat, IniFormat};
 
 use crate::directive::ValueType;
@@ -155,7 +155,7 @@ impl MySqlSim {
     fn parse_and_validate(text: &str) -> MySqlStartup {
         let tree = IniFormat::new()
             .parse(text)
-            .map_err(|e| format!("error while reading my.cnf: {e}"))?;
+            .map_err(|e| Dialect::MySqlIni.parse_failure_diagnostic(&e.to_string()))?;
         // The lenient value discipline, section skipping and path
         // checks live in `conferr_analysis::mysql` — shared verbatim
         // with the static linter, so its verdicts cannot drift from

@@ -20,7 +20,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use conferr_analysis::postgres::{validate_config, REGISTRY};
-use conferr_analysis::{DirectiveSchema, POSTGRES_SCHEMA};
+use conferr_analysis::{Dialect, DirectiveSchema, POSTGRES_SCHEMA};
 use conferr_formats::{ConfigFormat, KvFormat};
 
 use crate::directive::ValueType;
@@ -120,7 +120,7 @@ impl PostgresSim {
     fn parse_and_validate(text: &str) -> PostgresStartup {
         let tree = KvFormat::new()
             .parse(text)
-            .map_err(|e| format!("syntax error in postgresql.conf: {e}"))?;
+            .map_err(|e| Dialect::PostgresKv.parse_failure_diagnostic(&e.to_string()))?;
         // Strict per-parameter validation and the cross-directive
         // constraints live in `conferr_analysis::postgres` — shared
         // verbatim with the static linter.

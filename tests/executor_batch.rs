@@ -185,6 +185,74 @@ fn chunk_size_is_result_neutral_over_batches() {
     }
 }
 
+/// A many-entry batch — one entry per (system × typo kind), nine in
+/// all, each with a small fault load fed from a LIVE source so
+/// generation interleaves with injection across all the producer
+/// shards — must splice byte-identically to fresh serial campaigns at
+/// 1/2/4 threads. This is the shape that exercises the sharded
+/// scheduler hardest: many small independent feeds, stolen from
+/// concurrently via the entry cursor.
+#[test]
+fn many_entry_live_source_batch_matches_serial() {
+    use conferr_model::{IntoFaultSource, TypoKind};
+    use conferr_plugins::{TokenClass, TypoPlugin};
+
+    let factories = [
+        sut_factory(MySqlSim::new),
+        sut_factory(PostgresSim::new),
+        sut_factory(ApacheSim::new),
+    ];
+    let suts: [fn() -> Box<dyn SystemUnderTest>; 3] = [
+        || Box::new(MySqlSim::new()),
+        || Box::new(PostgresSim::new()),
+        || Box::new(ApacheSim::new()),
+    ];
+    let kinds = [
+        TypoKind::Omission,
+        TypoKind::Transposition,
+        TypoKind::CaseAlteration,
+    ];
+
+    let mut entries: Vec<(ExecutorCampaign, TypoPlugin)> = Vec::new();
+    let mut serial: Vec<ResilienceProfile> = Vec::new();
+    for (factory, fresh_sut) in factories.iter().zip(suts) {
+        let campaign = ExecutorCampaign::new(factory.clone()).expect("campaign");
+        for kind in kinds {
+            let plugin = TypoPlugin::new(Keyboard::qwerty_us(), TokenClass::DirectiveNames)
+                .with_kinds([kind]);
+            let faults = plugin.generate(campaign.baseline()).expect("generate");
+            assert!(
+                !faults.is_empty(),
+                "every (system, kind) cell yields faults"
+            );
+            serial.push(serial_profile(fresh_sut(), faults));
+            entries.push((campaign.clone(), plugin));
+        }
+    }
+    assert!(entries.len() >= 8, "a genuinely many-entry batch");
+
+    for threads in [1, 2, 4] {
+        let executor = CampaignExecutor::new(threads);
+        let mut batch = CampaignBatch::new();
+        for (campaign, plugin) in &entries {
+            batch.push_source(
+                campaign,
+                Box::new(plugin.clone().into_source(campaign.baseline())),
+            );
+        }
+        let profiles = executor.run_batch(batch).expect("batch run");
+        assert_eq!(profiles.len(), serial.len());
+        for (i, (batched, reference)) in profiles.iter().zip(&serial).enumerate() {
+            assert_eq!(
+                profile_to_json(batched),
+                profile_to_json(reference),
+                "entry {i} ({}) diverged at threads = {threads}",
+                reference.system()
+            );
+        }
+    }
+}
+
 /// A cross-system batch (the Table 1 protocol against all three
 /// systems through one queue) matches per-system serial runs.
 #[test]

@@ -1,8 +1,17 @@
 //! Cross-crate property tests: arbitrary injections must never break
 //! the pipeline's invariants.
 
-use conferr::{Campaign, InjectionResult};
-use conferr_model::{ErrorClass, FaultScenario, GeneratedFault, TreeEdit, TypoKind};
+use std::sync::OnceLock;
+
+use conferr::{
+    profile_to_json, sut_factory, Campaign, CampaignExecutor, CollectingSink, ExecutorCampaign,
+    InjectionResult,
+};
+use conferr_keyboard::Keyboard;
+use conferr_model::{
+    EagerSource, ErrorClass, ErrorGenerator, FaultScenario, GeneratedFault, TreeEdit, TypoKind,
+};
+use conferr_plugins::{TokenClass, TypoPlugin};
 use conferr_sut::{MySqlSim, PostgresSim};
 use conferr_tree::NodeQuery;
 use proptest::prelude::*;
@@ -11,6 +20,40 @@ use proptest::prelude::*;
 /// whitespace-bearing ones.
 fn arb_value() -> impl Strategy<Value = String> {
     "[ -~]{0,24}"
+}
+
+/// A small shared workload for the scheduler properties: one
+/// Postgres campaign, a modest typo load, and its serial reference
+/// profile — built once, reused by every proptest case.
+struct SchedulerFixture {
+    campaign: ExecutorCampaign,
+    faults: Vec<GeneratedFault>,
+    reference: String,
+}
+
+fn scheduler_fixture() -> &'static SchedulerFixture {
+    static FIXTURE: OnceLock<SchedulerFixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let campaign = ExecutorCampaign::new(sut_factory(PostgresSim::new)).expect("campaign");
+        let plugin = TypoPlugin::new(Keyboard::qwerty_us(), TokenClass::DirectiveNames)
+            .with_kinds([TypoKind::Omission, TypoKind::Transposition]);
+        let faults: Vec<GeneratedFault> = plugin
+            .generate(campaign.baseline())
+            .expect("generate")
+            .into_iter()
+            .take(48)
+            .collect();
+        let reference = {
+            let mut sut = PostgresSim::new();
+            let mut serial = Campaign::new(&mut sut).expect("campaign");
+            profile_to_json(&serial.run_faults(faults.clone()).expect("serial run"))
+        };
+        SchedulerFixture {
+            campaign,
+            faults,
+            reference,
+        }
+    })
 }
 
 proptest! {
@@ -100,5 +143,49 @@ proptest! {
             InjectionResult::DetectedByFunctionalTest { .. }
         );
         prop_assert!(!functional);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Completion batching is a pure lock-traffic optimisation: at
+    /// ANY batch size K (1 = the per-fault publication it replaced),
+    /// chunk size and thread count, a streamed run delivers its
+    /// outcomes to the sink in fault order, byte-identical to the
+    /// serial campaign — and the reorder buffer never exceeds the
+    /// per-entry `chunk × threads` window.
+    #[test]
+    fn completion_batching_preserves_sink_order_and_window_bound(
+        k in 1usize..=64,
+        chunk in 1usize..=32,
+        threads in 2usize..=4,
+    ) {
+        let fixture = scheduler_fixture();
+        let executor = CampaignExecutor::new(threads);
+        executor.set_chunk_size(chunk);
+        executor.set_completion_batch(k);
+        prop_assert_eq!(executor.completion_batch(), k);
+        let mut sink = CollectingSink::new();
+        let stats = executor
+            .run_source(
+                &fixture.campaign,
+                Box::new(EagerSource::new(fixture.faults.clone())),
+                &mut sink,
+            )
+            .expect("streamed run");
+        prop_assert_eq!(stats.outcomes, fixture.faults.len());
+        prop_assert!(
+            stats.peak_buffered <= chunk * threads,
+            "peak {} exceeds window {} (K = {}, chunk = {}, threads = {})",
+            stats.peak_buffered, chunk * threads, k, chunk, threads
+        );
+        let streamed = sink.into_profile(fixture.campaign.system());
+        prop_assert_eq!(
+            &profile_to_json(&streamed),
+            &fixture.reference,
+            "diverged at K = {}, chunk = {}, threads = {}",
+            k, chunk, threads
+        );
     }
 }

@@ -451,3 +451,104 @@ fn example_configs_match_simulator_defaults() {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Static triage: synthesized startup outcomes, byte-identical.
+// ---------------------------------------------------------------------------
+
+/// Runs Table 1 twice — triage explicitly off (the reference knob)
+/// and on — asserts byte-identity, and returns the triaged run's
+/// `(dynamic, synthesized)` start counts.
+fn triaged_equals_dynamic_table1(
+    make_sut: impl Fn() -> Box<dyn SystemUnderTest>,
+) -> (usize, usize) {
+    let mut reference_sut = make_sut();
+    let mut reference = Campaign::new(reference_sut.as_mut()).expect("campaign");
+    reference.set_static_triage(false);
+    let faults = table1_faultload(reference.baseline(), &Keyboard::qwerty_us(), DEFAULT_SEED);
+    let dynamic = reference.run_faults(faults.clone()).expect("run");
+    let (reference_dynamic, reference_synthesized) = reference.triage_stats();
+    assert!(reference_dynamic > 0);
+    assert_eq!(reference_synthesized, 0, "triage off = every start dynamic");
+
+    let mut triaged_sut = make_sut();
+    let mut triaged = Campaign::new(triaged_sut.as_mut()).expect("campaign");
+    triaged.set_static_triage(true);
+    let profile = triaged.run_faults(faults).expect("run");
+    assert_eq!(profile_to_json(&dynamic), profile_to_json(&profile));
+    triaged.triage_stats()
+}
+
+#[test]
+fn triaged_profile_is_byte_identical_mysql() {
+    let (dynamic, synthesized) = triaged_equals_dynamic_table1(|| Box::new(MySqlSim::new()));
+    assert!(
+        synthesized >= dynamic,
+        "triage replaced {synthesized} of {} starts",
+        dynamic + synthesized
+    );
+}
+
+#[test]
+fn triaged_profile_is_byte_identical_postgres() {
+    let (dynamic, synthesized) = triaged_equals_dynamic_table1(|| Box::new(PostgresSim::new()));
+    assert!(
+        synthesized >= dynamic,
+        "triage replaced {synthesized} of {} starts",
+        dynamic + synthesized
+    );
+}
+
+#[test]
+fn triaged_profile_is_byte_identical_apache() {
+    // Apache's Table 1 load is almost entirely statically decidable:
+    // strict validation makes the name typos provably fatal
+    // (`WillFail*` → `DetectedAtStartup`) and the rest is provably
+    // inert (`SemanticallySilent` → warning-free `Undetected`).
+    // Triage must replace at least half the starts (the §4 claim the
+    // bench gates as `triage_speedup`).
+    let (dynamic, synthesized) = triaged_equals_dynamic_table1(|| Box::new(ApacheSim::new()));
+    assert!(
+        synthesized >= dynamic,
+        "triage replaced {synthesized} of {} starts",
+        dynamic + synthesized
+    );
+}
+
+#[test]
+fn triaged_executor_batch_is_byte_identical_across_threads() {
+    // The same contract through the pooled executor: a triaged Table 1
+    // run at 1/2/4 threads matches the untriaged serial reference, and
+    // the engine's counters show the shared knob took effect.
+    let reference_campaign =
+        conferr::ExecutorCampaign::new(sut_factory(ApacheSim::new)).expect("campaign");
+    reference_campaign.set_static_triage(false);
+    let faults = table1_faultload(
+        reference_campaign.baseline(),
+        &Keyboard::qwerty_us(),
+        DEFAULT_SEED,
+    );
+    let reference = {
+        let executor = conferr::CampaignExecutor::new(1);
+        executor
+            .run_faults(&reference_campaign, faults.clone())
+            .expect("reference run")
+    };
+
+    let triaged_campaign =
+        conferr::ExecutorCampaign::new(sut_factory(ApacheSim::new)).expect("campaign");
+    triaged_campaign.set_static_triage(true);
+    for threads in [1, 2, 4] {
+        let executor = conferr::CampaignExecutor::new(threads);
+        let profile = executor
+            .run_faults(&triaged_campaign, faults.clone())
+            .expect("triaged run");
+        assert_eq!(
+            profile_to_json(&reference),
+            profile_to_json(&profile),
+            "threads = {threads}"
+        );
+    }
+    let (_, synthesized) = triaged_campaign.triage_stats();
+    assert!(synthesized > 0, "the shared engine synthesized outcomes");
+}
